@@ -1,0 +1,113 @@
+//! End-to-end frame-path benchmarks: the sender's per-frame work
+//! (cull → tile → encode both streams) and the receiver's
+//! (decode → reconstruct → render-prep), at the benchmark capture scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use livo_capture::{render_rgbd, rig, RgbdFrame};
+use livo_codec2d::{Decoder, Encoder, EncoderConfig, PixelFormat};
+use livo_core::cull::cull_views;
+use livo_core::depth::DepthCodec;
+use livo_core::reconstruct::{prepare_for_render, reconstruct_point_cloud};
+use livo_core::tile::{compose_color, compose_depth, TileLayout};
+use livo_math::{Frustum, FrustumParams, Pose, Vec3};
+
+const SCALE: f32 = 0.2;
+
+struct Setup {
+    cams: Vec<livo_math::RgbdCamera>,
+    views: Vec<RgbdFrame>,
+    layout: TileLayout,
+    frustum: Frustum,
+}
+
+fn setup() -> Setup {
+    let preset = livo_capture::datasets::DatasetPreset::load(livo_capture::VideoId::Band2);
+    let cams = rig::panoptic_rig(SCALE);
+    let snap = preset.scene.at(1.0);
+    let views: Vec<RgbdFrame> = cams.iter().map(|c| render_rgbd(c, &snap)).collect();
+    let layout = TileLayout::new(views[0].width, views[0].height, cams.len());
+    let viewer = Pose::look_at(Vec3::new(0.0, 1.3, -2.8), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
+    let frustum = Frustum::from_params(&viewer, &FrustumParams::default()).expanded(0.2);
+    Setup { cams, views, layout, frustum }
+}
+
+fn bench_sender_path(c: &mut Criterion) {
+    let s = setup();
+    let codec = DepthCodec::default();
+    let mut g = c.benchmark_group("pipeline/sender_frame");
+    g.sample_size(10);
+    g.bench_function("cull_tile_encode", |b| {
+        let mut color_enc = Encoder::new(EncoderConfig::new(
+            s.layout.canvas_w,
+            s.layout.canvas_h,
+            PixelFormat::Yuv420,
+        ));
+        let mut depth_enc = Encoder::new(EncoderConfig::new(
+            s.layout.canvas_w,
+            s.layout.canvas_h,
+            PixelFormat::Y16,
+        ));
+        let mut seq = 0u32;
+        b.iter_batched(
+            || s.views.clone(),
+            |mut views| {
+                cull_views(&mut views, &s.cams, &s.frustum);
+                let color = compose_color(&views, &s.layout, seq);
+                let depth = compose_depth(&views, &s.layout, &codec, seq);
+                seq += 1;
+                (
+                    color_enc.encode(&color, 400_000),
+                    depth_enc.encode(&depth, 1_600_000),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_receiver_path(c: &mut Criterion) {
+    let s = setup();
+    let codec = DepthCodec::default();
+    let color = compose_color(&s.views, &s.layout, 0);
+    let depth = compose_depth(&s.views, &s.layout, &codec, 0);
+    let mut color_enc =
+        Encoder::new(EncoderConfig::new(s.layout.canvas_w, s.layout.canvas_h, PixelFormat::Yuv420));
+    let mut depth_enc =
+        Encoder::new(EncoderConfig::new(s.layout.canvas_w, s.layout.canvas_h, PixelFormat::Y16));
+    let color_bits = color_enc.encode(&color, 400_000);
+    let depth_bits = depth_enc.encode(&depth, 1_600_000);
+
+    let mut g = c.benchmark_group("pipeline/receiver_frame");
+    g.sample_size(10);
+    g.bench_function("decode_reconstruct_prepare", |b| {
+        b.iter(|| {
+            let mut cdec = Decoder::new();
+            let mut ddec = Decoder::new();
+            let cframe = cdec.decode(&color_bits.data).unwrap();
+            let dframe = ddec.decode(&depth_bits.data).unwrap();
+            let cloud = reconstruct_point_cloud(&cframe, &dframe, &s.layout, &s.cams, &codec);
+            prepare_for_render(&cloud, 0.03, &s.frustum)
+        })
+    });
+    g.finish();
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let preset = livo_capture::datasets::DatasetPreset::load(livo_capture::VideoId::Pizza1);
+    let cams = rig::panoptic_rig(SCALE);
+    let mut g = c.benchmark_group("pipeline/capture");
+    g.sample_size(10);
+    g.bench_function("render_10_cameras_pizza1", |b| {
+        let mut t = 0.0f32;
+        b.iter(|| {
+            t += 0.033;
+            let snap = preset.scene.at(t);
+            cams.iter().map(|c| render_rgbd(c, &snap)).collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sender_path, bench_receiver_path, bench_capture);
+criterion_main!(benches);

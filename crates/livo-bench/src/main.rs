@@ -1,0 +1,122 @@
+//! `repro`: regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick|--standard] <artefact>...
+//! repro --quick all
+//! repro table1 fig9 fig15
+//! ```
+//!
+//! Artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12
+//! fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid all
+//! (fig5 covers Figs. 5–8; fig9 covers 9–11; fig13 covers 13–14; fig18
+//! covers 18–19; fig20 covers 20–21; fig17 covers 17+A.1.)
+
+use livo_capture::{TraceId, VideoId};
+use livo_eval::experiments::{run_grid, EvalProfile, GridResult, Scheme};
+use livo_eval::report;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick|--standard] <artefact>...\n\
+         artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid all"
+    );
+    std::process::exit(2);
+}
+
+/// The study grid is the expensive shared input of Table 5 and Figs. 5–14;
+/// compute it once per invocation.
+struct GridCache {
+    profile: EvalProfile,
+    grid: Option<Vec<GridResult>>,
+}
+
+impl GridCache {
+    fn get(&mut self) -> &[GridResult] {
+        if self.grid.is_none() {
+            eprintln!("[repro] running the study grid (4 schemes x 5 videos x 2 traces)...");
+            let grid =
+                run_grid(&Scheme::STUDY, &VideoId::ALL, &TraceId::ALL, &[0], &self.profile);
+            self.grid = Some(grid);
+        }
+        self.grid.as_ref().unwrap()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut profile = EvalProfile::standard();
+    let mut artefacts: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => profile = EvalProfile::quick(),
+            "--standard" => profile = EvalProfile::standard(),
+            "all" => artefacts.extend(
+                [
+                    "table1", "table3", "table4", "table5", "table6", "fig4", "fig5", "fig9",
+                    "fig12", "fig13", "fig15", "fig16", "fig17", "fig18", "fig20", "figa2",
+                    "figa3",
+                ]
+                .map(String::from),
+            ),
+            other if other.starts_with('-') => usage(),
+            other => artefacts.push(other.to_string()),
+        }
+    }
+    if artefacts.is_empty() {
+        usage();
+    }
+    let mut cache = GridCache { profile, grid: None };
+    for a in &artefacts {
+        eprintln!("[repro] {a}...");
+        let text = match a.as_str() {
+            "table1" => report::table1(&profile),
+            "table3" => report::table3(&profile),
+            "table4" => report::table4(600.0, profile.seed),
+            "table5" => report::table5(cache.get()),
+            "table6" => report::table6(&profile),
+            "fig4" => report::fig4(&profile),
+            "fig5" | "fig6" | "fig7" | "fig8" => report::fig5_to_8(cache.get()),
+            "fig9" | "fig10" | "fig11" => report::fig9_to_11(cache.get()),
+            "fig12" => report::fig12(cache.get()),
+            "fig13" | "fig14" => report::fig13_14(cache.get()),
+            "fig15" => report::fig15(&profile),
+            "fig16" => report::fig16(),
+            "fig17" | "figa1" => report::fig17(&profile),
+            "fig18" | "fig19" => report::fig18_19(&profile),
+            "fig20" | "fig21" => report::fig20_21(&profile),
+            "figa2" => report::figa2(&profile),
+            "figa3" => report::figa3(600.0, profile.seed),
+            "grid" => {
+                let grid = cache.get();
+                let mut s = String::from(
+                    "scheme,video,trace,pssim_g,pssim_c,stall,fps,tput_mbps,util,mos\n",
+                );
+                for r in grid {
+                    s.push_str(&format!(
+                        "{},{},{},{:.2},{:.2},{:.4},{:.2},{:.3},{:.3},{:.2}\n",
+                        r.scheme.name(),
+                        r.video.name(),
+                        r.trace.name(),
+                        r.pssim_geometry,
+                        r.pssim_color,
+                        r.stall_rate,
+                        r.mean_fps,
+                        r.throughput_mbps,
+                        r.utilization(),
+                        r.mos
+                    ));
+                }
+                s
+            }
+            _ => {
+                eprintln!("unknown artefact: {a}");
+                usage();
+            }
+        };
+        println!("==================== {a} ====================");
+        println!("{text}");
+    }
+}

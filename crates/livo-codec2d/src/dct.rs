@@ -1,0 +1,176 @@
+//! 8×8 floating-point DCT-II/III with the conventional zig-zag scan.
+//!
+//! The transform is orthonormal (`idct(dct(x)) == x` up to rounding), so the
+//! only loss in the codec comes from quantisation — matching how real video
+//! codecs behave and keeping the rate/distortion relationship clean.
+
+use std::sync::OnceLock;
+
+/// Zig-zag scan order for an 8×8 block: `ZIGZAG[scan_pos] = raster_index`.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Cosine basis table: `COS[u][x] = c(u) * cos((2x+1) u π / 16)` where
+/// `c(0) = √(1/8)`, `c(u>0) = √(2/8)`.
+fn cos_table() -> &'static [[f32; 8]; 8] {
+    static TABLE: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0.0f32; 8]; 8];
+        for (u, row) in t.iter_mut().enumerate() {
+            let cu = if u == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = cu
+                    * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI / 16.0).cos();
+            }
+        }
+        t
+    })
+}
+
+/// Forward 8×8 DCT of a raster-order block of samples. Output is raster
+/// order (DC at index 0).
+pub fn forward(block: &[i32; 64]) -> [f32; 64] {
+    let t = cos_table();
+    // Rows first.
+    let mut tmp = [0.0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0f32;
+            for x in 0..8 {
+                acc += block[y * 8 + x] as f32 * t[u][x];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // Then columns.
+    let mut out = [0.0f32; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0.0f32;
+            for y in 0..8 {
+                acc += tmp[y * 8 + u] * t[v][y];
+            }
+            out[v * 8 + u] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT back to integer samples (rounded, unclamped).
+pub fn inverse(coeffs: &[f32; 64]) -> [i32; 64] {
+    let t = cos_table();
+    // Columns first.
+    let mut tmp = [0.0f32; 64];
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0.0f32;
+            for v in 0..8 {
+                acc += coeffs[v * 8 + u] * t[v][y];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // Then rows.
+    let mut out = [0i32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0f32;
+            for u in 0..8 {
+                acc += tmp[y * 8 + u] * t[u][x];
+            }
+            out[y * 8 + x] = acc.round() as i32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Starts at DC, walks the first anti-diagonal.
+        assert_eq!(&ZIGZAG[..4], &[0, 1, 8, 16]);
+    }
+
+    #[test]
+    fn dc_of_constant_block() {
+        let block = [100i32; 64];
+        let c = forward(&block);
+        // Orthonormal DCT: DC = 8 * sample value for a constant block.
+        assert!((c[0] - 800.0).abs() < 1e-2, "DC {}", c[0]);
+        for &v in &c[1..] {
+            assert!(v.abs() < 1e-3, "AC leak {v}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact_for_8bit() {
+        let mut block = [0i32; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = ((i * 37) % 256) as i32;
+        }
+        let back = inverse(&forward(&block));
+        assert_eq!(back, block);
+    }
+
+    #[test]
+    fn round_trip_is_exact_for_16bit() {
+        let mut block = [0i32; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = ((i * 9973) % 65536) as i32;
+        }
+        let back = inverse(&forward(&block));
+        // f32 basis: 16-bit content can be off by ±1 after rounding.
+        for (a, b) in back.iter().zip(&block) {
+            assert!((a - b).abs() <= 1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn round_trip_of_residuals_with_negatives() {
+        let mut block = [0i32; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i as i32 % 17) - 8;
+        }
+        let back = inverse(&forward(&block));
+        assert_eq!(back, block);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let mut block = [0i32; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = ((i * 53) % 101) as i32 - 50;
+        }
+        let c = forward(&block);
+        let e_spatial: f64 = block.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        let e_freq: f64 = c.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        assert!((e_spatial - e_freq).abs() / e_spatial.max(1.0) < 1e-4);
+    }
+
+    #[test]
+    fn smooth_block_concentrates_energy_in_low_frequencies() {
+        let mut block = [0i32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                block[y * 8 + x] = (x * 10 + y * 5) as i32; // linear ramp
+            }
+        }
+        let c = forward(&block);
+        // Energy in the first 10 zig-zag coefficients dominates.
+        let low: f64 = ZIGZAG[..10].iter().map(|&i| (c[i] as f64).powi(2)).sum();
+        let total: f64 = c.iter().map(|&v| (v as f64).powi(2)).sum();
+        assert!(low / total > 0.999, "low-frequency share {}", low / total);
+    }
+}

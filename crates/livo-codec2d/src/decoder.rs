@@ -1,0 +1,321 @@
+//! The video decoder: the exact mirror of the encoder's closed loop.
+
+use crate::block::{decode_block, decode_svalue, CoeffContexts};
+use crate::dct;
+use crate::encoder::{intra_dc_pred, plane_qp, FrameType, FRAME_MAGIC};
+use crate::motion::{self, MotionVector, MB_SIZE};
+use crate::plane::{Frame, PixelFormat, Plane};
+use crate::quant::{self, DC_SCALE};
+use crate::rangecoder::{BitModel, RangeDecoder};
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bitstream does not start with the frame magic.
+    BadMagic,
+    /// An inter frame arrived but no reference is available (e.g. after a
+    /// reset or when the first received frame was not intra).
+    MissingReference,
+    /// Header fields are inconsistent (zero dimensions, unknown format).
+    BadHeader,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bitstream does not start with frame magic"),
+            DecodeError::MissingReference => {
+                write!(f, "inter frame received without a decoded reference frame")
+            }
+            DecodeError::BadHeader => write!(f, "inconsistent frame header"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The decoder. Holds the previous reconstruction as the inter-prediction
+/// reference.
+#[derive(Default)]
+pub struct Decoder {
+    recon: Option<Frame>,
+}
+
+impl Decoder {
+    pub fn new() -> Self {
+        Decoder { recon: None }
+    }
+
+    /// Drop the reference frame (e.g. after an unrecoverable loss, before
+    /// requesting a keyframe via PLI).
+    pub fn reset(&mut self) {
+        self.recon = None;
+    }
+
+    /// Decode one frame.
+    pub fn decode(&mut self, data: &[u8]) -> Result<Frame, DecodeError> {
+        let mut dec = RangeDecoder::new(data);
+        if dec.decode_bits(8) != FRAME_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let frame_type = if dec.decode_bits(1) == 1 { FrameType::Inter } else { FrameType::Intra };
+        let qp = dec.decode_bits(6) as u8;
+        let width = dec.decode_bits(16) as usize;
+        let height = dec.decode_bits(16) as usize;
+        let format = match dec.decode_bits(2) {
+            0 => PixelFormat::Yuv420,
+            1 => PixelFormat::Y16,
+            _ => return Err(DecodeError::BadHeader),
+        };
+        if width == 0 || height == 0 {
+            return Err(DecodeError::BadHeader);
+        }
+
+        let mut recon = Frame::new(format, width, height);
+        let peak = format.peak_value();
+
+        match frame_type {
+            FrameType::Intra => {
+                for pi in 0..format.plane_count() {
+                    let step = quant::qstep(plane_qp(qp, pi, format));
+                    let mut coeff = CoeffContexts::new();
+                    let plane = &mut recon.planes[pi];
+                    decode_plane_intra(&mut dec, &mut coeff, plane, step, peak);
+                }
+            }
+            FrameType::Inter => {
+                let prev = self.recon.take().ok_or(DecodeError::MissingReference)?;
+                if (prev.width, prev.height, prev.format) != (width, height, format) {
+                    return Err(DecodeError::MissingReference);
+                }
+                let step = quant::qstep(plane_qp(qp, 0, format));
+                let mvs = decode_plane_inter_luma(
+                    &mut dec,
+                    &prev.planes[0],
+                    &mut recon.planes[0],
+                    step,
+                    peak,
+                );
+                for pi in 1..format.plane_count() {
+                    let cstep = quant::qstep(plane_qp(qp, pi, format));
+                    decode_plane_inter_chroma(
+                        &mut dec,
+                        &prev.planes[pi],
+                        &mut recon.planes[pi],
+                        cstep,
+                        peak,
+                        &mvs,
+                        width,
+                    );
+                }
+            }
+        }
+        self.recon = Some(recon.clone());
+        Ok(recon)
+    }
+}
+
+fn decode_plane_intra(
+    dec: &mut RangeDecoder<'_>,
+    coeff: &mut CoeffContexts,
+    plane: &mut Plane,
+    step: f32,
+    peak: u16,
+) {
+    for by in (0..plane.height).step_by(8) {
+        for bx in (0..plane.width).step_by(8) {
+            let levels = decode_block(dec, coeff);
+            let pred = intra_dc_pred(plane, bx, by, peak);
+            let deq = quant::dequantize_block(&levels, step, DC_SCALE);
+            let mut rec = dct::inverse(&deq);
+            for v in &mut rec {
+                *v += pred;
+            }
+            plane.write_block8(bx, by, &rec, peak);
+        }
+    }
+}
+
+fn decode_plane_inter_luma(
+    dec: &mut RangeDecoder<'_>,
+    prev: &Plane,
+    recon: &mut Plane,
+    step: f32,
+    peak: u16,
+) -> Vec<MotionVector> {
+    let mbs_x = recon.width.div_ceil(MB_SIZE);
+    let mbs_y = recon.height.div_ceil(MB_SIZE);
+    let mut mvs = vec![MotionVector::default(); mbs_x * mbs_y];
+    let mut coeff = CoeffContexts::new();
+    let mut skip_model = BitModel::new();
+    let mut pred_buf = [0i32; MB_SIZE * MB_SIZE];
+    for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            let bx = mbx * MB_SIZE;
+            let by = mby * MB_SIZE;
+            let pred_mv = if mbx > 0 { mvs[mby * mbs_x + mbx - 1] } else { MotionVector::default() };
+            let skip = dec.decode_bit(&mut skip_model);
+            let (mv, levels4) = if skip {
+                (pred_mv, None)
+            } else {
+                let dx = decode_svalue(dec) as i16 + pred_mv.dx;
+                let dy = decode_svalue(dec) as i16 + pred_mv.dy;
+                let mut levels4 = [[0i32; 64]; 4];
+                for l in &mut levels4 {
+                    *l = decode_block(dec, &mut coeff);
+                }
+                (MotionVector { dx, dy }, Some(levels4))
+            };
+            mvs[mby * mbs_x + mbx] = mv;
+            motion::predict_block(prev, bx, by, mv, &mut pred_buf);
+            for sb in 0..4 {
+                let ox = (sb % 2) * 8;
+                let oy = (sb / 2) * 8;
+                let mut rec = [0i32; 64];
+                match &levels4 {
+                    None => {
+                        for dy in 0..8 {
+                            for dxp in 0..8 {
+                                rec[dy * 8 + dxp] = pred_buf[(oy + dy) * MB_SIZE + ox + dxp];
+                            }
+                        }
+                    }
+                    Some(l4) => {
+                        let deq = quant::dequantize_block(&l4[sb], step, DC_SCALE);
+                        let res = dct::inverse(&deq);
+                        for dy in 0..8 {
+                            for dxp in 0..8 {
+                                rec[dy * 8 + dxp] =
+                                    res[dy * 8 + dxp] + pred_buf[(oy + dy) * MB_SIZE + ox + dxp];
+                            }
+                        }
+                    }
+                }
+                recon.write_block8(bx + ox, by + oy, &rec, peak);
+            }
+        }
+    }
+    mvs
+}
+
+fn decode_plane_inter_chroma(
+    dec: &mut RangeDecoder<'_>,
+    prev: &Plane,
+    recon: &mut Plane,
+    step: f32,
+    peak: u16,
+    luma_mvs: &[MotionVector],
+    luma_width: usize,
+) {
+    let mbs_x = luma_width.div_ceil(MB_SIZE);
+    let mut coeff = CoeffContexts::new();
+    for by in (0..recon.height).step_by(8) {
+        for bx in (0..recon.width).step_by(8) {
+            let mb_index = (by / 8) * mbs_x + (bx / 8);
+            let mv = luma_mvs.get(mb_index).copied().unwrap_or_default();
+            let cmv = MotionVector { dx: mv.dx / 2, dy: mv.dy / 2 };
+            let levels = decode_block(dec, &mut coeff);
+            let deq = quant::dequantize_block(&levels, step, DC_SCALE);
+            let res = dct::inverse(&deq);
+            let mut rec = [0i32; 64];
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    let pred = prev.get_clamped(
+                        (bx + dx) as isize + cmv.dx as isize,
+                        (by + dy) as isize + cmv.dy as isize,
+                    ) as i32;
+                    rec[dy * 8 + dx] = res[dy * 8 + dx] + pred;
+                }
+            }
+            recon.write_block8(bx, by, &rec, peak);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{Encoder, EncoderConfig};
+
+    fn test_frame(w: usize, h: usize, phase: usize) -> Frame {
+        let mut rgb = vec![0u8; w * h * 3];
+        for y in 0..h {
+            for x in 0..w {
+                let i = (y * w + x) * 3;
+                rgb[i] = (((x + phase) * 5) % 256) as u8;
+                rgb[i + 1] = ((y * 3 + phase * 2) % 256) as u8;
+                rgb[i + 2] = (((x * y) / 4 + phase) % 256) as u8;
+            }
+        }
+        Frame::from_rgb8(w, h, &rgb)
+    }
+
+    #[test]
+    fn decoder_matches_encoder_reconstruction_intra() {
+        let f = test_frame(80, 48, 0);
+        let mut enc = Encoder::new(EncoderConfig::new(80, 48, PixelFormat::Yuv420));
+        let out = enc.encode(&f, 100_000);
+        let mut dec = Decoder::new();
+        let decoded = dec.decode(&out.data).unwrap();
+        assert_eq!(decoded, out.reconstruction, "decoder must be bit-exact with encoder loop");
+    }
+
+    #[test]
+    fn decoder_matches_encoder_over_gop() {
+        let mut enc = Encoder::new(EncoderConfig::new(64, 64, PixelFormat::Yuv420));
+        let mut dec = Decoder::new();
+        for i in 0..8 {
+            let f = test_frame(64, 64, i);
+            let out = enc.encode(&f, 60_000);
+            let decoded = dec.decode(&out.data).unwrap();
+            assert_eq!(decoded, out.reconstruction, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn y16_round_trip_bit_exact_with_encoder() {
+        let mut enc = Encoder::new(EncoderConfig::new(48, 48, PixelFormat::Y16));
+        let mut dec = Decoder::new();
+        for i in 0..4 {
+            let samples: Vec<u16> =
+                (0..48usize * 48).map(|p| (((p + i * 31) * 401) % 60000) as u16).collect();
+            let f = Frame::from_y16(48, 48, samples);
+            let out = enc.encode(&f, 150_000);
+            let decoded = dec.decode(&out.data).unwrap();
+            assert_eq!(decoded, out.reconstruction, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn inter_without_reference_fails() {
+        let mut enc = Encoder::new(EncoderConfig::new(32, 32, PixelFormat::Yuv420));
+        enc.encode(&test_frame(32, 32, 0), 50_000);
+        let p = enc.encode(&test_frame(32, 32, 1), 50_000);
+        assert_eq!(p.frame_type, FrameType::Inter);
+        let mut dec = Decoder::new();
+        assert_eq!(dec.decode(&p.data), Err(DecodeError::MissingReference));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut dec = Decoder::new();
+        // A stream of zeros decodes bits as 0 ≠ FRAME_MAGIC.
+        assert_eq!(dec.decode(&[0u8; 32]), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn reset_then_keyframe_recovers() {
+        let mut enc = Encoder::new(EncoderConfig::new(32, 32, PixelFormat::Yuv420));
+        let mut dec = Decoder::new();
+        let f0 = enc.encode(&test_frame(32, 32, 0), 50_000);
+        dec.decode(&f0.data).unwrap();
+        // Simulate loss: decoder resets, P-frame fails, PLI → keyframe.
+        dec.reset();
+        let p = enc.encode(&test_frame(32, 32, 1), 50_000);
+        assert!(dec.decode(&p.data).is_err());
+        enc.force_keyframe();
+        let k = enc.encode(&test_frame(32, 32, 2), 50_000);
+        let decoded = dec.decode(&k.data).unwrap();
+        assert_eq!(decoded, k.reconstruction);
+    }
+}

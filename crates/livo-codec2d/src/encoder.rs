@@ -1,0 +1,553 @@
+//! The video encoder: prediction, transform, quantisation, entropy coding
+//! and closed-loop reconstruction.
+
+use crate::block::{encode_block, encode_svalue, CoeffContexts};
+use crate::dct;
+use crate::motion::{self, MotionVector, MB_SIZE};
+use crate::plane::{Frame, PixelFormat, Plane};
+use crate::quant::{self, DC_SCALE};
+use crate::rangecoder::{BitModel, RangeEncoder};
+use crate::ratecontrol::RateController;
+
+/// Magic byte opening every encoded frame.
+pub const FRAME_MAGIC: u32 = 0xA7;
+
+/// Frame type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Intra frame: self-contained, DC-predicted blocks.
+    Intra,
+    /// Inter frame: motion-compensated prediction from the previous
+    /// reconstructed frame.
+    Inter,
+}
+
+/// Static encoder configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderConfig {
+    pub width: usize,
+    pub height: usize,
+    pub format: PixelFormat,
+    /// Distance between intra frames; 1 = all-intra. LiVo uses long GOPs and
+    /// relies on PLI/FIR to request intra refresh after loss (§A.1).
+    pub gop_length: u32,
+    pub qp_min: u8,
+    pub qp_max: u8,
+    /// Motion search range in pixels per axis.
+    pub search_range: i16,
+}
+
+impl EncoderConfig {
+    pub fn new(width: usize, height: usize, format: PixelFormat) -> Self {
+        EncoderConfig {
+            width,
+            height,
+            format,
+            gop_length: 120,
+            qp_min: 4,
+            qp_max: quant::QP_MAX,
+            search_range: 8,
+        }
+    }
+}
+
+/// One encoded frame: the bitstream plus metadata and the encoder-side
+/// reconstruction. The reconstruction is bit-exact with what the decoder
+/// will produce, which is how LiVo estimates encoded quality at the sender
+/// without a second decode pass (§3.3's "encode, immediately decode" comes
+/// for free from the codec's closed loop).
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    pub data: Vec<u8>,
+    pub frame_type: FrameType,
+    pub qp: u8,
+    pub reconstruction: Frame,
+}
+
+impl EncodedFrame {
+    /// Size of the bitstream in bits.
+    pub fn bits(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+}
+
+/// Per-plane adaptive contexts, reset every frame.
+struct PlaneContexts {
+    coeff: CoeffContexts,
+    skip: BitModel,
+}
+
+impl PlaneContexts {
+    fn new() -> Self {
+        PlaneContexts { coeff: CoeffContexts::new(), skip: BitModel::new() }
+    }
+}
+
+/// The rate-adaptive encoder.
+pub struct Encoder {
+    cfg: EncoderConfig,
+    rc: RateController,
+    recon: Option<Frame>,
+    frame_index: u64,
+    force_intra: bool,
+    /// Input frame of the previous call, for temporal complexity estimation.
+    prev_input_luma: Option<Plane>,
+}
+
+impl Encoder {
+    pub fn new(cfg: EncoderConfig) -> Self {
+        Encoder {
+            cfg,
+            rc: RateController::new(),
+            recon: None,
+            frame_index: 0,
+            force_intra: false,
+            prev_input_luma: None,
+        }
+    }
+
+    pub fn config(&self) -> &EncoderConfig {
+        &self.cfg
+    }
+
+    /// Force the next frame to be intra-coded (the reaction to a PLI/FIR
+    /// from the transport).
+    pub fn force_keyframe(&mut self) {
+        self.force_intra = true;
+    }
+
+    /// Frames encoded so far.
+    pub fn frames_encoded(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// Encode a frame to approximately `target_bits`. The rate controller
+    /// picks QP from its model; on gross overshoot the frame is re-encoded
+    /// once at a coarser QP (mirroring hardware CBR behaviour).
+    pub fn encode(&mut self, frame: &Frame, target_bits: u64) -> EncodedFrame {
+        assert_eq!(frame.format, self.cfg.format, "format mismatch");
+        assert_eq!((frame.width, frame.height), (self.cfg.width, self.cfg.height));
+
+        let intra = self.force_intra
+            || self.recon.is_none()
+            || (self.cfg.gop_length > 0 && self.frame_index % self.cfg.gop_length as u64 == 0);
+        self.force_intra = false;
+        let frame_type = if intra { FrameType::Intra } else { FrameType::Inter };
+
+        let complexity = self.estimate_complexity(frame, frame_type);
+        let mut qp = self
+            .rc
+            .pick_qp(frame_type, complexity, target_bits as f64, self.cfg.qp_min, self.cfg.qp_max);
+
+        let (mut data, mut recon) = self.encode_with_qp(frame, qp, frame_type);
+        let mut actual_bits = data.len() as u64 * 8;
+        // One corrective re-encode on overshoot, like a CBR encoder's
+        // internal re-quantisation.
+        if actual_bits > target_bits + target_bits / 4 && qp + 4 <= self.cfg.qp_max {
+            self.rc.update(frame_type, complexity, actual_bits as f64, qp);
+            qp = (qp + 4).min(self.cfg.qp_max);
+            let redo = self.encode_with_qp(frame, qp, frame_type);
+            data = redo.0;
+            recon = redo.1;
+            actual_bits = data.len() as u64 * 8;
+        }
+        self.rc.update(frame_type, complexity, actual_bits as f64, qp);
+
+        self.prev_input_luma = Some(frame.planes[0].clone());
+        self.recon = Some(recon.clone());
+        self.frame_index += 1;
+        EncodedFrame { data, frame_type, qp, reconstruction: recon }
+    }
+
+    /// Encode at a *fixed* QP, bypassing rate control — the behaviour of
+    /// non-adaptive systems (the paper's LiVo-NoAdapt baseline mimics
+    /// Starline's fixed quality parameters, §4.5).
+    pub fn encode_fixed_qp(&mut self, frame: &Frame, qp: u8) -> EncodedFrame {
+        assert_eq!(frame.format, self.cfg.format, "format mismatch");
+        assert_eq!((frame.width, frame.height), (self.cfg.width, self.cfg.height));
+        let intra = self.force_intra
+            || self.recon.is_none()
+            || (self.cfg.gop_length > 0 && self.frame_index % self.cfg.gop_length as u64 == 0);
+        self.force_intra = false;
+        let frame_type = if intra { FrameType::Intra } else { FrameType::Inter };
+        let qp = qp.clamp(self.cfg.qp_min, self.cfg.qp_max);
+        let (data, recon) = self.encode_with_qp(frame, qp, frame_type);
+        self.prev_input_luma = Some(frame.planes[0].clone());
+        self.recon = Some(recon.clone());
+        self.frame_index += 1;
+        EncodedFrame { data, frame_type, qp, reconstruction: recon }
+    }
+
+    /// Complexity proxy driving the rate model: per-pixel activity (temporal
+    /// mean-absolute difference for inter frames, spatial gradient energy for
+    /// intra) scaled by the pixel count, so the model is resolution-aware.
+    fn estimate_complexity(&self, frame: &Frame, frame_type: FrameType) -> f64 {
+        let luma = &frame.planes[0];
+        let activity = match (frame_type, &self.prev_input_luma) {
+            (FrameType::Inter, Some(prev))
+                if (prev.width, prev.height) == (luma.width, luma.height) =>
+            {
+                luma.mad(prev) + 0.05
+            }
+            _ => {
+                // Mean absolute horizontal gradient, subsampled.
+                let mut acc = 0u64;
+                let mut n = 0u64;
+                let step = (luma.height / 256).max(1);
+                for y in (0..luma.height).step_by(step) {
+                    for x in 1..luma.width {
+                        acc += (luma.get(x, y) as i64 - luma.get(x - 1, y) as i64).unsigned_abs();
+                        n += 1;
+                    }
+                }
+                acc as f64 / n.max(1) as f64 + 0.05
+            }
+        };
+        activity * luma.data.len() as f64
+    }
+
+    /// Deterministically encode `frame` at the given QP, returning the
+    /// bitstream and the reconstruction.
+    fn encode_with_qp(&self, frame: &Frame, qp: u8, frame_type: FrameType) -> (Vec<u8>, Frame) {
+        let mut enc = RangeEncoder::new();
+        // Header.
+        enc.encode_bits(FRAME_MAGIC, 8);
+        enc.encode_bits(matches!(frame_type, FrameType::Inter) as u32, 1);
+        enc.encode_bits(qp as u32, 6);
+        enc.encode_bits(frame.width as u32, 16);
+        enc.encode_bits(frame.height as u32, 16);
+        enc.encode_bits(matches!(frame.format, PixelFormat::Y16) as u32, 2);
+
+        let mut recon = Frame::new(frame.format, frame.width, frame.height);
+        let peak = frame.format.peak_value();
+
+        match frame_type {
+            FrameType::Intra => {
+                for (pi, plane) in frame.planes.iter().enumerate() {
+                    let plane_qp = plane_qp(qp, pi, frame.format);
+                    let step = quant::qstep(plane_qp);
+                    let mut ctx = PlaneContexts::new();
+                    encode_plane_intra(&mut enc, &mut ctx, plane, &mut recon.planes[pi], step, peak);
+                }
+            }
+            FrameType::Inter => {
+                let prev = self.recon.as_ref().expect("inter frame without reference");
+                // Luma with motion estimation; record vectors for chroma.
+                let luma_qp = plane_qp(qp, 0, frame.format);
+                let step = quant::qstep(luma_qp);
+                let mut ctx = PlaneContexts::new();
+                let mvs = encode_plane_inter_luma(
+                    &mut enc,
+                    &mut ctx,
+                    &frame.planes[0],
+                    &prev.planes[0],
+                    &mut recon.planes[0],
+                    step,
+                    peak,
+                    self.cfg.search_range,
+                );
+                for pi in 1..frame.planes.len() {
+                    let cq = plane_qp(qp, pi, frame.format);
+                    let cstep = quant::qstep(cq);
+                    let mut cctx = PlaneContexts::new();
+                    encode_plane_inter_chroma(
+                        &mut enc,
+                        &mut cctx,
+                        &frame.planes[pi],
+                        &prev.planes[pi],
+                        &mut recon.planes[pi],
+                        cstep,
+                        peak,
+                        &mvs,
+                        frame.planes[0].width,
+                    );
+                }
+            }
+        }
+        (enc.finish(), recon)
+    }
+}
+
+/// QP used for plane `pi`: chroma planes are coded 4 QP coarser (they carry
+/// less perceptual weight), matching common codec practice.
+pub(crate) fn plane_qp(qp: u8, pi: usize, format: PixelFormat) -> u8 {
+    if pi == 0 || format == PixelFormat::Y16 {
+        qp
+    } else {
+        (qp + 4).min(quant::QP_MAX)
+    }
+}
+
+/// Intra-code one plane with block-DC prediction from reconstructed
+/// neighbours. Shared scan order with the decoder.
+fn encode_plane_intra(
+    enc: &mut RangeEncoder,
+    ctx: &mut PlaneContexts,
+    plane: &Plane,
+    recon: &mut Plane,
+    step: f32,
+    peak: u16,
+) {
+    let mut blk = [0i32; 64];
+    for by in (0..plane.height).step_by(8) {
+        for bx in (0..plane.width).step_by(8) {
+            plane.read_block8(bx, by, &mut blk);
+            let pred = intra_dc_pred(recon, bx, by, peak);
+            for v in &mut blk {
+                *v -= pred;
+            }
+            let coeffs = dct::forward(&blk);
+            let levels = quant::quantize_block(&coeffs, step, DC_SCALE);
+            encode_block(enc, &mut ctx.coeff, &levels);
+            // Closed-loop reconstruction.
+            let deq = quant::dequantize_block(&levels, step, DC_SCALE);
+            let mut rec = dct::inverse(&deq);
+            for v in &mut rec {
+                *v += pred;
+            }
+            recon.write_block8(bx, by, &rec, peak);
+        }
+    }
+}
+
+/// DC predictor for an intra block: the mean of the reconstructed row above
+/// and column left of the block (whichever exist), else mid-range.
+pub(crate) fn intra_dc_pred(recon: &Plane, bx: usize, by: usize, peak: u16) -> i32 {
+    let mut acc = 0u64;
+    let mut n = 0u64;
+    if by > 0 {
+        for dx in 0..8 {
+            let x = (bx + dx).min(recon.width - 1);
+            acc += recon.get(x, by - 1) as u64;
+            n += 1;
+        }
+    }
+    if bx > 0 {
+        for dy in 0..8 {
+            let y = (by + dy).min(recon.height - 1);
+            acc += recon.get(bx - 1, y) as u64;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        (peak as i32 + 1) / 2
+    } else {
+        (acc / n) as i32
+    }
+}
+
+/// Inter-code the luma plane; returns the per-macroblock motion vectors in
+/// raster order for the chroma planes to reuse.
+#[allow(clippy::too_many_arguments)]
+fn encode_plane_inter_luma(
+    enc: &mut RangeEncoder,
+    ctx: &mut PlaneContexts,
+    plane: &Plane,
+    prev: &Plane,
+    recon: &mut Plane,
+    step: f32,
+    peak: u16,
+    search_range: i16,
+) -> Vec<MotionVector> {
+    let mbs_x = plane.width.div_ceil(MB_SIZE);
+    let mbs_y = plane.height.div_ceil(MB_SIZE);
+    let mut mvs = vec![MotionVector::default(); mbs_x * mbs_y];
+    let mut pred_buf = [0i32; MB_SIZE * MB_SIZE];
+    let mut blk = [0i32; 64];
+    for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            let bx = mbx * MB_SIZE;
+            let by = mby * MB_SIZE;
+            let pred_mv = if mbx > 0 { mvs[mby * mbs_x + mbx - 1] } else { MotionVector::default() };
+            let (mv, _) = motion::diamond_search(plane, prev, bx, by, pred_mv, search_range);
+            motion::predict_block(prev, bx, by, mv, &mut pred_buf);
+
+            // Transform the four 8×8 residual sub-blocks.
+            let mut levels4 = [[0i32; 64]; 4];
+            let mut all_zero = true;
+            for sb in 0..4 {
+                let ox = (sb % 2) * 8;
+                let oy = (sb / 2) * 8;
+                for dy in 0..8 {
+                    for dx in 0..8 {
+                        let cur = plane
+                            .get_clamped((bx + ox + dx) as isize, (by + oy + dy) as isize)
+                            as i32;
+                        blk[dy * 8 + dx] = cur - pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                    }
+                }
+                let coeffs = dct::forward(&blk);
+                levels4[sb] = quant::quantize_block(&coeffs, step, DC_SCALE);
+                if levels4[sb].iter().any(|&l| l != 0) {
+                    all_zero = false;
+                }
+            }
+
+            let skip = all_zero && mv == pred_mv;
+            enc.encode_bit(&mut ctx.skip, skip);
+            if !skip {
+                encode_svalue(enc, (mv.dx - pred_mv.dx) as i32);
+                encode_svalue(enc, (mv.dy - pred_mv.dy) as i32);
+                for levels in &levels4 {
+                    encode_block(enc, &mut ctx.coeff, levels);
+                }
+            }
+            mvs[mby * mbs_x + mbx] = mv;
+
+            // Reconstruct.
+            for sb in 0..4 {
+                let ox = (sb % 2) * 8;
+                let oy = (sb / 2) * 8;
+                let mut rec = [0i32; 64];
+                if skip {
+                    for dy in 0..8 {
+                        for dx in 0..8 {
+                            rec[dy * 8 + dx] = pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                        }
+                    }
+                } else {
+                    let deq = quant::dequantize_block(&levels4[sb], step, DC_SCALE);
+                    let res = dct::inverse(&deq);
+                    for dy in 0..8 {
+                        for dx in 0..8 {
+                            rec[dy * 8 + dx] =
+                                res[dy * 8 + dx] + pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                        }
+                    }
+                }
+                recon.write_block8(bx + ox, by + oy, &rec, peak);
+            }
+        }
+    }
+    mvs
+}
+
+/// Inter-code a chroma plane reusing the luma motion field (halved vectors).
+#[allow(clippy::too_many_arguments)]
+fn encode_plane_inter_chroma(
+    enc: &mut RangeEncoder,
+    ctx: &mut PlaneContexts,
+    plane: &Plane,
+    prev: &Plane,
+    recon: &mut Plane,
+    step: f32,
+    peak: u16,
+    luma_mvs: &[MotionVector],
+    luma_width: usize,
+) {
+    let mbs_x = luma_width.div_ceil(MB_SIZE);
+    let mut blk = [0i32; 64];
+    // One 8×8 chroma block per luma macroblock.
+    for by in (0..plane.height).step_by(8) {
+        for bx in (0..plane.width).step_by(8) {
+            let mb_index = (by / 8) * mbs_x + (bx / 8);
+            let mv = luma_mvs.get(mb_index).copied().unwrap_or_default();
+            let cmv = MotionVector { dx: mv.dx / 2, dy: mv.dy / 2 };
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    let cur = plane.get_clamped((bx + dx) as isize, (by + dy) as isize) as i32;
+                    let pred = prev.get_clamped(
+                        (bx + dx) as isize + cmv.dx as isize,
+                        (by + dy) as isize + cmv.dy as isize,
+                    ) as i32;
+                    blk[dy * 8 + dx] = cur - pred;
+                }
+            }
+            let coeffs = dct::forward(&blk);
+            let levels = quant::quantize_block(&coeffs, step, DC_SCALE);
+            encode_block(enc, &mut ctx.coeff, &levels);
+            let deq = quant::dequantize_block(&levels, step, DC_SCALE);
+            let res = dct::inverse(&deq);
+            let mut rec = [0i32; 64];
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    let pred = prev.get_clamped(
+                        (bx + dx) as isize + cmv.dx as isize,
+                        (by + dy) as isize + cmv.dy as isize,
+                    ) as i32;
+                    rec[dy * 8 + dx] = res[dy * 8 + dx] + pred;
+                }
+            }
+            recon.write_block8(bx, by, &rec, peak);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_frame(w: usize, h: usize, phase: usize) -> Frame {
+        let mut rgb = vec![0u8; w * h * 3];
+        for y in 0..h {
+            for x in 0..w {
+                let i = (y * w + x) * 3;
+                rgb[i] = (((x + phase) * 5) % 256) as u8;
+                rgb[i + 1] = ((y * 3 + phase) % 256) as u8;
+                rgb[i + 2] = (((x + y) * 2) % 256) as u8;
+            }
+        }
+        Frame::from_rgb8(w, h, &rgb)
+    }
+
+    #[test]
+    fn first_frame_is_intra() {
+        let mut enc = Encoder::new(EncoderConfig::new(64, 64, PixelFormat::Yuv420));
+        let out = enc.encode(&test_frame(64, 64, 0), 100_000);
+        assert_eq!(out.frame_type, FrameType::Intra);
+    }
+
+    #[test]
+    fn second_frame_is_inter() {
+        let mut enc = Encoder::new(EncoderConfig::new(64, 64, PixelFormat::Yuv420));
+        enc.encode(&test_frame(64, 64, 0), 100_000);
+        let out = enc.encode(&test_frame(64, 64, 1), 100_000);
+        assert_eq!(out.frame_type, FrameType::Inter);
+    }
+
+    #[test]
+    fn force_keyframe_produces_intra() {
+        let mut enc = Encoder::new(EncoderConfig::new(64, 64, PixelFormat::Yuv420));
+        enc.encode(&test_frame(64, 64, 0), 100_000);
+        enc.force_keyframe();
+        let out = enc.encode(&test_frame(64, 64, 1), 100_000);
+        assert_eq!(out.frame_type, FrameType::Intra);
+    }
+
+    #[test]
+    fn static_content_costs_little_in_p_frames() {
+        let mut enc = Encoder::new(EncoderConfig::new(128, 128, PixelFormat::Yuv420));
+        let f = test_frame(128, 128, 0);
+        let i_frame = enc.encode(&f, 1_000_000);
+        let p_frame = enc.encode(&f, 1_000_000);
+        assert!(
+            p_frame.bits() < i_frame.bits() / 10,
+            "I: {} bits, P: {} bits",
+            i_frame.bits(),
+            p_frame.bits()
+        );
+    }
+
+    #[test]
+    fn reconstruction_improves_with_more_bits() {
+        let f = test_frame(64, 64, 0);
+        let mut enc_lo = Encoder::new(EncoderConfig::new(64, 64, PixelFormat::Yuv420));
+        let mut enc_hi = Encoder::new(EncoderConfig::new(64, 64, PixelFormat::Yuv420));
+        let lo = enc_lo.encode(&f, 3_000);
+        let hi = enc_hi.encode(&f, 300_000);
+        let err_lo = crate::luma_mse(&f, &lo.reconstruction);
+        let err_hi = crate::luma_mse(&f, &hi.reconstruction);
+        assert!(err_hi < err_lo, "hi {err_hi} vs lo {err_lo}");
+        assert!(lo.qp > hi.qp);
+    }
+
+    #[test]
+    fn y16_frames_encode() {
+        let samples: Vec<u16> = (0..64usize * 64).map(|i| ((i * 997) % 65536) as u16).collect();
+        let f = Frame::from_y16(64, 64, samples);
+        let mut enc = Encoder::new(EncoderConfig::new(64, 64, PixelFormat::Y16));
+        let out = enc.encode(&f, 200_000);
+        assert!(!out.data.is_empty());
+        assert_eq!(out.reconstruction.format, PixelFormat::Y16);
+    }
+}

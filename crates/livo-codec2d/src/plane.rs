@@ -1,0 +1,348 @@
+//! Sample planes and video frames.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular plane of samples. Samples are stored as `u16` regardless of
+/// bit depth so 8-bit colour and 16-bit depth share one code path; the
+/// format's [`PixelFormat::peak_value`] bounds the valid range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plane {
+    pub width: usize,
+    pub height: usize,
+    pub data: Vec<u16>,
+}
+
+impl Plane {
+    pub fn new(width: usize, height: usize) -> Self {
+        Plane { width, height, data: vec![0; width * height] }
+    }
+
+    pub fn from_data(width: usize, height: usize, data: Vec<u16>) -> Self {
+        assert_eq!(data.len(), width * height, "plane data size mismatch");
+        Plane { width, height, data }
+    }
+
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u16 {
+        self.data[y * self.width + x]
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: u16) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Clamped fetch: coordinates outside the plane read the nearest edge
+    /// sample (used by motion compensation at frame borders).
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u16 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Copy an 8×8 block starting at `(bx, by)` into `out`, edge-clamped.
+    pub fn read_block8(&self, bx: usize, by: usize, out: &mut [i32; 64]) {
+        for dy in 0..8 {
+            for dx in 0..8 {
+                out[dy * 8 + dx] =
+                    self.get_clamped((bx + dx) as isize, (by + dy) as isize) as i32;
+            }
+        }
+    }
+
+    /// Write an 8×8 block at `(bx, by)`, clamping each sample to
+    /// `[0, peak]` and skipping out-of-bounds pixels (for non-multiple-of-8
+    /// dimensions).
+    pub fn write_block8(&mut self, bx: usize, by: usize, block: &[i32; 64], peak: u16) {
+        for dy in 0..8 {
+            let y = by + dy;
+            if y >= self.height {
+                break;
+            }
+            for dx in 0..8 {
+                let x = bx + dx;
+                if x >= self.width {
+                    break;
+                }
+                self.data[y * self.width + x] = block[dy * 8 + dx].clamp(0, peak as i32) as u16;
+            }
+        }
+    }
+
+    /// Mean absolute difference to another plane (same dimensions).
+    pub fn mad(&self, o: &Plane) -> f64 {
+        assert_eq!((self.width, self.height), (o.width, o.height));
+        let sum: u64 = self
+            .data
+            .iter()
+            .zip(&o.data)
+            .map(|(a, b)| (*a as i64 - *b as i64).unsigned_abs())
+            .sum();
+        sum as f64 / self.data.len() as f64
+    }
+}
+
+/// Pixel format of a [`Frame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PixelFormat {
+    /// 8-bit 4:2:0: planes `[Y(w×h), U(w/2×h/2), V(w/2×h/2)]`. Used for the
+    /// tiled colour stream.
+    Yuv420,
+    /// 16-bit luma only: plane `[Y16(w×h)]`. Mirrors the `Y444_16LE` H.265
+    /// mode LiVo uses for the depth stream (§3.2); the constant-valued U/V
+    /// channels of the real stream carry no information, so they are not
+    /// stored.
+    Y16,
+}
+
+impl PixelFormat {
+    /// Maximum sample value.
+    pub fn peak_value(self) -> u16 {
+        match self {
+            PixelFormat::Yuv420 => 255,
+            PixelFormat::Y16 => u16::MAX,
+        }
+    }
+
+    /// Number of planes.
+    pub fn plane_count(self) -> usize {
+        match self {
+            PixelFormat::Yuv420 => 3,
+            PixelFormat::Y16 => 1,
+        }
+    }
+
+    /// Dimensions of plane `i` for a `width`×`height` frame.
+    pub fn plane_dims(self, i: usize, width: usize, height: usize) -> (usize, usize) {
+        match (self, i) {
+            (PixelFormat::Yuv420, 0) | (PixelFormat::Y16, 0) => (width, height),
+            (PixelFormat::Yuv420, 1 | 2) => (width.div_ceil(2), height.div_ceil(2)),
+            _ => panic!("plane index {i} out of range for {self:?}"),
+        }
+    }
+}
+
+/// A video frame: one or more sample planes in a given format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    pub format: PixelFormat,
+    pub width: usize,
+    pub height: usize,
+    pub planes: Vec<Plane>,
+}
+
+impl Frame {
+    /// An all-zero frame.
+    pub fn new(format: PixelFormat, width: usize, height: usize) -> Self {
+        let planes = (0..format.plane_count())
+            .map(|i| {
+                let (w, h) = format.plane_dims(i, width, height);
+                Plane::new(w, h)
+            })
+            .collect();
+        Frame { format, width, height, planes }
+    }
+
+    /// Build a YUV 4:2:0 frame from packed RGB8 data (`len = w*h*3`),
+    /// BT.601 full-range.
+    pub fn from_rgb8(width: usize, height: usize, rgb: &[u8]) -> Self {
+        assert_eq!(rgb.len(), width * height * 3);
+        let mut f = Frame::new(PixelFormat::Yuv420, width, height);
+        // Luma per pixel.
+        for y in 0..height {
+            for x in 0..width {
+                let i = (y * width + x) * 3;
+                let (r, g, b) = (rgb[i] as f32, rgb[i + 1] as f32, rgb[i + 2] as f32);
+                let luma = 0.299 * r + 0.587 * g + 0.114 * b;
+                f.planes[0].set(x, y, luma.round().clamp(0.0, 255.0) as u16);
+            }
+        }
+        // Chroma, averaged over each 2×2 quad.
+        let (cw, ch) = PixelFormat::Yuv420.plane_dims(1, width, height);
+        for cy in 0..ch {
+            for cx in 0..cw {
+                let mut usum = 0.0f32;
+                let mut vsum = 0.0f32;
+                let mut n = 0.0f32;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let x = (cx * 2 + dx).min(width - 1);
+                        let y = (cy * 2 + dy).min(height - 1);
+                        let i = (y * width + x) * 3;
+                        let (r, g, b) = (rgb[i] as f32, rgb[i + 1] as f32, rgb[i + 2] as f32);
+                        usum += -0.168_736 * r - 0.331_264 * g + 0.5 * b + 128.0;
+                        vsum += 0.5 * r - 0.418_688 * g - 0.081_312 * b + 128.0;
+                        n += 1.0;
+                    }
+                }
+                f.planes[1].set(cx, cy, (usum / n).round().clamp(0.0, 255.0) as u16);
+                f.planes[2].set(cx, cy, (vsum / n).round().clamp(0.0, 255.0) as u16);
+            }
+        }
+        f
+    }
+
+    /// Convert back to packed RGB8 (BT.601 full-range, chroma upsampled by
+    /// nearest neighbour).
+    pub fn to_rgb8(&self) -> Vec<u8> {
+        assert_eq!(self.format, PixelFormat::Yuv420, "to_rgb8 needs YUV");
+        let mut out = vec![0u8; self.width * self.height * 3];
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let luma = self.planes[0].get(x, y) as f32;
+                let u = self.planes[1].get(x / 2, y / 2) as f32 - 128.0;
+                let v = self.planes[2].get(x / 2, y / 2) as f32 - 128.0;
+                let r = luma + 1.402 * v;
+                let g = luma - 0.344_136 * u - 0.714_136 * v;
+                let b = luma + 1.772 * u;
+                let i = (y * self.width + x) * 3;
+                out[i] = r.round().clamp(0.0, 255.0) as u8;
+                out[i + 1] = g.round().clamp(0.0, 255.0) as u8;
+                out[i + 2] = b.round().clamp(0.0, 255.0) as u8;
+            }
+        }
+        out
+    }
+
+    /// Build a 16-bit luma frame from raw `u16` samples.
+    pub fn from_y16(width: usize, height: usize, samples: Vec<u16>) -> Self {
+        Frame {
+            format: PixelFormat::Y16,
+            width,
+            height,
+            planes: vec![Plane::from_data(width, height, samples)],
+        }
+    }
+
+    /// Total sample count across planes.
+    pub fn sample_count(&self) -> usize {
+        self.planes.iter().map(|p| p.data.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_get_set_round_trip() {
+        let mut p = Plane::new(4, 3);
+        p.set(2, 1, 777);
+        assert_eq!(p.get(2, 1), 777);
+        assert_eq!(p.get(0, 0), 0);
+    }
+
+    #[test]
+    fn clamped_fetch_at_borders() {
+        let mut p = Plane::new(2, 2);
+        p.set(0, 0, 1);
+        p.set(1, 0, 2);
+        p.set(0, 1, 3);
+        p.set(1, 1, 4);
+        assert_eq!(p.get_clamped(-5, -5), 1);
+        assert_eq!(p.get_clamped(10, -1), 2);
+        assert_eq!(p.get_clamped(-1, 10), 3);
+        assert_eq!(p.get_clamped(10, 10), 4);
+    }
+
+    #[test]
+    fn block_read_write_round_trip() {
+        let mut p = Plane::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                p.set(x, y, (x * 16 + y) as u16);
+            }
+        }
+        let mut blk = [0i32; 64];
+        p.read_block8(8, 8, &mut blk);
+        let mut q = Plane::new(16, 16);
+        q.write_block8(8, 8, &blk, u16::MAX);
+        for dy in 0..8 {
+            for dx in 0..8 {
+                assert_eq!(q.get(8 + dx, 8 + dy), p.get(8 + dx, 8 + dy));
+            }
+        }
+    }
+
+    #[test]
+    fn write_block_clamps_to_peak() {
+        let mut p = Plane::new(8, 8);
+        let blk = [300i32; 64];
+        p.write_block8(0, 0, &blk, 255);
+        assert_eq!(p.get(0, 0), 255);
+        let neg = [-5i32; 64];
+        p.write_block8(0, 0, &neg, 255);
+        assert_eq!(p.get(0, 0), 0);
+    }
+
+    #[test]
+    fn write_block_partial_at_edges() {
+        let mut p = Plane::new(10, 10);
+        let blk = [7i32; 64];
+        p.write_block8(8, 8, &blk, 255); // only 2×2 in bounds
+        assert_eq!(p.get(9, 9), 7);
+        assert_eq!(p.get(7, 7), 0);
+    }
+
+    #[test]
+    fn yuv420_plane_dims() {
+        let f = Frame::new(PixelFormat::Yuv420, 9, 7);
+        assert_eq!((f.planes[0].width, f.planes[0].height), (9, 7));
+        assert_eq!((f.planes[1].width, f.planes[1].height), (5, 4));
+        assert_eq!(f.sample_count(), 63 + 20 + 20);
+    }
+
+    #[test]
+    fn rgb_yuv_round_trip_is_close() {
+        // Smooth gradient survives 4:2:0 with small error.
+        let (w, h) = (16, 16);
+        let mut rgb = vec![0u8; w * h * 3];
+        for y in 0..h {
+            for x in 0..w {
+                let i = (y * w + x) * 3;
+                rgb[i] = (x * 16) as u8;
+                rgb[i + 1] = (y * 16) as u8;
+                rgb[i + 2] = 128;
+            }
+        }
+        let f = Frame::from_rgb8(w, h, &rgb);
+        let back = f.to_rgb8();
+        let max_err = rgb
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (*a as i32 - *b as i32).abs())
+            .max()
+            .unwrap();
+        assert!(max_err <= 12, "max channel error {max_err}");
+    }
+
+    #[test]
+    fn gray_rgb_preserves_luma_exactly() {
+        let (w, h) = (8, 8);
+        let rgb: Vec<u8> = (0..w * h).flat_map(|i| [(i * 4) as u8; 3]).collect();
+        let f = Frame::from_rgb8(w, h, &rgb);
+        for y in 0..h {
+            for x in 0..w {
+                let expect = ((y * w + x) * 4) as u16;
+                let got = f.planes[0].get(x, y);
+                assert!((got as i32 - expect as i32).abs() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn y16_frame_holds_full_range() {
+        let f = Frame::from_y16(2, 2, vec![0, 1000, 40000, u16::MAX]);
+        assert_eq!(f.planes[0].get(1, 1), u16::MAX);
+        assert_eq!(f.format.peak_value(), u16::MAX);
+    }
+
+    #[test]
+    fn mad_of_identical_planes_is_zero() {
+        let p = Plane::from_data(2, 2, vec![5, 6, 7, 8]);
+        assert_eq!(p.mad(&p), 0.0);
+        let q = Plane::from_data(2, 2, vec![6, 6, 7, 8]);
+        assert_eq!(p.mad(&q), 0.25);
+    }
+}

@@ -1,0 +1,112 @@
+//! Quantisation: mapping transform coefficients to integer levels.
+//!
+//! QP follows the H.26x convention: the step size doubles every 6 QP values.
+//! The valid range is 0–51 for 8-bit content; 16-bit content re-uses the
+//! same scale (the paper's depth scaling works precisely because a given
+//! step size erases low-order bits — scaling depth up moves signal above the
+//! erased bits).
+
+/// Inclusive QP range.
+pub const QP_MIN: u8 = 0;
+pub const QP_MAX: u8 = 51;
+
+/// Quantisation step size for a QP, H.26x-style: `0.625 · 2^(qp/6)`.
+pub fn qstep(qp: u8) -> f32 {
+    0.625 * 2.0f32.powf(qp as f32 / 6.0)
+}
+
+/// Quantise one coefficient (uniform, dead-zone-free rounding).
+#[inline]
+pub fn quantize(coeff: f32, step: f32) -> i32 {
+    (coeff / step).round() as i32
+}
+
+/// Reconstruct a coefficient from its level.
+#[inline]
+pub fn dequantize(level: i32, step: f32) -> f32 {
+    level as f32 * step
+}
+
+/// Quantise a whole block, DC getting a finer step (`dc_scale < 1`) because
+/// DC errors are the most visible (and for depth, the most damaging).
+pub fn quantize_block(coeffs: &[f32; 64], step: f32, dc_scale: f32) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    out[0] = quantize(coeffs[0], step * dc_scale);
+    for i in 1..64 {
+        out[i] = quantize(coeffs[i], step);
+    }
+    out
+}
+
+/// Inverse of [`quantize_block`].
+pub fn dequantize_block(levels: &[i32; 64], step: f32, dc_scale: f32) -> [f32; 64] {
+    let mut out = [0.0f32; 64];
+    out[0] = dequantize(levels[0], step * dc_scale);
+    for i in 1..64 {
+        out[i] = dequantize(levels[i], step);
+    }
+    out
+}
+
+/// Default DC step scale.
+pub const DC_SCALE: f32 = 0.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qstep_doubles_every_six() {
+        for qp in 0..=(QP_MAX - 6) {
+            let ratio = qstep(qp + 6) / qstep(qp);
+            assert!((ratio - 2.0).abs() < 1e-4, "qp {qp}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn qstep_is_monotonic() {
+        for qp in QP_MIN..QP_MAX {
+            assert!(qstep(qp + 1) > qstep(qp));
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded_by_half_step() {
+        let step = qstep(30);
+        for c in [-1000.0f32, -3.3, 0.0, 7.7, 123.4, 9999.0] {
+            let l = quantize(c, step);
+            let r = dequantize(l, step);
+            assert!((r - c).abs() <= step / 2.0 + 1e-3, "coeff {c}: err {}", (r - c).abs());
+        }
+    }
+
+    #[test]
+    fn zero_is_fixed_point() {
+        assert_eq!(quantize(0.0, qstep(20)), 0);
+        assert_eq!(dequantize(0, qstep(20)), 0.0);
+    }
+
+    #[test]
+    fn coarser_qp_zeroes_more_coefficients() {
+        let coeffs: [f32; 64] = std::array::from_fn(|i| (i as f32 * 0.7).sin() * 20.0);
+        let fine = quantize_block(&coeffs, qstep(10), DC_SCALE);
+        let coarse = quantize_block(&coeffs, qstep(40), DC_SCALE);
+        let nz = |b: &[i32; 64]| b.iter().filter(|&&v| v != 0).count();
+        assert!(nz(&coarse) < nz(&fine));
+    }
+
+    #[test]
+    fn dc_uses_finer_step() {
+        let mut coeffs = [0.0f32; 64];
+        coeffs[0] = 10.0;
+        coeffs[1] = 10.0;
+        let step = 15.0;
+        let q = quantize_block(&coeffs, step, 0.5);
+        // DC step = 7.5 → level 1; AC step = 15 → level 1 as well (10/15
+        // rounds to 1)... pick values that differ:
+        assert_eq!(q[0], 1);
+        let deq = dequantize_block(&q, step, 0.5);
+        assert!((deq[0] - 7.5).abs() < 1e-5);
+        assert!((deq[1] - 15.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,385 @@
+//! Adaptive binary range coder (the entropy-coding stage).
+//!
+//! An LZMA-style byte-oriented range coder with adaptive binary contexts —
+//! functionally the same family as H.265's CABAC. Probabilities are 12-bit;
+//! contexts adapt with shift-5 exponential updates. "Bypass" bits encode at
+//! a fixed probability of ½ for sign bits and raw value bits.
+
+/// Total probability scale (12 bits).
+const PROB_BITS: u32 = 12;
+const PROB_ONE: u16 = 1 << PROB_BITS;
+/// Adaptation rate: higher shifts adapt more slowly.
+const ADAPT_SHIFT: u16 = 5;
+const TOP: u32 = 1 << 24;
+
+/// An adaptive binary probability model (context).
+#[derive(Debug, Clone, Copy)]
+pub struct BitModel {
+    /// Probability that the next bit is 0, in `[1, PROB_ONE-1]`.
+    prob0: u16,
+}
+
+impl Default for BitModel {
+    fn default() -> Self {
+        BitModel { prob0: PROB_ONE / 2 }
+    }
+}
+
+impl BitModel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn update(&mut self, bit: bool) {
+        if bit {
+            self.prob0 -= self.prob0 >> ADAPT_SHIFT;
+        } else {
+            self.prob0 += (PROB_ONE - self.prob0) >> ADAPT_SHIFT;
+        }
+    }
+}
+
+/// The encoding half of the range coder.
+#[derive(Debug)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    pub fn new() -> Self {
+        RangeEncoder { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+    }
+
+    fn shift_low(&mut self) {
+        if self.low < 0xFF00_0000 || self.low > 0xFFFF_FFFF {
+            let carry = (self.low >> 32) as u8;
+            let mut c = self.cache;
+            while self.cache_size > 0 {
+                self.out.push(c.wrapping_add(carry));
+                c = 0xFF;
+                self.cache_size -= 1;
+            }
+            self.cache = ((self.low >> 24) & 0xFF) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    /// Encode one bit under an adaptive context.
+    pub fn encode_bit(&mut self, model: &mut BitModel, bit: bool) {
+        let bound = (self.range >> PROB_BITS) * model.prob0 as u32;
+        if bit {
+            self.low += bound as u64;
+            self.range -= bound;
+        } else {
+            self.range = bound;
+        }
+        model.update(bit);
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    /// Encode one bit at fixed probability ½ (no context).
+    pub fn encode_bypass(&mut self, bit: bool) {
+        self.range >>= 1;
+        if bit {
+            self.low += self.range as u64;
+        }
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    /// Encode `nbits` raw bits of `value`, MSB first.
+    pub fn encode_bits(&mut self, value: u32, nbits: u32) {
+        for i in (0..nbits).rev() {
+            self.encode_bypass((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Encode an unsigned value with order-0 exponential-Golomb in bypass
+    /// mode (prefix + suffix); good for rare large magnitudes.
+    pub fn encode_ue_bypass(&mut self, value: u32) {
+        let v = value + 1;
+        let nbits = 32 - v.leading_zeros(); // ≥ 1
+        for _ in 0..nbits - 1 {
+            self.encode_bypass(false);
+        }
+        self.encode_bypass(true);
+        // Suffix: nbits-1 low bits of v.
+        for i in (0..nbits - 1).rev() {
+            self.encode_bypass((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Flush and return the bitstream.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+
+    /// Bytes produced so far (excluding unflushed state). Useful for rate
+    /// accounting mid-encode.
+    pub fn bytes_written(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// The decoding half. Must see the exact byte stream produced by
+/// [`RangeEncoder::finish`] and consume bits with identical context usage.
+#[derive(Debug)]
+pub struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    pub fn new(input: &'a [u8]) -> Self {
+        let mut d = RangeDecoder { code: 0, range: u32::MAX, input, pos: 1 };
+        // First byte is always 0 (encoder cache priming); the next four seed
+        // the code register.
+        for _ in 0..4 {
+            d.code = (d.code << 8) | d.next_byte() as u32;
+        }
+        d
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        let b = self.input.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Decode one bit under an adaptive context.
+    pub fn decode_bit(&mut self, model: &mut BitModel) -> bool {
+        let bound = (self.range >> PROB_BITS) * model.prob0 as u32;
+        let bit = if self.code < bound {
+            self.range = bound;
+            false
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            true
+        };
+        model.update(bit);
+        while self.range < TOP {
+            self.code = (self.code << 8) | self.next_byte() as u32;
+            self.range <<= 8;
+        }
+        bit
+    }
+
+    /// Decode one fixed-probability bit.
+    pub fn decode_bypass(&mut self) -> bool {
+        self.range >>= 1;
+        let bit = if self.code >= self.range {
+            self.code -= self.range;
+            true
+        } else {
+            false
+        };
+        while self.range < TOP {
+            self.code = (self.code << 8) | self.next_byte() as u32;
+            self.range <<= 8;
+        }
+        bit
+    }
+
+    /// Decode `nbits` raw bits, MSB first.
+    pub fn decode_bits(&mut self, nbits: u32) -> u32 {
+        let mut v = 0;
+        for _ in 0..nbits {
+            v = (v << 1) | self.decode_bypass() as u32;
+        }
+        v
+    }
+
+    /// Inverse of [`RangeEncoder::encode_ue_bypass`].
+    pub fn decode_ue_bypass(&mut self) -> u32 {
+        let mut nbits = 1u32;
+        while !self.decode_bypass() {
+            nbits += 1;
+            assert!(nbits <= 32, "corrupt exp-golomb prefix");
+        }
+        let mut v = 1u32;
+        for _ in 0..nbits - 1 {
+            v = (v << 1) | self.decode_bypass() as u32;
+        }
+        v - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn single_context_round_trip() {
+        let bits: Vec<bool> = (0..500).map(|i| i % 7 == 0).collect();
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        for &b in &bits {
+            enc.encode_bit(&mut m, b);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data);
+        let mut m2 = BitModel::new();
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut m2), b);
+        }
+    }
+
+    #[test]
+    fn biased_source_compresses() {
+        // 95% zeros should code well below 1 bit/symbol.
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let bits: Vec<bool> = (0..20_000).map(|_| rng.gen_bool(0.05)).collect();
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        for &b in &bits {
+            enc.encode_bit(&mut m, b);
+        }
+        let data = enc.finish();
+        let bits_per_symbol = data.len() as f64 * 8.0 / bits.len() as f64;
+        assert!(bits_per_symbol < 0.45, "got {bits_per_symbol} bits/symbol");
+        // And decodes exactly.
+        let mut dec = RangeDecoder::new(&data);
+        let mut m2 = BitModel::new();
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut m2), b);
+        }
+    }
+
+    #[test]
+    fn bypass_bits_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let bits: Vec<bool> = (0..4000).map(|_| rng.gen_bool(0.5)).collect();
+        let mut enc = RangeEncoder::new();
+        for &b in &bits {
+            enc.encode_bypass(b);
+        }
+        let data = enc.finish();
+        // Uniform bits can't compress: expect ~1 bit/symbol.
+        assert!(data.len() * 8 >= bits.len());
+        let mut dec = RangeDecoder::new(&data);
+        for &b in &bits {
+            assert_eq!(dec.decode_bypass(), b);
+        }
+    }
+
+    #[test]
+    fn raw_bit_fields_round_trip() {
+        let values = [0u32, 1, 255, 256, 65535, 0xFFFF_FFFF, 0x1234_5678];
+        let mut enc = RangeEncoder::new();
+        for &v in &values {
+            enc.encode_bits(v, 32);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data);
+        for &v in &values {
+            assert_eq!(dec.decode_bits(32), v);
+        }
+    }
+
+    #[test]
+    fn exp_golomb_round_trip() {
+        let values = [0u32, 1, 2, 3, 7, 8, 100, 1000, 65535, 1_000_000];
+        let mut enc = RangeEncoder::new();
+        for &v in &values {
+            enc.encode_ue_bypass(v);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data);
+        for &v in &values {
+            assert_eq!(dec.decode_ue_bypass(), v);
+        }
+    }
+
+    #[test]
+    fn mixed_context_and_bypass_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut enc = RangeEncoder::new();
+        let mut models = vec![BitModel::new(); 8];
+        let mut script: Vec<(u8, u32)> = Vec::new();
+        for _ in 0..5000 {
+            match rng.gen_range(0..3) {
+                0 => {
+                    let ctx = rng.gen_range(0..8usize);
+                    let bit = rng.gen_bool(0.2);
+                    enc.encode_bit(&mut models[ctx], bit);
+                    script.push((0, ((ctx as u32) << 1) | bit as u32));
+                }
+                1 => {
+                    let v = rng.gen_range(0..10_000u32);
+                    enc.encode_ue_bypass(v);
+                    script.push((1, v));
+                }
+                _ => {
+                    let v = rng.gen_range(0..256u32);
+                    enc.encode_bits(v, 8);
+                    script.push((2, v));
+                }
+            }
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data);
+        let mut models2 = vec![BitModel::new(); 8];
+        for (kind, v) in script {
+            match kind {
+                0 => {
+                    let ctx = (v >> 1) as usize;
+                    let bit = v & 1 == 1;
+                    assert_eq!(dec.decode_bit(&mut models2[ctx]), bit);
+                }
+                1 => assert_eq!(dec.decode_ue_bypass(), v),
+                _ => assert_eq!(dec.decode_bits(8), v),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_finishes_cleanly() {
+        let enc = RangeEncoder::new();
+        let data = enc.finish();
+        assert_eq!(data.len(), 5);
+        assert_eq!(data[0], 0, "priming byte");
+    }
+
+    #[test]
+    fn carry_propagation_stress() {
+        // Long runs of highly-probable bits exercise the carry path.
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        let pattern: Vec<bool> = (0..100_000).map(|i| (i % 1001) == 0).collect();
+        for &b in &pattern {
+            enc.encode_bit(&mut m, b);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data);
+        let mut m2 = BitModel::new();
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(dec.decode_bit(&mut m2), b, "at {i}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Closed-loop rate control: pick QP to hit a per-frame bit budget.
+//!
+//! The model is the classic `R = g · C / Q` form: bits scale with frame
+//! complexity `C` (temporal or spatial activity per pixel times pixel
+//! count) and inversely with quantisation step `Q`. The gain `g` is learnt
+//! online per frame type with an exponential moving average, so the
+//! controller converges onto a content-specific model within a few frames —
+//! this is the "rate-adaptive codec implementation" that LiVo's direct
+//! bandwidth adaptation assumes (§3.3).
+
+use crate::encoder::FrameType;
+use crate::quant::{self, QP_MAX, QP_MIN};
+
+/// Online rate model + QP chooser.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    /// Model gain for intra frames: bits per (complexity / qstep).
+    gain_intra: f64,
+    /// Model gain for inter frames.
+    gain_inter: f64,
+    /// EWMA smoothing factor for gain updates.
+    alpha: f64,
+    /// Accumulated bit debt (positive = we overspent) nudging later frames.
+    debt_bits: f64,
+}
+
+impl Default for RateController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RateController {
+    pub fn new() -> Self {
+        // Initial gains are rough priors; they converge within a few frames.
+        RateController { gain_intra: 1.2, gain_inter: 0.6, alpha: 0.35, debt_bits: 0.0 }
+    }
+
+    fn gain(&self, ft: FrameType) -> f64 {
+        match ft {
+            FrameType::Intra => self.gain_intra,
+            FrameType::Inter => self.gain_inter,
+        }
+    }
+
+    /// Pick the QP whose step size best matches the bit budget under the
+    /// current model. `complexity` is the encoder's activity measure times
+    /// nothing — the gain absorbs scale, so only consistency matters.
+    pub fn pick_qp(
+        &self,
+        ft: FrameType,
+        complexity: f64,
+        target_bits: f64,
+        qp_min: u8,
+        qp_max: u8,
+    ) -> u8 {
+        let qp_min = qp_min.max(QP_MIN);
+        let qp_max = qp_max.min(QP_MAX);
+        // Pay down (or up) a third of the debt this frame.
+        let adjusted = (target_bits - self.debt_bits / 3.0).max(target_bits * 0.1);
+        let desired_step = (self.gain(ft) * complexity / adjusted).max(1e-9);
+        // Invert qstep(qp) = 0.625 · 2^(qp/6).
+        let qp = 6.0 * (desired_step / 0.625).log2();
+        (qp.round().clamp(qp_min as f64, qp_max as f64)) as u8
+    }
+
+    /// Feed back the result of an encode to refine the model.
+    pub fn update(&mut self, ft: FrameType, complexity: f64, actual_bits: f64, qp: u8) {
+        let step = quant::qstep(qp) as f64;
+        if complexity > 1e-9 && actual_bits > 0.0 {
+            let observed_gain = actual_bits * step / complexity;
+            let g = match ft {
+                FrameType::Intra => &mut self.gain_intra,
+                FrameType::Inter => &mut self.gain_inter,
+            };
+            *g = (1.0 - self.alpha) * *g + self.alpha * observed_gain;
+        }
+    }
+
+    /// Record target-vs-actual of a delivered frame to build up debt.
+    pub fn settle(&mut self, target_bits: f64, actual_bits: f64) {
+        self.debt_bits = 0.7 * self.debt_bits + (actual_bits - target_bits);
+    }
+
+    /// Current bit debt (positive = overspent recently).
+    pub fn debt(&self) -> f64 {
+        self.debt_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_target_means_lower_qp() {
+        let rc = RateController::new();
+        let c = 5.0 * 1e6; // per-pixel activity × pixels
+        let qp_small = rc.pick_qp(FrameType::Inter, c, 10_000.0, 0, 51);
+        let qp_big = rc.pick_qp(FrameType::Inter, c, 1_000_000.0, 0, 51);
+        assert!(qp_big < qp_small, "{qp_big} !< {qp_small}");
+    }
+
+    #[test]
+    fn higher_complexity_means_higher_qp() {
+        let rc = RateController::new();
+        let qp_calm = rc.pick_qp(FrameType::Inter, 1.0e6, 100_000.0, 0, 51);
+        let qp_busy = rc.pick_qp(FrameType::Inter, 50.0e6, 100_000.0, 0, 51);
+        assert!(qp_busy > qp_calm);
+    }
+
+    #[test]
+    fn qp_respects_bounds() {
+        let rc = RateController::new();
+        assert!(rc.pick_qp(FrameType::Intra, 1000.0, 10.0, 10, 40) <= 40);
+        assert!(rc.pick_qp(FrameType::Intra, 0.001, 1e12, 10, 40) >= 10);
+    }
+
+    #[test]
+    fn update_converges_model_toward_observations() {
+        let mut rc = RateController::new();
+        // Pretend the true relationship is bits = 2.0 * C / Q.
+        let true_gain = 2.0;
+        let complexity = 8.0e6;
+        for _ in 0..30 {
+            let qp = rc.pick_qp(FrameType::Inter, complexity, 50_000.0, 0, 51);
+            let step = quant::qstep(qp) as f64;
+            let actual = true_gain * complexity / step;
+            rc.update(FrameType::Inter, complexity, actual, qp);
+        }
+        assert!((rc.gain_inter - true_gain).abs() / true_gain < 0.1, "gain {}", rc.gain_inter);
+    }
+
+    #[test]
+    fn debt_raises_qp() {
+        let mut rc = RateController::new();
+        let base = rc.pick_qp(FrameType::Inter, 5.0e6, 100_000.0, 0, 51);
+        rc.settle(100_000.0, 400_000.0); // overshoot → debt
+        assert!(rc.debt() > 0.0);
+        let after = rc.pick_qp(FrameType::Inter, 5.0e6, 100_000.0, 0, 51);
+        assert!(after >= base);
+    }
+
+    #[test]
+    fn intra_and_inter_models_are_separate() {
+        let mut rc = RateController::new();
+        rc.update(FrameType::Intra, 10.0, 1e6, 20);
+        let gi = rc.gain_intra;
+        let gp = rc.gain_inter;
+        rc.update(FrameType::Inter, 10.0, 1e4, 20);
+        assert_eq!(gi, rc.gain_intra);
+        assert_ne!(gp, rc.gain_inter);
+    }
+}

@@ -1,0 +1,68 @@
+//! The offline-profile workflow: build → serialise → reload → decide.
+//!
+//! MeshReduce ships its offline profiles with the videos; Draco-Oracle's
+//! table is computed in a separate offline pass. Both rely on profiles
+//! being serialisable and stable.
+
+use livo_codec3d::{QuantBits, RateProfile};
+use livo_math::Vec3;
+use livo_pointcloud::{Point, PointCloud};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn cloud(n: usize, seed: u64) -> PointCloud {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                Vec3::new(
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(0.0..2.0),
+                    rng.gen_range(-2.0..2.0),
+                ),
+                [rng.gen(), rng.gen(), rng.gen()],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn profile_round_trips_through_json() {
+    let c = cloud(600, 5);
+    let p = RateProfile::build(&[&c]);
+    let json = serde_json::to_string(&p).unwrap();
+    let p2: RateProfile = serde_json::from_str(&json).unwrap();
+    assert_eq!(p.entries.len(), p2.entries.len());
+    // Decisions made from the reloaded profile are identical.
+    for (budget, deadline) in [(5e6, 33.0), (2e7, 66.0), (1e5, 15.0)] {
+        let a = p.best_fitting(200_000, budget, deadline).map(|e| (e.quant_bits, e.level));
+        let b = p2.best_fitting(200_000, budget, deadline).map(|e| (e.quant_bits, e.level));
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn profile_predictions_track_real_sizes() {
+    // The profile's bits-per-point, applied to a *different* cloud of the
+    // same character, should predict the real encoded size within ~40%.
+    let train = cloud(800, 1);
+    let test = cloud(1500, 2);
+    let p = RateProfile::build(&[&train]);
+    for entry in p.entries.iter().step_by(11) {
+        let params = livo_codec3d::DracoParams {
+            quant_bits: QuantBits(entry.quant_bits),
+            level: entry.level,
+            color_bits: 8,
+        };
+        let enc = livo_codec3d::DracoEncoder::encode(&test, params).unwrap();
+        let predicted = RateProfile::predicted_bits(entry, test.len());
+        let actual = enc.bits() as f64;
+        let ratio = predicted / actual;
+        assert!(
+            (0.6..=1.7).contains(&ratio),
+            "q{} L{}: predicted {predicted:.0} vs actual {actual:.0}",
+            entry.quant_bits,
+            entry.level
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the octree codec: round-trip bounds, determinism,
+//! and monotonicity of the rate/quality knobs.
+
+use livo_codec3d::{DracoDecoder, DracoEncoder, DracoParams, QuantBits};
+use livo_math::Vec3;
+use livo_pointcloud::{Point, PointCloud, VoxelIndex};
+use proptest::prelude::*;
+
+fn arb_cloud(max_points: usize) -> impl Strategy<Value = PointCloud> {
+    proptest::collection::vec(
+        (
+            -3.0f32..3.0,
+            -0.5f32..2.5,
+            -3.0f32..3.0,
+            any::<u8>(),
+            any::<u8>(),
+            any::<u8>(),
+        ),
+        1..max_points,
+    )
+    .prop_map(|pts| {
+        pts.into_iter()
+            .map(|(x, y, z, r, g, b)| Point::new(Vec3::new(x, y, z), [r, g, b]))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Decoded geometry error is bounded by the quantisation cell diagonal.
+    #[test]
+    fn geometry_error_bounded(cloud in arb_cloud(300), bits in 6u8..13) {
+        let params = DracoParams { quant_bits: QuantBits(bits), level: 7, color_bits: 8 };
+        let Some(enc) = DracoEncoder::encode(&cloud, params) else {
+            return Ok(());
+        };
+        let dec = DracoDecoder::decode(&enc.data).unwrap();
+        prop_assert!(!dec.is_empty());
+        let (lo, hi) = cloud.bounds().unwrap();
+        let extent = (hi - lo).max_element().max(1e-6);
+        let cell = extent / (1u32 << bits) as f32;
+        let max_err = cell * 3f32.sqrt(); // cell diagonal
+        let idx = VoxelIndex::build(&cloud, (extent / 8.0).max(0.05));
+        for p in &dec.points {
+            let n = idx.nearest(p.position).unwrap();
+            let d = cloud.points[n as usize].position.distance(p.position);
+            prop_assert!(d <= max_err + 1e-5, "err {d} > {max_err} at {bits} bits");
+        }
+    }
+
+    /// Encoding is deterministic: same input, same bytes.
+    #[test]
+    fn encoding_is_deterministic(cloud in arb_cloud(200), bits in 5u8..14, level in 0u8..10) {
+        let params = DracoParams { quant_bits: QuantBits(bits), level, color_bits: 8 };
+        let a = DracoEncoder::encode(&cloud, params).map(|e| e.data);
+        let b = DracoEncoder::encode(&cloud, params).map(|e| e.data);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The decoder never panics on truncation of a valid stream.
+    #[test]
+    fn truncation_never_panics(cloud in arb_cloud(100), cut in 0usize..200) {
+        let enc = DracoEncoder::encode(&cloud, DracoParams::default()).unwrap();
+        let n = enc.data.len();
+        let cut = cut.min(n);
+        let _ = DracoDecoder::decode(&enc.data[..n - cut]);
+    }
+
+    /// Decoded point count equals the merged-cell count reported by the
+    /// encoder.
+    #[test]
+    fn point_counts_agree(cloud in arb_cloud(300), bits in 5u8..13) {
+        let params = DracoParams { quant_bits: QuantBits(bits), level: 4, color_bits: 8 };
+        let enc = DracoEncoder::encode(&cloud, params).unwrap();
+        let dec = DracoDecoder::decode(&enc.data).unwrap();
+        prop_assert_eq!(dec.len(), enc.points_coded);
+        prop_assert!(dec.len() <= cloud.len());
+    }
+}
+
+#[test]
+fn rate_quality_tradeoff_is_monotone_on_average() {
+    // Across a dense structured cloud, finer quantisation must cost more
+    // bits and deliver lower geometric error.
+    let mut cloud = PointCloud::new();
+    for i in 0..40 {
+        for j in 0..40 {
+            let (x, z) = (i as f32 * 0.05, j as f32 * 0.05);
+            let y = 0.3 * (x * 3.0).sin() + 0.2 * (z * 4.0).cos();
+            cloud.push(Point::new(Vec3::new(x, y, z), [(i * 6) as u8, (j * 6) as u8, 100]));
+        }
+    }
+    let mut last_bits = 0u64;
+    let mut last_err = f64::INFINITY;
+    for bits in [6u8, 9, 12] {
+        let params = DracoParams { quant_bits: QuantBits(bits), level: 7, color_bits: 8 };
+        let enc = DracoEncoder::encode(&cloud, params).unwrap();
+        let dec = DracoDecoder::decode(&enc.data).unwrap();
+        let err = livo_pointcloud::p2p_rmse(&cloud, &dec, 0.2).unwrap();
+        assert!(enc.bits() > last_bits, "{bits} bits: size must grow");
+        assert!(err < last_err, "{bits} bits: error must shrink");
+        last_bits = enc.bits();
+        last_err = err;
+    }
+}

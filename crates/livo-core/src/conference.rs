@@ -1,0 +1,696 @@
+//! The end-to-end conference runner: scene → sender → network → receiver.
+//!
+//! This is the replay harness of §4.1 of the paper: RGB-D frames are
+//! produced at 30 fps (here: rendered from a scene preset), fed through the
+//! LiVo sender (cull → tile → depth-encode → rate-adaptive 2D encode),
+//! transmitted over the emulated WebRTC session against a bandwidth trace,
+//! decoded, reconstructed and "displayed" at the receiver, whose pose
+//! follows a user trace. Config flags turn off culling (LiVo-NoCull),
+//! adaptation (LiVo-NoAdapt), pin a static split (Figs. 18–19), switch the
+//! depth encoding (Fig. 17), or use oracle frustums (§4.5).
+//!
+//! Everything runs in virtual time; wall-clock is only measured to report
+//! per-component processing latency (Table 6).
+
+use crate::cull::{cull_views, CullStats};
+use crate::depth::{depth_mse_mm, DepthCodec, DepthEncoding};
+use crate::frustum_pred::FrustumPredictor;
+use crate::reconstruct::{prepare_for_render, reconstruct_point_cloud};
+use crate::splitter::{BandwidthSplitter, SplitterConfig};
+use crate::tile::{compose_color, compose_depth, read_seq, write_seq, TileLayout};
+use bytes::Bytes;
+use livo_capture::{
+    datasets::DatasetPreset, render::render_rgbd_at, rig, BandwidthTrace, RgbdFrame, UserTrace,
+    VideoId,
+};
+use livo_codec2d::{Decoder, Encoder, EncoderConfig, Frame, PixelFormat};
+use livo_math::FrustumParams;
+use livo_pointcloud::{pssim, PointCloud, PssimConfig, PssimScore};
+use livo_transport::{Micros, RtcSession, SessionConfig, StreamId};
+use std::time::Instant;
+
+/// Configuration of one conference replay.
+#[derive(Debug, Clone)]
+pub struct ConferenceConfig {
+    pub video: VideoId,
+    /// Camera resolution scale (1.0 = full Kinect 640×576; evaluation runs
+    /// use ~0.1–0.2 to keep experiments tractable without GPUs).
+    pub camera_scale: f32,
+    pub n_cameras: usize,
+    /// Replay length in seconds (a prefix of the video).
+    pub duration_s: f32,
+    pub fps: u32,
+    /// Sender-side predictive culling (off = LiVo-NoCull).
+    pub cull: bool,
+    /// Direct rate adaptation (off = LiVo-NoAdapt, fixed QPs below).
+    pub adapt: bool,
+    pub fixed_color_qp: u8,
+    pub fixed_depth_qp: u8,
+    pub depth_encoding: DepthEncoding,
+    /// Frustum guard band ε in metres.
+    pub guard_m: f32,
+    /// Use the receiver's *true* pose for culling (perfect-culling oracle).
+    pub perfect_cull: bool,
+    pub splitter: SplitterConfig,
+    /// Pin the split to a constant (Figs. 18–19's static splits).
+    pub static_split: Option<f64>,
+    pub session: SessionConfig,
+    /// Receiver render voxel size in metres.
+    pub voxel_m: f32,
+    /// Compute PSSIM on every n-th display slot (the expensive part; the
+    /// paper logs clouds and scores offline).
+    pub quality_every: u32,
+    /// Fraction of the bandwidth estimate budgeted to media (headroom for
+    /// packet headers and retransmissions).
+    pub budget_fraction: f64,
+    pub user_trace_seed: u64,
+    pub user_trace_style: usize,
+}
+
+impl ConferenceConfig {
+    /// LiVo defaults at evaluation scale for a given video.
+    pub fn livo(video: VideoId) -> Self {
+        ConferenceConfig {
+            video,
+            camera_scale: 0.15,
+            n_cameras: 10,
+            duration_s: 10.0,
+            fps: 30,
+            cull: true,
+            adapt: true,
+            fixed_color_qp: 22,
+            fixed_depth_qp: 14,
+            depth_encoding: DepthEncoding::ScaledY16,
+            guard_m: 0.2,
+            perfect_cull: false,
+            splitter: SplitterConfig::default(),
+            static_split: None,
+            session: SessionConfig::default(),
+            voxel_m: 0.03,
+            quality_every: 15,
+            budget_fraction: 0.80,
+            user_trace_seed: 11,
+            user_trace_style: 0,
+        }
+    }
+
+    /// The LiVo-NoCull baseline (§4.1).
+    pub fn livo_nocull(video: VideoId) -> Self {
+        ConferenceConfig { cull: false, ..Self::livo(video) }
+    }
+
+    /// The LiVo-NoAdapt baseline (§4.5: fixed colour QP 22, depth QP 14).
+    pub fn livo_noadapt(video: VideoId) -> Self {
+        ConferenceConfig { adapt: false, cull: false, ..Self::livo(video) }
+    }
+}
+
+/// One display-slot record.
+#[derive(Debug, Clone)]
+pub struct FrameRecord {
+    /// Display slot index (30 per second).
+    pub slot: u64,
+    /// Sequence number of the new frame shown in this slot (`None` = the
+    /// previous frame was re-shown: a stall).
+    pub shown_seq: Option<u32>,
+    /// Quality scores, when sampled this slot.
+    pub pssim: Option<PssimScore>,
+}
+
+/// Per-component mean processing times (Table 6), in milliseconds of
+/// wall-clock on *this* machine at the configured scale.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    pub capture_ms: f64,
+    pub cull_ms: f64,
+    pub tile_ms: f64,
+    pub encode_ms: f64,
+    pub decode_ms: f64,
+    pub reconstruct_ms: f64,
+    pub render_prep_ms: f64,
+}
+
+/// Summary of one replay.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    pub records: Vec<FrameRecord>,
+    /// Stall rate: slots with nothing new to show / total slots.
+    pub stall_rate: f64,
+    /// Delivered display rate in frames/second.
+    pub mean_fps: f64,
+    /// Mean PSSIM geometry/colour over sampled slots, stalls scored 0
+    /// (§4.3: "we use a PSSIM of 0 for frames that experience stalls").
+    pub pssim_geometry: f64,
+    pub pssim_color: f64,
+    /// Same, excluding stalled slots (Fig. 12's no-stall view).
+    pub pssim_geometry_no_stall: f64,
+    pub pssim_color_no_stall: f64,
+    /// Receiver goodput in Mbps.
+    pub throughput_mbps: f64,
+    /// Mean capacity of the trace over the replay, Mbps.
+    pub mean_capacity_mbps: f64,
+    /// Mean transport latency (send→playout), ms.
+    pub transport_latency_ms: f64,
+    /// Mean split over the run.
+    pub mean_split: f64,
+    /// Mean fraction of valid pixels kept by the cull (1.0 without cull).
+    pub mean_keep_fraction: f64,
+    pub timings: StageTimings,
+    /// Total wire bits offered by the sender (both streams).
+    pub bits_sent: u64,
+}
+
+impl RunSummary {
+    /// Bandwidth utilisation (Table 1): goodput / mean capacity.
+    pub fn utilization(&self) -> f64 {
+        if self.mean_capacity_mbps <= 0.0 {
+            0.0
+        } else {
+            self.throughput_mbps / self.mean_capacity_mbps
+        }
+    }
+}
+
+/// The runner.
+pub struct ConferenceRunner {
+    cfg: ConferenceConfig,
+    preset: DatasetPreset,
+    cameras: Vec<livo_math::RgbdCamera>,
+    layout: TileLayout,
+    user_trace: UserTrace,
+}
+
+impl ConferenceRunner {
+    pub fn new(cfg: ConferenceConfig) -> Self {
+        let preset = DatasetPreset::load(cfg.video);
+        let cameras = rig::camera_ring(
+            cfg.n_cameras,
+            2.5,
+            1.4,
+            livo_math::Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(cfg.camera_scale),
+        );
+        let k = cameras[0].intrinsics;
+        let layout = TileLayout::new(k.width as usize, k.height as usize, cfg.n_cameras);
+        let styles = livo_capture::usertrace::TraceStyle::ALL;
+        let style = styles[cfg.user_trace_style % styles.len()];
+        let user_trace = UserTrace::generate(style, cfg.duration_s + 5.0, cfg.user_trace_seed);
+        ConferenceRunner { cfg, preset, cameras, layout, user_trace }
+    }
+
+    pub fn layout(&self) -> &TileLayout {
+        &self.layout
+    }
+
+    pub fn config(&self) -> &ConferenceConfig {
+        &self.cfg
+    }
+
+    /// Run the replay against the given bandwidth trace.
+    pub fn run(&self, net_trace: BandwidthTrace) -> RunSummary {
+        let cfg = &self.cfg;
+        let frame_interval: Micros = 1_000_000 / cfg.fps as u64;
+        let total_frames = (cfg.duration_s * cfg.fps as f32) as u64;
+        let depth_codec = DepthCodec::new(6000, cfg.depth_encoding);
+
+        // Encoders/decoders for the two streams. RGB-packed depth rides the
+        // colour pixel format.
+        let depth_format = match cfg.depth_encoding {
+            DepthEncoding::RgbPacked => PixelFormat::Yuv420,
+            _ => PixelFormat::Y16,
+        };
+        // Open-ended GOP: like the paper's deployment, intra frames are sent
+        // only at start-up and on PLI/FIR (§A.1) — periodic keyframes would
+        // burst above the rate target and cause rhythmic stalls.
+        let mut color_cfg =
+            EncoderConfig::new(self.layout.canvas_w, self.layout.canvas_h, PixelFormat::Yuv420);
+        color_cfg.gop_length = 0;
+        let mut depth_cfg =
+            EncoderConfig::new(self.layout.canvas_w, self.layout.canvas_h, depth_format);
+        depth_cfg.gop_length = 0;
+        let mut color_enc = Encoder::new(color_cfg);
+        let mut depth_enc = Encoder::new(depth_cfg);
+        let mut color_dec = Decoder::new();
+        let mut depth_dec = Decoder::new();
+
+        let mut session = RtcSession::new(net_trace.clone(), cfg.session.clone());
+        let mut splitter = BandwidthSplitter::new(cfg.splitter);
+        let mut predictor = FrustumPredictor::new(FrustumParams::default(), cfg.guard_m);
+
+        let mut timings = StageTimings::default();
+        let mut keep_frac_sum = 0.0;
+        let mut keep_frac_n = 0u64;
+        let mut split_sum = 0.0;
+        let mut quality_samples = 0u64;
+
+        // Receiver state: a small reorder window per stream so colour and
+        // depth frames are matched by embedded sequence number even when
+        // the (larger) depth frames complete a beat later (§A.1's
+        // synchronisation step).
+        let mut last_color: std::collections::BTreeMap<u32, Frame> = Default::default();
+        let mut last_depth: std::collections::BTreeMap<u32, Frame> = Default::default();
+        let mut expected_frame: [u64; 2] = [0, 0];
+        let mut need_key = [false, false];
+        let mut displayed_seq: Option<u32> = None;
+        let mut records: Vec<FrameRecord> = Vec::new();
+        let mut force_key_next = false;
+
+        // Display clock starts after the jitter target plus pipeline fill.
+        let display_start: Micros = cfg.session.jitter_target + 3 * frame_interval;
+        let mut next_display: Micros = display_start;
+        let mut slot: u64 = 0;
+
+        let mut now: Micros = 0;
+        for frame_idx in 0..total_frames {
+            let t_s = frame_idx as f32 / cfg.fps as f32;
+
+            // --- capture (render the camera array) ---
+            let t0 = Instant::now();
+            let snap = self.preset.scene.at(t_s);
+            let mut views: Vec<RgbdFrame> = self
+                .cameras
+                .iter()
+                .map(|c| render_rgbd_at(c, &snap, frame_idx as u32))
+                .collect();
+            timings.capture_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+            // --- sender: pose feedback + frustum prediction + cull ---
+            let owd_s = session.one_way_delay_us() / 1e6;
+            // The sender sees receiver poses delayed by the feedback path.
+            let feedback_pose = self.user_trace.pose_at_time((t_s - owd_s as f32).max(0.0));
+            predictor.observe(&feedback_pose);
+            predictor.observe_rtt(2.0 * owd_s + 0.03); // + processing slack
+            let t0 = Instant::now();
+            if cfg.cull {
+                let frustum = if cfg.perfect_cull {
+                    let display_pose =
+                        self.user_trace.pose_at_time(t_s + predictor.horizon_s() as f32);
+                    predictor.exact_frustum(&display_pose, cfg.guard_m)
+                } else {
+                    predictor.predicted_frustum()
+                };
+                let stats: CullStats = cull_views(&mut views, &self.cameras, &frustum);
+                keep_frac_sum += stats.keep_fraction();
+                keep_frac_n += 1;
+            }
+            timings.cull_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+            // --- tile ---
+            let t0 = Instant::now();
+            let seq = frame_idx as u32;
+            let color_canvas = compose_color(&views, &self.layout, seq);
+            let depth_canvas = match cfg.depth_encoding {
+                DepthEncoding::RgbPacked => {
+                    let mut mm = vec![0u16; self.layout.canvas_w * self.layout.canvas_h];
+                    for (i, v) in views.iter().enumerate() {
+                        let (ox, oy) = self.layout.slot_origin(i);
+                        for y in 0..v.height {
+                            for x in 0..v.width {
+                                mm[(oy + y) * self.layout.canvas_w + ox + x] =
+                                    v.depth_mm[y * v.width + x];
+                            }
+                        }
+                    }
+                    let mut f =
+                        depth_codec.pack_rgb(&mm, self.layout.canvas_w, self.layout.canvas_h);
+                    write_seq(&mut f.planes[0], seq, 255);
+                    f
+                }
+                _ => compose_depth(&views, &self.layout, &depth_codec, seq),
+            };
+            timings.tile_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+            // --- bandwidth split + encode ---
+            let estimate = session.estimate_bps();
+            let media_budget = estimate * cfg.budget_fraction / cfg.fps as f64;
+            let split = cfg.static_split.unwrap_or(splitter.split());
+            split_sum += split;
+            let depth_bits = (media_budget * split) as u64;
+            let color_bits = (media_budget * (1.0 - split)) as u64;
+
+            if force_key_next {
+                color_enc.force_keyframe();
+                depth_enc.force_keyframe();
+                force_key_next = false;
+            }
+            let t0 = Instant::now();
+            let color_out = if cfg.adapt {
+                color_enc.encode(&color_canvas, color_bits.max(2_000))
+            } else {
+                color_enc.encode_fixed_qp(&color_canvas, cfg.fixed_color_qp)
+            };
+            let depth_out = if cfg.adapt {
+                depth_enc.encode(&depth_canvas, depth_bits.max(2_000))
+            } else {
+                depth_enc.encode_fixed_qp(&depth_canvas, cfg.fixed_depth_qp)
+            };
+            timings.encode_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+            // --- splitter feedback (the sender's own-decode comes free from
+            //     the codec's closed loop: reconstruction == decoder output) ---
+            if cfg.static_split.is_none() && cfg.adapt && splitter.measurement_due() {
+                let rmse_c = livo_codec2d::luma_rmse(&color_canvas, &color_out.reconstruction);
+                let rmse_d = match cfg.depth_encoding {
+                    DepthEncoding::RgbPacked => {
+                        let truth = depth_codec.unpack_rgb(&depth_canvas);
+                        let got = depth_codec.unpack_rgb(&depth_out.reconstruction);
+                        depth_mse_mm(&truth, &got).sqrt()
+                    }
+                    _ => {
+                        // Per-sample RMSE in millimetres on the Y16 canvas.
+                        let a = &depth_canvas.planes[0].data;
+                        let b = &depth_out.reconstruction.planes[0].data;
+                        let scale = depth_codec.scale() as f64;
+                        let mse = a
+                            .iter()
+                            .zip(b.iter())
+                            .map(|(&x, &y)| {
+                                let d = (x as f64 - y as f64) / scale;
+                                d * d
+                            })
+                            .sum::<f64>()
+                            / a.len() as f64;
+                        mse.sqrt()
+                    }
+                };
+                splitter.update(rmse_d, rmse_c);
+            }
+
+            if std::env::var("LIVO_DEBUG").is_ok() {
+                eprintln!(
+                    "frame {frame_idx}: est={:.2}Mbps cbits={} dbits={} -> actual c={} d={} key={:?}",
+                    estimate / 1e6,
+                    color_bits,
+                    depth_bits,
+                    color_out.data.len() * 8,
+                    depth_out.data.len() * 8,
+                    color_out.frame_type
+                );
+            }
+            // --- transmit ---
+            session.send_frame(
+                now,
+                StreamId::Color,
+                frame_idx,
+                Bytes::from(color_out.data.clone()),
+                color_out.frame_type == livo_codec2d::FrameType::Intra,
+            );
+            session.send_frame(
+                now,
+                StreamId::Depth,
+                frame_idx,
+                Bytes::from(depth_out.data.clone()),
+                depth_out.frame_type == livo_codec2d::FrameType::Intra,
+            );
+
+            // --- advance virtual time one frame interval ---
+            let frame_end = now + frame_interval;
+            while now < frame_end {
+                session.tick(now);
+                if session.take_pli(now) {
+                    force_key_next = true;
+                }
+                for af in session.recv_frames() {
+                    let (sidx, dec, window) = match af.stream {
+                        StreamId::Color => (0usize, &mut color_dec, &mut last_color),
+                        StreamId::Depth => (1usize, &mut depth_dec, &mut last_depth),
+                        StreamId::Control => continue,
+                    };
+                    // Loss handling: a frame-id gap breaks the P chain.
+                    if af.frame_id != expected_frame[sidx] && !af.keyframe {
+                        dec.reset();
+                        need_key[sidx] = true;
+                        expected_frame[sidx] = af.frame_id + 1;
+                        force_key_next = true;
+                        continue;
+                    }
+                    if need_key[sidx] && !af.keyframe {
+                        expected_frame[sidx] = af.frame_id + 1;
+                        continue;
+                    }
+                    expected_frame[sidx] = af.frame_id + 1;
+                    need_key[sidx] = false;
+                    let t0 = Instant::now();
+                    match dec.decode(&af.data) {
+                        Ok(frame) => {
+                            let peak = frame.format.peak_value();
+                            let got_seq = read_seq(&frame.planes[0], peak);
+                            window.insert(got_seq, frame);
+                            while window.len() > 6 {
+                                let oldest = *window.keys().next().unwrap();
+                                window.remove(&oldest);
+                            }
+                        }
+                        Err(_) => {
+                            dec.reset();
+                            need_key[sidx] = true;
+                            force_key_next = true;
+                        }
+                    }
+                    timings.decode_ms += t0.elapsed().as_secs_f64() * 1e3;
+                }
+
+                // Display clock: one slot per frame interval; a slot with no
+                // *new* synchronised pair is a stall (§A.1: if both frames
+                // have not been decoded in time, LiVo skips the frame).
+                if now >= next_display {
+                    // The newest sequence number present in *both* windows.
+                    let have = last_color
+                        .keys()
+                        .rev()
+                        .find(|s| last_depth.contains_key(s))
+                        .copied();
+                    let is_new = have.is_some() && have != displayed_seq;
+                    if !is_new && std::env::var("LIVO_DEBUG").is_ok() {
+                        eprintln!(
+                            "stall slot {slot} t={:.2}s: color={:?} depth={:?} displayed={:?}",
+                            now as f64 / 1e6,
+                            last_color.keys().next_back(),
+                            last_depth.keys().next_back(),
+                            displayed_seq
+                        );
+                    }
+                    let shown = if is_new { have } else { None };
+                    let mut rec = FrameRecord { slot, shown_seq: shown, pssim: None };
+                    if is_new {
+                        displayed_seq = have;
+                        if slot % cfg.quality_every as u64 == 0 {
+                            let cs = have.unwrap();
+                            let color_frame = &last_color[&cs];
+                            let depth_frame = &last_depth[&cs];
+                            rec.pssim = self.score_frame(
+                                cs,
+                                color_frame,
+                                depth_frame,
+                                &depth_codec,
+                                now,
+                                &mut timings,
+                            );
+                            quality_samples += 1;
+                        }
+                    }
+                    records.push(rec);
+                    slot += 1;
+                    next_display += frame_interval;
+                }
+                now += 1_000;
+            }
+        }
+
+        // Summarise.
+        let displayed = records.iter().filter(|r| r.shown_seq.is_some()).count();
+        let stall_rate = if records.is_empty() {
+            0.0
+        } else {
+            1.0 - displayed as f64 / records.len() as f64
+        };
+        let sampled: Vec<&FrameRecord> =
+            records.iter().filter(|r| r.slot % cfg.quality_every as u64 == 0).collect();
+        let mut g_sum = 0.0;
+        let mut c_sum = 0.0;
+        let mut g_ok = 0.0;
+        let mut c_ok = 0.0;
+        let mut n_ok = 0u64;
+        for r in &sampled {
+            if let Some(s) = r.pssim {
+                g_sum += s.geometry;
+                c_sum += s.color;
+                g_ok += s.geometry;
+                c_ok += s.color;
+                n_ok += 1;
+            }
+        }
+        let n_sampled = sampled.len().max(1) as f64;
+        let duration = cfg.duration_s as f64;
+        let mean_fps = displayed as f64 / (records.len().max(1) as f64 / cfg.fps as f64);
+        let trace_mean = net_trace.stats().mean;
+
+        let n = total_frames.max(1) as f64;
+        timings.capture_ms /= n;
+        timings.cull_ms /= n;
+        timings.tile_ms /= n;
+        timings.encode_ms /= n;
+        let decoded = displayed.max(1) as f64;
+        timings.decode_ms /= decoded;
+        let q = quality_samples.max(1) as f64;
+        timings.reconstruct_ms /= q;
+        timings.render_prep_ms /= q;
+
+        RunSummary {
+            stall_rate,
+            mean_fps,
+            pssim_geometry: g_sum / n_sampled,
+            pssim_color: c_sum / n_sampled,
+            pssim_geometry_no_stall: if n_ok > 0 { g_ok / n_ok as f64 } else { 0.0 },
+            pssim_color_no_stall: if n_ok > 0 { c_ok / n_ok as f64 } else { 0.0 },
+            throughput_mbps: session.stats().throughput_mbps(duration),
+            mean_capacity_mbps: trace_mean,
+            transport_latency_ms: session.stats().mean_latency_ms(),
+            mean_split: split_sum / total_frames.max(1) as f64,
+            mean_keep_fraction: if keep_frac_n > 0 {
+                keep_frac_sum / keep_frac_n as f64
+            } else {
+                1.0
+            },
+            timings,
+            bits_sent: session.stats().bits_sent,
+            records,
+        }
+    }
+
+    /// Score a displayed frame against ground truth: reconstruct the
+    /// received cloud, rebuild the pristine cloud for the same source
+    /// frame, cull both to the viewer's current frustum, compare.
+    fn score_frame(
+        &self,
+        seq: u32,
+        color_frame: &Frame,
+        depth_frame: &Frame,
+        depth_codec: &DepthCodec,
+        now: Micros,
+        timings: &mut StageTimings,
+    ) -> Option<PssimScore> {
+        let cfg = &self.cfg;
+        let t0 = Instant::now();
+        let received = match cfg.depth_encoding {
+            DepthEncoding::RgbPacked => {
+                let mm = depth_codec.unpack_rgb(depth_frame);
+                let y16 = Frame::from_y16(self.layout.canvas_w, self.layout.canvas_h, mm);
+                let raw = DepthCodec::new(6000, DepthEncoding::RawY16);
+                reconstruct_point_cloud(color_frame, &y16, &self.layout, &self.cameras, &raw)
+            }
+            _ => reconstruct_point_cloud(
+                color_frame,
+                depth_frame,
+                &self.layout,
+                &self.cameras,
+                depth_codec,
+            ),
+        };
+        timings.reconstruct_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+        // Ground truth: re-render the source views for this seq.
+        let t_s = seq as f32 / cfg.fps as f32;
+        let snap = self.preset.scene.at(t_s);
+        let mut truth = PointCloud::new();
+        for cam in &self.cameras {
+            // Same time key as the capture of this seq: the "ground truth"
+            // is what the sensor actually measured, noise included.
+            let v = render_rgbd_at(cam, &snap, seq);
+            for y in 0..v.height {
+                for x in 0..v.width {
+                    let d = v.depth_mm[y * v.width + x];
+                    if d == 0 {
+                        continue;
+                    }
+                    if let Some(w) = cam.pixel_to_world(x as u32, y as u32, d) {
+                        truth.push(livo_pointcloud::Point::new(w, v.rgb_at(x, y)));
+                    }
+                }
+            }
+        }
+
+        // Current viewer frustum at display time.
+        let display_t = now as f32 / 1e6;
+        let viewer = self.user_trace.pose_at_time(display_t);
+        let frustum = livo_math::Frustum::from_params(&viewer, &FrustumParams::default());
+        let t0 = Instant::now();
+        let shown = prepare_for_render(&received, cfg.voxel_m, &frustum);
+        let reference = prepare_for_render(&truth, cfg.voxel_m, &frustum);
+        timings.render_prep_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+        let pcfg = PssimConfig {
+            neighbors: 6,
+            cell_size: cfg.voxel_m * 3.0,
+            curvature_weight: 0.3,
+        };
+        pssim(&reference, &shown, &pcfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ConferenceConfig {
+        let mut cfg = ConferenceConfig::livo(VideoId::Toddler4);
+        cfg.camera_scale = 0.08;
+        cfg.n_cameras = 4;
+        cfg.duration_s = 3.0;
+        cfg.quality_every = 30;
+        cfg
+    }
+
+    #[test]
+    fn livo_runs_end_to_end_with_quality() {
+        let runner = ConferenceRunner::new(quick_cfg());
+        let trace = BandwidthTrace::constant(60.0, 10.0);
+        let s = runner.run(trace);
+        assert!(s.mean_fps > 20.0, "fps {}", s.mean_fps);
+        assert!(s.stall_rate < 0.35, "stalls {}", s.stall_rate);
+        assert!(s.pssim_geometry_no_stall > 50.0, "geometry {}", s.pssim_geometry_no_stall);
+        assert!(s.bits_sent > 0);
+        assert!(s.mean_split >= 0.5 && s.mean_split <= 0.9);
+        assert!(s.mean_keep_fraction < 1.0, "culling engaged");
+    }
+
+    #[test]
+    fn nocull_keeps_everything() {
+        let mut cfg = quick_cfg();
+        cfg.cull = false;
+        let trace = BandwidthTrace::constant(60.0, 10.0);
+        let s = ConferenceRunner::new(cfg).run(trace);
+        assert_eq!(s.mean_keep_fraction, 1.0);
+        assert!(s.mean_fps > 15.0);
+    }
+
+    #[test]
+    fn noadapt_overruns_low_bandwidth() {
+        // pizza1's motion keeps fixed-QP P-frames large; a link well below
+        // their natural rate (~2 Mbps at this scale) forces stalls.
+        let mut cfg = ConferenceConfig::livo(VideoId::Pizza1);
+        cfg.camera_scale = 0.08;
+        cfg.n_cameras = 4;
+        cfg.duration_s = 3.0;
+        cfg.quality_every = 1000;
+        cfg.adapt = false;
+        cfg.session.initial_estimate_bps = 0.4e6;
+        let runner = ConferenceRunner::new(cfg);
+        let trace = BandwidthTrace::constant(0.8, 10.0);
+        let s = runner.run(trace);
+        assert!(
+            s.stall_rate > 0.3,
+            "fixed-QP over a tight link should stall, got {}",
+            s.stall_rate
+        );
+    }
+
+    #[test]
+    fn static_split_is_respected() {
+        let mut cfg = quick_cfg();
+        cfg.static_split = Some(0.7);
+        let trace = BandwidthTrace::constant(40.0, 10.0);
+        let s = ConferenceRunner::new(cfg).run(trace);
+        assert!((s.mean_split - 0.7).abs() < 1e-9);
+    }
+}

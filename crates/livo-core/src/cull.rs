@@ -1,0 +1,286 @@
+//! RGB-D view culling: removing pixels outside the receiver's frustum
+//! *without* reconstructing a point cloud.
+//!
+//! §3.4 of the paper: for each camera, transform the frustum into the
+//! camera's local coordinate frame once, then test each pixel's
+//! back-projected local point against the six planes. A point is outside
+//! if it is on the outward side of any plane. Culled pixels are zeroed in
+//! both depth and colour, which makes them (a) free to encode — zero
+//! regions compress to nothing — and (b) recognisable as "no data" at the
+//! receiver.
+
+use livo_capture::RgbdFrame;
+use livo_math::{Frustum, RgbdCamera};
+
+/// Statistics of one cull pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CullStats {
+    pub total_valid: usize,
+    pub kept: usize,
+}
+
+impl CullStats {
+    /// Fraction of valid pixels kept.
+    pub fn keep_fraction(&self) -> f64 {
+        if self.total_valid == 0 {
+            0.0
+        } else {
+            self.kept as f64 / self.total_valid as f64
+        }
+    }
+}
+
+/// Cull every view in place against the (world-space) frustum.
+pub fn cull_views(views: &mut [RgbdFrame], cameras: &[RgbdCamera], frustum: &Frustum) -> CullStats {
+    assert_eq!(views.len(), cameras.len());
+    let mut stats = CullStats::default();
+    for (view, cam) in views.iter_mut().zip(cameras) {
+        // Transform the frustum into this camera's local frame: cheaper than
+        // transforming every pixel into world coordinates.
+        let local_frustum = frustum.transformed(&cam.world_to_local());
+        let k = &cam.intrinsics;
+        for y in 0..view.height {
+            for x in 0..view.width {
+                let i = y * view.width + x;
+                let d = view.depth_mm[i];
+                if d == 0 {
+                    continue;
+                }
+                stats.total_valid += 1;
+                let local =
+                    k.unproject(x as f32 + 0.5, y as f32 + 0.5, d as f32 / 1000.0);
+                if local_frustum.contains(local) {
+                    stats.kept += 1;
+                } else {
+                    view.depth_mm[i] = 0;
+                    view.rgb[i * 3] = 0;
+                    view.rgb[i * 3 + 1] = 0;
+                    view.rgb[i * 3 + 2] = 0;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Measure, without modifying, how many pixels would survive a cull —
+/// used by the Fig. 15 accuracy analysis (culling accuracy = kept ∩ truth
+/// over truth).
+pub fn cull_accuracy(
+    views: &[RgbdFrame],
+    cameras: &[RgbdCamera],
+    predicted: &Frustum,
+    truth: &Frustum,
+) -> CullAccuracy {
+    let mut acc = CullAccuracy::default();
+    for (view, cam) in views.iter().zip(cameras) {
+        let pred_local = predicted.transformed(&cam.world_to_local());
+        let truth_local = truth.transformed(&cam.world_to_local());
+        let k = &cam.intrinsics;
+        for y in 0..view.height {
+            for x in 0..view.width {
+                let d = view.depth_mm[y * view.width + x];
+                if d == 0 {
+                    continue;
+                }
+                let local =
+                    k.unproject(x as f32 + 0.5, y as f32 + 0.5, d as f32 / 1000.0);
+                let in_pred = pred_local.contains(local);
+                let in_truth = truth_local.contains(local);
+                acc.total += 1;
+                if in_truth {
+                    acc.needed += 1;
+                    if in_pred {
+                        acc.covered += 1;
+                    }
+                }
+                if in_pred {
+                    acc.sent += 1;
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Accuracy of predictive culling against the true frustum.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CullAccuracy {
+    /// Valid pixels in all views.
+    pub total: u64,
+    /// Pixels inside the *true* frustum.
+    pub needed: u64,
+    /// Needed pixels that the predicted (guard-banded) frustum kept.
+    pub covered: u64,
+    /// Pixels the predicted frustum kept (needed or not) — the data volume.
+    pub sent: u64,
+}
+
+impl CullAccuracy {
+    /// Fig. 15's "accuracy": fraction of needed pixels covered.
+    pub fn accuracy(&self) -> f64 {
+        if self.needed == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.needed as f64
+        }
+    }
+
+    /// Fig. 15's bracketed number: fraction of all points sent.
+    pub fn sent_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sent as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livo_capture::scene::{AnimatedShape, Scene, ShapeGeom, Texture};
+    use livo_capture::{render_rgbd, rig};
+    use livo_math::{Frustum, FrustumParams, Pose, Vec3};
+
+    fn test_scene() -> Scene {
+        let mut s = Scene::new();
+        s.add(AnimatedShape::fixed(
+            ShapeGeom::Sphere { center: Vec3::new(0.0, 1.0, 0.0), radius: 0.4 },
+            Texture::Solid([200, 30, 30]),
+        ));
+        s.add(AnimatedShape::fixed(
+            ShapeGeom::Sphere { center: Vec3::new(1.5, 1.0, 0.0), radius: 0.4 },
+            Texture::Solid([30, 200, 30]),
+        ));
+        s
+    }
+
+    fn render_all(cams: &[livo_math::RgbdCamera]) -> Vec<RgbdFrame> {
+        let snap = test_scene().at(0.0);
+        cams.iter().map(|c| render_rgbd(c, &snap)).collect()
+    }
+
+    #[test]
+    fn full_scene_frustum_keeps_everything() {
+        let cams = rig::camera_ring(4, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.15));
+        let mut views = render_all(&cams);
+        let viewer = Pose::look_at(Vec3::new(0.0, 1.2, -4.0), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
+        let wide = Frustum::from_params(
+            &viewer,
+            &FrustumParams { hfov: 2.0, aspect: 1.6, near: 0.05, far: 20.0 },
+        );
+        let before: usize = views.iter().map(|v| v.valid_pixels()).sum();
+        let stats = cull_views(&mut views, &cams, &wide);
+        assert_eq!(stats.total_valid, before);
+        assert_eq!(stats.kept, before, "wide frustum sees the whole scene");
+    }
+
+    #[test]
+    fn narrow_frustum_culls_off_target_object() {
+        let cams = rig::camera_ring(4, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.15));
+        let mut views = render_all(&cams);
+        // Look only at the red sphere at the origin, narrowly.
+        let viewer = Pose::look_at(Vec3::new(0.0, 1.0, -3.0), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
+        let narrow = Frustum::from_params(
+            &viewer,
+            &FrustumParams { hfov: 0.35, aspect: 1.0, near: 0.05, far: 20.0 },
+        );
+        let stats = cull_views(&mut views, &cams, &narrow);
+        assert!(stats.kept > 0, "target object survives");
+        assert!(
+            stats.keep_fraction() < 0.8,
+            "off-target content culled: kept {}",
+            stats.keep_fraction()
+        );
+        // Every surviving pixel back-projects inside the frustum.
+        for (view, cam) in views.iter().zip(&cams) {
+            for y in 0..view.height {
+                for x in 0..view.width {
+                    let d = view.depth_mm[y * view.width + x];
+                    if d != 0 {
+                        let w = cam.pixel_to_world(x as u32, y as u32, d).unwrap();
+                        assert!(narrow.contains(w), "kept pixel outside frustum: {w:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn culled_pixels_are_fully_zeroed() {
+        let cams = rig::camera_ring(2, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.15));
+        let mut views = render_all(&cams);
+        // A frustum looking away from everything.
+        let away = Pose::look_at(Vec3::new(0.0, 1.0, -3.0), Vec3::new(0.0, 1.0, -10.0), Vec3::Y);
+        let f = Frustum::from_params(&away, &FrustumParams { hfov: 0.4, aspect: 1.0, near: 0.1, far: 5.0 });
+        let stats = cull_views(&mut views, &cams, &f);
+        assert_eq!(stats.kept, 0);
+        for v in &views {
+            assert_eq!(v.valid_pixels(), 0);
+            assert!(v.rgb.iter().all(|&b| b == 0), "colour zeroed too");
+        }
+    }
+
+    #[test]
+    fn cull_matches_world_space_reference() {
+        // The local-frame fast path must agree with the naive "reconstruct
+        // to world, test there" reference.
+        let cams = rig::camera_ring(3, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.12));
+        let views = render_all(&cams);
+        let viewer = Pose::look_at(Vec3::new(1.0, 1.4, -2.5), Vec3::new(0.5, 1.0, 0.0), Vec3::Y);
+        let f = Frustum::from_params(&viewer, &FrustumParams { hfov: 0.8, aspect: 1.3, near: 0.1, far: 8.0 });
+        let mut fast = views.clone();
+        cull_views(&mut fast, &cams, &f);
+        for (vi, (view, cam)) in views.iter().zip(&cams).enumerate() {
+            for y in 0..view.height {
+                for x in 0..view.width {
+                    let i = y * view.width + x;
+                    let d = view.depth_mm[i];
+                    if d == 0 {
+                        continue;
+                    }
+                    let world = cam.pixel_to_world(x as u32, y as u32, d).unwrap();
+                    let expect_kept = f.contains(world);
+                    let got_kept = fast[vi].depth_mm[i] != 0;
+                    // f32 boundary cases may differ; allow only points very
+                    // near a plane to disagree.
+                    if expect_kept != got_kept {
+                        assert!(
+                            f.penetration(world).abs() < 2e-3,
+                            "camera {vi} pixel ({x},{y}): fast={got_kept} ref={expect_kept}, pen {}",
+                            f.penetration(world)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_is_one_with_perfect_prediction() {
+        let cams = rig::camera_ring(3, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.12));
+        let views = render_all(&cams);
+        let viewer = Pose::look_at(Vec3::new(0.0, 1.2, -3.0), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
+        let f = Frustum::from_params(&viewer, &FrustumParams::default());
+        let acc = cull_accuracy(&views, &cams, &f, &f);
+        assert_eq!(acc.accuracy(), 1.0);
+        assert_eq!(acc.covered, acc.needed);
+    }
+
+    #[test]
+    fn guard_band_raises_accuracy_and_sent_fraction() {
+        let cams = rig::camera_ring(3, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.12));
+        let views = render_all(&cams);
+        let truth_pose = Pose::look_at(Vec3::new(0.0, 1.2, -3.0), Vec3::new(0.3, 1.0, 0.0), Vec3::Y);
+        // Predicted pose is slightly off (as after a mis-predicted turn).
+        let pred_pose = Pose::look_at(Vec3::new(0.0, 1.2, -3.0), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
+        let truth = Frustum::from_params(&truth_pose, &FrustumParams::default());
+        let pred = Frustum::from_params(&pred_pose, &FrustumParams::default());
+        let tight = cull_accuracy(&views, &cams, &pred, &truth);
+        let guarded = cull_accuracy(&views, &cams, &pred.expanded(0.3), &truth);
+        assert!(guarded.accuracy() >= tight.accuracy());
+        assert!(guarded.sent_fraction() >= tight.sent_fraction());
+        assert!(guarded.accuracy() > 0.95, "guarded accuracy {}", guarded.accuracy());
+    }
+}

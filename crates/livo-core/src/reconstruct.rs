@@ -1,0 +1,156 @@
+//! Receiver-side point-cloud reconstruction.
+//!
+//! §A.1 of the paper: the receiver holds the camera parameters and poses
+//! (exchanged at session setup), back-projects every valid pixel of every
+//! decoded tile into world coordinates, voxelises to rendering density,
+//! and culls to the viewer's *current* frustum (the sender culled to the
+//! guard-banded *predicted* one, so a final tight cull remains useful).
+
+use crate::depth::DepthCodec;
+use crate::tile::{extract_color, extract_depth, TileLayout};
+use livo_codec2d::Frame;
+use livo_math::{Frustum, RgbdCamera};
+use livo_pointcloud::{Point, PointCloud, VoxelGrid};
+
+/// Reconstruct the world-space point cloud from decoded colour/depth
+/// canvases.
+pub fn reconstruct_point_cloud(
+    color_canvas: &Frame,
+    depth_canvas: &Frame,
+    layout: &TileLayout,
+    cameras: &[RgbdCamera],
+    depth_codec: &DepthCodec,
+) -> PointCloud {
+    assert_eq!(cameras.len(), layout.n);
+    let mut cloud = PointCloud::with_capacity(layout.n * layout.cam_w * layout.cam_h / 4);
+    for (i, cam) in cameras.iter().enumerate() {
+        let depth = extract_depth(depth_canvas, layout, depth_codec, i);
+        let rgb = extract_color(color_canvas, layout, i);
+        for y in 0..layout.cam_h {
+            for x in 0..layout.cam_w {
+                let p = y * layout.cam_w + x;
+                let d = depth[p];
+                if d == 0 {
+                    continue;
+                }
+                if let Some(world) = cam.pixel_to_world(x as u32, y as u32, d) {
+                    cloud.push(Point::new(
+                        world,
+                        [rgb[p * 3], rgb[p * 3 + 1], rgb[p * 3 + 2]],
+                    ));
+                }
+            }
+        }
+    }
+    cloud
+}
+
+/// The receiver's render prep: voxelise then cull to the current frustum.
+pub fn prepare_for_render(
+    cloud: &PointCloud,
+    voxel_m: f32,
+    current_frustum: &Frustum,
+) -> PointCloud {
+    let voxelized = VoxelGrid::new(voxel_m).downsample(cloud);
+    voxelized.cull_to_frustum(current_frustum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::{compose_color, compose_depth};
+    use livo_capture::scene::{AnimatedShape, Scene, ShapeGeom, Texture};
+    use livo_capture::{render_rgbd, rig};
+    use livo_math::{CameraIntrinsics, FrustumParams, Pose, Vec3};
+
+    fn scene() -> Scene {
+        let mut s = Scene::new();
+        s.add(AnimatedShape::fixed(
+            ShapeGeom::Sphere { center: Vec3::new(0.0, 1.0, 0.0), radius: 0.5 },
+            Texture::Checker([220, 40, 40], [40, 40, 220], 0.1),
+        ));
+        s.add(AnimatedShape::fixed(
+            ShapeGeom::Floor { height: 0.0, radius: 3.0 },
+            Texture::Solid([100, 100, 100]),
+        ));
+        s
+    }
+
+    fn setup() -> (Vec<livo_math::RgbdCamera>, TileLayout, Vec<livo_capture::RgbdFrame>) {
+        let cams = rig::camera_ring(4, 2.5, 1.3, Vec3::new(0.0, 1.0, 0.0), CameraIntrinsics::kinect_depth(0.15));
+        let snap = scene().at(0.0);
+        let views: Vec<_> = cams.iter().map(|c| render_rgbd(c, &snap)).collect();
+        let layout = TileLayout::new(views[0].width, views[0].height, cams.len());
+        (cams, layout, views)
+    }
+
+    #[test]
+    fn reconstruction_recovers_scene_geometry() {
+        let (cams, layout, views) = setup();
+        let codec = DepthCodec::default();
+        let color = compose_color(&views, &layout, 0);
+        let depth = compose_depth(&views, &layout, &codec, 0);
+        let cloud = reconstruct_point_cloud(&color, &depth, &layout, &cams, &codec);
+        assert!(!cloud.is_empty());
+        // Sphere surface points should exist near (0, 1, 0) at radius 0.5.
+        let near_sphere = cloud
+            .points
+            .iter()
+            .filter(|p| ((p.position - Vec3::new(0.0, 1.0, 0.0)).length() - 0.5).abs() < 0.02)
+            .count();
+        assert!(near_sphere > 100, "{near_sphere} sphere-surface points");
+        // Floor points at y ≈ 0.
+        let on_floor = cloud.points.iter().filter(|p| p.position.y.abs() < 0.02).count();
+        assert!(on_floor > 100, "{on_floor} floor points");
+    }
+
+    #[test]
+    fn reconstruction_point_count_matches_valid_pixels() {
+        let (cams, layout, views) = setup();
+        let codec = DepthCodec::default();
+        let color = compose_color(&views, &layout, 0);
+        let depth = compose_depth(&views, &layout, &codec, 0);
+        let cloud = reconstruct_point_cloud(&color, &depth, &layout, &cams, &codec);
+        let valid: usize = views.iter().map(|v| v.valid_pixels()).sum();
+        // Scaling quantisation can zero at most a few boundary samples.
+        assert!(cloud.len() >= valid - valid / 100, "{} vs {}", cloud.len(), valid);
+    }
+
+    #[test]
+    fn colors_survive_reconstruction() {
+        let (cams, layout, views) = setup();
+        let codec = DepthCodec::default();
+        let color = compose_color(&views, &layout, 0);
+        let depth = compose_depth(&views, &layout, &codec, 0);
+        let cloud = reconstruct_point_cloud(&color, &depth, &layout, &cams, &codec);
+        // Floor points should be grey-ish (the 4:2:0 chroma round trip can
+        // shift channels slightly).
+        let grey = cloud
+            .points
+            .iter()
+            .filter(|p| p.position.y.abs() < 0.02)
+            .filter(|p| p.color.iter().all(|&c| (85..=115).contains(&c)))
+            .count();
+        let floor = cloud.points.iter().filter(|p| p.position.y.abs() < 0.02).count();
+        assert!(grey as f64 / floor as f64 > 0.9, "{grey}/{floor} grey floor points");
+    }
+
+    #[test]
+    fn prepare_for_render_voxelizes_and_culls() {
+        let (cams, layout, views) = setup();
+        let codec = DepthCodec::default();
+        let color = compose_color(&views, &layout, 0);
+        let depth = compose_depth(&views, &layout, &codec, 0);
+        let cloud = reconstruct_point_cloud(&color, &depth, &layout, &cams, &codec);
+        let viewer = Pose::look_at(Vec3::new(0.0, 1.2, -2.5), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
+        let f = livo_math::Frustum::from_params(
+            &viewer,
+            &FrustumParams { hfov: 0.6, aspect: 1.0, near: 0.1, far: 10.0 },
+        );
+        let prepared = prepare_for_render(&cloud, 0.02, &f);
+        assert!(prepared.len() < cloud.len(), "voxelisation + cull reduce density");
+        for p in &prepared.points {
+            assert!(f.contains(p.position));
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! Table/figure printers: one function per artefact in the paper.
+//!
+//! Each function runs the experiments it needs and prints the artefact in
+//! the paper's layout, alongside the published values where the paper
+//! states them, so paper-vs-measured comparison is immediate. The `repro`
+//! binary in `livo-bench` dispatches to these.
+
+use crate::experiments::{self, EvalProfile, GridResult, Scheme};
+use crate::qoe;
+use crate::stats;
+use livo_capture::{BandwidthTrace, DatasetPreset, TraceId, VideoId};
+use livo_core::conference::{ConferenceConfig, ConferenceRunner};
+use livo_core::depth::DepthEncoding;
+
+/// Table 1: throughput and utilisation, LiVo vs MeshReduce, on both traces.
+pub fn table1(profile: &EvalProfile) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: throughput (TPS) and utilisation vs trace capacity\n");
+    out.push_str("  paper: trace-1  MeshReduce 40.19 Mbps (18.5%) | LiVo 158.75 Mbps (73.2%)\n");
+    out.push_str("  paper: trace-2  MeshReduce 27.75 Mbps (31.1%) | LiVo  82.21 Mbps (92.2%)\n");
+    out.push_str("  (measured numbers are at evaluation scale; compare the *utilisation* columns)\n\n");
+    out.push_str("  trace    | scheme      | mean cap (Mbps) | mean TPS (Mbps) | util (%)\n");
+    out.push_str("  ---------+-------------+-----------------+-----------------+---------\n");
+    for trace in TraceId::ALL {
+        for scheme in [Scheme::MeshReduce, Scheme::Livo] {
+            let r = experiments::run_cell(scheme, VideoId::Band2, trace, 0, profile);
+            out.push_str(&format!(
+                "  {:<8} | {:<11} | {:>15.2} | {:>15.2} | {:>7.1}\n",
+                trace.name(),
+                scheme.name(),
+                r.mean_capacity_mbps,
+                r.throughput_mbps,
+                r.utilization() * 100.0
+            ));
+        }
+    }
+    out
+}
+
+/// Table 3: the dataset summary, paper values plus our synthetic presets'
+/// measured frame sizes at full capture scale (estimated from valid-pixel
+/// density at evaluation scale).
+pub fn table3(profile: &EvalProfile) -> String {
+    use livo_capture::{render_rgbd, rig};
+    let mut out = String::new();
+    out.push_str("Table 3: video presets (paper values in brackets)\n");
+    out.push_str("  note: our synthetic scenes return depth on ~2-3x more pixels than the\n");
+    out.push_str("  Panoptic captures, so absolute MB runs high; Draco-Oracle calibrates\n");
+    out.push_str("  against the paper sizes directly (see livo-baselines).\n\n");
+    out.push_str("  video    | duration (s) | objects | frame size MB (paper)\n");
+    out.push_str("  ---------+--------------+---------+----------------------\n");
+    for preset in DatasetPreset::all() {
+        // Measure valid-pixel fraction at eval scale; extrapolate to the
+        // full 640×576×10 rig at 15 B/point.
+        let cams = rig::panoptic_rig(profile.camera_scale);
+        let snap = preset.scene.at(1.0);
+        let mut valid = 0usize;
+        let mut total = 0usize;
+        for c in &cams {
+            let v = render_rgbd(c, &snap);
+            valid += v.valid_pixels();
+            total += v.width * v.height;
+        }
+        let frac = valid as f64 / total as f64;
+        let full_points = frac * 640.0 * 576.0 * 10.0;
+        let mb = full_points * 15.0 / 1e6;
+        out.push_str(&format!(
+            "  {:<8} | {:>5}        | {:>7} | {:>6.1} ({:>4.1})\n",
+            preset.id.name(),
+            preset.duration_s,
+            preset.object_count,
+            mb,
+            preset.paper_frame_mb,
+        ));
+    }
+    out
+}
+
+/// Table 4: bandwidth trace statistics.
+pub fn table4(duration_s: f32, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("Table 4: bandwidth trace statistics (Mbps); paper values in brackets\n\n");
+    out.push_str("  trace    |   mean (paper)  |   max (paper)   |   min (paper)   |  p90 (paper)    |  p10 (paper)\n");
+    out.push_str("  ---------+-----------------+-----------------+-----------------+-----------------+---------------\n");
+    let paper = [
+        (TraceId::Trace2, [89.20, 106.37, 36.35, 98.09, 80.52]),
+        (TraceId::Trace1, [216.90, 262.19, 151.91, 234.41, 191.52]),
+    ];
+    for (id, p) in paper {
+        let t = BandwidthTrace::generate(id, duration_s, seed);
+        let s = t.stats();
+        out.push_str(&format!(
+            "  {:<8} | {:>6.2} ({:>6.2}) | {:>6.2} ({:>6.2}) | {:>6.2} ({:>6.2}) | {:>6.2} ({:>6.2}) | {:>6.2} ({:>6.2})\n",
+            id.name(), s.mean, p[0], s.max, p[1], s.min, p[2], s.p90, p[3], s.p10, p[4]
+        ));
+    }
+    out
+}
+
+/// Table 5: comment-category shares per scheme from the QoE model.
+pub fn table5(grid: &[GridResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 5: comment shares (%) — Low/Medium/High per category\n");
+    out.push_str("  paper LiVo row:        fps 0/0/100, stalls 70.8/25/4.2, quality 6.1/33.3/60.6\n");
+    out.push_str("  paper Draco-Oracle:    fps 94.4/5.6/0, stalls 0/12.5/87.5, quality 35/45/20\n\n");
+    out.push_str("  scheme       | frame rate L/M/H   | stalls L/M/H       | quality L/M/H\n");
+    out.push_str("  -------------+--------------------+--------------------+------------------\n");
+    for &scheme in &Scheme::STUDY {
+        let cells: Vec<&GridResult> = grid.iter().filter(|r| r.scheme == scheme).collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let q = qoe::QoeInputs {
+            pssim_geometry: stats::mean(&cells.iter().map(|c| c.pssim_geometry).collect::<Vec<_>>()),
+            pssim_color: stats::mean(&cells.iter().map(|c| c.pssim_color).collect::<Vec<_>>()),
+            stall_rate: stats::mean(&cells.iter().map(|c| c.stall_rate).collect::<Vec<_>>()),
+            fps: stats::mean(&cells.iter().map(|c| c.mean_fps).collect::<Vec<_>>()),
+        };
+        let c = qoe::comment_shares(&q, 60, 17);
+        out.push_str(&format!(
+            "  {:<12} | {:>4.1}/{:>4.1}/{:>5.1}   | {:>4.1}/{:>4.1}/{:>5.1}   | {:>4.1}/{:>4.1}/{:>5.1}\n",
+            scheme.name(),
+            c.frame_rate[0], c.frame_rate[1], c.frame_rate[2],
+            c.stalls[0], c.stalls[1], c.stalls[2],
+            c.quality[0], c.quality[1], c.quality[2],
+        ));
+    }
+    out
+}
+
+/// Table 6: per-component latency. Processing components are measured on
+/// this machine at evaluation scale; the transport column comes from the
+/// session (jitter buffer + path), which is scale-free.
+pub fn table6(profile: &EvalProfile) -> String {
+    let mut out = String::new();
+    out.push_str("Table 6: per-component latency (ms)\n");
+    out.push_str("  paper: sender ≈64, WebRTC transmission ≈137 (100 ms jitter buffer), receiver ≈53, render <6\n");
+    out.push_str("  (processing columns measured on this machine at reduced scale — compare shape)\n\n");
+    for (name, cfg) in [
+        ("LiVo", ConferenceConfig::livo(VideoId::Band2)),
+        ("LiVo-NoCull", ConferenceConfig::livo_nocull(VideoId::Band2)),
+    ] {
+        let mut cfg = cfg;
+        cfg.camera_scale = profile.camera_scale;
+        cfg.n_cameras = profile.n_cameras;
+        cfg.duration_s = profile.duration_s;
+        cfg.quality_every = profile.quality_every;
+        let trace = BandwidthTrace::generate(TraceId::Trace1, profile.duration_s + 5.0, profile.seed);
+        let s = ConferenceRunner::new(cfg).run(trace);
+        let t = s.timings;
+        out.push_str(&format!(
+            "  {name}: capture {:.1} | cull {:.1} | tile {:.1} | encode {:.1} | transport {:.1} | decode {:.1} | reconstruct {:.1} | render-prep {:.1}\n",
+            t.capture_ms,
+            t.cull_ms,
+            t.tile_ms,
+            t.encode_ms,
+            s.transport_latency_ms,
+            t.decode_ms,
+            t.reconstruct_ms,
+            t.render_prep_ms,
+        ));
+    }
+    out
+}
+
+/// Fig. 4: RMSE vs split.
+pub fn fig4(profile: &EvalProfile) -> String {
+    let splits = [0.5, 0.6, 0.7, 0.8, 0.9];
+    let rows = experiments::fig4_split_sweep(VideoId::Band2, 80.0, &splits, profile);
+    let mut out = String::new();
+    out.push_str("Fig. 4: colour and depth RMSE vs split (band2, 80 Mbps target)\n");
+    out.push_str("  paper: errors balance when depth gets ~90% of the bandwidth\n\n");
+    out.push_str("  split | depth RMSE (mm) | color RMSE (8-bit)\n");
+    out.push_str("  ------+-----------------+-------------------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:>4.2}  | {:>13.2}   | {:>10.2}\n",
+            r.split, r.rmse_depth_mm, r.rmse_color
+        ));
+    }
+    out
+}
+
+/// Figs. 5–8: opinion-score distributions.
+pub fn fig5_to_8(grid: &[GridResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Figs. 5-8: opinion scores from the QoE model (paper MOS: Draco 1.5, MeshReduce 2.5, NoCull 3.4, LiVo 4.1)\n\n");
+    // Fig. 5: aggregate per scheme.
+    out.push_str("Fig. 5 (aggregate):\n");
+    for &scheme in &Scheme::STUDY {
+        let cells: Vec<&GridResult> = grid.iter().filter(|r| r.scheme == scheme).collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let mut scores: Vec<f64> = Vec::new();
+        for c in &cells {
+            scores.extend(c.study_scores(15).iter().map(|&s| s as f64));
+        }
+        out.push_str(&format!(
+            "  {:<12} MOS {:.2}  median {:.1}  {}\n",
+            scheme.name(),
+            stats::mean(&scores),
+            stats::median(&scores),
+            stats::bar(stats::mean(&scores), 5.0, 30)
+        ));
+    }
+    // Fig. 6: per video.
+    out.push_str("\nFig. 6 (per video, MOS):\n");
+    out.push_str("  video    ");
+    for &s in &Scheme::STUDY {
+        out.push_str(&format!("| {:<12}", s.name()));
+    }
+    out.push('\n');
+    for video in VideoId::ALL {
+        out.push_str(&format!("  {:<8} ", video.name()));
+        for &scheme in &Scheme::STUDY {
+            let cells: Vec<f64> = grid
+                .iter()
+                .filter(|r| r.scheme == scheme && r.video == video)
+                .map(|r| r.mos)
+                .collect();
+            out.push_str(&format!("| {:<12.2}", stats::mean(&cells)));
+        }
+        out.push('\n');
+    }
+    // Figs. 7–8: per trace.
+    for (fig, trace) in [("Fig. 7", TraceId::Trace1), ("Fig. 8", TraceId::Trace2)] {
+        out.push_str(&format!("\n{fig} ({}, MOS):\n", trace.name()));
+        for &scheme in &Scheme::STUDY {
+            let cells: Vec<f64> = grid
+                .iter()
+                .filter(|r| r.scheme == scheme && r.trace == trace)
+                .map(|r| r.mos)
+                .collect();
+            out.push_str(&format!(
+                "  {:<12} {:.2}  {}\n",
+                scheme.name(),
+                stats::mean(&cells),
+                stats::bar(stats::mean(&cells), 5.0, 30)
+            ));
+        }
+    }
+    out
+}
+
+/// Figs. 9–11: PSSIM geometry/colour and stall rates across videos.
+pub fn fig9_to_11(grid: &[GridResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 9 (PSSIM geometry; paper means: LiVo 87.8, NoCull 81.0, MeshReduce 67.0, Draco 28.3):\n");
+    for (label, field) in [
+        ("Fig. 9 geometry", 0usize),
+        ("Fig. 10 color", 1),
+        ("Fig. 11 stalls %", 2),
+    ] {
+        out.push_str(&format!("\n{label}:\n  video    "));
+        for &s in &Scheme::STUDY {
+            out.push_str(&format!("| {:<12}", s.name()));
+        }
+        out.push('\n');
+        for video in VideoId::ALL {
+            out.push_str(&format!("  {:<8} ", video.name()));
+            for &scheme in &Scheme::STUDY {
+                let vals: Vec<f64> = grid
+                    .iter()
+                    .filter(|r| r.scheme == scheme && r.video == video)
+                    .map(|r| match field {
+                        0 => r.pssim_geometry,
+                        1 => r.pssim_color,
+                        _ => r.stall_rate * 100.0,
+                    })
+                    .collect();
+                out.push_str(&format!("| {:<12.1}", stats::mean(&vals)));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Fig. 12: culling's effect on PSSIM geometry, stalls excluded.
+pub fn fig12(grid: &[GridResult]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 12: PSSIM geometry without stalls — LiVo vs LiVo-NoCull (paper: ~2 point mean gap)\n\n");
+    for video in VideoId::ALL {
+        let livo: Vec<f64> = grid
+            .iter()
+            .filter(|r| r.scheme == Scheme::Livo && r.video == video)
+            .map(|r| r.pssim_geometry_no_stall)
+            .collect();
+        let nocull: Vec<f64> = grid
+            .iter()
+            .filter(|r| r.scheme == Scheme::LivoNoCull && r.video == video)
+            .map(|r| r.pssim_geometry_no_stall)
+            .collect();
+        out.push_str(&format!(
+            "  {:<8} LiVo {:>5.1} | NoCull {:>5.1} | Δ {:>+5.2}\n",
+            video.name(),
+            stats::mean(&livo),
+            stats::mean(&nocull),
+            stats::mean(&livo) - stats::mean(&nocull)
+        ));
+    }
+    out
+}
+
+/// Figs. 13–14: frame rates per video per trace.
+pub fn fig13_14(grid: &[GridResult]) -> String {
+    let mut out = String::new();
+    for (fig, trace) in [("Fig. 13", TraceId::Trace1), ("Fig. 14", TraceId::Trace2)] {
+        out.push_str(&format!(
+            "{fig} ({}): fps per video (paper: LiVo ≈30, NoCull 24–30, MeshReduce ≈12)\n",
+            trace.name()
+        ));
+        out.push_str("  video    | LiVo  | LiVo-NoCull | MeshReduce\n");
+        for video in VideoId::ALL {
+            let f = |scheme: Scheme| {
+                let v: Vec<f64> = grid
+                    .iter()
+                    .filter(|r| r.scheme == scheme && r.video == video && r.trace == trace)
+                    .map(|r| r.mean_fps)
+                    .collect();
+                stats::mean(&v)
+            };
+            out.push_str(&format!(
+                "  {:<8} | {:>5.1} | {:>11.1} | {:>10.1}\n",
+                video.name(),
+                f(Scheme::Livo),
+                f(Scheme::LivoNoCull),
+                f(Scheme::MeshReduce)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 15: guard band × prediction window culling accuracy.
+pub fn fig15(profile: &EvalProfile) -> String {
+    let guards = [10u32, 20, 30, 50];
+    let windows = [5u32, 10, 20, 30];
+    let rows = experiments::fig15_guard_sweep(VideoId::Band2, &guards, &windows, profile);
+    let mut out = String::new();
+    out.push_str("Fig. 15: culling accuracy % (fraction of points sent) — band2\n");
+    out.push_str("  paper at guard 20, W=10: 98.37 (0.62)\n\n  guard ");
+    for w in windows {
+        out.push_str(&format!("| W={w:<13}"));
+    }
+    out.push('\n');
+    for g in guards {
+        out.push_str(&format!("  {g:>3} cm"));
+        for w in windows {
+            let r = rows.iter().find(|r| r.guard_cm == g && r.window_frames == w).unwrap();
+            out.push_str(&format!("| {:>6.2} ({:.2})  ", r.accuracy_pct, r.sent_fraction));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 16: Kalman vs MLP prediction errors.
+pub fn fig16() -> String {
+    let rows = crate::mlp::fig16_experiment(0.1, 60.0);
+    let mut out = String::new();
+    out.push_str("Fig. 16: pose prediction errors (paper: MLP-3 0.40 m/33.3°, MLP-64 0.07 m/2.2°, Kalman 0.04 m/7.2°)\n\n");
+    out.push_str("  method         | hidden | position (m) | rotation (deg)\n");
+    out.push_str("  ---------------+--------+--------------+---------------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:<14} | {:>6} | {:>12.3} | {:>13.2}\n",
+            r.method,
+            r.hidden.map_or("-".to_string(), |h| h.to_string()),
+            r.position_m,
+            r.rotation_deg
+        ));
+    }
+    out
+}
+
+/// Fig. 17 (and A.1): depth-encoding comparison.
+pub fn fig17(profile: &EvalProfile) -> String {
+    let rows = experiments::fig17_depth_encodings(VideoId::Band2, profile);
+    let mut out = String::new();
+    out.push_str("Fig. 17: depth encodings (paper: scaled Y16 ≫ unscaled Y16 ≫ RGB-packed)\n\n");
+    out.push_str("  encoding   | PSSIM geometry (no stalls) | stall rate\n");
+    out.push_str("  -----------+----------------------------+-----------\n");
+    for r in rows {
+        let name = match r.encoding {
+            DepthEncoding::ScaledY16 => "scaled Y16",
+            DepthEncoding::RawY16 => "raw Y16",
+            DepthEncoding::RgbPacked => "RGB-packed",
+        };
+        out.push_str(&format!(
+            "  {:<10} | {:>26.1} | {:>8.3}\n",
+            name, r.pssim_geometry, r.stall_rate
+        ));
+    }
+    out
+}
+
+/// Figs. 18–19: static splits vs dynamic.
+pub fn fig18_19(profile: &EvalProfile) -> String {
+    let bitrates = [60.0, 90.0, 120.0];
+    let splits = [0.6, 0.75, 0.9];
+    let rows = experiments::fig18_19_static_vs_dynamic(VideoId::Office1, &bitrates, &splits, profile);
+    let mut out = String::new();
+    out.push_str("Figs. 18-19: static vs dynamic split, office1 (paper: dynamic within 0.5 geometry / 3 colour PSSIM of best static)\n\n");
+    out.push_str("  bitrate | split   | PSSIM geom | PSSIM color\n");
+    out.push_str("  --------+---------+------------+------------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:>5.0}   | {:<7} | {:>10.1} | {:>10.1}\n",
+            r.bitrate_mbps,
+            r.split.map_or("dynamic".to_string(), |s| format!("{s:.2}")),
+            r.pssim_geometry,
+            r.pssim_color
+        ));
+    }
+    out
+}
+
+/// Figs. 20–21: LiVo-NoAdapt vs LiVo.
+pub fn fig20_21(profile: &EvalProfile) -> String {
+    let mut out = String::new();
+    out.push_str("Figs. 20-21: LiVo vs LiVo-NoAdapt (paper: NoAdapt drops 30-41% geometry, 27-37% colour; PSSIM below 60)\n\n");
+    out.push_str("  video    | LiVo geom | NoAdapt geom | LiVo color | NoAdapt color\n");
+    out.push_str("  ---------+-----------+--------------+------------+--------------\n");
+    for video in VideoId::ALL {
+        let livo = experiments::run_cell(Scheme::Livo, video, TraceId::Trace2, 0, profile);
+        let noadapt = experiments::run_cell(Scheme::LivoNoAdapt, video, TraceId::Trace2, 0, profile);
+        out.push_str(&format!(
+            "  {:<8} | {:>9.1} | {:>12.1} | {:>10.1} | {:>12.1}\n",
+            video.name(),
+            livo.pssim_geometry,
+            noadapt.pssim_geometry,
+            livo.pssim_color,
+            noadapt.pssim_color
+        ));
+    }
+    out
+}
+
+/// Fig. A.2: saturation of quality with per-point bitrate.
+pub fn figa2(profile: &EvalProfile) -> String {
+    let steps = [0.0, 0.3, 0.6, 1.0];
+    let rows = experiments::figa2_saturation(VideoId::Band2, profile, &steps);
+    let mut out = String::new();
+    out.push_str("Fig. A.2: PSSIM vs per-point bitrate (paper: depth needs ~7x more bitrate before saturating)\n\n");
+    out.push_str("  depth bits/pt | PSSIM geom | color bits/pt | PSSIM color\n");
+    out.push_str("  --------------+------------+---------------+------------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:>12.2}  | {:>10.1} | {:>12.2}  | {:>10.1}\n",
+            r.depth_bits_per_point, r.pssim_geometry, r.color_bits_per_point, r.pssim_color
+        ));
+    }
+    out
+}
+
+/// Fig. A.3: trace variability.
+pub fn figa3(duration_s: f32, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. A.3: bandwidth trace variability (mean |Δ| between consecutive samples / mean)\n\n");
+    for id in TraceId::ALL {
+        let t = BandwidthTrace::generate(id, duration_s, seed);
+        out.push_str(&format!(
+            "  {:<8} variability {:.4}  {}\n",
+            id.name(),
+            t.variability(),
+            stats::bar(t.variability(), 0.05, 30)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_prints_both_traces() {
+        let t = table4(120.0, 3);
+        assert!(t.contains("trace-1"));
+        assert!(t.contains("trace-2"));
+        assert!(t.contains("216.90") || t.contains("(216.90)"));
+    }
+
+    #[test]
+    fn figa3_orders_variability() {
+        let t = figa3(300.0, 5);
+        assert!(t.contains("trace-1") && t.contains("trace-2"));
+    }
+
+    #[test]
+    fn fig16_prints_all_rows() {
+        let t = fig16();
+        assert!(t.contains("Kalman Filter"));
+        assert!(t.contains("64"));
+    }
+}

@@ -1,0 +1,547 @@
+//! Kalman filtering for 6-DoF pose prediction.
+//!
+//! LiVo predicts the receiver's frustum `Δt` ahead by running a Kalman filter
+//! over the six pose dimensions (position x/y/z and yaw/pitch/roll), following
+//! Gül et al. (MM '20). We implement:
+//!
+//! - [`DMatrix`]: a minimal dense `f64` matrix (multiply, transpose, invert)
+//!   — the tiny slice of Eigen the original implementation used via OpenCV.
+//! - [`KalmanFilter`]: a textbook linear KF with predict/update and
+//!   extrapolation to an arbitrary horizon.
+//! - [`PosePredictor`]: the 6-DoF constant-velocity wrapper used by
+//!   `livo-core::frustum_pred`, including Euler-angle unwrapping so the
+//!   filter never differentiates across the ±π seam.
+
+use crate::angles;
+use crate::pose::Pose;
+use crate::quat::Quat;
+use crate::vec3::Vec3;
+
+/// Minimal dense row-major `f64` matrix.
+///
+/// Only the operations a small Kalman filter needs; sizes here are ≤ 12×12 so
+/// no effort is spent on cache blocking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMatrix {
+    pub rows: usize,
+    pub cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Self::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, v) in row.iter().enumerate() {
+                m[(i, j)] = *v;
+            }
+        }
+        m
+    }
+
+    /// Column vector from a slice.
+    pub fn col_vec(v: &[f64]) -> Self {
+        let mut m = Self::zeros(v.len(), 1);
+        for (i, x) in v.iter().enumerate() {
+            m[(i, 0)] = *x;
+        }
+        m
+    }
+
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn transpose(&self) -> DMatrix {
+        let mut t = DMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    pub fn mul(&self, o: &DMatrix) -> DMatrix {
+        assert_eq!(self.cols, o.rows, "dimension mismatch {}x{} * {}x{}", self.rows, self.cols, o.rows, o.cols);
+        let mut out = DMatrix::zeros(self.rows, o.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..o.cols {
+                    out[(i, j)] += a * o[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    pub fn add(&self, o: &DMatrix) -> DMatrix {
+        assert_eq!((self.rows, self.cols), (o.rows, o.cols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&o.data) {
+            *a += b;
+        }
+        out
+    }
+
+    pub fn sub(&self, o: &DMatrix) -> DMatrix {
+        assert_eq!((self.rows, self.cols), (o.rows, o.cols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&o.data) {
+            *a -= b;
+        }
+        out
+    }
+
+    pub fn scale(&self, s: f64) -> DMatrix {
+        let mut out = self.clone();
+        for a in &mut out.data {
+            *a *= s;
+        }
+        out
+    }
+
+    /// Inverse by Gauss–Jordan elimination with partial pivoting. Returns
+    /// `None` for singular matrices.
+    pub fn inverse(&self) -> Option<DMatrix> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = DMatrix::identity(n);
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            for r in (col + 1)..n {
+                if a[(r, col)].abs() > a[(pivot, col)].abs() {
+                    pivot = r;
+                }
+            }
+            if a[(pivot, col)].abs() < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let d = a[(col, col)];
+            for j in 0..n {
+                a[(col, j)] /= d;
+                inv[(col, j)] /= d;
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a[(r, col)];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    a[(r, j)] -= f * a[(col, j)];
+                    inv[(r, j)] -= f * inv[(col, j)];
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// A linear Kalman filter `x' = F x`, `z = H x` with process noise `Q` and
+/// measurement noise `R`.
+#[derive(Debug, Clone)]
+pub struct KalmanFilter {
+    /// State estimate (n×1).
+    pub x: DMatrix,
+    /// Estimate covariance (n×n).
+    pub p: DMatrix,
+    /// State transition (n×n).
+    pub f: DMatrix,
+    /// Measurement model (m×n).
+    pub h: DMatrix,
+    /// Process noise covariance (n×n).
+    pub q: DMatrix,
+    /// Measurement noise covariance (m×m).
+    pub r: DMatrix,
+}
+
+impl KalmanFilter {
+    pub fn new(f: DMatrix, h: DMatrix, q: DMatrix, r: DMatrix, x0: DMatrix, p0: DMatrix) -> Self {
+        assert_eq!(f.rows, f.cols);
+        assert_eq!(h.cols, f.rows);
+        KalmanFilter { x: x0, p: p0, f, h, q, r }
+    }
+
+    /// Time update: propagate state and covariance one step.
+    pub fn predict(&mut self) {
+        self.x = self.f.mul(&self.x);
+        self.p = self.f.mul(&self.p).mul(&self.f.transpose()).add(&self.q);
+    }
+
+    /// Measurement update with observation `z` (m×1).
+    pub fn update(&mut self, z: &DMatrix) {
+        let ht = self.h.transpose();
+        let s = self.h.mul(&self.p).mul(&ht).add(&self.r);
+        let k = self.p.mul(&ht).mul(&s.inverse().expect("innovation covariance singular"));
+        let y = z.sub(&self.h.mul(&self.x));
+        self.x = self.x.add(&k.mul(&y));
+        let i = DMatrix::identity(self.p.rows);
+        self.p = i.sub(&k.mul(&self.h)).mul(&self.p);
+    }
+
+    /// Extrapolate the current state with transition `f_dt` *without*
+    /// mutating the filter — used to look `Δt` ahead of the last update.
+    pub fn extrapolate(&self, f_dt: &DMatrix) -> DMatrix {
+        f_dt.mul(&self.x)
+    }
+}
+
+/// Constant-velocity transition for `dims` position-like dimensions over a
+/// step of `dt` seconds. State layout: `[p0..p_{dims-1}, v0..v_{dims-1}]`.
+pub fn constant_velocity_f(dims: usize, dt: f64) -> DMatrix {
+    let n = dims * 2;
+    let mut f = DMatrix::identity(n);
+    for i in 0..dims {
+        f[(i, dims + i)] = dt;
+    }
+    f
+}
+
+/// Measurement matrix observing only the position block.
+pub fn position_only_h(dims: usize) -> DMatrix {
+    let mut h = DMatrix::zeros(dims, dims * 2);
+    for i in 0..dims {
+        h[(i, i)] = 1.0;
+    }
+    h
+}
+
+/// Discrete white-noise-acceleration process noise for a constant-velocity
+/// model (per dimension block), scaled by `accel_var`.
+pub fn white_noise_q(dims: usize, dt: f64, accel_var: f64) -> DMatrix {
+    let n = dims * 2;
+    let mut q = DMatrix::zeros(n, n);
+    let dt2 = dt * dt;
+    let dt3 = dt2 * dt;
+    let dt4 = dt3 * dt;
+    for i in 0..dims {
+        q[(i, i)] = dt4 / 4.0 * accel_var;
+        q[(i, dims + i)] = dt3 / 2.0 * accel_var;
+        q[(dims + i, i)] = dt3 / 2.0 * accel_var;
+        q[(dims + i, dims + i)] = dt2 * accel_var;
+    }
+    q
+}
+
+/// Configuration for [`PosePredictor`].
+#[derive(Debug, Clone, Copy)]
+pub struct PosePredictorConfig {
+    /// Nominal sampling interval of pose observations in seconds (30 Hz
+    /// headset tracking → 1/30).
+    pub dt: f64,
+    /// Process (acceleration) noise variance for position dims, m²/s⁴.
+    pub pos_accel_var: f64,
+    /// Process noise variance for angular dims, rad²/s⁴.
+    pub ang_accel_var: f64,
+    /// Measurement noise std-dev for position, metres.
+    pub pos_meas_std: f64,
+    /// Measurement noise std-dev for angles, radians.
+    pub ang_meas_std: f64,
+}
+
+impl Default for PosePredictorConfig {
+    fn default() -> Self {
+        PosePredictorConfig {
+            dt: 1.0 / 30.0,
+            pos_accel_var: 4.0,
+            ang_accel_var: 9.0,
+            pos_meas_std: 0.003,
+            ang_meas_std: 0.005,
+        }
+    }
+}
+
+/// 6-DoF constant-velocity pose predictor (the paper's frustum predictor).
+///
+/// Feed observed headset poses with [`PosePredictor::observe`]; ask for the
+/// pose `horizon` seconds past the last observation with
+/// [`PosePredictor::predict`].
+#[derive(Debug, Clone)]
+pub struct PosePredictor {
+    kf: KalmanFilter,
+    cfg: PosePredictorConfig,
+    /// Last unwrapped Euler angles, for seam-free measurements.
+    last_angles: Option<[f64; 3]>,
+    initialized: bool,
+}
+
+impl PosePredictor {
+    pub fn new(cfg: PosePredictorConfig) -> Self {
+        let dims = 6;
+        let f = constant_velocity_f(dims, cfg.dt);
+        let h = position_only_h(dims);
+        // Block-diagonal Q: positions use pos_accel_var, angles ang_accel_var.
+        let mut q = white_noise_q(dims, cfg.dt, 1.0);
+        for i in 0..dims {
+            let var = if i < 3 { cfg.pos_accel_var } else { cfg.ang_accel_var };
+            q[(i, i)] *= var;
+            q[(i, dims + i)] *= var;
+            q[(dims + i, i)] *= var;
+            q[(dims + i, dims + i)] *= var;
+        }
+        let mut r = DMatrix::zeros(dims, dims);
+        for i in 0..3 {
+            r[(i, i)] = cfg.pos_meas_std * cfg.pos_meas_std;
+        }
+        for i in 3..6 {
+            r[(i, i)] = cfg.ang_meas_std * cfg.ang_meas_std;
+        }
+        let x0 = DMatrix::zeros(dims * 2, 1);
+        let p0 = DMatrix::identity(dims * 2).scale(1.0);
+        PosePredictor {
+            kf: KalmanFilter::new(f, h, q, r, x0, p0),
+            cfg,
+            last_angles: None,
+            initialized: false,
+        }
+    }
+
+    /// Observe a headset pose (one tracking sample).
+    pub fn observe(&mut self, pose: &Pose) {
+        let (yaw, pitch, roll) = pose.orientation.to_yaw_pitch_roll();
+        let mut ang = [yaw as f64, pitch as f64, roll as f64];
+        if let Some(prev) = self.last_angles {
+            for i in 0..3 {
+                ang[i] = angles::unwrap_near(prev[i] as f32, ang[i] as f32) as f64;
+            }
+        }
+        self.last_angles = Some(ang);
+        let z = DMatrix::col_vec(&[
+            pose.position.x as f64,
+            pose.position.y as f64,
+            pose.position.z as f64,
+            ang[0],
+            ang[1],
+            ang[2],
+        ]);
+        if !self.initialized {
+            // Seed state directly from the first observation.
+            for i in 0..6 {
+                self.kf.x[(i, 0)] = z[(i, 0)];
+            }
+            self.initialized = true;
+            return;
+        }
+        self.kf.predict();
+        self.kf.update(&z);
+    }
+
+    /// Predict the pose `horizon` seconds past the last observation.
+    pub fn predict(&self, horizon: f64) -> Pose {
+        let f_dt = constant_velocity_f(6, horizon);
+        let x = self.kf.extrapolate(&f_dt);
+        let position = Vec3::new(x[(0, 0)] as f32, x[(1, 0)] as f32, x[(2, 0)] as f32);
+        let orientation = Quat::from_yaw_pitch_roll(
+            angles::wrap(x[(3, 0)] as f32),
+            angles::wrap(x[(4, 0)] as f32),
+            angles::wrap(x[(5, 0)] as f32),
+        );
+        Pose { position, orientation }
+    }
+
+    /// Current filtered pose (zero-horizon prediction).
+    pub fn filtered(&self) -> Pose {
+        self.predict(0.0)
+    }
+
+    pub fn config(&self) -> &PosePredictorConfig {
+        &self.cfg
+    }
+
+    /// Whether at least one observation has been consumed.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmatrix_identity_mul() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = DMatrix::identity(2);
+        assert_eq!(a.mul(&i), a);
+        assert_eq!(i.mul(&a), a);
+    }
+
+    #[test]
+    fn dmatrix_inverse_round_trip() {
+        let a = DMatrix::from_rows(&[&[4.0, 7.0, 1.0], &[2.0, 6.0, 0.5], &[1.0, 1.0, 3.0]]);
+        let inv = a.inverse().unwrap();
+        let prod = a.mul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-9, "{prod:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dmatrix_singular_inverse_is_none() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn dmatrix_transpose_involution() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows, 3);
+    }
+
+    #[test]
+    fn constant_velocity_transition_moves_position() {
+        let f = constant_velocity_f(2, 0.5);
+        let x = DMatrix::col_vec(&[1.0, 2.0, 10.0, -4.0]); // p=(1,2), v=(10,-4)
+        let x2 = f.mul(&x);
+        assert!((x2[(0, 0)] - 6.0).abs() < 1e-12);
+        assert!((x2[(1, 0)] - 0.0).abs() < 1e-12);
+        assert!((x2[(2, 0)] - 10.0).abs() < 1e-12); // velocity unchanged
+    }
+
+    #[test]
+    fn kalman_tracks_constant_velocity_1d() {
+        // 1-D constant velocity target observed with small noise.
+        let dt = 0.1;
+        let f = constant_velocity_f(1, dt);
+        let h = position_only_h(1);
+        let q = white_noise_q(1, dt, 0.01);
+        let mut r = DMatrix::zeros(1, 1);
+        r[(0, 0)] = 1e-4;
+        let x0 = DMatrix::col_vec(&[0.0, 0.0]);
+        let p0 = DMatrix::identity(2).scale(10.0);
+        let mut kf = KalmanFilter::new(f, h, q, r, x0, p0);
+
+        let v_true = 2.0;
+        for step in 1..=100 {
+            let t = step as f64 * dt;
+            kf.predict();
+            kf.update(&DMatrix::col_vec(&[v_true * t]));
+        }
+        assert!((kf.x[(1, 0)] - v_true).abs() < 0.05, "estimated v = {}", kf.x[(1, 0)]);
+    }
+
+    #[test]
+    fn pose_predictor_initializes_from_first_observation() {
+        let mut p = PosePredictor::new(PosePredictorConfig::default());
+        assert!(!p.is_initialized());
+        let pose = Pose::new(Vec3::new(1.0, 2.0, 3.0), Quat::from_axis_angle(Vec3::Y, 0.4));
+        p.observe(&pose);
+        assert!(p.is_initialized());
+        let (pos_err, ang_err) = p.filtered().error_to(&pose);
+        assert!(pos_err < 1e-4);
+        assert!(ang_err < 0.5);
+    }
+
+    #[test]
+    fn pose_predictor_extrapolates_linear_motion() {
+        let cfg = PosePredictorConfig::default();
+        let mut p = PosePredictor::new(cfg);
+        // Walk along +X at 1 m/s while turning at 0.5 rad/s.
+        let dt = cfg.dt as f32;
+        for step in 0..60 {
+            let t = step as f32 * dt;
+            let pose = Pose::new(
+                Vec3::new(t, 1.6, 0.0),
+                Quat::from_yaw_pitch_roll(0.5 * t, 0.0, 0.0),
+            );
+            p.observe(&pose);
+        }
+        let horizon = 0.1; // 100 ms one-way delay
+        let t_pred = 59.0 * dt + horizon as f32;
+        let truth = Pose::new(
+            Vec3::new(t_pred, 1.6, 0.0),
+            Quat::from_yaw_pitch_roll(0.5 * t_pred, 0.0, 0.0),
+        );
+        let (pos_err, ang_err) = p.predict(horizon).error_to(&truth);
+        assert!(pos_err < 0.02, "position error {pos_err}");
+        assert!(ang_err < 2.0, "angle error {ang_err}°");
+    }
+
+    #[test]
+    fn pose_predictor_handles_yaw_seam() {
+        // Rotate through the ±π seam; prediction must not explode.
+        let cfg = PosePredictorConfig::default();
+        let mut p = PosePredictor::new(cfg);
+        let dt = cfg.dt as f32;
+        let rate = 1.0f32; // rad/s
+        let start = 3.0f32; // near +π
+        for step in 0..40 {
+            let yaw = angles::wrap(start + rate * step as f32 * dt);
+            p.observe(&Pose::new(Vec3::ZERO, Quat::from_yaw_pitch_roll(yaw, 0.0, 0.0)));
+        }
+        let horizon = 0.1;
+        let yaw_truth = angles::wrap(start + rate * (39.0 * dt + horizon as f32));
+        let truth = Pose::new(Vec3::ZERO, Quat::from_yaw_pitch_roll(yaw_truth, 0.0, 0.0));
+        let (_, ang_err) = p.predict(horizon).error_to(&truth);
+        assert!(ang_err < 3.0, "angle error across seam {ang_err}°");
+    }
+
+    #[test]
+    fn stationary_pose_prediction_stays_put() {
+        let cfg = PosePredictorConfig::default();
+        let mut p = PosePredictor::new(cfg);
+        let pose = Pose::new(Vec3::new(0.5, 1.7, -2.0), Quat::from_yaw_pitch_roll(1.0, 0.2, 0.0));
+        for _ in 0..30 {
+            p.observe(&pose);
+        }
+        let (pos_err, ang_err) = p.predict(0.2).error_to(&pose);
+        assert!(pos_err < 0.01, "drift {pos_err} m");
+        assert!(ang_err < 1.0, "drift {ang_err}°");
+    }
+}

@@ -1,0 +1,52 @@
+//! Real-time transport substrate: the WebRTC-shaped machinery LiVo runs on.
+//!
+//! The paper transmits its two tiled video streams over WebRTC with Google
+//! congestion control (GCC), a 100 ms jitter buffer, NACK/PLI/FIR loss
+//! recovery, and replays bandwidth traces through Mahimahi. This crate
+//! reimplements that stack as a deterministic discrete-time simulation:
+//!
+//! - [`packet`]: RTP-like packetisation and frame reassembly.
+//! - [`gcc`]: a delay-gradient + loss bandwidth estimator in the GCC
+//!   family (trendline filter, overuse detector, AIMD rate control).
+//! - [`link`]: a trace-driven bottleneck link (token service at the trace
+//!   capacity, drop-tail queue, propagation delay, optional random loss) —
+//!   the Mahimahi stand-in.
+//! - [`jitter`]: a fixed-target jitter buffer (the paper uses 100 ms).
+//! - [`nack`]: receiver-side gap detection with retransmission requests
+//!   and Picture-Loss-Indication escalation.
+//! - [`session`]: wires the above into a sender→receiver pipe with paced
+//!   sending and delayed feedback, the object the LiVo pipeline talks to.
+//!
+//! All timestamps are virtual microseconds ([`Micros`]); nothing here reads
+//! a real clock, so every experiment is reproducible.
+
+pub mod gcc;
+pub mod jitter;
+pub mod link;
+pub mod nack;
+pub mod packet;
+pub mod session;
+
+pub use gcc::GccEstimator;
+pub use jitter::JitterBuffer;
+pub use link::LinkEmulator;
+pub use packet::{Packet, Packetizer, Reassembler, StreamId};
+pub use session::{RtcSession, SessionConfig, SessionStats};
+
+/// Virtual time in microseconds since session start.
+pub type Micros = u64;
+
+/// Milliseconds → [`Micros`].
+pub const fn ms(v: u64) -> Micros {
+    v * 1_000
+}
+
+/// Seconds (f64) → [`Micros`].
+pub fn secs(v: f64) -> Micros {
+    (v * 1e6).round() as Micros
+}
+
+/// Mbps → bits per second.
+pub fn mbps(v: f64) -> f64 {
+    v * 1e6
+}

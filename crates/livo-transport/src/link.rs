@@ -1,0 +1,256 @@
+//! Trace-driven bottleneck link emulation (the Mahimahi stand-in).
+//!
+//! A single FIFO bottleneck: packets are serviced at the instantaneous
+//! capacity given by a bandwidth trace, wait in a drop-tail queue bounded
+//! by queuing delay, then cross a fixed propagation delay. Optional i.i.d.
+//! random loss models the residual wireless loss the paper's NACK/PLI
+//! features exist for.
+
+use crate::packet::Packet;
+use crate::Micros;
+use livo_capture::BandwidthTrace;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Configuration of one direction of the emulated path.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// One-way propagation delay.
+    pub propagation: Micros,
+    /// Drop-tail bound on queuing delay (Mahimahi-style "droptail with a
+    /// queue of N packets" expressed in time).
+    pub max_queue_delay: Micros,
+    /// I.i.d. packet loss probability (applied before the queue).
+    pub random_loss: f64,
+    /// RNG seed for loss decisions.
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            propagation: 20_000, // 20 ms one way
+            max_queue_delay: 500_000,
+            random_loss: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+/// One delivered packet with its arrival time.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    pub packet: Packet,
+    pub arrival: Micros,
+}
+
+/// The emulated link.
+pub struct LinkEmulator {
+    trace: BandwidthTrace,
+    cfg: LinkConfig,
+    rng: ChaCha8Rng,
+    /// Time the bottleneck server becomes free.
+    busy_until: Micros,
+    /// Packets in flight: ordered by arrival time (service completion +
+    /// propagation).
+    in_flight: VecDeque<Delivery>,
+    // --- statistics ---
+    pub delivered_packets: u64,
+    pub delivered_bits: u64,
+    pub dropped_random: u64,
+    pub dropped_queue: u64,
+    pub sent_packets: u64,
+}
+
+impl LinkEmulator {
+    pub fn new(trace: BandwidthTrace, cfg: LinkConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x1357_9BDF_2468_ACE0);
+        LinkEmulator {
+            trace,
+            cfg,
+            rng,
+            busy_until: 0,
+            in_flight: VecDeque::new(),
+            delivered_packets: 0,
+            delivered_bits: 0,
+            dropped_random: 0,
+            dropped_queue: 0,
+            sent_packets: 0,
+        }
+    }
+
+    /// Instantaneous capacity in bits/second at virtual time `now`.
+    pub fn capacity_bps(&self, now: Micros) -> f64 {
+        self.trace.capacity_at(now as f64 / 1e6) * 1e6
+    }
+
+    /// Offer one packet to the link at time `now`. Returns `false` when the
+    /// packet was dropped (random loss or full queue).
+    pub fn send(&mut self, packet: Packet, now: Micros) -> bool {
+        self.sent_packets += 1;
+        if self.cfg.random_loss > 0.0 && self.rng.gen_bool(self.cfg.random_loss) {
+            self.dropped_random += 1;
+            return false;
+        }
+        let start = now.max(self.busy_until);
+        // Drop-tail on queuing delay.
+        if start.saturating_sub(now) > self.cfg.max_queue_delay {
+            self.dropped_queue += 1;
+            return false;
+        }
+        let cap = self.capacity_bps(start).max(1e3);
+        let service = (packet.wire_bits() as f64 / cap * 1e6).ceil() as Micros;
+        self.busy_until = start + service;
+        let arrival = self.busy_until + self.cfg.propagation;
+        self.in_flight.push_back(Delivery { packet, arrival });
+        true
+    }
+
+    /// Pop every packet that has arrived by `now`, in arrival order.
+    pub fn poll(&mut self, now: Micros) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(front) = self.in_flight.front() {
+            if front.arrival <= now {
+                let d = self.in_flight.pop_front().unwrap();
+                self.delivered_packets += 1;
+                self.delivered_bits += d.packet.wire_bits();
+                out.push(d);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Current queuing backlog in time (how long a new packet would wait).
+    pub fn backlog(&self, now: Micros) -> Micros {
+        self.busy_until.saturating_sub(now)
+    }
+
+    /// Fraction of offered packets dropped so far.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.sent_packets == 0 {
+            0.0
+        } else {
+            (self.dropped_random + self.dropped_queue) as f64 / self.sent_packets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packetizer, StreamId};
+    use bytes::Bytes;
+
+    fn mk_packets(n: usize, size: usize) -> Vec<Packet> {
+        let mut p = Packetizer::with_mtu(StreamId::Color, size);
+        (0..n)
+            .flat_map(|i| p.packetize(i as u64, Bytes::from(vec![0u8; size]), 0, false))
+            .collect()
+    }
+
+    #[test]
+    fn delivery_includes_service_and_propagation() {
+        // 10 Mbps constant link, one 1200 B packet: service = 982 µs
+        // (1228 B wire), propagation 20 ms.
+        let trace = BandwidthTrace::constant(10.0, 10.0);
+        let mut link = LinkEmulator::new(trace, LinkConfig::default());
+        let pkts = mk_packets(1, 1200);
+        assert!(link.send(pkts[0].clone(), 0));
+        assert!(link.poll(10_000).is_empty(), "not yet arrived");
+        let out = link.poll(30_000);
+        assert_eq!(out.len(), 1);
+        let expect = (1228.0 * 8.0 / 10e6 * 1e6) as Micros + 20_000;
+        assert!((out[0].arrival as i64 - expect as i64).abs() <= 2, "{}", out[0].arrival);
+    }
+
+    #[test]
+    fn queue_builds_under_overload() {
+        let trace = BandwidthTrace::constant(1.0, 10.0); // 1 Mbps
+        let mut link = LinkEmulator::new(trace, LinkConfig::default());
+        for p in mk_packets(50, 1200) {
+            link.send(p, 0);
+        }
+        // 50 packets at ~9.8 ms each ≈ 490 ms backlog.
+        let backlog = link.backlog(0);
+        assert!(backlog > 400_000, "backlog {backlog} µs");
+        // Arrivals are spaced by the service time.
+        let out = link.poll(10_000_000);
+        assert_eq!(out.len(), 50);
+        let gaps: Vec<i64> = out.windows(2).map(|w| w[1].arrival as i64 - w[0].arrival as i64).collect();
+        for g in gaps {
+            assert!((g - 9824).abs() < 20, "gap {g}");
+        }
+    }
+
+    #[test]
+    fn droptail_kicks_in() {
+        let trace = BandwidthTrace::constant(1.0, 10.0);
+        let cfg = LinkConfig { max_queue_delay: 50_000, ..Default::default() };
+        let mut link = LinkEmulator::new(trace, cfg);
+        let mut accepted = 0;
+        for p in mk_packets(100, 1200) {
+            if link.send(p, 0) {
+                accepted += 1;
+            }
+        }
+        // Only ~5 packets fit in 50 ms at 1 Mbps.
+        assert!(accepted < 10, "{accepted} accepted");
+        assert!(link.dropped_queue > 80);
+        assert!(link.loss_fraction() > 0.8);
+    }
+
+    #[test]
+    fn random_loss_drops_expected_fraction() {
+        let trace = BandwidthTrace::constant(100.0, 10.0);
+        let cfg = LinkConfig { random_loss: 0.2, seed: 7, ..Default::default() };
+        let mut link = LinkEmulator::new(trace, cfg);
+        let mut lost = 0;
+        for (i, p) in mk_packets(2000, 200).into_iter().enumerate() {
+            if !link.send(p, i as Micros * 1000) {
+                lost += 1;
+            }
+        }
+        let frac = lost as f64 / 2000.0;
+        assert!((frac - 0.2).abs() < 0.04, "loss {frac}");
+    }
+
+    #[test]
+    fn throughput_tracks_trace_capacity() {
+        // Saturate a 5 Mbps link for 5 s; delivered bits ≈ 5 Mbit × 5.
+        let trace = BandwidthTrace::constant(5.0, 10.0);
+        let mut link = LinkEmulator::new(trace, LinkConfig { max_queue_delay: 100_000, ..Default::default() });
+        let mut t = 0;
+        let mut p = Packetizer::with_mtu(StreamId::Color, 1200);
+        while t < 5_000_000 {
+            for pkt in p.packetize(t, Bytes::from(vec![0u8; 1200]), t, false) {
+                link.send(pkt, t);
+            }
+            link.poll(t);
+            t += 500; // 19.6 Mbps offered
+        }
+        let delivered = link.poll(20_000_000);
+        let total_bits: u64 =
+            delivered.iter().map(|d| d.packet.wire_bits()).sum::<u64>() + link.delivered_bits
+                - delivered.iter().map(|d| d.packet.wire_bits()).sum::<u64>();
+        let mbps = total_bits as f64 / 5.0 / 1e6;
+        assert!((mbps - 5.0).abs() < 0.5, "delivered {mbps} Mbps");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let trace = BandwidthTrace::constant(2.0, 10.0);
+            let cfg = LinkConfig { random_loss: 0.1, seed: 42, ..Default::default() };
+            let mut link = LinkEmulator::new(trace, cfg);
+            let mut pattern = Vec::new();
+            for (i, p) in mk_packets(100, 600).into_iter().enumerate() {
+                pattern.push(link.send(p, i as Micros * 2000));
+            }
+            pattern
+        };
+        assert_eq!(run(), run());
+    }
+}

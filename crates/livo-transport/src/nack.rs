@@ -1,0 +1,212 @@
+//! Loss recovery: NACK retransmission requests and PLI escalation.
+//!
+//! The paper enables WebRTC's negative acknowledgements, Picture Loss
+//! Indication and Full Intraframe Request (§A.1). The receiver-side
+//! [`NackGenerator`] batches missing sequence numbers at RTCP-ish
+//! intervals with bounded retries; the sender-side [`RetransmitBuffer`]
+//! answers them from a recent-packet window. When a frame stays
+//! incomplete past a deadline, the receiver escalates to a PLI, which the
+//! application layer translates into a forced keyframe.
+
+use crate::packet::Packet;
+use crate::Micros;
+use std::collections::{HashMap, VecDeque};
+
+/// Receiver-side NACK scheduling.
+#[derive(Debug)]
+pub struct NackGenerator {
+    /// seq → (times requested, last request time).
+    requested: HashMap<u64, (u32, Micros)>,
+    /// Minimum spacing between requests for the same seq.
+    retry_interval: Micros,
+    max_retries: u32,
+    /// Incomplete-frame deadline after which a PLI fires.
+    pli_deadline: Micros,
+    /// frame_id → first time it was seen stuck.
+    stuck_since: HashMap<u64, Micros>,
+    last_pli: Option<Micros>,
+    /// Minimum spacing between PLIs.
+    pli_interval: Micros,
+}
+
+impl NackGenerator {
+    pub fn new(retry_interval: Micros, max_retries: u32, pli_deadline: Micros) -> Self {
+        NackGenerator {
+            requested: HashMap::new(),
+            retry_interval,
+            max_retries,
+            pli_deadline,
+            stuck_since: HashMap::new(),
+            last_pli: None,
+            pli_interval: pli_deadline,
+        }
+    }
+
+    /// Defaults tuned for a ~40 ms RTT path: retry every 30 ms, at most 3
+    /// times, PLI after 250 ms stuck.
+    pub fn with_defaults() -> Self {
+        Self::new(30_000, 3, 250_000)
+    }
+
+    /// Given current gaps, decide which seqs to NACK now.
+    pub fn nacks(&mut self, missing: &[u64], now: Micros) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &seq in missing {
+            let e = self.requested.entry(seq).or_insert((0, 0));
+            let due = e.0 == 0 || now.saturating_sub(e.1) >= self.retry_interval;
+            if due && e.0 < self.max_retries {
+                e.0 += 1;
+                e.1 = now;
+                out.push(seq);
+            }
+        }
+        // Garbage-collect entries for seqs no longer missing.
+        if self.requested.len() > 10_000 {
+            let missing_set: std::collections::HashSet<u64> = missing.iter().copied().collect();
+            self.requested.retain(|s, _| missing_set.contains(s));
+        }
+        out
+    }
+
+    /// Track stuck frames; returns `true` when a PLI should fire now.
+    pub fn check_pli(&mut self, stuck_frames: &[u64], now: Micros) -> bool {
+        // Forget frames that are no longer stuck.
+        let stuck: std::collections::HashSet<u64> = stuck_frames.iter().copied().collect();
+        self.stuck_since.retain(|f, _| stuck.contains(f));
+        for &f in stuck_frames {
+            self.stuck_since.entry(f).or_insert(now);
+        }
+        let overdue = self
+            .stuck_since
+            .values()
+            .any(|&since| now.saturating_sub(since) >= self.pli_deadline);
+        if overdue {
+            let can_fire = self
+                .last_pli
+                .map_or(true, |t| now.saturating_sub(t) >= self.pli_interval);
+            if can_fire {
+                self.last_pli = Some(now);
+                self.stuck_since.clear();
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Sender-side retransmission window.
+#[derive(Debug, Default)]
+pub struct RetransmitBuffer {
+    packets: VecDeque<Packet>,
+    max_packets: usize,
+}
+
+impl RetransmitBuffer {
+    pub fn new(max_packets: usize) -> Self {
+        RetransmitBuffer { packets: VecDeque::new(), max_packets }
+    }
+
+    /// Remember a sent packet.
+    pub fn store(&mut self, pkt: &Packet) {
+        self.packets.push_back(pkt.clone());
+        while self.packets.len() > self.max_packets {
+            self.packets.pop_front();
+        }
+    }
+
+    /// Look up packets for a NACK; marks them as retransmissions.
+    pub fn lookup(&self, seqs: &[u64]) -> Vec<Packet> {
+        seqs.iter()
+            .filter_map(|&s| {
+                self.packets.iter().find(|p| p.seq == s).map(|p| {
+                    let mut p = p.clone();
+                    p.retransmit = true;
+                    p
+                })
+            })
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packetizer, StreamId};
+    use bytes::Bytes;
+
+    #[test]
+    fn nack_fires_once_then_respects_retry_interval() {
+        let mut g = NackGenerator::new(30_000, 3, 250_000);
+        assert_eq!(g.nacks(&[5, 6], 0), vec![5, 6]);
+        assert!(g.nacks(&[5, 6], 10_000).is_empty(), "too soon to retry");
+        assert_eq!(g.nacks(&[5, 6], 31_000), vec![5, 6]);
+    }
+
+    #[test]
+    fn nack_gives_up_after_max_retries() {
+        let mut g = NackGenerator::new(10_000, 2, 250_000);
+        assert_eq!(g.nacks(&[9], 0).len(), 1);
+        assert_eq!(g.nacks(&[9], 20_000).len(), 1);
+        assert!(g.nacks(&[9], 40_000).is_empty());
+        assert!(g.nacks(&[9], 400_000).is_empty());
+    }
+
+    #[test]
+    fn pli_fires_after_deadline_and_rate_limits() {
+        let mut g = NackGenerator::new(10_000, 2, 100_000);
+        assert!(!g.check_pli(&[3], 0));
+        assert!(!g.check_pli(&[3], 50_000));
+        assert!(g.check_pli(&[3], 120_000), "overdue frame fires PLI");
+        // Immediately after, another stuck frame shouldn't re-fire.
+        assert!(!g.check_pli(&[4], 130_000));
+        assert!(!g.check_pli(&[4], 200_000));
+        assert!(g.check_pli(&[4], 260_000), "after the PLI interval");
+    }
+
+    #[test]
+    fn recovered_frames_stop_the_pli_clock() {
+        let mut g = NackGenerator::new(10_000, 2, 100_000);
+        assert!(!g.check_pli(&[7], 0));
+        // Frame 7 recovers; nothing stuck now.
+        assert!(!g.check_pli(&[], 150_000));
+        // A new stuck frame starts a fresh clock.
+        assert!(!g.check_pli(&[8], 160_000));
+        assert!(!g.check_pli(&[8], 200_000));
+        assert!(g.check_pli(&[8], 270_000));
+    }
+
+    #[test]
+    fn retransmit_buffer_finds_and_marks() {
+        let mut pz = Packetizer::with_mtu(StreamId::Depth, 50);
+        let pkts = pz.packetize(0, Bytes::from(vec![0u8; 200]), 0, false);
+        let mut rb = RetransmitBuffer::new(16);
+        for p in &pkts {
+            rb.store(p);
+        }
+        let found = rb.lookup(&[1, 3, 99]);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|p| p.retransmit));
+        assert_eq!(found[0].seq, 1);
+    }
+
+    #[test]
+    fn retransmit_buffer_evicts_oldest() {
+        let mut pz = Packetizer::with_mtu(StreamId::Depth, 10);
+        let pkts = pz.packetize(0, Bytes::from(vec![0u8; 100]), 0, false);
+        let mut rb = RetransmitBuffer::new(4);
+        for p in &pkts {
+            rb.store(p);
+        }
+        assert_eq!(rb.len(), 4);
+        assert!(rb.lookup(&[0]).is_empty(), "oldest evicted");
+        assert_eq!(rb.lookup(&[9]).len(), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! RTP-like packetisation and frame reassembly.
+
+use crate::Micros;
+use bytes::Bytes;
+
+/// Which media stream a packet belongs to. LiVo sends two: tiled colour and
+/// tiled depth (§3.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StreamId {
+    Color,
+    Depth,
+    /// Control/other (calibration exchange at session setup, §A.1).
+    Control,
+}
+
+/// One packet. Sequence numbers are per-stream and monotonically
+/// increasing; `marker` flags the last packet of a frame (RTP's M bit).
+#[derive(Debug, Clone)]
+pub struct Packet {
+    pub stream: StreamId,
+    pub seq: u64,
+    pub frame_id: u64,
+    /// Departure timestamp — set at packetisation, updated by the pacer
+    /// when the packet actually leaves (GCC needs true departure times).
+    pub send_ts: Micros,
+    /// Packetisation timestamp (for end-to-end latency accounting).
+    pub origin_ts: Micros,
+    /// Position of this packet within its frame.
+    pub frag_index: u32,
+    /// Total packets in this frame.
+    pub frag_count: u32,
+    /// Payload bytes (shared, zero-copy slices of the encoded frame).
+    pub payload: Bytes,
+    pub marker: bool,
+    pub keyframe: bool,
+    /// True when this is a NACK-triggered retransmission.
+    pub retransmit: bool,
+}
+
+impl Packet {
+    /// Wire size: payload plus a 28-byte RTP+UDP+IP-ish header.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len() + 28
+    }
+
+    pub fn wire_bits(&self) -> u64 {
+        self.wire_bytes() as u64 * 8
+    }
+}
+
+/// Default MTU payload (1200 B is WebRTC's conventional safe payload size).
+pub const DEFAULT_MTU: usize = 1200;
+
+/// Splits encoded frames into packets with per-stream sequence numbers.
+#[derive(Debug)]
+pub struct Packetizer {
+    stream: StreamId,
+    next_seq: u64,
+    mtu: usize,
+}
+
+impl Packetizer {
+    pub fn new(stream: StreamId) -> Self {
+        Packetizer { stream, next_seq: 0, mtu: DEFAULT_MTU }
+    }
+
+    pub fn with_mtu(stream: StreamId, mtu: usize) -> Self {
+        assert!(mtu > 0);
+        Packetizer { stream, next_seq: 0, mtu }
+    }
+
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Packetise one encoded frame.
+    pub fn packetize(
+        &mut self,
+        frame_id: u64,
+        data: Bytes,
+        send_ts: Micros,
+        keyframe: bool,
+    ) -> Vec<Packet> {
+        let n = data.len().div_ceil(self.mtu).max(1);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let start = i * self.mtu;
+            let end = ((i + 1) * self.mtu).min(data.len());
+            out.push(Packet {
+                stream: self.stream,
+                seq: self.next_seq,
+                frame_id,
+                send_ts,
+                origin_ts: send_ts,
+                frag_index: i as u32,
+                frag_count: n as u32,
+                payload: data.slice(start..end),
+                marker: i == n - 1,
+                keyframe,
+                retransmit: false,
+            });
+            self.next_seq += 1;
+        }
+        out
+    }
+}
+
+/// A fully reassembled frame.
+#[derive(Debug, Clone)]
+pub struct AssembledFrame {
+    pub stream: StreamId,
+    pub frame_id: u64,
+    pub data: Bytes,
+    pub keyframe: bool,
+    /// Arrival time of the packet that completed the frame.
+    pub completed_at: Micros,
+    /// Send timestamp of the frame's packets.
+    pub send_ts: Micros,
+}
+
+/// Per-stream frame reassembly with gap tracking.
+///
+/// Keeps packets of in-flight frames; emits frames when every packet from
+/// the frame's first seq through its marker has arrived. Frames whose id is
+/// older than an already-emitted frame are discarded (the jitter buffer
+/// enforces playout order; decode requires sender order anyway).
+#[derive(Debug)]
+pub struct Reassembler {
+    /// In-flight frames: (frame_id → (packets sorted by seq, have_marker)).
+    pending: std::collections::BTreeMap<u64, Vec<Packet>>,
+    /// Highest seq seen (for gap detection).
+    highest_seq: Option<u64>,
+    /// Seqs seen, within the tracking window (for NACK de-duplication).
+    seen: std::collections::BTreeSet<u64>,
+    /// Frames already emitted (ids below this are stale).
+    next_emit_frame: u64,
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reassembler {
+    pub fn new() -> Self {
+        Reassembler {
+            pending: Default::default(),
+            highest_seq: None,
+            seen: Default::default(),
+            next_emit_frame: 0,
+        }
+    }
+
+    /// Feed one packet; returns a frame if this packet completed one.
+    pub fn push(&mut self, pkt: Packet, now: Micros) -> Option<AssembledFrame> {
+        self.highest_seq = Some(self.highest_seq.map_or(pkt.seq, |h| h.max(pkt.seq)));
+        self.seen.insert(pkt.seq);
+        // Trim the seen-window to bound memory.
+        if self.seen.len() > 20_000 {
+            let cutoff = *self.seen.iter().nth(10_000).unwrap();
+            self.seen = self.seen.split_off(&cutoff);
+        }
+        if pkt.frame_id < self.next_emit_frame {
+            return None; // stale retransmission of an old frame
+        }
+        let entry = self.pending.entry(pkt.frame_id).or_default();
+        if entry.iter().any(|p| p.seq == pkt.seq) {
+            return None; // duplicate
+        }
+        let frag_count = pkt.frag_count as usize;
+        entry.push(pkt);
+        entry.sort_by_key(|p| p.frag_index);
+        // Complete = every fragment of the frame has arrived.
+        if entry.len() < frag_count {
+            return None;
+        }
+        let frame_id = entry[0].frame_id;
+        let packets = self.pending.remove(&frame_id).unwrap();
+        // Drop any stale older frames still pending.
+        self.pending = self.pending.split_off(&frame_id);
+        self.next_emit_frame = frame_id + 1;
+        let mut data = Vec::with_capacity(packets.iter().map(|p| p.payload.len()).sum());
+        for p in &packets {
+            data.extend_from_slice(&p.payload);
+        }
+        Some(AssembledFrame {
+            stream: packets[0].stream,
+            frame_id,
+            data: Bytes::from(data),
+            keyframe: packets[0].keyframe,
+            completed_at: now,
+            send_ts: packets[0].origin_ts,
+        })
+    }
+
+    /// Sequence numbers below the highest seen that have never arrived —
+    /// the NACK candidates.
+    pub fn missing_seqs(&self, max: usize) -> Vec<u64> {
+        let Some(high) = self.highest_seq else {
+            return Vec::new();
+        };
+        let floor = self.seen.iter().next().copied().unwrap_or(0);
+        let mut out = Vec::new();
+        for s in floor..high {
+            if !self.seen.contains(&s) {
+                out.push(s);
+                if out.len() >= max {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Frame ids currently stuck in reassembly (candidates for PLI when
+    /// they stay stuck).
+    pub fn stuck_frames(&self) -> Vec<u64> {
+        self.pending.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_bytes(n: usize, tag: u8) -> Bytes {
+        Bytes::from((0..n).map(|i| (i as u8) ^ tag).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn packetizer_splits_on_mtu() {
+        let mut p = Packetizer::with_mtu(StreamId::Color, 100);
+        let pkts = p.packetize(0, frame_bytes(250, 1), 0, true);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0].payload.len(), 100);
+        assert_eq!(pkts[2].payload.len(), 50);
+        assert!(pkts[2].marker && !pkts[0].marker);
+        assert_eq!(pkts[2].seq, 2);
+        // Sequence numbers continue across frames.
+        let pkts2 = p.packetize(1, frame_bytes(50, 2), 10, false);
+        assert_eq!(pkts2[0].seq, 3);
+    }
+
+    #[test]
+    fn empty_frame_still_sends_one_marker_packet() {
+        let mut p = Packetizer::new(StreamId::Depth);
+        let pkts = p.packetize(0, Bytes::new(), 0, false);
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].marker);
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let mut p = Packetizer::with_mtu(StreamId::Color, 64);
+        let data = frame_bytes(200, 3);
+        let pkts = p.packetize(0, data.clone(), 5, true);
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for pkt in pkts {
+            out = r.push(pkt, 99);
+        }
+        let f = out.expect("frame completes on last packet");
+        assert_eq!(f.data, data);
+        assert_eq!(f.frame_id, 0);
+        assert!(f.keyframe);
+        assert_eq!(f.completed_at, 99);
+    }
+
+    #[test]
+    fn reassembly_out_of_order() {
+        let mut p = Packetizer::with_mtu(StreamId::Color, 64);
+        let data = frame_bytes(300, 4);
+        let mut pkts = p.packetize(0, data.clone(), 5, false);
+        pkts.reverse();
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for pkt in pkts {
+            if let Some(f) = r.push(pkt, 1) {
+                done = Some(f);
+            }
+        }
+        assert_eq!(done.unwrap().data, data);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut p = Packetizer::with_mtu(StreamId::Color, 64);
+        let pkts = p.packetize(0, frame_bytes(100, 5), 0, false);
+        let mut r = Reassembler::new();
+        assert!(r.push(pkts[0].clone(), 0).is_none());
+        assert!(r.push(pkts[0].clone(), 0).is_none());
+        let f = r.push(pkts[1].clone(), 0).unwrap();
+        assert_eq!(f.data.len(), 100);
+    }
+
+    #[test]
+    fn missing_seqs_reports_gaps() {
+        let mut p = Packetizer::with_mtu(StreamId::Color, 64);
+        let pkts = p.packetize(0, frame_bytes(64 * 5, 6), 0, false);
+        let mut r = Reassembler::new();
+        r.push(pkts[0].clone(), 0);
+        r.push(pkts[3].clone(), 0);
+        assert_eq!(r.missing_seqs(10), vec![1, 2]);
+        assert_eq!(r.stuck_frames(), vec![0]);
+        // Retransmissions fill the gap.
+        r.push(pkts[1].clone(), 1);
+        r.push(pkts[2].clone(), 1);
+        assert!(r.missing_seqs(10).is_empty());
+        let f = r.push(pkts[4].clone(), 2).unwrap();
+        assert_eq!(f.data.len(), 320);
+    }
+
+    #[test]
+    fn newer_complete_frame_discards_older_incomplete() {
+        let mut p = Packetizer::with_mtu(StreamId::Color, 64);
+        let f0 = p.packetize(0, frame_bytes(128, 7), 0, false);
+        let f1 = p.packetize(1, frame_bytes(64, 8), 1, false);
+        let mut r = Reassembler::new();
+        r.push(f0[0].clone(), 0); // frame 0 incomplete (missing second pkt)
+        let done = r.push(f1[0].clone(), 1).unwrap();
+        assert_eq!(done.frame_id, 1);
+        // Late packet of frame 0 no longer resurrects it.
+        assert!(r.push(f0[1].clone(), 2).is_none());
+        assert!(r.stuck_frames().is_empty());
+    }
+
+    #[test]
+    fn wire_size_includes_header() {
+        let mut p = Packetizer::with_mtu(StreamId::Color, 100);
+        let pkts = p.packetize(0, frame_bytes(100, 9), 0, false);
+        assert_eq!(pkts[0].wire_bytes(), 128);
+        assert_eq!(pkts[0].wire_bits(), 1024);
+    }
+}

