@@ -14,11 +14,15 @@
 use livo_capture::{TraceId, VideoId};
 use livo_eval::experiments::{run_grid, EvalProfile, GridResult, Scheme};
 use livo_eval::report;
+use livo_telemetry::{log_event, Level};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick|--standard] <artefact>...\n\
-         artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid all"
+        "usage: repro [--quick|--standard] [--metrics <path>] <artefact>...\n\
+         artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid all\n\
+         --metrics <path>: also run one instrumented LiVo replay and write the\n\
+         telemetry snapshot (schema livo-bench-pipeline-v1) as JSON to <path>\n\
+         progress goes through the structured logger; filter with LIVO_LOG=warn|info|debug"
     );
     std::process::exit(2);
 }
@@ -33,7 +37,14 @@ struct GridCache {
 impl GridCache {
     fn get(&mut self) -> &[GridResult] {
         if self.grid.is_none() {
-            eprintln!("[repro] running the study grid (4 schemes x 5 videos x 2 traces)...");
+            log_event!(
+                Level::Info,
+                "repro",
+                "running the study grid",
+                "schemes" => Scheme::STUDY.len(),
+                "videos" => VideoId::ALL.len(),
+                "traces" => TraceId::ALL.len()
+            );
             let grid =
                 run_grid(&Scheme::STUDY, &VideoId::ALL, &TraceId::ALL, &[0], &self.profile);
             self.grid = Some(grid);
@@ -49,10 +60,16 @@ fn main() {
     }
     let mut profile = EvalProfile::standard();
     let mut artefacts: Vec<String> = Vec::new();
-    for a in &args {
+    let mut metrics_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
         match a.as_str() {
             "--quick" => profile = EvalProfile::quick(),
             "--standard" => profile = EvalProfile::standard(),
+            "--metrics" => match iter.next() {
+                Some(p) => metrics_path = Some(p.clone()),
+                None => usage(),
+            },
             "all" => artefacts.extend(
                 [
                     "table1", "table3", "table4", "table5", "table6", "fig4", "fig5", "fig9",
@@ -65,12 +82,12 @@ fn main() {
             other => artefacts.push(other.to_string()),
         }
     }
-    if artefacts.is_empty() {
+    if artefacts.is_empty() && metrics_path.is_none() {
         usage();
     }
     let mut cache = GridCache { profile, grid: None };
     for a in &artefacts {
-        eprintln!("[repro] {a}...");
+        log_event!(Level::Info, "repro", "generating artefact", "artefact" => a.as_str());
         let text = match a.as_str() {
             "table1" => report::table1(&profile),
             "table3" => report::table3(&profile),
@@ -112,11 +129,25 @@ fn main() {
                 s
             }
             _ => {
-                eprintln!("unknown artefact: {a}");
+                log_event!(Level::Error, "repro", "unknown artefact", "artefact" => a.as_str());
                 usage();
             }
         };
         println!("==================== {a} ====================");
         println!("{text}");
+    }
+    if let Some(path) = metrics_path {
+        log_event!(Level::Info, "repro", "writing telemetry snapshot", "path" => path.as_str());
+        let json = report::bench_snapshot(&profile);
+        if let Err(e) = std::fs::write(&path, &json) {
+            log_event!(
+                Level::Error,
+                "repro",
+                "failed to write metrics snapshot",
+                "path" => path.as_str(),
+                "error" => e.to_string()
+            );
+            std::process::exit(1);
+        }
     }
 }

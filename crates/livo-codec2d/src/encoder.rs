@@ -8,6 +8,8 @@ use crate::plane::{Frame, PixelFormat, Plane};
 use crate::quant::{self, DC_SCALE};
 use crate::rangecoder::{BitModel, RangeEncoder};
 use crate::ratecontrol::RateController;
+use livo_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
 
 /// Magic byte opening every encoded frame.
 pub const FRAME_MAGIC: u32 = 0xA7;
@@ -51,6 +53,27 @@ impl EncoderConfig {
     }
 }
 
+/// Block-level coding statistics of one encoded frame: how many prediction
+/// blocks were skipped (inter prediction matched, nothing coded) versus
+/// coded (residual transmitted). Intra frames code every block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockCounts {
+    pub skip: u64,
+    pub coded: u64,
+}
+
+impl BlockCounts {
+    /// Fraction of blocks that carried a coded residual.
+    pub fn coded_fraction(&self) -> f64 {
+        let total = self.skip + self.coded;
+        if total == 0 {
+            0.0
+        } else {
+            self.coded as f64 / total as f64
+        }
+    }
+}
+
 /// One encoded frame: the bitstream plus metadata and the encoder-side
 /// reconstruction. The reconstruction is bit-exact with what the decoder
 /// will produce, which is how LiVo estimates encoded quality at the sender
@@ -62,6 +85,8 @@ pub struct EncodedFrame {
     pub frame_type: FrameType,
     pub qp: u8,
     pub reconstruction: Frame,
+    /// Skip/coded block statistics (telemetry: intra/inter block counts).
+    pub blocks: BlockCounts,
 }
 
 impl EncodedFrame {
@@ -83,6 +108,20 @@ impl PlaneContexts {
     }
 }
 
+/// Held metric handles published once per encoded frame. Handles are
+/// resolved at attach time so the per-frame path never touches the
+/// registry's name map (atomics only).
+struct EncoderTelemetry {
+    encoded_bits: Arc<Histogram>,
+    budget_ratio: Arc<Histogram>,
+    qp: Arc<Gauge>,
+    frames_intra: Arc<Counter>,
+    frames_inter: Arc<Counter>,
+    blocks_skip: Arc<Counter>,
+    blocks_coded: Arc<Counter>,
+    bits_total: Arc<Counter>,
+}
+
 /// The rate-adaptive encoder.
 pub struct Encoder {
     cfg: EncoderConfig,
@@ -92,6 +131,7 @@ pub struct Encoder {
     force_intra: bool,
     /// Input frame of the previous call, for temporal complexity estimation.
     prev_input_luma: Option<Plane>,
+    telemetry: Option<EncoderTelemetry>,
 }
 
 impl Encoder {
@@ -103,7 +143,49 @@ impl Encoder {
             frame_index: 0,
             force_intra: false,
             prev_input_luma: None,
+            telemetry: None,
         }
+    }
+
+    /// Publish per-frame encoder metrics under `{prefix}.*` in `registry`:
+    /// `encoded_bits` and `budget_ratio` histograms, the last `qp` gauge,
+    /// and intra/inter frame plus skip/coded block counters.
+    pub fn attach_telemetry(&mut self, registry: &Arc<MetricsRegistry>, prefix: &str) {
+        self.telemetry = Some(EncoderTelemetry {
+            encoded_bits: registry.histogram(&format!("{prefix}.encoded_bits")),
+            budget_ratio: registry.histogram(&format!("{prefix}.budget_ratio")),
+            qp: registry.gauge(&format!("{prefix}.qp")),
+            frames_intra: registry.counter(&format!("{prefix}.frames_intra")),
+            frames_inter: registry.counter(&format!("{prefix}.frames_inter")),
+            blocks_skip: registry.counter(&format!("{prefix}.blocks_skip")),
+            blocks_coded: registry.counter(&format!("{prefix}.blocks_coded")),
+            bits_total: registry.counter(&format!("{prefix}.bits_total")),
+        });
+    }
+
+    /// Record one encoded frame into the attached metrics, if any.
+    /// `target_bits` is `None` for fixed-QP encodes (no budget to compare to).
+    fn publish_frame_metrics(
+        &self,
+        frame_type: FrameType,
+        qp: u8,
+        bits: u64,
+        blocks: BlockCounts,
+        target_bits: Option<u64>,
+    ) {
+        let Some(t) = &self.telemetry else { return };
+        t.encoded_bits.record(bits as f64);
+        if let Some(target) = target_bits {
+            t.budget_ratio.record(bits as f64 / target.max(1) as f64);
+        }
+        t.qp.set(qp as f64);
+        match frame_type {
+            FrameType::Intra => t.frames_intra.inc(),
+            FrameType::Inter => t.frames_inter.inc(),
+        }
+        t.blocks_skip.add(blocks.skip);
+        t.blocks_coded.add(blocks.coded);
+        t.bits_total.add(bits);
     }
 
     pub fn config(&self) -> &EncoderConfig {
@@ -139,7 +221,7 @@ impl Encoder {
             .rc
             .pick_qp(frame_type, complexity, target_bits as f64, self.cfg.qp_min, self.cfg.qp_max);
 
-        let (mut data, mut recon) = self.encode_with_qp(frame, qp, frame_type);
+        let (mut data, mut recon, mut blocks) = self.encode_with_qp(frame, qp, frame_type);
         let mut actual_bits = data.len() as u64 * 8;
         // One corrective re-encode on overshoot, like a CBR encoder's
         // internal re-quantisation.
@@ -149,14 +231,16 @@ impl Encoder {
             let redo = self.encode_with_qp(frame, qp, frame_type);
             data = redo.0;
             recon = redo.1;
+            blocks = redo.2;
             actual_bits = data.len() as u64 * 8;
         }
         self.rc.update(frame_type, complexity, actual_bits as f64, qp);
+        self.publish_frame_metrics(frame_type, qp, actual_bits, blocks, Some(target_bits));
 
         self.prev_input_luma = Some(frame.planes[0].clone());
         self.recon = Some(recon.clone());
         self.frame_index += 1;
-        EncodedFrame { data, frame_type, qp, reconstruction: recon }
+        EncodedFrame { data, frame_type, qp, reconstruction: recon, blocks }
     }
 
     /// Encode at a *fixed* QP, bypassing rate control — the behaviour of
@@ -171,11 +255,12 @@ impl Encoder {
         self.force_intra = false;
         let frame_type = if intra { FrameType::Intra } else { FrameType::Inter };
         let qp = qp.clamp(self.cfg.qp_min, self.cfg.qp_max);
-        let (data, recon) = self.encode_with_qp(frame, qp, frame_type);
+        let (data, recon, blocks) = self.encode_with_qp(frame, qp, frame_type);
+        self.publish_frame_metrics(frame_type, qp, data.len() as u64 * 8, blocks, None);
         self.prev_input_luma = Some(frame.planes[0].clone());
         self.recon = Some(recon.clone());
         self.frame_index += 1;
-        EncodedFrame { data, frame_type, qp, reconstruction: recon }
+        EncodedFrame { data, frame_type, qp, reconstruction: recon, blocks }
     }
 
     /// Complexity proxy driving the rate model: per-pixel activity (temporal
@@ -207,8 +292,13 @@ impl Encoder {
     }
 
     /// Deterministically encode `frame` at the given QP, returning the
-    /// bitstream and the reconstruction.
-    fn encode_with_qp(&self, frame: &Frame, qp: u8, frame_type: FrameType) -> (Vec<u8>, Frame) {
+    /// bitstream, the reconstruction and the skip/coded block statistics.
+    fn encode_with_qp(
+        &self,
+        frame: &Frame,
+        qp: u8,
+        frame_type: FrameType,
+    ) -> (Vec<u8>, Frame, BlockCounts) {
         let mut enc = RangeEncoder::new();
         // Header.
         enc.encode_bits(FRAME_MAGIC, 8);
@@ -220,6 +310,7 @@ impl Encoder {
 
         let mut recon = Frame::new(frame.format, frame.width, frame.height);
         let peak = frame.format.peak_value();
+        let mut counts = BlockCounts::default();
 
         match frame_type {
             FrameType::Intra => {
@@ -227,7 +318,15 @@ impl Encoder {
                     let plane_qp = plane_qp(qp, pi, frame.format);
                     let step = quant::qstep(plane_qp);
                     let mut ctx = PlaneContexts::new();
-                    encode_plane_intra(&mut enc, &mut ctx, plane, &mut recon.planes[pi], step, peak);
+                    encode_plane_intra(
+                        &mut enc,
+                        &mut ctx,
+                        plane,
+                        &mut recon.planes[pi],
+                        step,
+                        peak,
+                        &mut counts,
+                    );
                 }
             }
             FrameType::Inter => {
@@ -245,6 +344,7 @@ impl Encoder {
                     step,
                     peak,
                     self.cfg.search_range,
+                    &mut counts,
                 );
                 for pi in 1..frame.planes.len() {
                     let cq = plane_qp(qp, pi, frame.format);
@@ -260,11 +360,12 @@ impl Encoder {
                         peak,
                         &mvs,
                         frame.planes[0].width,
+                        &mut counts,
                     );
                 }
             }
         }
-        (enc.finish(), recon)
+        (enc.finish(), recon, counts)
     }
 }
 
@@ -287,10 +388,12 @@ fn encode_plane_intra(
     recon: &mut Plane,
     step: f32,
     peak: u16,
+    counts: &mut BlockCounts,
 ) {
     let mut blk = [0i32; 64];
     for by in (0..plane.height).step_by(8) {
         for bx in (0..plane.width).step_by(8) {
+            counts.coded += 1;
             plane.read_block8(bx, by, &mut blk);
             let pred = intra_dc_pred(recon, bx, by, peak);
             for v in &mut blk {
@@ -348,6 +451,7 @@ fn encode_plane_inter_luma(
     step: f32,
     peak: u16,
     search_range: i16,
+    counts: &mut BlockCounts,
 ) -> Vec<MotionVector> {
     let mbs_x = plane.width.div_ceil(MB_SIZE);
     let mbs_y = plane.height.div_ceil(MB_SIZE);
@@ -384,6 +488,11 @@ fn encode_plane_inter_luma(
             }
 
             let skip = all_zero && mv == pred_mv;
+            if skip {
+                counts.skip += 1;
+            } else {
+                counts.coded += 1;
+            }
             enc.encode_bit(&mut ctx.skip, skip);
             if !skip {
                 encode_svalue(enc, (mv.dx - pred_mv.dx) as i32);
@@ -434,12 +543,14 @@ fn encode_plane_inter_chroma(
     peak: u16,
     luma_mvs: &[MotionVector],
     luma_width: usize,
+    counts: &mut BlockCounts,
 ) {
     let mbs_x = luma_width.div_ceil(MB_SIZE);
     let mut blk = [0i32; 64];
     // One 8×8 chroma block per luma macroblock.
     for by in (0..plane.height).step_by(8) {
         for bx in (0..plane.width).step_by(8) {
+            counts.coded += 1;
             let mb_index = (by / 8) * mbs_x + (bx / 8);
             let mv = luma_mvs.get(mb_index).copied().unwrap_or_default();
             let cmv = MotionVector { dx: mv.dx / 2, dy: mv.dy / 2 };
@@ -539,6 +650,42 @@ mod tests {
         let err_hi = crate::luma_mse(&f, &hi.reconstruction);
         assert!(err_hi < err_lo, "hi {err_hi} vs lo {err_lo}");
         assert!(lo.qp > hi.qp);
+    }
+
+    #[test]
+    fn intra_frames_code_every_block() {
+        let mut enc = Encoder::new(EncoderConfig::new(64, 64, PixelFormat::Yuv420));
+        let out = enc.encode(&test_frame(64, 64, 0), 100_000);
+        // 64×64 luma = 64 blocks of 8×8, plus two 32×32 chroma planes of
+        // 16 blocks each.
+        assert_eq!(out.blocks, BlockCounts { skip: 0, coded: 64 + 16 + 16 });
+    }
+
+    #[test]
+    fn static_inter_frames_mostly_skip() {
+        let mut enc = Encoder::new(EncoderConfig::new(128, 128, PixelFormat::Yuv420));
+        let f = test_frame(128, 128, 0);
+        enc.encode(&f, 1_000_000);
+        let p = enc.encode(&f, 1_000_000);
+        assert_eq!(p.frame_type, FrameType::Inter);
+        assert!(p.blocks.skip > 0, "static content should produce skip blocks");
+        assert!(p.blocks.coded_fraction() < 0.9, "coded fraction {}", p.blocks.coded_fraction());
+    }
+
+    #[test]
+    fn attached_telemetry_sees_frames() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut enc = Encoder::new(EncoderConfig::new(64, 64, PixelFormat::Yuv420));
+        enc.attach_telemetry(&registry, "codec.color");
+        enc.encode(&test_frame(64, 64, 0), 100_000);
+        enc.encode(&test_frame(64, 64, 1), 100_000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("codec.color.frames_intra"), Some(1));
+        assert_eq!(snap.counter("codec.color.frames_inter"), Some(1));
+        let bits = snap.histogram("codec.color.encoded_bits").expect("bits histogram");
+        assert_eq!(bits.count, 2);
+        assert!(snap.counter("codec.color.bits_total").unwrap() > 0);
+        assert!(snap.gauge("codec.color.qp").unwrap() > 0.0);
     }
 
     #[test]

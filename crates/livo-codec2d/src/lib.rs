@@ -40,7 +40,7 @@ pub mod rangecoder;
 pub mod ratecontrol;
 
 pub use decoder::Decoder;
-pub use encoder::{EncodedFrame, Encoder, EncoderConfig, FrameType};
+pub use encoder::{BlockCounts, EncodedFrame, Encoder, EncoderConfig, FrameType};
 pub use plane::{Frame, PixelFormat, Plane};
 pub use ratecontrol::RateController;
 

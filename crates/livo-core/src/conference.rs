@@ -26,7 +26,12 @@ use livo_capture::{
 use livo_codec2d::{Decoder, Encoder, EncoderConfig, Frame, PixelFormat};
 use livo_math::FrustumParams;
 use livo_pointcloud::{pssim, PointCloud, PssimConfig, PssimScore};
+use livo_telemetry::{
+    log_event, stage, FrameTimeline, FrameTimelineRecord, Level, MetricsRegistry, RegistrySnapshot,
+    TelemetrySpan,
+};
 use livo_transport::{Micros, RtcSession, SessionConfig, StreamId};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of one conference replay.
@@ -158,6 +163,12 @@ pub struct RunSummary {
     pub timings: StageTimings,
     /// Total wire bits offered by the sender (both streams).
     pub bits_sent: u64,
+    /// Full metrics snapshot of the run: stage/codec histograms, transport
+    /// gauges and counters (see DESIGN.md "Telemetry").
+    pub metrics: RegistrySnapshot,
+    /// Per-frame stage timeline (capture → … → display), keyed by sender
+    /// sequence number, in virtual session time µs.
+    pub timeline: Vec<FrameTimelineRecord>,
 }
 
 impl RunSummary {
@@ -237,6 +248,34 @@ impl ConferenceRunner {
         let mut splitter = BandwidthSplitter::new(cfg.splitter);
         let mut predictor = FrustumPredictor::new(FrustumParams::default(), cfg.guard_m);
 
+        // Per-run telemetry: a private registry (runs stay independent and
+        // deterministic) and a frame timeline in virtual session time.
+        let registry = Arc::new(MetricsRegistry::new());
+        let timeline = Arc::new(FrameTimeline::new(total_frames as usize + 16));
+        session.attach_telemetry(&registry, "transport", Some(timeline.clone()));
+        color_enc.attach_telemetry(&registry, "codec.color");
+        depth_enc.attach_telemetry(&registry, "codec.depth");
+        let capture_hist = registry.histogram("conference.capture_ms");
+        let cull_hist = registry.histogram("conference.cull_ms");
+        let tile_hist = registry.histogram("conference.tile_ms");
+        let encode_hist = registry.histogram("conference.encode_ms");
+        let decode_hist = registry.histogram("conference.decode_ms");
+        let keep_hist = registry.histogram("cull.keep_fraction");
+        let split_gauge = registry.gauge("splitter.split");
+        let splitter_steps = registry.counter("splitter.steps");
+        let stall_ctr = registry.counter("display.stalls");
+        let shown_ctr = registry.counter("display.frames_shown");
+        log_event!(
+            Level::Info,
+            "conference",
+            "run start",
+            "video" => format!("{:?}", cfg.video),
+            "cameras" => cfg.n_cameras,
+            "duration_s" => cfg.duration_s as f64,
+            "cull" => cfg.cull,
+            "adapt" => cfg.adapt
+        );
+
         let mut timings = StageTimings::default();
         let mut keep_frac_sum = 0.0;
         let mut keep_frac_n = 0u64;
@@ -265,14 +304,16 @@ impl ConferenceRunner {
             let t_s = frame_idx as f32 / cfg.fps as f32;
 
             // --- capture (render the camera array) ---
-            let t0 = Instant::now();
+            let span = TelemetrySpan::start(&capture_hist);
             let snap = self.preset.scene.at(t_s);
             let mut views: Vec<RgbdFrame> = self
                 .cameras
                 .iter()
                 .map(|c| render_rgbd_at(c, &snap, frame_idx as u32))
                 .collect();
-            timings.capture_ms += t0.elapsed().as_secs_f64() * 1e3;
+            let capture_elapsed = span.finish_ms();
+            timings.capture_ms += capture_elapsed;
+            timeline.mark_dur(frame_idx, stage::CAPTURE, now, capture_elapsed);
 
             // --- sender: pose feedback + frustum prediction + cull ---
             let owd_s = session.one_way_delay_us() / 1e6;
@@ -280,7 +321,7 @@ impl ConferenceRunner {
             let feedback_pose = self.user_trace.pose_at_time((t_s - owd_s as f32).max(0.0));
             predictor.observe(&feedback_pose);
             predictor.observe_rtt(2.0 * owd_s + 0.03); // + processing slack
-            let t0 = Instant::now();
+            let span = TelemetrySpan::start(&cull_hist);
             if cfg.cull {
                 let frustum = if cfg.perfect_cull {
                     let display_pose =
@@ -292,11 +333,14 @@ impl ConferenceRunner {
                 let stats: CullStats = cull_views(&mut views, &self.cameras, &frustum);
                 keep_frac_sum += stats.keep_fraction();
                 keep_frac_n += 1;
+                keep_hist.record(stats.keep_fraction());
             }
-            timings.cull_ms += t0.elapsed().as_secs_f64() * 1e3;
+            let cull_elapsed = span.finish_ms();
+            timings.cull_ms += cull_elapsed;
+            timeline.mark_dur(frame_idx, stage::CULL, now, cull_elapsed);
 
             // --- tile ---
-            let t0 = Instant::now();
+            let span = TelemetrySpan::start(&tile_hist);
             let seq = frame_idx as u32;
             let color_canvas = compose_color(&views, &self.layout, seq);
             let depth_canvas = match cfg.depth_encoding {
@@ -318,13 +362,16 @@ impl ConferenceRunner {
                 }
                 _ => compose_depth(&views, &self.layout, &depth_codec, seq),
             };
-            timings.tile_ms += t0.elapsed().as_secs_f64() * 1e3;
+            let tile_elapsed = span.finish_ms();
+            timings.tile_ms += tile_elapsed;
+            timeline.mark_dur(frame_idx, stage::TILE, now, tile_elapsed);
 
             // --- bandwidth split + encode ---
             let estimate = session.estimate_bps();
             let media_budget = estimate * cfg.budget_fraction / cfg.fps as f64;
             let split = cfg.static_split.unwrap_or(splitter.split());
             split_sum += split;
+            split_gauge.set(split);
             let depth_bits = (media_budget * split) as u64;
             let color_bits = (media_budget * (1.0 - split)) as u64;
 
@@ -333,7 +380,7 @@ impl ConferenceRunner {
                 depth_enc.force_keyframe();
                 force_key_next = false;
             }
-            let t0 = Instant::now();
+            let span = TelemetrySpan::start(&encode_hist);
             let color_out = if cfg.adapt {
                 color_enc.encode(&color_canvas, color_bits.max(2_000))
             } else {
@@ -344,7 +391,9 @@ impl ConferenceRunner {
             } else {
                 depth_enc.encode_fixed_qp(&depth_canvas, cfg.fixed_depth_qp)
             };
-            timings.encode_ms += t0.elapsed().as_secs_f64() * 1e3;
+            let encode_elapsed = span.finish_ms();
+            timings.encode_ms += encode_elapsed;
+            timeline.mark_dur(frame_idx, stage::ENCODE, now, encode_elapsed);
 
             // --- splitter feedback (the sender's own-decode comes free from
             //     the codec's closed loop: reconstruction == decoder output) ---
@@ -373,20 +422,32 @@ impl ConferenceRunner {
                         mse.sqrt()
                     }
                 };
+                let steps_before = splitter.steps_taken();
                 splitter.update(rmse_d, rmse_c);
-            }
-
-            if std::env::var("LIVO_DEBUG").is_ok() {
-                eprintln!(
-                    "frame {frame_idx}: est={:.2}Mbps cbits={} dbits={} -> actual c={} d={} key={:?}",
-                    estimate / 1e6,
-                    color_bits,
-                    depth_bits,
-                    color_out.data.len() * 8,
-                    depth_out.data.len() * 8,
-                    color_out.frame_type
+                splitter_steps.add(splitter.steps_taken() - steps_before);
+                log_event!(
+                    Level::Trace,
+                    "conference.splitter",
+                    "split measurement",
+                    "frame" => frame_idx,
+                    "rmse_depth_mm" => rmse_d,
+                    "rmse_color" => rmse_c,
+                    "split" => splitter.split()
                 );
             }
+
+            log_event!(
+                Level::Debug,
+                "conference",
+                "frame encoded",
+                "frame" => frame_idx,
+                "estimate_mbps" => estimate / 1e6,
+                "color_budget_bits" => color_bits,
+                "depth_budget_bits" => depth_bits,
+                "color_bits" => color_out.data.len() as u64 * 8,
+                "depth_bits" => depth_out.data.len() as u64 * 8,
+                "keyframe" => color_out.frame_type == livo_codec2d::FrameType::Intra
+            );
             // --- transmit ---
             session.send_frame(
                 now,
@@ -430,7 +491,7 @@ impl ConferenceRunner {
                     }
                     expected_frame[sidx] = af.frame_id + 1;
                     need_key[sidx] = false;
-                    let t0 = Instant::now();
+                    let span = TelemetrySpan::start(&decode_hist);
                     match dec.decode(&af.data) {
                         Ok(frame) => {
                             let peak = frame.format.peak_value();
@@ -445,9 +506,24 @@ impl ConferenceRunner {
                             dec.reset();
                             need_key[sidx] = true;
                             force_key_next = true;
+                            log_event!(
+                                Level::Warn,
+                                "conference",
+                                "decode failed, requesting keyframe",
+                                "frame" => af.frame_id,
+                                "stream" => if sidx == 0 { "color" } else { "depth" }
+                            );
                         }
                     }
-                    timings.decode_ms += t0.elapsed().as_secs_f64() * 1e3;
+                    let decode_elapsed = span.finish_ms();
+                    timings.decode_ms += decode_elapsed;
+                    timeline.mark_lane_dur(
+                        af.frame_id,
+                        stage::DECODE,
+                        if sidx == 0 { "color" } else { "depth" },
+                        now,
+                        decode_elapsed,
+                    );
                 }
 
                 // Display clock: one slot per frame interval; a slot with no
@@ -461,14 +537,23 @@ impl ConferenceRunner {
                         .find(|s| last_depth.contains_key(s))
                         .copied();
                     let is_new = have.is_some() && have != displayed_seq;
-                    if !is_new && std::env::var("LIVO_DEBUG").is_ok() {
-                        eprintln!(
-                            "stall slot {slot} t={:.2}s: color={:?} depth={:?} displayed={:?}",
-                            now as f64 / 1e6,
-                            last_color.keys().next_back(),
-                            last_depth.keys().next_back(),
-                            displayed_seq
+                    if !is_new {
+                        stall_ctr.inc();
+                        log_event!(
+                            Level::Debug,
+                            "conference.display",
+                            "stall",
+                            "slot" => slot,
+                            "t_s" => now as f64 / 1e6,
+                            "newest_color" => last_color.keys().next_back().copied().unwrap_or(0),
+                            "newest_depth" => last_depth.keys().next_back().copied().unwrap_or(0),
+                            "displayed" => displayed_seq.unwrap_or(0)
                         );
+                    } else {
+                        shown_ctr.inc();
+                        if let Some(s) = have {
+                            timeline.mark(s as u64, stage::DISPLAY, now);
+                        }
                     }
                     let shown = if is_new { have } else { None };
                     let mut rec = FrameRecord { slot, shown_seq: shown, pssim: None };
@@ -555,6 +640,8 @@ impl ConferenceRunner {
             timings,
             bits_sent: session.stats().bits_sent,
             records,
+            metrics: registry.snapshot(),
+            timeline: timeline.snapshot(),
         }
     }
 
@@ -692,5 +779,55 @@ mod tests {
         let trace = BandwidthTrace::constant(40.0, 10.0);
         let s = ConferenceRunner::new(cfg).run(trace);
         assert!((s.mean_split - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_summary_carries_metrics_and_timeline() {
+        let runner = ConferenceRunner::new(quick_cfg());
+        let trace = BandwidthTrace::constant(60.0, 10.0);
+        let s = runner.run(trace);
+
+        // Stage histograms saw every sender frame.
+        let frames = s.metrics.histogram("conference.capture_ms").map(|h| h.count);
+        assert!(frames.unwrap_or(0) >= 80, "capture histogram count {frames:?}");
+        for name in ["conference.cull_ms", "conference.tile_ms", "conference.encode_ms"] {
+            let h = s.metrics.histogram(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(Some(h.count), frames, "{name} count");
+            assert!(h.p95 >= h.p50 && h.max >= h.p95, "{name} quantile order");
+        }
+
+        // The histogram means back the legacy Table-6 accessors exactly.
+        let enc = s.metrics.histogram("conference.encode_ms").unwrap();
+        assert!((enc.mean - s.timings.encode_ms).abs() < 1e-9);
+
+        // Transport + codec instrumentation attached to the same registry.
+        assert!(s.metrics.counter("transport.frames_delivered").unwrap_or(0) > 0);
+        assert!(s.metrics.counter("codec.color.bits_total").unwrap_or(0) > 0);
+        assert!(s.metrics.gauge("transport.gcc.estimate_bps").unwrap_or(0.0) > 0.0);
+        assert!(s.metrics.gauge("splitter.split").is_some());
+        assert_eq!(
+            s.metrics.counter("display.frames_shown").unwrap_or(0),
+            s.records.iter().filter(|r| r.shown_seq.is_some()).count() as u64
+        );
+
+        // Every displayed frame has a complete, monotonic sender→receiver
+        // trail stitched across pipeline, transport, and decode stages.
+        let shown: std::collections::HashSet<u64> =
+            s.records.iter().filter_map(|r| r.shown_seq).map(|q| q as u64).collect();
+        assert!(!shown.is_empty());
+        let mut complete = 0;
+        for rec in &s.timeline {
+            if !shown.contains(&rec.seq) {
+                continue;
+            }
+            assert!(rec.is_monotonic(&stage::ORDER), "frame {} out of order", rec.seq);
+            let full = [stage::CAPTURE, stage::ENCODE, stage::PACKETIZE, stage::DECODE]
+                .iter()
+                .all(|st| rec.ts_of(st).is_some());
+            if full {
+                complete += 1;
+            }
+        }
+        assert!(complete > 0, "no displayed frame has a full capture→decode trail");
     }
 }

@@ -19,7 +19,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use livo_capture::{RgbdFrame, SceneSnapshot};
 use livo_codec2d::{EncodedFrame, Encoder, EncoderConfig, PixelFormat};
 use livo_math::{Frustum, RgbdCamera};
-use parking_lot::Mutex;
+use livo_telemetry::{stage, FrameTimeline, HistogramSnapshot, MetricsRegistry, TelemetrySpan};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -43,24 +43,27 @@ pub struct EncodedPair {
     pub pipeline_latency_ms: f64,
 }
 
-/// Mean per-stage latencies, accumulated across frames.
+/// Per-stage latency distributions, snapshotted from the pipeline's
+/// histograms. The old running-mean accessors survive as thin wrappers so
+/// Table 6 printers keep working; the full distributions (p50/p95/p99/max)
+/// are new.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct PipelineTimings {
     pub frames: u64,
-    pub cull_ms: f64,
-    pub tile_ms: f64,
-    pub encode_ms: f64,
+    pub cull: HistogramSnapshot,
+    pub tile: HistogramSnapshot,
+    pub encode: HistogramSnapshot,
 }
 
 impl PipelineTimings {
     pub fn mean_cull_ms(&self) -> f64 {
-        self.cull_ms / self.frames.max(1) as f64
+        self.cull.mean
     }
     pub fn mean_tile_ms(&self) -> f64 {
-        self.tile_ms / self.frames.max(1) as f64
+        self.tile.mean
     }
     pub fn mean_encode_ms(&self) -> f64 {
-        self.encode_ms / self.frames.max(1) as f64
+        self.encode.mean
     }
 }
 
@@ -68,43 +71,74 @@ impl PipelineTimings {
 pub struct SenderPipeline {
     input: Sender<(Instant, CaptureJob)>,
     output: Receiver<EncodedPair>,
-    timings: Arc<Mutex<PipelineTimings>>,
+    registry: Arc<MetricsRegistry>,
+    epoch: Instant,
+    timeline: Option<Arc<FrameTimeline>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl SenderPipeline {
-    /// Spawn the stage threads. `depth_codec` selects the depth encoding.
+    /// Spawn the stage threads with a private metrics registry and no
+    /// frame timeline. `depth_codec` selects the depth encoding.
     pub fn spawn(
         cameras: Vec<RgbdCamera>,
         layout: TileLayout,
         depth_codec: DepthCodec,
         queue_depth: usize,
     ) -> SenderPipeline {
+        Self::spawn_with_telemetry(
+            cameras,
+            layout,
+            depth_codec,
+            queue_depth,
+            Arc::new(MetricsRegistry::new()),
+            None,
+        )
+    }
+
+    /// Spawn the stage threads recording into the given registry
+    /// (histograms `pipeline.cull_ms` / `pipeline.tile_ms` /
+    /// `pipeline.encode_ms` / `pipeline.total_ms`) and, if a timeline is
+    /// given, stamping capture/cull/tile/encode stages per `seq`.
+    /// Timeline timestamps are µs since this call (the pipeline epoch).
+    pub fn spawn_with_telemetry(
+        cameras: Vec<RgbdCamera>,
+        layout: TileLayout,
+        depth_codec: DepthCodec,
+        queue_depth: usize,
+        registry: Arc<MetricsRegistry>,
+        timeline: Option<Arc<FrameTimeline>>,
+    ) -> SenderPipeline {
         let (in_tx, in_rx) = bounded::<(Instant, CaptureJob)>(queue_depth);
         let (tile_tx, tile_rx) =
             bounded::<(Instant, u32, livo_codec2d::Frame, livo_codec2d::Frame, u64, u64)>(queue_depth);
         let (out_tx, out_rx) = bounded::<EncodedPair>(queue_depth);
-        let timings = Arc::new(Mutex::new(PipelineTimings::default()));
+        let epoch = Instant::now();
+        let cull_hist = registry.histogram("pipeline.cull_ms");
+        let tile_hist = registry.histogram("pipeline.tile_ms");
+        let encode_hist = registry.histogram("pipeline.encode_ms");
+        let total_hist = registry.histogram("pipeline.total_ms");
+        let frames_ctr = registry.counter("pipeline.frames");
 
         // Stage 1: cull + tile.
-        let t1 = Arc::clone(&timings);
         let cams = cameras.clone();
         let lay = layout;
+        let tl1 = timeline.clone();
         let stage1 = std::thread::spawn(move || {
             while let Ok((entered, mut job)) = in_rx.recv() {
-                let t0 = Instant::now();
+                let span = TelemetrySpan::start(&cull_hist);
                 if let Some(frustum) = &job.frustum {
                     cull_views(&mut job.views, &cams, frustum);
                 }
-                let cull_elapsed = t0.elapsed().as_secs_f64() * 1e3;
-                let t0 = Instant::now();
+                let cull_elapsed = span.finish_ms();
+                let span = TelemetrySpan::start(&tile_hist);
                 let color = compose_color(&job.views, &lay, job.seq);
                 let depth = compose_depth(&job.views, &lay, &depth_codec, job.seq);
-                let tile_elapsed = t0.elapsed().as_secs_f64() * 1e3;
-                {
-                    let mut t = t1.lock();
-                    t.cull_ms += cull_elapsed;
-                    t.tile_ms += tile_elapsed;
+                let tile_elapsed = span.finish_ms();
+                if let Some(tl) = &tl1 {
+                    let now_us = epoch.elapsed().as_micros() as u64;
+                    tl.mark_dur(job.seq as u64, stage::CULL, now_us, cull_elapsed);
+                    tl.mark_dur(job.seq as u64, stage::TILE, now_us, tile_elapsed);
                 }
                 if tile_tx
                     .send((entered, job.seq, color, depth, job.depth_bits, job.color_bits))
@@ -118,27 +152,29 @@ impl SenderPipeline {
         // Stage 2: encode both canvases (the paper uses two parallel NVENC
         // sessions; here the two encodes run back-to-back on one thread,
         // still overlapped with stage 1 of the next frame).
-        let t2 = Arc::clone(&timings);
+        let tl2 = timeline.clone();
         let stage2 = std::thread::spawn(move || {
             let mut color_enc =
                 Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Yuv420));
             let mut depth_enc =
                 Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Y16));
             while let Ok((entered, seq, color, depth, depth_bits, color_bits)) = tile_rx.recv() {
-                let t0 = Instant::now();
+                let span = TelemetrySpan::start(&encode_hist);
                 let color_out = color_enc.encode(&color, color_bits.max(1_000));
                 let depth_out = depth_enc.encode(&depth, depth_bits.max(1_000));
-                let enc_elapsed = t0.elapsed().as_secs_f64() * 1e3;
-                {
-                    let mut t = t2.lock();
-                    t.encode_ms += enc_elapsed;
-                    t.frames += 1;
+                let enc_elapsed = span.finish_ms();
+                frames_ctr.inc();
+                let total_ms = entered.elapsed().as_secs_f64() * 1e3;
+                total_hist.record(total_ms);
+                if let Some(tl) = &tl2 {
+                    let now_us = epoch.elapsed().as_micros() as u64;
+                    tl.mark_dur(seq as u64, stage::ENCODE, now_us, enc_elapsed);
                 }
                 let pair = EncodedPair {
                     seq,
                     color: color_out,
                     depth: depth_out,
-                    pipeline_latency_ms: entered.elapsed().as_secs_f64() * 1e3,
+                    pipeline_latency_ms: total_ms,
                 };
                 if out_tx.send(pair).is_err() {
                     break;
@@ -149,13 +185,18 @@ impl SenderPipeline {
         SenderPipeline {
             input: in_tx,
             output: out_rx,
-            timings,
+            registry,
+            epoch,
+            timeline,
             workers: vec![stage1, stage2],
         }
     }
 
     /// Submit a captured frame; blocks when the pipeline is full (backpressure).
     pub fn submit(&self, job: CaptureJob) -> bool {
+        if let Some(tl) = &self.timeline {
+            tl.mark(job.seq as u64, stage::CAPTURE, self.epoch.elapsed().as_micros() as u64);
+        }
         self.input.send((Instant::now(), job)).is_ok()
     }
 
@@ -169,8 +210,21 @@ impl SenderPipeline {
         self.output.recv().ok()
     }
 
+    /// The registry the stage threads record into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Snapshot of the per-stage latency distributions.
     pub fn timings(&self) -> PipelineTimings {
-        *self.timings.lock()
+        let snap = self.registry.snapshot();
+        let get = |name: &str| snap.histogram(name).copied().unwrap_or_default();
+        PipelineTimings {
+            frames: snap.counter("pipeline.frames").unwrap_or(0),
+            cull: get("pipeline.cull_ms"),
+            tile: get("pipeline.tile_ms"),
+            encode: get("pipeline.encode_ms"),
+        }
     }
 
     /// Close the input and join the stage threads, returning remaining
@@ -267,6 +321,65 @@ mod tests {
         // stage timings.
         let t = out.len() as f64;
         assert!(wall_ms / t < 10_000.0);
+    }
+
+    #[test]
+    fn pipeline_records_latency_distributions_and_timeline() {
+        let (cams, layout, preset) = setup();
+        let registry = Arc::new(MetricsRegistry::new());
+        let timeline = Arc::new(FrameTimeline::new(64));
+        let pipe = SenderPipeline::spawn_with_telemetry(
+            cams.clone(),
+            layout,
+            DepthCodec::default(),
+            2,
+            registry.clone(),
+            Some(timeline.clone()),
+        );
+        let n = 6;
+        for seq in 0..n {
+            let views = capture_views(&cams, &preset.scene.at(seq as f32 / 30.0));
+            pipe.submit(CaptureJob {
+                seq,
+                views,
+                frustum: None,
+                depth_bits: 50_000,
+                color_bits: 20_000,
+            });
+        }
+        let out = pipe.shutdown();
+        assert_eq!(out.len(), n as usize);
+
+        let snap = registry.snapshot();
+        let enc = snap.histogram("pipeline.encode_ms").expect("encode histogram");
+        assert_eq!(enc.count, n as u64);
+        assert!(enc.p50 > 0.0 && enc.p50 <= enc.p95 && enc.p95 <= enc.p99);
+        assert_eq!(snap.counter("pipeline.frames"), Some(n as u64));
+
+        // Every frame carries a monotonic capture→cull→tile→encode trail.
+        let records = timeline.snapshot();
+        assert_eq!(records.len(), n as usize);
+        for r in &records {
+            for s in [stage::CAPTURE, stage::CULL, stage::TILE, stage::ENCODE] {
+                assert!(r.ts_of(s).is_some(), "frame {} missing {s}", r.seq);
+            }
+            assert!(r.is_monotonic(&stage::ORDER), "frame {} out of order", r.seq);
+        }
+
+        // Old mean accessors still answer through the snapshot.
+        let t = pipe_timings_roundtrip(&snap);
+        assert!(t.mean_encode_ms() > 0.0);
+    }
+
+    /// Rebuild PipelineTimings from a snapshot the way `timings()` does.
+    fn pipe_timings_roundtrip(snap: &livo_telemetry::RegistrySnapshot) -> PipelineTimings {
+        let get = |name: &str| snap.histogram(name).copied().unwrap_or_default();
+        PipelineTimings {
+            frames: snap.counter("pipeline.frames").unwrap_or(0),
+            cull: get("pipeline.cull_ms"),
+            tile: get("pipeline.tile_ms"),
+            encode: get("pipeline.encode_ms"),
+        }
     }
 
     #[test]

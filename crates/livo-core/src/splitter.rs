@@ -43,12 +43,24 @@ pub struct BandwidthSplitter {
     cfg: SplitterConfig,
     s: f64,
     frames_since_update: u32,
+    steps: u64,
 }
 
 impl BandwidthSplitter {
     pub fn new(cfg: SplitterConfig) -> Self {
         assert!(cfg.min <= cfg.max && cfg.step > 0.0);
-        BandwidthSplitter { s: cfg.initial.clamp(cfg.min, cfg.max), cfg, frames_since_update: 0 }
+        BandwidthSplitter {
+            s: cfg.initial.clamp(cfg.min, cfg.max),
+            cfg,
+            frames_since_update: 0,
+            steps: 0,
+        }
+    }
+
+    /// Line-search steps actually taken so far (measurements whose error
+    /// imbalance exceeded the dead-band). Telemetry counter.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
     }
 
     /// Current split (fraction of bandwidth for depth).
@@ -76,6 +88,7 @@ impl BandwidthSplitter {
         } else {
             self.s -= self.cfg.step;
         }
+        self.steps += 1;
         self.s = self.s.clamp(self.cfg.min, self.cfg.max);
     }
 

@@ -163,6 +163,63 @@ pub fn table6(profile: &EvalProfile) -> String {
     out
 }
 
+/// `repro --metrics <path>`: one LiVo replay (band2 / trace-1, the Table 6
+/// configuration) dumped as machine-readable JSON. The schema is stable —
+/// `livo-bench-pipeline-v1` — so `BENCH_*.json` files from different
+/// commits can be diffed to track the performance trajectory:
+/// `{"schema":..., "config":{...}, "summary":{...}, "metrics":{...}}`.
+pub fn bench_snapshot(profile: &EvalProfile) -> String {
+    use livo_telemetry::json::ObjectWriter;
+
+    let mut cfg = ConferenceConfig::livo(VideoId::Band2);
+    cfg.camera_scale = profile.camera_scale;
+    cfg.n_cameras = profile.n_cameras;
+    cfg.duration_s = profile.duration_s;
+    cfg.quality_every = profile.quality_every;
+    let trace = BandwidthTrace::generate(TraceId::Trace1, profile.duration_s + 5.0, profile.seed);
+    let s = ConferenceRunner::new(cfg).run(trace);
+
+    let mut out = String::new();
+    let mut o = ObjectWriter::new(&mut out);
+    o.field_str("schema", "livo-bench-pipeline-v1");
+    {
+        let buf = o.field_raw("config");
+        let mut c = ObjectWriter::new(buf);
+        c.field_str("video", VideoId::Band2.name())
+            .field_str("trace", TraceId::Trace1.name())
+            .field_f64(
+                "camera_scale",
+                // Via the f32 decimal form, so 0.08f32 prints as 0.08 and
+                // not its f64-widened 0.079999998….
+                format!("{}", profile.camera_scale).parse().unwrap_or(profile.camera_scale as f64),
+            )
+            .field_u64("n_cameras", profile.n_cameras as u64)
+            .field_f64("duration_s", profile.duration_s as f64)
+            .field_u64("seed", profile.seed);
+        c.finish();
+    }
+    {
+        let buf = o.field_raw("summary");
+        let mut m = ObjectWriter::new(buf);
+        m.field_f64("stall_rate", s.stall_rate)
+            .field_f64("mean_fps", s.mean_fps)
+            .field_f64("throughput_mbps", s.throughput_mbps)
+            .field_f64("transport_latency_ms", s.transport_latency_ms)
+            .field_f64("pssim_geometry", s.pssim_geometry)
+            .field_f64("pssim_color", s.pssim_color)
+            .field_f64("mean_split", s.mean_split)
+            .field_u64("timeline_frames", s.timeline.len() as u64);
+        m.finish();
+    }
+    {
+        let buf = o.field_raw("metrics");
+        s.metrics.write_json(buf);
+    }
+    o.finish();
+    out.push('\n');
+    out
+}
+
 /// Fig. 4: RMSE vs split.
 pub fn fig4(profile: &EvalProfile) -> String {
     let splits = [0.5, 0.6, 0.7, 0.8, 0.9];

@@ -1,0 +1,319 @@
+//! Lock-free log-bucketed histograms.
+//!
+//! LiVo's headline numbers are latency claims, and latency claims live or
+//! die on tails: a pipeline whose encode stage has a fine mean but a 40 ms
+//! p99 misses its 33 ms frame slot once a second. The ad-hoc mean
+//! accumulators this module replaces could not see that at all.
+//!
+//! The histogram covers (0, ~1.7e13) with geometric buckets at ratio
+//! 2^(1/8) ≈ 1.09 — every recorded value lands in a bucket whose bounds are
+//! within ±4.4% of it, so reported quantiles carry the same bound. Each
+//! bucket is one `AtomicU64`: recording is an index computation plus a
+//! relaxed `fetch_add`, with no allocation and no lock, cheap enough for
+//! per-block counters inside the 30 fps hot path.
+
+use crate::json::ObjectWriter;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave (power of two). 8 → ±4.4% relative error.
+const SUB: usize = 8;
+/// Smallest representable exponent: values below 2^-20 (~1e-6) clamp.
+const MIN_EXP: i32 = -20;
+/// Octave span: [-20, 44) covers microseconds through ~1.7e13.
+const OCTAVES: usize = 64;
+/// Total bucket count.
+const NBUCKETS: usize = OCTAVES * SUB;
+
+/// A thread-safe log-bucketed histogram of positive values.
+pub struct Histogram {
+    buckets: [AtomicU64; NBUCKETS],
+    count: AtomicU64,
+    /// Sum of recorded values, as f64 bits, updated by CAS.
+    sum_bits: AtomicU64,
+    /// Max of recorded values. Non-negative f64s order like their bit
+    /// patterns, so an integer CAS-max suffices.
+    max_bits: AtomicU64,
+    /// Min of recorded values (same trick, CAS-min).
+    min_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+
+    /// Bucket index for a value; non-positive and non-finite values clamp
+    /// into the smallest bucket.
+    fn index(v: f64) -> usize {
+        if !(v > 0.0) || !v.is_finite() {
+            return 0;
+        }
+        let e = v.log2();
+        let idx = ((e - MIN_EXP as f64) * SUB as f64).floor();
+        if idx < 0.0 {
+            0
+        } else if idx as usize >= NBUCKETS {
+            NBUCKETS - 1
+        } else {
+            idx as usize
+        }
+    }
+
+    /// Geometric midpoint of bucket `i` (the value quantiles report).
+    fn midpoint(i: usize) -> f64 {
+        let e = MIN_EXP as f64 + (i as f64 + 0.5) / SUB as f64;
+        e.exp2()
+    }
+
+    /// Record one sample. Lock-free; relaxed ordering (metrics tolerate
+    /// momentarily torn cross-field reads).
+    pub fn record(&self, v: f64) {
+        let v = if v.is_finite() && v >= 0.0 { v } else { 0.0 };
+        self.buckets[Self::index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Sum: CAS loop over the f64 bit pattern.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        self.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
+        self.min_bits.fetch_min(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Estimate the `q`-quantile (q in [0,1]) from the buckets. Within
+    /// ±4.4% of the true value for q strictly inside the distribution.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample (1-based, ceil — the classic
+        // nearest-rank definition, robust for small counts).
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::midpoint(i).min(self.max()).max(self.min());
+            }
+        }
+        self.max()
+    }
+
+    /// Immutable copy of the summary statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// Plain-data summary of a histogram at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl HistogramSnapshot {
+    /// Serialise as a JSON object.
+    pub fn write_json(&self, out: &mut String) {
+        let mut o = ObjectWriter::new(out);
+        o.field_u64("count", self.count)
+            .field_f64("sum", self.sum)
+            .field_f64("mean", self.mean)
+            .field_f64("min", self.min)
+            .field_f64("max", self.max)
+            .field_f64("p50", self.p50)
+            .field_f64("p95", self.p95)
+            .field_f64("p99", self.p99);
+        o.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        // Uniform 1..=10_000: p50 ≈ 5000, p95 ≈ 9500, p99 ≈ 9900.
+        let h = Histogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64);
+        }
+        for (q, truth) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q);
+            let rel = (got - truth).abs() / truth;
+            assert!(rel < 0.05, "q{q}: got {got}, want ~{truth} (rel {rel:.3})");
+        }
+        assert_eq!(h.max(), 10_000.0);
+        assert_eq!(h.min(), 1.0);
+        assert!((h.mean() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantiles_on_skewed_distribution() {
+        // 95 fast samples at ~2 ms, 5 slow at 80 ms: p50 near 2, p99 lands
+        // in the tail region, max exact.
+        let h = Histogram::new();
+        for _ in 0..95 {
+            h.record(2.0);
+        }
+        for _ in 0..5 {
+            h.record(80.0);
+        }
+        assert!((h.quantile(0.5) - 2.0).abs() / 2.0 < 0.05);
+        assert!(h.quantile(0.99) > 50.0, "p99 {}", h.quantile(0.99));
+        assert_eq!(h.max(), 80.0);
+    }
+
+    #[test]
+    fn extreme_and_invalid_values_clamp() {
+        let h = Histogram::new();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(1e300);
+        assert_eq!(h.count(), 3);
+        assert!(h.max() >= 1e300 - 1.0);
+        // Quantile stays within [min, max] even with clamped buckets.
+        assert!(h.quantile(0.5) <= h.max());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000 {
+                        h.record((t * 10_000 + i) as f64 % 997.0 + 1.0);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(h.count(), 80_000);
+        let bucket_total: u64 =
+            h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        assert_eq!(bucket_total, 80_000);
+    }
+
+    #[test]
+    fn snapshot_is_ordered() {
+        let h = Histogram::new();
+        for i in 0..1000 {
+            h.record((i % 100) as f64 + 0.5);
+        }
+        let s = h.snapshot();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!(s.min <= s.p50);
+    }
+
+    #[test]
+    fn recording_is_cheap() {
+        // The overhead budget behind the "within 5% of uninstrumented"
+        // acceptance bar: at 30 fps a heavily instrumented frame takes a
+        // few hundred samples; at <1 µs each that is <0.1% of the 33 ms
+        // frame slot. The bound here is loose enough for CI noise while
+        // still catching an accidental lock or allocation on the path.
+        let h = Histogram::new();
+        let n = 1_000_000u32;
+        let t0 = std::time::Instant::now();
+        for i in 0..n {
+            h.record(i as f64 * 0.001 + 0.001);
+        }
+        let per_sample_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+        assert_eq!(h.count(), n as u64);
+        assert!(per_sample_ns < 1_000.0, "record() took {per_sample_ns:.0} ns/sample");
+    }
+}

@@ -1,0 +1,82 @@
+//! Telemetry substrate for the LiVo workspace: metrics, spans, per-frame
+//! timelines, and structured logging.
+//!
+//! Every headline claim of the paper is an observability claim — per-stage
+//! latency (Table 6), throughput and utilisation (Table 1), the 200–300 ms
+//! end-to-end budget — and tail latency, not means, decides conferencing
+//! QoE. This crate is the measurement layer the rest of the workspace
+//! publishes into:
+//!
+//! - [`registry`]: [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed [`Histogram`]s exposing p50/p95/p99/max. Registration is
+//!   locked; recording is lock-free atomics on held handles.
+//! - [`span`]: [`TelemetrySpan`] — RAII wall-clock timers recording into
+//!   histograms, cheap enough for every stage of every 30 fps frame.
+//! - [`timeline`]: [`FrameTimeline`] — per-frame stage timestamps keyed by
+//!   sequence number, stitched across threads and layers (capture → cull →
+//!   tile → encode → packetize → link → reassembly → jitter → decode →
+//!   display); one JSON object tells the full story of one frame.
+//! - [`log`]: structured events with levels and key=value fields, filtered
+//!   by `LIVO_LOG`, with a stderr text sink and a JSON-lines sink.
+//! - [`json`]: the dependency-free JSON writer the sinks share.
+//!
+//! Design constraints: **std only** (this crate sits below every other
+//! workspace crate and must never cycle), bounded memory (timelines evict,
+//! histograms are fixed arrays), and hot-path cost of one atomic op per
+//! sample after warm-up — the overhead budget that keeps instrumented
+//! throughput within 5% of uninstrumented.
+
+pub mod histogram;
+pub mod json;
+pub mod log;
+pub mod registry;
+pub mod span;
+pub mod timeline;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use log::{Level, Logger, Value};
+pub use registry::{global, Counter, Gauge, MetricsRegistry, RegistrySnapshot};
+pub use span::{timed, TelemetrySpan};
+pub use timeline::{stage, FrameTimeline, FrameTimelineRecord, TimelineEvent};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn end_to_end_registry_spans_timeline() {
+        // The shape of a typical instrumented stage: resolve handles once,
+        // record per frame, snapshot at the end.
+        let reg = Arc::new(MetricsRegistry::new());
+        let tl = FrameTimeline::new(128);
+        let encode_ms = reg.histogram("pipeline.encode_ms");
+        let frames = reg.counter("pipeline.frames");
+        for seq in 0..30u64 {
+            let span = TelemetrySpan::start(&encode_ms);
+            std::hint::black_box(seq * 17 % 5);
+            let ms = span.finish_ms();
+            tl.mark_dur(seq, stage::ENCODE, seq * 33_333, ms);
+            frames.inc();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pipeline.frames"), Some(30));
+        let h = snap.histogram("pipeline.encode_ms").unwrap();
+        assert_eq!(h.count, 30);
+        assert!(h.p50 <= h.p99 && h.p99 <= h.max);
+        assert_eq!(tl.len(), 30);
+        assert!(tl.record(29).unwrap().is_monotonic(&stage::ORDER));
+        // The whole snapshot serialises to JSON.
+        let j = snap.to_json();
+        assert!(j.contains("\"pipeline.encode_ms\""));
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = global();
+        let b = global();
+        assert!(Arc::ptr_eq(a, b));
+        a.counter("lib.test.global").add(2);
+        assert_eq!(b.counter("lib.test.global").get(), 2);
+    }
+}

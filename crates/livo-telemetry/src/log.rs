@@ -1,0 +1,358 @@
+//! Structured event logging: levels, key=value fields, pluggable sinks.
+//!
+//! Replaces the scattered `eprintln!` diagnostics with events that carry a
+//! level, a target (the subsystem emitting), a message, and typed fields.
+//! Two sinks: a human-readable text line on stderr, and an optional
+//! JSON-lines writer for machine consumption.
+//!
+//! Filtering is by level via the `LIVO_LOG` environment variable
+//! (`trace|debug|info|warn|error|off`, default `info`). The legacy
+//! `LIVO_DEBUG` variable is honoured as `debug` so existing invocations
+//! keep working. The cheap path is the disabled path: call sites check
+//! [`enabled`] (one relaxed atomic load) before formatting anything — the
+//! [`log_event!`] macro does this for you.
+
+use crate::json::{self, ObjectWriter};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Event severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Trace = 0,
+    Debug = 1,
+    Info = 2,
+    Warn = 3,
+    Error = 4,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Trace,
+            1 => Level::Debug,
+            2 => Level::Info,
+            3 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+
+    /// Parse a `LIVO_LOG` value. `None` for "off".
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "trace" => Some(Level::Trace),
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// A typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Value {
+    fn write_text(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => out.push_str(&format!("{v:.3}")),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(v) => out.push_str(v),
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => json::write_u64(out, *v),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => json::write_f64(out, *v),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(v) => json::write_str(out, v),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::$variant(v as $conv) }
+        })*
+    };
+}
+value_from!(u64 => U64 as u64, u32 => U64 as u64, u16 => U64 as u64, usize => U64 as u64,
+            i64 => I64 as i64, i32 => I64 as i64,
+            f64 => F64 as f64, f32 => F64 as f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// The logger: level filter plus sinks.
+pub struct Logger {
+    /// Minimum level that passes; `5` means everything is off.
+    min_level: AtomicU8,
+    text_sink: AtomicBool,
+    json_sink: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl Logger {
+    fn from_env() -> Logger {
+        let min = match std::env::var("LIVO_LOG") {
+            Ok(s) => match Level::parse(&s) {
+                Some(l) => l as u8,
+                None => 5, // unparsable (including "off") → off
+            },
+            Err(_) => {
+                if std::env::var("LIVO_DEBUG").is_ok() {
+                    Level::Debug as u8
+                } else {
+                    Level::Info as u8
+                }
+            }
+        };
+        Logger {
+            min_level: AtomicU8::new(min),
+            text_sink: AtomicBool::new(true),
+            json_sink: Mutex::new(None),
+        }
+    }
+
+    pub fn enabled(&self, level: Level) -> bool {
+        level as u8 >= self.min_level.load(Ordering::Relaxed)
+    }
+
+    pub fn set_level(&self, level: Level) {
+        self.min_level.store(level as u8, Ordering::Relaxed);
+    }
+
+    pub fn level(&self) -> Option<Level> {
+        let v = self.min_level.load(Ordering::Relaxed);
+        (v <= 4).then(|| Level::from_u8(v))
+    }
+
+    /// Silence every sink (still overridable by `set_level`).
+    pub fn set_off(&self) {
+        self.min_level.store(5, Ordering::Relaxed);
+    }
+
+    /// Enable/disable the stderr text sink.
+    pub fn set_text_sink(&self, on: bool) {
+        self.text_sink.store(on, Ordering::Relaxed);
+    }
+
+    /// Install a JSON-lines sink (one event object per line).
+    pub fn set_json_sink(&self, w: Box<dyn Write + Send>) {
+        *self.json_sink.lock().unwrap() = Some(w);
+    }
+
+    pub fn clear_json_sink(&self) {
+        *self.json_sink.lock().unwrap() = None;
+    }
+
+    /// Emit one event. Prefer [`log_event!`], which checks [`enabled`]
+    /// before the arguments are evaluated.
+    pub fn log(&self, level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        if self.text_sink.load(Ordering::Relaxed) {
+            let mut line = String::with_capacity(64 + msg.len());
+            line.push('[');
+            line.push_str(level.as_str());
+            line.push(' ');
+            line.push_str(target);
+            line.push_str("] ");
+            line.push_str(msg);
+            for (k, v) in fields {
+                line.push(' ');
+                line.push_str(k);
+                line.push('=');
+                v.write_text(&mut line);
+            }
+            eprintln!("{line}");
+        }
+        let mut sink = self.json_sink.lock().unwrap();
+        if let Some(w) = sink.as_mut() {
+            let mut buf = String::with_capacity(96 + msg.len());
+            let mut o = ObjectWriter::new(&mut buf);
+            let ts_us = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0);
+            o.field_u64("ts_us", ts_us)
+                .field_str("level", level.as_str())
+                .field_str("target", target)
+                .field_str("msg", msg);
+            if !fields.is_empty() {
+                let raw = o.field_raw("fields");
+                raw.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        raw.push(',');
+                    }
+                    json::write_str(raw, k);
+                    raw.push(':');
+                    v.write_json(raw);
+                }
+                raw.push('}');
+            }
+            o.finish();
+            buf.push('\n');
+            let _ = w.write_all(buf.as_bytes());
+            let _ = w.flush();
+        }
+    }
+}
+
+/// The process-wide logger (level read from `LIVO_LOG` on first use).
+pub fn logger() -> &'static Logger {
+    static LOGGER: OnceLock<Logger> = OnceLock::new();
+    LOGGER.get_or_init(Logger::from_env)
+}
+
+/// Whether events at `level` currently pass the filter.
+pub fn enabled(level: Level) -> bool {
+    logger().enabled(level)
+}
+
+/// Emit through the global logger.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
+    logger().log(level, target, msg, fields);
+}
+
+/// Structured event through the global logger; fields are `"key" => value`
+/// pairs and nothing is evaluated unless the level is enabled:
+///
+/// ```
+/// use livo_telemetry::{log_event, Level};
+/// log_event!(Level::Info, "example", "frame encoded", "seq" => 7u64, "bits" => 1234u64);
+/// ```
+#[macro_export]
+macro_rules! log_event {
+    ($level:expr, $target:expr, $msg:expr $(, $k:expr => $v:expr)* $(,)?) => {
+        if $crate::log::enabled($level) {
+            $crate::log::log(
+                $level,
+                $target,
+                &($msg).to_string(),
+                &[$(($k, $crate::log::Value::from($v))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `Write` handle into a shared buffer, for asserting sink output.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn quiet_logger() -> Logger {
+        Logger {
+            min_level: AtomicU8::new(Level::Info as u8),
+            text_sink: AtomicBool::new(false),
+            json_sink: Mutex::new(None),
+        }
+    }
+
+    #[test]
+    fn level_ordering_and_parse() {
+        assert!(Level::Error > Level::Warn);
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn filter_blocks_below_min() {
+        let l = quiet_logger();
+        assert!(!l.enabled(Level::Debug));
+        assert!(l.enabled(Level::Info));
+        l.set_level(Level::Error);
+        assert!(!l.enabled(Level::Warn));
+        l.set_off();
+        assert!(!l.enabled(Level::Error));
+    }
+
+    #[test]
+    fn json_sink_gets_one_line_per_event() {
+        let l = quiet_logger();
+        let buf = SharedBuf::default();
+        l.set_json_sink(Box::new(buf.clone()));
+        l.log(Level::Warn, "conference", "stall", &[("slot", Value::from(9u64))]);
+        l.log(Level::Debug, "conference", "filtered out", &[]);
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "debug event must be filtered: {text:?}");
+        assert!(lines[0].contains("\"level\":\"warn\""));
+        assert!(lines[0].contains("\"target\":\"conference\""));
+        assert!(lines[0].contains("\"fields\":{\"slot\":9}"));
+        assert!(lines[0].starts_with("{\"ts_us\":"));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(-2i64), Value::I64(-2));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        let Value::F64(f) = Value::from(1.5f32) else { panic!() };
+        assert_eq!(f, 1.5);
+    }
+
+    #[test]
+    fn text_values_format() {
+        let mut s = String::new();
+        Value::from(2.5f64).write_text(&mut s);
+        assert_eq!(s, "2.500");
+    }
+}

@@ -1,0 +1,119 @@
+//! RAII span timers over histograms.
+//!
+//! A [`TelemetrySpan`] measures the wall-clock time between its creation
+//! and its drop (or explicit [`TelemetrySpan::finish_ms`]) and records the
+//! elapsed milliseconds into a [`Histogram`]. Creation reads one monotonic
+//! clock; completion reads it again and does one lock-free record — cheap
+//! enough to wrap every stage of every frame at 30 fps.
+
+use crate::histogram::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An in-flight timed section. Records into its histogram on drop.
+#[derive(Debug)]
+pub struct TelemetrySpan {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl TelemetrySpan {
+    /// Start timing against `hist`.
+    pub fn start(hist: &Arc<Histogram>) -> Self {
+        TelemetrySpan { hist: Arc::clone(hist), start: Instant::now(), armed: true }
+    }
+
+    /// Elapsed so far, in milliseconds, without finishing the span.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Finish now and return the recorded duration in milliseconds.
+    pub fn finish_ms(mut self) -> f64 {
+        let ms = self.elapsed_ms();
+        self.hist.record(ms);
+        self.armed = false;
+        ms
+    }
+
+    /// Abandon the span without recording (e.g. the stage bailed early).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for TelemetrySpan {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.elapsed_ms());
+        }
+    }
+}
+
+/// Time a closure against a histogram, returning its result.
+pub fn timed<T>(hist: &Arc<Histogram>, f: impl FnOnce() -> T) -> T {
+    let span = TelemetrySpan::start(hist);
+    let out = f();
+    drop(span);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _s = TelemetrySpan::start(&h);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 1.0, "recorded {} ms", h.max());
+    }
+
+    #[test]
+    fn finish_returns_duration_and_records_once() {
+        let h = Arc::new(Histogram::new());
+        let s = TelemetrySpan::start(&h);
+        let ms = s.finish_ms();
+        assert!(ms >= 0.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let h = Arc::new(Histogram::new());
+        TelemetrySpan::start(&h).cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn timed_passes_through_result() {
+        let h = Arc::new(Histogram::new());
+        let v = timed(&h, || 42);
+        assert_eq!(v, 42);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_spans_all_record() {
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let _s = TelemetrySpan::start(&h);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 8000);
+    }
+}

@@ -1,0 +1,290 @@
+//! Per-frame timeline records: one frame's life, across threads and layers.
+//!
+//! Aggregate histograms say *how long* each stage takes; they cannot say
+//! what happened to frame 217. The timeline can: every layer marks the
+//! stages it completes — capture → cull → tile → encode → packetize →
+//! link → reassembly → jitter-buffer → decode → display — keyed by the
+//! frame sequence number, and the stitched record is one JSON object that
+//! tells the full story of one frame, including the per-stream (colour vs
+//! depth) transport legs.
+//!
+//! Timestamps (`ts_us`) are in the caller's clock — the conference harness
+//! marks in virtual session time, the live pipeline in microseconds since
+//! spawn — so stages within one frame are totally ordered. Wall-clock
+//! processing cost rides along separately as `dur_ms`.
+//!
+//! Memory is bounded: the timeline keeps the most recent `capacity` frames
+//! and evicts the oldest beyond that, so an unbounded session cannot grow
+//! it without limit.
+
+use crate::json::ObjectWriter;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Canonical stage names, in pipeline order.
+pub mod stage {
+    pub const CAPTURE: &str = "capture";
+    pub const CULL: &str = "cull";
+    pub const TILE: &str = "tile";
+    pub const ENCODE: &str = "encode";
+    pub const PACKETIZE: &str = "packetize";
+    pub const LINK: &str = "link";
+    pub const REASSEMBLY: &str = "reassembly";
+    pub const JITTER: &str = "jitter";
+    pub const DECODE: &str = "decode";
+    pub const DISPLAY: &str = "display";
+
+    /// The full sender→receiver order (transport stages repeat per lane).
+    pub const ORDER: [&str; 10] = [
+        CAPTURE, CULL, TILE, ENCODE, PACKETIZE, LINK, REASSEMBLY, JITTER, DECODE, DISPLAY,
+    ];
+}
+
+/// One stage completion within a frame's life.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    pub stage: &'static str,
+    /// Sub-stream the event belongs to (`"color"`/`"depth"`), if any.
+    pub lane: Option<&'static str>,
+    /// When the stage completed, in the marking layer's clock (µs).
+    pub ts_us: u64,
+    /// Wall-clock processing time spent in the stage, when measured.
+    pub dur_ms: Option<f64>,
+}
+
+/// The stitched record of one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTimelineRecord {
+    pub seq: u64,
+    /// Events in mark order (which is pipeline order per marking thread).
+    pub events: Vec<TimelineEvent>,
+}
+
+impl FrameTimelineRecord {
+    /// Timestamp of the first event of `stage` (any lane).
+    pub fn ts_of(&self, stage: &str) -> Option<u64> {
+        self.events.iter().find(|e| e.stage == stage).map(|e| e.ts_us)
+    }
+
+    /// Timestamp of the event of `stage` on a specific lane.
+    pub fn ts_of_lane(&self, stage: &str, lane: &str) -> Option<u64> {
+        self.events
+            .iter()
+            .find(|e| e.stage == stage && e.lane == Some(lane))
+            .map(|e| e.ts_us)
+    }
+
+    /// True when every stage of `order` present in the record appears with
+    /// non-decreasing timestamps (taking the first event per stage).
+    pub fn is_monotonic(&self, order: &[&str]) -> bool {
+        let mut last = 0u64;
+        for s in order {
+            if let Some(ts) = self.ts_of(s) {
+                if ts < last {
+                    return false;
+                }
+                last = ts;
+            }
+        }
+        true
+    }
+
+    /// Serialise as one JSON object.
+    pub fn write_json(&self, out: &mut String) {
+        let mut o = ObjectWriter::new(out);
+        o.field_u64("seq", self.seq);
+        let buf = o.field_raw("events");
+        buf.push('[');
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            let mut eo = ObjectWriter::new(buf);
+            eo.field_str("stage", e.stage);
+            if let Some(lane) = e.lane {
+                eo.field_str("lane", lane);
+            }
+            eo.field_u64("ts_us", e.ts_us);
+            if let Some(d) = e.dur_ms {
+                eo.field_f64("dur_ms", d);
+            }
+            eo.finish();
+        }
+        buf.push(']');
+        o.finish();
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Thread-safe store of per-frame timelines.
+#[derive(Debug)]
+pub struct FrameTimeline {
+    inner: Mutex<BTreeMap<u64, Vec<TimelineEvent>>>,
+    capacity: usize,
+}
+
+impl Default for FrameTimeline {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl FrameTimeline {
+    /// Track at most `capacity` frames (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        FrameTimeline { inner: Mutex::new(BTreeMap::new()), capacity: capacity.max(1) }
+    }
+
+    /// Mark a stage completion for frame `seq`.
+    pub fn mark(&self, seq: u64, stage: &'static str, ts_us: u64) {
+        self.push(seq, TimelineEvent { stage, lane: None, ts_us, dur_ms: None });
+    }
+
+    /// Mark with a lane (per-stream transport stages).
+    pub fn mark_lane(&self, seq: u64, stage: &'static str, lane: &'static str, ts_us: u64) {
+        self.push(seq, TimelineEvent { stage, lane: Some(lane), ts_us, dur_ms: None });
+    }
+
+    /// Mark with a measured processing duration.
+    pub fn mark_dur(&self, seq: u64, stage: &'static str, ts_us: u64, dur_ms: f64) {
+        self.push(seq, TimelineEvent { stage, lane: None, ts_us, dur_ms: Some(dur_ms) });
+    }
+
+    /// Mark with both lane and duration.
+    pub fn mark_lane_dur(
+        &self,
+        seq: u64,
+        stage: &'static str,
+        lane: &'static str,
+        ts_us: u64,
+        dur_ms: f64,
+    ) {
+        self.push(seq, TimelineEvent { stage, lane: Some(lane), ts_us, dur_ms: Some(dur_ms) });
+    }
+
+    fn push(&self, seq: u64, e: TimelineEvent) {
+        let mut m = self.inner.lock().unwrap();
+        m.entry(seq).or_default().push(e);
+        while m.len() > self.capacity {
+            m.pop_first();
+        }
+    }
+
+    /// Number of frames currently tracked.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stitched record for one frame, if tracked.
+    pub fn record(&self, seq: u64) -> Option<FrameTimelineRecord> {
+        self.inner
+            .lock()
+            .unwrap()
+            .get(&seq)
+            .map(|events| FrameTimelineRecord { seq, events: clone_events(events) })
+    }
+
+    /// All tracked frames, in sequence order.
+    pub fn snapshot(&self) -> Vec<FrameTimelineRecord> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&seq, events)| FrameTimelineRecord { seq, events: clone_events(events) })
+            .collect()
+    }
+
+    /// JSON-lines dump: one frame object per line, in sequence order.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for rec in self.snapshot() {
+            rec.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn clone_events(events: &[TimelineEvent]) -> Vec<TimelineEvent> {
+    events.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn stitches_marks_from_many_threads() {
+        let tl = Arc::new(FrameTimeline::new(64));
+        let sender = {
+            let tl = Arc::clone(&tl);
+            std::thread::spawn(move || {
+                for seq in 0..10u64 {
+                    tl.mark(seq, stage::CAPTURE, seq * 100);
+                    tl.mark_dur(seq, stage::ENCODE, seq * 100 + 10, 2.5);
+                }
+            })
+        };
+        let receiver = {
+            let tl = Arc::clone(&tl);
+            std::thread::spawn(move || {
+                for seq in 0..10u64 {
+                    tl.mark_lane(seq, stage::REASSEMBLY, "color", seq * 100 + 50);
+                    tl.mark(seq, stage::DECODE, seq * 100 + 60);
+                }
+            })
+        };
+        sender.join().unwrap();
+        receiver.join().unwrap();
+        let rec = tl.record(3).unwrap();
+        assert_eq!(rec.ts_of(stage::CAPTURE), Some(300));
+        assert_eq!(rec.ts_of_lane(stage::REASSEMBLY, "color"), Some(350));
+        assert!(rec.is_monotonic(&stage::ORDER));
+        assert_eq!(tl.len(), 10);
+    }
+
+    #[test]
+    fn monotonicity_detects_regressions() {
+        let tl = FrameTimeline::new(8);
+        tl.mark(0, stage::ENCODE, 100);
+        tl.mark(0, stage::PACKETIZE, 50); // goes backwards
+        assert!(!tl.record(0).unwrap().is_monotonic(&stage::ORDER));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let tl = FrameTimeline::new(4);
+        for seq in 0..10u64 {
+            tl.mark(seq, stage::CAPTURE, seq);
+        }
+        assert_eq!(tl.len(), 4);
+        assert!(tl.record(5).is_none());
+        assert!(tl.record(9).is_some());
+    }
+
+    #[test]
+    fn json_shape() {
+        let tl = FrameTimeline::new(8);
+        tl.mark_dur(7, stage::CULL, 42, 1.25);
+        tl.mark_lane(7, stage::PACKETIZE, "depth", 43);
+        let j = tl.record(7).unwrap().to_json();
+        assert_eq!(
+            j,
+            "{\"seq\":7,\"events\":[\
+             {\"stage\":\"cull\",\"ts_us\":42,\"dur_ms\":1.25},\
+             {\"stage\":\"packetize\",\"lane\":\"depth\",\"ts_us\":43}]}"
+        );
+        let lines = tl.to_json_lines();
+        assert_eq!(lines.lines().count(), 1);
+    }
+}

@@ -304,11 +304,35 @@ impl GccEstimator {
         self.rate_bps
     }
 
-    /// Debug snapshot: (queuing delay ms, trendline ms, threshold ms,
-    /// loss fraction). Primarily for tests and tracing.
-    pub fn debug_state(&self) -> (f64, f64, f64, f64) {
-        (self.queuing_delay_ms(), self.trend_ms(), self.threshold_ms, self.loss_fraction)
+    /// Named snapshot of the estimator internals, for telemetry gauges,
+    /// tests and tracing.
+    pub fn state(&self) -> GccState {
+        GccState {
+            estimate_bps: self.rate_bps,
+            queuing_delay_ms: self.queuing_delay_ms(),
+            trend_ms: self.trend_ms(),
+            threshold_ms: self.threshold_ms,
+            loss_fraction: self.loss_fraction,
+        }
     }
+}
+
+/// A point-in-time view of the GCC estimator's internal signals.
+///
+/// Replaces the old anonymous `debug_state()` tuple: every field is named
+/// so telemetry gauges and assertions read unambiguously.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GccState {
+    /// Current delay-based send-rate target (bps).
+    pub estimate_bps: f64,
+    /// Estimated standing queue at the bottleneck (ms).
+    pub queuing_delay_ms: f64,
+    /// Trendline slope of inter-group delay variation (ms per group).
+    pub trend_ms: f64,
+    /// Adaptive overuse detection threshold (ms).
+    pub threshold_ms: f64,
+    /// Loss fraction from the most recent loss report.
+    pub loss_fraction: f64,
 }
 
 #[cfg(test)]

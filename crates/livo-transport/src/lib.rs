@@ -27,7 +27,7 @@ pub mod nack;
 pub mod packet;
 pub mod session;
 
-pub use gcc::GccEstimator;
+pub use gcc::{GccEstimator, GccState};
 pub use jitter::JitterBuffer;
 pub use link::LinkEmulator;
 pub use packet::{Packet, Packetizer, Reassembler, StreamId};

@@ -19,7 +19,9 @@ use crate::packet::{AssembledFrame, Packet, Packetizer, Reassembler, StreamId};
 use crate::Micros;
 use bytes::Bytes;
 use livo_capture::BandwidthTrace;
-use std::collections::{HashMap, VecDeque};
+use livo_telemetry::{stage, Counter, FrameTimeline, Gauge, Histogram, MetricsRegistry};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Session parameters.
 #[derive(Debug, Clone)]
@@ -79,6 +81,38 @@ impl SessionStats {
     }
 }
 
+/// Held metric handles for the session, resolved once at attach time so
+/// the per-packet and per-tick paths touch only atomics.
+struct SessionTelemetry {
+    gcc_estimate_bps: Arc<Gauge>,
+    gcc_queuing_delay_ms: Arc<Gauge>,
+    gcc_trend_ms: Arc<Gauge>,
+    gcc_threshold_ms: Arc<Gauge>,
+    gcc_loss_fraction: Arc<Gauge>,
+    sender_estimate_bps: Arc<Gauge>,
+    jitter_occupancy: Arc<Gauge>,
+    owd_ms: Arc<Gauge>,
+    nacks_sent: Arc<Counter>,
+    retransmits: Arc<Counter>,
+    plis: Arc<Counter>,
+    late_drops: Arc<Gauge>,
+    bits_sent_color: Arc<Counter>,
+    bits_sent_depth: Arc<Counter>,
+    bits_delivered: Arc<Counter>,
+    frames_delivered: Arc<Counter>,
+    transport_latency_ms: Arc<Histogram>,
+    timeline: Option<Arc<FrameTimeline>>,
+}
+
+/// Timeline lane for a media stream.
+fn lane_of(stream: StreamId) -> &'static str {
+    match stream {
+        StreamId::Color => "color",
+        StreamId::Depth => "depth",
+        StreamId::Control => "control",
+    }
+}
+
 /// One direction of a conference call.
 pub struct RtcSession {
     cfg: SessionConfig,
@@ -104,6 +138,12 @@ pub struct RtcSession {
     /// Smoothed one-way delay (µs), the Δt input to frustum prediction.
     smoothed_owd: f64,
     stats: SessionStats,
+    telemetry: Option<SessionTelemetry>,
+    /// (stream, frame_id) pairs whose first packet has arrived — used to
+    /// stamp the timeline "link" stage exactly once per frame. Entries are
+    /// removed when reassembly completes; capped to bound memory when
+    /// frames never complete (heavy loss).
+    link_seen: HashSet<(StreamId, u64)>,
 }
 
 impl RtcSession {
@@ -131,7 +171,47 @@ impl RtcSession {
             loss_window_base: (0, 0),
             smoothed_owd: 0.0,
             stats: SessionStats::default(),
+            telemetry: None,
+            link_seen: HashSet::new(),
         }
+    }
+
+    /// Publish session metrics under `{prefix}.*` in `registry` and,
+    /// if a timeline is given, stamp per-frame transport stages
+    /// (packetize → link → reassembly → jitter) keyed by frame id with
+    /// the stream name ("color"/"depth") as the lane.
+    ///
+    /// Gauges: GCC internals ([`GccEstimator::state`]), the sender-side
+    /// (feedback-delayed) estimate, jitter-buffer occupancy, smoothed
+    /// one-way delay and cumulative late drops. Counters: NACKs,
+    /// retransmits, PLIs, per-stream sent bits, delivered bits/frames.
+    /// Histogram: per-frame transport latency (send → playout-ready).
+    pub fn attach_telemetry(
+        &mut self,
+        registry: &Arc<MetricsRegistry>,
+        prefix: &str,
+        timeline: Option<Arc<FrameTimeline>>,
+    ) {
+        self.telemetry = Some(SessionTelemetry {
+            gcc_estimate_bps: registry.gauge(&format!("{prefix}.gcc.estimate_bps")),
+            gcc_queuing_delay_ms: registry.gauge(&format!("{prefix}.gcc.queuing_delay_ms")),
+            gcc_trend_ms: registry.gauge(&format!("{prefix}.gcc.trend_ms")),
+            gcc_threshold_ms: registry.gauge(&format!("{prefix}.gcc.threshold_ms")),
+            gcc_loss_fraction: registry.gauge(&format!("{prefix}.gcc.loss_fraction")),
+            sender_estimate_bps: registry.gauge(&format!("{prefix}.sender_estimate_bps")),
+            jitter_occupancy: registry.gauge(&format!("{prefix}.jitter_occupancy")),
+            owd_ms: registry.gauge(&format!("{prefix}.owd_ms")),
+            nacks_sent: registry.counter(&format!("{prefix}.nacks_sent")),
+            retransmits: registry.counter(&format!("{prefix}.retransmits")),
+            plis: registry.counter(&format!("{prefix}.plis")),
+            late_drops: registry.gauge(&format!("{prefix}.late_drops")),
+            bits_sent_color: registry.counter(&format!("{prefix}.bits_sent.color")),
+            bits_sent_depth: registry.counter(&format!("{prefix}.bits_sent.depth")),
+            bits_delivered: registry.counter(&format!("{prefix}.bits_delivered")),
+            frames_delivered: registry.counter(&format!("{prefix}.frames_delivered")),
+            transport_latency_ms: registry.histogram(&format!("{prefix}.transport_latency_ms")),
+            timeline,
+        });
     }
 
     /// Current sender-side bandwidth estimate (feedback-delayed).
@@ -168,10 +248,22 @@ impl RtcSession {
             .entry(stream)
             .or_insert_with(|| RetransmitBuffer::new(4096));
         self.stats.frames_sent += 1;
+        let mut frame_bits = 0u64;
         for p in pkts {
-            self.stats.bits_sent += p.wire_bits();
+            frame_bits += p.wire_bits();
             rb.store(&p);
             self.pacer.push_back(p);
+        }
+        self.stats.bits_sent += frame_bits;
+        if let Some(t) = &self.telemetry {
+            match stream {
+                StreamId::Color => t.bits_sent_color.add(frame_bits),
+                StreamId::Depth => t.bits_sent_depth.add(frame_bits),
+                StreamId::Control => {}
+            }
+            if let Some(tl) = &t.timeline {
+                tl.mark_lane(frame_id, stage::PACKETIZE, lane_of(stream), now);
+            }
         }
     }
 
@@ -199,6 +291,9 @@ impl RtcSession {
             if *due <= now {
                 let (_, p) = self.pending_retx.pop_front().unwrap();
                 self.stats.retransmits += 1;
+                if let Some(t) = &self.telemetry {
+                    t.retransmits.inc();
+                }
                 self.link.send(p, now);
             } else {
                 break;
@@ -228,8 +323,26 @@ impl RtcSession {
             self.estimator
                 .on_packet(d.packet.send_ts, d.arrival, d.packet.wire_bits());
             let stream = d.packet.stream;
+            let frame_id = d.packet.frame_id;
+            if let Some(t) = &self.telemetry {
+                if let Some(tl) = &t.timeline {
+                    // Stamp "link" on the first arriving packet of a frame.
+                    if self.link_seen.len() > 8192 {
+                        self.link_seen.clear();
+                    }
+                    if self.link_seen.insert((stream, frame_id)) {
+                        tl.mark_lane(frame_id, stage::LINK, lane_of(stream), d.arrival);
+                    }
+                }
+            }
             let re = self.reassemblers.entry(stream).or_default();
             if let Some(frame) = re.push(d.packet, d.arrival) {
+                self.link_seen.remove(&(stream, frame_id));
+                if let Some(t) = &self.telemetry {
+                    if let Some(tl) = &t.timeline {
+                        tl.mark_lane(frame_id, stage::REASSEMBLY, lane_of(stream), d.arrival);
+                    }
+                }
                 let jb = self
                     .jitters
                     .entry(stream)
@@ -238,16 +351,36 @@ impl RtcSession {
             }
         }
         // Pull playable frames.
-        for jb in self.jitters.values_mut() {
+        for (stream, jb) in self.jitters.iter_mut() {
             for f in jb.pop_ready(now) {
                 self.stats.frames_delivered += 1;
                 self.stats.bits_delivered += f.data.len() as u64 * 8;
-                self.stats.latency_sum_us += now.saturating_sub(f.send_ts) as u128;
+                let latency_us = now.saturating_sub(f.send_ts);
+                self.stats.latency_sum_us += latency_us as u128;
                 self.stats.latency_count += 1;
+                if let Some(t) = &self.telemetry {
+                    t.frames_delivered.inc();
+                    t.bits_delivered.add(f.data.len() as u64 * 8);
+                    t.transport_latency_ms.record(latency_us as f64 / 1000.0);
+                    if let Some(tl) = &t.timeline {
+                        tl.mark_lane_dur(
+                            f.frame_id,
+                            stage::JITTER,
+                            lane_of(*stream),
+                            now,
+                            latency_us as f64 / 1000.0,
+                        );
+                    }
+                }
                 self.ready.push(f);
             }
         }
         self.stats.late_drops = self.jitters.values().map(|j| j.late_drops).sum();
+        if let Some(t) = &self.telemetry {
+            t.jitter_occupancy.set(self.jitters.values().map(|j| j.depth()).sum::<usize>() as f64);
+            t.late_drops.set(self.stats.late_drops as f64);
+            t.owd_ms.set(self.smoothed_owd / 1000.0);
+        }
     }
 
     /// Receiver→sender feedback: estimates, NACKs, PLIs.
@@ -268,6 +401,14 @@ impl RtcSession {
                 self.estimator.estimate_bps(),
                 loss,
             ));
+            if let Some(t) = &self.telemetry {
+                let st = self.estimator.state();
+                t.gcc_estimate_bps.set(st.estimate_bps);
+                t.gcc_queuing_delay_ms.set(st.queuing_delay_ms);
+                t.gcc_trend_ms.set(st.trend_ms);
+                t.gcc_threshold_ms.set(st.threshold_ms);
+                t.gcc_loss_fraction.set(st.loss_fraction);
+            }
 
             // NACKs for gaps.
             let mut all_retx = Vec::new();
@@ -285,6 +426,9 @@ impl RtcSession {
                     continue;
                 }
                 self.stats.nacks_sent += to_request.len() as u64;
+                if let Some(t) = &self.telemetry {
+                    t.nacks_sent.add(to_request.len() as u64);
+                }
                 if let Some(rb) = self.retransmit.get(stream) {
                     for p in rb.lookup(&to_request) {
                         all_retx.push((now + self.cfg.link.propagation, p));
@@ -302,6 +446,9 @@ impl RtcSession {
                     .or_insert_with(NackGenerator::with_defaults);
                 if ng.check_pli(&stuck, now) {
                     self.stats.plis += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.plis.inc();
+                    }
                     self.pending_pli.push_back(now + self.cfg.link.propagation);
                 }
             }
@@ -311,6 +458,9 @@ impl RtcSession {
             if due <= now {
                 self.pending_feedback.pop_front();
                 self.sender_estimate_bps = est;
+                if let Some(t) = &self.telemetry {
+                    t.sender_estimate_bps.set(est);
+                }
             } else {
                 break;
             }
@@ -494,6 +644,66 @@ mod tests {
             t += 1000;
         }
         assert!(saw_pli, "25% loss should escalate to PLI");
+    }
+
+    #[test]
+    fn telemetry_reports_gcc_and_delivery() {
+        let trace = BandwidthTrace::constant(50.0, 30.0);
+        let mut s = RtcSession::new(trace, SessionConfig::default());
+        let registry = Arc::new(MetricsRegistry::new());
+        let timeline = Arc::new(FrameTimeline::new(4096));
+        s.attach_telemetry(&registry, "transport", Some(timeline.clone()));
+
+        let mut t: Micros = 0;
+        let mut frame_id = 0u64;
+        let mut next_frame: Micros = 0;
+        while t < 3_000_000 {
+            if t >= next_frame {
+                let bytes = (s.estimate_bps() / 30.0 * 0.5) as usize / 8;
+                s.send_frame(t, StreamId::Color, frame_id, Bytes::from(vec![0u8; bytes]), frame_id == 0);
+                frame_id += 1;
+                next_frame += 33_333;
+            }
+            s.tick(t);
+            s.recv_frames();
+            t += 1000;
+        }
+
+        let snap = registry.snapshot();
+        assert!(snap.counter("transport.frames_delivered").unwrap() > 0);
+        assert!(snap.counter("transport.bits_sent.color").unwrap() > 0);
+        assert_eq!(snap.counter("transport.bits_sent.depth"), Some(0));
+        assert!(snap.gauge("transport.gcc.estimate_bps").unwrap() > 0.0);
+        assert!(snap.gauge("transport.sender_estimate_bps").unwrap() > 0.0);
+        let lat = snap.histogram("transport.transport_latency_ms").unwrap();
+        assert!(lat.count > 0 && lat.p50 > 0.0);
+
+        // Every delivered frame has a monotonic packetize→link→reassembly→
+        // jitter trail on the "color" lane.
+        let records = timeline.snapshot();
+        assert!(!records.is_empty());
+        let mut checked = 0;
+        for r in &records {
+            if r.ts_of(stage::JITTER).is_none() {
+                continue; // frame still in flight at cutoff
+            }
+            for s in [stage::PACKETIZE, stage::LINK, stage::REASSEMBLY, stage::JITTER] {
+                assert!(r.ts_of(s).is_some(), "frame {} missing {s}", r.seq);
+            }
+            assert!(r.is_monotonic(&stage::ORDER), "frame {} out of order", r.seq);
+            checked += 1;
+        }
+        assert!(checked > 50, "only {checked} complete frame timelines");
+    }
+
+    #[test]
+    fn gcc_state_struct_matches_estimate() {
+        let trace = BandwidthTrace::constant(50.0, 30.0);
+        let s = RtcSession::new(trace, SessionConfig::default());
+        let st = s.estimator().state();
+        assert_eq!(st.estimate_bps, s.estimator().estimate_bps());
+        assert_eq!(st.loss_fraction, 0.0);
+        assert!(st.threshold_ms > 0.0);
     }
 
     #[test]

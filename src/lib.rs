@@ -24,6 +24,7 @@
 //! | [`core`] | `livo-core` | tiling, depth, splitter, culling, pipeline |
 //! | [`baselines`] | `livo-baselines` | Draco-Oracle, MeshReduce |
 //! | [`eval`] | `livo-eval` | experiment grid, QoE model, reports |
+//! | [`telemetry`] | `livo-telemetry` | metrics, spans, frame timelines, logging |
 //!
 //! ## Quick start
 //!
@@ -49,6 +50,7 @@ pub use livo_eval as eval;
 pub use livo_math as math;
 pub use livo_mesh as mesh;
 pub use livo_pointcloud as pointcloud;
+pub use livo_telemetry as telemetry;
 pub use livo_transport as transport;
 
 /// The types most applications need.
@@ -62,5 +64,9 @@ pub mod prelude {
     pub use livo_core::tile::TileLayout;
     pub use livo_math::{Frustum, FrustumParams, Pose, Quat, Vec3};
     pub use livo_pointcloud::{pssim, Point, PointCloud, PssimConfig};
+    pub use livo_telemetry::{
+        FrameTimeline, FrameTimelineRecord, Level, MetricsRegistry, RegistrySnapshot,
+        TelemetrySpan,
+    };
     pub use livo_transport::{RtcSession, SessionConfig, StreamId};
 }

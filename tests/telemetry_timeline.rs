@@ -1,0 +1,132 @@
+//! Telemetry integration: the frame timeline stitches every layer of the
+//! pipeline together, and the metrics registry carries the same story the
+//! `RunSummary` aggregates tell — asserted end to end across livo-core,
+//! livo-transport, and livo-codec2d.
+
+use livo::prelude::*;
+use livo::telemetry::stage;
+
+fn quick(video: VideoId) -> ConferenceConfig {
+    let mut cfg = ConferenceConfig::livo(video);
+    cfg.camera_scale = 0.08;
+    cfg.n_cameras = 4;
+    cfg.duration_s = 3.0;
+    cfg.quality_every = 30;
+    cfg
+}
+
+#[test]
+fn every_displayed_frame_has_a_complete_monotonic_timeline() {
+    let trace = BandwidthTrace::generate(TraceId::Trace1, 10.0, 3);
+    let s = ConferenceRunner::new(quick(VideoId::Band2)).run(trace);
+
+    let shown: std::collections::HashSet<u64> =
+        s.records.iter().filter_map(|r| r.shown_seq).map(|q| q as u64).collect();
+    assert!(shown.len() > 30, "only {} frames displayed", shown.len());
+
+    // Sender-side stages exist for every frame the pipeline produced;
+    // transport + receiver stages exist for every frame that reached the
+    // screen; and stage timestamps never run backwards.
+    let mut checked = 0;
+    for rec in &s.timeline {
+        assert!(
+            rec.is_monotonic(&stage::ORDER),
+            "frame {} timeline out of order: {:?}",
+            rec.seq,
+            rec.events
+        );
+        for st in [stage::CAPTURE, stage::CULL, stage::TILE, stage::ENCODE] {
+            assert!(rec.ts_of(st).is_some(), "frame {} missing sender stage {st}", rec.seq);
+        }
+        if !shown.contains(&rec.seq) {
+            continue;
+        }
+        for st in [stage::PACKETIZE, stage::LINK, stage::REASSEMBLY, stage::JITTER, stage::DECODE]
+        {
+            assert!(rec.ts_of(st).is_some(), "displayed frame {} missing {st}", rec.seq);
+        }
+        checked += 1;
+    }
+    // Eviction may drop the oldest records, but most displayed frames must
+    // have survived with a full sender→receiver trail.
+    assert!(checked as f64 > shown.len() as f64 * 0.8, "{checked}/{}", shown.len());
+}
+
+#[test]
+fn metrics_agree_with_summary_aggregates() {
+    let trace = BandwidthTrace::generate(TraceId::Trace2, 10.0, 7);
+    let s = ConferenceRunner::new(quick(VideoId::Toddler4)).run(trace);
+    let m = &s.metrics;
+
+    // Codec counters: every sender frame was encoded on both streams.
+    let frames = m.histogram("conference.encode_ms").map(|h| h.count).unwrap_or(0);
+    assert!(frames > 60);
+    let color_frames = m.counter("codec.color.frames_intra").unwrap_or(0)
+        + m.counter("codec.color.frames_inter").unwrap_or(0);
+    assert_eq!(color_frames, frames, "codec saw every pipeline frame");
+    assert!(m.counter("codec.depth.bits_total").unwrap_or(0) > 0);
+
+    // Transport delivered what the display showed, and its latency
+    // histogram mean matches the summary's scalar within float noise.
+    let shown = s.records.iter().filter(|r| r.shown_seq.is_some()).count() as u64;
+    assert_eq!(m.counter("display.frames_shown"), Some(shown));
+    let lat = m.histogram("transport.transport_latency_ms").expect("latency histogram");
+    assert!(
+        (lat.mean - s.transport_latency_ms).abs() < 1.0,
+        "histogram mean {} vs summary {}",
+        lat.mean,
+        s.transport_latency_ms
+    );
+    assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99 && lat.p99 <= lat.max);
+
+    // GCC gauges landed; the splitter published its state (a quiet scene
+    // may legitimately take zero line-search steps, so only presence and
+    // the paper's [0.5, 0.9] clamp are asserted).
+    assert!(m.gauge("transport.gcc.estimate_bps").unwrap_or(0.0) > 1e5);
+    assert!(m.counter("splitter.steps").is_some());
+    let split = m.gauge("splitter.split").expect("split gauge");
+    assert!((0.5..=0.9).contains(&split), "split {split}");
+
+    // The snapshot serialises to stable JSON.
+    let j1 = m.to_json();
+    let j2 = s.metrics.to_json();
+    assert_eq!(j1, j2);
+    assert!(j1.contains("\"transport.transport_latency_ms\""));
+}
+
+#[test]
+fn telemetry_overhead_stays_small() {
+    // Instrumentation must not move the needle on the virtual-time
+    // results: two identical runs (telemetry is always on) stay
+    // deterministic, and the wall-clock stage timings stay in the same
+    // range Table 6 reported before the histogram migration.
+    let run = || {
+        let trace = BandwidthTrace::generate(TraceId::Trace2, 8.0, 13);
+        ConferenceRunner::new(quick(VideoId::Dance5)).run(trace)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.bits_sent, b.bits_sent);
+    assert_eq!(a.stall_rate, b.stall_rate);
+    // The legacy mean accessors survive the histogram migration.
+    let h = a.metrics.histogram("conference.capture_ms").unwrap();
+    assert!((h.mean - a.timings.capture_ms).abs() < 1e-9);
+
+    // Per-sample recording cost: one 30 fps frame crosses ~10 instrumented
+    // stages over a handful of streams, so keeping instrumented throughput
+    // within 5% of uninstrumented (< 1.65 ms of a 33 ms frame budget)
+    // needs each sample to cost microseconds at most. Assert a generous
+    // 2 µs/sample averaged over a million samples (measured cost is tens
+    // of nanoseconds — an atomic add on a held handle).
+    let reg = MetricsRegistry::new();
+    let hist = reg.histogram("overhead.probe_ms");
+    let ctr = reg.counter("overhead.probe_count");
+    let n = 1_000_000u32;
+    let t0 = std::time::Instant::now();
+    for i in 0..n {
+        hist.record((i % 97) as f64 * 0.01);
+        ctr.inc();
+    }
+    let per_sample_us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+    assert!(per_sample_us < 2.0, "telemetry sample cost {per_sample_us:.3} µs");
+}
