@@ -153,7 +153,7 @@ impl DracoOracle {
             bits_total += encoded.bits();
             shown += 1;
 
-            if shown % cfg.quality_every as u64 == 0 {
+            if shown.is_multiple_of(cfg.quality_every as u64) {
                 if let Ok(decoded) = DracoDecoder::decode(&encoded.data) {
                     let voxel = livo_pointcloud::VoxelGrid::new(cfg.voxel_m);
                     let reference = voxel.downsample(&culled);

@@ -14,9 +14,9 @@
 //!   texture over reliable transport. No stalls, but a variable (low)
 //!   frame rate and mesh artefacts.
 //! - **LiVo-NoCull** and **LiVo-NoAdapt** are configuration flags of the
-//!   LiVo pipeline itself — see
-//!   [`livo_core::ConferenceConfig::livo_nocull`] and
-//!   [`livo_core::ConferenceConfig::livo_noadapt`].
+//!   LiVo pipeline itself — built via
+//!   `ConferenceConfig::builder(video).cull(false)` and
+//!   `.cull(false).adapt(false)` respectively.
 //!
 //! All baselines report the common [`BaselineSummary`] so the evaluation
 //! harness can tabulate them next to LiVo's `RunSummary`.

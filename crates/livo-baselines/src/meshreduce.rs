@@ -150,7 +150,7 @@ impl MeshReduce {
             bits_total += bits;
             frames_shown += 1;
 
-            if frames_shown % cfg.quality_every as u64 == 0 {
+            if frames_shown.is_multiple_of(cfg.quality_every as u64) {
                 // Score: lossy-code the mesh geometry, sample to points,
                 // compare against the ground-truth point cloud.
                 let coded = code_mesh_lossy(&reduced);

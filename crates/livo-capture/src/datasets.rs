@@ -228,10 +228,10 @@ fn pizza1() -> DatasetPreset {
         [180, 80, 200],
         [90, 200, 210],
     ];
-    for i in 0..6 {
+    for (i, &shirt) in shirts.iter().enumerate() {
         let a = i as f32 / 6.0 * std::f32::consts::TAU;
         let base = Vec3::new(1.5 * a.cos(), 0.0, 1.5 * a.sin());
-        for s in person(base, MotionStyle::Idle, shirts[i], [45, 45, 55], a * 2.0) {
+        for s in person(base, MotionStyle::Idle, shirt, [45, 45, 55], a * 2.0) {
             scene.add(s);
         }
         objects += 1;

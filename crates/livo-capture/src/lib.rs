@@ -32,7 +32,7 @@ pub mod usertrace;
 
 pub use datasets::{DatasetPreset, VideoId};
 pub use nettrace::{BandwidthTrace, TraceId};
-pub use render::{render_rgbd, RgbdFrame};
+pub use render::{render_rgbd, render_views_at, RgbdFrame};
 pub use rig::camera_ring;
 pub use scene::{Scene, SceneSnapshot};
 pub use usertrace::UserTrace;

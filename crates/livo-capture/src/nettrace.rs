@@ -76,8 +76,8 @@ impl BandwidthTrace {
         // Smooth wander: a sum of slow sinusoids + AR(1) noise, then fades.
         let f1 = rng.gen_range(0.01..0.03);
         let f2 = rng.gen_range(0.05..0.09);
-        let p1 = rng.gen_range(0.0..6.28);
-        let p2 = rng.gen_range(0.0..6.28);
+        let p1 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let p2 = rng.gen_range(0.0..std::f64::consts::TAU);
         let mut ar = 0.0f64;
         let mut fade_level = 0.0f64; // 0 = no fade, 1 = full fade
         let mut fade_target = 0.0f64;

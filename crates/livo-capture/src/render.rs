@@ -7,6 +7,7 @@
 
 use crate::scene::SceneSnapshot;
 use livo_math::RgbdCamera;
+use livo_runtime::WorkerPool;
 
 /// Deterministic per-(pixel, time) depth noise, approximating Kinect-class
 /// time-of-flight error: ~1.5 mm up close, growing quadratically to ~9 mm at
@@ -111,6 +112,28 @@ pub fn render_rgbd_at(camera: &RgbdCamera, scene: &SceneSnapshot, time_key: u32)
 /// [`render_rgbd_at`] with a zero time key (static captures, tests).
 pub fn render_rgbd(camera: &RgbdCamera, scene: &SceneSnapshot) -> RgbdFrame {
     render_rgbd_at(camera, scene, 0)
+}
+
+/// Render the snapshot from every camera of a rig, one pool task per camera
+/// (the cameras are independent ray casts over the same immutable snapshot).
+/// A single-thread pool — or a single camera — renders serially; the output
+/// is identical either way and ordered like `cameras`.
+pub fn render_views_at(
+    pool: &WorkerPool,
+    cameras: &[RgbdCamera],
+    scene: &SceneSnapshot,
+    time_key: u32,
+) -> Vec<RgbdFrame> {
+    if pool.threads() <= 1 || cameras.len() <= 1 {
+        return cameras.iter().map(|c| render_rgbd_at(c, scene, time_key)).collect();
+    }
+    let mut out: Vec<Option<RgbdFrame>> = (0..cameras.len()).map(|_| None).collect();
+    pool.scope(|s| {
+        for (slot, cam) in out.iter_mut().zip(cameras) {
+            s.spawn(move || *slot = Some(render_rgbd_at(cam, scene, time_key)));
+        }
+    });
+    out.into_iter().map(|f| f.expect("render task ran to completion")).collect()
 }
 
 #[cfg(test)]

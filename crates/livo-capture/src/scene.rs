@@ -229,7 +229,7 @@ fn ray_capsule(o: Vec3, d: Vec3, a: Vec3, b: Vec3, r: f32, s_min: f32) -> Option
     let mut best: Option<f32> = None;
     let mut consider = |s: Option<f32>| {
         if let Some(s) = s {
-            if s > s_min && best.map_or(true, |bst| s < bst) {
+            if s > s_min && best.is_none_or(|bst| s < bst) {
                 best = Some(s);
             }
         }
@@ -297,7 +297,7 @@ impl SceneSnapshot {
         let mut best: Option<(f32, [u8; 3])> = None;
         for shape in &self.shapes {
             if let Some(s) = shape.intersect(origin, dir, s_min) {
-                if s <= s_max && best.map_or(true, |(bs, _)| s < bs) {
+                if s <= s_max && best.is_none_or(|(bs, _)| s < bs) {
                     let hit = origin + dir * s;
                     best = Some((s, shape.texture.color_at(hit)));
                 }

@@ -4,10 +4,11 @@
 use crate::block::{encode_block, encode_svalue, CoeffContexts};
 use crate::dct;
 use crate::motion::{self, MotionVector, MB_SIZE};
-use crate::plane::{Frame, PixelFormat, Plane};
+use crate::plane::{write_block8_into_stripe, Frame, PixelFormat, Plane};
 use crate::quant::{self, DC_SCALE};
 use crate::rangecoder::{BitModel, RangeEncoder};
 use crate::ratecontrol::RateController;
+use livo_runtime::WorkerPool;
 use livo_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::Arc;
 
@@ -132,6 +133,9 @@ pub struct Encoder {
     /// Input frame of the previous call, for temporal complexity estimation.
     prev_input_luma: Option<Plane>,
     telemetry: Option<EncoderTelemetry>,
+    /// Worker pool for stripe-parallel inter-frame planning. `None` (or a
+    /// single-thread pool) keeps the original single-pass serial path.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Encoder {
@@ -144,7 +148,18 @@ impl Encoder {
             force_intra: false,
             prev_input_luma: None,
             telemetry: None,
+            pool: None,
         }
+    }
+
+    /// Run inter-frame motion search / transform / quantisation / closed-loop
+    /// reconstruction stripe-parallel on `pool` (one task per macroblock row).
+    /// The entropy pass stays serial, so the bitstream is bit-exact with the
+    /// serial encoder; intra frames are unaffected (their DC prediction is a
+    /// wavefront dependency that does not row-decompose). A pool with one
+    /// thread behaves exactly like no pool.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
     }
 
     /// Publish per-frame encoder metrics under `{prefix}.*` in `registry`:
@@ -212,7 +227,7 @@ impl Encoder {
 
         let intra = self.force_intra
             || self.recon.is_none()
-            || (self.cfg.gop_length > 0 && self.frame_index % self.cfg.gop_length as u64 == 0);
+            || (self.cfg.gop_length > 0 && self.frame_index.is_multiple_of(self.cfg.gop_length as u64));
         self.force_intra = false;
         let frame_type = if intra { FrameType::Intra } else { FrameType::Inter };
 
@@ -251,7 +266,7 @@ impl Encoder {
         assert_eq!((frame.width, frame.height), (self.cfg.width, self.cfg.height));
         let intra = self.force_intra
             || self.recon.is_none()
-            || (self.cfg.gop_length > 0 && self.frame_index % self.cfg.gop_length as u64 == 0);
+            || (self.cfg.gop_length > 0 && self.frame_index.is_multiple_of(self.cfg.gop_length as u64));
         self.force_intra = false;
         let frame_type = if intra { FrameType::Intra } else { FrameType::Inter };
         let qp = qp.clamp(self.cfg.qp_min, self.cfg.qp_max);
@@ -331,37 +346,70 @@ impl Encoder {
             }
             FrameType::Inter => {
                 let prev = self.recon.as_ref().expect("inter frame without reference");
+                let pool = self.pool.as_deref().filter(|p| p.threads() > 1);
                 // Luma with motion estimation; record vectors for chroma.
                 let luma_qp = plane_qp(qp, 0, frame.format);
                 let step = quant::qstep(luma_qp);
                 let mut ctx = PlaneContexts::new();
-                let mvs = encode_plane_inter_luma(
-                    &mut enc,
-                    &mut ctx,
-                    &frame.planes[0],
-                    &prev.planes[0],
-                    &mut recon.planes[0],
-                    step,
-                    peak,
-                    self.cfg.search_range,
-                    &mut counts,
-                );
+                let mvs = match pool {
+                    Some(pool) => {
+                        // Parallel plan (search/DCT/quant/recon per MB row),
+                        // then a serial range-coder replay in raster order so
+                        // the bitstream is bit-exact with the serial path.
+                        let plans = plan_plane_inter_luma(
+                            pool,
+                            &frame.planes[0],
+                            &prev.planes[0],
+                            &mut recon.planes[0],
+                            step,
+                            peak,
+                            self.cfg.search_range,
+                        );
+                        entropy_plane_inter_luma(&mut enc, &mut ctx, &plans, &mut counts)
+                    }
+                    None => encode_plane_inter_luma(
+                        &mut enc,
+                        &mut ctx,
+                        &frame.planes[0],
+                        &prev.planes[0],
+                        &mut recon.planes[0],
+                        step,
+                        peak,
+                        self.cfg.search_range,
+                        &mut counts,
+                    ),
+                };
                 for pi in 1..frame.planes.len() {
                     let cq = plane_qp(qp, pi, frame.format);
                     let cstep = quant::qstep(cq);
                     let mut cctx = PlaneContexts::new();
-                    encode_plane_inter_chroma(
-                        &mut enc,
-                        &mut cctx,
-                        &frame.planes[pi],
-                        &prev.planes[pi],
-                        &mut recon.planes[pi],
-                        cstep,
-                        peak,
-                        &mvs,
-                        frame.planes[0].width,
-                        &mut counts,
-                    );
+                    match pool {
+                        Some(pool) => {
+                            let plans = plan_plane_inter_chroma(
+                                pool,
+                                &frame.planes[pi],
+                                &prev.planes[pi],
+                                &mut recon.planes[pi],
+                                cstep,
+                                peak,
+                                &mvs,
+                                frame.planes[0].width,
+                            );
+                            entropy_plane_inter_chroma(&mut enc, &mut cctx, &plans, &mut counts);
+                        }
+                        None => encode_plane_inter_chroma(
+                            &mut enc,
+                            &mut cctx,
+                            &frame.planes[pi],
+                            &prev.planes[pi],
+                            &mut recon.planes[pi],
+                            cstep,
+                            peak,
+                            &mvs,
+                            frame.planes[0].width,
+                            &mut counts,
+                        ),
+                    }
                 }
             }
         }
@@ -432,10 +480,9 @@ pub(crate) fn intra_dc_pred(recon: &Plane, bx: usize, by: usize, peak: u16) -> i
             n += 1;
         }
     }
-    if n == 0 {
-        (peak as i32 + 1) / 2
-    } else {
-        (acc / n) as i32
+    match acc.checked_div(n) {
+        Some(mean) => mean as i32,
+        None => (peak as i32 + 1) / 2,
     }
 }
 
@@ -469,7 +516,7 @@ fn encode_plane_inter_luma(
             // Transform the four 8×8 residual sub-blocks.
             let mut levels4 = [[0i32; 64]; 4];
             let mut all_zero = true;
-            for sb in 0..4 {
+            for (sb, levels) in levels4.iter_mut().enumerate() {
                 let ox = (sb % 2) * 8;
                 let oy = (sb / 2) * 8;
                 for dy in 0..8 {
@@ -481,8 +528,8 @@ fn encode_plane_inter_luma(
                     }
                 }
                 let coeffs = dct::forward(&blk);
-                levels4[sb] = quant::quantize_block(&coeffs, step, DC_SCALE);
-                if levels4[sb].iter().any(|&l| l != 0) {
+                *levels = quant::quantize_block(&coeffs, step, DC_SCALE);
+                if levels.iter().any(|&l| l != 0) {
                     all_zero = false;
                 }
             }
@@ -504,7 +551,7 @@ fn encode_plane_inter_luma(
             mvs[mby * mbs_x + mbx] = mv;
 
             // Reconstruct.
-            for sb in 0..4 {
+            for (sb, levels) in levels4.iter().enumerate() {
                 let ox = (sb % 2) * 8;
                 let oy = (sb / 2) * 8;
                 let mut rec = [0i32; 64];
@@ -515,7 +562,7 @@ fn encode_plane_inter_luma(
                         }
                     }
                 } else {
-                    let deq = quant::dequantize_block(&levels4[sb], step, DC_SCALE);
+                    let deq = quant::dequantize_block(levels, step, DC_SCALE);
                     let res = dct::inverse(&deq);
                     for dy in 0..8 {
                         for dx in 0..8 {
@@ -581,6 +628,246 @@ fn encode_plane_inter_chroma(
             }
             recon.write_block8(bx, by, &rec, peak);
         }
+    }
+}
+
+/// Everything the serial entropy pass needs to replay one luma macroblock:
+/// the chosen and predicted motion vectors, the skip decision, and the four
+/// quantised 8×8 coefficient blocks. Produced row-parallel, consumed in
+/// raster order.
+#[derive(Clone)]
+struct LumaMbPlan {
+    mv: MotionVector,
+    pred_mv: MotionVector,
+    skip: bool,
+    levels4: [[i32; 64]; 4],
+}
+
+impl Default for LumaMbPlan {
+    fn default() -> Self {
+        LumaMbPlan {
+            mv: MotionVector::default(),
+            pred_mv: MotionVector::default(),
+            skip: false,
+            levels4: [[0; 64]; 4],
+        }
+    }
+}
+
+/// Stripe-parallel plan phase for an inter luma plane: one pool task per
+/// macroblock row runs motion search, residual DCT + quantisation, the skip
+/// decision, and closed-loop reconstruction into that row's 16-pixel stripe
+/// of `recon`. Rows are independent by construction — the motion predictor
+/// is the *left* neighbour only, and prediction reads `prev`, which is
+/// immutable during the frame — so this computes exactly the values the
+/// serial [`encode_plane_inter_luma`] would.
+fn plan_plane_inter_luma(
+    pool: &WorkerPool,
+    plane: &Plane,
+    prev: &Plane,
+    recon: &mut Plane,
+    step: f32,
+    peak: u16,
+    search_range: i16,
+) -> Vec<LumaMbPlan> {
+    let mbs_x = plane.width.div_ceil(MB_SIZE);
+    let mbs_y = plane.height.div_ceil(MB_SIZE);
+    let mut plans = vec![LumaMbPlan::default(); mbs_x * mbs_y];
+    let width = plane.width;
+    pool.scope(|s| {
+        for (mby, (plan_row, stripe)) in plans
+            .chunks_mut(mbs_x)
+            .zip(recon.data.chunks_mut(width * MB_SIZE))
+            .enumerate()
+        {
+            s.spawn(move || {
+                plan_luma_row(plane, prev, plan_row, stripe, mby, step, peak, search_range);
+            });
+        }
+    });
+    plans
+}
+
+/// Plan one macroblock row (see [`plan_plane_inter_luma`]). `stripe` is the
+/// row's slice of the reconstruction plane, starting at plane row
+/// `mby * MB_SIZE`.
+#[allow(clippy::too_many_arguments)]
+fn plan_luma_row(
+    plane: &Plane,
+    prev: &Plane,
+    plan_row: &mut [LumaMbPlan],
+    stripe: &mut [u16],
+    mby: usize,
+    step: f32,
+    peak: u16,
+    search_range: i16,
+) {
+    let by = mby * MB_SIZE;
+    let mut pred_buf = [0i32; MB_SIZE * MB_SIZE];
+    let mut blk = [0i32; 64];
+    let mut left_mv = MotionVector::default();
+    for (mbx, plan) in plan_row.iter_mut().enumerate() {
+        let bx = mbx * MB_SIZE;
+        let pred_mv = if mbx > 0 { left_mv } else { MotionVector::default() };
+        let (mv, _) = motion::diamond_search(plane, prev, bx, by, pred_mv, search_range);
+        motion::predict_block(prev, bx, by, mv, &mut pred_buf);
+
+        let mut levels4 = [[0i32; 64]; 4];
+        let mut all_zero = true;
+        for (sb, levels) in levels4.iter_mut().enumerate() {
+            let ox = (sb % 2) * 8;
+            let oy = (sb / 2) * 8;
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    let cur =
+                        plane.get_clamped((bx + ox + dx) as isize, (by + oy + dy) as isize) as i32;
+                    blk[dy * 8 + dx] = cur - pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                }
+            }
+            let coeffs = dct::forward(&blk);
+            *levels = quant::quantize_block(&coeffs, step, DC_SCALE);
+            if levels.iter().any(|&l| l != 0) {
+                all_zero = false;
+            }
+        }
+        let skip = all_zero && mv == pred_mv;
+
+        for (sb, levels) in levels4.iter().enumerate() {
+            let ox = (sb % 2) * 8;
+            let oy = (sb / 2) * 8;
+            let mut rec = [0i32; 64];
+            if skip {
+                for dy in 0..8 {
+                    for dx in 0..8 {
+                        rec[dy * 8 + dx] = pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                    }
+                }
+            } else {
+                let deq = quant::dequantize_block(levels, step, DC_SCALE);
+                let res = dct::inverse(&deq);
+                for dy in 0..8 {
+                    for dx in 0..8 {
+                        rec[dy * 8 + dx] =
+                            res[dy * 8 + dx] + pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                    }
+                }
+            }
+            write_block8_into_stripe(stripe, plane.width, by, bx + ox, by + oy, &rec, peak);
+        }
+
+        *plan = LumaMbPlan { mv, pred_mv, skip, levels4 };
+        left_mv = mv;
+    }
+}
+
+/// Serial entropy pass over a planned luma plane: replays the macroblocks in
+/// raster order through the adaptive range coder, producing the identical
+/// bitstream and statistics to the single-pass serial encoder. Returns the
+/// motion field for the chroma planes.
+fn entropy_plane_inter_luma(
+    enc: &mut RangeEncoder,
+    ctx: &mut PlaneContexts,
+    plans: &[LumaMbPlan],
+    counts: &mut BlockCounts,
+) -> Vec<MotionVector> {
+    let mut mvs = Vec::with_capacity(plans.len());
+    for plan in plans {
+        if plan.skip {
+            counts.skip += 1;
+        } else {
+            counts.coded += 1;
+        }
+        enc.encode_bit(&mut ctx.skip, plan.skip);
+        if !plan.skip {
+            encode_svalue(enc, (plan.mv.dx - plan.pred_mv.dx) as i32);
+            encode_svalue(enc, (plan.mv.dy - plan.pred_mv.dy) as i32);
+            for levels in &plan.levels4 {
+                encode_block(enc, &mut ctx.coeff, levels);
+            }
+        }
+        mvs.push(plan.mv);
+    }
+    mvs
+}
+
+/// Stripe-parallel plan phase for an inter chroma plane: one pool task per
+/// 8-pixel block row computes the motion-compensated residual levels (from
+/// the halved luma motion field) and reconstructs into that row's stripe.
+#[allow(clippy::too_many_arguments)]
+fn plan_plane_inter_chroma(
+    pool: &WorkerPool,
+    plane: &Plane,
+    prev: &Plane,
+    recon: &mut Plane,
+    step: f32,
+    peak: u16,
+    luma_mvs: &[MotionVector],
+    luma_width: usize,
+) -> Vec<[i32; 64]> {
+    let blocks_x = plane.width.div_ceil(8);
+    let blocks_y = plane.height.div_ceil(8);
+    let mbs_x = luma_width.div_ceil(MB_SIZE);
+    let mut plans = vec![[0i32; 64]; blocks_x * blocks_y];
+    let width = plane.width;
+    pool.scope(|s| {
+        for (row, (plan_row, stripe)) in plans
+            .chunks_mut(blocks_x)
+            .zip(recon.data.chunks_mut(width * 8))
+            .enumerate()
+        {
+            s.spawn(move || {
+                let by = row * 8;
+                let mut blk = [0i32; 64];
+                for (bxi, levels_out) in plan_row.iter_mut().enumerate() {
+                    let bx = bxi * 8;
+                    let mb_index = (by / 8) * mbs_x + (bx / 8);
+                    let mv = luma_mvs.get(mb_index).copied().unwrap_or_default();
+                    let cmv = MotionVector { dx: mv.dx / 2, dy: mv.dy / 2 };
+                    for dy in 0..8 {
+                        for dx in 0..8 {
+                            let cur =
+                                plane.get_clamped((bx + dx) as isize, (by + dy) as isize) as i32;
+                            let pred = prev.get_clamped(
+                                (bx + dx) as isize + cmv.dx as isize,
+                                (by + dy) as isize + cmv.dy as isize,
+                            ) as i32;
+                            blk[dy * 8 + dx] = cur - pred;
+                        }
+                    }
+                    let coeffs = dct::forward(&blk);
+                    let levels = quant::quantize_block(&coeffs, step, DC_SCALE);
+                    let deq = quant::dequantize_block(&levels, step, DC_SCALE);
+                    let res = dct::inverse(&deq);
+                    let mut rec = [0i32; 64];
+                    for dy in 0..8 {
+                        for dx in 0..8 {
+                            let pred = prev.get_clamped(
+                                (bx + dx) as isize + cmv.dx as isize,
+                                (by + dy) as isize + cmv.dy as isize,
+                            ) as i32;
+                            rec[dy * 8 + dx] = res[dy * 8 + dx] + pred;
+                        }
+                    }
+                    write_block8_into_stripe(stripe, width, by, bx, by, &rec, peak);
+                    *levels_out = levels;
+                }
+            });
+        }
+    });
+    plans
+}
+
+/// Serial entropy pass over a planned chroma plane (see
+/// [`entropy_plane_inter_luma`]).
+fn entropy_plane_inter_chroma(
+    enc: &mut RangeEncoder,
+    ctx: &mut PlaneContexts,
+    plans: &[[i32; 64]],
+    counts: &mut BlockCounts,
+) {
+    for levels in plans {
+        counts.coded += 1;
+        encode_block(enc, &mut ctx.coeff, levels);
     }
 }
 

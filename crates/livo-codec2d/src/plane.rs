@@ -71,6 +71,8 @@ impl Plane {
     }
 
     /// Mean absolute difference to another plane (same dimensions).
+    /// See also [`write_block8_into_stripe`] for writing into a borrowed
+    /// horizontal stripe of a plane's rows.
     pub fn mad(&self, o: &Plane) -> f64 {
         assert_eq!((self.width, self.height), (o.width, o.height));
         let sum: u64 = self
@@ -80,6 +82,41 @@ impl Plane {
             .map(|(a, b)| (*a as i64 - *b as i64).unsigned_abs())
             .sum();
         sum as f64 / self.data.len() as f64
+    }
+}
+
+/// Write an 8×8 block into a horizontal stripe of plane rows, as handed out
+/// by `data.chunks_mut(width * stripe_height)`. `stripe` holds plane rows
+/// `[y0, y0 + stripe.len() / width)`; `(bx, by)` are whole-plane coordinates.
+/// Semantics match [`Plane::write_block8`]: samples clamp to `[0, peak]` and
+/// pixels outside the plane (here: outside the stripe) are skipped, so the
+/// partial last stripe of a non-multiple-of-stripe-height plane behaves like
+/// the plane's bottom edge.
+pub fn write_block8_into_stripe(
+    stripe: &mut [u16],
+    width: usize,
+    y0: usize,
+    bx: usize,
+    by: usize,
+    block: &[i32; 64],
+    peak: u16,
+) {
+    let rows = stripe.len() / width;
+    for dy in 0..8 {
+        let y = by + dy;
+        if y < y0 {
+            continue;
+        }
+        if y >= y0 + rows {
+            break;
+        }
+        for dx in 0..8 {
+            let x = bx + dx;
+            if x >= width {
+                break;
+            }
+            stripe[(y - y0) * width + x] = block[dy * 8 + dx].clamp(0, peak as i32) as u16;
+        }
     }
 }
 

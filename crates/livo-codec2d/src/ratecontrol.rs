@@ -9,7 +9,7 @@
 //! bandwidth adaptation assumes (§3.3).
 
 use crate::encoder::FrameType;
-use crate::quant::{self, QP_MAX, QP_MIN};
+use crate::quant::{self, QP_MAX};
 
 /// Online rate model + QP chooser.
 #[derive(Debug, Clone)]
@@ -54,7 +54,6 @@ impl RateController {
         qp_min: u8,
         qp_max: u8,
     ) -> u8 {
-        let qp_min = qp_min.max(QP_MIN);
         let qp_max = qp_max.min(QP_MAX);
         // Pay down (or up) a third of the debt this frame.
         let adjusted = (target_bits - self.debt_bits / 3.0).max(target_bits * 0.1);

@@ -12,7 +12,7 @@
 //! Everything runs in virtual time; wall-clock is only measured to report
 //! per-component processing latency (Table 6).
 
-use crate::cull::{cull_views, CullStats};
+use crate::cull::{cull_views_on, CullStats};
 use crate::depth::{depth_mse_mm, DepthCodec, DepthEncoding};
 use crate::frustum_pred::FrustumPredictor;
 use crate::reconstruct::{prepare_for_render, reconstruct_point_cloud};
@@ -20,7 +20,7 @@ use crate::splitter::{BandwidthSplitter, SplitterConfig};
 use crate::tile::{compose_color, compose_depth, read_seq, write_seq, TileLayout};
 use bytes::Bytes;
 use livo_capture::{
-    datasets::DatasetPreset, render::render_rgbd_at, rig, BandwidthTrace, RgbdFrame, UserTrace,
+    datasets::DatasetPreset, render::render_views_at, rig, BandwidthTrace, RgbdFrame, UserTrace,
     VideoId,
 };
 use livo_codec2d::{Decoder, Encoder, EncoderConfig, Frame, PixelFormat};
@@ -73,8 +73,9 @@ pub struct ConferenceConfig {
 }
 
 impl ConferenceConfig {
-    /// LiVo defaults at evaluation scale for a given video.
-    pub fn livo(video: VideoId) -> Self {
+    /// LiVo defaults at evaluation scale for a given video (what the old
+    /// `livo` constructor produced).
+    fn defaults(video: VideoId) -> Self {
         ConferenceConfig {
             video,
             camera_scale: 0.15,
@@ -99,14 +100,214 @@ impl ConferenceConfig {
         }
     }
 
+    /// Start a validating builder from the LiVo defaults for `video`. The
+    /// old constructor trio maps as:
+    ///
+    /// - `livo(v)` → `ConferenceConfig::builder(v).build()?`
+    /// - `livo_nocull(v)` → `.cull(false)`
+    /// - `livo_noadapt(v)` → `.adapt(false).cull(false)`
+    pub fn builder(video: VideoId) -> ConferenceConfigBuilder {
+        ConferenceConfigBuilder { cfg: Self::defaults(video) }
+    }
+
+    /// LiVo defaults at evaluation scale for a given video.
+    #[deprecated(since = "0.2.0", note = "use ConferenceConfig::builder(video).build()")]
+    pub fn livo(video: VideoId) -> Self {
+        Self::defaults(video)
+    }
+
     /// The LiVo-NoCull baseline (§4.1).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ConferenceConfig::builder(video).cull(false).build()"
+    )]
     pub fn livo_nocull(video: VideoId) -> Self {
-        ConferenceConfig { cull: false, ..Self::livo(video) }
+        ConferenceConfig { cull: false, ..Self::defaults(video) }
     }
 
     /// The LiVo-NoAdapt baseline (§4.5: fixed colour QP 22, depth QP 14).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ConferenceConfig::builder(video).adapt(false).cull(false).build()"
+    )]
     pub fn livo_noadapt(video: VideoId) -> Self {
-        ConferenceConfig { adapt: false, cull: false, ..Self::livo(video) }
+        ConferenceConfig { adapt: false, cull: false, ..Self::defaults(video) }
+    }
+}
+
+/// A [`ConferenceConfig`] field rejected by [`ConferenceConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfig {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// Human-readable constraint it violated.
+    pub message: String,
+}
+
+impl std::fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid ConferenceConfig.{}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for InvalidConfig {}
+
+/// Validating builder for [`ConferenceConfig`], started by
+/// [`ConferenceConfig::builder`]. Every knob defaults to the LiVo
+/// evaluation-scale configuration; [`build`](Self::build) rejects values the
+/// runner cannot execute (zero fps, empty rigs, out-of-range fractions)
+/// instead of letting them surface as divide-by-zero or empty-layout panics
+/// mid-replay.
+///
+/// ```ignore
+/// let cfg = ConferenceConfig::builder(VideoId::Band2)
+///     .cull(false)
+///     .adapt(true)
+///     .duration_s(5.0)
+///     .build()?;
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConferenceConfigBuilder {
+    cfg: ConferenceConfig,
+}
+
+impl ConferenceConfigBuilder {
+    /// Camera resolution scale, in `(0, 1]` of full Kinect 640×576.
+    pub fn camera_scale(mut self, scale: f32) -> Self {
+        self.cfg.camera_scale = scale;
+        self
+    }
+
+    /// Number of cameras in the capture ring (≥ 1).
+    pub fn n_cameras(mut self, n: usize) -> Self {
+        self.cfg.n_cameras = n;
+        self
+    }
+
+    /// Replay length in seconds (> 0).
+    pub fn duration_s(mut self, s: f32) -> Self {
+        self.cfg.duration_s = s;
+        self
+    }
+
+    /// Capture and display rate (≥ 1).
+    pub fn fps(mut self, fps: u32) -> Self {
+        self.cfg.fps = fps;
+        self
+    }
+
+    /// Sender-side predictive culling (off = LiVo-NoCull).
+    pub fn cull(mut self, on: bool) -> Self {
+        self.cfg.cull = on;
+        self
+    }
+
+    /// Direct rate adaptation (off = LiVo-NoAdapt, fixed QPs).
+    pub fn adapt(mut self, on: bool) -> Self {
+        self.cfg.adapt = on;
+        self
+    }
+
+    /// Fixed QPs used when adaptation is off.
+    pub fn fixed_qps(mut self, color: u8, depth: u8) -> Self {
+        self.cfg.fixed_color_qp = color;
+        self.cfg.fixed_depth_qp = depth;
+        self
+    }
+
+    pub fn depth_encoding(mut self, enc: DepthEncoding) -> Self {
+        self.cfg.depth_encoding = enc;
+        self
+    }
+
+    /// Frustum guard band ε in metres (≥ 0).
+    pub fn guard_m(mut self, m: f32) -> Self {
+        self.cfg.guard_m = m;
+        self
+    }
+
+    /// Cull against the receiver's *true* pose (perfect-culling oracle).
+    pub fn perfect_cull(mut self, on: bool) -> Self {
+        self.cfg.perfect_cull = on;
+        self
+    }
+
+    pub fn splitter(mut self, splitter: SplitterConfig) -> Self {
+        self.cfg.splitter = splitter;
+        self
+    }
+
+    /// Pin the bandwidth split to a constant in `[0, 1]` (Figs. 18–19).
+    pub fn static_split(mut self, split: f64) -> Self {
+        self.cfg.static_split = Some(split);
+        self
+    }
+
+    pub fn session(mut self, session: SessionConfig) -> Self {
+        self.cfg.session = session;
+        self
+    }
+
+    /// Receiver render voxel size in metres (> 0).
+    pub fn voxel_m(mut self, m: f32) -> Self {
+        self.cfg.voxel_m = m;
+        self
+    }
+
+    /// Compute PSSIM on every n-th display slot (≥ 1).
+    pub fn quality_every(mut self, n: u32) -> Self {
+        self.cfg.quality_every = n;
+        self
+    }
+
+    /// Fraction of the bandwidth estimate budgeted to media, in `(0, 1]`.
+    pub fn budget_fraction(mut self, f: f64) -> Self {
+        self.cfg.budget_fraction = f;
+        self
+    }
+
+    pub fn user_trace(mut self, style: usize, seed: u64) -> Self {
+        self.cfg.user_trace_style = style;
+        self.cfg.user_trace_seed = seed;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ConferenceConfig, InvalidConfig> {
+        let cfg = self.cfg;
+        let err = |field: &'static str, message: String| Err(InvalidConfig { field, message });
+        // NaN must fail every range check, so each test names it explicitly.
+        if cfg.camera_scale.is_nan() || cfg.camera_scale <= 0.0 || cfg.camera_scale > 1.0 {
+            return err("camera_scale", format!("{} not in (0, 1]", cfg.camera_scale));
+        }
+        if cfg.n_cameras == 0 {
+            return err("n_cameras", "a capture rig needs at least one camera".into());
+        }
+        if cfg.duration_s.is_nan() || cfg.duration_s <= 0.0 {
+            return err("duration_s", format!("{} not > 0", cfg.duration_s));
+        }
+        if cfg.fps == 0 {
+            return err("fps", "frame rate must be at least 1".into());
+        }
+        if cfg.guard_m.is_nan() || cfg.guard_m < 0.0 {
+            return err("guard_m", format!("{} not >= 0", cfg.guard_m));
+        }
+        if let Some(s) = cfg.static_split {
+            if !(0.0..=1.0).contains(&s) {
+                return err("static_split", format!("{s} not in [0, 1]"));
+            }
+        }
+        if cfg.voxel_m.is_nan() || cfg.voxel_m <= 0.0 {
+            return err("voxel_m", format!("{} not > 0", cfg.voxel_m));
+        }
+        if cfg.quality_every == 0 {
+            return err("quality_every", "sampling interval must be at least 1".into());
+        }
+        if cfg.budget_fraction.is_nan() || cfg.budget_fraction <= 0.0 || cfg.budget_fraction > 1.0
+        {
+            return err("budget_fraction", format!("{} not in (0, 1]", cfg.budget_fraction));
+        }
+        Ok(cfg)
     }
 }
 
@@ -244,6 +445,13 @@ impl ConferenceRunner {
         let mut color_dec = Decoder::new();
         let mut depth_dec = Decoder::new();
 
+        // Intra-frame parallelism (capture fan-out, cull rows, encoder
+        // stripes) all runs on the process-wide pool: LIVO_THREADS sized,
+        // serial when 1.
+        let pool = livo_runtime::global();
+        color_enc.set_worker_pool(pool.clone());
+        depth_enc.set_worker_pool(pool.clone());
+
         let mut session = RtcSession::new(net_trace.clone(), cfg.session.clone());
         let mut splitter = BandwidthSplitter::new(cfg.splitter);
         let mut predictor = FrustumPredictor::new(FrustumParams::default(), cfg.guard_m);
@@ -306,11 +514,8 @@ impl ConferenceRunner {
             // --- capture (render the camera array) ---
             let span = TelemetrySpan::start(&capture_hist);
             let snap = self.preset.scene.at(t_s);
-            let mut views: Vec<RgbdFrame> = self
-                .cameras
-                .iter()
-                .map(|c| render_rgbd_at(c, &snap, frame_idx as u32))
-                .collect();
+            let mut views: Vec<RgbdFrame> =
+                render_views_at(pool, &self.cameras, &snap, frame_idx as u32);
             let capture_elapsed = span.finish_ms();
             timings.capture_ms += capture_elapsed;
             timeline.mark_dur(frame_idx, stage::CAPTURE, now, capture_elapsed);
@@ -330,7 +535,7 @@ impl ConferenceRunner {
                 } else {
                     predictor.predicted_frustum()
                 };
-                let stats: CullStats = cull_views(&mut views, &self.cameras, &frustum);
+                let stats: CullStats = cull_views_on(pool, &mut views, &self.cameras, &frustum);
                 keep_frac_sum += stats.keep_fraction();
                 keep_frac_n += 1;
                 keep_hist.record(stats.keep_fraction());
@@ -559,7 +764,7 @@ impl ConferenceRunner {
                     let mut rec = FrameRecord { slot, shown_seq: shown, pssim: None };
                     if is_new {
                         displayed_seq = have;
-                        if slot % cfg.quality_every as u64 == 0 {
+                        if slot.is_multiple_of(cfg.quality_every as u64) {
                             let cs = have.unwrap();
                             let color_frame = &last_color[&cs];
                             let depth_frame = &last_depth[&cs];
@@ -680,10 +885,10 @@ impl ConferenceRunner {
         let t_s = seq as f32 / cfg.fps as f32;
         let snap = self.preset.scene.at(t_s);
         let mut truth = PointCloud::new();
-        for cam in &self.cameras {
-            // Same time key as the capture of this seq: the "ground truth"
-            // is what the sensor actually measured, noise included.
-            let v = render_rgbd_at(cam, &snap, seq);
+        // Same time key as the capture of this seq: the "ground truth" is
+        // what the sensor actually measured, noise included.
+        let truth_views = render_views_at(livo_runtime::global(), &self.cameras, &snap, seq);
+        for (cam, v) in self.cameras.iter().zip(&truth_views) {
             for y in 0..v.height {
                 for x in 0..v.width {
                     let d = v.depth_mm[y * v.width + x];
@@ -720,12 +925,58 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> ConferenceConfig {
-        let mut cfg = ConferenceConfig::livo(VideoId::Toddler4);
-        cfg.camera_scale = 0.08;
-        cfg.n_cameras = 4;
-        cfg.duration_s = 3.0;
-        cfg.quality_every = 30;
-        cfg
+        ConferenceConfig::builder(VideoId::Toddler4)
+            .camera_scale(0.08)
+            .n_cameras(4)
+            .duration_s(3.0)
+            .quality_every(30)
+            .build()
+            .expect("quick config is valid")
+    }
+
+    #[test]
+    fn builder_matches_deprecated_constructors() {
+        #[allow(deprecated)]
+        let old = ConferenceConfig::livo(VideoId::Band2);
+        let new = ConferenceConfig::builder(VideoId::Band2).build().unwrap();
+        assert_eq!(format!("{old:?}"), format!("{new:?}"));
+
+        #[allow(deprecated)]
+        let old = ConferenceConfig::livo_nocull(VideoId::Dance5);
+        let new = ConferenceConfig::builder(VideoId::Dance5).cull(false).build().unwrap();
+        assert_eq!(format!("{old:?}"), format!("{new:?}"));
+
+        #[allow(deprecated)]
+        let old = ConferenceConfig::livo_noadapt(VideoId::Office1);
+        let new = ConferenceConfig::builder(VideoId::Office1)
+            .adapt(false)
+            .cull(false)
+            .build()
+            .unwrap();
+        assert_eq!(format!("{old:?}"), format!("{new:?}"));
+    }
+
+    #[test]
+    fn builder_rejects_unrunnable_configs() {
+        let cases: Vec<(&str, ConferenceConfigBuilder)> = vec![
+            ("camera_scale", ConferenceConfig::builder(VideoId::Band2).camera_scale(0.0)),
+            ("camera_scale", ConferenceConfig::builder(VideoId::Band2).camera_scale(1.5)),
+            ("n_cameras", ConferenceConfig::builder(VideoId::Band2).n_cameras(0)),
+            ("duration_s", ConferenceConfig::builder(VideoId::Band2).duration_s(-1.0)),
+            ("fps", ConferenceConfig::builder(VideoId::Band2).fps(0)),
+            ("guard_m", ConferenceConfig::builder(VideoId::Band2).guard_m(-0.1)),
+            ("static_split", ConferenceConfig::builder(VideoId::Band2).static_split(1.2)),
+            ("voxel_m", ConferenceConfig::builder(VideoId::Band2).voxel_m(0.0)),
+            ("quality_every", ConferenceConfig::builder(VideoId::Band2).quality_every(0)),
+            ("budget_fraction", ConferenceConfig::builder(VideoId::Band2).budget_fraction(0.0)),
+        ];
+        for (field, builder) in cases {
+            let err = builder.build().expect_err(field);
+            assert_eq!(err.field, field, "wrong field in {err}");
+            assert!(err.to_string().contains(field));
+        }
+        // NaN is rejected, not silently accepted, by the positive-form checks.
+        assert!(ConferenceConfig::builder(VideoId::Band2).duration_s(f32::NAN).build().is_err());
     }
 
     #[test]
@@ -755,13 +1006,17 @@ mod tests {
     fn noadapt_overruns_low_bandwidth() {
         // pizza1's motion keeps fixed-QP P-frames large; a link well below
         // their natural rate (~2 Mbps at this scale) forces stalls.
-        let mut cfg = ConferenceConfig::livo(VideoId::Pizza1);
-        cfg.camera_scale = 0.08;
-        cfg.n_cameras = 4;
-        cfg.duration_s = 3.0;
-        cfg.quality_every = 1000;
-        cfg.adapt = false;
-        cfg.session.initial_estimate_bps = 0.4e6;
+        let mut session = SessionConfig::default();
+        session.initial_estimate_bps = 0.4e6;
+        let cfg = ConferenceConfig::builder(VideoId::Pizza1)
+            .camera_scale(0.08)
+            .n_cameras(4)
+            .duration_s(3.0)
+            .quality_every(1000)
+            .adapt(false)
+            .session(session)
+            .build()
+            .unwrap();
         let runner = ConferenceRunner::new(cfg);
         let trace = BandwidthTrace::constant(0.8, 10.0);
         let s = runner.run(trace);

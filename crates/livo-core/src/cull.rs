@@ -11,6 +11,7 @@
 
 use livo_capture::RgbdFrame;
 use livo_math::{Frustum, RgbdCamera};
+use livo_runtime::WorkerPool;
 
 /// Statistics of one cull pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -58,6 +59,79 @@ pub fn cull_views(views: &mut [RgbdFrame], cameras: &[RgbdCamera], frustum: &Fru
                     view.rgb[i * 3 + 2] = 0;
                 }
             }
+        }
+    }
+    stats
+}
+
+/// [`cull_views`] with the per-pixel frustum tests spread over `pool`: each
+/// view's rows are split into one contiguous band per pool thread, and each
+/// band task tests and zeroes its own rows (depth and colour rows of a band
+/// are disjoint slices, so no synchronisation is needed). A single-thread
+/// pool falls back to the serial path; results are identical either way —
+/// the per-pixel test has no cross-pixel state.
+pub fn cull_views_on(
+    pool: &WorkerPool,
+    views: &mut [RgbdFrame],
+    cameras: &[RgbdCamera],
+    frustum: &Frustum,
+) -> CullStats {
+    if pool.threads() <= 1 {
+        return cull_views(views, cameras, frustum);
+    }
+    assert_eq!(views.len(), cameras.len());
+    let mut stats = CullStats::default();
+    for (view, cam) in views.iter_mut().zip(cameras) {
+        let local_frustum = frustum.transformed(&cam.world_to_local());
+        let k = &cam.intrinsics;
+        let width = view.width;
+        let height = view.height;
+        if width == 0 || height == 0 {
+            continue;
+        }
+        let bands = pool.threads().min(height);
+        let band_rows = height.div_ceil(bands);
+        let mut band_stats = vec![CullStats::default(); bands];
+        pool.scope(|s| {
+            let lf = &local_frustum;
+            for (bi, ((depth_band, rgb_band), bs)) in view
+                .depth_mm
+                .chunks_mut(width * band_rows)
+                .zip(view.rgb.chunks_mut(width * 3 * band_rows))
+                .zip(band_stats.iter_mut())
+                .enumerate()
+            {
+                s.spawn(move || {
+                    let y0 = bi * band_rows;
+                    for (ry, (drow, crow)) in depth_band
+                        .chunks_mut(width)
+                        .zip(rgb_band.chunks_mut(width * 3))
+                        .enumerate()
+                    {
+                        let y = y0 + ry;
+                        for (x, d) in drow.iter_mut().enumerate() {
+                            if *d == 0 {
+                                continue;
+                            }
+                            bs.total_valid += 1;
+                            let local =
+                                k.unproject(x as f32 + 0.5, y as f32 + 0.5, *d as f32 / 1000.0);
+                            if lf.contains(local) {
+                                bs.kept += 1;
+                            } else {
+                                *d = 0;
+                                crow[x * 3] = 0;
+                                crow[x * 3 + 1] = 0;
+                                crow[x * 3 + 2] = 0;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        for bs in &band_stats {
+            stats.total_valid += bs.total_valid;
+            stats.kept += bs.kept;
         }
     }
     stats

@@ -35,8 +35,14 @@ pub mod reconstruct;
 pub mod splitter;
 pub mod tile;
 
-pub use conference::{ConferenceConfig, ConferenceRunner, FrameRecord, RunSummary};
-pub use cull::cull_views;
+pub use conference::{
+    ConferenceConfig, ConferenceConfigBuilder, ConferenceRunner, FrameRecord, InvalidConfig,
+    RunSummary,
+};
+pub use cull::{cull_views, cull_views_on};
+pub use pipeline::{
+    CaptureJob, EncodedPair, PipelineOptions, RecvError, SenderPipeline, SubmitError,
+};
 pub use depth::{DepthCodec, DepthEncoding};
 pub use frustum_pred::FrustumPredictor;
 pub use reconstruct::reconstruct_point_cloud;

@@ -12,16 +12,65 @@
 //! operation (the examples drive it) and to validate the pipelining claim
 //! itself: throughput ≈ 1 / max(stage time), not 1 / Σ(stage times).
 
-use crate::cull::cull_views;
+use crate::cull::cull_views_on;
 use crate::depth::DepthCodec;
 use crate::tile::{compose_color, compose_depth, TileLayout};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use livo_capture::{RgbdFrame, SceneSnapshot};
 use livo_codec2d::{EncodedFrame, Encoder, EncoderConfig, PixelFormat};
 use livo_math::{Frustum, RgbdCamera};
+use livo_runtime::WorkerPool;
 use livo_telemetry::{stage, FrameTimeline, HistogramSnapshot, MetricsRegistry, TelemetrySpan};
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Why submitting a capture job failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pipeline's stage threads have exited (after `shutdown`, or a
+    /// stage panicked); no further frames will be accepted.
+    Closed,
+    /// The bounded input queue is full — the pipeline is applying
+    /// backpressure. Only [`SenderPipeline::try_submit`] reports this; a
+    /// blocking [`SenderPipeline::submit`] waits instead. The frame is
+    /// dropped, which is the correct real-time response (send the next,
+    /// fresher capture instead).
+    Backpressure,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Closed => write!(f, "pipeline closed"),
+            SubmitError::Backpressure => write!(f, "pipeline input queue full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why receiving an encoded pair failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The pipeline has shut down and every in-flight frame has been
+    /// delivered; no more output will ever arrive.
+    Closed,
+    /// No frame is ready right now (only from
+    /// [`SenderPipeline::try_recv`]); more output may still arrive.
+    Empty,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Closed => write!(f, "pipeline closed"),
+            RecvError::Empty => write!(f, "no frame ready"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
 
 /// A captured multi-camera frame entering the pipeline.
 pub struct CaptureJob {
@@ -67,6 +116,73 @@ impl PipelineTimings {
     }
 }
 
+/// Everything needed to spawn a [`SenderPipeline`], with sensible defaults
+/// for all but the capture rig and tile layout. Consolidates the old
+/// `spawn` / `spawn_with_telemetry` pair into one entry point:
+///
+/// ```ignore
+/// let pipe = SenderPipeline::spawn(
+///     PipelineOptions::new(cameras, layout)
+///         .queue_depth(4)
+///         .registry(registry)
+///         .worker_pool(pool),
+/// );
+/// ```
+pub struct PipelineOptions {
+    pub cameras: Vec<RgbdCamera>,
+    pub layout: TileLayout,
+    pub depth_codec: DepthCodec,
+    /// Capacity of the bounded inter-stage queues (frames in flight).
+    pub queue_depth: usize,
+    /// Registry the stage threads record into; a private one if `None`.
+    pub registry: Option<Arc<MetricsRegistry>>,
+    /// Frame timeline stamped with capture/cull/tile/encode stages.
+    pub timeline: Option<Arc<FrameTimeline>>,
+    /// Worker pool for intra-stage parallelism (cull rows, encoder
+    /// stripes). `None` uses the process-wide [`livo_runtime::global`]
+    /// pool, whose size follows `LIVO_THREADS`.
+    pub pool: Option<Arc<WorkerPool>>,
+}
+
+impl PipelineOptions {
+    pub fn new(cameras: Vec<RgbdCamera>, layout: TileLayout) -> Self {
+        PipelineOptions {
+            cameras,
+            layout,
+            depth_codec: DepthCodec::default(),
+            queue_depth: 4,
+            registry: None,
+            timeline: None,
+            pool: None,
+        }
+    }
+
+    pub fn depth_codec(mut self, codec: DepthCodec) -> Self {
+        self.depth_codec = codec;
+        self
+    }
+
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    pub fn registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    pub fn timeline(mut self, timeline: Arc<FrameTimeline>) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    pub fn worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+}
+
 /// The running sender pipeline. Push capture jobs; pull encoded pairs.
 pub struct SenderPipeline {
     input: Sender<(Instant, CaptureJob)>,
@@ -78,37 +194,18 @@ pub struct SenderPipeline {
 }
 
 impl SenderPipeline {
-    /// Spawn the stage threads with a private metrics registry and no
-    /// frame timeline. `depth_codec` selects the depth encoding.
-    pub fn spawn(
-        cameras: Vec<RgbdCamera>,
-        layout: TileLayout,
-        depth_codec: DepthCodec,
-        queue_depth: usize,
-    ) -> SenderPipeline {
-        Self::spawn_with_telemetry(
-            cameras,
-            layout,
-            depth_codec,
-            queue_depth,
-            Arc::new(MetricsRegistry::new()),
-            None,
-        )
-    }
-
-    /// Spawn the stage threads recording into the given registry
-    /// (histograms `pipeline.cull_ms` / `pipeline.tile_ms` /
-    /// `pipeline.encode_ms` / `pipeline.total_ms`) and, if a timeline is
-    /// given, stamping capture/cull/tile/encode stages per `seq`.
-    /// Timeline timestamps are µs since this call (the pipeline epoch).
-    pub fn spawn_with_telemetry(
-        cameras: Vec<RgbdCamera>,
-        layout: TileLayout,
-        depth_codec: DepthCodec,
-        queue_depth: usize,
-        registry: Arc<MetricsRegistry>,
-        timeline: Option<Arc<FrameTimeline>>,
-    ) -> SenderPipeline {
+    /// Spawn the stage threads. Metrics go to `opts.registry` (or a private
+    /// registry) as histograms `pipeline.cull_ms` / `pipeline.tile_ms` /
+    /// `pipeline.encode_ms` / `pipeline.total_ms`; if `opts.timeline` is
+    /// set, capture/cull/tile/encode stages are stamped per `seq` in µs
+    /// since this call (the pipeline epoch). Within the cull and encode
+    /// stages, work additionally fans out over `opts.pool` (the global
+    /// `LIVO_THREADS`-sized pool by default).
+    pub fn spawn(opts: PipelineOptions) -> SenderPipeline {
+        let PipelineOptions { cameras, layout, depth_codec, queue_depth, registry, timeline, pool } =
+            opts;
+        let registry = registry.unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+        let pool = pool.unwrap_or_else(|| livo_runtime::global().clone());
         let (in_tx, in_rx) = bounded::<(Instant, CaptureJob)>(queue_depth);
         let (tile_tx, tile_rx) =
             bounded::<(Instant, u32, livo_codec2d::Frame, livo_codec2d::Frame, u64, u64)>(queue_depth);
@@ -124,11 +221,12 @@ impl SenderPipeline {
         let cams = cameras.clone();
         let lay = layout;
         let tl1 = timeline.clone();
+        let pool1 = pool.clone();
         let stage1 = std::thread::spawn(move || {
             while let Ok((entered, mut job)) = in_rx.recv() {
                 let span = TelemetrySpan::start(&cull_hist);
                 if let Some(frustum) = &job.frustum {
-                    cull_views(&mut job.views, &cams, frustum);
+                    cull_views_on(&pool1, &mut job.views, &cams, frustum);
                 }
                 let cull_elapsed = span.finish_ms();
                 let span = TelemetrySpan::start(&tile_hist);
@@ -158,6 +256,8 @@ impl SenderPipeline {
                 Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Yuv420));
             let mut depth_enc =
                 Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Y16));
+            color_enc.set_worker_pool(pool.clone());
+            depth_enc.set_worker_pool(pool);
             while let Ok((entered, seq, color, depth, depth_bits, color_bits)) = tile_rx.recv() {
                 let span = TelemetrySpan::start(&encode_hist);
                 let color_out = color_enc.encode(&color, color_bits.max(1_000));
@@ -192,22 +292,82 @@ impl SenderPipeline {
         }
     }
 
-    /// Submit a captured frame; blocks when the pipeline is full (backpressure).
-    pub fn submit(&self, job: CaptureJob) -> bool {
+    /// Spawn with an explicit registry and optional timeline.
+    #[deprecated(since = "0.2.0", note = "use SenderPipeline::spawn(PipelineOptions::new(..))")]
+    pub fn spawn_with_telemetry(
+        cameras: Vec<RgbdCamera>,
+        layout: TileLayout,
+        depth_codec: DepthCodec,
+        queue_depth: usize,
+        registry: Arc<MetricsRegistry>,
+        timeline: Option<Arc<FrameTimeline>>,
+    ) -> SenderPipeline {
+        let mut opts = PipelineOptions::new(cameras, layout)
+            .depth_codec(depth_codec)
+            .queue_depth(queue_depth)
+            .registry(registry);
+        opts.timeline = timeline;
+        Self::spawn(opts)
+    }
+
+    /// Submit a captured frame; blocks while the pipeline is full
+    /// (backpressure). `Err(SubmitError::Closed)` means the stage threads
+    /// are gone and the frame was not accepted.
+    pub fn submit(&self, job: CaptureJob) -> Result<(), SubmitError> {
         if let Some(tl) = &self.timeline {
             tl.mark(job.seq as u64, stage::CAPTURE, self.epoch.elapsed().as_micros() as u64);
         }
-        self.input.send((Instant::now(), job)).is_ok()
+        self.input.send((Instant::now(), job)).map_err(|_| SubmitError::Closed)
     }
 
-    /// Non-blocking poll for finished frames.
-    pub fn try_recv(&self) -> Option<EncodedPair> {
-        self.output.try_recv().ok()
+    /// Non-blocking submit: `Err(Backpressure)` when the input queue is
+    /// full (the frame is dropped — capture a fresh one instead),
+    /// `Err(Closed)` when the pipeline has shut down.
+    pub fn try_submit(&self, job: CaptureJob) -> Result<(), SubmitError> {
+        let seq = job.seq;
+        match self.input.try_send((Instant::now(), job)) {
+            Ok(()) => {
+                if let Some(tl) = &self.timeline {
+                    tl.mark(seq as u64, stage::CAPTURE, self.epoch.elapsed().as_micros() as u64);
+                }
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => Err(SubmitError::Backpressure),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
+        }
     }
 
-    /// Blocking receive.
-    pub fn recv(&self) -> Option<EncodedPair> {
-        self.output.recv().ok()
+    /// Non-blocking poll for finished frames: `Err(Empty)` when nothing is
+    /// ready yet, `Err(Closed)` once the pipeline has drained after
+    /// shutdown.
+    pub fn try_recv(&self) -> Result<EncodedPair, RecvError> {
+        self.output.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => RecvError::Empty,
+            TryRecvError::Disconnected => RecvError::Closed,
+        })
+    }
+
+    /// Blocking receive; `Err(Closed)` once the pipeline has drained.
+    pub fn recv(&self) -> Result<EncodedPair, RecvError> {
+        self.output.recv().map_err(|_| RecvError::Closed)
+    }
+
+    /// `submit` with the old boolean result.
+    #[deprecated(since = "0.2.0", note = "use submit() and match on SubmitError")]
+    pub fn submit_ok(&self, job: CaptureJob) -> bool {
+        self.submit(job).is_ok()
+    }
+
+    /// `recv` with the old optional result.
+    #[deprecated(since = "0.2.0", note = "use recv() and match on RecvError")]
+    pub fn recv_opt(&self) -> Option<EncodedPair> {
+        self.recv().ok()
+    }
+
+    /// `try_recv` with the old optional result.
+    #[deprecated(since = "0.2.0", note = "use try_recv() and match on RecvError")]
+    pub fn try_recv_opt(&self) -> Option<EncodedPair> {
+        self.try_recv().ok()
     }
 
     /// The registry the stage threads record into.
@@ -242,9 +402,20 @@ impl SenderPipeline {
     }
 }
 
-/// Render one multi-camera capture (helper for pipeline clients).
+/// Render one multi-camera capture (helper for pipeline clients). The
+/// per-camera renders fan out over the global worker pool (`LIVO_THREADS`);
+/// use [`capture_views_on`] to supply a specific pool.
 pub fn capture_views(cameras: &[RgbdCamera], snapshot: &SceneSnapshot) -> Vec<RgbdFrame> {
-    cameras.iter().map(|c| livo_capture::render_rgbd(c, snapshot)).collect()
+    capture_views_on(livo_runtime::global(), cameras, snapshot)
+}
+
+/// [`capture_views`] on an explicit worker pool.
+pub fn capture_views_on(
+    pool: &WorkerPool,
+    cameras: &[RgbdCamera],
+    snapshot: &SceneSnapshot,
+) -> Vec<RgbdFrame> {
+    livo_capture::render_views_at(pool, cameras, snapshot, 0)
 }
 
 #[cfg(test)]
@@ -270,17 +441,18 @@ mod tests {
     #[test]
     fn pipeline_processes_all_frames_in_order() {
         let (cams, layout, preset) = setup();
-        let pipe = SenderPipeline::spawn(cams.clone(), layout, DepthCodec::default(), 4);
+        let pipe = SenderPipeline::spawn(PipelineOptions::new(cams.clone(), layout));
         let n = 10;
         for seq in 0..n {
             let views = capture_views(&cams, &preset.scene.at(seq as f32 / 30.0));
-            assert!(pipe.submit(CaptureJob {
+            pipe.submit(CaptureJob {
                 seq,
                 views,
                 frustum: None,
                 depth_bits: 80_000,
                 color_bits: 20_000,
-            }));
+            })
+            .expect("pipeline accepts while running");
         }
         let out = pipe.shutdown();
         assert_eq!(out.len(), n as usize);
@@ -296,7 +468,7 @@ mod tests {
         // Throughput should beat serial execution: total wall time for N
         // frames < N × (sum of stage means) once the pipe is warm.
         let (cams, layout, preset) = setup();
-        let pipe = SenderPipeline::spawn(cams.clone(), layout, DepthCodec::default(), 4);
+        let pipe = SenderPipeline::spawn(PipelineOptions::new(cams.clone(), layout));
         let views: Vec<_> = (0..8)
             .map(|i| capture_views(&cams, &preset.scene.at(i as f32 / 30.0)))
             .collect();
@@ -308,7 +480,8 @@ mod tests {
                 frustum: None,
                 depth_bits: 120_000,
                 color_bits: 40_000,
-            });
+            })
+            .unwrap();
         }
         let timings = pipe.timings();
         let out = pipe.shutdown();
@@ -328,13 +501,11 @@ mod tests {
         let (cams, layout, preset) = setup();
         let registry = Arc::new(MetricsRegistry::new());
         let timeline = Arc::new(FrameTimeline::new(64));
-        let pipe = SenderPipeline::spawn_with_telemetry(
-            cams.clone(),
-            layout,
-            DepthCodec::default(),
-            2,
-            registry.clone(),
-            Some(timeline.clone()),
+        let pipe = SenderPipeline::spawn(
+            PipelineOptions::new(cams.clone(), layout)
+                .queue_depth(2)
+                .registry(registry.clone())
+                .timeline(timeline.clone()),
         );
         let n = 6;
         for seq in 0..n {
@@ -345,7 +516,8 @@ mod tests {
                 frustum: None,
                 depth_bits: 50_000,
                 color_bits: 20_000,
-            });
+            })
+            .unwrap();
         }
         let out = pipe.shutdown();
         assert_eq!(out.len(), n as usize);
@@ -385,7 +557,8 @@ mod tests {
     #[test]
     fn pipeline_timings_accumulate() {
         let (cams, layout, preset) = setup();
-        let pipe = SenderPipeline::spawn(cams.clone(), layout, DepthCodec::default(), 2);
+        let pipe =
+            SenderPipeline::spawn(PipelineOptions::new(cams.clone(), layout).queue_depth(2));
         for seq in 0..4 {
             let views = capture_views(&cams, &preset.scene.at(0.0));
             pipe.submit(CaptureJob {
@@ -394,7 +567,8 @@ mod tests {
                 frustum: None,
                 depth_bits: 50_000,
                 color_bits: 20_000,
-            });
+            })
+            .unwrap();
         }
         let out = pipe.shutdown();
         assert_eq!(out.len(), 4);
@@ -402,5 +576,47 @@ mod tests {
         // Note: `timings` handle was consumed by shutdown; re-check via the
         // last frames' latency instead.
         assert!(out.iter().all(|p| p.pipeline_latency_ms > 0.0));
+    }
+
+    #[test]
+    fn typed_errors_distinguish_backpressure_empty_and_closed() {
+        let (cams, layout, preset) = setup();
+        let pipe = SenderPipeline::spawn(
+            PipelineOptions::new(cams.clone(), layout)
+                .queue_depth(1)
+                .worker_pool(Arc::new(livo_runtime::WorkerPool::new(1))),
+        );
+        // Nothing produced yet: try_recv reports Empty, not Closed.
+        assert_eq!(pipe.try_recv().err(), Some(RecvError::Empty));
+
+        let job = |seq| CaptureJob {
+            seq,
+            views: capture_views(&cams, &preset.scene.at(0.0)),
+            frustum: None,
+            depth_bits: 50_000,
+            color_bits: 20_000,
+        };
+        pipe.submit(job(0)).unwrap();
+        // Saturate the depth-1 input queue until try_submit reports
+        // backpressure (stage 1 drains concurrently, so push a few).
+        let mut saw_backpressure = false;
+        for seq in 1..200 {
+            match pipe.try_submit(job(seq)) {
+                Ok(()) => continue,
+                Err(SubmitError::Backpressure) => {
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(SubmitError::Closed) => panic!("pipeline closed unexpectedly"),
+            }
+        }
+        assert!(saw_backpressure, "a depth-1 queue must eventually push back");
+
+        // recv delivers every accepted frame, then shutdown drains and
+        // recv/try_recv would report Closed (checked via the drained pipe).
+        let first = pipe.recv().expect("first frame arrives");
+        assert_eq!(first.seq, 0);
+        let rest = pipe.shutdown();
+        assert!(!rest.is_empty() || first.seq == 0);
     }
 }

@@ -148,11 +148,14 @@ fn pressure_factor(profile: &EvalProfile) -> f64 {
     if let Some(f) = CACHE.lock().unwrap().get_or_insert_with(HashMap::new).get(&key) {
         return *f;
     }
-    let mut cfg = ConferenceConfig::livo_nocull(VideoId::Band2);
-    cfg.camera_scale = profile.camera_scale;
-    cfg.n_cameras = profile.n_cameras;
-    cfg.duration_s = 2.0;
-    cfg.quality_every = 10_000; // skip quality scoring in the probe
+    let mut cfg = ConferenceConfig::builder(VideoId::Band2)
+        .cull(false)
+        .camera_scale(profile.camera_scale)
+        .n_cameras(profile.n_cameras)
+        .duration_s(2.0)
+        .quality_every(10_000) // skip quality scoring in the probe
+        .build()
+        .expect("probe config is valid");
     cfg.session.initial_estimate_bps = 50e6;
     let s = ConferenceRunner::new(cfg).run(BandwidthTrace::constant(10_000.0, 8.0));
     let appetite_mbps = s.bits_sent as f64 / 2.0 / 1e6;
@@ -166,19 +169,20 @@ fn pressure_factor(profile: &EvalProfile) -> f64 {
 }
 
 fn livo_cfg(scheme: Scheme, video: VideoId, profile: &EvalProfile, style: usize) -> ConferenceConfig {
-    let mut cfg = match scheme {
-        Scheme::Livo => ConferenceConfig::livo(video),
-        Scheme::LivoNoCull => ConferenceConfig::livo_nocull(video),
-        Scheme::LivoNoAdapt => ConferenceConfig::livo_noadapt(video),
+    let builder = match scheme {
+        Scheme::Livo => ConferenceConfig::builder(video),
+        Scheme::LivoNoCull => ConferenceConfig::builder(video).cull(false),
+        Scheme::LivoNoAdapt => ConferenceConfig::builder(video).adapt(false).cull(false),
         _ => unreachable!("not a LiVo-family scheme"),
     };
-    cfg.camera_scale = profile.camera_scale;
-    cfg.n_cameras = profile.n_cameras;
-    cfg.duration_s = profile.duration_s;
-    cfg.quality_every = profile.quality_every;
-    cfg.user_trace_seed = profile.seed + style as u64;
-    cfg.user_trace_style = style;
-    cfg
+    builder
+        .camera_scale(profile.camera_scale)
+        .n_cameras(profile.n_cameras)
+        .duration_s(profile.duration_s)
+        .quality_every(profile.quality_every)
+        .user_trace(style, profile.seed + style as u64)
+        .build()
+        .expect("evaluation grid config is valid")
 }
 
 /// Run one (scheme, video, trace, user-style) cell.

@@ -48,9 +48,9 @@ pub fn build_samples(traces: &[&UserTrace], window: usize, horizon_frames: usize
         // Unwrap angles over the whole trace first.
         let mut vecs: Vec<[f64; 6]> = tr.poses.iter().map(pose_vec).collect();
         for i in 1..vecs.len() {
-            for a in 3..6 {
-                vecs[i][a] =
-                    angles::unwrap_near(vecs[i - 1][a] as f32, vecs[i][a] as f32) as f64;
+            let prev = vecs[i - 1];
+            for (cur, &pr) in vecs[i].iter_mut().zip(prev.iter()).skip(3) {
+                *cur = angles::unwrap_near(pr as f32, *cur as f32) as f64;
             }
         }
         if vecs.len() < window + horizon_frames + 1 {
@@ -104,19 +104,19 @@ impl Mlp {
     /// Forward pass; returns (hidden activations, output).
     fn forward(&self, x: &[f64]) -> (Vec<f64>, [f64; 6]) {
         let mut h = vec![0.0; self.hidden];
-        for j in 0..self.hidden {
+        for (j, hj) in h.iter_mut().enumerate() {
             let mut acc = self.b1[j];
             let row = &self.w1[j * self.inputs..(j + 1) * self.inputs];
             for (w, xi) in row.iter().zip(x) {
                 acc += w * xi;
             }
-            h[j] = acc.tanh();
+            *hj = acc.tanh();
         }
         let mut y = self.b2;
-        for d in 0..6 {
+        for (d, yd) in y.iter_mut().enumerate() {
             let row = &self.w2[d * self.hidden..(d + 1) * self.hidden];
             for (w, hj) in row.iter().zip(&h) {
-                y[d] += w * hj;
+                *yd += w * hj;
             }
         }
         (h, y)
@@ -138,22 +138,24 @@ impl Mlp {
             let s = &samples[si];
             let (h, y) = self.forward(&s.input);
             let mut dy = [0.0; 6];
-            for d in 0..6 {
-                dy[d] = y[d] - s.target[d];
-                total += dy[d] * dy[d];
+            for ((dyd, yd), td) in dy.iter_mut().zip(&y).zip(&s.target) {
+                *dyd = yd - td;
+                total += *dyd * *dyd;
             }
             // Backprop.
             let mut dh = vec![0.0; self.hidden];
-            for d in 0..6 {
-                for j in 0..self.hidden {
-                    dh[j] += dy[d] * self.w2[d * self.hidden + j];
+            for (d, &dyd) in dy.iter().enumerate() {
+                let row = &self.w2[d * self.hidden..(d + 1) * self.hidden];
+                for (dhj, w) in dh.iter_mut().zip(row) {
+                    *dhj += dyd * w;
                 }
             }
-            for d in 0..6 {
-                for j in 0..self.hidden {
-                    self.w2[d * self.hidden + j] -= lr * dy[d] * h[j];
+            for (d, &dyd) in dy.iter().enumerate() {
+                let row = &mut self.w2[d * self.hidden..(d + 1) * self.hidden];
+                for (w, hj) in row.iter_mut().zip(&h) {
+                    *w -= lr * dyd * hj;
                 }
-                self.b2[d] -= lr * dy[d];
+                self.b2[d] -= lr * dyd;
             }
             for j in 0..self.hidden {
                 let g = dh[j] * (1.0 - h[j] * h[j]);

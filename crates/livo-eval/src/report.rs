@@ -136,15 +136,15 @@ pub fn table6(profile: &EvalProfile) -> String {
     out.push_str("Table 6: per-component latency (ms)\n");
     out.push_str("  paper: sender ≈64, WebRTC transmission ≈137 (100 ms jitter buffer), receiver ≈53, render <6\n");
     out.push_str("  (processing columns measured on this machine at reduced scale — compare shape)\n\n");
-    for (name, cfg) in [
-        ("LiVo", ConferenceConfig::livo(VideoId::Band2)),
-        ("LiVo-NoCull", ConferenceConfig::livo_nocull(VideoId::Band2)),
-    ] {
-        let mut cfg = cfg;
-        cfg.camera_scale = profile.camera_scale;
-        cfg.n_cameras = profile.n_cameras;
-        cfg.duration_s = profile.duration_s;
-        cfg.quality_every = profile.quality_every;
+    for (name, cull) in [("LiVo", true), ("LiVo-NoCull", false)] {
+        let cfg = ConferenceConfig::builder(VideoId::Band2)
+            .cull(cull)
+            .camera_scale(profile.camera_scale)
+            .n_cameras(profile.n_cameras)
+            .duration_s(profile.duration_s)
+            .quality_every(profile.quality_every)
+            .build()
+            .expect("table6 profile is valid");
         let trace = BandwidthTrace::generate(TraceId::Trace1, profile.duration_s + 5.0, profile.seed);
         let s = ConferenceRunner::new(cfg).run(trace);
         let t = s.timings;
@@ -171,11 +171,13 @@ pub fn table6(profile: &EvalProfile) -> String {
 pub fn bench_snapshot(profile: &EvalProfile) -> String {
     use livo_telemetry::json::ObjectWriter;
 
-    let mut cfg = ConferenceConfig::livo(VideoId::Band2);
-    cfg.camera_scale = profile.camera_scale;
-    cfg.n_cameras = profile.n_cameras;
-    cfg.duration_s = profile.duration_s;
-    cfg.quality_every = profile.quality_every;
+    let cfg = ConferenceConfig::builder(VideoId::Band2)
+        .camera_scale(profile.camera_scale)
+        .n_cameras(profile.n_cameras)
+        .duration_s(profile.duration_s)
+        .quality_every(profile.quality_every)
+        .build()
+        .expect("bench profile is valid");
     let trace = BandwidthTrace::generate(TraceId::Trace1, profile.duration_s + 5.0, profile.seed);
     let s = ConferenceRunner::new(cfg).run(trace);
 

@@ -86,9 +86,9 @@ impl Mul for Mat3 {
     type Output = Mat3;
     fn mul(self, o: Mat3) -> Mat3 {
         let mut out = [[0.0f32; 3]; 3];
-        for r in 0..3 {
-            for c in 0..3 {
-                out[r][c] = self.row(r).dot(o.col(c));
+        for (r, orow) in out.iter_mut().enumerate() {
+            for (c, cell) in orow.iter_mut().enumerate() {
+                *cell = self.row(r).dot(o.col(c));
             }
         }
         Mat3 { m: out }
@@ -183,13 +183,13 @@ impl Mul for Mat4 {
     type Output = Mat4;
     fn mul(self, o: Mat4) -> Mat4 {
         let mut out = [[0.0f32; 4]; 4];
-        for r in 0..4 {
-            for c in 0..4 {
+        for (r, outrow) in out.iter_mut().enumerate() {
+            for (c, cell) in outrow.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for (k, orow) in o.m.iter().enumerate() {
                     acc += self.m[r][k] * orow[c];
                 }
-                out[r][c] = acc;
+                *cell = acc;
             }
         }
         Mat4 { m: out }

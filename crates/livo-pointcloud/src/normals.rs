@@ -48,23 +48,18 @@ fn eigen_sym3(mut a: [[f32; 3]; 3]) -> ([f32; 3], [[f32; 3]; 3]) {
         let theta = 0.5 * (2.0 * apq).atan2(aqq - app);
         let (s, c) = theta.sin_cos();
         // Apply Givens rotation G(p,q,theta) on both sides.
-        for k in 0..3 {
-            let akp = a[k][p];
-            let akq = a[k][q];
-            a[k][p] = c * akp - s * akq;
-            a[k][q] = s * akp + c * akq;
+        for row in a.iter_mut() {
+            let (akp, akq) = (row[p], row[q]);
+            row[p] = c * akp - s * akq;
+            row[q] = s * akp + c * akq;
         }
-        for k in 0..3 {
-            let apk = a[p][k];
-            let aqk = a[q][k];
-            a[p][k] = c * apk - s * aqk;
-            a[q][k] = s * apk + c * aqk;
-        }
-        for k in 0..3 {
-            let vkp = v[k][p];
-            let vkq = v[k][q];
-            v[k][p] = c * vkp - s * vkq;
-            v[k][q] = s * vkp + c * vkq;
+        let (rowp, rowq) = (a[p], a[q]);
+        a[p] = std::array::from_fn(|k| c * rowp[k] - s * rowq[k]);
+        a[q] = std::array::from_fn(|k| s * rowp[k] + c * rowq[k]);
+        for row in v.iter_mut() {
+            let (vkp, vkq) = (row[p], row[q]);
+            row[p] = c * vkp - s * vkq;
+            row[q] = s * vkp + c * vkq;
         }
     }
     let mut evals = [a[0][0], a[1][1], a[2][2]];

@@ -162,7 +162,7 @@ impl<'a> VoxelIndex<'a> {
                             for &i in idxs {
                                 let d2 =
                                     self.cloud.points[i as usize].position.distance_squared(q);
-                                if best.map_or(true, |(_, bd)| d2 < bd) {
+                                if best.is_none_or(|(_, bd)| d2 < bd) {
                                     best = Some((i, d2));
                                 }
                             }

@@ -57,7 +57,8 @@ impl Histogram {
     /// Bucket index for a value; non-positive and non-finite values clamp
     /// into the smallest bucket.
     fn index(v: f64) -> usize {
-        if !(v > 0.0) || !v.is_finite() {
+        // NaN falls through the first test and is caught by the second.
+        if v <= 0.0 || !v.is_finite() {
             return 0;
         }
         let e = v.log2();

@@ -45,10 +45,7 @@ impl JitterBuffer {
     /// dropped at push time, so order is strictly increasing.
     pub fn pop_ready(&mut self, now: Micros) -> Vec<AssembledFrame> {
         let mut out = Vec::new();
-        loop {
-            let Some((&id, f)) = self.frames.iter().next() else {
-                break;
-            };
+        while let Some((&id, f)) = self.frames.iter().next() {
             if f.completed_at + self.target <= now {
                 let f = self.frames.remove(&id).unwrap();
                 self.next_playout = id + 1;

@@ -83,7 +83,7 @@ impl NackGenerator {
         if overdue {
             let can_fire = self
                 .last_pli
-                .map_or(true, |t| now.saturating_sub(t) >= self.pli_interval);
+                .is_none_or(|t| now.saturating_sub(t) >= self.pli_interval);
             if can_fire {
                 self.last_pli = Some(now);
                 self.stuck_since.clear();

@@ -64,12 +64,14 @@ fn run_direction(
     trace_id: TraceId,
     style: usize,
 ) -> RunSummary {
-    let mut cfg = ConferenceConfig::livo(video);
-    cfg.camera_scale = 0.10;
-    cfg.n_cameras = 6;
-    cfg.duration_s = 4.0;
-    cfg.quality_every = 20;
-    cfg.user_trace_style = style;
+    let cfg = ConferenceConfig::builder(video)
+        .camera_scale(0.10)
+        .n_cameras(6)
+        .duration_s(4.0)
+        .quality_every(20)
+        .user_trace(style, 11)
+        .build()
+        .expect("conference_call config is valid");
     let trace = BandwidthTrace::generate(trace_id, 10.0, 21 + style as u64);
     println!(
         "[{label}] {} over {} (mean {:.0} Mbps)",
@@ -102,9 +104,8 @@ fn main() {
     print_frame_timeline("A->B", &a_to_b);
 
     println!(
-        "\nEach direction adapted on its own: the {} direction ({}x capacity) ran at higher rate
+        "\nEach direction adapted on its own: the A->B direction ({}x capacity) ran at higher rate
 while both maintained ~30 fps — the paper's two-way deployment model (§3.1).",
-        "A->B",
         (a_to_b.mean_capacity_mbps / b_to_a.mean_capacity_mbps).round()
     );
 }

@@ -40,7 +40,7 @@ fn main() {
             let t = i as f32 / 30.0;
             let snap = preset.scene.at(t);
             let views: Vec<_> = cams.iter().map(|c| render_rgbd(c, &snap)).collect();
-            let predicted = predictor.predicted_frustum_at(horizon_s as f64, guard_m);
+            let predicted = predictor.predicted_frustum_at(horizon_s, guard_m);
             let truth =
                 Frustum::from_params(&trace.poses[i + horizon_frames], &FrustumParams::default());
             let a = cull_accuracy(&views, &cams, &predicted, &truth);

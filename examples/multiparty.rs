@@ -34,13 +34,14 @@ fn main() {
     for (i, p) in parties.iter().enumerate() {
         // One pipeline instance per receiver (§3.1's deployment model, run
         // once per downstream party).
-        let mut cfg = ConferenceConfig::livo(VideoId::Band2);
-        cfg.camera_scale = 0.1;
-        cfg.n_cameras = 6;
-        cfg.duration_s = 4.0;
-        cfg.quality_every = 20;
-        cfg.user_trace_style = p.style;
-        cfg.user_trace_seed = 40 + i as u64;
+        let cfg = ConferenceConfig::builder(VideoId::Band2)
+            .camera_scale(0.1)
+            .n_cameras(6)
+            .duration_s(4.0)
+            .quality_every(20)
+            .user_trace(p.style, 40 + i as u64)
+            .build()
+            .expect("multiparty config is valid");
         let trace = BandwidthTrace::generate(p.trace, 10.0, 90 + i as u64);
         let s = ConferenceRunner::new(cfg).run(trace);
         rows.push((p.name, s));

@@ -10,12 +10,18 @@ use livo::prelude::*;
 use livo::transport::link::LinkConfig;
 
 fn run(label: &str, loss: f64) -> RunSummary {
-    let mut cfg = ConferenceConfig::livo(VideoId::Band2);
-    cfg.camera_scale = 0.1;
-    cfg.n_cameras = 6;
-    cfg.duration_s = 4.0;
-    cfg.quality_every = 25;
-    cfg.session.link = LinkConfig { random_loss: loss, seed: 7, ..Default::default() };
+    let session = SessionConfig {
+        link: LinkConfig { random_loss: loss, seed: 7, ..Default::default() },
+        ..Default::default()
+    };
+    let cfg = ConferenceConfig::builder(VideoId::Band2)
+        .camera_scale(0.1)
+        .n_cameras(6)
+        .duration_s(4.0)
+        .quality_every(25)
+        .session(session)
+        .build()
+        .expect("network_stress config is valid");
     let trace = BandwidthTrace::generate(TraceId::Trace2, 10.0, 31).scaled(0.05);
     println!("[{label}] random loss {:.0}%", loss * 100.0);
     ConferenceRunner::new(cfg).run(trace)

@@ -14,12 +14,14 @@
 use livo::prelude::*;
 
 fn main() {
-    let mut cfg = ConferenceConfig::livo(VideoId::Pizza1);
     // Laptop-friendly scale; raise these to approach the paper's setup.
-    cfg.camera_scale = 0.12;
-    cfg.n_cameras = 6;
-    cfg.duration_s = 5.0;
-    cfg.quality_every = 15;
+    let cfg = ConferenceConfig::builder(VideoId::Pizza1)
+        .camera_scale(0.12)
+        .n_cameras(6)
+        .duration_s(5.0)
+        .quality_every(15)
+        .build()
+        .expect("quickstart config is valid");
 
     println!("LiVo quickstart: video={} cameras={} scale={}x", cfg.video, cfg.n_cameras, cfg.camera_scale);
     let runner = ConferenceRunner::new(cfg);

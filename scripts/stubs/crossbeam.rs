@@ -1,0 +1,67 @@
+//! Typecheck/run stub for crossbeam::channel over std::sync::mpsc.
+//! Bounded channels use sync_channel; Receiver is not Sync (unlike the real
+//! crossbeam) but the workspace moves receivers into single threads only.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+    #[derive(Debug)]
+    pub struct RecvError;
+    #[derive(Debug)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(1 << 20);
+        (Sender(tx), Receiver(rx))
+    }
+}

@@ -1,0 +1,120 @@
+//! Typecheck/run stub for the subset of `rand` this workspace uses:
+//! `Rng::{gen, gen_range, gen_bool}`, `SeedableRng::seed_from_u64`,
+//! `seq::SliceRandom::shuffle`. Deterministic splitmix64-backed.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub trait GenValue: Sized {
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! gen_int {
+    ($($t:ty),*) => {$(
+        impl GenValue for $t {
+            fn from_bits(bits: u64) -> Self { bits as $t }
+        }
+    )*};
+}
+gen_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl GenValue for f64 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl GenValue for f32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+impl GenValue for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_between(lo: Self, hi: Self, inclusive: bool, bits: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: Self, hi: Self, inclusive: bool, bits: u64) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                let span = hi_w - lo_w + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "empty range in gen_range");
+                (lo_w + (bits as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: Self, hi: Self, _inclusive: bool, bits: u64) -> Self {
+                let frac = (bits >> 11) as f64 / (1u64 << 53) as f64;
+                (lo as f64 + frac * (hi as f64 - lo as f64)) as $t
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+pub trait SampleRange<T> {
+    fn bounds(self) -> (T, T, bool);
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T, bool) {
+        let (s, e) = self.into_inner();
+        (s, e, true)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: GenValue>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi, inclusive) = range.bounds();
+        T::sample_between(lo, hi, inclusive, self.next_u64())
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod seq {
+    use super::Rng;
+
+    pub trait SliceRandom {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Typecheck/run stub for rand_chacha: ChaCha8Rng replaced by splitmix64
+//! (deterministic, uniform; NOT the real ChaCha stream).
+use rand::{RngCore, SeedableRng};
+
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    state: u64,
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        ChaCha8Rng { state: state.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}

@@ -1,0 +1,2 @@
+//! Typecheck-only stub for serde: re-exports no-op derive macros.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,1 @@
+//! Typecheck-only stub for serde_json (declared but unused in src).

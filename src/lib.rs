@@ -14,6 +14,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`runtime`] | `livo-runtime` | scoped worker pool for the hot path |
 //! | [`math`] | `livo-math` | vectors, poses, cameras, frusta, Kalman |
 //! | [`pointcloud`] | `livo-pointcloud` | clouds, voxel grids, PointSSIM |
 //! | [`capture`] | `livo-capture` | scenes, RGB-D rendering, rigs, traces |
@@ -31,11 +32,13 @@
 //! ```
 //! use livo::prelude::*;
 //!
-//! // A 3-second LiVo call on the 'toddler4' preset over trace-2.
-//! let mut cfg = ConferenceConfig::livo(VideoId::Toddler4);
-//! cfg.camera_scale = 0.08; // keep the doctest fast
-//! cfg.n_cameras = 4;
-//! cfg.duration_s = 2.0;
+//! // A 2-second LiVo call on the 'toddler4' preset over trace-2.
+//! let cfg = ConferenceConfig::builder(VideoId::Toddler4)
+//!     .camera_scale(0.08) // keep the doctest fast
+//!     .n_cameras(4)
+//!     .duration_s(2.0)
+//!     .build()
+//!     .expect("valid config");
 //! let trace = BandwidthTrace::generate(TraceId::Trace2, 8.0, 1);
 //! let summary = ConferenceRunner::new(cfg).run(trace);
 //! assert!(summary.mean_fps > 10.0);
@@ -50,6 +53,7 @@ pub use livo_eval as eval;
 pub use livo_math as math;
 pub use livo_mesh as mesh;
 pub use livo_pointcloud as pointcloud;
+pub use livo_runtime as runtime;
 pub use livo_telemetry as telemetry;
 pub use livo_transport as transport;
 
@@ -58,7 +62,10 @@ pub mod prelude {
     pub use livo_baselines::{DracoOracle, DracoOracleConfig, MeshReduce, MeshReduceConfig};
     pub use livo_capture::{BandwidthTrace, DatasetPreset, TraceId, UserTrace, VideoId};
     pub use livo_codec2d::{Decoder, Encoder, EncoderConfig, Frame, PixelFormat};
-    pub use livo_core::conference::{ConferenceConfig, ConferenceRunner, RunSummary};
+    pub use livo_core::conference::{
+        ConferenceConfig, ConferenceConfigBuilder, ConferenceRunner, InvalidConfig, RunSummary,
+    };
+    pub use livo_core::pipeline::{PipelineOptions, RecvError, SenderPipeline, SubmitError};
     pub use livo_core::depth::{DepthCodec, DepthEncoding};
     pub use livo_core::splitter::{BandwidthSplitter, SplitterConfig};
     pub use livo_core::tile::TileLayout;

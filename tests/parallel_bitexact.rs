@@ -1,0 +1,80 @@
+//! Serial-vs-parallel encoder bit-exactness across all five scene presets.
+//!
+//! The parallel inter-frame path in `livo-codec2d` splits each plane into
+//! macroblock-row stripes that run motion search + transform + quantisation
+//! concurrently, then replays the serial range coder over the planned rows.
+//! That design is only correct if the bitstream is *byte-identical* to the
+//! serial encoder's — otherwise sender and receiver drift apart depending on
+//! `LIVO_THREADS`. This test pins that property on realistic content: every
+//! preset of Table 3, colour (YUV 4:2:0) and scaled-Y16 depth canvases,
+//! closed-loop over several frames, at pool sizes 1, 2 and 4 (the same sizes
+//! `LIVO_THREADS=1|2|4` would give the process-wide pool).
+
+use std::sync::Arc;
+
+use livo::capture::{camera_ring, RgbdFrame};
+use livo::core::depth::{DepthCodec, DepthEncoding};
+use livo::core::tile::{compose_color, compose_depth, TileLayout};
+use livo::prelude::*;
+use livo::runtime::WorkerPool;
+
+const N_CAMERAS: usize = 2;
+const SCALE: f32 = 0.18; // 115×104 tiles → ~7 MB rows per plane, real stripes
+const FRAMES: u32 = 5;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn encoders(w: usize, h: usize, format: PixelFormat) -> Vec<(String, Encoder)> {
+    let mut cfg = EncoderConfig::new(w, h, format);
+    cfg.gop_length = 0; // open GOP: frames 1.. are inter, the parallel path
+    let mut out = vec![("serial".to_string(), Encoder::new(cfg))];
+    for n in THREADS {
+        let mut enc = Encoder::new(cfg);
+        enc.set_worker_pool(Arc::new(WorkerPool::new(n)));
+        out.push((format!("pool({n})"), enc));
+    }
+    out
+}
+
+#[test]
+fn parallel_encode_is_bit_exact_on_every_preset() {
+    let cameras = camera_ring(
+        N_CAMERAS,
+        2.5,
+        1.4,
+        livo::math::Vec3::new(0.0, 1.0, 0.0),
+        livo::math::CameraIntrinsics::kinect_depth(SCALE),
+    );
+    let k = cameras[0].intrinsics;
+    let layout = TileLayout::new(k.width as usize, k.height as usize, N_CAMERAS);
+    let depth_codec = DepthCodec::new(6000, DepthEncoding::ScaledY16);
+
+    for video in VideoId::ALL {
+        let preset = DatasetPreset::load(video);
+        let mut color_encs = encoders(layout.canvas_w, layout.canvas_h, PixelFormat::Yuv420);
+        let mut depth_encs = encoders(layout.canvas_w, layout.canvas_h, PixelFormat::Y16);
+
+        for seq in 0..FRAMES {
+            // Advance scene time each frame so inter frames carry real motion.
+            let snap = preset.scene.at(seq as f32 / 30.0);
+            let pool = WorkerPool::new(1);
+            let views: Vec<RgbdFrame> =
+                livo::capture::render_views_at(&pool, &cameras, &snap, seq);
+            let color = compose_color(&views, &layout, seq);
+            let depth = compose_depth(&views, &layout, &depth_codec, seq);
+
+            for (canvas, encs, bits) in
+                [(&color, &mut color_encs, 180_000u64), (&depth, &mut depth_encs, 220_000u64)]
+            {
+                let outputs: Vec<(String, Vec<u8>)> =
+                    encs.iter_mut().map(|(n, e)| (n.clone(), e.encode(canvas, bits).data)).collect();
+                let (_, reference) = &outputs[0];
+                for (name, data) in &outputs[1..] {
+                    assert_eq!(
+                        data, reference,
+                        "{video} frame {seq}: {name} bitstream diverged from serial"
+                    );
+                }
+            }
+        }
+    }
+}

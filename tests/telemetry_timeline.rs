@@ -7,12 +7,13 @@ use livo::prelude::*;
 use livo::telemetry::stage;
 
 fn quick(video: VideoId) -> ConferenceConfig {
-    let mut cfg = ConferenceConfig::livo(video);
-    cfg.camera_scale = 0.08;
-    cfg.n_cameras = 4;
-    cfg.duration_s = 3.0;
-    cfg.quality_every = 30;
-    cfg
+    ConferenceConfig::builder(video)
+        .camera_scale(0.08)
+        .n_cameras(4)
+        .duration_s(3.0)
+        .quality_every(30)
+        .build()
+        .expect("quick config is valid")
 }
 
 #[test]
