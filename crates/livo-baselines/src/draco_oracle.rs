@@ -92,9 +92,17 @@ impl DracoOracle {
         // ratio below. (Raw pixel-count scaling would over-estimate: our
         // synthetic scenes return depth on more pixels than Panoptic's.)
         let paper_points = preset.paper_frame_mb * 1e6 / 15.0;
-        let eval_points = samples.iter().map(|c| c.len() as f64).sum::<f64>() / samples.len() as f64;
+        let eval_points =
+            samples.iter().map(|c| c.len() as f64).sum::<f64>() / samples.len() as f64;
         let point_scale = paper_points / eval_points.max(1.0);
-        DracoOracle { cfg, preset, cameras, user_trace, profile, point_scale }
+        DracoOracle {
+            cfg,
+            preset,
+            cameras,
+            user_trace,
+            profile,
+            point_scale,
+        }
     }
 
     pub fn profile(&self) -> &RateProfile {
@@ -132,10 +140,11 @@ impl DracoOracle {
             // Table lookup at the *paper-scale* point count for timing, and
             // proportional budget for size (bits/point is scale-free).
             let paper_points = (culled.len() as f64 * self.point_scale) as usize;
-            let Some(entry) =
-                self.profile
-                    .best_fitting(paper_points, budget_bits * self.point_scale, deadline_ms)
-            else {
+            let Some(entry) = self.profile.best_fitting(
+                paper_points,
+                budget_bits * self.point_scale,
+                deadline_ms,
+            ) else {
                 stalls += 1;
                 continue;
             };
@@ -174,7 +183,13 @@ impl DracoOracle {
         // Pooling follows §4.3: stalled frames score 0, so the
         // stall-inclusive mean is (1 − stall_rate) × mean(delivered scores)
         // — sampled delivered frames stand in for all delivered frames.
-        let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
         let duration = cfg.duration_s as f64;
         let stall_rate = stalls as f64 / total.max(1) as f64;
         BaselineSummary {
@@ -271,6 +286,11 @@ mod tests {
         let oracle = DracoOracle::new(quick());
         let lo = oracle.run(&BandwidthTrace::constant(40.0, 5.0));
         let hi = oracle.run(&BandwidthTrace::constant(400.0, 5.0));
-        assert!(hi.stall_rate <= lo.stall_rate, "hi {} vs lo {}", hi.stall_rate, lo.stall_rate);
+        assert!(
+            hi.stall_rate <= lo.stall_rate,
+            "hi {} vs lo {}",
+            hi.stall_rate,
+            lo.stall_rate
+        );
     }
 }

@@ -87,10 +87,15 @@ impl MeshReduce {
             livo_math::Vec3::new(0.0, 1.0, 0.0),
             livo_math::CameraIntrinsics::kinect_depth(cfg.camera_scale),
         );
-        let effective_jump_mm =
-            ((cfg.max_jump_mm as f32 / cfg.camera_scale.min(1.0)).round() as u32).min(u16::MAX as u32)
-                as u16;
-        MeshReduce { cfg, preset, cameras, effective_jump_mm }
+        let effective_jump_mm = ((cfg.max_jump_mm as f32 / cfg.camera_scale.min(1.0)).round()
+            as u32)
+            .min(u16::MAX as u32) as u16;
+        MeshReduce {
+            cfg,
+            preset,
+            cameras,
+            effective_jump_mm,
+        }
     }
 
     /// Build the full-scene mesh for time `t`.
@@ -100,7 +105,13 @@ impl MeshReduce {
         let mut mesh = Mesh::new();
         for cam in &self.cameras {
             let v = render_rgbd_at(cam, &snap, time_key);
-            let m = triangulate_depth(cam, &v.depth_mm, &v.rgb, self.effective_jump_mm, self.cfg.stride);
+            let m = triangulate_depth(
+                cam,
+                &v.depth_mm,
+                &v.rgb,
+                self.effective_jump_mm,
+                self.cfg.stride,
+            );
             mesh.merge(&m);
         }
         mesh
@@ -154,7 +165,11 @@ impl MeshReduce {
                 // Score: lossy-code the mesh geometry, sample to points,
                 // compare against the ground-truth point cloud.
                 let coded = code_mesh_lossy(&reduced);
-                let truth = crate::draco_oracle::capture_cloud(&self.cameras, &self.preset, capture_t as f32);
+                let truth = crate::draco_oracle::capture_cloud(
+                    &self.cameras,
+                    &self.preset,
+                    capture_t as f32,
+                );
                 let n = truth.len();
                 let sampled = sample_points(&coded, n, frames_shown);
                 let voxel = VoxelGrid::new(cfg.voxel_m);
@@ -176,7 +191,13 @@ impl MeshReduce {
             capture_t = (capture_t + capture_interval).max(t);
         }
 
-        let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
         BaselineSummary {
             stall_rate: 0.0, // reliable transport: slower frames, no stalls (§4.3)
             mean_fps: frames_shown as f64 / duration,
@@ -202,8 +223,7 @@ pub fn encode_mesh_bits(mesh: &Mesh) -> u64 {
         .iter()
         .map(|v| Point::new(v.position, v.color))
         .collect();
-    let geo = DracoEncoder::encode(&cloud, DracoParams::default())
-        .map_or(0, |e| e.bits());
+    let geo = DracoEncoder::encode(&cloud, DracoParams::default()).map_or(0, |e| e.bits());
     geo + (mesh.triangle_count() as u64) * 2
 }
 
@@ -290,7 +310,12 @@ mod tests {
         let mr = MeshReduce::new(quick());
         let lo = mr.run(&BandwidthTrace::constant(30.0, 5.0));
         let hi = mr.run(&BandwidthTrace::constant(300.0, 5.0));
-        assert!(lo.mean_fps >= hi.mean_fps * 0.8, "lo {} hi {}", lo.mean_fps, hi.mean_fps);
+        assert!(
+            lo.mean_fps >= hi.mean_fps * 0.8,
+            "lo {} hi {}",
+            lo.mean_fps,
+            hi.mean_fps
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use livo_codec2d::{Encoder, EncoderConfig, Frame, PixelFormat};
 use livo_codec3d::{DracoEncoder, DracoParams};
-use livo_pointcloud::{Point, PointCloud};
 use livo_math::Vec3;
+use livo_pointcloud::{Point, PointCloud};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -116,12 +116,22 @@ fn bench_pssim(c: &mut Criterion) {
     for p in &mut b_cloud.points {
         p.position += Vec3::new(rng.gen_range(-0.002..0.002), 0.0, 0.0);
     }
-    let cfg = PssimConfig { neighbors: 6, cell_size: 0.1, curvature_weight: 0.3 };
+    let cfg = PssimConfig {
+        neighbors: 6,
+        cell_size: 0.1,
+        curvature_weight: 0.3,
+    };
     let mut g = c.benchmark_group("metrics/pssim_20k");
     g.sample_size(10);
     g.bench_function("pssim", |bch| bch.iter(|| pssim(&a, &b_cloud, &cfg)));
     g.finish();
 }
 
-criterion_group!(benches, bench_octree_scaling, bench_2d_encode, bench_y16_encode, bench_pssim);
+criterion_group!(
+    benches,
+    bench_octree_scaling,
+    bench_2d_encode,
+    bench_y16_encode,
+    bench_pssim
+);
 criterion_main!(benches);

@@ -12,8 +12,8 @@ use livo_core::depth::DepthCodec;
 use livo_core::frustum_pred::FrustumPredictor;
 use livo_core::splitter::{BandwidthSplitter, SplitterConfig};
 use livo_core::tile::{compose_color, compose_depth, read_seq, TileLayout};
-use livo_math::{Frustum, FrustumParams, Pose, PosePredictor, Quat, Vec3};
 use livo_math::kalman::PosePredictorConfig;
+use livo_math::{Frustum, FrustumParams, Pose, PosePredictor, Quat, Vec3};
 
 /// The benchmark capture scale: 0.25 → 160×144 per camera, 10 cameras.
 /// (Full Kinect scale is 16× more pixels; stages here are linear in
@@ -39,7 +39,9 @@ fn bench_tiling(c: &mut Criterion) {
         b.iter(|| compose_depth(&views, &layout, &codec, 42))
     });
     let frame = compose_depth(&views, &layout, &codec, 1234);
-    c.bench_function("tile/read_seq", |b| b.iter(|| read_seq(&frame.planes[0], u16::MAX)));
+    c.bench_function("tile/read_seq", |b| {
+        b.iter(|| read_seq(&frame.planes[0], u16::MAX))
+    });
 }
 
 fn bench_culling(c: &mut Criterion) {
@@ -59,14 +61,22 @@ fn bench_depth_scaling(c: &mut Criterion) {
     let codec = DepthCodec::default();
     let depth: Vec<u16> = (0..160 * 144).map(|i| (i % 6000) as u16).collect();
     c.bench_function("depth/scale_one_camera", |b| {
-        b.iter(|| depth.iter().map(|&d| codec.encode_sample(d) as u64).sum::<u64>())
+        b.iter(|| {
+            depth
+                .iter()
+                .map(|&d| codec.encode_sample(d) as u64)
+                .sum::<u64>()
+        })
     });
 }
 
 fn bench_prediction(c: &mut Criterion) {
     c.bench_function("kalman/observe_plus_predict", |b| {
         let mut p = PosePredictor::new(PosePredictorConfig::default());
-        let pose = Pose::new(Vec3::new(1.0, 1.6, 0.0), Quat::from_yaw_pitch_roll(0.5, 0.0, 0.0));
+        let pose = Pose::new(
+            Vec3::new(1.0, 1.6, 0.0),
+            Quat::from_yaw_pitch_roll(0.5, 0.0, 0.0),
+        );
         b.iter(|| {
             p.observe(&pose);
             p.predict(0.1)

@@ -28,7 +28,12 @@ fn setup() -> Setup {
     let layout = TileLayout::new(views[0].width, views[0].height, cams.len());
     let viewer = Pose::look_at(Vec3::new(0.0, 1.3, -2.8), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
     let frustum = Frustum::from_params(&viewer, &FrustumParams::default()).expanded(0.2);
-    Setup { cams, views, layout, frustum }
+    Setup {
+        cams,
+        views,
+        layout,
+        frustum,
+    }
 }
 
 fn bench_sender_path(c: &mut Criterion) {
@@ -71,10 +76,16 @@ fn bench_receiver_path(c: &mut Criterion) {
     let codec = DepthCodec::default();
     let color = compose_color(&s.views, &s.layout, 0);
     let depth = compose_depth(&s.views, &s.layout, &codec, 0);
-    let mut color_enc =
-        Encoder::new(EncoderConfig::new(s.layout.canvas_w, s.layout.canvas_h, PixelFormat::Yuv420));
-    let mut depth_enc =
-        Encoder::new(EncoderConfig::new(s.layout.canvas_w, s.layout.canvas_h, PixelFormat::Y16));
+    let mut color_enc = Encoder::new(EncoderConfig::new(
+        s.layout.canvas_w,
+        s.layout.canvas_h,
+        PixelFormat::Yuv420,
+    ));
+    let mut depth_enc = Encoder::new(EncoderConfig::new(
+        s.layout.canvas_w,
+        s.layout.canvas_h,
+        PixelFormat::Y16,
+    ));
     let color_bits = color_enc.encode(&color, 400_000);
     let depth_bits = depth_enc.encode(&depth, 1_600_000);
 
@@ -103,11 +114,18 @@ fn bench_capture(c: &mut Criterion) {
         b.iter(|| {
             t += 0.033;
             let snap = preset.scene.at(t);
-            cams.iter().map(|c| render_rgbd(c, &snap)).collect::<Vec<_>>()
+            cams.iter()
+                .map(|c| render_rgbd(c, &snap))
+                .collect::<Vec<_>>()
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_sender_path, bench_receiver_path, bench_capture);
+criterion_group!(
+    benches,
+    bench_sender_path,
+    bench_receiver_path,
+    bench_capture
+);
 criterion_main!(benches);

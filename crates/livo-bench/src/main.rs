@@ -7,9 +7,15 @@
 //! ```
 //!
 //! Artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12
-//! fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid all
+//! fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid sfu all
 //! (fig5 covers Figs. 5–8; fig9 covers 9–11; fig13 covers 13–14; fig18
 //! covers 18–19; fig20 covers 20–21; fig17 covers 17+A.1.)
+//!
+//! `sfu` runs the N-subscriber scaling sweep (encode passes per frame,
+//! shared vs naive); `--sfu-json <path>` snapshots it as JSON (schema
+//! `livo-bench-sfu-v1`, committed as BENCH_sfu.json).
+
+mod sfu_bench;
 
 use livo_capture::{TraceId, VideoId};
 use livo_eval::experiments::{run_grid, EvalProfile, GridResult, Scheme};
@@ -18,10 +24,12 @@ use livo_telemetry::{log_event, Level};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick|--standard] [--metrics <path>] <artefact>...\n\
-         artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid all\n\
+        "usage: repro [--quick|--standard] [--metrics <path>] [--sfu-json <path>] <artefact>...\n\
+         artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid sfu all\n\
          --metrics <path>: also run one instrumented LiVo replay and write the\n\
          telemetry snapshot (schema livo-bench-pipeline-v1) as JSON to <path>\n\
+         --sfu-json <path>: write the SFU scaling sweep (schema livo-bench-sfu-v1)\n\
+         as JSON to <path>\n\
          progress goes through the structured logger; filter with LIVO_LOG=warn|info|debug"
     );
     std::process::exit(2);
@@ -45,8 +53,13 @@ impl GridCache {
                 "videos" => VideoId::ALL.len(),
                 "traces" => TraceId::ALL.len()
             );
-            let grid =
-                run_grid(&Scheme::STUDY, &VideoId::ALL, &TraceId::ALL, &[0], &self.profile);
+            let grid = run_grid(
+                &Scheme::STUDY,
+                &VideoId::ALL,
+                &TraceId::ALL,
+                &[0],
+                &self.profile,
+            );
             self.grid = Some(grid);
         }
         self.grid.as_ref().unwrap()
@@ -61,6 +74,7 @@ fn main() {
     let mut profile = EvalProfile::standard();
     let mut artefacts: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
+    let mut sfu_json_path: Option<String> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -68,6 +82,10 @@ fn main() {
             "--standard" => profile = EvalProfile::standard(),
             "--metrics" => match iter.next() {
                 Some(p) => metrics_path = Some(p.clone()),
+                None => usage(),
+            },
+            "--sfu-json" => match iter.next() {
+                Some(p) => sfu_json_path = Some(p.clone()),
                 None => usage(),
             },
             "all" => artefacts.extend(
@@ -82,10 +100,14 @@ fn main() {
             other => artefacts.push(other.to_string()),
         }
     }
-    if artefacts.is_empty() && metrics_path.is_none() {
+    if artefacts.is_empty() && metrics_path.is_none() && sfu_json_path.is_none() {
         usage();
     }
-    let mut cache = GridCache { profile, grid: None };
+    let mut cache = GridCache {
+        profile,
+        grid: None,
+    };
+    let mut sfu_points: Option<Vec<sfu_bench::ScalingPoint>> = None;
     for a in &artefacts {
         log_event!(Level::Info, "repro", "generating artefact", "artefact" => a.as_str());
         let text = match a.as_str() {
@@ -106,6 +128,10 @@ fn main() {
             "fig20" | "fig21" => report::fig20_21(&profile),
             "figa2" => report::figa2(&profile),
             "figa3" => report::figa3(600.0, profile.seed),
+            "sfu" => {
+                let pts = sfu_points.get_or_insert_with(|| sfu_bench::run_scaling(&profile));
+                sfu_bench::text(pts)
+            }
             "grid" => {
                 let grid = cache.get();
                 let mut s = String::from(
@@ -144,6 +170,21 @@ fn main() {
                 Level::Error,
                 "repro",
                 "failed to write metrics snapshot",
+                "path" => path.as_str(),
+                "error" => e.to_string()
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = sfu_json_path {
+        log_event!(Level::Info, "repro", "writing sfu scaling snapshot", "path" => path.as_str());
+        let pts = sfu_points.get_or_insert_with(|| sfu_bench::run_scaling(&profile));
+        let json = sfu_bench::json(pts, &profile);
+        if let Err(e) = std::fs::write(&path, &json) {
+            log_event!(
+                Level::Error,
+                "repro",
+                "failed to write sfu snapshot",
                 "path" => path.as_str(),
                 "error" => e.to_string()
             );

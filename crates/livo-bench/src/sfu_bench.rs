@@ -1,0 +1,197 @@
+//! SFU scaling benchmark: encode passes per frame vs subscriber count.
+//!
+//! The claim under test is the SFU's whole reason to exist: with
+//! frustum-clustered encode sharing, the number of cull+encode passes per
+//! frame grows with the number of *distinct viewing regions* (clusters),
+//! not the number of subscribers — while naive fan-out pays one pass per
+//! subscriber. Subscribers alternate between two gaze groups (stage and
+//! crowd), so the shared passes saturate at two regardless of N.
+
+use livo_capture::{
+    datasets::DatasetPreset, render::render_views_at, rig, BandwidthTrace, RgbdFrame, VideoId,
+};
+use livo_eval::experiments::EvalProfile;
+use livo_math::{CameraIntrinsics, Pose, RgbdCamera, Vec3};
+use livo_sfu::{Router, RouterConfig, SubscriberConfig};
+use livo_telemetry::json::ObjectWriter;
+use livo_transport::Micros;
+
+/// Subscriber counts of the scaling sweep.
+pub const SUBSCRIBER_COUNTS: [usize; 4] = [1, 2, 3, 6];
+
+/// Frames per measured run (one virtual second per run keeps the full
+/// sweep CI-friendly).
+const FRAMES: u64 = 30;
+const FPS: u32 = 30;
+
+/// One point of the sweep: N subscribers, shared vs naive.
+pub struct ScalingPoint {
+    pub subscribers: usize,
+    /// Frustum clusters the shared router settled on.
+    pub clusters: usize,
+    pub shared_passes_per_frame: f64,
+    pub naive_passes_per_frame: f64,
+    /// Mean wall-clock of one routed frame (cull+tile+encode, all
+    /// clusters), milliseconds.
+    pub shared_route_ms: f64,
+    pub naive_route_ms: f64,
+}
+
+fn looking(yaw: f32) -> Pose {
+    let eye = Vec3::new(0.0, 1.5, 2.0);
+    let dir = Vec3::new(yaw.sin(), 0.0, -yaw.cos());
+    Pose::look_at(eye, eye + dir, Vec3::new(0.0, 1.0, 0.0))
+}
+
+/// Two gaze groups, interleaved over subscriber ids.
+fn yaw_of(id: usize) -> f32 {
+    let jitter = 0.02 * (id / 2) as f32;
+    if id.is_multiple_of(2) {
+        jitter
+    } else {
+        std::f32::consts::PI + jitter
+    }
+}
+
+fn run_one(
+    cameras: &[RgbdCamera],
+    frames: &[Vec<RgbdFrame>],
+    n: usize,
+    sharing: bool,
+) -> (f64, f64, usize) {
+    let cfg = RouterConfig {
+        sharing,
+        ..Default::default()
+    };
+    let mut router = Router::new(cfg, cameras.to_vec());
+    for id in 0..n {
+        router.add_subscriber(
+            SubscriberConfig::new(format!("sub{id}")),
+            BandwidthTrace::constant(40.0, FRAMES as f32 / FPS as f32 + 2.0),
+        );
+    }
+    let interval: Micros = 1_000_000 / FPS as u64;
+    let mut now: Micros = 0;
+    for views in frames {
+        for id in 0..n {
+            router.observe_pose(id, &looking(yaw_of(id)));
+        }
+        router.route_frame(now, views);
+        let frame_end = now + interval;
+        while now < frame_end {
+            router.tick(now);
+            now += 1_000;
+        }
+    }
+    let snap = router.registry().snapshot();
+    let passes = snap.counter("sfu.encode_passes").unwrap_or(0) as f64 / frames.len() as f64;
+    let route_ms = snap
+        .histogram("sfu.route_ms")
+        .map(|h| h.mean)
+        .unwrap_or(0.0);
+    (passes, route_ms, router.cluster_membership().len())
+}
+
+/// Run the sweep. The rendered capture is shared across all runs — the
+/// benchmark measures routing, not rendering.
+pub fn run_scaling(profile: &EvalProfile) -> Vec<ScalingPoint> {
+    let cameras = rig::camera_ring(
+        profile.n_cameras,
+        2.5,
+        1.4,
+        Vec3::new(0.0, 1.0, 0.0),
+        CameraIntrinsics::kinect_depth(profile.camera_scale),
+    );
+    let preset = DatasetPreset::load(VideoId::Band2);
+    let pool = livo_runtime::global();
+    let frames: Vec<Vec<RgbdFrame>> = (0..FRAMES)
+        .map(|i| {
+            let snap = preset.scene.at(i as f32 / FPS as f32);
+            render_views_at(pool, &cameras, &snap, i as u32)
+        })
+        .collect();
+
+    SUBSCRIBER_COUNTS
+        .iter()
+        .map(|&n| {
+            let (shared_ppf, shared_ms, clusters) = run_one(&cameras, &frames, n, true);
+            let (naive_ppf, naive_ms, _) = run_one(&cameras, &frames, n, false);
+            ScalingPoint {
+                subscribers: n,
+                clusters,
+                shared_passes_per_frame: shared_ppf,
+                naive_passes_per_frame: naive_ppf,
+                shared_route_ms: shared_ms,
+                naive_route_ms: naive_ms,
+            }
+        })
+        .collect()
+}
+
+/// Human-readable table of the sweep.
+pub fn text(points: &[ScalingPoint]) -> String {
+    let mut s = String::from(
+        "SFU scaling: encode passes per frame, shared (frustum clusters) vs naive\n\n",
+    );
+    s.push_str(&format!(
+        "{:>11} | {:>8} | {:>12} | {:>11} | {:>9} | {:>8}\n",
+        "subscribers", "clusters", "shared p/f", "naive p/f", "shared ms", "naive ms"
+    ));
+    s.push_str(&format!(
+        "{:->11}-+-{:->8}-+-{:->12}-+-{:->11}-+-{:->9}-+-{:->8}\n",
+        "", "", "", "", "", ""
+    ));
+    for p in points {
+        s.push_str(&format!(
+            "{:>11} | {:>8} | {:>12.2} | {:>11.2} | {:>9.2} | {:>8.2}\n",
+            p.subscribers,
+            p.clusters,
+            p.shared_passes_per_frame,
+            p.naive_passes_per_frame,
+            p.shared_route_ms,
+            p.naive_route_ms
+        ));
+    }
+    s.push_str(
+        "\nShared passes track the two gaze groups, not the subscriber count;\nnaive passes grow linearly with N.\n",
+    );
+    s
+}
+
+/// The snapshot written to `BENCH_sfu.json`, schema `livo-bench-sfu-v1`.
+pub fn json(points: &[ScalingPoint], profile: &EvalProfile) -> String {
+    let mut out = String::new();
+    let mut o = ObjectWriter::new(&mut out);
+    o.field_str("schema", "livo-bench-sfu-v1");
+    {
+        let cfg = o.field_raw("config");
+        let mut c = ObjectWriter::new(cfg);
+        c.field_str("video", "band2");
+        c.field_f64("camera_scale", profile.camera_scale as f64);
+        c.field_u64("n_cameras", profile.n_cameras as u64);
+        c.field_u64("frames", FRAMES);
+        c.field_u64("fps", FPS as u64);
+        c.field_str("gaze_groups", "two, interleaved");
+        c.finish();
+    }
+    {
+        let arr = o.field_raw("points");
+        arr.push('[');
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                arr.push(',');
+            }
+            let mut w = ObjectWriter::new(arr);
+            w.field_u64("subscribers", p.subscribers as u64);
+            w.field_u64("clusters", p.clusters as u64);
+            w.field_f64("shared_passes_per_frame", p.shared_passes_per_frame);
+            w.field_f64("naive_passes_per_frame", p.naive_passes_per_frame);
+            w.field_f64("shared_route_ms", p.shared_route_ms);
+            w.field_f64("naive_route_ms", p.naive_route_ms);
+            w.finish();
+        }
+        arr.push(']');
+    }
+    o.finish();
+    out
+}

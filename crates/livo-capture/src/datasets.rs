@@ -32,8 +32,13 @@ pub enum VideoId {
 }
 
 impl VideoId {
-    pub const ALL: [VideoId; 5] =
-        [VideoId::Band2, VideoId::Dance5, VideoId::Office1, VideoId::Pizza1, VideoId::Toddler4];
+    pub const ALL: [VideoId; 5] = [
+        VideoId::Band2,
+        VideoId::Dance5,
+        VideoId::Office1,
+        VideoId::Pizza1,
+        VideoId::Toddler4,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -102,21 +107,33 @@ fn background(scene: &mut Scene) {
     // endless plane — keeps full-scene frames near the paper's ~10 MB
     // (about a third of the pixels return depth).
     scene.add(AnimatedShape::fixed(
-        ShapeGeom::Floor { height: 0.0, radius: 2.6 },
+        ShapeGeom::Floor {
+            height: 0.0,
+            radius: 2.6,
+        },
         Texture::Checker([120, 110, 100], [90, 82, 74], 1.3),
     ));
     scene.add(AnimatedShape::fixed(
-        ShapeGeom::Box { center: Vec3::new(0.0, 1.5, 4.2), half: Vec3::new(4.5, 1.5, 0.1) },
+        ShapeGeom::Box {
+            center: Vec3::new(0.0, 1.5, 4.2),
+            half: Vec3::new(4.5, 1.5, 0.1),
+        },
         Texture::Checker([188, 186, 178], [170, 168, 160], 2.0),
     ));
     scene.add(AnimatedShape::fixed(
-        ShapeGeom::Box { center: Vec3::new(-4.2, 1.5, 0.0), half: Vec3::new(0.1, 1.5, 4.5) },
+        ShapeGeom::Box {
+            center: Vec3::new(-4.2, 1.5, 0.0),
+            half: Vec3::new(0.1, 1.5, 4.5),
+        },
         Texture::Stripes([178, 176, 186], [160, 158, 168], 1.5),
     ));
 }
 
 fn table(center: Vec3, half: Vec3, top: [u8; 3]) -> AnimatedShape {
-    AnimatedShape::fixed(ShapeGeom::Box { center, half }, Texture::Checker(top, dim(top), 0.6))
+    AnimatedShape::fixed(
+        ShapeGeom::Box { center, half },
+        Texture::Checker(top, dim(top), 0.6),
+    )
 }
 
 fn prop_sphere(center: Vec3, radius: f32, color: [u8; 3], bob: f32, phase: f32) -> AnimatedShape {
@@ -124,7 +141,11 @@ fn prop_sphere(center: Vec3, radius: f32, color: [u8; 3], bob: f32, phase: f32) 
         geom: ShapeGeom::Sphere { center, radius },
         texture: Texture::Solid(color),
         animation: if bob > 0.0 {
-            Animation::Bob { amplitude: bob, freq_hz: 0.4, phase }
+            Animation::Bob {
+                amplitude: bob,
+                freq_hz: 0.4,
+                phase,
+            }
         } else {
             Animation::Static
         },
@@ -154,11 +175,33 @@ fn band2() -> DatasetPreset {
         objects += 1;
     }
     // Instruments/props: 5 (drum, two amps, keyboard stand, mic sphere).
-    scene.add(table(Vec3::new(-1.2, 0.4, -1.0), Vec3::new(0.3, 0.4, 0.3), [160, 80, 30]));
-    scene.add(table(Vec3::new(1.6, 0.3, -0.8), Vec3::new(0.25, 0.3, 0.25), [60, 60, 70]));
-    scene.add(table(Vec3::new(-1.8, 0.3, 0.8), Vec3::new(0.25, 0.3, 0.25), [60, 60, 70]));
-    scene.add(table(Vec3::new(0.0, 0.45, 1.2), Vec3::new(0.5, 0.05, 0.2), [20, 20, 24]));
-    scene.add(prop_sphere(Vec3::new(0.0, 1.5, -1.3), 0.06, [220, 220, 230], 0.0, 0.0));
+    scene.add(table(
+        Vec3::new(-1.2, 0.4, -1.0),
+        Vec3::new(0.3, 0.4, 0.3),
+        [160, 80, 30],
+    ));
+    scene.add(table(
+        Vec3::new(1.6, 0.3, -0.8),
+        Vec3::new(0.25, 0.3, 0.25),
+        [60, 60, 70],
+    ));
+    scene.add(table(
+        Vec3::new(-1.8, 0.3, 0.8),
+        Vec3::new(0.25, 0.3, 0.25),
+        [60, 60, 70],
+    ));
+    scene.add(table(
+        Vec3::new(0.0, 0.45, 1.2),
+        Vec3::new(0.5, 0.05, 0.2),
+        [20, 20, 24],
+    ));
+    scene.add(prop_sphere(
+        Vec3::new(0.0, 1.5, -1.3),
+        0.06,
+        [220, 220, 230],
+        0.0,
+        0.0,
+    ));
     objects += 5;
     DatasetPreset {
         id: VideoId::Band2,
@@ -175,7 +218,13 @@ fn band2() -> DatasetPreset {
 fn dance5() -> DatasetPreset {
     let mut scene = Scene::new();
     background(&mut scene);
-    for s in person(Vec3::new(0.0, 0.0, 0.0), MotionStyle::Dance, [230, 60, 140], [30, 30, 40], 0.0) {
+    for s in person(
+        Vec3::new(0.0, 0.0, 0.0),
+        MotionStyle::Dance,
+        [230, 60, 140],
+        [30, 30, 40],
+        0.0,
+    ) {
         scene.add(s);
     }
     DatasetPreset {
@@ -193,17 +242,50 @@ fn dance5() -> DatasetPreset {
 fn office1() -> DatasetPreset {
     let mut scene = Scene::new();
     background(&mut scene);
-    for s in person(Vec3::new(0.0, 0.0, -0.3), MotionStyle::Seated, [90, 120, 180], [50, 50, 60], 0.0)
-    {
+    for s in person(
+        Vec3::new(0.0, 0.0, -0.3),
+        MotionStyle::Seated,
+        [90, 120, 180],
+        [50, 50, 60],
+        0.0,
+    ) {
         scene.add(s);
     }
     // Desk, chair, monitor, lamp, shelf, plant.
-    scene.add(table(Vec3::new(0.0, 0.72, 0.45), Vec3::new(0.8, 0.03, 0.4), [150, 110, 70]));
-    scene.add(table(Vec3::new(0.0, 0.25, -0.7), Vec3::new(0.25, 0.25, 0.25), [70, 70, 80]));
-    scene.add(table(Vec3::new(0.0, 1.0, 0.65), Vec3::new(0.3, 0.2, 0.03), [25, 25, 30]));
-    scene.add(prop_sphere(Vec3::new(0.7, 0.95, 0.5), 0.08, [240, 230, 150], 0.0, 0.0));
-    scene.add(table(Vec3::new(-2.0, 0.9, 1.8), Vec3::new(0.5, 0.9, 0.2), [120, 90, 60]));
-    scene.add(prop_sphere(Vec3::new(1.8, 0.35, -1.5), 0.35, [60, 140, 60], 0.0, 0.0));
+    scene.add(table(
+        Vec3::new(0.0, 0.72, 0.45),
+        Vec3::new(0.8, 0.03, 0.4),
+        [150, 110, 70],
+    ));
+    scene.add(table(
+        Vec3::new(0.0, 0.25, -0.7),
+        Vec3::new(0.25, 0.25, 0.25),
+        [70, 70, 80],
+    ));
+    scene.add(table(
+        Vec3::new(0.0, 1.0, 0.65),
+        Vec3::new(0.3, 0.2, 0.03),
+        [25, 25, 30],
+    ));
+    scene.add(prop_sphere(
+        Vec3::new(0.7, 0.95, 0.5),
+        0.08,
+        [240, 230, 150],
+        0.0,
+        0.0,
+    ));
+    scene.add(table(
+        Vec3::new(-2.0, 0.9, 1.8),
+        Vec3::new(0.5, 0.9, 0.2),
+        [120, 90, 60],
+    ));
+    scene.add(prop_sphere(
+        Vec3::new(1.8, 0.35, -1.5),
+        0.35,
+        [60, 140, 60],
+        0.0,
+        0.0,
+    ));
     DatasetPreset {
         id: VideoId::Office1,
         description: "Person working",
@@ -236,14 +318,24 @@ fn pizza1() -> DatasetPreset {
         }
         objects += 1;
     }
-    scene.add(table(Vec3::new(0.0, 0.72, 0.0), Vec3::new(0.8, 0.04, 0.8), [200, 180, 150]));
+    scene.add(table(
+        Vec3::new(0.0, 0.72, 0.0),
+        Vec3::new(0.8, 0.04, 0.8),
+        [200, 180, 150],
+    ));
     objects += 1;
     // Food props: pizza boxes and drinks, one gently lifted (being eaten).
     for i in 0..7 {
         let a = i as f32 / 7.0 * std::f32::consts::TAU + 0.3;
         let pos = Vec3::new(0.5 * a.cos(), 0.82, 0.5 * a.sin());
         let bob = if i % 3 == 0 { 0.08 } else { 0.0 };
-        scene.add(prop_sphere(pos, 0.07, [230 - i as u8 * 10, 120, 40 + i as u8 * 20], bob, a));
+        scene.add(prop_sphere(
+            pos,
+            0.07,
+            [230 - i as u8 * 10, 120, 40 + i as u8 * 20],
+            bob,
+            a,
+        ));
         objects += 1;
     }
     DatasetPreset {
@@ -261,13 +353,21 @@ fn pizza1() -> DatasetPreset {
 fn toddler4() -> DatasetPreset {
     let mut scene = Scene::new();
     background(&mut scene);
-    for s in person(Vec3::new(0.2, 0.0, 0.1), MotionStyle::Child, [250, 160, 60], [200, 60, 60], 0.0)
-    {
+    for s in person(
+        Vec3::new(0.2, 0.0, 0.1),
+        MotionStyle::Child,
+        [250, 160, 60],
+        [200, 60, 60],
+        0.0,
+    ) {
         scene.add(s);
     }
     // Two toys, one rolling in a little orbit.
     scene.add(AnimatedShape {
-        geom: ShapeGeom::Sphere { center: Vec3::new(0.8, 0.12, 0.3), radius: 0.12 },
+        geom: ShapeGeom::Sphere {
+            center: Vec3::new(0.8, 0.12, 0.3),
+            radius: 0.12,
+        },
         texture: Texture::Checker([230, 40, 40], [240, 240, 240], 0.15),
         animation: Animation::Orbit {
             center: Vec3::new(0.5, 0.0, 0.2),
@@ -276,7 +376,11 @@ fn toddler4() -> DatasetPreset {
             phase: 0.0,
         },
     });
-    scene.add(table(Vec3::new(-0.7, 0.15, -0.4), Vec3::new(0.15, 0.15, 0.15), [60, 90, 220]));
+    scene.add(table(
+        Vec3::new(-0.7, 0.15, -0.4),
+        Vec3::new(0.15, 0.15, 0.15),
+        [60, 90, 220],
+    ));
     DatasetPreset {
         id: VideoId::Toddler4,
         description: "A child playing games",

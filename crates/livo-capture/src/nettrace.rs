@@ -113,14 +113,20 @@ impl BandwidthTrace {
         for s in &mut samples {
             *s = (*s + shift).clamp(min, max);
         }
-        BandwidthTrace { id: Some(id), samples_mbps: samples }
+        BandwidthTrace {
+            id: Some(id),
+            samples_mbps: samples,
+        }
     }
 
     /// A constant trace, useful for controlled sweeps (Figs. 18–19 use
     /// fixed 60–120 Mbps bitrates).
     pub fn constant(mbps: f64, duration_s: f32) -> BandwidthTrace {
         let n = (duration_s * TRACE_SAMPLE_HZ as f32).ceil().max(1.0) as usize;
-        BandwidthTrace { id: None, samples_mbps: vec![mbps; n] }
+        BandwidthTrace {
+            id: None,
+            samples_mbps: vec![mbps; n],
+        }
     }
 
     /// A copy of the trace with every sample multiplied by `factor`.
@@ -209,7 +215,11 @@ mod tests {
         // own spread.
         let t2 = BandwidthTrace::generate(TraceId::Trace2, 600.0, 3);
         let s = t2.stats();
-        let deep = t2.samples_mbps.iter().filter(|&&v| v < s.mean * 0.6).count();
+        let deep = t2
+            .samples_mbps
+            .iter()
+            .filter(|&&v| v < s.mean * 0.6)
+            .count();
         assert!(deep > 0, "no deep fades in trace-2");
     }
 

@@ -68,7 +68,13 @@ impl MotionStyle {
 /// Build the shapes of one person standing at `base` (feet position on the
 /// floor), facing roughly +Z, wearing `shirt`/`pants` colours. `phase`
 /// de-synchronises multiple people.
-pub fn person(base: Vec3, style: MotionStyle, shirt: [u8; 3], pants: [u8; 3], phase: f32) -> Vec<AnimatedShape> {
+pub fn person(
+    base: Vec3,
+    style: MotionStyle,
+    shirt: [u8; 3],
+    pants: [u8; 3],
+    phase: f32,
+) -> Vec<AnimatedShape> {
     let s = style.scale();
     let sway = Animation::Sway {
         axis: Vec3::new(1.0, 0.0, 0.3).normalized(),
@@ -97,13 +103,20 @@ pub fn person(base: Vec3, style: MotionStyle, shirt: [u8; 3], pants: [u8; 3], ph
     let mut shapes = vec![
         // Torso.
         AnimatedShape {
-            geom: ShapeGeom::Capsule { a: hip, b: shoulder, radius: 0.18 * s },
+            geom: ShapeGeom::Capsule {
+                a: hip,
+                b: shoulder,
+                radius: 0.18 * s,
+            },
             texture: Texture::Stripes(shirt, dim(shirt), 0.3),
             animation: sway,
         },
         // Head.
         AnimatedShape {
-            geom: ShapeGeom::Sphere { center: head_c, radius: 0.12 * s },
+            geom: ShapeGeom::Sphere {
+                center: head_c,
+                radius: 0.12 * s,
+            },
             texture: Texture::Solid(skin),
             animation: sway,
         },
@@ -175,7 +188,13 @@ mod tests {
 
     #[test]
     fn person_has_expected_shape_count() {
-        let p = person(Vec3::ZERO, MotionStyle::Idle, [200, 30, 30], [40, 40, 90], 0.0);
+        let p = person(
+            Vec3::ZERO,
+            MotionStyle::Idle,
+            [200, 30, 30],
+            [40, 40, 90],
+            0.0,
+        );
         assert_eq!(p.len(), SHAPES_PER_PERSON);
     }
 

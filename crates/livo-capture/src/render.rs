@@ -125,7 +125,10 @@ pub fn render_views_at(
     time_key: u32,
 ) -> Vec<RgbdFrame> {
     if pool.threads() <= 1 || cameras.len() <= 1 {
-        return cameras.iter().map(|c| render_rgbd_at(c, scene, time_key)).collect();
+        return cameras
+            .iter()
+            .map(|c| render_rgbd_at(c, scene, time_key))
+            .collect();
     }
     let mut out: Vec<Option<RgbdFrame>> = (0..cameras.len()).map(|_| None).collect();
     pool.scope(|s| {
@@ -133,7 +136,9 @@ pub fn render_views_at(
             s.spawn(move || *slot = Some(render_rgbd_at(cam, scene, time_key)));
         }
     });
-    out.into_iter().map(|f| f.expect("render task ran to completion")).collect()
+    out.into_iter()
+        .map(|f| f.expect("render task ran to completion"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -149,7 +154,10 @@ mod tests {
     fn sphere_scene(z: f32, r: f32, color: [u8; 3]) -> Scene {
         let mut s = Scene::new();
         s.add(AnimatedShape::fixed(
-            ShapeGeom::Sphere { center: Vec3::new(0.0, 0.0, z), radius: r },
+            ShapeGeom::Sphere {
+                center: Vec3::new(0.0, 0.0, z),
+                radius: r,
+            },
             Texture::Solid(color),
         ));
         s
@@ -162,7 +170,10 @@ mod tests {
         let frame = render_rgbd(&cam, &scene.at(0.0));
         let (cx, cy) = (frame.width / 2, frame.height / 2);
         let d = frame.depth_at(cx, cy);
-        assert!((d as i32 - 2500).abs() <= 15, "depth {d} ≉ 2500 mm (noise ≤ ~3σ)");
+        assert!(
+            (d as i32 - 2500).abs() <= 15,
+            "depth {d} ≉ 2500 mm (noise ≤ ~3σ)"
+        );
         assert_eq!(frame.rgb_at(cx, cy), [10, 200, 30]);
     }
 
@@ -201,7 +212,10 @@ mod tests {
         let cam = camera_at_origin(0.25);
         let mut scene = Scene::new();
         scene.add(AnimatedShape::fixed(
-            ShapeGeom::Box { center: Vec3::new(0.0, 0.0, 2.05), half: Vec3::new(5.0, 5.0, 0.05) },
+            ShapeGeom::Box {
+                center: Vec3::new(0.0, 0.0, 2.05),
+                half: Vec3::new(5.0, 5.0, 0.05),
+            },
             Texture::Solid([9, 9, 9]),
         ));
         let frame = render_rgbd(&cam, &scene.at(0.0));
@@ -223,7 +237,10 @@ mod tests {
             .pixel_to_world(cx as u32, cy as u32, frame.depth_at(cx, cy))
             .unwrap();
         // Sphere at (0,0,3) r=0.5: nearest surface point ≈ (0,0,2.5).
-        assert!((world - Vec3::new(0.0, 0.0, 2.5)).length() < 0.05, "{world:?}");
+        assert!(
+            (world - Vec3::new(0.0, 0.0, 2.5)).length() < 0.05,
+            "{world:?}"
+        );
     }
 
     #[test]
@@ -232,9 +249,17 @@ mod tests {
         let cam = camera_at_origin(0.2);
         let mut scene = Scene::new();
         scene.add(AnimatedShape {
-            geom: ShapeGeom::Sphere { center: Vec3::new(0.0, 0.0, 3.0), radius: 0.5 },
+            geom: ShapeGeom::Sphere {
+                center: Vec3::new(0.0, 0.0, 3.0),
+                radius: 0.5,
+            },
             texture: Texture::Solid([50, 50, 50]),
-            animation: Animation::Sway { axis: Vec3::X, amplitude: 1.0, freq_hz: 0.5, phase: 0.0 },
+            animation: Animation::Sway {
+                axis: Vec3::X,
+                amplitude: 1.0,
+                freq_hz: 0.5,
+                phase: 0.0,
+            },
         });
         let f0 = render_rgbd(&cam, &scene.at(0.0));
         let f1 = render_rgbd(&cam, &scene.at(0.5));

@@ -45,7 +45,13 @@ mod tests {
 
     #[test]
     fn ring_has_n_cameras_on_circle() {
-        let cams = camera_ring(8, 3.0, 1.5, Vec3::ZERO, CameraIntrinsics::kinect_depth(0.25));
+        let cams = camera_ring(
+            8,
+            3.0,
+            1.5,
+            Vec3::ZERO,
+            CameraIntrinsics::kinect_depth(0.25),
+        );
         assert_eq!(cams.len(), 8);
         for c in &cams {
             let horiz = Vec3::new(c.pose.position.x, 0.0, c.pose.position.z);
@@ -66,7 +72,13 @@ mod tests {
 
     #[test]
     fn cameras_are_evenly_spaced() {
-        let cams = camera_ring(6, 2.0, 1.0, Vec3::ZERO, CameraIntrinsics::kinect_depth(0.25));
+        let cams = camera_ring(
+            6,
+            2.0,
+            1.0,
+            Vec3::ZERO,
+            CameraIntrinsics::kinect_depth(0.25),
+        );
         let angle = |c: &RgbdCamera| c.pose.position.z.atan2(c.pose.position.x);
         for i in 0..6 {
             let a = angle(&cams[i]);
@@ -82,7 +94,11 @@ mod tests {
         let cams = panoptic_rig(0.25);
         assert_eq!(cams.len(), 10);
         for c in &cams {
-            assert!(c.frustum().contains(target), "camera at {:?}", c.pose.position);
+            assert!(
+                c.frustum().contains(target),
+                "camera at {:?}",
+                c.pose.position
+            );
         }
     }
 }

@@ -12,14 +12,27 @@ use livo_math::Vec3;
 /// World-space geometry of one primitive.
 #[derive(Debug, Clone, Copy)]
 pub enum ShapeGeom {
-    Sphere { center: Vec3, radius: f32 },
+    Sphere {
+        center: Vec3,
+        radius: f32,
+    },
     /// Capsule: all points within `radius` of segment `a`..`b`.
-    Capsule { a: Vec3, b: Vec3, radius: f32 },
+    Capsule {
+        a: Vec3,
+        b: Vec3,
+        radius: f32,
+    },
     /// Axis-aligned box.
-    Box { center: Vec3, half: Vec3 },
+    Box {
+        center: Vec3,
+        half: Vec3,
+    },
     /// The floor: the plane `y = height`, bounded to a disc of `radius`
     /// around the origin.
-    Floor { height: f32, radius: f32 },
+    Floor {
+        height: f32,
+        radius: f32,
+    },
 }
 
 /// Procedural surface colour.
@@ -62,11 +75,25 @@ impl Texture {
 pub enum Animation {
     Static,
     /// Sinusoidal sway along an axis: `offset = axis * amp * sin(2π f t + φ)`.
-    Sway { axis: Vec3, amplitude: f32, freq_hz: f32, phase: f32 },
+    Sway {
+        axis: Vec3,
+        amplitude: f32,
+        freq_hz: f32,
+        phase: f32,
+    },
     /// Circular orbit in the XZ plane around `center` at `radius`.
-    Orbit { center: Vec3, radius: f32, freq_hz: f32, phase: f32 },
+    Orbit {
+        center: Vec3,
+        radius: f32,
+        freq_hz: f32,
+        phase: f32,
+    },
     /// Vertical bobbing (a special case of sway kept for readability).
-    Bob { amplitude: f32, freq_hz: f32, phase: f32 },
+    Bob {
+        amplitude: f32,
+        freq_hz: f32,
+        phase: f32,
+    },
 }
 
 impl Animation {
@@ -76,16 +103,30 @@ impl Animation {
     fn offset(&self, t: f32) -> Vec3 {
         match *self {
             Animation::Static => Vec3::ZERO,
-            Animation::Sway { axis, amplitude, freq_hz, phase } => {
-                axis * (amplitude * (2.0 * std::f32::consts::PI * freq_hz * t + phase).sin())
-            }
-            Animation::Orbit { center: _, radius, freq_hz, phase } => {
+            Animation::Sway {
+                axis,
+                amplitude,
+                freq_hz,
+                phase,
+            } => axis * (amplitude * (2.0 * std::f32::consts::PI * freq_hz * t + phase).sin()),
+            Animation::Orbit {
+                center: _,
+                radius,
+                freq_hz,
+                phase,
+            } => {
                 let a = 2.0 * std::f32::consts::PI * freq_hz * t + phase;
                 Vec3::new(radius * a.cos(), 0.0, radius * a.sin())
             }
-            Animation::Bob { amplitude, freq_hz, phase } => {
-                Vec3::new(0.0, amplitude * (2.0 * std::f32::consts::PI * freq_hz * t + phase).sin(), 0.0)
-            }
+            Animation::Bob {
+                amplitude,
+                freq_hz,
+                phase,
+            } => Vec3::new(
+                0.0,
+                amplitude * (2.0 * std::f32::consts::PI * freq_hz * t + phase).sin(),
+                0.0,
+            ),
         }
     }
 }
@@ -100,7 +141,11 @@ pub struct AnimatedShape {
 
 impl AnimatedShape {
     pub fn fixed(geom: ShapeGeom, texture: Texture) -> Self {
-        AnimatedShape { geom, texture, animation: Animation::Static }
+        AnimatedShape {
+            geom,
+            texture,
+            animation: Animation::Static,
+        }
     }
 
     /// World-space shape at time `t`.
@@ -120,14 +165,25 @@ impl AnimatedShape {
             _ => self.animation.offset(t),
         };
         let geom = match self.geom {
-            ShapeGeom::Sphere { center, radius } => ShapeGeom::Sphere { center: center + off, radius },
-            ShapeGeom::Capsule { a, b, radius } => {
-                ShapeGeom::Capsule { a: a + off, b: b + off, radius }
-            }
-            ShapeGeom::Box { center, half } => ShapeGeom::Box { center: center + off, half },
+            ShapeGeom::Sphere { center, radius } => ShapeGeom::Sphere {
+                center: center + off,
+                radius,
+            },
+            ShapeGeom::Capsule { a, b, radius } => ShapeGeom::Capsule {
+                a: a + off,
+                b: b + off,
+                radius,
+            },
+            ShapeGeom::Box { center, half } => ShapeGeom::Box {
+                center: center + off,
+                half,
+            },
             f @ ShapeGeom::Floor { .. } => f,
         };
-        ResolvedShape { geom, texture: self.texture }
+        ResolvedShape {
+            geom,
+            texture: self.texture,
+        }
     }
 }
 
@@ -143,9 +199,7 @@ impl ResolvedShape {
     /// surface. `dir` must be unit length.
     pub fn intersect(&self, origin: Vec3, dir: Vec3, s_min: f32) -> Option<f32> {
         match self.geom {
-            ShapeGeom::Sphere { center, radius } => {
-                ray_sphere(origin, dir, center, radius, s_min)
-            }
+            ShapeGeom::Sphere { center, radius } => ray_sphere(origin, dir, center, radius, s_min),
             ShapeGeom::Capsule { a, b, radius } => ray_capsule(origin, dir, a, b, radius, s_min),
             ShapeGeom::Box { center, half } => ray_aabb(origin, dir, center, half, s_min),
             ShapeGeom::Floor { height, radius } => {
@@ -281,7 +335,9 @@ impl Scene {
 
     /// Resolve all shapes at time `t`.
     pub fn at(&self, t: f32) -> SceneSnapshot {
-        SceneSnapshot { shapes: self.shapes.iter().map(|s| s.resolve(t)).collect() }
+        SceneSnapshot {
+            shapes: self.shapes.iter().map(|s| s.resolve(t)).collect(),
+        }
     }
 }
 
@@ -293,7 +349,13 @@ pub struct SceneSnapshot {
 
 impl SceneSnapshot {
     /// Nearest intersection along the ray. Returns `(distance, colour)`.
-    pub fn cast_ray(&self, origin: Vec3, dir: Vec3, s_min: f32, s_max: f32) -> Option<(f32, [u8; 3])> {
+    pub fn cast_ray(
+        &self,
+        origin: Vec3,
+        dir: Vec3,
+        s_min: f32,
+        s_max: f32,
+    ) -> Option<(f32, [u8; 3])> {
         let mut best: Option<(f32, [u8; 3])> = None;
         for shape in &self.shapes {
             if let Some(s) = shape.intersect(origin, dir, s_min) {
@@ -314,7 +376,10 @@ mod tests {
     #[test]
     fn sphere_intersection_from_outside() {
         let s = ResolvedShape {
-            geom: ShapeGeom::Sphere { center: Vec3::new(0.0, 0.0, 5.0), radius: 1.0 },
+            geom: ShapeGeom::Sphere {
+                center: Vec3::new(0.0, 0.0, 5.0),
+                radius: 1.0,
+            },
             texture: Texture::Solid([255, 0, 0]),
         };
         let hit = s.intersect(Vec3::ZERO, Vec3::Z, 0.0).unwrap();
@@ -326,7 +391,10 @@ mod tests {
     #[test]
     fn sphere_intersection_from_inside() {
         let s = ResolvedShape {
-            geom: ShapeGeom::Sphere { center: Vec3::ZERO, radius: 2.0 },
+            geom: ShapeGeom::Sphere {
+                center: Vec3::ZERO,
+                radius: 2.0,
+            },
             texture: Texture::Solid([0; 3]),
         };
         let hit = s.intersect(Vec3::ZERO, Vec3::X, 0.0).unwrap();
@@ -336,7 +404,10 @@ mod tests {
     #[test]
     fn aabb_intersection() {
         let b = ResolvedShape {
-            geom: ShapeGeom::Box { center: Vec3::new(0.0, 0.0, 3.0), half: Vec3::splat(0.5) },
+            geom: ShapeGeom::Box {
+                center: Vec3::new(0.0, 0.0, 3.0),
+                half: Vec3::splat(0.5),
+            },
             texture: Texture::Solid([0; 3]),
         };
         let hit = b.intersect(Vec3::ZERO, Vec3::Z, 0.0).unwrap();
@@ -365,13 +436,18 @@ mod tests {
         let s2 = c.intersect(o, Vec3::Z, 0.0).unwrap();
         assert!(s2 > 3.0 && s2 < 4.0, "cap hit {s2}");
         // Ray above the capsule entirely misses.
-        assert!(c.intersect(Vec3::new(0.0, 2.0, 0.0), Vec3::Z, 0.0).is_none());
+        assert!(c
+            .intersect(Vec3::new(0.0, 2.0, 0.0), Vec3::Z, 0.0)
+            .is_none());
     }
 
     #[test]
     fn floor_intersection_bounded() {
         let f = ResolvedShape {
-            geom: ShapeGeom::Floor { height: 0.0, radius: 3.0 },
+            geom: ShapeGeom::Floor {
+                height: 0.0,
+                radius: 3.0,
+            },
             texture: Texture::Solid([0; 3]),
         };
         let o = Vec3::new(0.0, 1.0, 0.0);
@@ -386,11 +462,17 @@ mod tests {
     fn snapshot_picks_nearest_shape() {
         let mut scene = Scene::new();
         scene.add(AnimatedShape::fixed(
-            ShapeGeom::Sphere { center: Vec3::new(0.0, 0.0, 5.0), radius: 1.0 },
+            ShapeGeom::Sphere {
+                center: Vec3::new(0.0, 0.0, 5.0),
+                radius: 1.0,
+            },
             Texture::Solid([1, 0, 0]),
         ));
         scene.add(AnimatedShape::fixed(
-            ShapeGeom::Sphere { center: Vec3::new(0.0, 0.0, 3.0), radius: 0.5 },
+            ShapeGeom::Sphere {
+                center: Vec3::new(0.0, 0.0, 3.0),
+                radius: 0.5,
+            },
             Texture::Solid([0, 2, 0]),
         ));
         let snap = scene.at(0.0);
@@ -402,9 +484,17 @@ mod tests {
     #[test]
     fn sway_animation_is_periodic() {
         let shape = AnimatedShape {
-            geom: ShapeGeom::Sphere { center: Vec3::ZERO, radius: 1.0 },
+            geom: ShapeGeom::Sphere {
+                center: Vec3::ZERO,
+                radius: 1.0,
+            },
             texture: Texture::Solid([0; 3]),
-            animation: Animation::Sway { axis: Vec3::X, amplitude: 0.5, freq_hz: 1.0, phase: 0.0 },
+            animation: Animation::Sway {
+                axis: Vec3::X,
+                amplitude: 0.5,
+                freq_hz: 1.0,
+                phase: 0.0,
+            },
         };
         let at = |t: f32| match shape.resolve(t).geom {
             ShapeGeom::Sphere { center, .. } => center,
@@ -417,7 +507,10 @@ mod tests {
     #[test]
     fn orbit_keeps_distance_from_center() {
         let shape = AnimatedShape {
-            geom: ShapeGeom::Sphere { center: Vec3::new(2.0, 1.0, 0.0), radius: 0.3 },
+            geom: ShapeGeom::Sphere {
+                center: Vec3::new(2.0, 1.0, 0.0),
+                radius: 0.3,
+            },
             texture: Texture::Solid([0; 3]),
             animation: Animation::Orbit {
                 center: Vec3::new(0.0, 0.0, 0.0),
@@ -446,11 +539,17 @@ mod tests {
     fn cast_ray_respects_range() {
         let mut scene = Scene::new();
         scene.add(AnimatedShape::fixed(
-            ShapeGeom::Sphere { center: Vec3::new(0.0, 0.0, 10.0), radius: 1.0 },
+            ShapeGeom::Sphere {
+                center: Vec3::new(0.0, 0.0, 10.0),
+                radius: 1.0,
+            },
             Texture::Solid([9, 9, 9]),
         ));
         let snap = scene.at(0.0);
-        assert!(snap.cast_ray(Vec3::ZERO, Vec3::Z, 0.0, 5.0).is_none(), "beyond s_max");
+        assert!(
+            snap.cast_ray(Vec3::ZERO, Vec3::Z, 0.0, 5.0).is_none(),
+            "beyond s_max"
+        );
         assert!(snap.cast_ray(Vec3::ZERO, Vec3::Z, 0.0, 20.0).is_some());
     }
 }

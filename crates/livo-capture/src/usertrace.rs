@@ -80,7 +80,8 @@ impl UserTrace {
             if t >= saccade_t {
                 // Glance-sized excursions (~8–25°): viewers checking another
                 // part of the scene, then returning to the subject.
-                saccade_amp = rng.gen_range(0.15..0.45) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                saccade_amp =
+                    rng.gen_range(0.15..0.45) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
                 saccade_phase = t;
                 saccade_t = t + rng.gen_range(3.0..7.0);
             }
@@ -96,7 +97,11 @@ impl UserTrace {
                 0.0
             };
             let gaze_target = scene_center
-                + Vec3::new(0.4 * (t * 0.23).sin(), 0.2 * (t * 0.31).cos(), 0.4 * (t * 0.17).cos());
+                + Vec3::new(
+                    0.4 * (t * 0.23).sin(),
+                    0.2 * (t * 0.31).cos(),
+                    0.4 * (t * 0.17).cos(),
+                );
             let base = Pose::look_at(eye, gaze_target, Vec3::Y);
             let saccade_rot = Quat::from_axis_angle(Vec3::Y, saccade);
             poses.push(Pose::new(eye, saccade_rot * base.orientation));
@@ -110,7 +115,13 @@ impl UserTrace {
         TraceStyle::ALL
             .iter()
             .enumerate()
-            .map(|(i, &style)| UserTrace::generate(style, duration_s, video_seed.wrapping_mul(31).wrapping_add(i as u64)))
+            .map(|(i, &style)| {
+                UserTrace::generate(
+                    style,
+                    duration_s,
+                    video_seed.wrapping_mul(31).wrapping_add(i as u64),
+                )
+            })
             .collect()
     }
 
@@ -157,7 +168,11 @@ mod tests {
         for (x, y) in a.poses.iter().zip(&b.poses) {
             assert_eq!(x.position, y.position);
         }
-        assert!(a.poses.iter().zip(&c.poses).any(|(x, y)| x.position != y.position));
+        assert!(a
+            .poses
+            .iter()
+            .zip(&c.poses)
+            .any(|(x, y)| x.position != y.position));
     }
 
     #[test]
@@ -195,7 +210,11 @@ mod tests {
     fn walkin_changes_distance_substantially() {
         let t = UserTrace::generate(TraceStyle::WalkIn, 40.0, 9);
         let center = Vec3::new(0.0, 1.0, 0.0);
-        let d: Vec<f32> = t.poses.iter().map(|p| p.position.distance(center)).collect();
+        let d: Vec<f32> = t
+            .poses
+            .iter()
+            .map(|p| p.position.distance(center))
+            .collect();
         let min = d.iter().cloned().fold(f32::INFINITY, f32::min);
         let max = d.iter().cloned().fold(0.0f32, f32::max);
         assert!(max - min > 1.0, "walk-in range {min}..{max}");

@@ -40,7 +40,10 @@ fn depth_values_respect_sensor_range() {
     for c in &cams {
         let f = render_rgbd(c, &snap);
         for &d in &f.depth_mm {
-            assert!(d == 0 || (240..=6030).contains(&d), "depth {d} out of range (noise can nudge past the 6 m limit)");
+            assert!(
+                d == 0 || (240..=6030).contains(&d),
+                "depth {d} out of range (noise can nudge past the 6 m limit)"
+            );
         }
     }
 }

@@ -222,7 +222,11 @@ mod tests {
             encode_block(&mut enc, &mut ctx, b);
         }
         let data = enc.finish();
-        assert!(data.len() < 100, "1000 empty blocks took {} bytes", data.len());
+        assert!(
+            data.len() < 100,
+            "1000 empty blocks took {} bytes",
+            data.len()
+        );
     }
 
     #[test]

@@ -8,9 +8,9 @@ use std::sync::OnceLock;
 
 /// Zig-zag scan order for an 8×8 block: `ZIGZAG[scan_pos] = raster_index`.
 pub const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Cosine basis table: `COS[u][x] = c(u) * cos((2x+1) u π / 16)` where
@@ -20,10 +20,13 @@ fn cos_table() -> &'static [[f32; 8]; 8] {
     TABLE.get_or_init(|| {
         let mut t = [[0.0f32; 8]; 8];
         for (u, row) in t.iter_mut().enumerate() {
-            let cu = if u == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+            let cu = if u == 0 {
+                (1.0f32 / 8.0).sqrt()
+            } else {
+                (2.0f32 / 8.0).sqrt()
+            };
             for (x, v) in row.iter_mut().enumerate() {
-                *v = cu
-                    * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI / 16.0).cos();
+                *v = cu * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI / 16.0).cos();
             }
         }
         t

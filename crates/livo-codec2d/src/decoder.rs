@@ -58,7 +58,11 @@ impl Decoder {
         if dec.decode_bits(8) != FRAME_MAGIC {
             return Err(DecodeError::BadMagic);
         }
-        let frame_type = if dec.decode_bits(1) == 1 { FrameType::Inter } else { FrameType::Intra };
+        let frame_type = if dec.decode_bits(1) == 1 {
+            FrameType::Inter
+        } else {
+            FrameType::Intra
+        };
         let qp = dec.decode_bits(6) as u8;
         let width = dec.decode_bits(16) as usize;
         let height = dec.decode_bits(16) as usize;
@@ -153,7 +157,11 @@ fn decode_plane_inter_luma(
         for mbx in 0..mbs_x {
             let bx = mbx * MB_SIZE;
             let by = mby * MB_SIZE;
-            let pred_mv = if mbx > 0 { mvs[mby * mbs_x + mbx - 1] } else { MotionVector::default() };
+            let pred_mv = if mbx > 0 {
+                mvs[mby * mbs_x + mbx - 1]
+            } else {
+                MotionVector::default()
+            };
             let skip = dec.decode_bit(&mut skip_model);
             let (mv, levels4) = if skip {
                 (pred_mv, None)
@@ -213,7 +221,10 @@ fn decode_plane_inter_chroma(
         for bx in (0..recon.width).step_by(8) {
             let mb_index = (by / 8) * mbs_x + (bx / 8);
             let mv = luma_mvs.get(mb_index).copied().unwrap_or_default();
-            let cmv = MotionVector { dx: mv.dx / 2, dy: mv.dy / 2 };
+            let cmv = MotionVector {
+                dx: mv.dx / 2,
+                dy: mv.dy / 2,
+            };
             let levels = decode_block(dec, &mut coeff);
             let deq = quant::dequantize_block(&levels, step, DC_SCALE);
             let res = dct::inverse(&deq);
@@ -257,7 +268,10 @@ mod tests {
         let out = enc.encode(&f, 100_000);
         let mut dec = Decoder::new();
         let decoded = dec.decode(&out.data).unwrap();
-        assert_eq!(decoded, out.reconstruction, "decoder must be bit-exact with encoder loop");
+        assert_eq!(
+            decoded, out.reconstruction,
+            "decoder must be bit-exact with encoder loop"
+        );
     }
 
     #[test]
@@ -277,8 +291,9 @@ mod tests {
         let mut enc = Encoder::new(EncoderConfig::new(48, 48, PixelFormat::Y16));
         let mut dec = Decoder::new();
         for i in 0..4 {
-            let samples: Vec<u16> =
-                (0..48usize * 48).map(|p| (((p + i * 31) * 401) % 60000) as u16).collect();
+            let samples: Vec<u16> = (0..48usize * 48)
+                .map(|p| (((p + i * 31) * 401) % 60000) as u16)
+                .collect();
             let f = Frame::from_y16(48, 48, samples);
             let out = enc.encode(&f, 150_000);
             let decoded = dec.decode(&out.data).unwrap();

@@ -105,7 +105,10 @@ struct PlaneContexts {
 
 impl PlaneContexts {
     fn new() -> Self {
-        PlaneContexts { coeff: CoeffContexts::new(), skip: BitModel::new() }
+        PlaneContexts {
+            coeff: CoeffContexts::new(),
+            skip: BitModel::new(),
+        }
     }
 }
 
@@ -223,25 +226,38 @@ impl Encoder {
     /// once at a coarser QP (mirroring hardware CBR behaviour).
     pub fn encode(&mut self, frame: &Frame, target_bits: u64) -> EncodedFrame {
         assert_eq!(frame.format, self.cfg.format, "format mismatch");
-        assert_eq!((frame.width, frame.height), (self.cfg.width, self.cfg.height));
+        assert_eq!(
+            (frame.width, frame.height),
+            (self.cfg.width, self.cfg.height)
+        );
 
         let intra = self.force_intra
             || self.recon.is_none()
-            || (self.cfg.gop_length > 0 && self.frame_index.is_multiple_of(self.cfg.gop_length as u64));
+            || (self.cfg.gop_length > 0
+                && self.frame_index.is_multiple_of(self.cfg.gop_length as u64));
         self.force_intra = false;
-        let frame_type = if intra { FrameType::Intra } else { FrameType::Inter };
+        let frame_type = if intra {
+            FrameType::Intra
+        } else {
+            FrameType::Inter
+        };
 
         let complexity = self.estimate_complexity(frame, frame_type);
-        let mut qp = self
-            .rc
-            .pick_qp(frame_type, complexity, target_bits as f64, self.cfg.qp_min, self.cfg.qp_max);
+        let mut qp = self.rc.pick_qp(
+            frame_type,
+            complexity,
+            target_bits as f64,
+            self.cfg.qp_min,
+            self.cfg.qp_max,
+        );
 
         let (mut data, mut recon, mut blocks) = self.encode_with_qp(frame, qp, frame_type);
         let mut actual_bits = data.len() as u64 * 8;
         // One corrective re-encode on overshoot, like a CBR encoder's
         // internal re-quantisation.
         if actual_bits > target_bits + target_bits / 4 && qp + 4 <= self.cfg.qp_max {
-            self.rc.update(frame_type, complexity, actual_bits as f64, qp);
+            self.rc
+                .update(frame_type, complexity, actual_bits as f64, qp);
             qp = (qp + 4).min(self.cfg.qp_max);
             let redo = self.encode_with_qp(frame, qp, frame_type);
             data = redo.0;
@@ -249,13 +265,20 @@ impl Encoder {
             blocks = redo.2;
             actual_bits = data.len() as u64 * 8;
         }
-        self.rc.update(frame_type, complexity, actual_bits as f64, qp);
+        self.rc
+            .update(frame_type, complexity, actual_bits as f64, qp);
         self.publish_frame_metrics(frame_type, qp, actual_bits, blocks, Some(target_bits));
 
         self.prev_input_luma = Some(frame.planes[0].clone());
         self.recon = Some(recon.clone());
         self.frame_index += 1;
-        EncodedFrame { data, frame_type, qp, reconstruction: recon, blocks }
+        EncodedFrame {
+            data,
+            frame_type,
+            qp,
+            reconstruction: recon,
+            blocks,
+        }
     }
 
     /// Encode at a *fixed* QP, bypassing rate control — the behaviour of
@@ -263,19 +286,33 @@ impl Encoder {
     /// Starline's fixed quality parameters, §4.5).
     pub fn encode_fixed_qp(&mut self, frame: &Frame, qp: u8) -> EncodedFrame {
         assert_eq!(frame.format, self.cfg.format, "format mismatch");
-        assert_eq!((frame.width, frame.height), (self.cfg.width, self.cfg.height));
+        assert_eq!(
+            (frame.width, frame.height),
+            (self.cfg.width, self.cfg.height)
+        );
         let intra = self.force_intra
             || self.recon.is_none()
-            || (self.cfg.gop_length > 0 && self.frame_index.is_multiple_of(self.cfg.gop_length as u64));
+            || (self.cfg.gop_length > 0
+                && self.frame_index.is_multiple_of(self.cfg.gop_length as u64));
         self.force_intra = false;
-        let frame_type = if intra { FrameType::Intra } else { FrameType::Inter };
+        let frame_type = if intra {
+            FrameType::Intra
+        } else {
+            FrameType::Inter
+        };
         let qp = qp.clamp(self.cfg.qp_min, self.cfg.qp_max);
         let (data, recon, blocks) = self.encode_with_qp(frame, qp, frame_type);
         self.publish_frame_metrics(frame_type, qp, data.len() as u64 * 8, blocks, None);
         self.prev_input_luma = Some(frame.planes[0].clone());
         self.recon = Some(recon.clone());
         self.frame_index += 1;
-        EncodedFrame { data, frame_type, qp, reconstruction: recon, blocks }
+        EncodedFrame {
+            data,
+            frame_type,
+            qp,
+            reconstruction: recon,
+            blocks,
+        }
     }
 
     /// Complexity proxy driving the rate model: per-pixel activity (temporal
@@ -509,7 +546,11 @@ fn encode_plane_inter_luma(
         for mbx in 0..mbs_x {
             let bx = mbx * MB_SIZE;
             let by = mby * MB_SIZE;
-            let pred_mv = if mbx > 0 { mvs[mby * mbs_x + mbx - 1] } else { MotionVector::default() };
+            let pred_mv = if mbx > 0 {
+                mvs[mby * mbs_x + mbx - 1]
+            } else {
+                MotionVector::default()
+            };
             let (mv, _) = motion::diamond_search(plane, prev, bx, by, pred_mv, search_range);
             motion::predict_block(prev, bx, by, mv, &mut pred_buf);
 
@@ -600,7 +641,10 @@ fn encode_plane_inter_chroma(
             counts.coded += 1;
             let mb_index = (by / 8) * mbs_x + (bx / 8);
             let mv = luma_mvs.get(mb_index).copied().unwrap_or_default();
-            let cmv = MotionVector { dx: mv.dx / 2, dy: mv.dy / 2 };
+            let cmv = MotionVector {
+                dx: mv.dx / 2,
+                dy: mv.dy / 2,
+            };
             for dy in 0..8 {
                 for dx in 0..8 {
                     let cur = plane.get_clamped((bx + dx) as isize, (by + dy) as isize) as i32;
@@ -708,7 +752,11 @@ fn plan_luma_row(
     let mut left_mv = MotionVector::default();
     for (mbx, plan) in plan_row.iter_mut().enumerate() {
         let bx = mbx * MB_SIZE;
-        let pred_mv = if mbx > 0 { left_mv } else { MotionVector::default() };
+        let pred_mv = if mbx > 0 {
+            left_mv
+        } else {
+            MotionVector::default()
+        };
         let (mv, _) = motion::diamond_search(plane, prev, bx, by, pred_mv, search_range);
         motion::predict_block(prev, bx, by, mv, &mut pred_buf);
 
@@ -755,7 +803,12 @@ fn plan_luma_row(
             write_block8_into_stripe(stripe, plane.width, by, bx + ox, by + oy, &rec, peak);
         }
 
-        *plan = LumaMbPlan { mv, pred_mv, skip, levels4 };
+        *plan = LumaMbPlan {
+            mv,
+            pred_mv,
+            skip,
+            levels4,
+        };
         left_mv = mv;
     }
 }
@@ -822,7 +875,10 @@ fn plan_plane_inter_chroma(
                     let bx = bxi * 8;
                     let mb_index = (by / 8) * mbs_x + (bx / 8);
                     let mv = luma_mvs.get(mb_index).copied().unwrap_or_default();
-                    let cmv = MotionVector { dx: mv.dx / 2, dy: mv.dy / 2 };
+                    let cmv = MotionVector {
+                        dx: mv.dx / 2,
+                        dy: mv.dy / 2,
+                    };
                     for dy in 0..8 {
                         for dx in 0..8 {
                             let cur =
@@ -945,7 +1001,13 @@ mod tests {
         let out = enc.encode(&test_frame(64, 64, 0), 100_000);
         // 64×64 luma = 64 blocks of 8×8, plus two 32×32 chroma planes of
         // 16 blocks each.
-        assert_eq!(out.blocks, BlockCounts { skip: 0, coded: 64 + 16 + 16 });
+        assert_eq!(
+            out.blocks,
+            BlockCounts {
+                skip: 0,
+                coded: 64 + 16 + 16
+            }
+        );
     }
 
     #[test]
@@ -955,8 +1017,15 @@ mod tests {
         enc.encode(&f, 1_000_000);
         let p = enc.encode(&f, 1_000_000);
         assert_eq!(p.frame_type, FrameType::Inter);
-        assert!(p.blocks.skip > 0, "static content should produce skip blocks");
-        assert!(p.blocks.coded_fraction() < 0.9, "coded fraction {}", p.blocks.coded_fraction());
+        assert!(
+            p.blocks.skip > 0,
+            "static content should produce skip blocks"
+        );
+        assert!(
+            p.blocks.coded_fraction() < 0.9,
+            "coded fraction {}",
+            p.blocks.coded_fraction()
+        );
     }
 
     #[test]
@@ -969,7 +1038,9 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("codec.color.frames_intra"), Some(1));
         assert_eq!(snap.counter("codec.color.frames_inter"), Some(1));
-        let bits = snap.histogram("codec.color.encoded_bits").expect("bits histogram");
+        let bits = snap
+            .histogram("codec.color.encoded_bits")
+            .expect("bits histogram");
         assert_eq!(bits.count, 2);
         assert!(snap.counter("codec.color.bits_total").unwrap() > 0);
         assert!(snap.gauge("codec.color.qp").unwrap() > 0.0);
@@ -977,7 +1048,9 @@ mod tests {
 
     #[test]
     fn y16_frames_encode() {
-        let samples: Vec<u16> = (0..64usize * 64).map(|i| ((i * 997) % 65536) as u16).collect();
+        let samples: Vec<u16> = (0..64usize * 64)
+            .map(|i| ((i * 997) % 65536) as u16)
+            .collect();
         let f = Frame::from_y16(64, 64, samples);
         let mut enc = Encoder::new(EncoderConfig::new(64, 64, PixelFormat::Y16));
         let out = enc.encode(&f, 200_000);

@@ -40,8 +40,7 @@ pub fn sad(
                 break;
             }
             let a = cur.get(x, y) as i64;
-            let b = reference
-                .get_clamped(x as isize + mv.dx as isize, y as isize + mv.dy as isize)
+            let b = reference.get_clamped(x as isize + mv.dx as isize, y as isize + mv.dy as isize)
                 as i64;
             acc += (a - b).unsigned_abs();
         }
@@ -76,14 +75,25 @@ pub fn diamond_search(
         best_sad = zero_sad;
     }
     // Large diamond until the centre wins, then small diamond once.
-    let large: [(i16, i16); 8] =
-        [(0, -2), (1, -1), (2, 0), (1, 1), (0, 2), (-1, 1), (-2, 0), (-1, -1)];
+    let large: [(i16, i16); 8] = [
+        (0, -2),
+        (1, -1),
+        (2, 0),
+        (1, 1),
+        (0, 2),
+        (-1, 1),
+        (-2, 0),
+        (-1, -1),
+    ];
     let small: [(i16, i16); 4] = [(0, -1), (1, 0), (0, 1), (-1, 0)];
     let mut steps = 0;
     loop {
         let mut improved = false;
         for (ddx, ddy) in large {
-            let cand = clamp_mv(MotionVector { dx: best.dx + ddx, dy: best.dy + ddy });
+            let cand = clamp_mv(MotionVector {
+                dx: best.dx + ddx,
+                dy: best.dy + ddy,
+            });
             if cand == best {
                 continue;
             }
@@ -100,7 +110,10 @@ pub fn diamond_search(
         }
     }
     for (ddx, ddy) in small {
-        let cand = clamp_mv(MotionVector { dx: best.dx + ddx, dy: best.dy + ddy });
+        let cand = clamp_mv(MotionVector {
+            dx: best.dx + ddx,
+            dy: best.dy + ddy,
+        });
         if cand == best {
             continue;
         }
@@ -161,9 +174,8 @@ mod tests {
     fn search_finds_pure_translation() {
         let reference = textured_plane(64, 64, 0);
         let cur = textured_plane(64, 64, 3); // content shifted by -3 in x
-        // cur(x) == ref(x+3): the motion vector should be (3, 0).
-        let (mv, best_sad) =
-            diamond_search(&cur, &reference, 16, 16, MotionVector::default(), 8);
+                                             // cur(x) == ref(x+3): the motion vector should be (3, 0).
+        let (mv, best_sad) = diamond_search(&cur, &reference, 16, 16, MotionVector::default(), 8);
         assert_eq!(mv, MotionVector { dx: 3, dy: 0 });
         assert_eq!(best_sad, 0);
     }

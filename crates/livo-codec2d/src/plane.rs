@@ -14,12 +14,20 @@ pub struct Plane {
 
 impl Plane {
     pub fn new(width: usize, height: usize) -> Self {
-        Plane { width, height, data: vec![0; width * height] }
+        Plane {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
     }
 
     pub fn from_data(width: usize, height: usize, data: Vec<u16>) -> Self {
         assert_eq!(data.len(), width * height, "plane data size mismatch");
-        Plane { width, height, data }
+        Plane {
+            width,
+            height,
+            data,
+        }
     }
 
     #[inline]
@@ -45,8 +53,7 @@ impl Plane {
     pub fn read_block8(&self, bx: usize, by: usize, out: &mut [i32; 64]) {
         for dy in 0..8 {
             for dx in 0..8 {
-                out[dy * 8 + dx] =
-                    self.get_clamped((bx + dx) as isize, (by + dy) as isize) as i32;
+                out[dy * 8 + dx] = self.get_clamped((bx + dx) as isize, (by + dy) as isize) as i32;
             }
         }
     }
@@ -178,7 +185,12 @@ impl Frame {
                 Plane::new(w, h)
             })
             .collect();
-        Frame { format, width, height, planes }
+        Frame {
+            format,
+            width,
+            height,
+            planes,
+        }
     }
 
     /// Build a YUV 4:2:0 frame from packed RGB8 data (`len = w*h*3`),

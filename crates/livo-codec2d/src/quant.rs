@@ -76,7 +76,11 @@ mod tests {
         for c in [-1000.0f32, -3.3, 0.0, 7.7, 123.4, 9999.0] {
             let l = quantize(c, step);
             let r = dequantize(l, step);
-            assert!((r - c).abs() <= step / 2.0 + 1e-3, "coeff {c}: err {}", (r - c).abs());
+            assert!(
+                (r - c).abs() <= step / 2.0 + 1e-3,
+                "coeff {c}: err {}",
+                (r - c).abs()
+            );
         }
     }
 

@@ -21,7 +21,9 @@ pub struct BitModel {
 
 impl Default for BitModel {
     fn default() -> Self {
-        BitModel { prob0: PROB_ONE / 2 }
+        BitModel {
+            prob0: PROB_ONE / 2,
+        }
     }
 }
 
@@ -58,7 +60,13 @@ impl Default for RangeEncoder {
 
 impl RangeEncoder {
     pub fn new() -> Self {
-        RangeEncoder { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+        RangeEncoder {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
     }
 
     fn shift_low(&mut self) {
@@ -153,7 +161,12 @@ pub struct RangeDecoder<'a> {
 
 impl<'a> RangeDecoder<'a> {
     pub fn new(input: &'a [u8]) -> Self {
-        let mut d = RangeDecoder { code: 0, range: u32::MAX, input, pos: 1 };
+        let mut d = RangeDecoder {
+            code: 0,
+            range: u32::MAX,
+            input,
+            pos: 1,
+        };
         // First byte is always 0 (encoder cache priming); the next four seed
         // the code register.
         for _ in 0..4 {

@@ -33,7 +33,12 @@ impl Default for RateController {
 impl RateController {
     pub fn new() -> Self {
         // Initial gains are rough priors; they converge within a few frames.
-        RateController { gain_intra: 1.2, gain_inter: 0.6, alpha: 0.35, debt_bits: 0.0 }
+        RateController {
+            gain_intra: 1.2,
+            gain_inter: 0.6,
+            alpha: 0.35,
+            debt_bits: 0.0,
+        }
     }
 
     fn gain(&self, ft: FrameType) -> f64 {
@@ -127,7 +132,11 @@ mod tests {
             let actual = true_gain * complexity / step;
             rc.update(FrameType::Inter, complexity, actual, qp);
         }
-        assert!((rc.gain_inter - true_gain).abs() / true_gain < 0.1, "gain {}", rc.gain_inter);
+        assert!(
+            (rc.gain_inter - true_gain).abs() / true_gain < 0.1,
+            "gain {}",
+            rc.gain_inter
+        );
     }
 
     #[test]

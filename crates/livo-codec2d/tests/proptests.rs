@@ -8,7 +8,11 @@ use rand_chacha::ChaCha8Rng;
 fn smooth_yuv_frame(w: usize, h: usize, seed: u64, t: f32) -> Frame {
     // Smooth, mildly animated content (sums of sinusoids) — video-like.
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let (a, b, c): (f32, f32, f32) = (rng.gen_range(0.05..0.3), rng.gen_range(0.05..0.3), rng.gen_range(0.0..6.0));
+    let (a, b, c): (f32, f32, f32) = (
+        rng.gen_range(0.05..0.3),
+        rng.gen_range(0.05..0.3),
+        rng.gen_range(0.0..6.0),
+    );
     let mut rgb = vec![0u8; w * h * 3];
     for y in 0..h {
         for x in 0..w {
@@ -100,7 +104,10 @@ fn quality_scales_with_rate_on_video_content() {
         }
         psnrs.push(last_psnr);
     }
-    assert!(psnrs[0] < psnrs[1] && psnrs[1] < psnrs[2], "psnr not monotone: {psnrs:?}");
+    assert!(
+        psnrs[0] < psnrs[1] && psnrs[1] < psnrs[2],
+        "psnr not monotone: {psnrs:?}"
+    );
 }
 
 #[test]
@@ -165,7 +172,8 @@ fn sixteen_bit_depth_scaling_reduces_relative_error() {
     let depth_mm: Vec<u16> = (0..w * h)
         .map(|i| {
             let (x, y) = (i % w, i / w);
-            let base = 2000.0 + 1200.0 * ((x as f32) * 0.07).sin() + 900.0 * ((y as f32) * 0.05).cos();
+            let base =
+                2000.0 + 1200.0 * ((x as f32) * 0.07).sin() + 900.0 * ((y as f32) * 0.05).cos();
             let step = if x > w / 2 { 1200.0 } else { 0.0 };
             (base + step) as u16
         })
@@ -185,7 +193,10 @@ fn sixteen_bit_depth_scaling_reduces_relative_error() {
         / depth_mm.len() as f64;
 
     // Scaled path: scale up, encode, decode, unscale.
-    let scaled: Vec<u16> = depth_mm.iter().map(|&d| ((d as f32 * scale).round() as u32).min(65535) as u16).collect();
+    let scaled: Vec<u16> = depth_mm
+        .iter()
+        .map(|&d| ((d as f32 * scale).round() as u32).min(65535) as u16)
+        .collect();
     let mut enc2 = Encoder::new(EncoderConfig::new(w, h, PixelFormat::Y16));
     let out2 = enc2.encode(&Frame::from_y16(w, h, scaled), target);
     let err_scaled: f64 = depth_mm

@@ -124,6 +124,10 @@ fn one_by_n_and_n_by_one_frames() {
         let mut enc = Encoder::new(EncoderConfig::new(w, h, PixelFormat::Y16));
         let out = enc.encode(&f, 200_000);
         let mut dec = Decoder::new();
-        assert_eq!(dec.decode(&out.data).unwrap(), out.reconstruction, "{w}x{h}");
+        assert_eq!(
+            dec.decode(&out.data).unwrap(),
+            out.reconstruction,
+            "{w}x{h}"
+        );
     }
 }

@@ -15,7 +15,10 @@ impl QuantBits {
     pub const MAX: u8 = 16;
 
     pub fn new(bits: u8) -> Self {
-        assert!((Self::MIN..=Self::MAX).contains(&bits), "quantisation bits out of range");
+        assert!(
+            (Self::MIN..=Self::MAX).contains(&bits),
+            "quantisation bits out of range"
+        );
         QuantBits(bits)
     }
 }
@@ -33,7 +36,11 @@ pub struct DracoParams {
 
 impl Default for DracoParams {
     fn default() -> Self {
-        DracoParams { quant_bits: QuantBits(11), level: 7, color_bits: 8 }
+        DracoParams {
+            quant_bits: QuantBits(11),
+            level: 7,
+            color_bits: 8,
+        }
     }
 }
 
@@ -100,7 +107,15 @@ impl DracoEncoder {
         let mut cells_sorted: Vec<(u64, [u32; 3], [u8; 3])> = occupied
             .into_iter()
             .map(|(key, (idx, csum, n))| {
-                (key, idx, [(csum[0] / n) as u8, (csum[1] / n) as u8, (csum[2] / n) as u8])
+                (
+                    key,
+                    idx,
+                    [
+                        (csum[0] / n) as u8,
+                        (csum[1] / n) as u8,
+                        (csum[2] / n) as u8,
+                    ],
+                )
             })
             .collect();
         cells_sorted.sort_unstable_by_key(|&(key, _, _)| key);
@@ -139,9 +154,7 @@ impl DracoEncoder {
                 let mut bounds = [range.start; 9];
                 let mut pos = range.start;
                 for child in 0..8u64 {
-                    while pos < range.end
-                        && (self.cells[pos].0 >> shift) & 7 == child
-                    {
+                    while pos < range.end && (self.cells[pos].0 >> shift) & 7 == child {
                         pos += 1;
                     }
                     bounds[child as usize + 1] = pos;
@@ -163,8 +176,14 @@ impl DracoEncoder {
                 }
             }
         }
-        Walk { enc: &mut enc, cells: &cells_sorted, bits, adaptive, occ_models: &mut occ_models }
-            .node(0..cells_sorted.len(), 0);
+        Walk {
+            enc: &mut enc,
+            cells: &cells_sorted,
+            bits,
+            adaptive,
+            occ_models: &mut occ_models,
+        }
+        .node(0..cells_sorted.len(), 0);
 
         // Colours: delta-coded per channel in Morton order.
         let cshift = 8 - params.color_bits;
@@ -181,7 +200,12 @@ impl DracoEncoder {
         let data = enc.finish();
         let modeled_encode_ms =
             crate::timing::encode_time_ms(cloud.len(), params.level, params.quant_bits);
-        Some(EncodedCloud { data, params, points_coded, modeled_encode_ms })
+        Some(EncodedCloud {
+            data,
+            params,
+            points_coded,
+            modeled_encode_ms,
+        })
     }
 }
 
@@ -367,7 +391,10 @@ mod tests {
     fn round_trip_geometry_error_bounded_by_cell() {
         let cloud = random_cloud(300, 2);
         for bits in [8u8, 10, 12] {
-            let params = DracoParams { quant_bits: QuantBits(bits), ..Default::default() };
+            let params = DracoParams {
+                quant_bits: QuantBits(bits),
+                ..Default::default()
+            };
             let enc = DracoEncoder::encode(&cloud, params).unwrap();
             let dec = DracoDecoder::decode(&enc.data).unwrap();
             let cell = 4.0f32 / (1 << bits) as f32;
@@ -388,7 +415,10 @@ mod tests {
         let size = |bits: u8| {
             DracoEncoder::encode(
                 &cloud,
-                DracoParams { quant_bits: QuantBits(bits), ..Default::default() },
+                DracoParams {
+                    quant_bits: QuantBits(bits),
+                    ..Default::default()
+                },
             )
             .unwrap()
             .data
@@ -402,10 +432,16 @@ mod tests {
     fn higher_level_compresses_better() {
         let cloud = random_cloud(3000, 4);
         let size = |level: u8| {
-            DracoEncoder::encode(&cloud, DracoParams { level, ..Default::default() })
-                .unwrap()
-                .data
-                .len()
+            DracoEncoder::encode(
+                &cloud,
+                DracoParams {
+                    level,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .data
+            .len()
         };
         assert!(size(9) < size(0), "adaptive contexts must beat raw bits");
     }
@@ -425,13 +461,20 @@ mod tests {
                 exact += 1;
             }
         }
-        assert!(exact as f64 / dec.len() as f64 > 0.95, "{exact}/{}", dec.len());
+        assert!(
+            exact as f64 / dec.len() as f64 > 0.95,
+            "{exact}/{}",
+            dec.len()
+        );
     }
 
     #[test]
     fn fewer_color_bits_distort_colors() {
         let cloud = random_cloud(500, 6);
-        let params = DracoParams { color_bits: 3, ..Default::default() };
+        let params = DracoParams {
+            color_bits: 3,
+            ..Default::default()
+        };
         let enc = DracoEncoder::encode(&cloud, params).unwrap();
         let dec = DracoDecoder::decode(&enc.data).unwrap();
         let idx = livo_pointcloud::VoxelIndex::build(&cloud, 0.2);
@@ -443,7 +486,10 @@ mod tests {
             }
         }
         err /= (dec.len() * 3) as f64;
-        assert!(err > 2.0, "3-bit colour should show quantisation error, got {err}");
+        assert!(
+            err > 2.0,
+            "3-bit colour should show quantisation error, got {err}"
+        );
         assert!(err < 40.0, "but bounded by the step size, got {err}");
     }
 

@@ -58,9 +58,14 @@ impl RateProfile {
                 if cloud.is_empty() {
                     continue;
                 }
-                if let Some(enc) =
-                    DracoEncoder::encode(cloud, DracoParams { quant_bits, level, color_bits: 8 })
-                {
+                if let Some(enc) = DracoEncoder::encode(
+                    cloud,
+                    DracoParams {
+                        quant_bits,
+                        level,
+                        color_bits: 8,
+                    },
+                ) {
                     bpp_acc += enc.bits() as f64 / cloud.len() as f64;
                     n += 1;
                 }
@@ -68,9 +73,9 @@ impl RateProfile {
             if n == 0 {
                 continue;
             }
-            let encode_us_per_point =
-                (timing::encode_time_ms(1_000_000, level, quant_bits) - timing::encode_time_ms(0, level, quant_bits))
-                    / 1.0; // µs/point × 1e6 points / 1e3 → ms; see below
+            let encode_us_per_point = (timing::encode_time_ms(1_000_000, level, quant_bits)
+                - timing::encode_time_ms(0, level, quant_bits))
+                / 1.0; // µs/point × 1e6 points / 1e3 → ms; see below
             entries.push(ProfileEntry {
                 quant_bits: quant_bits.0,
                 level,
@@ -126,7 +131,11 @@ mod tests {
         (0..n)
             .map(|_| {
                 Point::new(
-                    Vec3::new(rng.gen_range(-2.0..2.0), rng.gen_range(0.0..2.0), rng.gen_range(-2.0..2.0)),
+                    Vec3::new(
+                        rng.gen_range(-2.0..2.0),
+                        rng.gen_range(0.0..2.0),
+                        rng.gen_range(-2.0..2.0),
+                    ),
                     [rng.gen(), rng.gen(), rng.gen()],
                 )
             })

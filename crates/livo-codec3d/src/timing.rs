@@ -79,11 +79,15 @@ mod tests {
 
     #[test]
     fn deeper_quantisation_is_slower() {
-        assert!(encode_time_ms(100_000, 7, QuantBits(14)) > encode_time_ms(100_000, 7, QuantBits(8)));
+        assert!(
+            encode_time_ms(100_000, 7, QuantBits(14)) > encode_time_ms(100_000, 7, QuantBits(8))
+        );
     }
 
     #[test]
     fn decode_is_faster_than_encode() {
-        assert!(decode_time_ms(500_000, 7, QuantBits(11)) < encode_time_ms(500_000, 7, QuantBits(11)));
+        assert!(
+            decode_time_ms(500_000, 7, QuantBits(11)) < encode_time_ms(500_000, 7, QuantBits(11))
+        );
     }
 }

@@ -35,8 +35,12 @@ fn profile_round_trips_through_json() {
     assert_eq!(p.entries.len(), p2.entries.len());
     // Decisions made from the reloaded profile are identical.
     for (budget, deadline) in [(5e6, 33.0), (2e7, 66.0), (1e5, 15.0)] {
-        let a = p.best_fitting(200_000, budget, deadline).map(|e| (e.quant_bits, e.level));
-        let b = p2.best_fitting(200_000, budget, deadline).map(|e| (e.quant_bits, e.level));
+        let a = p
+            .best_fitting(200_000, budget, deadline)
+            .map(|e| (e.quant_bits, e.level));
+        let b = p2
+            .best_fitting(200_000, budget, deadline)
+            .map(|e| (e.quant_bits, e.level));
         assert_eq!(a, b);
     }
 }

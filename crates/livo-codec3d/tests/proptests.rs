@@ -88,13 +88,20 @@ fn rate_quality_tradeoff_is_monotone_on_average() {
         for j in 0..40 {
             let (x, z) = (i as f32 * 0.05, j as f32 * 0.05);
             let y = 0.3 * (x * 3.0).sin() + 0.2 * (z * 4.0).cos();
-            cloud.push(Point::new(Vec3::new(x, y, z), [(i * 6) as u8, (j * 6) as u8, 100]));
+            cloud.push(Point::new(
+                Vec3::new(x, y, z),
+                [(i * 6) as u8, (j * 6) as u8, 100],
+            ));
         }
     }
     let mut last_bits = 0u64;
     let mut last_err = f64::INFINITY;
     for bits in [6u8, 9, 12] {
-        let params = DracoParams { quant_bits: QuantBits(bits), level: 7, color_bits: 8 };
+        let params = DracoParams {
+            quant_bits: QuantBits(bits),
+            level: 7,
+            color_bits: 8,
+        };
         let enc = DracoEncoder::encode(&cloud, params).unwrap();
         let dec = DracoDecoder::decode(&enc.data).unwrap();
         let err = livo_pointcloud::p2p_rmse(&cloud, &dec, 0.2).unwrap();

@@ -101,37 +101,15 @@ impl ConferenceConfig {
     }
 
     /// Start a validating builder from the LiVo defaults for `video`. The
-    /// old constructor trio maps as:
+    /// baseline schemes of §4.1 map as:
     ///
-    /// - `livo(v)` → `ConferenceConfig::builder(v).build()?`
-    /// - `livo_nocull(v)` → `.cull(false)`
-    /// - `livo_noadapt(v)` → `.adapt(false).cull(false)`
+    /// - LiVo: `ConferenceConfig::builder(v).build()?`
+    /// - LiVo-NoCull: `.cull(false)`
+    /// - LiVo-NoAdapt: `.adapt(false).cull(false)`
     pub fn builder(video: VideoId) -> ConferenceConfigBuilder {
-        ConferenceConfigBuilder { cfg: Self::defaults(video) }
-    }
-
-    /// LiVo defaults at evaluation scale for a given video.
-    #[deprecated(since = "0.2.0", note = "use ConferenceConfig::builder(video).build()")]
-    pub fn livo(video: VideoId) -> Self {
-        Self::defaults(video)
-    }
-
-    /// The LiVo-NoCull baseline (§4.1).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ConferenceConfig::builder(video).cull(false).build()"
-    )]
-    pub fn livo_nocull(video: VideoId) -> Self {
-        ConferenceConfig { cull: false, ..Self::defaults(video) }
-    }
-
-    /// The LiVo-NoAdapt baseline (§4.5: fixed colour QP 22, depth QP 14).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ConferenceConfig::builder(video).adapt(false).cull(false).build()"
-    )]
-    pub fn livo_noadapt(video: VideoId) -> Self {
-        ConferenceConfig { adapt: false, cull: false, ..Self::defaults(video) }
+        ConferenceConfigBuilder {
+            cfg: Self::defaults(video),
+        }
     }
 }
 
@@ -146,7 +124,11 @@ pub struct InvalidConfig {
 
 impl std::fmt::Display for InvalidConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid ConferenceConfig.{}: {}", self.field, self.message)
+        write!(
+            f,
+            "invalid ConferenceConfig.{}: {}",
+            self.field, self.message
+        )
     }
 }
 
@@ -278,10 +260,16 @@ impl ConferenceConfigBuilder {
         let err = |field: &'static str, message: String| Err(InvalidConfig { field, message });
         // NaN must fail every range check, so each test names it explicitly.
         if cfg.camera_scale.is_nan() || cfg.camera_scale <= 0.0 || cfg.camera_scale > 1.0 {
-            return err("camera_scale", format!("{} not in (0, 1]", cfg.camera_scale));
+            return err(
+                "camera_scale",
+                format!("{} not in (0, 1]", cfg.camera_scale),
+            );
         }
         if cfg.n_cameras == 0 {
-            return err("n_cameras", "a capture rig needs at least one camera".into());
+            return err(
+                "n_cameras",
+                "a capture rig needs at least one camera".into(),
+            );
         }
         if cfg.duration_s.is_nan() || cfg.duration_s <= 0.0 {
             return err("duration_s", format!("{} not > 0", cfg.duration_s));
@@ -301,11 +289,16 @@ impl ConferenceConfigBuilder {
             return err("voxel_m", format!("{} not > 0", cfg.voxel_m));
         }
         if cfg.quality_every == 0 {
-            return err("quality_every", "sampling interval must be at least 1".into());
+            return err(
+                "quality_every",
+                "sampling interval must be at least 1".into(),
+            );
         }
-        if cfg.budget_fraction.is_nan() || cfg.budget_fraction <= 0.0 || cfg.budget_fraction > 1.0
-        {
-            return err("budget_fraction", format!("{} not in (0, 1]", cfg.budget_fraction));
+        if cfg.budget_fraction.is_nan() || cfg.budget_fraction <= 0.0 || cfg.budget_fraction > 1.0 {
+            return err(
+                "budget_fraction",
+                format!("{} not in (0, 1]", cfg.budget_fraction),
+            );
         }
         Ok(cfg)
     }
@@ -407,7 +400,13 @@ impl ConferenceRunner {
         let styles = livo_capture::usertrace::TraceStyle::ALL;
         let style = styles[cfg.user_trace_style % styles.len()];
         let user_trace = UserTrace::generate(style, cfg.duration_s + 5.0, cfg.user_trace_seed);
-        ConferenceRunner { cfg, preset, cameras, layout, user_trace }
+        ConferenceRunner {
+            cfg,
+            preset,
+            cameras,
+            layout,
+            user_trace,
+        }
     }
 
     pub fn layout(&self) -> &TileLayout {
@@ -434,8 +433,11 @@ impl ConferenceRunner {
         // Open-ended GOP: like the paper's deployment, intra frames are sent
         // only at start-up and on PLI/FIR (§A.1) — periodic keyframes would
         // burst above the rate target and cause rhythmic stalls.
-        let mut color_cfg =
-            EncoderConfig::new(self.layout.canvas_w, self.layout.canvas_h, PixelFormat::Yuv420);
+        let mut color_cfg = EncoderConfig::new(
+            self.layout.canvas_w,
+            self.layout.canvas_h,
+            PixelFormat::Yuv420,
+        );
         color_cfg.gop_length = 0;
         let mut depth_cfg =
             EncoderConfig::new(self.layout.canvas_w, self.layout.canvas_h, depth_format);
@@ -529,8 +531,9 @@ impl ConferenceRunner {
             let span = TelemetrySpan::start(&cull_hist);
             if cfg.cull {
                 let frustum = if cfg.perfect_cull {
-                    let display_pose =
-                        self.user_trace.pose_at_time(t_s + predictor.horizon_s() as f32);
+                    let display_pose = self
+                        .user_trace
+                        .pose_at_time(t_s + predictor.horizon_s() as f32);
                     predictor.exact_frustum(&display_pose, cfg.guard_m)
                 } else {
                     predictor.predicted_frustum()
@@ -761,7 +764,11 @@ impl ConferenceRunner {
                         }
                     }
                     let shown = if is_new { have } else { None };
-                    let mut rec = FrameRecord { slot, shown_seq: shown, pssim: None };
+                    let mut rec = FrameRecord {
+                        slot,
+                        shown_seq: shown,
+                        pssim: None,
+                    };
                     if is_new {
                         displayed_seq = have;
                         if slot.is_multiple_of(cfg.quality_every as u64) {
@@ -794,8 +801,10 @@ impl ConferenceRunner {
         } else {
             1.0 - displayed as f64 / records.len() as f64
         };
-        let sampled: Vec<&FrameRecord> =
-            records.iter().filter(|r| r.slot % cfg.quality_every as u64 == 0).collect();
+        let sampled: Vec<&FrameRecord> = records
+            .iter()
+            .filter(|r| r.slot % cfg.quality_every as u64 == 0)
+            .collect();
         let mut g_sum = 0.0;
         let mut c_sum = 0.0;
         let mut g_ok = 0.0;
@@ -935,40 +944,68 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_deprecated_constructors() {
-        #[allow(deprecated)]
-        let old = ConferenceConfig::livo(VideoId::Band2);
-        let new = ConferenceConfig::builder(VideoId::Band2).build().unwrap();
-        assert_eq!(format!("{old:?}"), format!("{new:?}"));
+    fn builder_defaults_are_the_livo_scheme() {
+        // The plain builder output is the paper's LiVo configuration; the
+        // §4.1 baselines are single-knob variations of it.
+        let livo = ConferenceConfig::builder(VideoId::Band2).build().unwrap();
+        assert!(livo.cull && livo.adapt);
+        assert_eq!(livo.video, VideoId::Band2);
+        assert_eq!((livo.fixed_color_qp, livo.fixed_depth_qp), (22, 14));
 
-        #[allow(deprecated)]
-        let old = ConferenceConfig::livo_nocull(VideoId::Dance5);
-        let new = ConferenceConfig::builder(VideoId::Dance5).cull(false).build().unwrap();
-        assert_eq!(format!("{old:?}"), format!("{new:?}"));
+        let nocull = ConferenceConfig::builder(VideoId::Dance5)
+            .cull(false)
+            .build()
+            .unwrap();
+        assert!(!nocull.cull && nocull.adapt);
 
-        #[allow(deprecated)]
-        let old = ConferenceConfig::livo_noadapt(VideoId::Office1);
-        let new = ConferenceConfig::builder(VideoId::Office1)
+        let noadapt = ConferenceConfig::builder(VideoId::Office1)
             .adapt(false)
             .cull(false)
             .build()
             .unwrap();
-        assert_eq!(format!("{old:?}"), format!("{new:?}"));
+        assert!(!noadapt.cull && !noadapt.adapt);
     }
 
     #[test]
     fn builder_rejects_unrunnable_configs() {
         let cases: Vec<(&str, ConferenceConfigBuilder)> = vec![
-            ("camera_scale", ConferenceConfig::builder(VideoId::Band2).camera_scale(0.0)),
-            ("camera_scale", ConferenceConfig::builder(VideoId::Band2).camera_scale(1.5)),
-            ("n_cameras", ConferenceConfig::builder(VideoId::Band2).n_cameras(0)),
-            ("duration_s", ConferenceConfig::builder(VideoId::Band2).duration_s(-1.0)),
+            (
+                "camera_scale",
+                ConferenceConfig::builder(VideoId::Band2).camera_scale(0.0),
+            ),
+            (
+                "camera_scale",
+                ConferenceConfig::builder(VideoId::Band2).camera_scale(1.5),
+            ),
+            (
+                "n_cameras",
+                ConferenceConfig::builder(VideoId::Band2).n_cameras(0),
+            ),
+            (
+                "duration_s",
+                ConferenceConfig::builder(VideoId::Band2).duration_s(-1.0),
+            ),
             ("fps", ConferenceConfig::builder(VideoId::Band2).fps(0)),
-            ("guard_m", ConferenceConfig::builder(VideoId::Band2).guard_m(-0.1)),
-            ("static_split", ConferenceConfig::builder(VideoId::Band2).static_split(1.2)),
-            ("voxel_m", ConferenceConfig::builder(VideoId::Band2).voxel_m(0.0)),
-            ("quality_every", ConferenceConfig::builder(VideoId::Band2).quality_every(0)),
-            ("budget_fraction", ConferenceConfig::builder(VideoId::Band2).budget_fraction(0.0)),
+            (
+                "guard_m",
+                ConferenceConfig::builder(VideoId::Band2).guard_m(-0.1),
+            ),
+            (
+                "static_split",
+                ConferenceConfig::builder(VideoId::Band2).static_split(1.2),
+            ),
+            (
+                "voxel_m",
+                ConferenceConfig::builder(VideoId::Band2).voxel_m(0.0),
+            ),
+            (
+                "quality_every",
+                ConferenceConfig::builder(VideoId::Band2).quality_every(0),
+            ),
+            (
+                "budget_fraction",
+                ConferenceConfig::builder(VideoId::Band2).budget_fraction(0.0),
+            ),
         ];
         for (field, builder) in cases {
             let err = builder.build().expect_err(field);
@@ -976,7 +1013,10 @@ mod tests {
             assert!(err.to_string().contains(field));
         }
         // NaN is rejected, not silently accepted, by the positive-form checks.
-        assert!(ConferenceConfig::builder(VideoId::Band2).duration_s(f32::NAN).build().is_err());
+        assert!(ConferenceConfig::builder(VideoId::Band2)
+            .duration_s(f32::NAN)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -986,7 +1026,11 @@ mod tests {
         let s = runner.run(trace);
         assert!(s.mean_fps > 20.0, "fps {}", s.mean_fps);
         assert!(s.stall_rate < 0.35, "stalls {}", s.stall_rate);
-        assert!(s.pssim_geometry_no_stall > 50.0, "geometry {}", s.pssim_geometry_no_stall);
+        assert!(
+            s.pssim_geometry_no_stall > 50.0,
+            "geometry {}",
+            s.pssim_geometry_no_stall
+        );
         assert!(s.bits_sent > 0);
         assert!(s.mean_split >= 0.5 && s.mean_split <= 0.9);
         assert!(s.mean_keep_fraction < 1.0, "culling engaged");
@@ -1043,10 +1087,23 @@ mod tests {
         let s = runner.run(trace);
 
         // Stage histograms saw every sender frame.
-        let frames = s.metrics.histogram("conference.capture_ms").map(|h| h.count);
-        assert!(frames.unwrap_or(0) >= 80, "capture histogram count {frames:?}");
-        for name in ["conference.cull_ms", "conference.tile_ms", "conference.encode_ms"] {
-            let h = s.metrics.histogram(name).unwrap_or_else(|| panic!("{name} missing"));
+        let frames = s
+            .metrics
+            .histogram("conference.capture_ms")
+            .map(|h| h.count);
+        assert!(
+            frames.unwrap_or(0) >= 80,
+            "capture histogram count {frames:?}"
+        );
+        for name in [
+            "conference.cull_ms",
+            "conference.tile_ms",
+            "conference.encode_ms",
+        ] {
+            let h = s
+                .metrics
+                .histogram(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(Some(h.count), frames, "{name} count");
             assert!(h.p95 >= h.p50 && h.max >= h.p95, "{name} quantile order");
         }
@@ -1067,22 +1124,38 @@ mod tests {
 
         // Every displayed frame has a complete, monotonic sender→receiver
         // trail stitched across pipeline, transport, and decode stages.
-        let shown: std::collections::HashSet<u64> =
-            s.records.iter().filter_map(|r| r.shown_seq).map(|q| q as u64).collect();
+        let shown: std::collections::HashSet<u64> = s
+            .records
+            .iter()
+            .filter_map(|r| r.shown_seq)
+            .map(|q| q as u64)
+            .collect();
         assert!(!shown.is_empty());
         let mut complete = 0;
         for rec in &s.timeline {
             if !shown.contains(&rec.seq) {
                 continue;
             }
-            assert!(rec.is_monotonic(&stage::ORDER), "frame {} out of order", rec.seq);
-            let full = [stage::CAPTURE, stage::ENCODE, stage::PACKETIZE, stage::DECODE]
-                .iter()
-                .all(|st| rec.ts_of(st).is_some());
+            assert!(
+                rec.is_monotonic(&stage::ORDER),
+                "frame {} out of order",
+                rec.seq
+            );
+            let full = [
+                stage::CAPTURE,
+                stage::ENCODE,
+                stage::PACKETIZE,
+                stage::DECODE,
+            ]
+            .iter()
+            .all(|st| rec.ts_of(st).is_some());
             if full {
                 complete += 1;
             }
         }
-        assert!(complete > 0, "no displayed frame has a full capture→decode trail");
+        assert!(
+            complete > 0,
+            "no displayed frame has a full capture→decode trail"
+        );
     }
 }

@@ -48,8 +48,7 @@ pub fn cull_views(views: &mut [RgbdFrame], cameras: &[RgbdCamera], frustum: &Fru
                     continue;
                 }
                 stats.total_valid += 1;
-                let local =
-                    k.unproject(x as f32 + 0.5, y as f32 + 0.5, d as f32 / 1000.0);
+                let local = k.unproject(x as f32 + 0.5, y as f32 + 0.5, d as f32 / 1000.0);
                 if local_frustum.contains(local) {
                     stats.kept += 1;
                 } else {
@@ -137,6 +136,55 @@ pub fn cull_views_on(
     stats
 }
 
+/// Cull every view in place against the **union** of several frusta: a
+/// pixel survives when *any* frustum contains its back-projected point.
+///
+/// This is the SFU's encode-sharing primitive (the paper's §5 multi-way
+/// optimisation): one cull pass serves a whole cluster of receivers whose
+/// predicted frusta overlap, so the cluster's shared encode contains every
+/// pixel any member needs. With a single frustum it is exactly
+/// [`cull_views`]. The pass is serial on the calling thread — the SFU
+/// parallelises across clusters, not within one.
+pub fn cull_views_union(
+    views: &mut [RgbdFrame],
+    cameras: &[RgbdCamera],
+    frusta: &[Frustum],
+) -> CullStats {
+    assert!(!frusta.is_empty(), "union cull needs at least one frustum");
+    if frusta.len() == 1 {
+        return cull_views(views, cameras, &frusta[0]);
+    }
+    assert_eq!(views.len(), cameras.len());
+    let mut stats = CullStats::default();
+    for (view, cam) in views.iter_mut().zip(cameras) {
+        let local: Vec<Frustum> = frusta
+            .iter()
+            .map(|f| f.transformed(&cam.world_to_local()))
+            .collect();
+        let k = &cam.intrinsics;
+        for y in 0..view.height {
+            for x in 0..view.width {
+                let i = y * view.width + x;
+                let d = view.depth_mm[i];
+                if d == 0 {
+                    continue;
+                }
+                stats.total_valid += 1;
+                let p = k.unproject(x as f32 + 0.5, y as f32 + 0.5, d as f32 / 1000.0);
+                if local.iter().any(|f| f.contains(p)) {
+                    stats.kept += 1;
+                } else {
+                    view.depth_mm[i] = 0;
+                    view.rgb[i * 3] = 0;
+                    view.rgb[i * 3 + 1] = 0;
+                    view.rgb[i * 3 + 2] = 0;
+                }
+            }
+        }
+    }
+    stats
+}
+
 /// Measure, without modifying, how many pixels would survive a cull —
 /// used by the Fig. 15 accuracy analysis (culling accuracy = kept ∩ truth
 /// over truth).
@@ -157,8 +205,7 @@ pub fn cull_accuracy(
                 if d == 0 {
                     continue;
                 }
-                let local =
-                    k.unproject(x as f32 + 0.5, y as f32 + 0.5, d as f32 / 1000.0);
+                let local = k.unproject(x as f32 + 0.5, y as f32 + 0.5, d as f32 / 1000.0);
                 let in_pred = pred_local.contains(local);
                 let in_truth = truth_local.contains(local);
                 acc.total += 1;
@@ -220,11 +267,17 @@ mod tests {
     fn test_scene() -> Scene {
         let mut s = Scene::new();
         s.add(AnimatedShape::fixed(
-            ShapeGeom::Sphere { center: Vec3::new(0.0, 1.0, 0.0), radius: 0.4 },
+            ShapeGeom::Sphere {
+                center: Vec3::new(0.0, 1.0, 0.0),
+                radius: 0.4,
+            },
             Texture::Solid([200, 30, 30]),
         ));
         s.add(AnimatedShape::fixed(
-            ShapeGeom::Sphere { center: Vec3::new(1.5, 1.0, 0.0), radius: 0.4 },
+            ShapeGeom::Sphere {
+                center: Vec3::new(1.5, 1.0, 0.0),
+                radius: 0.4,
+            },
             Texture::Solid([30, 200, 30]),
         ));
         s
@@ -237,12 +290,23 @@ mod tests {
 
     #[test]
     fn full_scene_frustum_keeps_everything() {
-        let cams = rig::camera_ring(4, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.15));
+        let cams = rig::camera_ring(
+            4,
+            2.5,
+            1.2,
+            Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(0.15),
+        );
         let mut views = render_all(&cams);
         let viewer = Pose::look_at(Vec3::new(0.0, 1.2, -4.0), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
         let wide = Frustum::from_params(
             &viewer,
-            &FrustumParams { hfov: 2.0, aspect: 1.6, near: 0.05, far: 20.0 },
+            &FrustumParams {
+                hfov: 2.0,
+                aspect: 1.6,
+                near: 0.05,
+                far: 20.0,
+            },
         );
         let before: usize = views.iter().map(|v| v.valid_pixels()).sum();
         let stats = cull_views(&mut views, &cams, &wide);
@@ -252,13 +316,24 @@ mod tests {
 
     #[test]
     fn narrow_frustum_culls_off_target_object() {
-        let cams = rig::camera_ring(4, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.15));
+        let cams = rig::camera_ring(
+            4,
+            2.5,
+            1.2,
+            Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(0.15),
+        );
         let mut views = render_all(&cams);
         // Look only at the red sphere at the origin, narrowly.
         let viewer = Pose::look_at(Vec3::new(0.0, 1.0, -3.0), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
         let narrow = Frustum::from_params(
             &viewer,
-            &FrustumParams { hfov: 0.35, aspect: 1.0, near: 0.05, far: 20.0 },
+            &FrustumParams {
+                hfov: 0.35,
+                aspect: 1.0,
+                near: 0.05,
+                far: 20.0,
+            },
         );
         let stats = cull_views(&mut views, &cams, &narrow);
         assert!(stats.kept > 0, "target object survives");
@@ -283,11 +358,29 @@ mod tests {
 
     #[test]
     fn culled_pixels_are_fully_zeroed() {
-        let cams = rig::camera_ring(2, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.15));
+        let cams = rig::camera_ring(
+            2,
+            2.5,
+            1.2,
+            Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(0.15),
+        );
         let mut views = render_all(&cams);
         // A frustum looking away from everything.
-        let away = Pose::look_at(Vec3::new(0.0, 1.0, -3.0), Vec3::new(0.0, 1.0, -10.0), Vec3::Y);
-        let f = Frustum::from_params(&away, &FrustumParams { hfov: 0.4, aspect: 1.0, near: 0.1, far: 5.0 });
+        let away = Pose::look_at(
+            Vec3::new(0.0, 1.0, -3.0),
+            Vec3::new(0.0, 1.0, -10.0),
+            Vec3::Y,
+        );
+        let f = Frustum::from_params(
+            &away,
+            &FrustumParams {
+                hfov: 0.4,
+                aspect: 1.0,
+                near: 0.1,
+                far: 5.0,
+            },
+        );
         let stats = cull_views(&mut views, &cams, &f);
         assert_eq!(stats.kept, 0);
         for v in &views {
@@ -300,10 +393,24 @@ mod tests {
     fn cull_matches_world_space_reference() {
         // The local-frame fast path must agree with the naive "reconstruct
         // to world, test there" reference.
-        let cams = rig::camera_ring(3, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.12));
+        let cams = rig::camera_ring(
+            3,
+            2.5,
+            1.2,
+            Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(0.12),
+        );
         let views = render_all(&cams);
         let viewer = Pose::look_at(Vec3::new(1.0, 1.4, -2.5), Vec3::new(0.5, 1.0, 0.0), Vec3::Y);
-        let f = Frustum::from_params(&viewer, &FrustumParams { hfov: 0.8, aspect: 1.3, near: 0.1, far: 8.0 });
+        let f = Frustum::from_params(
+            &viewer,
+            &FrustumParams {
+                hfov: 0.8,
+                aspect: 1.3,
+                near: 0.1,
+                far: 8.0,
+            },
+        );
         let mut fast = views.clone();
         cull_views(&mut fast, &cams, &f);
         for (vi, (view, cam)) in views.iter().zip(&cams).enumerate() {
@@ -332,8 +439,91 @@ mod tests {
     }
 
     #[test]
+    fn union_cull_keeps_what_either_member_sees() {
+        let cams = rig::camera_ring(
+            4,
+            2.5,
+            1.2,
+            Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(0.15),
+        );
+        let views = render_all(&cams);
+        // Two narrow viewers: one locked on the red sphere at the origin,
+        // one locked on the green sphere at x=1.5.
+        let params = FrustumParams {
+            hfov: 0.35,
+            aspect: 1.0,
+            near: 0.05,
+            far: 20.0,
+        };
+        let on_red = Frustum::from_params(
+            &Pose::look_at(Vec3::new(0.0, 1.0, -3.0), Vec3::new(0.0, 1.0, 0.0), Vec3::Y),
+            &params,
+        );
+        let on_green = Frustum::from_params(
+            &Pose::look_at(Vec3::new(1.5, 1.0, -3.0), Vec3::new(1.5, 1.0, 0.0), Vec3::Y),
+            &params,
+        );
+
+        let mut red_only = views.clone();
+        let red_stats = cull_views(&mut red_only, &cams, &on_red);
+        let mut green_only = views.clone();
+        let green_stats = cull_views(&mut green_only, &cams, &on_green);
+        let mut union = views.clone();
+        let union_stats = cull_views_union(&mut union, &cams, &[on_red, on_green]);
+
+        // The union keeps at least what each member keeps...
+        assert!(union_stats.kept >= red_stats.kept.max(green_stats.kept));
+        // ...and in this disjoint two-target scene, roughly their sum.
+        assert!(union_stats.kept <= red_stats.kept + green_stats.kept);
+        assert!(red_stats.kept > 0 && green_stats.kept > 0);
+
+        // Pixel-level: every pixel surviving either single cull survives
+        // the union cull.
+        for (vi, v) in union.iter().enumerate() {
+            for i in 0..v.depth_mm.len() {
+                let either = red_only[vi].depth_mm[i] != 0 || green_only[vi].depth_mm[i] != 0;
+                if either {
+                    assert_eq!(v.depth_mm[i], views[vi].depth_mm[i], "view {vi} pixel {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_cull_with_one_frustum_matches_single_cull() {
+        let cams = rig::camera_ring(
+            2,
+            2.5,
+            1.2,
+            Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(0.12),
+        );
+        let views = render_all(&cams);
+        let f = Frustum::from_params(
+            &Pose::look_at(Vec3::new(0.0, 1.2, -3.0), Vec3::new(0.0, 1.0, 0.0), Vec3::Y),
+            &FrustumParams::default(),
+        );
+        let mut single = views.clone();
+        let s1 = cull_views(&mut single, &cams, &f);
+        let mut union = views.clone();
+        let s2 = cull_views_union(&mut union, &cams, &[f]);
+        assert_eq!(s1, s2);
+        for (a, b) in single.iter().zip(&union) {
+            assert_eq!(a.depth_mm, b.depth_mm);
+            assert_eq!(a.rgb, b.rgb);
+        }
+    }
+
+    #[test]
     fn accuracy_is_one_with_perfect_prediction() {
-        let cams = rig::camera_ring(3, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.12));
+        let cams = rig::camera_ring(
+            3,
+            2.5,
+            1.2,
+            Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(0.12),
+        );
         let views = render_all(&cams);
         let viewer = Pose::look_at(Vec3::new(0.0, 1.2, -3.0), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
         let f = Frustum::from_params(&viewer, &FrustumParams::default());
@@ -344,9 +534,16 @@ mod tests {
 
     #[test]
     fn guard_band_raises_accuracy_and_sent_fraction() {
-        let cams = rig::camera_ring(3, 2.5, 1.2, Vec3::new(0.0, 1.0, 0.0), livo_math::CameraIntrinsics::kinect_depth(0.12));
+        let cams = rig::camera_ring(
+            3,
+            2.5,
+            1.2,
+            Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(0.12),
+        );
         let views = render_all(&cams);
-        let truth_pose = Pose::look_at(Vec3::new(0.0, 1.2, -3.0), Vec3::new(0.3, 1.0, 0.0), Vec3::Y);
+        let truth_pose =
+            Pose::look_at(Vec3::new(0.0, 1.2, -3.0), Vec3::new(0.3, 1.0, 0.0), Vec3::Y);
         // Predicted pose is slightly off (as after a mis-predicted turn).
         let pred_pose = Pose::look_at(Vec3::new(0.0, 1.2, -3.0), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
         let truth = Frustum::from_params(&truth_pose, &FrustumParams::default());
@@ -355,6 +552,10 @@ mod tests {
         let guarded = cull_accuracy(&views, &cams, &pred.expanded(0.3), &truth);
         assert!(guarded.accuracy() >= tight.accuracy());
         assert!(guarded.sent_fraction() >= tight.sent_fraction());
-        assert!(guarded.accuracy() > 0.95, "guarded accuracy {}", guarded.accuracy());
+        assert!(
+            guarded.accuracy() > 0.95,
+            "guarded accuracy {}",
+            guarded.accuracy()
+        );
     }
 }

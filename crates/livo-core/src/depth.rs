@@ -37,14 +37,20 @@ pub struct DepthCodec {
 
 impl Default for DepthCodec {
     fn default() -> Self {
-        DepthCodec { max_depth_mm: 6000, encoding: DepthEncoding::ScaledY16 }
+        DepthCodec {
+            max_depth_mm: 6000,
+            encoding: DepthEncoding::ScaledY16,
+        }
     }
 }
 
 impl DepthCodec {
     pub fn new(max_depth_mm: u16, encoding: DepthEncoding) -> Self {
         assert!(max_depth_mm > 0);
-        DepthCodec { max_depth_mm, encoding }
+        DepthCodec {
+            max_depth_mm,
+            encoding,
+        }
     }
 
     /// The scale factor applied to depth values.
@@ -231,7 +237,8 @@ mod tests {
         let depth: Vec<u16> = (0..w * h)
             .map(|i| {
                 let (x, y) = (i % w, i / w);
-                (2000.0 + 40.0 * ((x as f32) * 0.15).sin() + 30.0 * ((y as f32) * 0.12).cos()) as u16
+                (2000.0 + 40.0 * ((x as f32) * 0.15).sin() + 30.0 * ((y as f32) * 0.12).cos())
+                    as u16
             })
             .collect();
         let f = c.pack_rgb(&depth, w, h);

@@ -7,8 +7,8 @@
 //! dimensions (Gül et al.), predicts `Δt` ahead, and expands the predicted
 //! frustum by a guard band ε (20 cm by default) to absorb residual error.
 
-use livo_math::{Frustum, FrustumParams, Pose, PosePredictor};
 use livo_math::kalman::PosePredictorConfig;
+use livo_math::{Frustum, FrustumParams, Pose, PosePredictor};
 
 /// The sender-side frustum predictor.
 #[derive(Debug, Clone)]
@@ -122,7 +122,12 @@ mod tests {
     #[test]
     fn guard_band_grows_the_frustum() {
         let mut fp = FrustumPredictor::new(
-            FrustumParams { hfov: 1.2, aspect: 1.0, near: 0.1, far: 10.0 },
+            FrustumParams {
+                hfov: 1.2,
+                aspect: 1.0,
+                near: 0.1,
+                far: 10.0,
+            },
             0.0,
         );
         fp.observe(&Pose::IDENTITY);

@@ -39,12 +39,12 @@ pub use conference::{
     ConferenceConfig, ConferenceConfigBuilder, ConferenceRunner, FrameRecord, InvalidConfig,
     RunSummary,
 };
-pub use cull::{cull_views, cull_views_on};
+pub use cull::{cull_views, cull_views_on, cull_views_union};
+pub use depth::{DepthCodec, DepthEncoding};
+pub use frustum_pred::FrustumPredictor;
 pub use pipeline::{
     CaptureJob, EncodedPair, PipelineOptions, RecvError, SenderPipeline, SubmitError,
 };
-pub use depth::{DepthCodec, DepthEncoding};
-pub use frustum_pred::FrustumPredictor;
 pub use reconstruct::reconstruct_point_cloud;
 pub use splitter::{BandwidthSplitter, SplitterConfig};
 pub use tile::TileLayout;

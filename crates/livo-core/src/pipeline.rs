@@ -202,13 +202,26 @@ impl SenderPipeline {
     /// stages, work additionally fans out over `opts.pool` (the global
     /// `LIVO_THREADS`-sized pool by default).
     pub fn spawn(opts: PipelineOptions) -> SenderPipeline {
-        let PipelineOptions { cameras, layout, depth_codec, queue_depth, registry, timeline, pool } =
-            opts;
+        let PipelineOptions {
+            cameras,
+            layout,
+            depth_codec,
+            queue_depth,
+            registry,
+            timeline,
+            pool,
+        } = opts;
         let registry = registry.unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
         let pool = pool.unwrap_or_else(|| livo_runtime::global().clone());
         let (in_tx, in_rx) = bounded::<(Instant, CaptureJob)>(queue_depth);
-        let (tile_tx, tile_rx) =
-            bounded::<(Instant, u32, livo_codec2d::Frame, livo_codec2d::Frame, u64, u64)>(queue_depth);
+        let (tile_tx, tile_rx) = bounded::<(
+            Instant,
+            u32,
+            livo_codec2d::Frame,
+            livo_codec2d::Frame,
+            u64,
+            u64,
+        )>(queue_depth);
         let (out_tx, out_rx) = bounded::<EncodedPair>(queue_depth);
         let epoch = Instant::now();
         let cull_hist = registry.histogram("pipeline.cull_ms");
@@ -239,7 +252,14 @@ impl SenderPipeline {
                     tl.mark_dur(job.seq as u64, stage::TILE, now_us, tile_elapsed);
                 }
                 if tile_tx
-                    .send((entered, job.seq, color, depth, job.depth_bits, job.color_bits))
+                    .send((
+                        entered,
+                        job.seq,
+                        color,
+                        depth,
+                        job.depth_bits,
+                        job.color_bits,
+                    ))
                     .is_err()
                 {
                     break;
@@ -252,10 +272,16 @@ impl SenderPipeline {
         // still overlapped with stage 1 of the next frame).
         let tl2 = timeline.clone();
         let stage2 = std::thread::spawn(move || {
-            let mut color_enc =
-                Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Yuv420));
-            let mut depth_enc =
-                Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Y16));
+            let mut color_enc = Encoder::new(EncoderConfig::new(
+                layout.canvas_w,
+                layout.canvas_h,
+                PixelFormat::Yuv420,
+            ));
+            let mut depth_enc = Encoder::new(EncoderConfig::new(
+                layout.canvas_w,
+                layout.canvas_h,
+                PixelFormat::Y16,
+            ));
             color_enc.set_worker_pool(pool.clone());
             depth_enc.set_worker_pool(pool);
             while let Ok((entered, seq, color, depth, depth_bits, color_bits)) = tile_rx.recv() {
@@ -292,32 +318,20 @@ impl SenderPipeline {
         }
     }
 
-    /// Spawn with an explicit registry and optional timeline.
-    #[deprecated(since = "0.2.0", note = "use SenderPipeline::spawn(PipelineOptions::new(..))")]
-    pub fn spawn_with_telemetry(
-        cameras: Vec<RgbdCamera>,
-        layout: TileLayout,
-        depth_codec: DepthCodec,
-        queue_depth: usize,
-        registry: Arc<MetricsRegistry>,
-        timeline: Option<Arc<FrameTimeline>>,
-    ) -> SenderPipeline {
-        let mut opts = PipelineOptions::new(cameras, layout)
-            .depth_codec(depth_codec)
-            .queue_depth(queue_depth)
-            .registry(registry);
-        opts.timeline = timeline;
-        Self::spawn(opts)
-    }
-
     /// Submit a captured frame; blocks while the pipeline is full
     /// (backpressure). `Err(SubmitError::Closed)` means the stage threads
     /// are gone and the frame was not accepted.
     pub fn submit(&self, job: CaptureJob) -> Result<(), SubmitError> {
         if let Some(tl) = &self.timeline {
-            tl.mark(job.seq as u64, stage::CAPTURE, self.epoch.elapsed().as_micros() as u64);
+            tl.mark(
+                job.seq as u64,
+                stage::CAPTURE,
+                self.epoch.elapsed().as_micros() as u64,
+            );
         }
-        self.input.send((Instant::now(), job)).map_err(|_| SubmitError::Closed)
+        self.input
+            .send((Instant::now(), job))
+            .map_err(|_| SubmitError::Closed)
     }
 
     /// Non-blocking submit: `Err(Backpressure)` when the input queue is
@@ -328,7 +342,11 @@ impl SenderPipeline {
         match self.input.try_send((Instant::now(), job)) {
             Ok(()) => {
                 if let Some(tl) = &self.timeline {
-                    tl.mark(seq as u64, stage::CAPTURE, self.epoch.elapsed().as_micros() as u64);
+                    tl.mark(
+                        seq as u64,
+                        stage::CAPTURE,
+                        self.epoch.elapsed().as_micros() as u64,
+                    );
                 }
                 Ok(())
             }
@@ -350,24 +368,6 @@ impl SenderPipeline {
     /// Blocking receive; `Err(Closed)` once the pipeline has drained.
     pub fn recv(&self) -> Result<EncodedPair, RecvError> {
         self.output.recv().map_err(|_| RecvError::Closed)
-    }
-
-    /// `submit` with the old boolean result.
-    #[deprecated(since = "0.2.0", note = "use submit() and match on SubmitError")]
-    pub fn submit_ok(&self, job: CaptureJob) -> bool {
-        self.submit(job).is_ok()
-    }
-
-    /// `recv` with the old optional result.
-    #[deprecated(since = "0.2.0", note = "use recv() and match on RecvError")]
-    pub fn recv_opt(&self) -> Option<EncodedPair> {
-        self.recv().ok()
-    }
-
-    /// `try_recv` with the old optional result.
-    #[deprecated(since = "0.2.0", note = "use try_recv() and match on RecvError")]
-    pub fn try_recv_opt(&self) -> Option<EncodedPair> {
-        self.try_recv().ok()
     }
 
     /// The registry the stage threads record into.
@@ -523,7 +523,9 @@ mod tests {
         assert_eq!(out.len(), n as usize);
 
         let snap = registry.snapshot();
-        let enc = snap.histogram("pipeline.encode_ms").expect("encode histogram");
+        let enc = snap
+            .histogram("pipeline.encode_ms")
+            .expect("encode histogram");
         assert_eq!(enc.count, n as u64);
         assert!(enc.p50 > 0.0 && enc.p50 <= enc.p95 && enc.p95 <= enc.p99);
         assert_eq!(snap.counter("pipeline.frames"), Some(n as u64));
@@ -535,7 +537,11 @@ mod tests {
             for s in [stage::CAPTURE, stage::CULL, stage::TILE, stage::ENCODE] {
                 assert!(r.ts_of(s).is_some(), "frame {} missing {s}", r.seq);
             }
-            assert!(r.is_monotonic(&stage::ORDER), "frame {} out of order", r.seq);
+            assert!(
+                r.is_monotonic(&stage::ORDER),
+                "frame {} out of order",
+                r.seq
+            );
         }
 
         // Old mean accessors still answer through the snapshot.
@@ -557,8 +563,7 @@ mod tests {
     #[test]
     fn pipeline_timings_accumulate() {
         let (cams, layout, preset) = setup();
-        let pipe =
-            SenderPipeline::spawn(PipelineOptions::new(cams.clone(), layout).queue_depth(2));
+        let pipe = SenderPipeline::spawn(PipelineOptions::new(cams.clone(), layout).queue_depth(2));
         for seq in 0..4 {
             let views = capture_views(&cams, &preset.scene.at(0.0));
             pipe.submit(CaptureJob {
@@ -610,7 +615,10 @@ mod tests {
                 Err(SubmitError::Closed) => panic!("pipeline closed unexpectedly"),
             }
         }
-        assert!(saw_backpressure, "a depth-1 queue must eventually push back");
+        assert!(
+            saw_backpressure,
+            "a depth-1 queue must eventually push back"
+        );
 
         // recv delivers every accepted frame, then shutdown drains and
         // recv/try_recv would report Closed (checked via the drained pipe).

@@ -66,18 +66,34 @@ mod tests {
     fn scene() -> Scene {
         let mut s = Scene::new();
         s.add(AnimatedShape::fixed(
-            ShapeGeom::Sphere { center: Vec3::new(0.0, 1.0, 0.0), radius: 0.5 },
+            ShapeGeom::Sphere {
+                center: Vec3::new(0.0, 1.0, 0.0),
+                radius: 0.5,
+            },
             Texture::Checker([220, 40, 40], [40, 40, 220], 0.1),
         ));
         s.add(AnimatedShape::fixed(
-            ShapeGeom::Floor { height: 0.0, radius: 3.0 },
+            ShapeGeom::Floor {
+                height: 0.0,
+                radius: 3.0,
+            },
             Texture::Solid([100, 100, 100]),
         ));
         s
     }
 
-    fn setup() -> (Vec<livo_math::RgbdCamera>, TileLayout, Vec<livo_capture::RgbdFrame>) {
-        let cams = rig::camera_ring(4, 2.5, 1.3, Vec3::new(0.0, 1.0, 0.0), CameraIntrinsics::kinect_depth(0.15));
+    fn setup() -> (
+        Vec<livo_math::RgbdCamera>,
+        TileLayout,
+        Vec<livo_capture::RgbdFrame>,
+    ) {
+        let cams = rig::camera_ring(
+            4,
+            2.5,
+            1.3,
+            Vec3::new(0.0, 1.0, 0.0),
+            CameraIntrinsics::kinect_depth(0.15),
+        );
         let snap = scene().at(0.0);
         let views: Vec<_> = cams.iter().map(|c| render_rgbd(c, &snap)).collect();
         let layout = TileLayout::new(views[0].width, views[0].height, cams.len());
@@ -100,7 +116,11 @@ mod tests {
             .count();
         assert!(near_sphere > 100, "{near_sphere} sphere-surface points");
         // Floor points at y ≈ 0.
-        let on_floor = cloud.points.iter().filter(|p| p.position.y.abs() < 0.02).count();
+        let on_floor = cloud
+            .points
+            .iter()
+            .filter(|p| p.position.y.abs() < 0.02)
+            .count();
         assert!(on_floor > 100, "{on_floor} floor points");
     }
 
@@ -113,7 +133,12 @@ mod tests {
         let cloud = reconstruct_point_cloud(&color, &depth, &layout, &cams, &codec);
         let valid: usize = views.iter().map(|v| v.valid_pixels()).sum();
         // Scaling quantisation can zero at most a few boundary samples.
-        assert!(cloud.len() >= valid - valid / 100, "{} vs {}", cloud.len(), valid);
+        assert!(
+            cloud.len() >= valid - valid / 100,
+            "{} vs {}",
+            cloud.len(),
+            valid
+        );
     }
 
     #[test]
@@ -131,8 +156,15 @@ mod tests {
             .filter(|p| p.position.y.abs() < 0.02)
             .filter(|p| p.color.iter().all(|&c| (85..=115).contains(&c)))
             .count();
-        let floor = cloud.points.iter().filter(|p| p.position.y.abs() < 0.02).count();
-        assert!(grey as f64 / floor as f64 > 0.9, "{grey}/{floor} grey floor points");
+        let floor = cloud
+            .points
+            .iter()
+            .filter(|p| p.position.y.abs() < 0.02)
+            .count();
+        assert!(
+            grey as f64 / floor as f64 > 0.9,
+            "{grey}/{floor} grey floor points"
+        );
     }
 
     #[test]
@@ -145,10 +177,18 @@ mod tests {
         let viewer = Pose::look_at(Vec3::new(0.0, 1.2, -2.5), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
         let f = livo_math::Frustum::from_params(
             &viewer,
-            &FrustumParams { hfov: 0.6, aspect: 1.0, near: 0.1, far: 10.0 },
+            &FrustumParams {
+                hfov: 0.6,
+                aspect: 1.0,
+                near: 0.1,
+                far: 10.0,
+            },
         );
         let prepared = prepare_for_render(&cloud, 0.02, &f);
-        assert!(prepared.len() < cloud.len(), "voxelisation + cull reduce density");
+        assert!(
+            prepared.len() < cloud.len(),
+            "voxelisation + cull reduce density"
+        );
         for p in &prepared.points {
             assert!(f.contains(p.position));
         }

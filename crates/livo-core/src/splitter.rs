@@ -33,7 +33,14 @@ pub struct SplitterConfig {
 
 impl Default for SplitterConfig {
     fn default() -> Self {
-        SplitterConfig { initial: 0.8, step: 0.005, epsilon: 0.5, min: 0.5, max: 0.9, every_k: 3 }
+        SplitterConfig {
+            initial: 0.8,
+            step: 0.005,
+            epsilon: 0.5,
+            min: 0.5,
+            max: 0.9,
+            every_k: 3,
+        }
     }
 }
 
@@ -108,9 +115,15 @@ mod tests {
 
     #[test]
     fn starts_at_initial_clamped() {
-        let s = BandwidthSplitter::new(SplitterConfig { initial: 0.95, ..Default::default() });
+        let s = BandwidthSplitter::new(SplitterConfig {
+            initial: 0.95,
+            ..Default::default()
+        });
         assert_eq!(s.split(), 0.9);
-        let s2 = BandwidthSplitter::new(SplitterConfig { initial: 0.3, ..Default::default() });
+        let s2 = BandwidthSplitter::new(SplitterConfig {
+            initial: 0.3,
+            ..Default::default()
+        });
         assert_eq!(s2.split(), 0.5);
     }
 
@@ -144,7 +157,11 @@ mod tests {
         for _ in 0..1000 {
             s.update(100.0, 0.0); // depth always worse → drive up
         }
-        assert_eq!(s.split(), 0.9, "clamped at 0.9 (the paper's anti-starvation cap)");
+        assert_eq!(
+            s.split(),
+            0.9,
+            "clamped at 0.9 (the paper's anti-starvation cap)"
+        );
         for _ in 0..1000 {
             s.update(0.0, 100.0);
         }
@@ -161,9 +178,15 @@ mod tests {
 
     #[test]
     fn measurement_cadence_every_k() {
-        let mut s = BandwidthSplitter::new(SplitterConfig { every_k: 3, ..Default::default() });
+        let mut s = BandwidthSplitter::new(SplitterConfig {
+            every_k: 3,
+            ..Default::default()
+        });
         let pattern: Vec<bool> = (0..9).map(|_| s.measurement_due()).collect();
-        assert_eq!(pattern, vec![true, false, false, true, false, false, true, false, false]);
+        assert_eq!(
+            pattern,
+            vec![true, false, false, true, false, false, true, false, false]
+        );
     }
 
     #[test]
@@ -183,14 +206,21 @@ mod tests {
             s.update(rmse_d, rmse_c);
         }
         // Analytic balance: 600/(s·b) = 80/((1−s)·b) → s ≈ 0.882.
-        assert!((s.split() - 0.882).abs() < 0.02, "converged to {}", s.split());
+        assert!(
+            (s.split() - 0.882).abs() < 0.02,
+            "converged to {}",
+            s.split()
+        );
     }
 
     #[test]
     fn oscillation_is_bounded_by_step() {
         // At balance, consecutive updates flip direction; the split must
         // stay within one step of the fixed point.
-        let mut s = BandwidthSplitter::new(SplitterConfig { epsilon: 0.0, ..Default::default() });
+        let mut s = BandwidthSplitter::new(SplitterConfig {
+            epsilon: 0.0,
+            ..Default::default()
+        });
         let b = 100.0;
         let mut history = Vec::new();
         for _ in 0..3000 {

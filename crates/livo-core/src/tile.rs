@@ -67,7 +67,16 @@ impl TileLayout {
         let canvas_w = (cols * cam_w).div_ceil(8) * 8;
         let header_rows = header_rows_for(canvas_w);
         let canvas_h = (rows * cam_h + header_rows).div_ceil(8) * 8;
-        TileLayout { cam_w, cam_h, cols, rows, n, header_rows, canvas_w, canvas_h }
+        TileLayout {
+            cam_w,
+            cam_h,
+            cols,
+            rows,
+            n,
+            header_rows,
+            canvas_w,
+            canvas_h,
+        }
     }
 
     /// Top-left pixel of camera `i`'s slot.
@@ -88,7 +97,11 @@ impl TileLayout {
 pub fn write_seq(plane: &mut Plane, seq: u32, peak: u16) {
     let bits_per_row = (plane.width / 8).max(1);
     for bit in 0..SEQ_BITS {
-        let value = if (seq >> (SEQ_BITS - 1 - bit)) & 1 == 1 { peak } else { 0 };
+        let value = if (seq >> (SEQ_BITS - 1 - bit)) & 1 == 1 {
+            peak
+        } else {
+            0
+        };
         let (brow, bcol) = (bit / bits_per_row, bit % bits_per_row);
         for y in 0..8 {
             for x in 0..8 {
@@ -126,7 +139,11 @@ pub fn compose_color(views: &[RgbdFrame], layout: &TileLayout, seq: u32) -> Fram
     assert_eq!(views.len(), layout.n);
     let mut rgb = vec![0u8; layout.canvas_w * layout.canvas_h * 3];
     for (i, v) in views.iter().enumerate() {
-        assert_eq!((v.width, v.height), (layout.cam_w, layout.cam_h), "camera {i} size");
+        assert_eq!(
+            (v.width, v.height),
+            (layout.cam_w, layout.cam_h),
+            "camera {i} size"
+        );
         let (ox, oy) = layout.slot_origin(i);
         for y in 0..v.height {
             let src = y * v.width * 3;
@@ -271,7 +288,11 @@ mod tests {
         let views = mk_views(4, 64, 56);
         let seq = 0x1234_5678;
         let f = compose_color(&views, &l, seq);
-        let mut enc = Encoder::new(EncoderConfig::new(l.canvas_w, l.canvas_h, PixelFormat::Yuv420));
+        let mut enc = Encoder::new(EncoderConfig::new(
+            l.canvas_w,
+            l.canvas_h,
+            PixelFormat::Yuv420,
+        ));
         // Brutal target: ~2 kbit for the whole canvas.
         let out = enc.encode(&f, 2_000);
         assert_eq!(read_seq(&out.reconstruction.planes[0], 255), seq);

@@ -28,8 +28,12 @@ pub enum Scheme {
 }
 
 impl Scheme {
-    pub const STUDY: [Scheme; 4] =
-        [Scheme::DracoOracle, Scheme::MeshReduce, Scheme::LivoNoCull, Scheme::Livo];
+    pub const STUDY: [Scheme; 4] = [
+        Scheme::DracoOracle,
+        Scheme::MeshReduce,
+        Scheme::LivoNoCull,
+        Scheme::Livo,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -63,13 +67,25 @@ pub struct EvalProfile {
 impl EvalProfile {
     /// Fast CI-grade profile.
     pub fn quick() -> Self {
-        EvalProfile { camera_scale: 0.08, n_cameras: 4, duration_s: 3.0, quality_every: 20, seed: 11 }
+        EvalProfile {
+            camera_scale: 0.08,
+            n_cameras: 4,
+            duration_s: 3.0,
+            quality_every: 20,
+            seed: 11,
+        }
     }
 
     /// The default reproduction profile. Sized for a single CPU core —
     /// raise `camera_scale`/`n_cameras`/`duration_s` on bigger machines.
     pub fn standard() -> Self {
-        EvalProfile { camera_scale: 0.08, n_cameras: 6, duration_s: 5.0, quality_every: 15, seed: 11 }
+        EvalProfile {
+            camera_scale: 0.08,
+            n_cameras: 6,
+            duration_s: 5.0,
+            quality_every: 15,
+            seed: 11,
+        }
     }
 }
 
@@ -115,7 +131,11 @@ impl GridResult {
     }
 
     fn cell_seed(&self) -> u64 {
-        let v = self.video.name().bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+        let v = self
+            .video
+            .name()
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
         let t = if self.trace == TraceId::Trace1 { 1 } else { 2 };
         v ^ (self.user_style as u64) << 8 ^ t << 16 ^ (self.scheme as u64) << 24
     }
@@ -141,11 +161,16 @@ const FULL_SCALE_APPETITE_MBPS: f64 = 300.0;
 /// because packet headers, the sequence strip and codec floors do not
 /// shrink with resolution.
 fn pressure_factor(profile: &EvalProfile) -> f64 {
-    use std::sync::Mutex;
     use std::collections::HashMap;
+    use std::sync::Mutex;
     static CACHE: Mutex<Option<HashMap<(u32, usize), f64>>> = Mutex::new(None);
     let key = ((profile.camera_scale * 1000.0) as u32, profile.n_cameras);
-    if let Some(f) = CACHE.lock().unwrap().get_or_insert_with(HashMap::new).get(&key) {
+    if let Some(f) = CACHE
+        .lock()
+        .unwrap()
+        .get_or_insert_with(HashMap::new)
+        .get(&key)
+    {
         return *f;
     }
     let mut cfg = ConferenceConfig::builder(VideoId::Band2)
@@ -168,7 +193,12 @@ fn pressure_factor(profile: &EvalProfile) -> f64 {
     factor
 }
 
-fn livo_cfg(scheme: Scheme, video: VideoId, profile: &EvalProfile, style: usize) -> ConferenceConfig {
+fn livo_cfg(
+    scheme: Scheme,
+    video: VideoId,
+    profile: &EvalProfile,
+    style: usize,
+) -> ConferenceConfig {
     let builder = match scheme {
         Scheme::Livo => ConferenceConfig::builder(video),
         Scheme::LivoNoCull => ConferenceConfig::builder(video).cull(false),
@@ -327,10 +357,16 @@ pub fn fig4_split_sweep(
     let frames = 8u32;
     let mut rows = Vec::new();
     for &split in splits {
-        let mut color_enc =
-            Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Yuv420));
-        let mut depth_enc =
-            Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Y16));
+        let mut color_enc = Encoder::new(EncoderConfig::new(
+            layout.canvas_w,
+            layout.canvas_h,
+            PixelFormat::Yuv420,
+        ));
+        let mut depth_enc = Encoder::new(EncoderConfig::new(
+            layout.canvas_w,
+            layout.canvas_h,
+            PixelFormat::Y16,
+        ));
         let mut rmse_d_acc = 0.0;
         let mut rmse_c_acc = 0.0;
         // Budget scaled by the measured pressure factor so "80 Mbps" means
@@ -338,16 +374,21 @@ pub fn fig4_split_sweep(
         let per_frame = bandwidth_mbps * 1e6 / 30.0 * pressure_factor(profile);
         for i in 0..frames {
             let snap = preset.scene.at(i as f32 / 30.0);
-            let views: Vec<_> =
-                cameras.iter().map(|c| livo_capture::render::render_rgbd_at(c, &snap, i)).collect();
+            let views: Vec<_> = cameras
+                .iter()
+                .map(|c| livo_capture::render::render_rgbd_at(c, &snap, i))
+                .collect();
             let color = compose_color(&views, &layout, i);
             let depth = compose_depth(&views, &layout, &codec, i);
             let c_out = color_enc.encode(&color, (per_frame * (1.0 - split)) as u64);
             let d_out = depth_enc.encode(&depth, (per_frame * split) as u64);
             rmse_c_acc += livo_codec2d::luma_rmse(&color, &c_out.reconstruction);
             // Depth RMSE in millimetres over valid pixels.
-            let truth_mm: Vec<u16> =
-                depth.planes[0].data.iter().map(|&s| codec.decode_sample(s)).collect();
+            let truth_mm: Vec<u16> = depth.planes[0]
+                .data
+                .iter()
+                .map(|&s| codec.decode_sample(s))
+                .collect();
             let got_mm: Vec<u16> = d_out.reconstruction.planes[0]
                 .data
                 .iter()
@@ -419,7 +460,8 @@ pub fn fig15_guard_sweep(
                 let snap = preset.scene.at(t);
                 let views: Vec<_> = cameras.iter().map(|c| render_rgbd(c, &snap)).collect();
                 let predicted = predictor.predicted_frustum_at(horizon, g as f32 / 100.0);
-                let truth = Frustum::from_params(&trace.poses[target_idx], &FrustumParams::default());
+                let truth =
+                    Frustum::from_params(&trace.poses[target_idx], &FrustumParams::default());
                 let a = cull_accuracy(&views, &cameras, &predicted, &truth);
                 acc_sum += a.accuracy() * 100.0;
                 sent_sum += a.sent_fraction();
@@ -444,22 +486,27 @@ pub struct DepthEncodingRow {
 }
 
 pub fn fig17_depth_encodings(video: VideoId, profile: &EvalProfile) -> Vec<DepthEncodingRow> {
-    [DepthEncoding::ScaledY16, DepthEncoding::RawY16, DepthEncoding::RgbPacked]
-        .into_iter()
-        .map(|encoding| {
-            let mut cfg = livo_cfg(Scheme::Livo, video, profile, 0);
-            cfg.depth_encoding = encoding;
-            let trace = BandwidthTrace::generate(TraceId::Trace2, profile.duration_s + 5.0, profile.seed)
+    [
+        DepthEncoding::ScaledY16,
+        DepthEncoding::RawY16,
+        DepthEncoding::RgbPacked,
+    ]
+    .into_iter()
+    .map(|encoding| {
+        let mut cfg = livo_cfg(Scheme::Livo, video, profile, 0);
+        cfg.depth_encoding = encoding;
+        let trace =
+            BandwidthTrace::generate(TraceId::Trace2, profile.duration_s + 5.0, profile.seed)
                 .scaled(pressure_factor(profile));
-            tune_session(&mut cfg, &trace);
-            let s = ConferenceRunner::new(cfg).run(trace);
-            DepthEncodingRow {
-                encoding,
-                pssim_geometry: s.pssim_geometry_no_stall,
-                stall_rate: s.stall_rate,
-            }
-        })
-        .collect()
+        tune_session(&mut cfg, &trace);
+        let s = ConferenceRunner::new(cfg).run(trace);
+        DepthEncodingRow {
+            encoding,
+            pssim_geometry: s.pssim_geometry_no_stall,
+            stall_rate: s.stall_rate,
+        }
+    })
+    .collect()
 }
 
 /// Figs. 18–19: static splits vs the dynamic splitter across bitrates.
@@ -514,7 +561,11 @@ pub struct SaturationRow {
     pub pssim_color: f64,
 }
 
-pub fn figa2_saturation(video: VideoId, profile: &EvalProfile, steps: &[f64]) -> Vec<SaturationRow> {
+pub fn figa2_saturation(
+    video: VideoId,
+    profile: &EvalProfile,
+    steps: &[f64],
+) -> Vec<SaturationRow> {
     let mut rows = Vec::new();
     for &mult in steps {
         // Sweep the split indirectly: fix total, let depth take `mult` of a
@@ -548,8 +599,19 @@ mod tests {
     fn quick_cell_livo_vs_draco_ordering() {
         let p = EvalProfile::quick();
         let livo = run_cell(Scheme::Livo, VideoId::Toddler4, TraceId::Trace2, 0, &p);
-        let draco = run_cell(Scheme::DracoOracle, VideoId::Toddler4, TraceId::Trace2, 0, &p);
-        assert!(livo.pssim_geometry > draco.pssim_geometry, "{} vs {}", livo.pssim_geometry, draco.pssim_geometry);
+        let draco = run_cell(
+            Scheme::DracoOracle,
+            VideoId::Toddler4,
+            TraceId::Trace2,
+            0,
+            &p,
+        );
+        assert!(
+            livo.pssim_geometry > draco.pssim_geometry,
+            "{} vs {}",
+            livo.pssim_geometry,
+            draco.pssim_geometry
+        );
         assert!(livo.mos > draco.mos);
         assert!(livo.stall_rate < draco.stall_rate);
     }

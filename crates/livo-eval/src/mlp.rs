@@ -92,9 +92,13 @@ impl Mlp {
         let scale1 = (1.0 / inputs as f64).sqrt();
         let scale2 = (1.0 / hidden as f64).sqrt();
         Mlp {
-            w1: (0..hidden * inputs).map(|_| rng.gen_range(-scale1..scale1)).collect(),
+            w1: (0..hidden * inputs)
+                .map(|_| rng.gen_range(-scale1..scale1))
+                .collect(),
             b1: vec![0.0; hidden],
-            w2: (0..6 * hidden).map(|_| rng.gen_range(-scale2..scale2)).collect(),
+            w2: (0..6 * hidden)
+                .map(|_| rng.gen_range(-scale2..scale2))
+                .collect(),
             b2: [0.0; 6],
             hidden,
             inputs,
@@ -214,8 +218,11 @@ pub fn fig16_experiment(horizon_s: f64, trace_dur_s: f32) -> Vec<Fig16Row> {
             UserTrace::generate(style, trace_dur_s, 100 + i as u64)
         })
         .collect();
-    let test =
-        UserTrace::generate(livo_capture::usertrace::TraceStyle::Inspect, trace_dur_s, 999);
+    let test = UserTrace::generate(
+        livo_capture::usertrace::TraceStyle::Inspect,
+        trace_dur_s,
+        999,
+    );
     let train_refs: Vec<&UserTrace> = train.iter().collect();
     let train_samples = build_samples(&train_refs, window, horizon_frames);
     let test_samples = build_samples(&[&test], window, horizon_frames);
@@ -318,6 +325,10 @@ mod tests {
         let kalman = rows.iter().find(|r| r.hidden.is_none()).unwrap();
         let narrow = rows.iter().find(|r| r.hidden == Some(3)).unwrap();
         assert!(kalman.position_m < narrow.position_m);
-        assert!(kalman.position_m < 0.1, "Kalman position error {}", kalman.position_m);
+        assert!(
+            kalman.position_m < 0.1,
+            "Kalman position error {}",
+            kalman.position_m
+        );
     }
 }

@@ -119,23 +119,51 @@ mod tests {
     use super::*;
 
     fn livo() -> QoeInputs {
-        QoeInputs { pssim_geometry: 87.8, pssim_color: 82.9, stall_rate: 0.017, fps: 30.0 }
+        QoeInputs {
+            pssim_geometry: 87.8,
+            pssim_color: 82.9,
+            stall_rate: 0.017,
+            fps: 30.0,
+        }
     }
     fn nocull() -> QoeInputs {
-        QoeInputs { pssim_geometry: 81.0, pssim_color: 80.9, stall_rate: 0.079, fps: 28.0 }
+        QoeInputs {
+            pssim_geometry: 81.0,
+            pssim_color: 80.9,
+            stall_rate: 0.079,
+            fps: 28.0,
+        }
     }
     fn meshreduce() -> QoeInputs {
-        QoeInputs { pssim_geometry: 67.0, pssim_color: 77.3, stall_rate: 0.0, fps: 12.1 }
+        QoeInputs {
+            pssim_geometry: 67.0,
+            pssim_color: 77.3,
+            stall_rate: 0.0,
+            fps: 12.1,
+        }
     }
     fn draco() -> QoeInputs {
-        QoeInputs { pssim_geometry: 28.3, pssim_color: 29.9, stall_rate: 0.693, fps: 4.6 }
+        QoeInputs {
+            pssim_geometry: 28.3,
+            pssim_color: 29.9,
+            stall_rate: 0.693,
+            fps: 4.6,
+        }
     }
 
     #[test]
     fn anchors_match_paper_within_tolerance() {
         assert!((mos(&livo()) - 4.1).abs() < 0.35, "LiVo {}", mos(&livo()));
-        assert!((mos(&nocull()) - 3.4).abs() < 0.45, "NoCull {}", mos(&nocull()));
-        assert!((mos(&meshreduce()) - 2.5).abs() < 0.5, "MeshReduce {}", mos(&meshreduce()));
+        assert!(
+            (mos(&nocull()) - 3.4).abs() < 0.45,
+            "NoCull {}",
+            mos(&nocull())
+        );
+        assert!(
+            (mos(&meshreduce()) - 2.5).abs() < 0.5,
+            "MeshReduce {}",
+            mos(&meshreduce())
+        );
         assert!((mos(&draco()) - 1.5).abs() < 0.4, "Draco {}", mos(&draco()));
     }
 
@@ -148,8 +176,18 @@ mod tests {
 
     #[test]
     fn mos_is_bounded() {
-        let perfect = QoeInputs { pssim_geometry: 100.0, pssim_color: 100.0, stall_rate: 0.0, fps: 30.0 };
-        let terrible = QoeInputs { pssim_geometry: 0.0, pssim_color: 0.0, stall_rate: 1.0, fps: 0.0 };
+        let perfect = QoeInputs {
+            pssim_geometry: 100.0,
+            pssim_color: 100.0,
+            stall_rate: 0.0,
+            fps: 30.0,
+        };
+        let terrible = QoeInputs {
+            pssim_geometry: 0.0,
+            pssim_color: 0.0,
+            stall_rate: 1.0,
+            fps: 0.0,
+        };
         assert!(mos(&perfect) <= 5.0);
         assert!(mos(&terrible) >= 1.0);
         assert!(mos(&perfect) > 4.5);
@@ -168,7 +206,11 @@ mod tests {
     fn participant_scores_center_on_mos() {
         let scores = study_scores(&livo(), 200, 42);
         let m: f64 = scores.iter().map(|&s| s as f64).sum::<f64>() / scores.len() as f64;
-        assert!((m - mos(&livo())).abs() < 0.3, "mean {m} vs mos {}", mos(&livo()));
+        assert!(
+            (m - mos(&livo())).abs() < 0.3,
+            "mean {m} vs mos {}",
+            mos(&livo())
+        );
         assert!(scores.iter().all(|&s| (1..=5).contains(&s)));
         // Not everyone agrees.
         assert!(scores.iter().any(|&s| s != scores[0]));

@@ -18,7 +18,9 @@ pub fn table1(profile: &EvalProfile) -> String {
     out.push_str("Table 1: throughput (TPS) and utilisation vs trace capacity\n");
     out.push_str("  paper: trace-1  MeshReduce 40.19 Mbps (18.5%) | LiVo 158.75 Mbps (73.2%)\n");
     out.push_str("  paper: trace-2  MeshReduce 27.75 Mbps (31.1%) | LiVo  82.21 Mbps (92.2%)\n");
-    out.push_str("  (measured numbers are at evaluation scale; compare the *utilisation* columns)\n\n");
+    out.push_str(
+        "  (measured numbers are at evaluation scale; compare the *utilisation* columns)\n\n",
+    );
     out.push_str("  trace    | scheme      | mean cap (Mbps) | mean TPS (Mbps) | util (%)\n");
     out.push_str("  ---------+-------------+-----------------+-----------------+---------\n");
     for trace in TraceId::ALL {
@@ -101,8 +103,12 @@ pub fn table4(duration_s: f32, seed: u64) -> String {
 pub fn table5(grid: &[GridResult]) -> String {
     let mut out = String::new();
     out.push_str("Table 5: comment shares (%) — Low/Medium/High per category\n");
-    out.push_str("  paper LiVo row:        fps 0/0/100, stalls 70.8/25/4.2, quality 6.1/33.3/60.6\n");
-    out.push_str("  paper Draco-Oracle:    fps 94.4/5.6/0, stalls 0/12.5/87.5, quality 35/45/20\n\n");
+    out.push_str(
+        "  paper LiVo row:        fps 0/0/100, stalls 70.8/25/4.2, quality 6.1/33.3/60.6\n",
+    );
+    out.push_str(
+        "  paper Draco-Oracle:    fps 94.4/5.6/0, stalls 0/12.5/87.5, quality 35/45/20\n\n",
+    );
     out.push_str("  scheme       | frame rate L/M/H   | stalls L/M/H       | quality L/M/H\n");
     out.push_str("  -------------+--------------------+--------------------+------------------\n");
     for &scheme in &Scheme::STUDY {
@@ -111,7 +117,9 @@ pub fn table5(grid: &[GridResult]) -> String {
             continue;
         }
         let q = qoe::QoeInputs {
-            pssim_geometry: stats::mean(&cells.iter().map(|c| c.pssim_geometry).collect::<Vec<_>>()),
+            pssim_geometry: stats::mean(
+                &cells.iter().map(|c| c.pssim_geometry).collect::<Vec<_>>(),
+            ),
             pssim_color: stats::mean(&cells.iter().map(|c| c.pssim_color).collect::<Vec<_>>()),
             stall_rate: stats::mean(&cells.iter().map(|c| c.stall_rate).collect::<Vec<_>>()),
             fps: stats::mean(&cells.iter().map(|c| c.mean_fps).collect::<Vec<_>>()),
@@ -135,7 +143,9 @@ pub fn table6(profile: &EvalProfile) -> String {
     let mut out = String::new();
     out.push_str("Table 6: per-component latency (ms)\n");
     out.push_str("  paper: sender ≈64, WebRTC transmission ≈137 (100 ms jitter buffer), receiver ≈53, render <6\n");
-    out.push_str("  (processing columns measured on this machine at reduced scale — compare shape)\n\n");
+    out.push_str(
+        "  (processing columns measured on this machine at reduced scale — compare shape)\n\n",
+    );
     for (name, cull) in [("LiVo", true), ("LiVo-NoCull", false)] {
         let cfg = ConferenceConfig::builder(VideoId::Band2)
             .cull(cull)
@@ -145,7 +155,8 @@ pub fn table6(profile: &EvalProfile) -> String {
             .quality_every(profile.quality_every)
             .build()
             .expect("table6 profile is valid");
-        let trace = BandwidthTrace::generate(TraceId::Trace1, profile.duration_s + 5.0, profile.seed);
+        let trace =
+            BandwidthTrace::generate(TraceId::Trace1, profile.duration_s + 5.0, profile.seed);
         let s = ConferenceRunner::new(cfg).run(trace);
         let t = s.timings;
         out.push_str(&format!(
@@ -193,7 +204,9 @@ pub fn bench_snapshot(profile: &EvalProfile) -> String {
                 "camera_scale",
                 // Via the f32 decimal form, so 0.08f32 prints as 0.08 and
                 // not its f64-widened 0.079999998….
-                format!("{}", profile.camera_scale).parse().unwrap_or(profile.camera_scale as f64),
+                format!("{}", profile.camera_scale)
+                    .parse()
+                    .unwrap_or(profile.camera_scale as f64),
             )
             .field_u64("n_cameras", profile.n_cameras as u64)
             .field_f64("duration_s", profile.duration_s as f64)
@@ -408,8 +421,14 @@ pub fn fig15(profile: &EvalProfile) -> String {
     for g in guards {
         out.push_str(&format!("  {g:>3} cm"));
         for w in windows {
-            let r = rows.iter().find(|r| r.guard_cm == g && r.window_frames == w).unwrap();
-            out.push_str(&format!("| {:>6.2} ({:.2})  ", r.accuracy_pct, r.sent_fraction));
+            let r = rows
+                .iter()
+                .find(|r| r.guard_cm == g && r.window_frames == w)
+                .unwrap();
+            out.push_str(&format!(
+                "| {:>6.2} ({:.2})  ",
+                r.accuracy_pct, r.sent_fraction
+            ));
         }
         out.push('\n');
     }
@@ -460,7 +479,8 @@ pub fn fig17(profile: &EvalProfile) -> String {
 pub fn fig18_19(profile: &EvalProfile) -> String {
     let bitrates = [60.0, 90.0, 120.0];
     let splits = [0.6, 0.75, 0.9];
-    let rows = experiments::fig18_19_static_vs_dynamic(VideoId::Office1, &bitrates, &splits, profile);
+    let rows =
+        experiments::fig18_19_static_vs_dynamic(VideoId::Office1, &bitrates, &splits, profile);
     let mut out = String::new();
     out.push_str("Figs. 18-19: static vs dynamic split, office1 (paper: dynamic within 0.5 geometry / 3 colour PSSIM of best static)\n\n");
     out.push_str("  bitrate | split   | PSSIM geom | PSSIM color\n");
@@ -485,7 +505,8 @@ pub fn fig20_21(profile: &EvalProfile) -> String {
     out.push_str("  ---------+-----------+--------------+------------+--------------\n");
     for video in VideoId::ALL {
         let livo = experiments::run_cell(Scheme::Livo, video, TraceId::Trace2, 0, profile);
-        let noadapt = experiments::run_cell(Scheme::LivoNoAdapt, video, TraceId::Trace2, 0, profile);
+        let noadapt =
+            experiments::run_cell(Scheme::LivoNoAdapt, video, TraceId::Trace2, 0, profile);
         out.push_str(&format!(
             "  {:<8} | {:>9.1} | {:>12.1} | {:>10.1} | {:>12.1}\n",
             video.name(),
@@ -518,7 +539,9 @@ pub fn figa2(profile: &EvalProfile) -> String {
 /// Fig. A.3: trace variability.
 pub fn figa3(duration_s: f32, seed: u64) -> String {
     let mut out = String::new();
-    out.push_str("Fig. A.3: bandwidth trace variability (mean |Δ| between consecutive samples / mean)\n\n");
+    out.push_str(
+        "Fig. A.3: bandwidth trace variability (mean |Δ| between consecutive samples / mean)\n\n",
+    );
     for id in TraceId::ALL {
         let t = BandwidthTrace::generate(id, duration_s, seed);
         out.push_str(&format!(

@@ -112,7 +112,12 @@ pub struct RgbdCamera {
 
 impl RgbdCamera {
     pub fn new(intrinsics: CameraIntrinsics, pose: Pose) -> Self {
-        RgbdCamera { intrinsics, pose, min_range_m: 0.25, max_range_m: 6.0 }
+        RgbdCamera {
+            intrinsics,
+            pose,
+            min_range_m: 0.25,
+            max_range_m: 6.0,
+        }
     }
 
     /// Local→world matrix.
@@ -215,9 +220,7 @@ mod tests {
         let pose = Pose::new(Vec3::new(0.0, 0.0, -2.0), Quat::IDENTITY);
         let cam = RgbdCamera::new(CameraIntrinsics::kinect_depth(1.0), pose);
         let k = cam.intrinsics;
-        let w = cam
-            .pixel_to_world(k.width / 2, k.height / 2, 2000)
-            .unwrap();
+        let w = cam.pixel_to_world(k.width / 2, k.height / 2, 2000).unwrap();
         // Camera at z=-2 looking +Z; a 2 m depth at the principal point lands
         // near the world origin.
         assert!(w.length() < 0.01, "got {w:?}");

@@ -29,7 +29,12 @@ pub struct FrustumParams {
 impl Default for FrustumParams {
     /// A headset-like viewing volume: ~90° horizontal FoV, 16:9, 10 cm–10 m.
     fn default() -> Self {
-        FrustumParams { hfov: crate::angles::to_radians(90.0), aspect: 16.0 / 9.0, near: 0.1, far: 10.0 }
+        FrustumParams {
+            hfov: crate::angles::to_radians(90.0),
+            aspect: 16.0 / 9.0,
+            near: 0.1,
+            far: 10.0,
+        }
     }
 }
 
@@ -64,12 +69,17 @@ impl Frustum {
         let top_dir = (fwd + up * half_v).normalized();
         let bottom_dir = (fwd - up * half_v).normalized();
 
-        let left = Plane::from_point_normal(eye, left_dir.cross(up).normalized().flip_toward(right));
-        let right_p = Plane::from_point_normal(eye, right_dir.cross(up).normalized().flip_toward(-right));
+        let left =
+            Plane::from_point_normal(eye, left_dir.cross(up).normalized().flip_toward(right));
+        let right_p =
+            Plane::from_point_normal(eye, right_dir.cross(up).normalized().flip_toward(-right));
         let top = Plane::from_point_normal(eye, top_dir.cross(right).normalized().flip_toward(-up));
-        let bottom = Plane::from_point_normal(eye, bottom_dir.cross(right).normalized().flip_toward(up));
+        let bottom =
+            Plane::from_point_normal(eye, bottom_dir.cross(right).normalized().flip_toward(up));
 
-        Frustum { planes: [near, far, left, right_p, top, bottom] }
+        Frustum {
+            planes: [near, far, left, right_p, top, bottom],
+        }
     }
 
     /// True when the point is inside or on the boundary.
@@ -107,6 +117,46 @@ impl Frustum {
         }
         Frustum { planes }
     }
+
+    /// Fraction of the viewing volume of `(pose, params)` that falls inside
+    /// `self`, estimated on a deterministic `n³` stratified sample grid
+    /// (cell centres in view-space `(u, v, depth)`, depth uniform between
+    /// the near and far planes).
+    ///
+    /// This is the overlap measure the SFU uses to decide whether two
+    /// subscribers' predicted frusta are similar enough to share one
+    /// cull+encode pass: mutual coverage close to 1 means either receiver
+    /// could be served from the union of the two volumes at little extra
+    /// cost. It is an estimate — grid resolution `n` trades accuracy for
+    /// the `n³` containment tests — but it is exact at the extremes:
+    /// identical volumes give 1.0 and disjoint volumes give 0.0.
+    pub fn coverage_of(&self, pose: &Pose, params: &FrustumParams, n: usize) -> f32 {
+        let n = n.max(1);
+        let fwd = pose.forward();
+        let right = pose.right();
+        let up = pose.up();
+        let eye = pose.position;
+        let half_h = (params.hfov * 0.5).tan();
+        let half_v = half_h / params.aspect;
+        let mut inside = 0usize;
+        for k in 0..n {
+            // Depth at the cell centre; linear in distance, so near cells —
+            // where a head-mounted viewer's attention lives — are sampled
+            // as densely as far ones per metre of frustum.
+            let z = params.near + (params.far - params.near) * ((k as f32 + 0.5) / n as f32);
+            for j in 0..n {
+                let v = -1.0 + 2.0 * ((j as f32 + 0.5) / n as f32);
+                for i in 0..n {
+                    let u = -1.0 + 2.0 * ((i as f32 + 0.5) / n as f32);
+                    let p = eye + fwd * z + right * (u * half_h * z) + up * (v * half_v * z);
+                    if self.contains(p) {
+                        inside += 1;
+                    }
+                }
+            }
+        }
+        inside as f32 / (n * n * n) as f32
+    }
 }
 
 /// Internal helper: orient a normal to point the same way as a reference.
@@ -132,7 +182,12 @@ mod tests {
     fn viewer_at_origin() -> Frustum {
         Frustum::from_params(
             &Pose::IDENTITY,
-            &FrustumParams { hfov: std::f32::consts::FRAC_PI_2, aspect: 1.0, near: 0.5, far: 10.0 },
+            &FrustumParams {
+                hfov: std::f32::consts::FRAC_PI_2,
+                aspect: 1.0,
+                near: 0.5,
+                far: 10.0,
+            },
         )
     }
 
@@ -222,10 +277,67 @@ mod tests {
         let pose = Pose::look_at(Vec3::ZERO, Vec3::new(-5.0, 0.0, 0.0), Vec3::Y);
         let f = Frustum::from_params(
             &pose,
-            &FrustumParams { hfov: 1.0, aspect: 1.0, near: 0.1, far: 10.0 },
+            &FrustumParams {
+                hfov: 1.0,
+                aspect: 1.0,
+                near: 0.1,
+                far: 10.0,
+            },
         );
         assert!(f.contains(Vec3::new(-3.0, 0.0, 0.0)));
         assert!(!f.contains(Vec3::new(3.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn coverage_of_self_is_total_and_disjoint_is_zero() {
+        let params = FrustumParams {
+            hfov: 1.2,
+            aspect: 1.0,
+            near: 0.2,
+            far: 8.0,
+        };
+        let pose = Pose::IDENTITY;
+        let f = Frustum::from_params(&pose, &params);
+        assert_eq!(
+            f.coverage_of(&pose, &params, 4),
+            1.0,
+            "a frustum covers itself"
+        );
+
+        // A viewer facing the opposite way shares no volume.
+        let away = Pose::look_at(Vec3::ZERO, Vec3::new(0.0, 0.0, -5.0), Vec3::Y);
+        let g = Frustum::from_params(&away, &params);
+        assert_eq!(
+            g.coverage_of(&pose, &params, 4),
+            0.0,
+            "opposed frusta are disjoint"
+        );
+    }
+
+    #[test]
+    fn coverage_shrinks_with_divergence() {
+        let params = FrustumParams {
+            hfov: 1.2,
+            aspect: 1.0,
+            near: 0.2,
+            far: 8.0,
+        };
+        let base = Pose::IDENTITY;
+        let f = Frustum::from_params(&base, &params);
+        let mut last = 1.0f32;
+        for yaw in [0.1f32, 0.4, 0.8, 1.6] {
+            let turned = Pose::new(Vec3::ZERO, Quat::from_yaw_pitch_roll(yaw, 0.0, 0.0));
+            let c = f.coverage_of(&turned, &params, 5);
+            assert!(
+                c <= last + 1e-6,
+                "coverage not monotone at yaw {yaw}: {c} > {last}"
+            );
+            last = c;
+        }
+        assert!(
+            last < 0.3,
+            "a 1.6 rad turn shares little volume, got {last}"
+        );
     }
 
     #[test]

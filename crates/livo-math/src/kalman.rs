@@ -30,7 +30,11 @@ pub struct DMatrix {
 
 impl DMatrix {
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     pub fn identity(n: usize) -> Self {
@@ -78,7 +82,11 @@ impl DMatrix {
     }
 
     pub fn mul(&self, o: &DMatrix) -> DMatrix {
-        assert_eq!(self.cols, o.rows, "dimension mismatch {}x{} * {}x{}", self.rows, self.cols, o.rows, o.cols);
+        assert_eq!(
+            self.cols, o.rows,
+            "dimension mismatch {}x{} * {}x{}",
+            self.rows, self.cols, o.rows, o.cols
+        );
         let mut out = DMatrix::zeros(self.rows, o.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -211,7 +219,14 @@ impl KalmanFilter {
     pub fn new(f: DMatrix, h: DMatrix, q: DMatrix, r: DMatrix, x0: DMatrix, p0: DMatrix) -> Self {
         assert_eq!(f.rows, f.cols);
         assert_eq!(h.cols, f.rows);
-        KalmanFilter { x: x0, p: p0, f, h, q, r }
+        KalmanFilter {
+            x: x0,
+            p: p0,
+            f,
+            h,
+            q,
+            r,
+        }
     }
 
     /// Time update: propagate state and covariance one step.
@@ -224,7 +239,10 @@ impl KalmanFilter {
     pub fn update(&mut self, z: &DMatrix) {
         let ht = self.h.transpose();
         let s = self.h.mul(&self.p).mul(&ht).add(&self.r);
-        let k = self.p.mul(&ht).mul(&s.inverse().expect("innovation covariance singular"));
+        let k = self
+            .p
+            .mul(&ht)
+            .mul(&s.inverse().expect("innovation covariance singular"));
         let y = z.sub(&self.h.mul(&self.x));
         self.x = self.x.add(&k.mul(&y));
         let i = DMatrix::identity(self.p.rows);
@@ -325,7 +343,11 @@ impl PosePredictor {
         // Block-diagonal Q: positions use pos_accel_var, angles ang_accel_var.
         let mut q = white_noise_q(dims, cfg.dt, 1.0);
         for i in 0..dims {
-            let var = if i < 3 { cfg.pos_accel_var } else { cfg.ang_accel_var };
+            let var = if i < 3 {
+                cfg.pos_accel_var
+            } else {
+                cfg.ang_accel_var
+            };
             q[(i, i)] *= var;
             q[(i, dims + i)] *= var;
             q[(dims + i, i)] *= var;
@@ -388,7 +410,10 @@ impl PosePredictor {
             angles::wrap(x[(4, 0)] as f32),
             angles::wrap(x[(5, 0)] as f32),
         );
-        Pose { position, orientation }
+        Pose {
+            position,
+            orientation,
+        }
     }
 
     /// Current filtered pose (zero-horizon prediction).
@@ -473,14 +498,21 @@ mod tests {
             kf.predict();
             kf.update(&DMatrix::col_vec(&[v_true * t]));
         }
-        assert!((kf.x[(1, 0)] - v_true).abs() < 0.05, "estimated v = {}", kf.x[(1, 0)]);
+        assert!(
+            (kf.x[(1, 0)] - v_true).abs() < 0.05,
+            "estimated v = {}",
+            kf.x[(1, 0)]
+        );
     }
 
     #[test]
     fn pose_predictor_initializes_from_first_observation() {
         let mut p = PosePredictor::new(PosePredictorConfig::default());
         assert!(!p.is_initialized());
-        let pose = Pose::new(Vec3::new(1.0, 2.0, 3.0), Quat::from_axis_angle(Vec3::Y, 0.4));
+        let pose = Pose::new(
+            Vec3::new(1.0, 2.0, 3.0),
+            Quat::from_axis_angle(Vec3::Y, 0.4),
+        );
         p.observe(&pose);
         assert!(p.is_initialized());
         let (pos_err, ang_err) = p.filtered().error_to(&pose);
@@ -523,7 +555,10 @@ mod tests {
         let start = 3.0f32; // near +π
         for step in 0..40 {
             let yaw = angles::wrap(start + rate * step as f32 * dt);
-            p.observe(&Pose::new(Vec3::ZERO, Quat::from_yaw_pitch_roll(yaw, 0.0, 0.0)));
+            p.observe(&Pose::new(
+                Vec3::ZERO,
+                Quat::from_yaw_pitch_roll(yaw, 0.0, 0.0),
+            ));
         }
         let horizon = 0.1;
         let yaw_truth = angles::wrap(start + rate * (39.0 * dt + horizon as f32));
@@ -536,7 +571,10 @@ mod tests {
     fn stationary_pose_prediction_stays_put() {
         let cfg = PosePredictorConfig::default();
         let mut p = PosePredictor::new(cfg);
-        let pose = Pose::new(Vec3::new(0.5, 1.7, -2.0), Quat::from_yaw_pitch_roll(1.0, 0.2, 0.0));
+        let pose = Pose::new(
+            Vec3::new(0.5, 1.7, -2.0),
+            Quat::from_yaw_pitch_roll(1.0, 0.2, 0.0),
+        );
         for _ in 0..30 {
             p.observe(&pose);
         }

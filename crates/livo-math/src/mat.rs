@@ -12,8 +12,9 @@ pub struct Mat3 {
 }
 
 impl Mat3 {
-    pub const IDENTITY: Mat3 =
-        Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
 
     #[inline]
     pub const fn from_rows(r0: [f32; 3], r1: [f32; 3], r2: [f32; 3]) -> Self {

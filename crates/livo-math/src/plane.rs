@@ -20,14 +20,20 @@ impl Plane {
     /// Plane through `point` with the given `normal` (normalised here).
     pub fn from_point_normal(point: Vec3, normal: Vec3) -> Self {
         let n = normal.normalized();
-        Plane { normal: n, d: -n.dot(point) }
+        Plane {
+            normal: n,
+            d: -n.dot(point),
+        }
     }
 
     /// Plane through three points; normal follows the right-hand rule
     /// `(b-a) × (c-a)`.
     pub fn from_points(a: Vec3, b: Vec3, c: Vec3) -> Self {
         let n = (b - a).cross(c - a).normalized();
-        Plane { normal: n, d: -n.dot(a) }
+        Plane {
+            normal: n,
+            d: -n.dot(a),
+        }
     }
 
     /// Signed distance; positive on the normal side.
@@ -38,14 +44,20 @@ impl Plane {
 
     /// Flip orientation.
     pub fn flipped(&self) -> Plane {
-        Plane { normal: -self.normal, d: -self.d }
+        Plane {
+            normal: -self.normal,
+            d: -self.d,
+        }
     }
 
     /// Translate the plane along its own normal by `offset` (positive moves
     /// it in the normal direction, which *shrinks* the inside half-space).
     /// Frustum guard bands use negative offsets to grow the frustum.
     pub fn offset(&self, offset: f32) -> Plane {
-        Plane { normal: self.normal, d: self.d - offset }
+        Plane {
+            normal: self.normal,
+            d: self.d - offset,
+        }
     }
 
     /// Transform the plane by a rigid transform `xf` (maps plane in frame A
@@ -56,7 +68,10 @@ impl Plane {
         let n = xf.transform_dir(self.normal);
         let p_on = self.normal * -self.d; // closest point to origin
         let p2 = xf.transform_point(p_on);
-        Plane { normal: n, d: -n.dot(p2) }
+        Plane {
+            normal: n,
+            d: -n.dot(p2),
+        }
     }
 }
 
@@ -109,7 +124,11 @@ mod tests {
         );
         let xf = pose.to_mat4();
         let moved = plane.transformed(&xf);
-        for p in [Vec3::ZERO, Vec3::new(0.5, -1.0, 4.0), Vec3::new(-2.0, 0.3, 2.0)] {
+        for p in [
+            Vec3::ZERO,
+            Vec3::new(0.5, -1.0, 4.0),
+            Vec3::new(-2.0, 0.3, 2.0),
+        ] {
             let d_before = plane.signed_distance(p);
             let d_after = moved.signed_distance(xf.transform_point(p));
             assert!((d_before - d_after).abs() < 1e-4);

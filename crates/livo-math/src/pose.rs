@@ -20,11 +20,21 @@ pub struct Pose {
 }
 
 impl Pose {
-    pub const IDENTITY: Pose =
-        Pose { position: Vec3::ZERO, orientation: Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 } };
+    pub const IDENTITY: Pose = Pose {
+        position: Vec3::ZERO,
+        orientation: Quat {
+            w: 1.0,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        },
+    };
 
     pub fn new(position: Vec3, orientation: Quat) -> Self {
-        Pose { position, orientation }
+        Pose {
+            position,
+            orientation,
+        }
     }
 
     /// A pose at `eye` looking toward `target`, with `up` as the approximate
@@ -42,7 +52,10 @@ impl Pose {
         let true_up = fwd.cross(right).normalized();
         // Columns are the local axes expressed in world coordinates.
         let m = crate::mat::Mat3::from_cols(right, true_up, fwd);
-        Pose { position: eye, orientation: mat3_to_quat(&m) }
+        Pose {
+            position: eye,
+            orientation: mat3_to_quat(&m),
+        }
     }
 
     /// Forward (+Z of the local frame) in world coordinates.
@@ -169,9 +182,14 @@ mod tests {
             Quat::from_axis_angle(Vec3::Y, 1.3),
         );
         let p = Vec3::new(0.5, 0.5, 0.5);
-        assert!(approx(pose.to_mat4().transform_point(p), pose.transform_point(p), 1e-5));
         assert!(approx(
-            pose.world_to_local().transform_point(pose.transform_point(p)),
+            pose.to_mat4().transform_point(p),
+            pose.transform_point(p),
+            1e-5
+        ));
+        assert!(approx(
+            pose.world_to_local()
+                .transform_point(pose.transform_point(p)),
             p,
             1e-4
         ));
@@ -190,11 +208,7 @@ mod tests {
 
     #[test]
     fn look_at_orthonormal_axes() {
-        let pose = Pose::look_at(
-            Vec3::new(2.0, 1.5, 2.0),
-            Vec3::new(0.0, 1.0, 0.0),
-            Vec3::Y,
-        );
+        let pose = Pose::look_at(Vec3::new(2.0, 1.5, 2.0), Vec3::new(0.0, 1.0, 0.0), Vec3::Y);
         let (r, u, f) = (pose.right(), pose.up(), pose.forward());
         assert!(r.dot(u).abs() < 1e-4);
         assert!(r.dot(f).abs() < 1e-4);
@@ -205,7 +219,10 @@ mod tests {
     #[test]
     fn interpolate_endpoints() {
         let a = Pose::new(Vec3::ZERO, Quat::IDENTITY);
-        let b = Pose::new(Vec3::new(2.0, 0.0, 0.0), Quat::from_axis_angle(Vec3::Y, 1.0));
+        let b = Pose::new(
+            Vec3::new(2.0, 0.0, 0.0),
+            Quat::from_axis_angle(Vec3::Y, 1.0),
+        );
         let at0 = a.interpolate(&b, 0.0);
         let at1 = a.interpolate(&b, 1.0);
         assert!(approx(at0.position, a.position, 1e-5));

@@ -23,7 +23,12 @@ impl Default for Quat {
 }
 
 impl Quat {
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     pub fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
         Quat { w, x, y, z }.normalized()
@@ -33,7 +38,12 @@ impl Quat {
     pub fn from_axis_angle(axis: Vec3, angle: f32) -> Self {
         let axis = axis.normalized();
         let (s, c) = (angle * 0.5).sin_cos();
-        Quat { w: c, x: axis.x * s, y: axis.y * s, z: axis.z * s }
+        Quat {
+            w: c,
+            x: axis.x * s,
+            y: axis.y * s,
+            z: axis.z * s,
+        }
     }
 
     /// Intrinsic yaw (about +Y), pitch (about +X), roll (about +Z) — the
@@ -68,12 +78,22 @@ impl Quat {
         if n <= f32::EPSILON {
             Quat::IDENTITY
         } else {
-            Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+            Quat {
+                w: self.w / n,
+                x: self.x / n,
+                y: self.y / n,
+                z: self.z / n,
+            }
         }
     }
 
     pub fn conjugate(self) -> Quat {
-        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Quat {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Rotate a vector by this quaternion.
@@ -111,7 +131,12 @@ impl Quat {
     pub fn slerp(self, mut o: Quat, t: f32) -> Quat {
         let mut dot = self.w * o.w + self.x * o.x + self.y * o.y + self.z * o.z;
         if dot < 0.0 {
-            o = Quat { w: -o.w, x: -o.x, y: -o.y, z: -o.z };
+            o = Quat {
+                w: -o.w,
+                x: -o.x,
+                y: -o.y,
+                z: -o.z,
+            };
             dot = -dot;
         }
         if dot > 0.9995 {
@@ -249,7 +274,12 @@ mod tests {
     #[test]
     fn angle_to_handles_double_cover() {
         let q = Quat::from_axis_angle(Vec3::Y, 0.4);
-        let nq = Quat { w: -q.w, x: -q.x, y: -q.y, z: -q.z };
+        let nq = Quat {
+            w: -q.w,
+            x: -q.x,
+            y: -q.y,
+            z: -q.z,
+        };
         // q and -q are the same rotation
         assert!(q.angle_to(nq) < 1e-3);
     }

@@ -16,7 +16,12 @@ fn noisy(pose: Pose, rng: &mut ChaCha8Rng) -> Pose {
         rng.gen_range(-0.002..0.002),
     );
     let rot = Quat::from_axis_angle(
-        Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)).normalized(),
+        Vec3::new(
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        )
+        .normalized(),
         rng.gen_range(-0.004..0.004),
     );
     Pose::new(pose.position + jitter, rot * pose.orientation)
@@ -48,7 +53,10 @@ fn circular_walk_prediction_error_is_bounded() {
     assert!(pos_err < 0.05, "position error {pos_err} m");
     assert!(ang_err < 5.0, "angle error {ang_err}°");
     let (naive_err, _) = pose_at(149.0 * DT).error_to(&truth);
-    assert!(pos_err < naive_err, "must beat the zero-motion baseline ({naive_err} m)");
+    assert!(
+        pos_err < naive_err,
+        "must beat the zero-motion baseline ({naive_err} m)"
+    );
 }
 
 /// Stop-and-go: after the wearer halts, the velocity estimate must wash out
@@ -60,14 +68,20 @@ fn stop_and_go_velocity_washes_out() {
     // 2 s of walking, then 2 s standing still.
     for i in 0..60 {
         let t = i as f32 * DT;
-        p.observe(&noisy(Pose::new(Vec3::new(t, 1.6, 0.0), Quat::IDENTITY), &mut rng));
+        p.observe(&noisy(
+            Pose::new(Vec3::new(t, 1.6, 0.0), Quat::IDENTITY),
+            &mut rng,
+        ));
     }
     let stop = Vec3::new(59.0 * DT, 1.6, 0.0);
     for _ in 0..60 {
         p.observe(&noisy(Pose::new(stop, Quat::IDENTITY), &mut rng));
     }
     let (pos_err, _) = p.predict(0.3).error_to(&Pose::new(stop, Quat::IDENTITY));
-    assert!(pos_err < 0.03, "phantom motion after stop: {pos_err} m at 300 ms horizon");
+    assert!(
+        pos_err < 0.03,
+        "phantom motion after stop: {pos_err} m at 300 ms horizon"
+    );
 }
 
 /// Longer horizons degrade gracefully (Fig. 15's window axis): error grows
@@ -107,7 +121,10 @@ fn error_grows_with_horizon() {
 fn long_run_with_noise_stays_stable() {
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let mut p = PosePredictor::new(PosePredictorConfig::default());
-    let still = Pose::new(Vec3::new(0.3, 1.65, -2.0), Quat::from_yaw_pitch_roll(0.5, -0.1, 0.0));
+    let still = Pose::new(
+        Vec3::new(0.3, 1.65, -2.0),
+        Quat::from_yaw_pitch_roll(0.5, -0.1, 0.0),
+    );
     for _ in 0..3000 {
         p.observe(&noisy(still, &mut rng));
     }
@@ -127,11 +144,17 @@ fn multiple_full_turns_cross_the_seam_cleanly() {
     let rate = 1.2f32; // rad/s, ~3 full turns over 16 s
     for i in 0..500 {
         let yaw = angles::wrap(rate * i as f32 * DT);
-        p.observe(&Pose::new(Vec3::new(0.0, 1.6, 0.0), Quat::from_yaw_pitch_roll(yaw, 0.0, 0.0)));
+        p.observe(&Pose::new(
+            Vec3::new(0.0, 1.6, 0.0),
+            Quat::from_yaw_pitch_roll(yaw, 0.0, 0.0),
+        ));
     }
     let horizon = 0.1f64;
     let yaw_truth = angles::wrap(rate * (499.0 * DT + horizon as f32));
-    let truth = Pose::new(Vec3::new(0.0, 1.6, 0.0), Quat::from_yaw_pitch_roll(yaw_truth, 0.0, 0.0));
+    let truth = Pose::new(
+        Vec3::new(0.0, 1.6, 0.0),
+        Quat::from_yaw_pitch_roll(yaw_truth, 0.0, 0.0),
+    );
     let (_, ang_err) = p.predict(horizon).error_to(&truth);
     assert!(ang_err < 4.0, "seam-crossing error {ang_err}°");
 }

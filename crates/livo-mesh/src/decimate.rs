@@ -46,13 +46,22 @@ pub fn decimate_with_cell(mesh: &Mesh, cell: f32) -> Mesh {
     let mut triangles: Vec<[u32; 3]> = mesh
         .triangles
         .iter()
-        .map(|t| [remap[t[0] as usize], remap[t[1] as usize], remap[t[2] as usize]])
+        .map(|t| {
+            [
+                remap[t[0] as usize],
+                remap[t[1] as usize],
+                remap[t[2] as usize],
+            ]
+        })
         .filter(|t| t[0] != t[1] && t[1] != t[2] && t[0] != t[2])
         .collect();
     // Deduplicate collapsed triangles.
     triangles.sort_unstable();
     triangles.dedup();
-    let mut out = Mesh { vertices, triangles };
+    let mut out = Mesh {
+        vertices,
+        triangles,
+    };
     out.compact();
     out
 }

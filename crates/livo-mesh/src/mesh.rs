@@ -47,22 +47,29 @@ impl Mesh {
 
     /// Total surface area.
     pub fn surface_area(&self) -> f32 {
-        (0..self.triangles.len()).map(|i| self.triangle_area(i)).sum()
+        (0..self.triangles.len())
+            .map(|i| self.triangle_area(i))
+            .sum()
     }
 
     /// Append all geometry of `other`.
     pub fn merge(&mut self, other: &Mesh) {
         let base = self.vertices.len() as u32;
         self.vertices.extend_from_slice(&other.vertices);
-        self.triangles
-            .extend(other.triangles.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+        self.triangles.extend(
+            other
+                .triangles
+                .iter()
+                .map(|t| [t[0] + base, t[1] + base, t[2] + base]),
+        );
     }
 
     /// Drop triangles that reference out-of-range vertices (defensive, used
     /// after lossy geometry coding) and unused vertices.
     pub fn compact(&mut self) {
         let n = self.vertices.len() as u32;
-        self.triangles.retain(|t| t.iter().all(|&i| i < n) && t[0] != t[1] && t[1] != t[2] && t[0] != t[2]);
+        self.triangles
+            .retain(|t| t.iter().all(|&i| i < n) && t[0] != t[1] && t[1] != t[2] && t[0] != t[2]);
         let mut used = vec![false; self.vertices.len()];
         for t in &self.triangles {
             for &i in t {
@@ -99,10 +106,22 @@ mod tests {
     fn quad() -> Mesh {
         Mesh {
             vertices: vec![
-                Vertex { position: Vec3::new(0.0, 0.0, 0.0), color: [255, 0, 0] },
-                Vertex { position: Vec3::new(1.0, 0.0, 0.0), color: [0, 255, 0] },
-                Vertex { position: Vec3::new(1.0, 1.0, 0.0), color: [0, 0, 255] },
-                Vertex { position: Vec3::new(0.0, 1.0, 0.0), color: [255, 255, 0] },
+                Vertex {
+                    position: Vec3::new(0.0, 0.0, 0.0),
+                    color: [255, 0, 0],
+                },
+                Vertex {
+                    position: Vec3::new(1.0, 0.0, 0.0),
+                    color: [0, 255, 0],
+                },
+                Vertex {
+                    position: Vec3::new(1.0, 1.0, 0.0),
+                    color: [0, 0, 255],
+                },
+                Vertex {
+                    position: Vec3::new(0.0, 1.0, 0.0),
+                    color: [255, 255, 0],
+                },
             ],
             triangles: vec![[0, 1, 2], [0, 2, 3]],
         }
@@ -130,7 +149,10 @@ mod tests {
         let mut m = quad();
         m.triangles.push([0, 0, 1]); // degenerate
         m.triangles.push([0, 1, 99]); // out of range
-        m.vertices.push(Vertex { position: Vec3::splat(9.0), color: [0; 3] }); // unused
+        m.vertices.push(Vertex {
+            position: Vec3::splat(9.0),
+            color: [0; 3],
+        }); // unused
         m.compact();
         assert_eq!(m.triangle_count(), 2);
         assert_eq!(m.vertex_count(), 4);

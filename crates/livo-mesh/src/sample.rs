@@ -29,7 +29,9 @@ pub fn sample_points(mesh: &Mesh, n: usize, seed: u64) -> PointCloud {
     let mut out = PointCloud::with_capacity(n);
     for _ in 0..n {
         let r = rng.gen_range(0.0..total);
-        let ti = cum.partition_point(|&c| c < r).min(mesh.triangle_count() - 1);
+        let ti = cum
+            .partition_point(|&c| c < r)
+            .min(mesh.triangle_count() - 1);
         let [ia, ib, ic] = mesh.triangles[ti];
         let va = &mesh.vertices[ia as usize];
         let vb = &mesh.vertices[ib as usize];
@@ -61,10 +63,22 @@ mod tests {
     fn quad(z: f32) -> Mesh {
         Mesh {
             vertices: vec![
-                Vertex { position: Vec3::new(0.0, 0.0, z), color: [255, 0, 0] },
-                Vertex { position: Vec3::new(1.0, 0.0, z), color: [255, 0, 0] },
-                Vertex { position: Vec3::new(1.0, 1.0, z), color: [255, 0, 0] },
-                Vertex { position: Vec3::new(0.0, 1.0, z), color: [255, 0, 0] },
+                Vertex {
+                    position: Vec3::new(0.0, 0.0, z),
+                    color: [255, 0, 0],
+                },
+                Vertex {
+                    position: Vec3::new(1.0, 0.0, z),
+                    color: [255, 0, 0],
+                },
+                Vertex {
+                    position: Vec3::new(1.0, 1.0, z),
+                    color: [255, 0, 0],
+                },
+                Vertex {
+                    position: Vec3::new(0.0, 1.0, z),
+                    color: [255, 0, 0],
+                },
             ],
             triangles: vec![[0, 1, 2], [0, 2, 3]],
         }
@@ -92,12 +106,30 @@ mod tests {
         // should land on the big one.
         let m = Mesh {
             vertices: vec![
-                Vertex { position: Vec3::new(0.0, 0.0, 0.0), color: [0; 3] },
-                Vertex { position: Vec3::new(10.0, 0.0, 0.0), color: [0; 3] },
-                Vertex { position: Vec3::new(0.0, 10.0, 0.0), color: [0; 3] },
-                Vertex { position: Vec3::new(100.0, 0.0, 0.0), color: [0; 3] },
-                Vertex { position: Vec3::new(100.1, 0.0, 0.0), color: [0; 3] },
-                Vertex { position: Vec3::new(100.0, 0.1, 0.0), color: [0; 3] },
+                Vertex {
+                    position: Vec3::new(0.0, 0.0, 0.0),
+                    color: [0; 3],
+                },
+                Vertex {
+                    position: Vec3::new(10.0, 0.0, 0.0),
+                    color: [0; 3],
+                },
+                Vertex {
+                    position: Vec3::new(0.0, 10.0, 0.0),
+                    color: [0; 3],
+                },
+                Vertex {
+                    position: Vec3::new(100.0, 0.0, 0.0),
+                    color: [0; 3],
+                },
+                Vertex {
+                    position: Vec3::new(100.1, 0.0, 0.0),
+                    color: [0; 3],
+                },
+                Vertex {
+                    position: Vec3::new(100.0, 0.1, 0.0),
+                    color: [0; 3],
+                },
             ],
             triangles: vec![[0, 1, 2], [3, 4, 5]],
         };

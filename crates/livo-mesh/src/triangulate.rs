@@ -68,8 +68,7 @@ pub fn triangulate_depth(
                 vertex_index[i01],
                 vertex_index[i11],
             );
-            let (d00, d10, d01, d11) =
-                (depth_of[i00], depth_of[i10], depth_of[i01], depth_of[i11]);
+            let (d00, d10, d01, d11) = (depth_of[i00], depth_of[i10], depth_of[i01], depth_of[i11]);
             // First triangle: 00-01-10.
             if v00 != u32::MAX
                 && v01 != u32::MAX
@@ -165,10 +164,16 @@ mod tests {
         // No triangle may span the jump: check every triangle's extent in
         // depth is small.
         for (i, t) in m.triangles.iter().enumerate() {
-            let zs: Vec<f32> = t.iter().map(|&v| m.vertices[v as usize].position.z).collect();
+            let zs: Vec<f32> = t
+                .iter()
+                .map(|&v| m.vertices[v as usize].position.z)
+                .collect();
             let spread = zs.iter().cloned().fold(0.0f32, f32::max)
                 - zs.iter().cloned().fold(f32::INFINITY, f32::min);
-            assert!(spread < 0.5, "triangle {i} bridges the discontinuity: {spread}");
+            assert!(
+                spread < 0.5,
+                "triangle {i} bridges the discontinuity: {spread}"
+            );
         }
     }
 

@@ -79,7 +79,11 @@ mod tests {
         (0..n)
             .map(|_| {
                 Point::new(
-                    Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)),
+                    Vec3::new(
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ),
                     [rng.gen(), rng.gen(), rng.gen()],
                 )
             })
@@ -133,7 +137,10 @@ mod tests {
         };
         let small = p2p_psnr(&a, &noisy(0.001, &mut rng), 0.2).unwrap();
         let large = p2p_psnr(&a, &noisy(0.05, &mut rng), 0.2).unwrap();
-        assert!(small > large, "psnr small-noise {small} vs large-noise {large}");
+        assert!(
+            small > large,
+            "psnr small-noise {small} vs large-noise {large}"
+        );
     }
 
     #[test]

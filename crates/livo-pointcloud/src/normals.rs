@@ -107,7 +107,11 @@ pub fn estimate_at(cloud: &PointCloud, idxs: &[u32]) -> Option<SurfaceEstimate> 
     let (evals, evecs) = eigen_sym3(cov);
     let normal = Vec3::new(evecs[0][0], evecs[1][0], evecs[2][0]).normalized();
     let total: f32 = evals.iter().map(|&e| e.max(0.0)).sum();
-    let curvature = if total <= 1e-12 { 0.0 } else { evals[0].max(0.0) / total };
+    let curvature = if total <= 1e-12 {
+        0.0
+    } else {
+        evals[0].max(0.0) / total
+    };
     Some(SurfaceEstimate { normal, curvature })
 }
 
@@ -120,8 +124,10 @@ pub fn estimate_all(cloud: &PointCloud, index: &VoxelIndex<'_>, k: usize) -> Vec
         .iter()
         .map(|p| {
             let nn = index.knn(p.position, k);
-            estimate_at(cloud, &nn)
-                .unwrap_or(SurfaceEstimate { normal: Vec3::Y, curvature: 0.0 })
+            estimate_at(cloud, &nn).unwrap_or(SurfaceEstimate {
+                normal: Vec3::Y,
+                curvature: 0.0,
+            })
         })
         .collect()
 }
@@ -205,7 +211,10 @@ mod tests {
         let ests = estimate_all(&pc, &idx, 9);
         assert_eq!(ests.len(), pc.len());
         // Most normals should be ±Y.
-        let good = ests.iter().filter(|e| e.normal.dot(Vec3::Y).abs() > 0.99).count();
+        let good = ests
+            .iter()
+            .filter(|e| e.normal.dot(Vec3::Y).abs() > 0.99)
+            .count();
         assert!(good as f32 / ests.len() as f32 > 0.9);
     }
 

@@ -41,7 +41,9 @@ impl PointCloud {
     }
 
     pub fn with_capacity(n: usize) -> Self {
-        PointCloud { points: Vec::with_capacity(n) }
+        PointCloud {
+            points: Vec::with_capacity(n),
+        }
     }
 
     pub fn from_points(points: Vec<Point>) -> Self {
@@ -131,7 +133,9 @@ impl PointCloud {
 
 impl FromIterator<Point> for PointCloud {
     fn from_iter<T: IntoIterator<Item = Point>>(iter: T) -> Self {
-        PointCloud { points: iter.into_iter().collect() }
+        PointCloud {
+            points: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -146,7 +150,10 @@ mod tests {
             for j in 0..n_per_axis {
                 for k in 0..n_per_axis {
                     let f = |v: usize| (v as f32 / (n_per_axis - 1) as f32 - 0.5) * size;
-                    pc.push(Point::new(Vec3::new(f(i), f(j), f(k)), [i as u8, j as u8, k as u8]));
+                    pc.push(Point::new(
+                        Vec3::new(f(i), f(j), f(k)),
+                        [i as u8, j as u8, k as u8],
+                    ));
                 }
             }
         }
@@ -198,16 +205,30 @@ mod tests {
         let pose = Pose::new(Vec3::new(0.0, 0.0, -5.0), Quat::IDENTITY);
         let f = livo_math::Frustum::from_params(
             &pose,
-            &FrustumParams { hfov: 1.2, aspect: 1.0, near: 0.1, far: 20.0 },
+            &FrustumParams {
+                hfov: 1.2,
+                aspect: 1.0,
+                near: 0.1,
+                far: 20.0,
+            },
         );
         let culled = pc.cull_to_frustum(&f);
         assert_eq!(culled.len(), pc.len(), "whole cube visible");
 
         // Narrow frustum looking away sees nothing.
-        let away = Pose::look_at(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, -10.0), Vec3::Y);
+        let away = Pose::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::new(0.0, 0.0, -10.0),
+            Vec3::Y,
+        );
         let f2 = livo_math::Frustum::from_params(
             &away,
-            &FrustumParams { hfov: 0.5, aspect: 1.0, near: 0.1, far: 20.0 },
+            &FrustumParams {
+                hfov: 0.5,
+                aspect: 1.0,
+                near: 0.1,
+                far: 20.0,
+            },
         );
         assert_eq!(pc.cull_to_frustum(&f2).len(), 0);
         assert_eq!(pc.fraction_in_frustum(&f2), 0.0);

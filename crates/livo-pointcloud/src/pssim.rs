@@ -39,7 +39,11 @@ pub struct PssimConfig {
 
 impl Default for PssimConfig {
     fn default() -> Self {
-        PssimConfig { neighbors: 9, cell_size: 0.08, curvature_weight: 0.3 }
+        PssimConfig {
+            neighbors: 9,
+            cell_size: 0.08,
+            curvature_weight: 0.3,
+        }
     }
 }
 
@@ -136,9 +140,7 @@ fn one_sided(
     let mut col_acc = 0.0;
     let n = a.len() as f64;
     for (i, p) in a.points.iter().enumerate() {
-        let j = b_index
-            .nearest(p.position)
-            .expect("non-empty cloud") as usize;
+        let j = b_index.nearest(p.position).expect("non-empty cloud") as usize;
         let g = rel_sim(fa.geo_dispersion[i], fb.geo_dispersion[j]);
         let c = rel_sim(fa.curvature[i], fb.curvature[j]);
         geo_acc += (1.0 - cfg.curvature_weight) * g + cfg.curvature_weight * c;
@@ -155,7 +157,11 @@ fn one_sided(
 /// Returns `None` when either cloud has fewer points than the neighbourhood
 /// size (the metric is undefined there; the evaluation harness scores stalled
 /// frames as 0 explicitly, as the paper does).
-pub fn pssim(reference: &PointCloud, distorted: &PointCloud, cfg: &PssimConfig) -> Option<PssimScore> {
+pub fn pssim(
+    reference: &PointCloud,
+    distorted: &PointCloud,
+    cfg: &PssimConfig,
+) -> Option<PssimScore> {
     if reference.len() <= cfg.neighbors || distorted.len() <= cfg.neighbors {
         return None;
     }
@@ -212,7 +218,11 @@ mod tests {
     }
 
     fn cfg() -> PssimConfig {
-        PssimConfig { neighbors: 8, cell_size: 0.05, curvature_weight: 0.3 }
+        PssimConfig {
+            neighbors: 8,
+            cell_size: 0.05,
+            curvature_weight: 0.3,
+        }
     }
 
     #[test]

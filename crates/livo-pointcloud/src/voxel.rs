@@ -68,7 +68,11 @@ impl VoxelGrid {
     /// Number of voxels the cloud occupies at this resolution.
     pub fn occupied_count(&self, cloud: &PointCloud) -> usize {
         let inv = 1.0 / self.voxel_size;
-        let mut keys: Vec<Key> = cloud.points.iter().map(|p| key_of(p.position, inv)).collect();
+        let mut keys: Vec<Key> = cloud
+            .points
+            .iter()
+            .map(|p| key_of(p.position, inv))
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         keys.len()
@@ -101,8 +105,17 @@ impl<'a> VoxelIndex<'a> {
             hi = (hi.0.max(k.0), hi.1.max(k.1), hi.2.max(k.2));
             cells.entry(k).or_default().push(i as u32);
         }
-        let cell_bounds = if cells.is_empty() { None } else { Some((lo, hi)) };
-        VoxelIndex { cloud, cells, cell_size, cell_bounds }
+        let cell_bounds = if cells.is_empty() {
+            None
+        } else {
+            Some((lo, hi))
+        };
+        VoxelIndex {
+            cloud,
+            cells,
+            cell_size,
+            cell_bounds,
+        }
     }
 
     pub fn cloud(&self) -> &PointCloud {
@@ -160,8 +173,7 @@ impl<'a> VoxelIndex<'a> {
                         }
                         if let Some(idxs) = self.cells.get(&(cx + dx, cy + dy, cz + dz)) {
                             for &i in idxs {
-                                let d2 =
-                                    self.cloud.points[i as usize].position.distance_squared(q);
+                                let d2 = self.cloud.points[i as usize].position.distance_squared(q);
                                 if best.is_none_or(|(_, bd)| d2 < bd) {
                                     best = Some((i, d2));
                                 }
@@ -216,8 +228,11 @@ impl<'a> VoxelIndex<'a> {
         };
         let cs = self.cell_size;
         let corner_lo = Vec3::new(lo.0 as f32 * cs, lo.1 as f32 * cs, lo.2 as f32 * cs);
-        let corner_hi =
-            Vec3::new((hi.0 + 1) as f32 * cs, (hi.1 + 1) as f32 * cs, (hi.2 + 1) as f32 * cs);
+        let corner_hi = Vec3::new(
+            (hi.0 + 1) as f32 * cs,
+            (hi.1 + 1) as f32 * cs,
+            (hi.2 + 1) as f32 * cs,
+        );
         let far = Vec3::new(
             (q.x - corner_lo.x).abs().max((q.x - corner_hi.x).abs()),
             (q.y - corner_lo.y).abs().max((q.y - corner_hi.y).abs()),
@@ -326,7 +341,12 @@ mod tests {
         // Centre + 6 face neighbours at distance exactly 1.
         assert_eq!(hits.len(), 7);
         for &h in &hits {
-            assert!(pc.points[h as usize].position.distance(Vec3::new(2.0, 2.0, 2.0)) <= 1.0 + 1e-6);
+            assert!(
+                pc.points[h as usize]
+                    .position
+                    .distance(Vec3::new(2.0, 2.0, 2.0))
+                    <= 1.0 + 1e-6
+            );
         }
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the point-cloud substrate.
 
-use livo_pointcloud::{pssim, Point, PointCloud, PssimConfig, VoxelGrid, VoxelIndex};
 use livo_math::Vec3;
+use livo_pointcloud::{pssim, Point, PointCloud, PssimConfig, VoxelGrid, VoxelIndex};
 use proptest::prelude::*;
 
 fn arb_cloud(max_points: usize) -> impl Strategy<Value = PointCloud> {

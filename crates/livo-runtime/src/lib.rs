@@ -61,7 +61,10 @@ struct QueueState {
 impl WorkerQueue {
     fn new() -> Self {
         WorkerQueue {
-            state: Mutex::new(QueueState { tasks: VecDeque::new(), shutdown: false }),
+            state: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
             ready: Condvar::new(),
         }
     }
@@ -111,7 +114,11 @@ struct ScopeState {
 
 impl ScopeState {
     fn new() -> Self {
-        ScopeState { pending: Mutex::new(0), done: Condvar::new(), panic: Mutex::new(None) }
+        ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
     }
 
     fn task_started(&self) {
@@ -196,7 +203,9 @@ impl WorkerPool {
     /// execution-latency histogram, `tasks` counter, and a one-shot
     /// `threads` gauge.
     pub fn attach_telemetry(&self, registry: &Arc<MetricsRegistry>, prefix: &str) {
-        registry.gauge(&format!("{prefix}.threads")).set(self.threads() as f64);
+        registry
+            .gauge(&format!("{prefix}.threads"))
+            .set(self.threads() as f64);
         let t = PoolTelemetry {
             queue_depth: registry.gauge(&format!("{prefix}.queue_depth")),
             task_ms: registry.histogram(&format!("{prefix}.task_ms")),
@@ -359,7 +368,9 @@ pub fn threads_from_env() -> usize {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
@@ -424,7 +435,10 @@ mod tests {
         }));
         let payload = outcome.expect_err("scope must propagate the task panic");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
-        assert!(msg.contains("stripe 5 exploded"), "unexpected payload {msg:?}");
+        assert!(
+            msg.contains("stripe 5 exploded"),
+            "unexpected payload {msg:?}"
+        );
         // Sibling stripes still ran; the pool survives for the next scope.
         assert_eq!(ran.load(Ordering::Relaxed), 11);
         let after = AtomicU64::new(0);

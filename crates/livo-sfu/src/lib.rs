@@ -1,0 +1,36 @@
+//! Selective-forwarding fan-out for multiparty LiVo conferences.
+//!
+//! A two-party LiVo call runs one sender pipeline per receiver: the sender
+//! culls against *that* receiver's predicted frustum and encodes at *that*
+//! receiver's estimated downlink rate. Scaling the same design to N
+//! receivers multiplies the most expensive stages — cull and 2D encode —
+//! by N, even though co-watching viewers typically look at the same part
+//! of the scene from nearby poses.
+//!
+//! This crate adds the missing middle box: a selective forwarding unit
+//! (SFU) that sits between one capture pipeline and N subscribers.
+//!
+//! - [`cluster`]: groups subscribers whose *predicted* viewing frusta
+//!   mutually overlap (volume-sampled coverage, [`livo_math::Frustum::coverage_of`]).
+//! - [`subscriber`]: per-subscriber downlink state — an own
+//!   [`livo_transport::RtcSession`] (trace-driven link + GCC), an own
+//!   Kalman frustum predictor, an own RMSE-balancing bandwidth split, and
+//!   a receiver-side decode stand-in used by tests and examples.
+//! - [`router`]: the SFU proper. One **union cull + tile + encode pass per
+//!   cluster** (not per subscriber), encoded at the *fastest* member's
+//!   estimated rate; stragglers optionally receive a re-quantised
+//!   lower-rate variant. PLIs from any member fan in to a single shared
+//!   intra for the whole cluster; NACK recovery stays per-downlink inside
+//!   each session. Cluster passes run in parallel on a
+//!   [`livo_runtime::WorkerPool`].
+//!
+//! Everything runs in virtual time ([`livo_transport::Micros`]) and is
+//! deterministic for a given configuration.
+
+pub mod cluster;
+pub mod router;
+pub mod subscriber;
+
+pub use cluster::{cluster_views, mutual_coverage, ClusterParams, ViewVolume};
+pub use router::{ClusterOutput, RouteSummary, Router, RouterConfig};
+pub use subscriber::{Subscriber, SubscriberConfig, SubscriberStats};

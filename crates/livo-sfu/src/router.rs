@@ -1,0 +1,790 @@
+//! The SFU router: one capture stream in, N adapted downlinks out.
+//!
+//! Per frame the router (1) refreshes every subscriber's predicted
+//! frustum, (2) groups subscribers into clusters by mutual frustum
+//! coverage, (3) runs **one union-cull + tile + encode pass per cluster**
+//! in parallel on the worker pool, with the encode rate capped at the
+//! fastest member's GCC estimate, and (4) forwards the cluster bitstream
+//! down every member's own [`RtcSession`]. Members whose estimate falls
+//! far behind the cluster leader can receive a re-quantised lower-rate
+//! variant (an own P chain encoded from the same canvases) instead of
+//! being dragged down — or dragging the cluster down.
+//!
+//! Keyframe control fans in: a PLI from *any* member (or a decode
+//! failure / P-chain break in the receiver stand-in) schedules a single
+//! shared intra for that member's cluster, not one per subscriber. NACK
+//! retransmissions never reach the router at all — they are handled
+//! per-downlink inside each member's session.
+
+use crate::cluster::{cluster_views, ClusterParams, ViewVolume};
+use crate::subscriber::{Subscriber, SubscriberConfig};
+use bytes::Bytes;
+use livo_capture::{BandwidthTrace, RgbdFrame};
+use livo_codec2d::{luma_rmse, EncodedFrame, Encoder, EncoderConfig, FrameType, PixelFormat};
+use livo_core::cull::cull_views_union;
+use livo_core::depth::{DepthCodec, DepthEncoding};
+use livo_core::pipeline::EncodedPair;
+use livo_core::tile::{compose_color, compose_depth, TileLayout};
+use livo_math::{Frustum, Pose, RgbdCamera};
+use livo_runtime::WorkerPool;
+use livo_telemetry::{stage, Counter, Gauge, Histogram, MetricsRegistry, TelemetrySpan};
+use livo_transport::{Micros, StreamId};
+use std::sync::Arc;
+
+/// Configuration of the SFU router.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Capture/forward rate in frames per second.
+    pub fps: u32,
+    /// Frustum clustering knobs.
+    pub cluster: ClusterParams,
+    /// Encode sharing. `false` = naive fan-out: every subscriber is a
+    /// singleton cluster with its own cull+encode pass (the baseline the
+    /// scaling benchmark compares against).
+    pub sharing: bool,
+    /// A member whose estimate is below `straggler_fraction` × the
+    /// cluster leader's estimate receives a re-quantised lower-rate
+    /// variant instead of the shared bitstream. `0.0` disables the
+    /// variant (stragglers then receive the shared stream and rely on
+    /// their own transport to shed the overflow).
+    pub straggler_fraction: f64,
+    /// Fraction of a member's bandwidth estimate budgeted to media.
+    pub budget_fraction: f64,
+    /// Re-run clustering every this many frames (membership changes and
+    /// PLIs take effect immediately regardless).
+    pub recluster_every: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            fps: 30,
+            cluster: ClusterParams::default(),
+            sharing: true,
+            straggler_fraction: 0.0,
+            budget_fraction: 0.80,
+            recluster_every: 15,
+        }
+    }
+}
+
+/// Floor on per-frame encode budgets, bits (matches the conference
+/// runner's floor).
+const MIN_FRAME_BITS: u64 = 2_000;
+
+/// What one cluster produced for one frame.
+pub struct ClusterOutput {
+    /// Stable cluster identity: the lowest member id.
+    pub key: usize,
+    /// Member subscriber ids, seed first.
+    pub members: Vec<usize>,
+    /// Members that were forwarded the low-rate variant this frame.
+    pub low_members: Vec<usize>,
+    /// The shared encodes.
+    pub color: EncodedFrame,
+    pub depth: EncodedFrame,
+    /// The re-quantised straggler variant, when any member needed it.
+    pub low: Option<(EncodedFrame, EncodedFrame)>,
+    /// Fraction of valid pixels the union cull kept.
+    pub keep_fraction: f64,
+    /// Media rate the shared encode was capped at, bits/second.
+    pub target_bps: f64,
+    /// Sender-side reconstruction error of the shared encode, fed to the
+    /// members' RMSE-balancing splitters.
+    pub rmse_color: f64,
+    pub rmse_depth_mm: f64,
+}
+
+/// Result of routing one frame.
+pub struct RouteSummary {
+    /// Sequence number embedded in the forwarded canvases.
+    pub seq: u32,
+    /// Cull+encode passes this frame (= number of clusters).
+    pub encode_passes: u64,
+    /// Additional re-quantised straggler passes this frame.
+    pub low_variant_passes: u64,
+    pub clusters: Vec<ClusterOutput>,
+}
+
+/// Per-cluster encoder state. Encoders are stateful (open GOP, P chains),
+/// so they live with the cluster across frames; the cluster's identity is
+/// its lowest member id, which keeps a cluster's P chain alive across
+/// recluster calls that do not change its seed.
+struct ClusterState {
+    key: usize,
+    members: Vec<usize>,
+    color_enc: Encoder,
+    depth_enc: Encoder,
+    /// Lazily created straggler-variant encoders (own P chains).
+    low_enc: Option<(Encoder, Encoder)>,
+    /// Low-variant assignment of `members` last frame; a flip forces a
+    /// shared intra so both P chains restart from a clean reference.
+    low_assign: Vec<bool>,
+    /// Next encode must be an intra (new cluster, membership change,
+    /// variant flip, or PLI fan-in).
+    needs_key: bool,
+}
+
+impl ClusterState {
+    fn new(key: usize, members: Vec<usize>, layout: &TileLayout) -> Self {
+        let n = members.len();
+        ClusterState {
+            key,
+            members,
+            color_enc: Encoder::new(Self::enc_cfg(layout, PixelFormat::Yuv420)),
+            depth_enc: Encoder::new(Self::enc_cfg(layout, PixelFormat::Y16)),
+            low_enc: None,
+            low_assign: vec![false; n],
+            needs_key: true,
+        }
+    }
+
+    /// Open-GOP encoder config: intras only at start-up and on demand,
+    /// exactly like the two-party pipeline.
+    fn enc_cfg(layout: &TileLayout, format: PixelFormat) -> EncoderConfig {
+        let mut cfg = EncoderConfig::new(layout.canvas_w, layout.canvas_h, format);
+        cfg.gop_length = 0;
+        cfg
+    }
+
+    fn low_pair(&mut self, layout: &TileLayout) -> &mut (Encoder, Encoder) {
+        self.low_enc.get_or_insert_with(|| {
+            (
+                Encoder::new(Self::enc_cfg(layout, PixelFormat::Yuv420)),
+                Encoder::new(Self::enc_cfg(layout, PixelFormat::Y16)),
+            )
+        })
+    }
+}
+
+/// Pre-computed per-cluster work order, derived from member estimates
+/// before the parallel encode pass (the pass itself must not touch the
+/// subscribers).
+struct ClusterJob {
+    frusta: Vec<Frustum>,
+    color_bits: u64,
+    depth_bits: u64,
+    target_bps: f64,
+    /// Aligned with the cluster's members: who gets the low variant.
+    low_assign: Vec<bool>,
+    low_color_bits: u64,
+    low_depth_bits: u64,
+}
+
+/// Metric handles resolved once at construction so the per-frame path
+/// never touches the registry's name map.
+struct RouterMetrics {
+    encode_passes: Arc<Counter>,
+    low_variant_passes: Arc<Counter>,
+    shared_intras: Arc<Counter>,
+    pli_fanin: Arc<Counter>,
+    broadcast_frames: Arc<Counter>,
+    reclusters: Arc<Counter>,
+    clusters_gauge: Arc<Gauge>,
+    route_ms: Arc<Histogram>,
+    keep_fraction: Arc<Histogram>,
+}
+
+impl RouterMetrics {
+    fn new(reg: &Arc<MetricsRegistry>) -> Self {
+        RouterMetrics {
+            encode_passes: reg.counter("sfu.encode_passes"),
+            low_variant_passes: reg.counter("sfu.low_variant_passes"),
+            shared_intras: reg.counter("sfu.shared_intras"),
+            pli_fanin: reg.counter("sfu.pli_fanin"),
+            broadcast_frames: reg.counter("sfu.broadcast_frames"),
+            reclusters: reg.counter("sfu.reclusters"),
+            clusters_gauge: reg.gauge("sfu.clusters"),
+            route_ms: reg.histogram("sfu.route_ms"),
+            keep_fraction: reg.histogram("sfu.keep_fraction"),
+        }
+    }
+}
+
+/// The selective forwarding unit.
+pub struct Router {
+    cfg: RouterConfig,
+    cameras: Vec<RgbdCamera>,
+    layout: TileLayout,
+    depth_codec: DepthCodec,
+    pool: Arc<WorkerPool>,
+    registry: Arc<MetricsRegistry>,
+    metrics: RouterMetrics,
+    subscribers: Vec<Subscriber>,
+    clusters: Vec<ClusterState>,
+    frame_idx: u64,
+    membership_dirty: bool,
+}
+
+impl Router {
+    /// Build a router for the given capture rig. The tile layout (and
+    /// therefore every cluster encoder's canvas) is fixed by the rig.
+    pub fn new(cfg: RouterConfig, cameras: Vec<RgbdCamera>) -> Self {
+        assert!(!cameras.is_empty(), "SFU needs a capture rig");
+        let k = cameras[0].intrinsics;
+        let layout = TileLayout::new(k.width as usize, k.height as usize, cameras.len());
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = RouterMetrics::new(&registry);
+        Router {
+            cfg,
+            cameras,
+            layout,
+            depth_codec: DepthCodec::new(6000, DepthEncoding::ScaledY16),
+            pool: livo_runtime::global().clone(),
+            registry,
+            metrics,
+            subscribers: Vec::new(),
+            clusters: Vec::new(),
+            frame_idx: 0,
+            membership_dirty: false,
+        }
+    }
+
+    /// Worker pool used for the per-cluster parallel passes (defaults to
+    /// the process-global pool).
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = pool;
+    }
+
+    /// The router's metrics registry (`sfu.*` and per-subscriber
+    /// `sfu.sub.<name>.*` families).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    pub fn layout(&self) -> &TileLayout {
+        &self.layout
+    }
+
+    /// Add a subscriber on its own emulated downlink. Returns the
+    /// subscriber id used by [`observe_pose`](Self::observe_pose) and
+    /// the cluster reports.
+    pub fn add_subscriber(&mut self, cfg: SubscriberConfig, trace: BandwidthTrace) -> usize {
+        let id = self.subscribers.len();
+        let mut sub = Subscriber::new(cfg, trace);
+        let prefix = format!("sfu.sub.{}.transport", sub.name);
+        sub.session
+            .attach_telemetry(&self.registry, &prefix, Some(sub.timeline.clone()));
+        self.subscribers.push(sub);
+        self.membership_dirty = true;
+        id
+    }
+
+    pub fn subscriber(&self, id: usize) -> &Subscriber {
+        &self.subscribers[id]
+    }
+
+    pub fn subscribers(&self) -> &[Subscriber] {
+        &self.subscribers
+    }
+
+    /// Feed subscriber `id`'s (feedback-delayed) head pose.
+    pub fn observe_pose(&mut self, id: usize, pose: &Pose) {
+        self.subscribers[id].predictor.observe(pose);
+    }
+
+    /// Current cluster membership, `(key, members)` per cluster.
+    pub fn cluster_membership(&self) -> Vec<(usize, Vec<usize>)> {
+        self.clusters
+            .iter()
+            .map(|c| (c.key, c.members.clone()))
+            .collect()
+    }
+
+    /// Cluster index currently containing subscriber `id`, if any.
+    fn cluster_of(&self, id: usize) -> Option<usize> {
+        self.clusters.iter().position(|c| c.members.contains(&id))
+    }
+
+    /// Advance the transport simulations to `now`: drain links, collect
+    /// feedback, fan PLIs and receiver resync requests into their
+    /// clusters' shared-intra schedule, and run the decode stand-ins.
+    pub fn tick(&mut self, now: Micros) {
+        let mut need_key: Vec<usize> = Vec::new();
+        for (id, sub) in self.subscribers.iter_mut().enumerate() {
+            sub.session.tick(now);
+            let mut wants_key = false;
+            if sub.session.take_pli(now) {
+                self.metrics.pli_fanin.inc();
+                wants_key = true;
+            }
+            for af in sub.session.recv_frames() {
+                if sub.receiver.ingest(&af, &mut sub.stats) {
+                    wants_key = true;
+                }
+            }
+            if wants_key {
+                need_key.push(id);
+            }
+        }
+        for id in need_key {
+            if let Some(ci) = self.cluster_of(id) {
+                self.clusters[ci].needs_key = true;
+            }
+        }
+    }
+
+    /// Forward an already-encoded pair to *every* subscriber, bypassing
+    /// cull and re-encode — the pure forwarding path for sources that
+    /// ship their own [`EncodedPair`]s (e.g. a `SenderPipeline` output).
+    /// No per-cluster adaptation happens on this path.
+    pub fn broadcast_encoded(&mut self, now: Micros, pair: &EncodedPair) {
+        for sub in &mut self.subscribers {
+            sub.session.send_frame(
+                now,
+                StreamId::Color,
+                pair.seq as u64,
+                Bytes::from(pair.color.data.clone()),
+                pair.color.frame_type == FrameType::Intra,
+            );
+            sub.session.send_frame(
+                now,
+                StreamId::Depth,
+                pair.seq as u64,
+                Bytes::from(pair.depth.data.clone()),
+                pair.depth.frame_type == FrameType::Intra,
+            );
+            sub.stats.frames_forwarded += 1;
+            self.metrics.broadcast_frames.inc();
+        }
+    }
+
+    /// Recompute clusters from the subscribers' current predicted frusta
+    /// and reconcile encoder state: a cluster keeps its encoders (and P
+    /// chain) as long as its seed survives; any membership change forces
+    /// a shared intra.
+    fn recluster(&mut self) {
+        let volumes: Vec<ViewVolume> = self
+            .subscribers
+            .iter()
+            .map(|s| ViewVolume {
+                frustum: s.predictor.predicted_frustum(),
+                pose: s.predictor.predicted_pose(),
+                params: *s.predictor.params(),
+            })
+            .collect();
+        let groups: Vec<Vec<usize>> = if self.cfg.sharing {
+            cluster_views(&volumes, &self.cfg.cluster)
+        } else {
+            (0..self.subscribers.len()).map(|i| vec![i]).collect()
+        };
+        let mut old: Vec<Option<ClusterState>> = self.clusters.drain(..).map(Some).collect();
+        for members in groups {
+            let key = members[0];
+            let reuse = old
+                .iter_mut()
+                .find(|slot| slot.as_ref().is_some_and(|c| c.key == key))
+                .and_then(Option::take);
+            match reuse {
+                Some(mut state) => {
+                    if state.members != members {
+                        state.needs_key = true;
+                        state.low_assign = vec![false; members.len()];
+                        state.members = members;
+                    }
+                    self.clusters.push(state);
+                }
+                None => self
+                    .clusters
+                    .push(ClusterState::new(key, members, &self.layout)),
+            }
+        }
+        self.membership_dirty = false;
+        self.metrics.reclusters.inc();
+        self.metrics.clusters_gauge.set(self.clusters.len() as f64);
+    }
+
+    /// Route one captured frame: cluster, union-cull + tile + encode once
+    /// per cluster (in parallel), forward to every member at its own
+    /// downlink, and feed the splitters. `views` is the raw (un-culled)
+    /// camera array for this frame.
+    pub fn route_frame(&mut self, now: Micros, views: &[RgbdFrame]) -> RouteSummary {
+        assert_eq!(views.len(), self.cameras.len(), "views must match the rig");
+        assert!(
+            !self.subscribers.is_empty(),
+            "route_frame with no subscribers"
+        );
+        let span = TelemetrySpan::start(&self.metrics.route_ms);
+        let seq = self.frame_idx as u32;
+
+        // Predictor horizons track each downlink's RTT (+ processing
+        // slack), exactly like the two-party sender.
+        for sub in &mut self.subscribers {
+            let owd_s = sub.session.one_way_delay_us() / 1e6;
+            sub.predictor.observe_rtt(2.0 * owd_s + 0.03);
+        }
+
+        if self.clusters.is_empty()
+            || self.membership_dirty
+            || self
+                .frame_idx
+                .is_multiple_of(self.cfg.recluster_every as u64)
+        {
+            self.recluster();
+        }
+
+        // Work orders: rates and frusta come from the members, and any
+        // low-variant flip forces a shared intra *before* the encode so
+        // no member ever receives a P frame against a reference it does
+        // not hold.
+        let mut jobs: Vec<ClusterJob> = Vec::with_capacity(self.clusters.len());
+        for state in &mut self.clusters {
+            let estimates: Vec<f64> = state
+                .members
+                .iter()
+                .map(|&m| self.subscribers[m].session.estimate_bps())
+                .collect();
+            let leader = estimates.iter().cloned().fold(f64::MIN, f64::max);
+            let leader_idx = estimates.iter().position(|&e| e == leader).unwrap_or(0);
+            let split = self.subscribers[state.members[leader_idx]].splitter.split();
+            let media = leader * self.cfg.budget_fraction / self.cfg.fps as f64;
+            let low_assign: Vec<bool> = if self.cfg.straggler_fraction > 0.0 {
+                estimates
+                    .iter()
+                    .map(|&e| e < self.cfg.straggler_fraction * leader)
+                    .collect()
+            } else {
+                vec![false; state.members.len()]
+            };
+            if low_assign != state.low_assign {
+                state.needs_key = true;
+                state.low_assign = low_assign.clone();
+            }
+            let low_leader = estimates
+                .iter()
+                .zip(&low_assign)
+                .filter(|(_, &low)| low)
+                .map(|(&e, _)| e)
+                .fold(0.0f64, f64::max);
+            let low_media = low_leader * self.cfg.budget_fraction / self.cfg.fps as f64;
+            let frusta: Vec<Frustum> = state
+                .members
+                .iter()
+                .map(|&m| self.subscribers[m].predictor.predicted_frustum())
+                .collect();
+            jobs.push(ClusterJob {
+                frusta,
+                color_bits: ((media * (1.0 - split)) as u64).max(MIN_FRAME_BITS),
+                depth_bits: ((media * split) as u64).max(MIN_FRAME_BITS),
+                target_bps: leader * self.cfg.budget_fraction,
+                low_assign,
+                low_color_bits: ((low_media * (1.0 - split)) as u64).max(MIN_FRAME_BITS),
+                low_depth_bits: ((low_media * split) as u64).max(MIN_FRAME_BITS),
+            });
+        }
+
+        // One union-cull + tile + encode pass per cluster, clusters in
+        // parallel on the pool. Work inside a task is serial — nesting
+        // pool scopes would deadlock, and cluster-level parallelism is
+        // the win the SFU is after.
+        let mut outputs: Vec<Option<ClusterOutput>> = Vec::new();
+        outputs.resize_with(self.clusters.len(), || None);
+        {
+            let cameras = &self.cameras;
+            let layout = &self.layout;
+            let codec = &self.depth_codec;
+            let pool = self.pool.clone();
+            pool.scope(|s| {
+                for ((state, job), out) in
+                    self.clusters.iter_mut().zip(&jobs).zip(outputs.iter_mut())
+                {
+                    s.spawn(move || {
+                        let mut culled = views.to_vec();
+                        let cull_stats = cull_views_union(&mut culled, cameras, &job.frusta);
+                        let color_canvas = compose_color(&culled, layout, seq);
+                        let depth_canvas = compose_depth(&culled, layout, codec, seq);
+                        let want_low = job.low_assign.iter().any(|&l| l);
+                        if state.needs_key {
+                            state.color_enc.force_keyframe();
+                            state.depth_enc.force_keyframe();
+                            if let Some((lc, ld)) = state.low_enc.as_mut() {
+                                lc.force_keyframe();
+                                ld.force_keyframe();
+                            }
+                        }
+                        let color = state.color_enc.encode(&color_canvas, job.color_bits);
+                        let depth = state.depth_enc.encode(&depth_canvas, job.depth_bits);
+                        let low = if want_low {
+                            let (lc, ld) = state.low_pair(layout);
+                            Some((
+                                lc.encode(&color_canvas, job.low_color_bits),
+                                ld.encode(&depth_canvas, job.low_depth_bits),
+                            ))
+                        } else {
+                            None
+                        };
+                        state.needs_key = false;
+                        // Sender-side reconstruction error for the
+                        // splitters (the codec's closed loop makes the
+                        // reconstruction bit-exact with the decoder).
+                        let rmse_color = luma_rmse(&color_canvas, &color.reconstruction);
+                        let scale = codec.scale() as f64;
+                        let a = &depth_canvas.planes[0].data;
+                        let b = &depth.reconstruction.planes[0].data;
+                        let mse = a
+                            .iter()
+                            .zip(b.iter())
+                            .map(|(&x, &y)| {
+                                let d = (x as f64 - y as f64) / scale;
+                                d * d
+                            })
+                            .sum::<f64>()
+                            / a.len().max(1) as f64;
+                        let low_members = state
+                            .members
+                            .iter()
+                            .zip(&job.low_assign)
+                            .filter(|(_, &l)| l)
+                            .map(|(&m, _)| m)
+                            .collect();
+                        *out = Some(ClusterOutput {
+                            key: state.key,
+                            members: state.members.clone(),
+                            low_members,
+                            color,
+                            depth,
+                            low,
+                            keep_fraction: cull_stats.keep_fraction(),
+                            target_bps: job.target_bps,
+                            rmse_color,
+                            rmse_depth_mm: mse.sqrt(),
+                        });
+                    });
+                }
+            });
+        }
+        let clusters: Vec<ClusterOutput> = outputs
+            .into_iter()
+            .map(|o| o.expect("cluster task completed"))
+            .collect();
+
+        // Forward: serial per-member packetisation (cheap next to the
+        // encode) on each member's own downlink session.
+        let elapsed_ms = span.finish_ms();
+        let mut low_variant_passes = 0u64;
+        for out in &clusters {
+            self.metrics.keep_fraction.record(out.keep_fraction);
+            if out.color.frame_type == FrameType::Intra {
+                self.metrics.shared_intras.inc();
+            }
+            if out.low.is_some() {
+                low_variant_passes += 1;
+            }
+            for &member in &out.members {
+                let is_low = out.low_members.contains(&member);
+                let (color, depth) = if is_low {
+                    let (lc, ld) = out.low.as_ref().expect("low variant encoded");
+                    (lc, ld)
+                } else {
+                    (&out.color, &out.depth)
+                };
+                let sub = &mut self.subscribers[member];
+                sub.timeline
+                    .mark_dur(self.frame_idx, stage::ENCODE, now, elapsed_ms);
+                sub.session.send_frame(
+                    now,
+                    StreamId::Color,
+                    self.frame_idx,
+                    Bytes::from(color.data.clone()),
+                    color.frame_type == FrameType::Intra,
+                );
+                sub.session.send_frame(
+                    now,
+                    StreamId::Depth,
+                    self.frame_idx,
+                    Bytes::from(depth.data.clone()),
+                    depth.frame_type == FrameType::Intra,
+                );
+                sub.stats.frames_forwarded += 1;
+                if is_low {
+                    sub.stats.low_variant_frames += 1;
+                }
+                if sub.splitter.measurement_due() {
+                    sub.splitter.update(out.rmse_depth_mm, out.rmse_color);
+                }
+            }
+        }
+        self.metrics.encode_passes.add(clusters.len() as u64);
+        self.metrics.low_variant_passes.add(low_variant_passes);
+        self.metrics.clusters_gauge.set(clusters.len() as f64);
+        self.frame_idx += 1;
+        RouteSummary {
+            seq,
+            encode_passes: clusters.len() as u64,
+            low_variant_passes,
+            clusters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livo_capture::render::render_views_at;
+    use livo_capture::{datasets::DatasetPreset, rig, VideoId};
+    use livo_math::{CameraIntrinsics, Vec3};
+
+    fn tiny_rig() -> Vec<RgbdCamera> {
+        rig::camera_ring(
+            2,
+            2.5,
+            1.4,
+            Vec3::new(0.0, 1.0, 0.0),
+            CameraIntrinsics::kinect_depth(0.05),
+        )
+    }
+
+    fn looking(yaw: f32) -> Pose {
+        let eye = Vec3::new(0.0, 1.5, 2.0);
+        let dir = Vec3::new(yaw.sin(), 0.0, -yaw.cos());
+        Pose::look_at(eye, eye + dir, Vec3::new(0.0, 1.0, 0.0))
+    }
+
+    fn views_at(cams: &[RgbdCamera], t_s: f32, seed: u32) -> Vec<RgbdFrame> {
+        let preset = DatasetPreset::load(VideoId::Band2);
+        let snap = preset.scene.at(t_s);
+        render_views_at(livo_runtime::global(), cams, &snap, seed)
+    }
+
+    fn trace() -> BandwidthTrace {
+        BandwidthTrace::constant(40.0, 10.0)
+    }
+
+    #[test]
+    fn aligned_subscribers_share_one_encode_pass() {
+        let mut router = Router::new(RouterConfig::default(), tiny_rig());
+        for i in 0..3 {
+            router.add_subscriber(SubscriberConfig::new(format!("s{i}")), trace());
+        }
+        let pose = looking(0.0);
+        for id in 0..3 {
+            router.observe_pose(id, &pose);
+        }
+        let views = views_at(&router.cameras.clone(), 0.0, 0);
+        let out = router.route_frame(0, &views);
+        assert_eq!(out.encode_passes, 1, "aligned frusta should share one pass");
+        assert_eq!(out.clusters[0].members, vec![0, 1, 2]);
+        // First pass is the cluster's intra.
+        assert_eq!(out.clusters[0].color.frame_type, FrameType::Intra);
+        let snap = router.registry().snapshot();
+        assert_eq!(snap.counter("sfu.encode_passes"), Some(1));
+    }
+
+    #[test]
+    fn naive_mode_encodes_once_per_subscriber() {
+        let cfg = RouterConfig {
+            sharing: false,
+            ..Default::default()
+        };
+        let mut router = Router::new(cfg, tiny_rig());
+        for i in 0..3 {
+            router.add_subscriber(SubscriberConfig::new(format!("s{i}")), trace());
+        }
+        let pose = looking(0.0);
+        for id in 0..3 {
+            router.observe_pose(id, &pose);
+        }
+        let views = views_at(&router.cameras.clone(), 0.0, 0);
+        let out = router.route_frame(0, &views);
+        assert_eq!(out.encode_passes, 3);
+        assert_eq!(out.clusters.len(), 3);
+    }
+
+    #[test]
+    fn opposed_subscribers_split_clusters_and_reuse_encoder_state() {
+        let mut router = Router::new(RouterConfig::default(), tiny_rig());
+        for i in 0..4 {
+            router.add_subscriber(SubscriberConfig::new(format!("s{i}")), trace());
+        }
+        let views = views_at(&router.cameras.clone(), 0.0, 0);
+        let interval: Micros = 1_000_000 / 30;
+        let mut now: Micros = 0;
+        for frame in 0..4u32 {
+            for id in 0..4 {
+                let yaw = if id % 2 == 0 {
+                    0.0
+                } else {
+                    std::f32::consts::PI
+                };
+                router.observe_pose(id, &looking(yaw));
+            }
+            let out = router.route_frame(now, &views);
+            assert_eq!(out.encode_passes, 2, "frame {frame}: two opposed clusters");
+            if frame > 0 {
+                // Established clusters keep their P chain between frames.
+                assert_eq!(out.clusters[0].color.frame_type, FrameType::Inter);
+            }
+            now += interval;
+            router.tick(now);
+        }
+        let membership = router.cluster_membership();
+        assert_eq!(membership.len(), 2);
+        assert_eq!(membership[0].1, vec![0, 2]);
+        assert_eq!(membership[1].1, vec![1, 3]);
+    }
+
+    #[test]
+    fn broadcast_path_forwards_without_encode_passes() {
+        let mut router = Router::new(RouterConfig::default(), tiny_rig());
+        router.add_subscriber(SubscriberConfig::new("a"), trace());
+        router.add_subscriber(SubscriberConfig::new("b"), trace());
+        // Hand-build a pair via a throwaway encode.
+        let views = views_at(&router.cameras.clone(), 0.0, 0);
+        let layout = router.layout().clone();
+        let color_canvas = compose_color(&views, &layout, 0);
+        let mut cfg = EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Yuv420);
+        cfg.gop_length = 0;
+        let mut enc = Encoder::new(cfg);
+        let color = enc.encode_fixed_qp(&color_canvas, 20);
+        let depth_canvas = compose_depth(
+            &views,
+            &layout,
+            &DepthCodec::new(6000, DepthEncoding::ScaledY16),
+            0,
+        );
+        let mut dcfg = EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Y16);
+        dcfg.gop_length = 0;
+        let mut denc = Encoder::new(dcfg);
+        let depth = denc.encode_fixed_qp(&depth_canvas, 14);
+        let pair = EncodedPair {
+            seq: 0,
+            color,
+            depth,
+            pipeline_latency_ms: 0.0,
+        };
+        router.broadcast_encoded(0, &pair);
+        let snap = router.registry().snapshot();
+        assert_eq!(snap.counter("sfu.broadcast_frames"), Some(2));
+        assert_eq!(snap.counter("sfu.encode_passes"), Some(0));
+        assert_eq!(router.subscriber(0).stats().frames_forwarded, 1);
+        assert_eq!(router.subscriber(1).stats().frames_forwarded, 1);
+    }
+
+    #[test]
+    fn straggler_gets_low_variant_and_flip_forces_intra() {
+        let cfg = RouterConfig {
+            straggler_fraction: 0.5,
+            ..Default::default()
+        };
+        let mut router = Router::new(cfg, tiny_rig());
+        // Same frustum, very different links: 60 Mbps vs 3 Mbps.
+        let mut fast = SubscriberConfig::new("fast");
+        fast.session.initial_estimate_bps = 20e6;
+        let mut slow = SubscriberConfig::new("slow");
+        slow.session.initial_estimate_bps = 1e6;
+        router.add_subscriber(fast, BandwidthTrace::constant(60.0, 10.0));
+        router.add_subscriber(slow, BandwidthTrace::constant(3.0, 10.0));
+        let pose = looking(0.0);
+        router.observe_pose(0, &pose);
+        router.observe_pose(1, &pose);
+        let views = views_at(&router.cameras.clone(), 0.0, 0);
+        let out = router.route_frame(0, &views);
+        assert_eq!(out.encode_passes, 1, "one shared cluster");
+        assert_eq!(out.low_variant_passes, 1, "slow member needs the variant");
+        assert_eq!(out.clusters[0].low_members, vec![1]);
+        let (lc, _) = out.clusters[0].low.as_ref().unwrap();
+        assert!(lc.data.len() <= out.clusters[0].color.data.len() * 2);
+        assert_eq!(router.subscriber(1).stats().low_variant_frames, 1);
+        assert_eq!(router.subscriber(0).stats().low_variant_frames, 0);
+    }
+}

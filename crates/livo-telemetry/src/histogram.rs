@@ -88,8 +88,12 @@ impl Histogram {
         let mut cur = self.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
-            match self.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => break,
                 Err(actual) => cur = actual,
             }
@@ -284,8 +288,7 @@ mod tests {
             th.join().unwrap();
         }
         assert_eq!(h.count(), 80_000);
-        let bucket_total: u64 =
-            h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        let bucket_total: u64 = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
         assert_eq!(bucket_total, 80_000);
     }
 
@@ -315,6 +318,9 @@ mod tests {
         }
         let per_sample_ns = t0.elapsed().as_nanos() as f64 / n as f64;
         assert_eq!(h.count(), n as u64);
-        assert!(per_sample_ns < 1_000.0, "record() took {per_sample_ns:.0} ns/sample");
+        assert!(
+            per_sample_ns < 1_000.0,
+            "record() took {per_sample_ns:.0} ns/sample"
+        );
     }
 }

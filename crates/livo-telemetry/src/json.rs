@@ -135,7 +135,9 @@ mod tests {
     fn object_writer_commas() {
         let mut s = String::new();
         let mut o = ObjectWriter::new(&mut s);
-        o.field_str("a", "x").field_u64("b", 2).field_bool("c", true);
+        o.field_str("a", "x")
+            .field_u64("b", 2)
+            .field_bool("c", true);
         o.finish();
         assert_eq!(s, "{\"a\":\"x\",\"b\":2,\"c\":true}");
     }

@@ -327,7 +327,12 @@ mod tests {
         let l = quiet_logger();
         let buf = SharedBuf::default();
         l.set_json_sink(Box::new(buf.clone()));
-        l.log(Level::Warn, "conference", "stall", &[("slot", Value::from(9u64))]);
+        l.log(
+            Level::Warn,
+            "conference",
+            "stall",
+            &[("slot", Value::from(9u64))],
+        );
         l.log(Level::Debug, "conference", "filtered out", &[]);
         let bytes = buf.0.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
@@ -345,7 +350,9 @@ mod tests {
         assert_eq!(Value::from(-2i64), Value::I64(-2));
         assert_eq!(Value::from("x"), Value::Str("x".into()));
         assert_eq!(Value::from(true), Value::Bool(true));
-        let Value::F64(f) = Value::from(1.5f32) else { panic!() };
+        let Value::F64(f) = Value::from(1.5f32) else {
+            panic!()
+        };
         assert_eq!(f, 1.5);
     }
 

@@ -21,7 +21,11 @@ pub struct TelemetrySpan {
 impl TelemetrySpan {
     /// Start timing against `hist`.
     pub fn start(hist: &Arc<Histogram>) -> Self {
-        TelemetrySpan { hist: Arc::clone(hist), start: Instant::now(), armed: true }
+        TelemetrySpan {
+            hist: Arc::clone(hist),
+            start: Instant::now(),
+            armed: true,
+        }
     }
 
     /// Elapsed so far, in milliseconds, without finishing the span.

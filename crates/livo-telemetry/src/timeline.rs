@@ -63,7 +63,10 @@ pub struct FrameTimelineRecord {
 impl FrameTimelineRecord {
     /// Timestamp of the first event of `stage` (any lane).
     pub fn ts_of(&self, stage: &str) -> Option<u64> {
-        self.events.iter().find(|e| e.stage == stage).map(|e| e.ts_us)
+        self.events
+            .iter()
+            .find(|e| e.stage == stage)
+            .map(|e| e.ts_us)
     }
 
     /// Timestamp of the event of `stage` on a specific lane.
@@ -137,22 +140,49 @@ impl Default for FrameTimeline {
 impl FrameTimeline {
     /// Track at most `capacity` frames (oldest evicted first).
     pub fn new(capacity: usize) -> Self {
-        FrameTimeline { inner: Mutex::new(BTreeMap::new()), capacity: capacity.max(1) }
+        FrameTimeline {
+            inner: Mutex::new(BTreeMap::new()),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Mark a stage completion for frame `seq`.
     pub fn mark(&self, seq: u64, stage: &'static str, ts_us: u64) {
-        self.push(seq, TimelineEvent { stage, lane: None, ts_us, dur_ms: None });
+        self.push(
+            seq,
+            TimelineEvent {
+                stage,
+                lane: None,
+                ts_us,
+                dur_ms: None,
+            },
+        );
     }
 
     /// Mark with a lane (per-stream transport stages).
     pub fn mark_lane(&self, seq: u64, stage: &'static str, lane: &'static str, ts_us: u64) {
-        self.push(seq, TimelineEvent { stage, lane: Some(lane), ts_us, dur_ms: None });
+        self.push(
+            seq,
+            TimelineEvent {
+                stage,
+                lane: Some(lane),
+                ts_us,
+                dur_ms: None,
+            },
+        );
     }
 
     /// Mark with a measured processing duration.
     pub fn mark_dur(&self, seq: u64, stage: &'static str, ts_us: u64, dur_ms: f64) {
-        self.push(seq, TimelineEvent { stage, lane: None, ts_us, dur_ms: Some(dur_ms) });
+        self.push(
+            seq,
+            TimelineEvent {
+                stage,
+                lane: None,
+                ts_us,
+                dur_ms: Some(dur_ms),
+            },
+        );
     }
 
     /// Mark with both lane and duration.
@@ -164,7 +194,15 @@ impl FrameTimeline {
         ts_us: u64,
         dur_ms: f64,
     ) {
-        self.push(seq, TimelineEvent { stage, lane: Some(lane), ts_us, dur_ms: Some(dur_ms) });
+        self.push(
+            seq,
+            TimelineEvent {
+                stage,
+                lane: Some(lane),
+                ts_us,
+                dur_ms: Some(dur_ms),
+            },
+        );
     }
 
     fn push(&self, seq: u64, e: TimelineEvent) {
@@ -190,7 +228,10 @@ impl FrameTimeline {
             .lock()
             .unwrap()
             .get(&seq)
-            .map(|events| FrameTimelineRecord { seq, events: clone_events(events) })
+            .map(|events| FrameTimelineRecord {
+                seq,
+                events: clone_events(events),
+            })
     }
 
     /// All tracked frames, in sequence order.
@@ -199,7 +240,10 @@ impl FrameTimeline {
             .lock()
             .unwrap()
             .iter()
-            .map(|(&seq, events)| FrameTimelineRecord { seq, events: clone_events(events) })
+            .map(|(&seq, events)| FrameTimelineRecord {
+                seq,
+                events: clone_events(events),
+            })
             .collect()
     }
 

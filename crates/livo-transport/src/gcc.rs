@@ -121,7 +121,11 @@ impl GccEstimator {
         // One-way delay tracking: the running minimum is the propagation
         // baseline; the excess is queuing delay.
         let owd = arrival_ts.saturating_sub(send_ts) as f64;
-        self.owd_us = if self.owd_us == 0.0 { owd } else { 0.85 * self.owd_us + 0.15 * owd };
+        self.owd_us = if self.owd_us == 0.0 {
+            owd
+        } else {
+            0.85 * self.owd_us + 0.15 * owd
+        };
         if owd < self.min_owd_us {
             self.min_owd_us = owd;
         } else {
@@ -150,7 +154,11 @@ impl GccEstimator {
                 if let Some(done) = self.current.take() {
                     self.complete_group(done);
                 }
-                self.current = Some(Group { send_ts, arrival_ts, bits });
+                self.current = Some(Group {
+                    send_ts,
+                    arrival_ts,
+                    bits,
+                });
             }
         }
     }
@@ -220,7 +228,11 @@ impl GccEstimator {
             Signal::Normal
         };
         // Adaptive threshold (drifts toward the observed |trend|).
-        let k = if trend.abs() < self.threshold_ms { 0.039 } else { 0.0087 };
+        let k = if trend.abs() < self.threshold_ms {
+            0.039
+        } else {
+            0.0087
+        };
         self.threshold_ms += k * (trend.abs() - self.threshold_ms).clamp(-1.0, 1.0);
         self.threshold_ms = self.threshold_ms.clamp(1.0, 60.0);
 
@@ -255,7 +267,13 @@ impl GccEstimator {
             return 0.0;
         }
         let bits: u64 = self.window.iter().map(|&(_, b)| b).sum();
-        let span = self.window.back().unwrap().0.saturating_sub(self.window.front().unwrap().0).max(1);
+        let span = self
+            .window
+            .back()
+            .unwrap()
+            .0
+            .saturating_sub(self.window.front().unwrap().0)
+            .max(1);
         bits as f64 * 1e6 / span as f64
     }
 
@@ -279,7 +297,11 @@ impl GccEstimator {
             }
             RateState::Decrease => {
                 let incoming = self.incoming_rate_bps();
-                let base = if incoming > 0.0 { incoming } else { self.rate_bps };
+                let base = if incoming > 0.0 {
+                    incoming
+                } else {
+                    self.rate_bps
+                };
                 self.rate_bps = BETA * base;
             }
             RateState::Hold => {}
@@ -342,7 +364,13 @@ mod tests {
     /// Drive the estimator through a simulated constant-capacity link:
     /// packets of `pkt_bits` sent every `gap_us`, serviced at `cap_bps`
     /// with a growing queue if oversubscribed.
-    fn drive(est: &mut GccEstimator, cap_bps: f64, send_bps: f64, dur_s: f64, start: Micros) -> Micros {
+    fn drive(
+        est: &mut GccEstimator,
+        cap_bps: f64,
+        send_bps: f64,
+        dur_s: f64,
+        start: Micros,
+    ) -> Micros {
         let pkt_bits = 9600u64; // 1200 B
         let gap = (pkt_bits as f64 / send_bps * 1e6) as Micros;
         let service = (pkt_bits as f64 / cap_bps * 1e6) as Micros;
@@ -365,7 +393,11 @@ mod tests {
         // Send at 5 Mbps over a 100 Mbps link for 10 s: delay stays flat, so
         // the estimate should grow well past the initial value.
         drive(&mut est, 100e6, 5e6, 10.0, 0);
-        assert!(est.estimate_bps() > 6e6, "estimate {:.1} Mbps", est.estimate_bps() / 1e6);
+        assert!(
+            est.estimate_bps() > 6e6,
+            "estimate {:.1} Mbps",
+            est.estimate_bps() / 1e6
+        );
     }
 
     #[test]
@@ -373,7 +405,11 @@ mod tests {
         let mut est = GccEstimator::new(5e6);
         drive(&mut est, 100e6, 5e6, 30.0, 0);
         // The 1.5×incoming cap keeps it from exploding past what's proven.
-        assert!(est.estimate_bps() < 5e6 * 2.0, "estimate {:.1} Mbps", est.estimate_bps() / 1e6);
+        assert!(
+            est.estimate_bps() < 5e6 * 2.0,
+            "estimate {:.1} Mbps",
+            est.estimate_bps() / 1e6
+        );
     }
 
     #[test]
@@ -426,7 +462,11 @@ mod tests {
             est.on_packet(i * 1000, i * 1000 + 5_000, 9600);
         }
         let rate = est.incoming_rate_bps();
-        assert!((rate - 9.6e6).abs() / 9.6e6 < 0.1, "rate {:.2} Mbps", rate / 1e6);
+        assert!(
+            (rate - 9.6e6).abs() / 9.6e6 < 0.1,
+            "rate {:.2} Mbps",
+            rate / 1e6
+        );
     }
 
     #[test]
@@ -436,7 +476,13 @@ mod tests {
         let after_backoff = est.estimate_bps();
         assert!(after_backoff < 15e6);
         // Congestion clears; send at the backed-off rate over a big pipe.
-        drive(&mut est, 100e6, after_backoff.max(5e6), 10.0, t1 + 1_000_000);
+        drive(
+            &mut est,
+            100e6,
+            after_backoff.max(5e6),
+            10.0,
+            t1 + 1_000_000,
+        );
         assert!(
             est.estimate_bps() > after_backoff,
             "no recovery: {:.1} → {:.1} Mbps",

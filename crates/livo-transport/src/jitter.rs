@@ -24,7 +24,12 @@ pub struct JitterBuffer {
 impl JitterBuffer {
     /// `target` is the playout delay (the paper's 100 ms).
     pub fn new(target: Micros) -> Self {
-        JitterBuffer { target, frames: BTreeMap::new(), next_playout: 0, late_drops: 0 }
+        JitterBuffer {
+            target,
+            frames: BTreeMap::new(),
+            next_playout: 0,
+            late_drops: 0,
+        }
     }
 
     pub fn target(&self) -> Micros {
@@ -105,7 +110,10 @@ mod tests {
         jb.push(frame(1, 10_000));
         jb.push(frame(0, 20_000)); // completed later but older id
         let out = jb.pop_ready(100_000);
-        assert_eq!(out.iter().map(|f| f.frame_id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(
+            out.iter().map(|f| f.frame_id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
     }
 
     #[test]

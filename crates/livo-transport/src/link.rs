@@ -163,7 +163,11 @@ mod tests {
         let out = link.poll(30_000);
         assert_eq!(out.len(), 1);
         let expect = (1228.0 * 8.0 / 10e6 * 1e6) as Micros + 20_000;
-        assert!((out[0].arrival as i64 - expect as i64).abs() <= 2, "{}", out[0].arrival);
+        assert!(
+            (out[0].arrival as i64 - expect as i64).abs() <= 2,
+            "{}",
+            out[0].arrival
+        );
     }
 
     #[test]
@@ -179,7 +183,10 @@ mod tests {
         // Arrivals are spaced by the service time.
         let out = link.poll(10_000_000);
         assert_eq!(out.len(), 50);
-        let gaps: Vec<i64> = out.windows(2).map(|w| w[1].arrival as i64 - w[0].arrival as i64).collect();
+        let gaps: Vec<i64> = out
+            .windows(2)
+            .map(|w| w[1].arrival as i64 - w[0].arrival as i64)
+            .collect();
         for g in gaps {
             assert!((g - 9824).abs() < 20, "gap {g}");
         }
@@ -188,7 +195,10 @@ mod tests {
     #[test]
     fn droptail_kicks_in() {
         let trace = BandwidthTrace::constant(1.0, 10.0);
-        let cfg = LinkConfig { max_queue_delay: 50_000, ..Default::default() };
+        let cfg = LinkConfig {
+            max_queue_delay: 50_000,
+            ..Default::default()
+        };
         let mut link = LinkEmulator::new(trace, cfg);
         let mut accepted = 0;
         for p in mk_packets(100, 1200) {
@@ -205,7 +215,11 @@ mod tests {
     #[test]
     fn random_loss_drops_expected_fraction() {
         let trace = BandwidthTrace::constant(100.0, 10.0);
-        let cfg = LinkConfig { random_loss: 0.2, seed: 7, ..Default::default() };
+        let cfg = LinkConfig {
+            random_loss: 0.2,
+            seed: 7,
+            ..Default::default()
+        };
         let mut link = LinkEmulator::new(trace, cfg);
         let mut lost = 0;
         for (i, p) in mk_packets(2000, 200).into_iter().enumerate() {
@@ -221,7 +235,13 @@ mod tests {
     fn throughput_tracks_trace_capacity() {
         // Saturate a 5 Mbps link for 5 s; delivered bits ≈ 5 Mbit × 5.
         let trace = BandwidthTrace::constant(5.0, 10.0);
-        let mut link = LinkEmulator::new(trace, LinkConfig { max_queue_delay: 100_000, ..Default::default() });
+        let mut link = LinkEmulator::new(
+            trace,
+            LinkConfig {
+                max_queue_delay: 100_000,
+                ..Default::default()
+            },
+        );
         let mut t = 0;
         let mut p = Packetizer::with_mtu(StreamId::Color, 1200);
         while t < 5_000_000 {
@@ -232,9 +252,9 @@ mod tests {
             t += 500; // 19.6 Mbps offered
         }
         let delivered = link.poll(20_000_000);
-        let total_bits: u64 =
-            delivered.iter().map(|d| d.packet.wire_bits()).sum::<u64>() + link.delivered_bits
-                - delivered.iter().map(|d| d.packet.wire_bits()).sum::<u64>();
+        let total_bits: u64 = delivered.iter().map(|d| d.packet.wire_bits()).sum::<u64>()
+            + link.delivered_bits
+            - delivered.iter().map(|d| d.packet.wire_bits()).sum::<u64>();
         let mbps = total_bits as f64 / 5.0 / 1e6;
         assert!((mbps - 5.0).abs() < 0.5, "delivered {mbps} Mbps");
     }
@@ -243,7 +263,11 @@ mod tests {
     fn deterministic_given_seed() {
         let run = || {
             let trace = BandwidthTrace::constant(2.0, 10.0);
-            let cfg = LinkConfig { random_loss: 0.1, seed: 42, ..Default::default() };
+            let cfg = LinkConfig {
+                random_loss: 0.1,
+                seed: 42,
+                ..Default::default()
+            };
             let mut link = LinkEmulator::new(trace, cfg);
             let mut pattern = Vec::new();
             for (i, p) in mk_packets(100, 600).into_iter().enumerate() {

@@ -10,20 +10,20 @@
 
 use crate::packet::Packet;
 use crate::Micros;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Receiver-side NACK scheduling.
 #[derive(Debug)]
 pub struct NackGenerator {
     /// seq → (times requested, last request time).
-    requested: HashMap<u64, (u32, Micros)>,
+    requested: BTreeMap<u64, (u32, Micros)>,
     /// Minimum spacing between requests for the same seq.
     retry_interval: Micros,
     max_retries: u32,
     /// Incomplete-frame deadline after which a PLI fires.
     pli_deadline: Micros,
     /// frame_id → first time it was seen stuck.
-    stuck_since: HashMap<u64, Micros>,
+    stuck_since: BTreeMap<u64, Micros>,
     last_pli: Option<Micros>,
     /// Minimum spacing between PLIs.
     pli_interval: Micros,
@@ -32,11 +32,11 @@ pub struct NackGenerator {
 impl NackGenerator {
     pub fn new(retry_interval: Micros, max_retries: u32, pli_deadline: Micros) -> Self {
         NackGenerator {
-            requested: HashMap::new(),
+            requested: BTreeMap::new(),
             retry_interval,
             max_retries,
             pli_deadline,
-            stuck_since: HashMap::new(),
+            stuck_since: BTreeMap::new(),
             last_pli: None,
             pli_interval: pli_deadline,
         }
@@ -62,7 +62,7 @@ impl NackGenerator {
         }
         // Garbage-collect entries for seqs no longer missing.
         if self.requested.len() > 10_000 {
-            let missing_set: std::collections::HashSet<u64> = missing.iter().copied().collect();
+            let missing_set: std::collections::BTreeSet<u64> = missing.iter().copied().collect();
             self.requested.retain(|s, _| missing_set.contains(s));
         }
         out
@@ -71,7 +71,7 @@ impl NackGenerator {
     /// Track stuck frames; returns `true` when a PLI should fire now.
     pub fn check_pli(&mut self, stuck_frames: &[u64], now: Micros) -> bool {
         // Forget frames that are no longer stuck.
-        let stuck: std::collections::HashSet<u64> = stuck_frames.iter().copied().collect();
+        let stuck: std::collections::BTreeSet<u64> = stuck_frames.iter().copied().collect();
         self.stuck_since.retain(|f, _| stuck.contains(f));
         for &f in stuck_frames {
             self.stuck_since.entry(f).or_insert(now);
@@ -103,7 +103,10 @@ pub struct RetransmitBuffer {
 
 impl RetransmitBuffer {
     pub fn new(max_packets: usize) -> Self {
-        RetransmitBuffer { packets: VecDeque::new(), max_packets }
+        RetransmitBuffer {
+            packets: VecDeque::new(),
+            max_packets,
+        }
     }
 
     /// Remember a sent packet.

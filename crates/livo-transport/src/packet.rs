@@ -61,12 +61,20 @@ pub struct Packetizer {
 
 impl Packetizer {
     pub fn new(stream: StreamId) -> Self {
-        Packetizer { stream, next_seq: 0, mtu: DEFAULT_MTU }
+        Packetizer {
+            stream,
+            next_seq: 0,
+            mtu: DEFAULT_MTU,
+        }
     }
 
     pub fn with_mtu(stream: StreamId, mtu: usize) -> Self {
         assert!(mtu > 0);
-        Packetizer { stream, next_seq: 0, mtu }
+        Packetizer {
+            stream,
+            next_seq: 0,
+            mtu,
+        }
     }
 
     pub fn next_seq(&self) -> u64 {

@@ -20,7 +20,7 @@ use crate::Micros;
 use bytes::Bytes;
 use livo_capture::BandwidthTrace;
 use livo_telemetry::{stage, Counter, FrameTimeline, Gauge, Histogram, MetricsRegistry};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// Session parameters.
@@ -118,8 +118,8 @@ pub struct RtcSession {
     cfg: SessionConfig,
     link: LinkEmulator,
     // --- sender side ---
-    packetizers: HashMap<StreamId, Packetizer>,
-    retransmit: HashMap<StreamId, RetransmitBuffer>,
+    packetizers: BTreeMap<StreamId, Packetizer>,
+    retransmit: BTreeMap<StreamId, RetransmitBuffer>,
     pacer: VecDeque<Packet>,
     pacer_budget_bits: f64,
     last_pace: Micros,
@@ -127,11 +127,18 @@ pub struct RtcSession {
     pending_feedback: VecDeque<(Micros, f64, f64)>,
     pending_retx: VecDeque<(Micros, Packet)>,
     pending_pli: VecDeque<Micros>,
+    /// When the application was last granted a keyframe via [`take_pli`]
+    /// (`take_pli` is the only consumer). Guards against keyframe storms:
+    /// under heavy loss the receiver keeps emitting PLIs, but a PLI that
+    /// reaches the sender within one RTT of an already-granted keyframe is
+    /// answered by the intra frame *already in flight* — granting another
+    /// would burst a second full intra into an already-collapsing link.
+    last_key_grant: Option<Micros>,
     // --- receiver side ---
     estimator: GccEstimator,
-    reassemblers: HashMap<StreamId, Reassembler>,
-    jitters: HashMap<StreamId, JitterBuffer>,
-    nack: HashMap<StreamId, NackGenerator>,
+    reassemblers: BTreeMap<StreamId, Reassembler>,
+    jitters: BTreeMap<StreamId, JitterBuffer>,
+    nack: BTreeMap<StreamId, NackGenerator>,
     ready: Vec<AssembledFrame>,
     last_feedback: Micros,
     loss_window_base: (u64, u64),
@@ -143,7 +150,7 @@ pub struct RtcSession {
     /// stamp the timeline "link" stage exactly once per frame. Entries are
     /// removed when reassembly completes; capped to bound memory when
     /// frames never complete (heavy loss).
-    link_seen: HashSet<(StreamId, u64)>,
+    link_seen: BTreeSet<(StreamId, u64)>,
 }
 
 impl RtcSession {
@@ -154,25 +161,26 @@ impl RtcSession {
             sender_estimate_bps: cfg.initial_estimate_bps,
             cfg,
             link,
-            packetizers: HashMap::new(),
-            retransmit: HashMap::new(),
+            packetizers: BTreeMap::new(),
+            retransmit: BTreeMap::new(),
             pacer: VecDeque::new(),
             pacer_budget_bits: 0.0,
             last_pace: 0,
             pending_feedback: VecDeque::new(),
             pending_retx: VecDeque::new(),
             pending_pli: VecDeque::new(),
+            last_key_grant: None,
             estimator,
-            reassemblers: HashMap::new(),
-            jitters: HashMap::new(),
-            nack: HashMap::new(),
+            reassemblers: BTreeMap::new(),
+            jitters: BTreeMap::new(),
+            nack: BTreeMap::new(),
             ready: Vec::new(),
             last_feedback: 0,
             loss_window_base: (0, 0),
             smoothed_owd: 0.0,
             stats: SessionStats::default(),
             telemetry: None,
-            link_seen: HashSet::new(),
+            link_seen: BTreeSet::new(),
         }
     }
 
@@ -377,7 +385,8 @@ impl RtcSession {
         }
         self.stats.late_drops = self.jitters.values().map(|j| j.late_drops).sum();
         if let Some(t) = &self.telemetry {
-            t.jitter_occupancy.set(self.jitters.values().map(|j| j.depth()).sum::<usize>() as f64);
+            t.jitter_occupancy
+                .set(self.jitters.values().map(|j| j.depth()).sum::<usize>() as f64);
             t.late_drops.set(self.stats.late_drops as f64);
             t.owd_ms.set(self.smoothed_owd / 1000.0);
         }
@@ -394,7 +403,11 @@ impl RtcSession {
             let d_sent = sent.saturating_sub(base_sent);
             let d_drop = dropped.saturating_sub(base_drop);
             self.loss_window_base = (sent, dropped);
-            let loss = if d_sent == 0 { 0.0 } else { d_drop as f64 / d_sent as f64 };
+            let loss = if d_sent == 0 {
+                0.0
+            } else {
+                d_drop as f64 / d_sent as f64
+            };
             self.estimator.on_loss_report(loss);
             self.pending_feedback.push_back((
                 now + self.cfg.link.propagation,
@@ -469,12 +482,30 @@ impl RtcSession {
 
     /// True once per PLI that has reached the sender; the application
     /// responds by forcing a keyframe.
+    ///
+    /// Keyframe-storm guard: when the link has dropped every packet for a
+    /// window (total blackout), the receiver's PLI timer keeps firing and
+    /// the pending queue fills with PLIs. A PLI arriving within one RTT of
+    /// a granted keyframe cannot be reacting to that keyframe's loss — the
+    /// intra frame is still in flight — so it is consumed *without*
+    /// granting a second intra. At most one keyframe is granted per RTT.
     pub fn take_pli(&mut self, now: Micros) -> bool {
-        if let Some(&due) = self.pending_pli.front() {
-            if due <= now {
-                self.pending_pli.pop_front();
-                return true;
+        // One RTT of grant suppression: the keyframe needs a propagation to
+        // reach the receiver and the receiver's reaction needs one back.
+        let rtt: Micros = (2.0 * self.one_way_delay_us()) as Micros;
+        while let Some(&due) = self.pending_pli.front() {
+            if due > now {
+                break;
             }
+            self.pending_pli.pop_front();
+            let suppressed = self
+                .last_key_grant
+                .is_some_and(|granted| now.saturating_sub(granted) < rtt);
+            if suppressed {
+                continue; // answered by the keyframe already in flight
+            }
+            self.last_key_grant = Some(now);
+            return true;
         }
         false
     }
@@ -526,7 +557,13 @@ mod tests {
             if t >= next_frame {
                 let budget = s.estimate_bps() / 30.0;
                 let bytes = frame_bits_fn(budget) / 8;
-                s.send_frame(t, StreamId::Color, frame_id, Bytes::from(vec![0u8; bytes]), frame_id == 0);
+                s.send_frame(
+                    t,
+                    StreamId::Color,
+                    frame_id,
+                    Bytes::from(vec![0u8; bytes]),
+                    frame_id == 0,
+                );
                 frame_id += 1;
                 next_frame += 33_333;
             }
@@ -576,7 +613,10 @@ mod tests {
         let trace = BandwidthTrace::constant(80.0, 40.0);
         let (s, _frames) = run_session(
             trace,
-            SessionConfig { initial_estimate_bps: 10e6, ..Default::default() },
+            SessionConfig {
+                initial_estimate_bps: 10e6,
+                ..Default::default()
+            },
             |budget| (budget * 0.9) as usize,
             30.0,
         );
@@ -597,18 +637,29 @@ mod tests {
         let trace = BandwidthTrace::constant(20.0, 40.0);
         let (s, frames) = run_session(
             trace,
-            SessionConfig { initial_estimate_bps: 60e6, ..Default::default() },
+            SessionConfig {
+                initial_estimate_bps: 60e6,
+                ..Default::default()
+            },
             |budget| (budget * 0.9) as usize,
             20.0,
         );
-        assert!(s.estimate_bps() < mbps(35.0), "estimate {:.1}", s.estimate_bps() / 1e6);
+        assert!(
+            s.estimate_bps() < mbps(35.0),
+            "estimate {:.1}",
+            s.estimate_bps() / 1e6
+        );
         assert!(!frames.is_empty());
     }
 
     #[test]
     fn random_loss_triggers_nack_and_recovery() {
         let cfg = SessionConfig {
-            link: LinkConfig { random_loss: 0.03, seed: 5, ..Default::default() },
+            link: LinkConfig {
+                random_loss: 0.03,
+                seed: 5,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let trace = BandwidthTrace::constant(50.0, 30.0);
@@ -622,7 +673,11 @@ mod tests {
     #[test]
     fn heavy_loss_triggers_pli() {
         let cfg = SessionConfig {
-            link: LinkConfig { random_loss: 0.25, seed: 9, ..Default::default() },
+            link: LinkConfig {
+                random_loss: 0.25,
+                seed: 9,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let trace = BandwidthTrace::constant(50.0, 30.0);
@@ -633,7 +688,13 @@ mod tests {
         let mut next = 0;
         while t < ms(5_000) {
             if t >= next {
-                s.send_frame(t, StreamId::Depth, frame_id, Bytes::from(vec![0u8; 30_000]), false);
+                s.send_frame(
+                    t,
+                    StreamId::Depth,
+                    frame_id,
+                    Bytes::from(vec![0u8; 30_000]),
+                    false,
+                );
                 frame_id += 1;
                 next += 33_333;
             }
@@ -644,6 +705,100 @@ mod tests {
             t += 1000;
         }
         assert!(saw_pli, "25% loss should escalate to PLI");
+    }
+
+    #[test]
+    fn pli_within_one_rtt_of_granted_keyframe_is_suppressed() {
+        // Regression for the keyframe-storm edge case: a near-blackout link
+        // (90% loss — every frame strands partial packets in reassembly)
+        // queues a PLI per receiver deadline, but the sender must grant at
+        // most one intra per RTT — a PLI landing in the same RTT as a
+        // granted keyframe is answered by the intra already in flight.
+        let cfg = SessionConfig {
+            link: LinkConfig {
+                random_loss: 0.9,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let trace = BandwidthTrace::constant(50.0, 30.0);
+        let mut s = RtcSession::new(trace, cfg);
+        // (grant time, smoothed RTT at that moment) — the RTT climbs as the
+        // blackout backs the path up, and the guard suppresses against the
+        // RTT at the arriving PLI's time, so each gap is judged by the RTT
+        // captured at the *later* grant, not the end-of-run value.
+        let mut grants: Vec<(Micros, Micros)> = Vec::new();
+        let mut t: Micros = 0;
+        let mut frame_id = 0u64;
+        let mut next: Micros = 0;
+        while t < ms(10_000) {
+            if t >= next {
+                // Both media streams: their per-stream PLI timers fire
+                // independently, landing pairs of PLIs inside one RTT.
+                s.send_frame(
+                    t,
+                    StreamId::Color,
+                    frame_id,
+                    Bytes::from(vec![0u8; 20_000]),
+                    false,
+                );
+                s.send_frame(
+                    t,
+                    StreamId::Depth,
+                    frame_id,
+                    Bytes::from(vec![0u8; 30_000]),
+                    false,
+                );
+                frame_id += 1;
+                next += 33_333;
+            }
+            s.tick(t);
+            if s.take_pli(t) {
+                grants.push((t, (2.0 * s.one_way_delay_us()) as Micros));
+            }
+            t += 1000;
+        }
+        // PLIs kept coming from both streams, yet the session neither
+        // panicked nor granted a keyframe storm.
+        assert!(
+            s.stats().plis > grants.len() as u64,
+            "guard must swallow some PLIs"
+        );
+        assert!(
+            !grants.is_empty(),
+            "blackout still escalates to (some) keyframes"
+        );
+        for w in grants.windows(2) {
+            let ((t0, _), (t1, rtt)) = (w[0], w[1]);
+            assert!(
+                t1 - t0 >= rtt,
+                "keyframe grants {t0} and {t1} within one RTT ({rtt} µs)"
+            );
+        }
+    }
+
+    #[test]
+    fn spaced_plis_are_each_granted_but_same_rtt_duplicates_are_not() {
+        let trace = BandwidthTrace::constant(50.0, 30.0);
+        let mut s = RtcSession::new(trace, SessionConfig::default());
+        let rtt = (2.0 * s.one_way_delay_us()) as Micros;
+        s.pending_pli.push_back(1_000);
+        s.pending_pli.push_back(1_000 + rtt / 2); // duplicate within the RTT
+        s.pending_pli.push_back(1_000 + 2 * rtt); // genuinely new loss event
+        assert!(s.take_pli(1_000), "first PLI grants a keyframe");
+        assert!(
+            !s.take_pli(1_000 + rtt / 2),
+            "PLI within one RTT of the grant is consumed without a second intra"
+        );
+        assert!(
+            s.pending_pli.len() == 1,
+            "suppressed PLI was consumed, not left queued"
+        );
+        assert!(
+            s.take_pli(1_000 + 2 * rtt),
+            "a PLI after the RTT window grants again"
+        );
     }
 
     #[test]
@@ -660,7 +815,13 @@ mod tests {
         while t < 3_000_000 {
             if t >= next_frame {
                 let bytes = (s.estimate_bps() / 30.0 * 0.5) as usize / 8;
-                s.send_frame(t, StreamId::Color, frame_id, Bytes::from(vec![0u8; bytes]), frame_id == 0);
+                s.send_frame(
+                    t,
+                    StreamId::Color,
+                    frame_id,
+                    Bytes::from(vec![0u8; bytes]),
+                    frame_id == 0,
+                );
                 frame_id += 1;
                 next_frame += 33_333;
             }
@@ -687,10 +848,19 @@ mod tests {
             if r.ts_of(stage::JITTER).is_none() {
                 continue; // frame still in flight at cutoff
             }
-            for s in [stage::PACKETIZE, stage::LINK, stage::REASSEMBLY, stage::JITTER] {
+            for s in [
+                stage::PACKETIZE,
+                stage::LINK,
+                stage::REASSEMBLY,
+                stage::JITTER,
+            ] {
                 assert!(r.ts_of(s).is_some(), "frame {} missing {s}", r.seq);
             }
-            assert!(r.is_monotonic(&stage::ORDER), "frame {} out of order", r.seq);
+            assert!(
+                r.is_monotonic(&stage::ORDER),
+                "frame {} out of order",
+                r.seq
+            );
             checked += 1;
         }
         assert!(checked > 50, "only {checked} complete frame timelines");

@@ -142,9 +142,16 @@ fn session_survives_pathological_loss_then_recovers() {
     // deliver frames again after recovery.
     let mut samples = vec![20.0; 100];
     samples.extend(vec![20.0; 100]);
-    let trace = BandwidthTrace { id: None, samples_mbps: samples };
+    let trace = BandwidthTrace {
+        id: None,
+        samples_mbps: samples,
+    };
     let cfg = SessionConfig {
-        link: livo_transport::link::LinkConfig { random_loss: 0.4, seed: 3, ..Default::default() },
+        link: livo_transport::link::LinkConfig {
+            random_loss: 0.4,
+            seed: 3,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut s = RtcSession::new(trace, cfg);
@@ -154,7 +161,13 @@ fn session_survives_pathological_loss_then_recovers() {
     let mut id = 0u64;
     while t < 8_000_000 {
         if t >= next {
-            s.send_frame(t, StreamId::Color, id, Bytes::from(vec![0u8; 2_000]), id == 0);
+            s.send_frame(
+                t,
+                StreamId::Color,
+                id,
+                Bytes::from(vec![0u8; 2_000]),
+                id == 0,
+            );
             id += 1;
             next += 33_333;
         }

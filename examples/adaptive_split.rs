@@ -37,17 +37,28 @@ fn main() {
         initial: 0.6,
         ..Default::default()
     });
-    let mut color_enc =
-        Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Yuv420));
-    let mut depth_enc =
-        Encoder::new(EncoderConfig::new(layout.canvas_w, layout.canvas_h, PixelFormat::Y16));
+    let mut color_enc = Encoder::new(EncoderConfig::new(
+        layout.canvas_w,
+        layout.canvas_h,
+        PixelFormat::Yuv420,
+    ));
+    let mut depth_enc = Encoder::new(EncoderConfig::new(
+        layout.canvas_w,
+        layout.canvas_h,
+        PixelFormat::Y16,
+    ));
 
     // Budget matching 80 Mbps of pressure at 4K. Area scaling alone
     // under-budgets small canvases (headers and codec floors don't shrink
     // with resolution), hence the 4× allowance.
     let area_scale = (layout.canvas_w * layout.canvas_h) as f64 / (3840.0 * 2160.0);
     let per_frame = 80e6 / 30.0 * area_scale * 4.0;
-    println!("canvas {}x{}, per-frame media budget {:.0} kbit", layout.canvas_w, layout.canvas_h, per_frame / 1e3);
+    println!(
+        "canvas {}x{}, per-frame media budget {:.0} kbit",
+        layout.canvas_w,
+        layout.canvas_h,
+        per_frame / 1e3
+    );
     println!("\n  t(s) | scene  | split | depth RMSE (mm) | color RMSE");
     println!("  -----+--------+-------+-----------------+-----------");
 

@@ -58,12 +58,7 @@ fn print_frame_timeline(label: &str, summary: &RunSummary) {
     );
 }
 
-fn run_direction(
-    label: &str,
-    video: VideoId,
-    trace_id: TraceId,
-    style: usize,
-) -> RunSummary {
+fn run_direction(label: &str, video: VideoId, trace_id: TraceId, style: usize) -> RunSummary {
     let cfg = ConferenceConfig::builder(video)
         .camera_scale(0.10)
         .n_cameras(6)
@@ -91,11 +86,23 @@ fn main() {
     println!("{:-<12}-+-{:->8}-+-{:->8}", "", "", "");
     let rows: [(&str, f64, f64); 6] = [
         ("fps", a_to_b.mean_fps, b_to_a.mean_fps),
-        ("stall %", a_to_b.stall_rate * 100.0, b_to_a.stall_rate * 100.0),
-        ("PSSIM geom", a_to_b.pssim_geometry_no_stall, b_to_a.pssim_geometry_no_stall),
+        (
+            "stall %",
+            a_to_b.stall_rate * 100.0,
+            b_to_a.stall_rate * 100.0,
+        ),
+        (
+            "PSSIM geom",
+            a_to_b.pssim_geometry_no_stall,
+            b_to_a.pssim_geometry_no_stall,
+        ),
         ("split", a_to_b.mean_split, b_to_a.mean_split),
         ("goodput Mb", a_to_b.throughput_mbps, b_to_a.throughput_mbps),
-        ("latency ms", a_to_b.transport_latency_ms, b_to_a.transport_latency_ms),
+        (
+            "latency ms",
+            a_to_b.transport_latency_ms,
+            b_to_a.transport_latency_ms,
+        ),
     ];
     for (name, a, b) in rows {
         println!("{name:<12} | {a:>8.2} | {b:>8.2}");

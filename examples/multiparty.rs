@@ -1,20 +1,24 @@
-//! Multi-way extension: one sender, several receivers (the paper's §5
-//! future-work direction, built on the released pieces).
+//! Multi-way conferencing through the SFU: one capture rig, N subscribers.
 //!
 //! ```text
-//! cargo run --release --example multiparty
+//! cargo run --release --example multiparty [-- --seconds 4]
 //! ```
 //!
-//! Each receiver gets its *own* culled, rate-adapted stream pair over its
-//! own network path — the natural generalisation the paper sketches, and
-//! the setting where its per-receiver culling pays twice: receivers looking
-//! at different parts of the scene each transmit only their view.
+//! A single sender feeds the `livo-sfu` router, which clusters subscribers
+//! by predicted-frustum overlap and runs **one** union-cull + tile +
+//! encode pass per cluster instead of one per subscriber. Every
+//! subscriber still gets its own emulated downlink (trace-driven link,
+//! GCC estimate, jitter buffer, NACK/PLI) and its own RMSE-balancing
+//! split; PLIs fan in to a single shared intra per cluster.
 //!
-//! (The paper also notes the optimisation opportunity of sharing encodes
-//! across receivers with similar frusta; this example keeps the simple
-//! per-receiver instantiation.)
+//! The run ends with a table of per-subscriber outcomes and the encode
+//! passes the frustum clustering saved against naive per-subscriber
+//! fan-out.
 
+use livo::capture::usertrace::TraceStyle;
+use livo::capture::{datasets::DatasetPreset, render::render_views_at, rig, UserTrace};
 use livo::prelude::*;
+use livo::transport::Micros;
 
 struct Party {
     name: &'static str,
@@ -23,46 +27,129 @@ struct Party {
 }
 
 fn main() {
+    let mut seconds = 4.0f32;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--seconds") {
+        seconds = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--seconds takes a number");
+    }
+
     let parties = [
-        Party { name: "producer-desk", trace: TraceId::Trace1, style: 0 },
-        Party { name: "director-home", trace: TraceId::Trace2, style: 1 },
-        Party { name: "critic-train", trace: TraceId::Trace2, style: 2 },
+        Party {
+            name: "producer-desk",
+            trace: TraceId::Trace1,
+            style: 0,
+        },
+        Party {
+            name: "director-home",
+            trace: TraceId::Trace2,
+            style: 0,
+        },
+        Party {
+            name: "critic-train",
+            trace: TraceId::Trace2,
+            style: 2,
+        },
     ];
 
-    println!("multiparty: band2 rehearsal streamed to {} receivers\n", parties.len());
-    let mut rows = Vec::new();
-    for (i, p) in parties.iter().enumerate() {
-        // One pipeline instance per receiver (§3.1's deployment model, run
-        // once per downstream party).
-        let cfg = ConferenceConfig::builder(VideoId::Band2)
-            .camera_scale(0.1)
-            .n_cameras(6)
-            .duration_s(4.0)
-            .quality_every(20)
-            .user_trace(p.style, 40 + i as u64)
-            .build()
-            .expect("multiparty config is valid");
-        let trace = BandwidthTrace::generate(p.trace, 10.0, 90 + i as u64);
-        let s = ConferenceRunner::new(cfg).run(trace);
-        rows.push((p.name, s));
-    }
+    let fps = 30u32;
+    let n_cameras = 6usize;
+    let cameras = rig::camera_ring(
+        n_cameras,
+        2.5,
+        1.4,
+        Vec3::new(0.0, 1.0, 0.0),
+        livo::math::CameraIntrinsics::kinect_depth(0.1),
+    );
+    let preset = DatasetPreset::load(VideoId::Band2);
+    let pool = livo::runtime::global();
+
+    let mut router = Router::new(RouterConfig::default(), cameras.clone());
+    let user_traces: Vec<UserTrace> = parties
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let style = TraceStyle::ALL[p.style % TraceStyle::ALL.len()];
+            let trace = UserTrace::generate(style, seconds + 5.0, 40 + i as u64);
+            router.add_subscriber(
+                SubscriberConfig::new(p.name),
+                BandwidthTrace::generate(p.trace, seconds + 6.0, 90 + i as u64),
+            );
+            trace
+        })
+        .collect();
 
     println!(
-        "{:<14} | {:>5} | {:>7} | {:>9} | {:>6} | {:>9}",
-        "receiver", "fps", "stall %", "PSSIM geo", "split", "keep frac"
+        "multiparty: band2 rehearsal through the SFU to {} subscribers\n",
+        parties.len()
     );
-    println!("{:-<14}-+-{:->5}-+-{:->7}-+-{:->9}-+-{:->6}-+-{:->9}", "", "", "", "", "", "");
-    for (name, s) in &rows {
+
+    let frame_interval: Micros = 1_000_000 / fps as u64;
+    let total_frames = (seconds * fps as f32) as u64;
+    let mut now: Micros = 0;
+    let mut encode_passes = 0u64;
+    let mut keep_sum = 0.0f64;
+    for frame_idx in 0..total_frames {
+        let t_s = frame_idx as f32 / fps as f32;
+        let snap = preset.scene.at(t_s);
+        let views = render_views_at(pool, &cameras, &snap, frame_idx as u32);
+
+        // The SFU sees each subscriber's pose delayed by its feedback path.
+        for (id, ut) in user_traces.iter().enumerate() {
+            let owd_s = router.subscriber(id).session().one_way_delay_us() as f32 / 1e6;
+            let pose = ut.pose_at_time((t_s - owd_s).max(0.0));
+            router.observe_pose(id, &pose);
+        }
+
+        let out = router.route_frame(now, &views);
+        encode_passes += out.encode_passes;
+        keep_sum +=
+            out.clusters.iter().map(|c| c.keep_fraction).sum::<f64>() / out.clusters.len() as f64;
+
+        let frame_end = now + frame_interval;
+        while now < frame_end {
+            router.tick(now);
+            now += 1_000;
+        }
+    }
+
+    let naive_passes = total_frames * parties.len() as u64;
+    println!(
+        "{:<14} | {:>9} | {:>8} | {:>8} | {:>6} | {:>9}",
+        "subscriber", "est Mbps", "decoded", "low-rate", "PLIs", "key reqs"
+    );
+    println!(
+        "{:-<14}-+-{:->9}-+-{:->8}-+-{:->8}-+-{:->6}-+-{:->9}",
+        "", "", "", "", "", ""
+    );
+    for (id, p) in parties.iter().enumerate() {
+        let sub = router.subscriber(id);
         println!(
-            "{name:<14} | {:>5.1} | {:>7.1} | {:>9.1} | {:>6.2} | {:>9.2}",
-            s.mean_fps,
-            s.stall_rate * 100.0,
-            s.pssim_geometry_no_stall,
-            s.mean_split,
-            s.mean_keep_fraction
+            "{:<14} | {:>9.1} | {:>8} | {:>8} | {:>6} | {:>9}",
+            p.name,
+            sub.estimate_bps() / 1e6,
+            sub.stats().frames_decoded,
+            sub.stats().low_variant_frames,
+            sub.session().stats().plis,
+            sub.stats().keyframes_requested,
         );
     }
+
+    let membership = router.cluster_membership();
+    let groups: Vec<String> = membership
+        .iter()
+        .map(|(_, members)| {
+            let names: Vec<&str> = members.iter().map(|&m| parties[m].name).collect();
+            format!("{{{}}}", names.join(", "))
+        })
+        .collect();
+    println!("\nfinal clusters: {}", groups.join("  "));
     println!(
-        "\nEach receiver adapted to its own path and view: different splits, rates and\ncull fractions from one shared capture."
+        "encode passes: {encode_passes} shared vs {naive_passes} naive ({:.0}% saved), \
+         mean keep fraction {:.2}",
+        100.0 * (1.0 - encode_passes as f64 / naive_passes as f64),
+        keep_sum / total_frames.max(1) as f64,
     );
 }

@@ -11,7 +11,11 @@ use livo::transport::link::LinkConfig;
 
 fn run(label: &str, loss: f64) -> RunSummary {
     let session = SessionConfig {
-        link: LinkConfig { random_loss: loss, seed: 7, ..Default::default() },
+        link: LinkConfig {
+            random_loss: loss,
+            seed: 7,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let cfg = ConferenceConfig::builder(VideoId::Band2)
@@ -33,7 +37,10 @@ fn main() {
     let mild = run("mild", 0.01);
     let harsh = run("harsh", 0.05);
 
-    println!("\n{:<8} | {:>5} | {:>8} | {:>10}", "link", "fps", "stall %", "PSSIM geo");
+    println!(
+        "\n{:<8} | {:>5} | {:>8} | {:>10}",
+        "link", "fps", "stall %", "PSSIM geo"
+    );
     println!("{:-<8}-+-{:->5}-+-{:->8}-+-{:->10}", "", "", "", "");
     for (name, s) in [("clean", &clean), ("1% loss", &mild), ("5% loss", &harsh)] {
         println!(

@@ -23,7 +23,10 @@ fn main() {
         .build()
         .expect("quickstart config is valid");
 
-    println!("LiVo quickstart: video={} cameras={} scale={}x", cfg.video, cfg.n_cameras, cfg.camera_scale);
+    println!(
+        "LiVo quickstart: video={} cameras={} scale={}x",
+        cfg.video, cfg.n_cameras, cfg.camera_scale
+    );
     let runner = ConferenceRunner::new(cfg);
     let layout = runner.layout();
     println!(
@@ -32,19 +35,39 @@ fn main() {
     );
 
     let trace = BandwidthTrace::generate(TraceId::Trace2, 12.0, 7);
-    println!("network: {} (mean {:.1} Mbps)", TraceId::Trace2, trace.stats().mean);
+    println!(
+        "network: {} (mean {:.1} Mbps)",
+        TraceId::Trace2,
+        trace.stats().mean
+    );
 
     let s = runner.run(trace);
 
     println!("\n--- results ---");
     println!("display rate      : {:.1} fps", s.mean_fps);
     println!("stall rate        : {:.1} %", s.stall_rate * 100.0);
-    println!("PSSIM geometry    : {:.1} (no-stall {:.1})", s.pssim_geometry, s.pssim_geometry_no_stall);
-    println!("PSSIM colour      : {:.1} (no-stall {:.1})", s.pssim_color, s.pssim_color_no_stall);
-    println!("mean split        : {:.2} of bandwidth to depth", s.mean_split);
+    println!(
+        "PSSIM geometry    : {:.1} (no-stall {:.1})",
+        s.pssim_geometry, s.pssim_geometry_no_stall
+    );
+    println!(
+        "PSSIM colour      : {:.1} (no-stall {:.1})",
+        s.pssim_color, s.pssim_color_no_stall
+    );
+    println!(
+        "mean split        : {:.2} of bandwidth to depth",
+        s.mean_split
+    );
     println!("cull keep fraction: {:.2}", s.mean_keep_fraction);
-    println!("goodput           : {:.2} Mbps ({:.0}% of capacity)", s.throughput_mbps, s.utilization() * 100.0);
-    println!("transport latency : {:.0} ms (send -> playout, incl. 100 ms jitter buffer)", s.transport_latency_ms);
+    println!(
+        "goodput           : {:.2} Mbps ({:.0}% of capacity)",
+        s.throughput_mbps,
+        s.utilization() * 100.0
+    );
+    println!(
+        "transport latency : {:.0} ms (send -> playout, incl. 100 ms jitter buffer)",
+        s.transport_latency_ms
+    );
     println!(
         "sender stages (ms): capture {:.1} | cull {:.1} | tile {:.1} | encode {:.1}",
         s.timings.capture_ms, s.timings.cull_ms, s.timings.tile_ms, s.timings.encode_ms

@@ -37,7 +37,7 @@ EXT="--extern serde=$OUT/libserde.rlib --extern serde_json=$OUT/libserde_json.rl
 # Dependency order matters; livo-bench is the bin crate handled at the end.
 CRATES="livo-telemetry livo-runtime livo-math livo-pointcloud livo-capture
         livo-codec2d livo-codec3d livo-mesh livo-transport livo-core
-        livo-baselines livo-eval"
+        livo-sfu livo-baselines livo-eval"
 
 for c in $CRATES; do
   name=${c//-/_}
@@ -72,15 +72,17 @@ for t in $ITESTS; do
   bn=$(basename "$t" .rs)_$(echo "$t" | cut -d/ -f1 | tr - _)
   $RUSTC --test --crate-name "$bn" "$R/crates/$t" -o "$OUT/$bn" $EXT
 done
-for t in end_to_end telemetry_timeline parallel_bitexact; do
+for t in end_to_end telemetry_timeline parallel_bitexact sfu_fanout; do
   $RUSTC --test --crate-name "$t" "$R/tests/$t.rs" -o "$OUT/$t" $EXT
 done
 
-echo "=== examples + repro bin (typecheck) ==="
+echo "=== examples + repro bin (typecheck; multiparty built to run) ==="
 for ex in "$R"/examples/*.rs; do
   $RUSTC --emit=metadata --crate-type bin --crate-name "ex_$(basename "$ex" .rs)" \
     "$ex" --out-dir "$OUT" $EXT
 done
+$RUSTC --crate-type bin --crate-name multiparty "$R/examples/multiparty.rs" \
+  -o "$OUT/multiparty" $EXT
 $RUSTC --crate-type bin --crate-name repro "$R/crates/livo-bench/src/main.rs" -o "$OUT/repro" $EXT
 
 if [ "$1" = "run-tests" ]; then
@@ -88,7 +90,7 @@ if [ "$1" = "run-tests" ]; then
   fail=0
   for bin in "$OUT"/*_unit "$OUT"/robustness_livo_codec2d "$OUT"/kalman_scenarios_livo_math \
              "$OUT"/gcc_scenarios_livo_transport "$OUT"/end_to_end "$OUT"/telemetry_timeline \
-             "$OUT"/parallel_bitexact; do
+             "$OUT"/parallel_bitexact "$OUT"/sfu_fanout; do
     name=$(basename "$bin")
     if ! out=$("$bin" 2>&1); then
       echo "FAILED: $name"; echo "$out" | tail -30; fail=1
@@ -96,6 +98,12 @@ if [ "$1" = "run-tests" ]; then
       echo "$name: $(echo "$out" | grep '^test result')"
     fi
   done
+  echo "=== smoke: multiparty example (1 s) ==="
+  if ! out=$("$OUT/multiparty" --seconds 1 2>&1); then
+    echo "FAILED: multiparty"; echo "$out" | tail -30; fail=1
+  else
+    echo "$out" | grep 'encode passes'
+  fi
   [ "$fail" = 0 ] || { echo "TESTS FAILED"; exit 1; }
   echo "ALL TESTS OK"
 fi

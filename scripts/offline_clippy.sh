@@ -17,7 +17,7 @@ EXT="--extern serde=$OUT/libserde.rlib --extern serde_json=$OUT/libserde_json.rl
 
 CRATES="livo-telemetry livo-runtime livo-math livo-pointcloud livo-capture
         livo-codec2d livo-codec3d livo-mesh livo-transport livo-core
-        livo-baselines livo-eval"
+        livo-sfu livo-baselines livo-eval"
 
 for c in $CRATES; do
   name=${c//-/_}

@@ -11,7 +11,11 @@ pub struct Bytes {
 
 impl Bytes {
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]), start: 0, end: 0 }
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
@@ -31,7 +35,11 @@ impl Bytes {
             Bound::Unbounded => len,
         };
         assert!(lo <= hi && hi <= len, "slice out of range");
-        Bytes { data: self.data.clone(), start: self.start + lo, end: self.start + hi }
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
     }
 }
 
@@ -57,7 +65,11 @@ impl AsRef<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
-        Bytes { data: Arc::from(v.into_boxed_slice()), start: 0, end: len }
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end: len,
+        }
     }
 }
 

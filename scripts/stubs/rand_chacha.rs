@@ -9,7 +9,9 @@ pub struct ChaCha8Rng {
 
 impl SeedableRng for ChaCha8Rng {
     fn seed_from_u64(state: u64) -> Self {
-        ChaCha8Rng { state: state.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03 }
+        ChaCha8Rng {
+            state: state.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03,
+        }
     }
 }
 

@@ -16,10 +16,30 @@ cargo_works() {
   cargo metadata --format-version 1 >/dev/null 2>&1
 }
 
+fmt_check() {
+  # Formatting is part of the gate in both modes.
+  if command -v cargo >/dev/null 2>&1 && cargo fmt --version >/dev/null 2>&1 && [ "$1" = cargo ]; then
+    echo "== tier1: cargo fmt --check =="
+    cargo fmt --check
+  elif command -v rustfmt >/dev/null 2>&1; then
+    echo "== tier1: rustfmt --check (offline) =="
+    git -C "$R" ls-files '*.rs' | while read -r f; do
+      rustfmt --edition 2021 --check --quiet "$R/$f" || { echo "NOT FORMATTED: $f"; exit 1; }
+    done
+  else
+    echo "(rustfmt unavailable — skipping format check)"
+  fi
+}
+
 if cargo_works; then
   echo "== tier1: cargo mode =="
   cargo build --release
   cargo test -q
+  # The SFU fan-out suite and a 1 s multiparty smoke run, named so a
+  # regression is visible even when the workspace test list changes.
+  cargo test -q --test sfu_fanout
+  cargo run --release --example multiparty -- --seconds 1
+  fmt_check cargo
   if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
   else
@@ -27,7 +47,9 @@ if cargo_works; then
   fi
 else
   echo "== tier1: offline mode (registry unreachable) =="
+  # run-tests executes the sfu_fanout suite and the 1 s multiparty smoke.
   bash scripts/offline_build.sh run-tests
+  fmt_check offline
   if command -v clippy-driver >/dev/null 2>&1; then
     bash scripts/offline_clippy.sh
   else

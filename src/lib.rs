@@ -23,6 +23,7 @@
 //! | [`mesh`] | `livo-mesh` | meshing, decimation, surface sampling |
 //! | [`transport`] | `livo-transport` | GCC, jitter buffer, NACK/PLI, link |
 //! | [`core`] | `livo-core` | tiling, depth, splitter, culling, pipeline |
+//! | [`sfu`] | `livo-sfu` | selective forwarding, frustum-clustered encode sharing |
 //! | [`baselines`] | `livo-baselines` | Draco-Oracle, MeshReduce |
 //! | [`eval`] | `livo-eval` | experiment grid, QoE model, reports |
 //! | [`telemetry`] | `livo-telemetry` | metrics, spans, frame timelines, logging |
@@ -54,6 +55,7 @@ pub use livo_math as math;
 pub use livo_mesh as mesh;
 pub use livo_pointcloud as pointcloud;
 pub use livo_runtime as runtime;
+pub use livo_sfu as sfu;
 pub use livo_telemetry as telemetry;
 pub use livo_transport as transport;
 
@@ -65,15 +67,15 @@ pub mod prelude {
     pub use livo_core::conference::{
         ConferenceConfig, ConferenceConfigBuilder, ConferenceRunner, InvalidConfig, RunSummary,
     };
-    pub use livo_core::pipeline::{PipelineOptions, RecvError, SenderPipeline, SubmitError};
     pub use livo_core::depth::{DepthCodec, DepthEncoding};
+    pub use livo_core::pipeline::{PipelineOptions, RecvError, SenderPipeline, SubmitError};
     pub use livo_core::splitter::{BandwidthSplitter, SplitterConfig};
     pub use livo_core::tile::TileLayout;
     pub use livo_math::{Frustum, FrustumParams, Pose, Quat, Vec3};
     pub use livo_pointcloud::{pssim, Point, PointCloud, PssimConfig};
+    pub use livo_sfu::{ClusterParams, Router, RouterConfig, SubscriberConfig};
     pub use livo_telemetry::{
-        FrameTimeline, FrameTimelineRecord, Level, MetricsRegistry, RegistrySnapshot,
-        TelemetrySpan,
+        FrameTimeline, FrameTimelineRecord, Level, MetricsRegistry, RegistrySnapshot, TelemetrySpan,
     };
     pub use livo_transport::{RtcSession, SessionConfig, StreamId};
 }

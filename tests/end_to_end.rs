@@ -46,7 +46,11 @@ fn culling_beats_nocull_on_multi_object_scenes() {
     let livo = ConferenceRunner::new(livo_cfg).run(trace());
     let nocull = ConferenceRunner::new(nocull_cfg).run(trace());
     // Culling must actually remove content...
-    assert!(livo.mean_keep_fraction < 0.95, "keep {}", livo.mean_keep_fraction);
+    assert!(
+        livo.mean_keep_fraction < 0.95,
+        "keep {}",
+        livo.mean_keep_fraction
+    );
     // ...and with equal bandwidth the culled stream can't do worse by much
     // (it usually does better; tolerance covers sampling noise).
     assert!(
@@ -110,8 +114,11 @@ fn draco_oracle_cannot_sustain_full_scene() {
     let trace = BandwidthTrace::generate(TraceId::Trace1, 8.0, 4);
     let oracle = DracoOracle::new(cfg).run(&trace);
 
-    let livo = ConferenceRunner::new(quick(VideoId::Band2))
-        .run(BandwidthTrace::generate(TraceId::Trace1, 8.0, 4));
+    let livo = ConferenceRunner::new(quick(VideoId::Band2)).run(BandwidthTrace::generate(
+        TraceId::Trace1,
+        8.0,
+        4,
+    ));
     assert!(oracle.stall_rate > livo.stall_rate + 0.2);
     assert!(livo.pssim_geometry > oracle.pssim_geometry);
 }
@@ -128,8 +135,11 @@ fn meshreduce_tradeoff_no_stalls_low_fps_low_utilization() {
     assert_eq!(mr.stall_rate, 0.0);
     assert!(mr.mean_fps < 16.0);
 
-    let livo = ConferenceRunner::new(quick(VideoId::Band2))
-        .run(BandwidthTrace::generate(TraceId::Trace1, 8.0, 4));
+    let livo = ConferenceRunner::new(quick(VideoId::Band2)).run(BandwidthTrace::generate(
+        TraceId::Trace1,
+        8.0,
+        4,
+    ));
     assert!(
         livo.utilization() > mr.utilization(),
         "LiVo util {:.2} vs MeshReduce {:.2}",

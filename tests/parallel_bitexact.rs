@@ -57,16 +57,18 @@ fn parallel_encode_is_bit_exact_on_every_preset() {
             // Advance scene time each frame so inter frames carry real motion.
             let snap = preset.scene.at(seq as f32 / 30.0);
             let pool = WorkerPool::new(1);
-            let views: Vec<RgbdFrame> =
-                livo::capture::render_views_at(&pool, &cameras, &snap, seq);
+            let views: Vec<RgbdFrame> = livo::capture::render_views_at(&pool, &cameras, &snap, seq);
             let color = compose_color(&views, &layout, seq);
             let depth = compose_depth(&views, &layout, &depth_codec, seq);
 
-            for (canvas, encs, bits) in
-                [(&color, &mut color_encs, 180_000u64), (&depth, &mut depth_encs, 220_000u64)]
-            {
-                let outputs: Vec<(String, Vec<u8>)> =
-                    encs.iter_mut().map(|(n, e)| (n.clone(), e.encode(canvas, bits).data)).collect();
+            for (canvas, encs, bits) in [
+                (&color, &mut color_encs, 180_000u64),
+                (&depth, &mut depth_encs, 220_000u64),
+            ] {
+                let outputs: Vec<(String, Vec<u8>)> = encs
+                    .iter_mut()
+                    .map(|(n, e)| (n.clone(), e.encode(canvas, bits).data))
+                    .collect();
                 let (_, reference) = &outputs[0];
                 for (name, data) in &outputs[1..] {
                     assert_eq!(

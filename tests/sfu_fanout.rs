@@ -1,0 +1,213 @@
+//! SFU fan-out integration: 1 sender, N subscribers through `livo-sfu`.
+//!
+//! Asserts the three properties the SFU is for: (a) frustum-clustered
+//! encode sharing performs strictly fewer encode passes than naive
+//! per-subscriber fan-out, (b) what each subscriber decodes is bit-exact
+//! with its cluster's encode (forwarding adds no generation loss), and
+//! (c) per-subscriber adaptation survives sharing — GCC estimates diverge
+//! when link capacities diverge. Plus the scaling acceptance check: six
+//! subscribers in two frustum clusters cost at most two cull+encode
+//! passes per frame, verified on the router's own counter metric.
+
+use livo::capture::{datasets::DatasetPreset, render::render_views_at, rig};
+use livo::prelude::*;
+use livo::transport::Micros;
+use std::collections::BTreeMap;
+
+const FPS: u32 = 30;
+const FRAME_INTERVAL: Micros = 1_000_000 / FPS as u64;
+
+fn tiny_rig() -> Vec<livo::math::RgbdCamera> {
+    rig::camera_ring(
+        2,
+        2.5,
+        1.4,
+        Vec3::new(0.0, 1.0, 0.0),
+        livo::math::CameraIntrinsics::kinect_depth(0.05),
+    )
+}
+
+fn looking(yaw: f32) -> Pose {
+    let eye = Vec3::new(0.0, 1.5, 2.0);
+    let dir = Vec3::new(yaw.sin(), 0.0, -yaw.cos());
+    Pose::look_at(eye, eye + dir, Vec3::new(0.0, 1.0, 0.0))
+}
+
+/// Drive `frames` frames through the router: fixed per-subscriber gaze,
+/// virtual-time ticks between frames, and a final drain so in-flight
+/// packets arrive. Returns, per subscriber, the reconstruction of every
+/// frame its cluster encoded for it, keyed by sequence number.
+fn drive(
+    router: &mut Router,
+    cameras: &[livo::math::RgbdCamera],
+    yaws: &[f32],
+    frames: u64,
+) -> Vec<BTreeMap<u32, Frame>> {
+    let preset = DatasetPreset::load(VideoId::Band2);
+    let pool = livo::runtime::global();
+    let mut sent: Vec<BTreeMap<u32, Frame>> = vec![BTreeMap::new(); yaws.len()];
+    let mut now: Micros = 0;
+    for frame_idx in 0..frames {
+        let t_s = frame_idx as f32 / FPS as f32;
+        let snap = preset.scene.at(t_s);
+        let views = render_views_at(pool, cameras, &snap, frame_idx as u32);
+        for (id, &yaw) in yaws.iter().enumerate() {
+            router.observe_pose(id, &looking(yaw));
+        }
+        let out = router.route_frame(now, &views);
+        for cluster in &out.clusters {
+            for &member in &cluster.members {
+                let color = if cluster.low_members.contains(&member) {
+                    &cluster.low.as_ref().expect("low variant present").0
+                } else {
+                    &cluster.color
+                };
+                sent[member].insert(out.seq, color.reconstruction.clone());
+            }
+        }
+        let frame_end = now + FRAME_INTERVAL;
+        while now < frame_end {
+            router.tick(now);
+            now += 1_000;
+        }
+    }
+    // Drain: let queued packets land and the jitter buffers release.
+    let drain_end = now + 500_000;
+    while now < drain_end {
+        router.tick(now);
+        now += 1_000;
+    }
+    sent
+}
+
+fn fanout_router(sharing: bool) -> (Router, Vec<livo::math::RgbdCamera>) {
+    let cameras = tiny_rig();
+    let cfg = RouterConfig { sharing, ..Default::default() };
+    let mut router = Router::new(cfg, cameras.clone());
+    // Three subscribers: a fast fibre path and two DSL-class paths, as in
+    // the paper's trace set.
+    router.add_subscriber(
+        SubscriberConfig::new("fibre"),
+        BandwidthTrace::generate(TraceId::Trace1, 12.0, 7),
+    );
+    router.add_subscriber(
+        SubscriberConfig::new("dsl-a"),
+        BandwidthTrace::generate(TraceId::Trace2, 12.0, 8),
+    );
+    router.add_subscriber(
+        SubscriberConfig::new("dsl-b"),
+        BandwidthTrace::generate(TraceId::Trace2, 12.0, 9),
+    );
+    (router, cameras)
+}
+
+#[test]
+fn shared_clusters_encode_strictly_less_than_naive() {
+    let frames = 20u64;
+    // All three subscribers watch the band from the same side: one
+    // cluster, one pass per frame.
+    let yaws = [0.0f32, 0.04, -0.04];
+
+    let (mut shared, cameras) = fanout_router(true);
+    drive(&mut shared, &cameras, &yaws, frames);
+    let shared_passes =
+        shared.registry().snapshot().counter("sfu.encode_passes").expect("counter exists");
+
+    let (mut naive, cameras) = fanout_router(false);
+    drive(&mut naive, &cameras, &yaws, frames);
+    let naive_passes =
+        naive.registry().snapshot().counter("sfu.encode_passes").expect("counter exists");
+
+    assert_eq!(naive_passes, frames * 3, "naive: one pass per subscriber per frame");
+    assert_eq!(shared_passes, frames, "aligned frusta: one pass per frame");
+    assert!(shared_passes < naive_passes);
+}
+
+#[test]
+fn forwarded_streams_decode_bit_exact_to_cluster_encode() {
+    let frames = 15u64;
+    let yaws = [0.0f32, 0.04, -0.04];
+    let (mut router, cameras) = fanout_router(true);
+    let sent = drive(&mut router, &cameras, &yaws, frames);
+
+    for (id, per_seq) in sent.iter().enumerate() {
+        let sub = router.subscriber(id);
+        assert!(
+            sub.stats().frames_decoded > 0,
+            "subscriber {id} decoded nothing ({:?})",
+            sub.stats()
+        );
+        // Every colour frame still in the receive window must be
+        // byte-identical to the cluster encoder's own reconstruction:
+        // the codec's closed loop guarantees decoder output ==
+        // reconstruction, so any mismatch means the SFU corrupted or
+        // cross-wired a stream.
+        let mut checked = 0usize;
+        for seq in 0..frames as u32 {
+            let Some(decoded) = sub.decoded_color(seq) else { continue };
+            let encoded = &per_seq[&seq];
+            assert_eq!(decoded.planes.len(), encoded.planes.len());
+            for (dp, ep) in decoded.planes.iter().zip(&encoded.planes) {
+                assert!(dp.data == ep.data, "subscriber {id} seq {seq}: stream not bit-exact");
+            }
+            checked += 1;
+        }
+        assert!(checked >= 3, "subscriber {id}: only {checked} frames left to compare");
+    }
+}
+
+#[test]
+fn gcc_estimates_diverge_with_link_capacity() {
+    let frames = 90u64; // 3 s of virtual time: enough for AIMD to separate
+    let yaws = [0.0f32, 0.0, 0.0];
+    let cameras = tiny_rig();
+    let mut router = Router::new(RouterConfig::default(), cameras.clone());
+    // At this test's tiny canvas the media stream is only a few hundred
+    // kbit/s, so the slow links must sit *below* that to actually congest.
+    router.add_subscriber(SubscriberConfig::new("fast"), BandwidthTrace::constant(50.0, 12.0));
+    router.add_subscriber(SubscriberConfig::new("slow"), BandwidthTrace::constant(0.5, 12.0));
+    router.add_subscriber(SubscriberConfig::new("slower"), BandwidthTrace::constant(0.25, 12.0));
+    drive(&mut router, &cameras, &yaws, frames);
+
+    let fast = router.subscriber(0).estimate_bps();
+    let slow = router.subscriber(1).estimate_bps();
+    let slower = router.subscriber(2).estimate_bps();
+    // Shared encode, private congestion control: each estimate tracks its
+    // own bottleneck.
+    assert!(fast > 5.0 * slow, "fast {fast:.0} vs slow {slow:.0}");
+    assert!(fast > 10e6, "uncongested estimate should keep growing, got {fast:.0}");
+    assert!(slow < 3e6, "slow estimate should cap near its 0.5 Mbps link, got {slow:.0}");
+    assert!(slower < 3e6, "slower estimate should cap near its 0.25 Mbps link, got {slower:.0}");
+}
+
+#[test]
+fn six_subscribers_in_two_clusters_cost_at_most_two_passes_per_frame() {
+    let frames = 20u64;
+    // Two gaze groups, interleaved so clustering cannot ride on insertion
+    // order: evens watch the stage, odds watch the crowd behind them.
+    let yaws = [0.0f32, std::f32::consts::PI, 0.03, std::f32::consts::PI + 0.03, -0.03, std::f32::consts::PI - 0.03];
+    let cameras = tiny_rig();
+    let mut router = Router::new(RouterConfig::default(), cameras.clone());
+    for i in 0..6 {
+        router.add_subscriber(
+            SubscriberConfig::new(format!("sub{i}")),
+            BandwidthTrace::constant(40.0, 12.0),
+        );
+    }
+    drive(&mut router, &cameras, &yaws, frames);
+
+    let passes = router.registry().snapshot().counter("sfu.encode_passes").expect("counter");
+    assert!(
+        passes <= 2 * frames,
+        "6 subscribers in 2 frustum clusters must cost <= 2 passes/frame: {passes} passes over {frames} frames"
+    );
+    assert!(passes >= frames, "at least one pass per frame: {passes}");
+    let membership = router.cluster_membership();
+    assert_eq!(membership.len(), 2, "two frustum clusters: {membership:?}");
+    assert_eq!(membership[0].1, vec![0, 2, 4]);
+    assert_eq!(membership[1].1, vec![1, 3, 5]);
+    // Every subscriber still got every frame forwarded.
+    let forwarded: Vec<u64> =
+        (0..6).map(|i| router.subscriber(i).stats().frames_forwarded).collect();
+    assert_eq!(forwarded, vec![frames; 6]);
+}

@@ -21,8 +21,12 @@ fn every_displayed_frame_has_a_complete_monotonic_timeline() {
     let trace = BandwidthTrace::generate(TraceId::Trace1, 10.0, 3);
     let s = ConferenceRunner::new(quick(VideoId::Band2)).run(trace);
 
-    let shown: std::collections::HashSet<u64> =
-        s.records.iter().filter_map(|r| r.shown_seq).map(|q| q as u64).collect();
+    let shown: std::collections::HashSet<u64> = s
+        .records
+        .iter()
+        .filter_map(|r| r.shown_seq)
+        .map(|q| q as u64)
+        .collect();
     assert!(shown.len() > 30, "only {} frames displayed", shown.len());
 
     // Sender-side stages exist for every frame the pipeline produced;
@@ -37,20 +41,37 @@ fn every_displayed_frame_has_a_complete_monotonic_timeline() {
             rec.events
         );
         for st in [stage::CAPTURE, stage::CULL, stage::TILE, stage::ENCODE] {
-            assert!(rec.ts_of(st).is_some(), "frame {} missing sender stage {st}", rec.seq);
+            assert!(
+                rec.ts_of(st).is_some(),
+                "frame {} missing sender stage {st}",
+                rec.seq
+            );
         }
         if !shown.contains(&rec.seq) {
             continue;
         }
-        for st in [stage::PACKETIZE, stage::LINK, stage::REASSEMBLY, stage::JITTER, stage::DECODE]
-        {
-            assert!(rec.ts_of(st).is_some(), "displayed frame {} missing {st}", rec.seq);
+        for st in [
+            stage::PACKETIZE,
+            stage::LINK,
+            stage::REASSEMBLY,
+            stage::JITTER,
+            stage::DECODE,
+        ] {
+            assert!(
+                rec.ts_of(st).is_some(),
+                "displayed frame {} missing {st}",
+                rec.seq
+            );
         }
         checked += 1;
     }
     // Eviction may drop the oldest records, but most displayed frames must
     // have survived with a full sender→receiver trail.
-    assert!(checked as f64 > shown.len() as f64 * 0.8, "{checked}/{}", shown.len());
+    assert!(
+        checked as f64 > shown.len() as f64 * 0.8,
+        "{checked}/{}",
+        shown.len()
+    );
 }
 
 #[test]
@@ -60,7 +81,10 @@ fn metrics_agree_with_summary_aggregates() {
     let m = &s.metrics;
 
     // Codec counters: every sender frame was encoded on both streams.
-    let frames = m.histogram("conference.encode_ms").map(|h| h.count).unwrap_or(0);
+    let frames = m
+        .histogram("conference.encode_ms")
+        .map(|h| h.count)
+        .unwrap_or(0);
     assert!(frames > 60);
     let color_frames = m.counter("codec.color.frames_intra").unwrap_or(0)
         + m.counter("codec.color.frames_inter").unwrap_or(0);
@@ -71,7 +95,9 @@ fn metrics_agree_with_summary_aggregates() {
     // histogram mean matches the summary's scalar within float noise.
     let shown = s.records.iter().filter(|r| r.shown_seq.is_some()).count() as u64;
     assert_eq!(m.counter("display.frames_shown"), Some(shown));
-    let lat = m.histogram("transport.transport_latency_ms").expect("latency histogram");
+    let lat = m
+        .histogram("transport.transport_latency_ms")
+        .expect("latency histogram");
     assert!(
         (lat.mean - s.transport_latency_ms).abs() < 1.0,
         "histogram mean {} vs summary {}",
@@ -129,5 +155,8 @@ fn telemetry_overhead_stays_small() {
         ctr.inc();
     }
     let per_sample_us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
-    assert!(per_sample_us < 2.0, "telemetry sample cost {per_sample_us:.3} µs");
+    assert!(
+        per_sample_us < 2.0,
+        "telemetry sample cost {per_sample_us:.3} µs"
+    );
 }
