@@ -1,0 +1,353 @@
+//! Hot-kernel microbenchmarks: the optimised per-frame kernels against the
+//! reference implementations they replaced.
+//!
+//! Each kernel keeps its pre-optimisation form in-tree (`cull_views_reference`,
+//! `dct::forward_ref`/`inverse_ref`, `motion::sad_ref`, the
+//! `livo_codec2d::reference` encoder), both as the oracle of the
+//! differential tests and as the baseline here — so the reported speedups
+//! measure the actual replacement, on the actual machine, not a synthetic
+//! stand-in. `repro kernels` prints the table; `--json` snapshots it
+//! (schema `livo-bench-kernels-v1`, committed as `BENCH_kernels.json`);
+//! `--gate` exits non-zero if any kernel regresses below 1.0×, which
+//! `scripts/tier1.sh` uses as a perf ratchet.
+//!
+//! Timing protocol: fast and reference passes alternate within each
+//! repetition (so drift hits both alike) and the per-iteration median over
+//! [`REPS`] repetitions is reported — robust to scheduler noise on small
+//! CI machines.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use livo_capture::{datasets::DatasetPreset, render::render_rgbd_at, rig, RgbdFrame, VideoId};
+use livo_codec2d::reference::encode_frame_reference;
+use livo_codec2d::{dct, motion, Encoder, EncoderConfig, Frame, PixelFormat, Plane};
+use livo_core::{cull_views, cull_views_reference};
+use livo_math::{CameraIntrinsics, Frustum, FrustumParams, Pose, RgbdCamera, Vec3};
+use livo_telemetry::json::ObjectWriter;
+
+/// Repetitions per kernel; the median is reported.
+const REPS: usize = 7;
+
+/// One benchmarked kernel.
+pub struct KernelPoint {
+    pub name: &'static str,
+    /// What one timed iteration covers.
+    pub unit: &'static str,
+    /// Median wall-clock of the optimised kernel, nanoseconds.
+    pub fast_ns: f64,
+    /// Median wall-clock of the retained reference, nanoseconds.
+    pub ref_ns: f64,
+}
+
+impl KernelPoint {
+    pub fn speedup(&self) -> f64 {
+        if self.fast_ns <= 0.0 {
+            0.0
+        } else {
+            self.ref_ns / self.fast_ns
+        }
+    }
+}
+
+/// Median of per-rep timings for interleaved fast/reference closures.
+fn time_pair(mut fast: impl FnMut(), mut reference: impl FnMut()) -> (f64, f64) {
+    // One untimed warm-up of each (page faults, lazy init).
+    fast();
+    reference();
+    let mut fast_ns = Vec::with_capacity(REPS);
+    let mut ref_ns = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        fast();
+        fast_ns.push(t0.elapsed().as_nanos() as f64);
+        let t0 = Instant::now();
+        reference();
+        ref_ns.push(t0.elapsed().as_nanos() as f64);
+    }
+    fast_ns.sort_by(f64::total_cmp);
+    ref_ns.sort_by(f64::total_cmp);
+    (fast_ns[REPS / 2], ref_ns[REPS / 2])
+}
+
+/// Deterministic pseudo-random 8×8 block (xorshift; no external RNG).
+fn pseudo_block(seed: u64, peak: i32) -> [i32; 64] {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    let mut blk = [0i32; 64];
+    for v in &mut blk {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *v = (s % (peak as u64 + 1)) as i32 - peak / 2;
+    }
+    blk
+}
+
+fn textured_plane(w: usize, h: usize, phase: usize) -> Plane {
+    let mut p = Plane::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let fx = (x + phase) as f32;
+            let fy = y as f32;
+            let v = 128.0 + 80.0 * (fx * 0.21).sin() + 40.0 * (fy * 0.17).cos();
+            p.set(x, y, v.max(0.0) as u16);
+        }
+    }
+    p
+}
+
+fn test_frame(w: usize, h: usize, phase: usize) -> Frame {
+    let mut rgb = vec![0u8; w * h * 3];
+    for y in 0..h {
+        for x in 0..w {
+            let i = (y * w + x) * 3;
+            rgb[i] = (((x + phase) * 5) % 256) as u8;
+            rgb[i + 1] = ((y * 3 + phase) % 256) as u8;
+            rgb[i + 2] = (((x + y) * 2) % 256) as u8;
+        }
+    }
+    Frame::from_rgb8(w, h, &rgb)
+}
+
+fn bench_cull() -> KernelPoint {
+    let cameras: Vec<RgbdCamera> = rig::camera_ring(
+        3,
+        2.5,
+        1.2,
+        Vec3::new(0.0, 1.0, 0.0),
+        CameraIntrinsics::kinect_depth(0.2),
+    );
+    let preset = DatasetPreset::load(VideoId::Band2);
+    let snap = preset.scene.at(0.5);
+    let views: Vec<RgbdFrame> = cameras
+        .iter()
+        .map(|c| render_rgbd_at(c, &snap, 0))
+        .collect();
+    let frustum = Frustum::from_params(
+        &Pose::look_at(Vec3::new(1.0, 1.4, -2.5), Vec3::new(0.0, 1.0, 0.0), Vec3::Y),
+        &FrustumParams {
+            hfov: 0.9,
+            aspect: 1.3,
+            near: 0.1,
+            far: 8.0,
+        },
+    );
+    // The cull mutates its input, so each timed pass works on a fresh copy.
+    // Both sides pay the identical clone; its median cost is measured
+    // separately below and subtracted from each.
+    let (fast, naive) = time_pair(
+        || {
+            let mut v = views.clone();
+            black_box(cull_views(&mut v, &cameras, &frustum));
+        },
+        || {
+            let mut v = views.clone();
+            black_box(cull_views_reference(&mut v, &cameras, &frustum));
+        },
+    );
+    let mut clone_ns = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        black_box(views.clone());
+        clone_ns.push(t0.elapsed().as_nanos() as f64);
+    }
+    clone_ns.sort_by(f64::total_cmp);
+    let clone_med = clone_ns[REPS / 2];
+    KernelPoint {
+        name: "cull",
+        unit: "3 cameras, scale 0.2, one frustum",
+        fast_ns: (fast - clone_med).max(1.0),
+        ref_ns: (naive - clone_med).max(1.0),
+    }
+}
+
+fn bench_dct() -> (KernelPoint, KernelPoint) {
+    const BLOCKS: usize = 4096;
+    let blocks: Vec<[i32; 64]> = (0..BLOCKS)
+        .map(|i| pseudo_block(i as u64 + 1, if i % 2 == 0 { 255 } else { 65535 }))
+        .collect();
+    let coeffs: Vec<[f32; 64]> = blocks.iter().map(dct::forward).collect();
+
+    let (f_fast, f_ref) = time_pair(
+        || {
+            for b in &blocks {
+                black_box(dct::forward(black_box(b)));
+            }
+        },
+        || {
+            for b in &blocks {
+                black_box(dct::forward_ref(black_box(b)));
+            }
+        },
+    );
+    let (i_fast, i_ref) = time_pair(
+        || {
+            for c in &coeffs {
+                black_box(dct::inverse(black_box(c)));
+            }
+        },
+        || {
+            for c in &coeffs {
+                black_box(dct::inverse_ref(black_box(c)));
+            }
+        },
+    );
+    let per = BLOCKS as f64;
+    (
+        KernelPoint {
+            name: "dct_forward",
+            unit: "per 8x8 block",
+            fast_ns: f_fast / per,
+            ref_ns: f_ref / per,
+        },
+        KernelPoint {
+            name: "dct_inverse",
+            unit: "per 8x8 block",
+            fast_ns: i_fast / per,
+            ref_ns: i_ref / per,
+        },
+    )
+}
+
+fn bench_sad() -> KernelPoint {
+    let cur = textured_plane(256, 256, 2);
+    let reference = textured_plane(256, 256, 0);
+    let vectors = [(0i16, 0i16), (3, 0), (-2, 1), (5, -4), (-7, -7), (8, 8)];
+    let mut count = 0usize;
+    for by in (16..224).step_by(16) {
+        for _bx in (16..224).step_by(16) {
+            count += vectors.len();
+            let _ = by;
+        }
+    }
+    let (fast, naive) = time_pair(
+        || {
+            for by in (16..224).step_by(16) {
+                for bx in (16..224).step_by(16) {
+                    for (dx, dy) in vectors {
+                        let mv = motion::MotionVector { dx, dy };
+                        black_box(motion::sad(&cur, &reference, bx, by, mv, u64::MAX));
+                    }
+                }
+            }
+        },
+        || {
+            for by in (16..224).step_by(16) {
+                for bx in (16..224).step_by(16) {
+                    for (dx, dy) in vectors {
+                        let mv = motion::MotionVector { dx, dy };
+                        black_box(motion::sad_ref(&cur, &reference, bx, by, mv, u64::MAX));
+                    }
+                }
+            }
+        },
+    );
+    KernelPoint {
+        name: "sad",
+        unit: "per 16x16 SAD, no early exit",
+        fast_ns: fast / count as f64,
+        ref_ns: naive / count as f64,
+    }
+}
+
+fn bench_encode() -> KernelPoint {
+    const W: usize = 128;
+    const H: usize = 128;
+    const QP: u8 = 12;
+    let frames: Vec<Frame> = (0..3).map(|i| test_frame(W, H, i)).collect();
+    let (fast, naive) = time_pair(
+        || {
+            let mut cfg = EncoderConfig::new(W, H, PixelFormat::Yuv420);
+            cfg.gop_length = 0;
+            let mut enc = Encoder::new(cfg);
+            for f in &frames {
+                black_box(enc.encode_fixed_qp(f, QP));
+            }
+        },
+        || {
+            let mut prev: Option<Frame> = None;
+            for f in &frames {
+                let (bits, recon) = encode_frame_reference(f, prev.as_ref(), QP, 8);
+                black_box(bits);
+                prev = Some(recon);
+            }
+        },
+    );
+    KernelPoint {
+        name: "encode",
+        unit: "3 frames 128x128 yuv420, fixed qp, serial",
+        fast_ns: fast,
+        ref_ns: naive,
+    }
+}
+
+/// Run the full kernel sweep.
+pub fn run() -> Vec<KernelPoint> {
+    let (dct_f, dct_i) = bench_dct();
+    vec![bench_cull(), dct_f, dct_i, bench_sad(), bench_encode()]
+}
+
+/// Human-readable table.
+pub fn text(points: &[KernelPoint]) -> String {
+    let mut s = String::from("Hot-kernel speedups vs retained reference implementations\n\n");
+    s.push_str(&format!(
+        "{:>12} | {:>12} | {:>12} | {:>8} | unit\n",
+        "kernel", "fast ns", "ref ns", "speedup"
+    ));
+    s.push_str(&format!(
+        "{:->12}-+-{:->12}-+-{:->12}-+-{:->8}-+-----\n",
+        "", "", "", ""
+    ));
+    for p in points {
+        s.push_str(&format!(
+            "{:>12} | {:>12.0} | {:>12.0} | {:>7.2}x | {}\n",
+            p.name,
+            p.fast_ns,
+            p.ref_ns,
+            p.speedup(),
+            p.unit
+        ));
+    }
+    s.push_str("\nReferences stay in-tree (cull_views_reference, dct::*_ref, motion::*_ref,\nlivo_codec2d::reference) and double as differential-test oracles.\n");
+    s
+}
+
+/// The snapshot written to `BENCH_kernels.json`, schema
+/// `livo-bench-kernels-v1`.
+pub fn json(points: &[KernelPoint]) -> String {
+    let mut out = String::new();
+    let mut o = ObjectWriter::new(&mut out);
+    o.field_str("schema", "livo-bench-kernels-v1");
+    {
+        let cfg = o.field_raw("config");
+        let mut c = ObjectWriter::new(cfg);
+        c.field_u64("reps", REPS as u64);
+        c.field_str("stat", "median, fast/ref interleaved");
+        c.finish();
+    }
+    {
+        let arr = o.field_raw("kernels");
+        arr.push('[');
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                arr.push(',');
+            }
+            let mut w = ObjectWriter::new(arr);
+            w.field_str("name", p.name);
+            w.field_str("unit", p.unit);
+            w.field_f64("fast_ns", p.fast_ns);
+            w.field_f64("ref_ns", p.ref_ns);
+            w.field_f64("speedup", p.speedup());
+            w.finish();
+        }
+        arr.push(']');
+    }
+    o.finish();
+    out
+}
+
+/// Perf ratchet: true when every kernel is at least as fast as its
+/// reference (speedup ≥ 1.0).
+pub fn gate_ok(points: &[KernelPoint]) -> bool {
+    points.iter().all(|p| p.speedup() >= 1.0)
+}

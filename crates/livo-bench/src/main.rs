@@ -14,7 +14,14 @@
 //! `sfu` runs the N-subscriber scaling sweep (encode passes per frame,
 //! shared vs naive); `--sfu-json <path>` snapshots it as JSON (schema
 //! `livo-bench-sfu-v1`, committed as BENCH_sfu.json).
+//!
+//! `kernels` runs the hot-kernel microbench (cull, DCT, SAD, full encode)
+//! against the retained pre-optimisation reference implementations;
+//! `--json <path>` snapshots it (schema `livo-bench-kernels-v1`, committed
+//! as BENCH_kernels.json) and `--gate` exits non-zero if any kernel
+//! regressed below 1.0x its reference.
 
+mod kernels_bench;
 mod sfu_bench;
 
 use livo_capture::{TraceId, VideoId};
@@ -24,12 +31,15 @@ use livo_telemetry::{log_event, Level};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick|--standard] [--metrics <path>] [--sfu-json <path>] <artefact>...\n\
-         artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid sfu all\n\
+        "usage: repro [--quick|--standard] [--metrics <path>] [--sfu-json <path>] [--json <path>] [--gate] <artefact>...\n\
+         artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid sfu kernels all\n\
          --metrics <path>: also run one instrumented LiVo replay and write the\n\
          telemetry snapshot (schema livo-bench-pipeline-v1) as JSON to <path>\n\
          --sfu-json <path>: write the SFU scaling sweep (schema livo-bench-sfu-v1)\n\
          as JSON to <path>\n\
+         --json <path>: write the kernel microbench (schema livo-bench-kernels-v1)\n\
+         as JSON to <path>\n\
+         --gate: exit non-zero if any kernel runs below 1.0x its reference\n\
          progress goes through the structured logger; filter with LIVO_LOG=warn|info|debug"
     );
     std::process::exit(2);
@@ -75,6 +85,8 @@ fn main() {
     let mut artefacts: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
     let mut sfu_json_path: Option<String> = None;
+    let mut kernels_json_path: Option<String> = None;
+    let mut gate = false;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -88,6 +100,11 @@ fn main() {
                 Some(p) => sfu_json_path = Some(p.clone()),
                 None => usage(),
             },
+            "--json" => match iter.next() {
+                Some(p) => kernels_json_path = Some(p.clone()),
+                None => usage(),
+            },
+            "--gate" => gate = true,
             "all" => artefacts.extend(
                 [
                     "table1", "table3", "table4", "table5", "table6", "fig4", "fig5", "fig9",
@@ -100,7 +117,11 @@ fn main() {
             other => artefacts.push(other.to_string()),
         }
     }
-    if artefacts.is_empty() && metrics_path.is_none() && sfu_json_path.is_none() {
+    if artefacts.is_empty()
+        && metrics_path.is_none()
+        && sfu_json_path.is_none()
+        && kernels_json_path.is_none()
+    {
         usage();
     }
     let mut cache = GridCache {
@@ -108,6 +129,7 @@ fn main() {
         grid: None,
     };
     let mut sfu_points: Option<Vec<sfu_bench::ScalingPoint>> = None;
+    let mut kernel_points: Option<Vec<kernels_bench::KernelPoint>> = None;
     for a in &artefacts {
         log_event!(Level::Info, "repro", "generating artefact", "artefact" => a.as_str());
         let text = match a.as_str() {
@@ -131,6 +153,10 @@ fn main() {
             "sfu" => {
                 let pts = sfu_points.get_or_insert_with(|| sfu_bench::run_scaling(&profile));
                 sfu_bench::text(pts)
+            }
+            "kernels" => {
+                let pts = kernel_points.get_or_insert_with(kernels_bench::run);
+                kernels_bench::text(pts)
             }
             "grid" => {
                 let grid = cache.get();
@@ -190,5 +216,36 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+    if let Some(path) = kernels_json_path {
+        log_event!(Level::Info, "repro", "writing kernel microbench snapshot", "path" => path.as_str());
+        let pts = kernel_points.get_or_insert_with(kernels_bench::run);
+        let json = kernels_bench::json(pts);
+        if let Err(e) = std::fs::write(&path, &json) {
+            log_event!(
+                Level::Error,
+                "repro",
+                "failed to write kernels snapshot",
+                "path" => path.as_str(),
+                "error" => e.to_string()
+            );
+            std::process::exit(1);
+        }
+    }
+    if gate {
+        let pts = kernel_points.get_or_insert_with(kernels_bench::run);
+        if !kernels_bench::gate_ok(pts) {
+            log_event!(
+                Level::Error,
+                "repro",
+                "kernel gate failed: a kernel runs below 1.0x its reference"
+            );
+            std::process::exit(1);
+        }
+        log_event!(
+            Level::Info,
+            "repro",
+            "kernel gate passed: all kernels at or above 1.0x"
+        );
     }
 }

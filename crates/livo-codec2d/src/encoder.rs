@@ -124,6 +124,56 @@ struct EncoderTelemetry {
     blocks_skip: Arc<Counter>,
     blocks_coded: Arc<Counter>,
     bits_total: Arc<Counter>,
+    scratch_reuses: Arc<Counter>,
+}
+
+/// Per-encoder scratch arena: every buffer the per-frame path used to
+/// allocate fresh. Reusing it turns the steady-state encode loop
+/// allocation-free apart from the output bitstream and the one
+/// reconstruction clone handed to the caller. Results are unaffected — each
+/// buffer is fully overwritten (plans, motion field) or dimension-checked
+/// and fully re-reconstructed (the work frame) before anything reads it;
+/// `tests/parallel_bitexact.rs` pins bit-exactness across reuse.
+struct EncoderScratch {
+    /// Planned luma macroblocks of the pooled inter path.
+    luma_plans: Vec<LumaMbPlan>,
+    /// Planned chroma blocks of the pooled inter path (reused for U and V).
+    chroma_plans: Vec<[i32; 64]>,
+    /// Luma motion field of the frame being encoded.
+    mvs: Vec<MotionVector>,
+    /// Reconstruction under construction. After the frame commits, this
+    /// buffer and the previous reference frame swap roles (double buffer).
+    work_recon: Frame,
+}
+
+impl Default for EncoderScratch {
+    fn default() -> Self {
+        EncoderScratch {
+            luma_plans: Vec::new(),
+            chroma_plans: Vec::new(),
+            mvs: Vec::new(),
+            // Zero-sized: matches no real frame, so the first encode always
+            // allocates a correctly-shaped work frame.
+            work_recon: Frame::new(PixelFormat::Yuv420, 0, 0),
+        }
+    }
+}
+
+impl EncoderScratch {
+    /// Make `work_recon` a `format`/`w`×`h` frame, reusing the existing
+    /// allocation when the shape already matches. Returns whether the
+    /// buffer was reused. Stale contents are harmless: every pixel of the
+    /// reconstruction is rewritten during the encode (intra DC prediction
+    /// only ever reads pixels the current frame has already reconstructed).
+    fn ensure_work_recon(&mut self, format: PixelFormat, w: usize, h: usize) -> bool {
+        let r = &self.work_recon;
+        if r.format == format && (r.width, r.height) == (w, h) && w > 0 {
+            true
+        } else {
+            self.work_recon = Frame::new(format, w, h);
+            false
+        }
+    }
 }
 
 /// The rate-adaptive encoder.
@@ -139,6 +189,8 @@ pub struct Encoder {
     /// Worker pool for stripe-parallel inter-frame planning. `None` (or a
     /// single-thread pool) keeps the original single-pass serial path.
     pool: Option<Arc<WorkerPool>>,
+    /// Reused per-frame buffers (plans, motion field, work reconstruction).
+    scratch: EncoderScratch,
 }
 
 impl Encoder {
@@ -152,6 +204,7 @@ impl Encoder {
             prev_input_luma: None,
             telemetry: None,
             pool: None,
+            scratch: EncoderScratch::default(),
         }
     }
 
@@ -178,6 +231,9 @@ impl Encoder {
             blocks_skip: registry.counter(&format!("{prefix}.blocks_skip")),
             blocks_coded: registry.counter(&format!("{prefix}.blocks_coded")),
             bits_total: registry.counter(&format!("{prefix}.bits_total")),
+            // Deliberately unprefixed: one arena-effectiveness counter for
+            // the whole codec stage, shared by colour and depth encoders.
+            scratch_reuses: registry.counter("codec.scratch_reuses"),
         });
     }
 
@@ -251,7 +307,7 @@ impl Encoder {
             self.cfg.qp_max,
         );
 
-        let (mut data, mut recon, mut blocks) = self.encode_with_qp(frame, qp, frame_type);
+        let (mut data, mut blocks) = self.encode_with_qp(frame, qp, frame_type);
         let mut actual_bits = data.len() as u64 * 8;
         // One corrective re-encode on overshoot, like a CBR encoder's
         // internal re-quantisation.
@@ -261,16 +317,15 @@ impl Encoder {
             qp = (qp + 4).min(self.cfg.qp_max);
             let redo = self.encode_with_qp(frame, qp, frame_type);
             data = redo.0;
-            recon = redo.1;
-            blocks = redo.2;
+            blocks = redo.1;
             actual_bits = data.len() as u64 * 8;
         }
         self.rc
             .update(frame_type, complexity, actual_bits as f64, qp);
         self.publish_frame_metrics(frame_type, qp, actual_bits, blocks, Some(target_bits));
 
-        self.prev_input_luma = Some(frame.planes[0].clone());
-        self.recon = Some(recon.clone());
+        self.store_prev_luma(frame);
+        let recon = self.commit_reconstruction();
         self.frame_index += 1;
         EncodedFrame {
             data,
@@ -301,10 +356,10 @@ impl Encoder {
             FrameType::Inter
         };
         let qp = qp.clamp(self.cfg.qp_min, self.cfg.qp_max);
-        let (data, recon, blocks) = self.encode_with_qp(frame, qp, frame_type);
+        let (data, blocks) = self.encode_with_qp(frame, qp, frame_type);
         self.publish_frame_metrics(frame_type, qp, data.len() as u64 * 8, blocks, None);
-        self.prev_input_luma = Some(frame.planes[0].clone());
-        self.recon = Some(recon.clone());
+        self.store_prev_luma(frame);
+        let recon = self.commit_reconstruction();
         self.frame_index += 1;
         EncodedFrame {
             data,
@@ -313,6 +368,33 @@ impl Encoder {
             reconstruction: recon,
             blocks,
         }
+    }
+
+    /// Remember this frame's luma for temporal complexity estimation,
+    /// reusing the previous buffer when the resolution is unchanged.
+    fn store_prev_luma(&mut self, frame: &Frame) {
+        let luma = &frame.planes[0];
+        match &mut self.prev_input_luma {
+            Some(p) if (p.width, p.height) == (luma.width, luma.height) => {
+                p.data.copy_from_slice(&luma.data);
+            }
+            slot => *slot = Some(luma.clone()),
+        }
+    }
+
+    /// Rotate the reconstruction double buffer after the final encode pass
+    /// of a frame: the work frame becomes the prediction reference, and the
+    /// outgoing reference's allocation becomes the next frame's workspace.
+    /// Returns the caller's copy of the reconstruction (the one clone the
+    /// per-frame path still makes).
+    fn commit_reconstruction(&mut self) -> Frame {
+        let recycled = self
+            .recon
+            .take()
+            .unwrap_or_else(|| Frame::new(self.cfg.format, 0, 0));
+        let recon = std::mem::replace(&mut self.scratch.work_recon, recycled);
+        self.recon = Some(recon.clone());
+        recon
     }
 
     /// Complexity proxy driving the rate model: per-pixel activity (temporal
@@ -343,14 +425,25 @@ impl Encoder {
         activity * luma.data.len() as f64
     }
 
-    /// Deterministically encode `frame` at the given QP, returning the
-    /// bitstream, the reconstruction and the skip/coded block statistics.
+    /// Deterministically encode `frame` at the given QP into the scratch
+    /// work frame, returning the bitstream and the skip/coded block
+    /// statistics. The reconstruction is left in `self.scratch.work_recon`
+    /// for [`Encoder::commit_reconstruction`] to rotate in.
     fn encode_with_qp(
-        &self,
+        &mut self,
         frame: &Frame,
         qp: u8,
         frame_type: FrameType,
-    ) -> (Vec<u8>, Frame, BlockCounts) {
+    ) -> (Vec<u8>, BlockCounts) {
+        // Detach the arena so its buffers and `self`'s other fields (the
+        // prediction reference, config, pool) can be borrowed side by side.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if scratch.ensure_work_recon(frame.format, frame.width, frame.height) {
+            if let Some(t) = &self.telemetry {
+                t.scratch_reuses.inc();
+            }
+        }
+
         let mut enc = RangeEncoder::new();
         // Header.
         enc.encode_bits(FRAME_MAGIC, 8);
@@ -360,7 +453,7 @@ impl Encoder {
         enc.encode_bits(frame.height as u32, 16);
         enc.encode_bits(matches!(frame.format, PixelFormat::Y16) as u32, 2);
 
-        let mut recon = Frame::new(frame.format, frame.width, frame.height);
+        let recon = &mut scratch.work_recon;
         let peak = frame.format.peak_value();
         let mut counts = BlockCounts::default();
 
@@ -388,12 +481,13 @@ impl Encoder {
                 let luma_qp = plane_qp(qp, 0, frame.format);
                 let step = quant::qstep(luma_qp);
                 let mut ctx = PlaneContexts::new();
-                let mvs = match pool {
+                let mvs = &mut scratch.mvs;
+                match pool {
                     Some(pool) => {
                         // Parallel plan (search/DCT/quant/recon per MB row),
                         // then a serial range-coder replay in raster order so
                         // the bitstream is bit-exact with the serial path.
-                        let plans = plan_plane_inter_luma(
+                        plan_plane_inter_luma(
                             pool,
                             &frame.planes[0],
                             &prev.planes[0],
@@ -401,8 +495,15 @@ impl Encoder {
                             step,
                             peak,
                             self.cfg.search_range,
+                            &mut scratch.luma_plans,
                         );
-                        entropy_plane_inter_luma(&mut enc, &mut ctx, &plans, &mut counts)
+                        entropy_plane_inter_luma(
+                            &mut enc,
+                            &mut ctx,
+                            &scratch.luma_plans,
+                            &mut counts,
+                            mvs,
+                        );
                     }
                     None => encode_plane_inter_luma(
                         &mut enc,
@@ -414,25 +515,32 @@ impl Encoder {
                         peak,
                         self.cfg.search_range,
                         &mut counts,
+                        mvs,
                     ),
-                };
+                }
                 for pi in 1..frame.planes.len() {
                     let cq = plane_qp(qp, pi, frame.format);
                     let cstep = quant::qstep(cq);
                     let mut cctx = PlaneContexts::new();
                     match pool {
                         Some(pool) => {
-                            let plans = plan_plane_inter_chroma(
+                            plan_plane_inter_chroma(
                                 pool,
                                 &frame.planes[pi],
                                 &prev.planes[pi],
                                 &mut recon.planes[pi],
                                 cstep,
                                 peak,
-                                &mvs,
+                                mvs,
                                 frame.planes[0].width,
+                                &mut scratch.chroma_plans,
                             );
-                            entropy_plane_inter_chroma(&mut enc, &mut cctx, &plans, &mut counts);
+                            entropy_plane_inter_chroma(
+                                &mut enc,
+                                &mut cctx,
+                                &scratch.chroma_plans,
+                                &mut counts,
+                            );
                         }
                         None => encode_plane_inter_chroma(
                             &mut enc,
@@ -442,7 +550,7 @@ impl Encoder {
                             &mut recon.planes[pi],
                             cstep,
                             peak,
-                            &mvs,
+                            mvs,
                             frame.planes[0].width,
                             &mut counts,
                         ),
@@ -450,7 +558,8 @@ impl Encoder {
                 }
             }
         }
-        (enc.finish(), recon, counts)
+        self.scratch = scratch;
+        (enc.finish(), counts)
     }
 }
 
@@ -523,8 +632,8 @@ pub(crate) fn intra_dc_pred(recon: &Plane, bx: usize, by: usize, peak: u16) -> i
     }
 }
 
-/// Inter-code the luma plane; returns the per-macroblock motion vectors in
-/// raster order for the chroma planes to reuse.
+/// Inter-code the luma plane; fills `mvs` with the per-macroblock motion
+/// vectors in raster order for the chroma planes to reuse.
 #[allow(clippy::too_many_arguments)]
 fn encode_plane_inter_luma(
     enc: &mut RangeEncoder,
@@ -536,10 +645,12 @@ fn encode_plane_inter_luma(
     peak: u16,
     search_range: i16,
     counts: &mut BlockCounts,
-) -> Vec<MotionVector> {
+    mvs: &mut Vec<MotionVector>,
+) {
     let mbs_x = plane.width.div_ceil(MB_SIZE);
     let mbs_y = plane.height.div_ceil(MB_SIZE);
-    let mut mvs = vec![MotionVector::default(); mbs_x * mbs_y];
+    mvs.clear();
+    mvs.resize(mbs_x * mbs_y, MotionVector::default());
     let mut pred_buf = [0i32; MB_SIZE * MB_SIZE];
     let mut blk = [0i32; 64];
     for mby in 0..mbs_y {
@@ -616,7 +727,6 @@ fn encode_plane_inter_luma(
             }
         }
     }
-    mvs
 }
 
 /// Inter-code a chroma plane reusing the luma motion field (halved vectors).
@@ -704,7 +814,9 @@ impl Default for LumaMbPlan {
 /// of `recon`. Rows are independent by construction — the motion predictor
 /// is the *left* neighbour only, and prediction reads `prev`, which is
 /// immutable during the frame — so this computes exactly the values the
-/// serial [`encode_plane_inter_luma`] would.
+/// serial [`encode_plane_inter_luma`] would. `plans` is a reused scratch
+/// vector; every element is overwritten before the entropy pass reads it.
+#[allow(clippy::too_many_arguments)]
 fn plan_plane_inter_luma(
     pool: &WorkerPool,
     plane: &Plane,
@@ -713,10 +825,11 @@ fn plan_plane_inter_luma(
     step: f32,
     peak: u16,
     search_range: i16,
-) -> Vec<LumaMbPlan> {
+    plans: &mut Vec<LumaMbPlan>,
+) {
     let mbs_x = plane.width.div_ceil(MB_SIZE);
     let mbs_y = plane.height.div_ceil(MB_SIZE);
-    let mut plans = vec![LumaMbPlan::default(); mbs_x * mbs_y];
+    plans.resize(mbs_x * mbs_y, LumaMbPlan::default());
     let width = plane.width;
     pool.scope(|s| {
         for (mby, (plan_row, stripe)) in plans
@@ -729,7 +842,6 @@ fn plan_plane_inter_luma(
             });
         }
     });
-    plans
 }
 
 /// Plan one macroblock row (see [`plan_plane_inter_luma`]). `stripe` is the
@@ -815,15 +927,17 @@ fn plan_luma_row(
 
 /// Serial entropy pass over a planned luma plane: replays the macroblocks in
 /// raster order through the adaptive range coder, producing the identical
-/// bitstream and statistics to the single-pass serial encoder. Returns the
-/// motion field for the chroma planes.
+/// bitstream and statistics to the single-pass serial encoder. Fills `mvs`
+/// with the motion field for the chroma planes.
 fn entropy_plane_inter_luma(
     enc: &mut RangeEncoder,
     ctx: &mut PlaneContexts,
     plans: &[LumaMbPlan],
     counts: &mut BlockCounts,
-) -> Vec<MotionVector> {
-    let mut mvs = Vec::with_capacity(plans.len());
+    mvs: &mut Vec<MotionVector>,
+) {
+    mvs.clear();
+    mvs.reserve(plans.len());
     for plan in plans {
         if plan.skip {
             counts.skip += 1;
@@ -840,7 +954,6 @@ fn entropy_plane_inter_luma(
         }
         mvs.push(plan.mv);
     }
-    mvs
 }
 
 /// Stripe-parallel plan phase for an inter chroma plane: one pool task per
@@ -856,11 +969,12 @@ fn plan_plane_inter_chroma(
     peak: u16,
     luma_mvs: &[MotionVector],
     luma_width: usize,
-) -> Vec<[i32; 64]> {
+    plans: &mut Vec<[i32; 64]>,
+) {
     let blocks_x = plane.width.div_ceil(8);
     let blocks_y = plane.height.div_ceil(8);
     let mbs_x = luma_width.div_ceil(MB_SIZE);
-    let mut plans = vec![[0i32; 64]; blocks_x * blocks_y];
+    plans.resize(blocks_x * blocks_y, [0i32; 64]);
     let width = plane.width;
     pool.scope(|s| {
         for (row, (plan_row, stripe)) in plans
@@ -910,7 +1024,6 @@ fn plan_plane_inter_chroma(
             });
         }
     });
-    plans
 }
 
 /// Serial entropy pass over a planned chroma plane (see

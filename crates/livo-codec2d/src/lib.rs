@@ -38,6 +38,7 @@ pub mod plane;
 pub mod quant;
 pub mod rangecoder;
 pub mod ratecontrol;
+pub mod reference;
 
 pub use decoder::Decoder;
 pub use encoder::{BlockCounts, EncodedFrame, Encoder, EncoderConfig, FrameType};

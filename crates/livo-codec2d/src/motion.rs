@@ -5,6 +5,15 @@
 //! integer-pixel motion vector minimising SAD; LiVo's tiled content is
 //! mostly static (fixed tile slots — §3.2 of the paper), so most vectors are
 //! zero and most macroblocks are skipped outright.
+//!
+//! [`sad`] and [`predict_block`] take an **interior fast path** over
+//! contiguous row slices whenever both the current block and the displaced
+//! reference block lie fully inside their planes — no per-sample bounds
+//! check, no `get_clamped`, and the early-exit test folded to once per row.
+//! Edge macroblocks (and out-of-range vectors) fall back to the clamped
+//! loop, which [`sad_ref`] / [`predict_block_ref`] retain verbatim as the
+//! differential-test and `repro kernels` reference. Both paths accumulate
+//! the same per-sample values in the same order, so results are identical.
 
 use crate::plane::Plane;
 
@@ -18,9 +27,57 @@ pub struct MotionVector {
 /// Macroblock size in samples.
 pub const MB_SIZE: usize = 16;
 
+/// True when the `MB_SIZE`² block at `(bx, by)` of `cur` and its
+/// `mv`-displaced counterpart in `reference` both lie fully in bounds.
+#[inline]
+fn interior(cur: &Plane, reference: &Plane, bx: usize, by: usize, mv: MotionVector) -> bool {
+    let rx = bx as isize + mv.dx as isize;
+    let ry = by as isize + mv.dy as isize;
+    bx + MB_SIZE <= cur.width
+        && by + MB_SIZE <= cur.height
+        && rx >= 0
+        && ry >= 0
+        && rx as usize + MB_SIZE <= reference.width
+        && ry as usize + MB_SIZE <= reference.height
+}
+
 /// Sum of absolute differences between the `MB_SIZE`² block of `cur` at
 /// `(bx, by)` and the block of `reference` displaced by `mv` (edge-clamped).
+/// Returns early (with a partial sum) once the accumulator reaches
+/// `early_exit`, checked after each row.
 pub fn sad(
+    cur: &Plane,
+    reference: &Plane,
+    bx: usize,
+    by: usize,
+    mv: MotionVector,
+    early_exit: u64,
+) -> u64 {
+    if !interior(cur, reference, bx, by, mv) {
+        return sad_ref(cur, reference, bx, by, mv, early_exit);
+    }
+    let rx = (bx as isize + mv.dx as isize) as usize;
+    let ry = (by as isize + mv.dy as isize) as usize;
+    let mut acc = 0u64;
+    for dy in 0..MB_SIZE {
+        let c = &cur.data[(by + dy) * cur.width + bx..][..MB_SIZE];
+        let r = &reference.data[(ry + dy) * reference.width + rx..][..MB_SIZE];
+        // Row sums fit u32 (16 × 65535); one widening add per row.
+        let mut row = 0u32;
+        for (a, b) in c.iter().zip(r) {
+            row += (*a as i32 - *b as i32).unsigned_abs();
+        }
+        acc += row as u64;
+        if acc >= early_exit {
+            return acc;
+        }
+    }
+    acc
+}
+
+/// Retained clamped-loop SAD: the reference implementation for [`sad`]
+/// (identical results; also the edge-macroblock fallback).
+pub fn sad_ref(
     cur: &Plane,
     reference: &Plane,
     bx: usize,
@@ -53,6 +110,12 @@ pub fn sad(
 
 /// Diamond search around `start` with a maximum displacement of `range`
 /// pixels per axis. Returns the best vector and its SAD.
+///
+/// Each large-diamond iteration tracks the candidate it arrived from (the
+/// previous best) and skips re-scoring it: its full SAD was the previous
+/// `best_sad`, which is strictly greater than the current one, so the probe
+/// can never win — dropping it is a pure saving with an identical result
+/// (pinned by `diamond_skip_matches_reference`).
 pub fn diamond_search(
     cur: &Plane,
     reference: &Plane,
@@ -67,10 +130,13 @@ pub fn diamond_search(
     };
     let mut best = clamp_mv(start);
     let mut best_sad = sad(cur, reference, bx, by, best, u64::MAX);
+    // The point the search came from: scored already, SAD ≥ best_sad.
+    let mut came_from: Option<MotionVector> = None;
     // Always consider the zero vector: skip-mode coding depends on it.
     let zero = MotionVector::default();
     let zero_sad = sad(cur, reference, bx, by, zero, best_sad);
     if zero_sad < best_sad {
+        came_from = Some(best);
         best = zero;
         best_sad = zero_sad;
     }
@@ -94,10 +160,131 @@ pub fn diamond_search(
                 dx: best.dx + ddx,
                 dy: best.dy + ddy,
             });
-            if cand == best {
+            if cand == best || Some(cand) == came_from {
                 continue;
             }
             let s = sad(cur, reference, bx, by, cand, best_sad);
+            if s < best_sad {
+                came_from = Some(best);
+                best = cand;
+                best_sad = s;
+                improved = true;
+            }
+        }
+        steps += 1;
+        if !improved || steps > 32 {
+            break;
+        }
+    }
+    for (ddx, ddy) in small {
+        let cand = clamp_mv(MotionVector {
+            dx: best.dx + ddx,
+            dy: best.dy + ddy,
+        });
+        if cand == best || Some(cand) == came_from {
+            continue;
+        }
+        let s = sad(cur, reference, bx, by, cand, best_sad);
+        if s < best_sad {
+            came_from = Some(best);
+            best = cand;
+            best_sad = s;
+        }
+    }
+    (best, best_sad)
+}
+
+/// Copy the motion-compensated prediction block for macroblock `(bx, by)`
+/// from `reference` into `out` (row-major `MB_SIZE`²).
+pub fn predict_block(
+    reference: &Plane,
+    bx: usize,
+    by: usize,
+    mv: MotionVector,
+    out: &mut [i32; MB_SIZE * MB_SIZE],
+) {
+    // The current-block bounds don't matter for prediction (it only reads
+    // `reference`), but reusing the shared interior test keeps the fast-path
+    // condition in one place; it is just as tight for the displaced block.
+    if !interior(reference, reference, bx, by, mv) {
+        return predict_block_ref(reference, bx, by, mv, out);
+    }
+    let rx = (bx as isize + mv.dx as isize) as usize;
+    let ry = (by as isize + mv.dy as isize) as usize;
+    for dy in 0..MB_SIZE {
+        let src = &reference.data[(ry + dy) * reference.width + rx..][..MB_SIZE];
+        let dst = &mut out[dy * MB_SIZE..][..MB_SIZE];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = *s as i32;
+        }
+    }
+}
+
+/// Retained clamped-loop prediction: the reference implementation for
+/// [`predict_block`] (identical results; also the edge fallback).
+pub fn predict_block_ref(
+    reference: &Plane,
+    bx: usize,
+    by: usize,
+    mv: MotionVector,
+    out: &mut [i32; MB_SIZE * MB_SIZE],
+) {
+    for dy in 0..MB_SIZE {
+        for dx in 0..MB_SIZE {
+            out[dy * MB_SIZE + dx] = reference.get_clamped(
+                (bx + dx) as isize + mv.dx as isize,
+                (by + dy) as isize + mv.dy as isize,
+            ) as i32;
+        }
+    }
+}
+
+/// [`diamond_search`] without the came-from skip: retained for the
+/// differential test pinning that the skip never changes the outcome.
+#[doc(hidden)]
+pub fn diamond_search_ref(
+    cur: &Plane,
+    reference: &Plane,
+    bx: usize,
+    by: usize,
+    start: MotionVector,
+    range: i16,
+) -> (MotionVector, u64) {
+    let clamp_mv = |mv: MotionVector| MotionVector {
+        dx: mv.dx.clamp(-range, range),
+        dy: mv.dy.clamp(-range, range),
+    };
+    let mut best = clamp_mv(start);
+    let mut best_sad = sad_ref(cur, reference, bx, by, best, u64::MAX);
+    let zero = MotionVector::default();
+    let zero_sad = sad_ref(cur, reference, bx, by, zero, best_sad);
+    if zero_sad < best_sad {
+        best = zero;
+        best_sad = zero_sad;
+    }
+    let large: [(i16, i16); 8] = [
+        (0, -2),
+        (1, -1),
+        (2, 0),
+        (1, 1),
+        (0, 2),
+        (-1, 1),
+        (-2, 0),
+        (-1, -1),
+    ];
+    let small: [(i16, i16); 4] = [(0, -1), (1, 0), (0, 1), (-1, 0)];
+    let mut steps = 0;
+    loop {
+        let mut improved = false;
+        for (ddx, ddy) in large {
+            let cand = clamp_mv(MotionVector {
+                dx: best.dx + ddx,
+                dy: best.dy + ddy,
+            });
+            if cand == best {
+                continue;
+            }
+            let s = sad_ref(cur, reference, bx, by, cand, best_sad);
             if s < best_sad {
                 best = cand;
                 best_sad = s;
@@ -117,32 +304,13 @@ pub fn diamond_search(
         if cand == best {
             continue;
         }
-        let s = sad(cur, reference, bx, by, cand, best_sad);
+        let s = sad_ref(cur, reference, bx, by, cand, best_sad);
         if s < best_sad {
             best = cand;
             best_sad = s;
         }
     }
     (best, best_sad)
-}
-
-/// Copy the motion-compensated prediction block for macroblock `(bx, by)`
-/// from `reference` into `out` (row-major `MB_SIZE`²).
-pub fn predict_block(
-    reference: &Plane,
-    bx: usize,
-    by: usize,
-    mv: MotionVector,
-    out: &mut [i32; MB_SIZE * MB_SIZE],
-) {
-    for dy in 0..MB_SIZE {
-        for dx in 0..MB_SIZE {
-            out[dy * MB_SIZE + dx] = reference.get_clamped(
-                (bx + dx) as isize + mv.dx as isize,
-                (by + dy) as isize + mv.dy as isize,
-            ) as i32;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -214,5 +382,89 @@ mod tests {
         let capped = sad(&a, &b, 0, 0, MotionVector::default(), 10);
         assert!(capped >= 10);
         assert!(capped <= full);
+    }
+
+    /// Block positions and vectors covering the interior fast path, the
+    /// right/bottom partial-macroblock edges, and negative vectors pushing
+    /// reads past the top-left corner.
+    fn differential_cases(w: usize, h: usize) -> Vec<(usize, usize, MotionVector)> {
+        let mut cases = Vec::new();
+        let positions = [
+            (16, 16),         // interior
+            (0, 0),           // top-left corner
+            (w - 16, 16),     // right edge, full block
+            (16, h - 16),     // bottom edge, full block
+            (w - 10, h - 10), // right/bottom partial macroblock
+            (w - 16, h - 16), // corner, full block
+        ];
+        let vectors = [
+            (0, 0),
+            (3, 0),
+            (0, -2),
+            (-4, -4), // negative-MV corner reads
+            (5, 7),
+            (-8, 2),
+            (8, 8),
+        ];
+        for &(bx, by) in &positions {
+            for &(dx, dy) in &vectors {
+                cases.push((bx, by, MotionVector { dx, dy }));
+            }
+        }
+        cases
+    }
+
+    #[test]
+    fn sad_fast_path_matches_reference() {
+        let (w, h) = (70, 54); // non-multiple-of-16: partial edge blocks
+        let cur = textured_plane(w, h, 2);
+        let reference = textured_plane(w, h, 0);
+        for (bx, by, mv) in differential_cases(w, h) {
+            for cap in [u64::MAX, 10_000, 300, 1] {
+                let fast = sad(&cur, &reference, bx, by, mv, cap);
+                let naive = sad_ref(&cur, &reference, bx, by, mv, cap);
+                assert_eq!(fast, naive, "({bx},{by}) mv {mv:?} cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_block_fast_path_matches_reference() {
+        let (w, h) = (70, 54);
+        let reference = textured_plane(w, h, 0);
+        for (bx, by, mv) in differential_cases(w, h) {
+            let mut fast = [0i32; MB_SIZE * MB_SIZE];
+            let mut naive = [0i32; MB_SIZE * MB_SIZE];
+            predict_block(&reference, bx, by, mv, &mut fast);
+            predict_block_ref(&reference, bx, by, mv, &mut naive);
+            assert_eq!(fast, naive, "({bx},{by}) mv {mv:?}");
+        }
+    }
+
+    /// The came-from skip must never change the search outcome: pin
+    /// (mv, sad) against the retained no-skip reference on the textured
+    /// planes over a sweep of shifts, starts and block positions.
+    #[test]
+    fn diamond_skip_matches_reference() {
+        for shift in [0usize, 1, 3, 5, 9, 12] {
+            let reference = textured_plane(96, 96, 0);
+            let cur = textured_plane(96, 96, shift);
+            for (bx, by) in [(16, 16), (0, 0), (80, 80), (48, 32)] {
+                for start in [
+                    MotionVector::default(),
+                    MotionVector { dx: 2, dy: -1 },
+                    MotionVector { dx: -6, dy: 6 },
+                ] {
+                    for range in [4i16, 8] {
+                        let fast = diamond_search(&cur, &reference, bx, by, start, range);
+                        let naive = diamond_search_ref(&cur, &reference, bx, by, start, range);
+                        assert_eq!(
+                            fast, naive,
+                            "shift {shift} block ({bx},{by}) start {start:?} range {range}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

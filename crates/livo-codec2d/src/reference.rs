@@ -1,0 +1,307 @@
+//! The pre-optimisation encoder, retained for benchmarking.
+//!
+//! `repro kernels` compares the production encoder against the code it
+//! replaced. This module preserves that baseline faithfully: the serial
+//! single-pass structure with the original per-frame allocations
+//! (fresh reconstruction frame, fresh motion-vector and plan vectors) and
+//! the original kernels — matrix-product DCT ([`crate::dct::forward_ref`] /
+//! [`crate::dct::inverse_ref`]), clamped-loop SAD and prediction
+//! ([`crate::motion::sad_ref`] / [`crate::motion::predict_block_ref`]) and
+//! the no-skip diamond search ([`crate::motion::diamond_search_ref`]).
+//!
+//! **Benchmark-only.** The bitstream layout is unchanged, but because the
+//! production codec now rounds coefficients through the fast DCT pair, a
+//! stream produced here does not reconstruct bit-exactly through
+//! [`crate::Decoder`]. Nothing outside `repro kernels` and the kernel tests
+//! should call this.
+
+use crate::block::{encode_block, encode_svalue, CoeffContexts};
+use crate::dct;
+use crate::encoder::{intra_dc_pred, plane_qp, FrameType, FRAME_MAGIC};
+use crate::motion::{self, MotionVector, MB_SIZE};
+use crate::plane::{Frame, PixelFormat, Plane};
+use crate::quant::{self, DC_SCALE};
+use crate::rangecoder::{BitModel, RangeEncoder};
+
+/// Fixed-QP single-frame encode with the pre-optimisation pipeline.
+/// `prev_recon` is the prediction reference; `None` forces an intra frame.
+/// Returns the bitstream and this frame's reconstruction (freshly
+/// allocated, like the original per-frame path).
+pub fn encode_frame_reference(
+    frame: &Frame,
+    prev_recon: Option<&Frame>,
+    qp: u8,
+    search_range: i16,
+) -> (Vec<u8>, Frame) {
+    let frame_type = match prev_recon {
+        Some(_) => FrameType::Inter,
+        None => FrameType::Intra,
+    };
+    let mut enc = RangeEncoder::new();
+    enc.encode_bits(FRAME_MAGIC, 8);
+    enc.encode_bits(matches!(frame_type, FrameType::Inter) as u32, 1);
+    enc.encode_bits(qp as u32, 6);
+    enc.encode_bits(frame.width as u32, 16);
+    enc.encode_bits(frame.height as u32, 16);
+    enc.encode_bits(matches!(frame.format, PixelFormat::Y16) as u32, 2);
+
+    let mut recon = Frame::new(frame.format, frame.width, frame.height);
+    let peak = frame.format.peak_value();
+
+    match prev_recon {
+        None => {
+            for (pi, plane) in frame.planes.iter().enumerate() {
+                let step = quant::qstep(plane_qp(qp, pi, frame.format));
+                let mut coeff = CoeffContexts::new();
+                encode_plane_intra_ref(
+                    &mut enc,
+                    &mut coeff,
+                    plane,
+                    &mut recon.planes[pi],
+                    step,
+                    peak,
+                );
+            }
+        }
+        Some(prev) => {
+            let step = quant::qstep(plane_qp(qp, 0, frame.format));
+            let mvs = encode_plane_inter_luma_ref(
+                &mut enc,
+                &frame.planes[0],
+                &prev.planes[0],
+                &mut recon.planes[0],
+                step,
+                peak,
+                search_range,
+            );
+            for pi in 1..frame.planes.len() {
+                let cstep = quant::qstep(plane_qp(qp, pi, frame.format));
+                encode_plane_inter_chroma_ref(
+                    &mut enc,
+                    &frame.planes[pi],
+                    &prev.planes[pi],
+                    &mut recon.planes[pi],
+                    cstep,
+                    peak,
+                    &mvs,
+                    frame.planes[0].width,
+                );
+            }
+        }
+    }
+    (enc.finish(), recon)
+}
+
+fn encode_plane_intra_ref(
+    enc: &mut RangeEncoder,
+    coeff: &mut CoeffContexts,
+    plane: &Plane,
+    recon: &mut Plane,
+    step: f32,
+    peak: u16,
+) {
+    let mut blk = [0i32; 64];
+    for by in (0..plane.height).step_by(8) {
+        for bx in (0..plane.width).step_by(8) {
+            plane.read_block8(bx, by, &mut blk);
+            let pred = intra_dc_pred(recon, bx, by, peak);
+            for v in &mut blk {
+                *v -= pred;
+            }
+            let coeffs = dct::forward_ref(&blk);
+            let levels = quant::quantize_block(&coeffs, step, DC_SCALE);
+            encode_block(enc, coeff, &levels);
+            let deq = quant::dequantize_block(&levels, step, DC_SCALE);
+            let mut rec = dct::inverse_ref(&deq);
+            for v in &mut rec {
+                *v += pred;
+            }
+            recon.write_block8(bx, by, &rec, peak);
+        }
+    }
+}
+
+fn encode_plane_inter_luma_ref(
+    enc: &mut RangeEncoder,
+    plane: &Plane,
+    prev: &Plane,
+    recon: &mut Plane,
+    step: f32,
+    peak: u16,
+    search_range: i16,
+) -> Vec<MotionVector> {
+    let mut coeff = CoeffContexts::new();
+    let mut skip_model = BitModel::new();
+    let mbs_x = plane.width.div_ceil(MB_SIZE);
+    let mbs_y = plane.height.div_ceil(MB_SIZE);
+    let mut mvs = vec![MotionVector::default(); mbs_x * mbs_y];
+    let mut pred_buf = [0i32; MB_SIZE * MB_SIZE];
+    let mut blk = [0i32; 64];
+    for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            let bx = mbx * MB_SIZE;
+            let by = mby * MB_SIZE;
+            let pred_mv = if mbx > 0 {
+                mvs[mby * mbs_x + mbx - 1]
+            } else {
+                MotionVector::default()
+            };
+            let (mv, _) = motion::diamond_search_ref(plane, prev, bx, by, pred_mv, search_range);
+            motion::predict_block_ref(prev, bx, by, mv, &mut pred_buf);
+
+            let mut levels4 = [[0i32; 64]; 4];
+            let mut all_zero = true;
+            for (sb, levels) in levels4.iter_mut().enumerate() {
+                let ox = (sb % 2) * 8;
+                let oy = (sb / 2) * 8;
+                for dy in 0..8 {
+                    for dx in 0..8 {
+                        let cur = plane
+                            .get_clamped((bx + ox + dx) as isize, (by + oy + dy) as isize)
+                            as i32;
+                        blk[dy * 8 + dx] = cur - pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                    }
+                }
+                let coeffs = dct::forward_ref(&blk);
+                *levels = quant::quantize_block(&coeffs, step, DC_SCALE);
+                if levels.iter().any(|&l| l != 0) {
+                    all_zero = false;
+                }
+            }
+
+            let skip = all_zero && mv == pred_mv;
+            enc.encode_bit(&mut skip_model, skip);
+            if !skip {
+                encode_svalue(enc, (mv.dx - pred_mv.dx) as i32);
+                encode_svalue(enc, (mv.dy - pred_mv.dy) as i32);
+                for levels in &levels4 {
+                    encode_block(enc, &mut coeff, levels);
+                }
+            }
+            mvs[mby * mbs_x + mbx] = mv;
+
+            for (sb, levels) in levels4.iter().enumerate() {
+                let ox = (sb % 2) * 8;
+                let oy = (sb / 2) * 8;
+                let mut rec = [0i32; 64];
+                if skip {
+                    for dy in 0..8 {
+                        for dx in 0..8 {
+                            rec[dy * 8 + dx] = pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                        }
+                    }
+                } else {
+                    let deq = quant::dequantize_block(levels, step, DC_SCALE);
+                    let res = dct::inverse_ref(&deq);
+                    for dy in 0..8 {
+                        for dx in 0..8 {
+                            rec[dy * 8 + dx] =
+                                res[dy * 8 + dx] + pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                        }
+                    }
+                }
+                recon.write_block8(bx + ox, by + oy, &rec, peak);
+            }
+        }
+    }
+    mvs
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_plane_inter_chroma_ref(
+    enc: &mut RangeEncoder,
+    plane: &Plane,
+    prev: &Plane,
+    recon: &mut Plane,
+    step: f32,
+    peak: u16,
+    luma_mvs: &[MotionVector],
+    luma_width: usize,
+) {
+    let mut coeff = CoeffContexts::new();
+    let mbs_x = luma_width.div_ceil(MB_SIZE);
+    let mut blk = [0i32; 64];
+    for by in (0..plane.height).step_by(8) {
+        for bx in (0..plane.width).step_by(8) {
+            let mb_index = (by / 8) * mbs_x + (bx / 8);
+            let mv = luma_mvs.get(mb_index).copied().unwrap_or_default();
+            let cmv = MotionVector {
+                dx: mv.dx / 2,
+                dy: mv.dy / 2,
+            };
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    let cur = plane.get_clamped((bx + dx) as isize, (by + dy) as isize) as i32;
+                    let pred = prev.get_clamped(
+                        (bx + dx) as isize + cmv.dx as isize,
+                        (by + dy) as isize + cmv.dy as isize,
+                    ) as i32;
+                    blk[dy * 8 + dx] = cur - pred;
+                }
+            }
+            let coeffs = dct::forward_ref(&blk);
+            let levels = quant::quantize_block(&coeffs, step, DC_SCALE);
+            encode_block(enc, &mut coeff, &levels);
+            let deq = quant::dequantize_block(&levels, step, DC_SCALE);
+            let res = dct::inverse_ref(&deq);
+            let mut rec = [0i32; 64];
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    let pred = prev.get_clamped(
+                        (bx + dx) as isize + cmv.dx as isize,
+                        (by + dy) as isize + cmv.dy as isize,
+                    ) as i32;
+                    rec[dy * 8 + dx] = res[dy * 8 + dx] + pred;
+                }
+            }
+            recon.write_block8(bx, by, &rec, peak);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_frame(w: usize, h: usize, phase: usize) -> Frame {
+        let mut rgb = vec![0u8; w * h * 3];
+        for y in 0..h {
+            for x in 0..w {
+                let i = (y * w + x) * 3;
+                rgb[i] = (((x + phase) * 5) % 256) as u8;
+                rgb[i + 1] = ((y * 3 + phase) % 256) as u8;
+                rgb[i + 2] = (((x + y) * 2) % 256) as u8;
+            }
+        }
+        Frame::from_rgb8(w, h, &rgb)
+    }
+
+    /// The baseline must still behave like a video encoder: the quality of
+    /// its closed-loop reconstruction tracks the production encoder's at
+    /// the same QP (the kernels changed rounding, not rate-distortion).
+    #[test]
+    fn reference_encoder_tracks_production_quality() {
+        use crate::encoder::{Encoder, EncoderConfig};
+        let f0 = test_frame(64, 64, 0);
+        let f1 = test_frame(64, 64, 2);
+        let qp = 12;
+
+        let mut cfg = EncoderConfig::new(64, 64, PixelFormat::Yuv420);
+        cfg.gop_length = 0;
+        let mut prod = Encoder::new(cfg);
+        let p0 = prod.encode_fixed_qp(&f0, qp);
+        let p1 = prod.encode_fixed_qp(&f1, qp);
+
+        let (_, r0) = encode_frame_reference(&f0, None, qp, cfg.search_range);
+        let (bits1, r1) = encode_frame_reference(&f1, Some(&r0), qp, cfg.search_range);
+        assert!(!bits1.is_empty());
+
+        let prod_err = crate::luma_mse(&f1, &p1.reconstruction);
+        let ref_err = crate::luma_mse(&f1, &r1);
+        assert!(
+            (prod_err - ref_err).abs() <= 0.5 * ref_err.max(1.0),
+            "prod {prod_err} vs ref {ref_err}"
+        );
+        assert!(p0.bits() > 0);
+    }
+}

@@ -12,7 +12,7 @@
 //! Everything runs in virtual time; wall-clock is only measured to report
 //! per-component processing latency (Table 6).
 
-use crate::cull::{cull_views_on, CullStats};
+use crate::cull::{CullContext, CullStats};
 use crate::depth::{depth_mse_mm, DepthCodec, DepthEncoding};
 use crate::frustum_pred::FrustumPredictor;
 use crate::reconstruct::{prepare_for_render, reconstruct_point_cloud};
@@ -465,6 +465,10 @@ impl ConferenceRunner {
         session.attach_telemetry(&registry, "transport", Some(timeline.clone()));
         color_enc.attach_telemetry(&registry, "codec.color");
         depth_enc.attach_telemetry(&registry, "codec.depth");
+        // Reusable cull state: per-camera ray tables live across frames, so
+        // steady state shows zero `cull.lut_rebuilds` after the first pass.
+        let mut cull_ctx = CullContext::new();
+        cull_ctx.attach_telemetry(&registry);
         let capture_hist = registry.histogram("conference.capture_ms");
         let cull_hist = registry.histogram("conference.cull_ms");
         let tile_hist = registry.histogram("conference.tile_ms");
@@ -538,7 +542,8 @@ impl ConferenceRunner {
                 } else {
                     predictor.predicted_frustum()
                 };
-                let stats: CullStats = cull_views_on(pool, &mut views, &self.cameras, &frustum);
+                let stats: CullStats =
+                    cull_ctx.cull_views_on(pool, &mut views, &self.cameras, &frustum);
                 keep_frac_sum += stats.keep_fraction();
                 keep_frac_n += 1;
                 keep_hist.record(stats.keep_fraction());

@@ -8,10 +8,40 @@
 //! both depth and colour, which makes them (a) free to encode — zero
 //! regions compress to nothing — and (b) recognisable as "no data" at the
 //! receiver.
+//!
+//! # Fast path
+//!
+//! Culling runs per pixel per camera per frame, so it is one of the
+//! pipeline's hot kernels. [`CullContext`] holds a cached per-camera
+//! [`RayTable`] (the unprojection rays never change while intrinsics are
+//! fixed) and every pass runs through [`cull_row`]: depth rows are walked in
+//! 16-pixel chunks, chunks whose depths are all zero (the common case after
+//! background removal) are skipped with one scan, and non-empty chunks
+//! evaluate all six plane tests branch-free over small fixed-size arrays
+//! that LLVM can vectorise. The per-pixel decisions are **bit-identical** to
+//! the retained [`cull_views_reference`]: the ray table reproduces
+//! [`CameraIntrinsics::unproject`] exactly (see `livo_math::raytable`), and
+//! the chunk kernel evaluates the same [`Plane::signed_distance`] ≥ 0
+//! comparisons — computing them unconditionally and AND/OR-ing the results
+//! changes the schedule, not the outcome. Pinned by
+//! `fast_cull_is_bit_identical_to_reference` here and by
+//! `tests/kernel_differential.rs` across all five dataset presets.
+//!
+//! The free functions [`cull_views`], [`cull_views_on`] and
+//! [`cull_views_union`] keep their original signatures and run on an
+//! ephemeral context: they still get the chunked kernel but rebuild the ray
+//! tables each call (width + height divisions per camera — negligible next
+//! to the per-pixel work; the SFU's per-cluster union cull uses this form).
+//! Long-lived callers hold a [`CullContext`] to amortise the tables and to
+//! export `cull.lut_rebuilds` / `kernel.cull_ns_per_mpx` telemetry.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use livo_capture::RgbdFrame;
-use livo_math::{Frustum, RgbdCamera};
+use livo_math::{CameraIntrinsics, Frustum, Plane, RayTable, RgbdCamera, Vec3};
 use livo_runtime::WorkerPool;
+use livo_telemetry::registry::{Counter, Gauge, MetricsRegistry};
 
 /// Statistics of one cull pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -31,13 +61,341 @@ impl CullStats {
     }
 }
 
+/// Pixels per chunk of the branch-free row kernel. 16 depths fill a cache
+/// line and give LLVM a full vector lane set to work with.
+const CHUNK: usize = 16;
+
+/// Cull one depth/colour row pair in place against `frusta` (a pixel
+/// survives when *any* frustum contains it; single-frustum culls pass a
+/// one-element slice). `ray_x` are the per-column ray components of the
+/// camera's [`RayTable`], `ray_y_v` the component of this row.
+///
+/// Decisions are bit-identical to the per-pixel reference: each lane
+/// computes `signed_distance(ray·z) >= 0.0` for the same planes in the same
+/// point; conjunction/disjunction of identical comparisons is order-free.
+/// Lanes with zero depth produce a mask that the apply pass never reads, so
+/// their rgb bytes are left untouched exactly like the reference.
+#[inline]
+fn cull_row(
+    frusta: &[Frustum],
+    ray_x: &[f32],
+    ray_y_v: f32,
+    drow: &mut [u16],
+    crow: &mut [u8],
+    stats: &mut CullStats,
+) {
+    let width = drow.len();
+    let mut x0 = 0;
+    while x0 + CHUNK <= width {
+        let dchunk = &mut drow[x0..x0 + CHUNK];
+        if dchunk.iter().all(|&d| d == 0) {
+            x0 += CHUNK;
+            continue;
+        }
+        let rx = &ray_x[x0..x0 + CHUNK];
+        let mut z = [0.0f32; CHUNK];
+        let mut px = [0.0f32; CHUNK];
+        let mut py = [0.0f32; CHUNK];
+        for i in 0..CHUNK {
+            // Division (not a reciprocal multiply): must match `d / 1000.0`
+            // in the reference bit for bit.
+            z[i] = dchunk[i] as f32 / 1000.0;
+            px[i] = rx[i] * z[i];
+            py[i] = ray_y_v * z[i];
+        }
+        let mut keep = [false; CHUNK];
+        for f in frusta {
+            let mut inside = [true; CHUNK];
+            for pl in &f.planes {
+                for i in 0..CHUNK {
+                    inside[i] &= pl.signed_distance(Vec3::new(px[i], py[i], z[i])) >= 0.0;
+                }
+            }
+            for i in 0..CHUNK {
+                keep[i] |= inside[i];
+            }
+        }
+        let cchunk = &mut crow[x0 * 3..(x0 + CHUNK) * 3];
+        for i in 0..CHUNK {
+            if dchunk[i] == 0 {
+                continue;
+            }
+            stats.total_valid += 1;
+            if keep[i] {
+                stats.kept += 1;
+            } else {
+                dchunk[i] = 0;
+                cchunk[i * 3] = 0;
+                cchunk[i * 3 + 1] = 0;
+                cchunk[i * 3 + 2] = 0;
+            }
+        }
+        x0 += CHUNK;
+    }
+    // Tail when the width is not a multiple of CHUNK: plain per-pixel path
+    // (same ray products, same `contains` comparisons).
+    for x in x0..width {
+        let d = drow[x];
+        if d == 0 {
+            continue;
+        }
+        stats.total_valid += 1;
+        let zv = d as f32 / 1000.0;
+        let p = Vec3::new(ray_x[x] * zv, ray_y_v * zv, zv);
+        if frusta.iter().any(|f| f.contains(p)) {
+            stats.kept += 1;
+        } else {
+            drow[x] = 0;
+            crow[x * 3] = 0;
+            crow[x * 3 + 1] = 0;
+            crow[x * 3 + 2] = 0;
+        }
+    }
+}
+
+/// Reusable per-sender culling state: cached unprojection tables plus
+/// optional telemetry. Results are identical whether a context is reused or
+/// rebuilt every call — reuse only saves the table builds.
+#[derive(Default)]
+pub struct CullContext {
+    /// One [`RayTable`] per camera index, lazily (re)built when the
+    /// camera's intrinsics change.
+    tables: Vec<RayTable>,
+    /// Scratch for camera-local frusta in union culls.
+    local_frusta: Vec<Frustum>,
+    /// Counts table (re)builds — steady state is zero per frame.
+    lut_rebuilds: Option<Arc<Counter>>,
+    /// Most recent cull cost, nanoseconds per megapixel scanned.
+    ns_per_mpx: Option<Arc<Gauge>>,
+}
+
+impl CullContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register this context's metrics: `cull.lut_rebuilds` (counter) and
+    /// `kernel.cull_ns_per_mpx` (gauge, set after every pass).
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        self.lut_rebuilds = Some(registry.counter("cull.lut_rebuilds"));
+        self.ns_per_mpx = Some(registry.gauge("kernel.cull_ns_per_mpx"));
+    }
+
+    /// Make `tables[i]` current for every camera, counting rebuilds.
+    fn refresh_tables(&mut self, cameras: &[RgbdCamera]) {
+        if self.tables.len() < cameras.len() {
+            self.tables.resize_with(cameras.len(), RayTable::empty);
+        }
+        for (table, cam) in self.tables.iter_mut().zip(cameras) {
+            if !table.matches(&cam.intrinsics) {
+                *table = RayTable::build(&cam.intrinsics);
+                if let Some(c) = &self.lut_rebuilds {
+                    c.inc();
+                }
+            }
+        }
+    }
+
+    fn record_cost(&self, started: Option<Instant>, pixels: usize) {
+        if let (Some(t0), Some(g)) = (started, &self.ns_per_mpx) {
+            if pixels > 0 {
+                g.set(t0.elapsed().as_nanos() as f64 / (pixels as f64 / 1e6));
+            }
+        }
+    }
+
+    /// Cull every view in place against the (world-space) frustum.
+    pub fn cull_views(
+        &mut self,
+        views: &mut [RgbdFrame],
+        cameras: &[RgbdCamera],
+        frustum: &Frustum,
+    ) -> CullStats {
+        assert_eq!(views.len(), cameras.len());
+        self.refresh_tables(cameras);
+        let started = self.ns_per_mpx.as_ref().map(|_| Instant::now());
+        let mut stats = CullStats::default();
+        let mut pixels = 0usize;
+        for ((view, cam), table) in views.iter_mut().zip(cameras).zip(&self.tables) {
+            // Transform the frustum into this camera's local frame: cheaper
+            // than transforming every pixel into world coordinates.
+            let local = frustum.transformed(&cam.world_to_local());
+            let frusta = std::slice::from_ref(&local);
+            let width = view.width;
+            pixels += width * view.height;
+            let ray_y = table.ray_y();
+            for (y, (drow, crow)) in view
+                .depth_mm
+                .chunks_mut(width.max(1))
+                .zip(view.rgb.chunks_mut(width.max(1) * 3))
+                .enumerate()
+            {
+                cull_row(frusta, table.ray_x(), ray_y[y], drow, crow, &mut stats);
+            }
+        }
+        self.record_cost(started, pixels);
+        stats
+    }
+
+    /// [`CullContext::cull_views`] with the per-pixel tests spread over
+    /// `pool`: each view's rows are split into one contiguous band per pool
+    /// thread, and each band task culls its own rows through the same row
+    /// kernel (depth and colour rows of a band are disjoint slices, so no
+    /// synchronisation is needed). A single-thread pool falls back to the
+    /// serial path; results are identical either way — the kernel has no
+    /// cross-pixel state.
+    pub fn cull_views_on(
+        &mut self,
+        pool: &WorkerPool,
+        views: &mut [RgbdFrame],
+        cameras: &[RgbdCamera],
+        frustum: &Frustum,
+    ) -> CullStats {
+        if pool.threads() <= 1 {
+            return self.cull_views(views, cameras, frustum);
+        }
+        assert_eq!(views.len(), cameras.len());
+        self.refresh_tables(cameras);
+        let started = self.ns_per_mpx.as_ref().map(|_| Instant::now());
+        let mut stats = CullStats::default();
+        let mut pixels = 0usize;
+        for ((view, cam), table) in views.iter_mut().zip(cameras).zip(&self.tables) {
+            let local_frustum = frustum.transformed(&cam.world_to_local());
+            let width = view.width;
+            let height = view.height;
+            if width == 0 || height == 0 {
+                continue;
+            }
+            pixels += width * height;
+            let bands = pool.threads().min(height);
+            let band_rows = height.div_ceil(bands);
+            let mut band_stats = vec![CullStats::default(); bands];
+            pool.scope(|s| {
+                let lf = std::slice::from_ref(&local_frustum);
+                let t = &*table;
+                for (bi, ((depth_band, rgb_band), bs)) in view
+                    .depth_mm
+                    .chunks_mut(width * band_rows)
+                    .zip(view.rgb.chunks_mut(width * 3 * band_rows))
+                    .zip(band_stats.iter_mut())
+                    .enumerate()
+                {
+                    s.spawn(move || {
+                        let y0 = bi * band_rows;
+                        for (ry, (drow, crow)) in depth_band
+                            .chunks_mut(width)
+                            .zip(rgb_band.chunks_mut(width * 3))
+                            .enumerate()
+                        {
+                            cull_row(lf, t.ray_x(), t.ray_y()[y0 + ry], drow, crow, bs);
+                        }
+                    });
+                }
+            });
+            for bs in &band_stats {
+                stats.total_valid += bs.total_valid;
+                stats.kept += bs.kept;
+            }
+        }
+        self.record_cost(started, pixels);
+        stats
+    }
+
+    /// Cull every view in place against the **union** of several frusta: a
+    /// pixel survives when *any* frustum contains its back-projected point.
+    ///
+    /// This is the SFU's encode-sharing primitive (the paper's §5 multi-way
+    /// optimisation): one cull pass serves a whole cluster of receivers
+    /// whose predicted frusta overlap, so the cluster's shared encode
+    /// contains every pixel any member needs. With a single frustum it is
+    /// exactly [`CullContext::cull_views`]. The pass is serial on the
+    /// calling thread — the SFU parallelises across clusters, not within
+    /// one.
+    pub fn cull_views_union(
+        &mut self,
+        views: &mut [RgbdFrame],
+        cameras: &[RgbdCamera],
+        frusta: &[Frustum],
+    ) -> CullStats {
+        assert!(!frusta.is_empty(), "union cull needs at least one frustum");
+        if frusta.len() == 1 {
+            return self.cull_views(views, cameras, &frusta[0]);
+        }
+        assert_eq!(views.len(), cameras.len());
+        self.refresh_tables(cameras);
+        let started = self.ns_per_mpx.as_ref().map(|_| Instant::now());
+        let mut stats = CullStats::default();
+        let mut pixels = 0usize;
+        let CullContext {
+            tables,
+            local_frusta,
+            ..
+        } = self;
+        for ((view, cam), table) in views.iter_mut().zip(cameras).zip(tables.iter()) {
+            local_frusta.clear();
+            local_frusta.extend(frusta.iter().map(|f| f.transformed(&cam.world_to_local())));
+            let width = view.width;
+            pixels += width * view.height;
+            let ray_y = table.ray_y();
+            for (y, (drow, crow)) in view
+                .depth_mm
+                .chunks_mut(width.max(1))
+                .zip(view.rgb.chunks_mut(width.max(1) * 3))
+                .enumerate()
+            {
+                cull_row(
+                    local_frusta,
+                    table.ray_x(),
+                    ray_y[y],
+                    drow,
+                    crow,
+                    &mut stats,
+                );
+            }
+        }
+        self.record_cost(started, pixels);
+        stats
+    }
+}
+
 /// Cull every view in place against the (world-space) frustum.
+/// Ephemeral-context form of [`CullContext::cull_views`].
 pub fn cull_views(views: &mut [RgbdFrame], cameras: &[RgbdCamera], frustum: &Frustum) -> CullStats {
+    CullContext::new().cull_views(views, cameras, frustum)
+}
+
+/// Pool-banded cull; ephemeral-context form of
+/// [`CullContext::cull_views_on`].
+pub fn cull_views_on(
+    pool: &WorkerPool,
+    views: &mut [RgbdFrame],
+    cameras: &[RgbdCamera],
+    frustum: &Frustum,
+) -> CullStats {
+    CullContext::new().cull_views_on(pool, views, cameras, frustum)
+}
+
+/// Union cull; ephemeral-context form of
+/// [`CullContext::cull_views_union`].
+pub fn cull_views_union(
+    views: &mut [RgbdFrame],
+    cameras: &[RgbdCamera],
+    frusta: &[Frustum],
+) -> CullStats {
+    CullContext::new().cull_views_union(views, cameras, frusta)
+}
+
+/// The original per-pixel cull, retained verbatim as the differential-test
+/// and `repro kernels` reference for the chunked fast path. Results (pixel
+/// masks and stats) are bit-identical to [`cull_views`].
+pub fn cull_views_reference(
+    views: &mut [RgbdFrame],
+    cameras: &[RgbdCamera],
+    frustum: &Frustum,
+) -> CullStats {
     assert_eq!(views.len(), cameras.len());
     let mut stats = CullStats::default();
     for (view, cam) in views.iter_mut().zip(cameras) {
-        // Transform the frustum into this camera's local frame: cheaper than
-        // transforming every pixel into world coordinates.
         let local_frustum = frustum.transformed(&cam.world_to_local());
         let k = &cam.intrinsics;
         for y in 0..view.height {
@@ -63,97 +421,14 @@ pub fn cull_views(views: &mut [RgbdFrame], cameras: &[RgbdCamera], frustum: &Fru
     stats
 }
 
-/// [`cull_views`] with the per-pixel frustum tests spread over `pool`: each
-/// view's rows are split into one contiguous band per pool thread, and each
-/// band task tests and zeroes its own rows (depth and colour rows of a band
-/// are disjoint slices, so no synchronisation is needed). A single-thread
-/// pool falls back to the serial path; results are identical either way —
-/// the per-pixel test has no cross-pixel state.
-pub fn cull_views_on(
-    pool: &WorkerPool,
-    views: &mut [RgbdFrame],
-    cameras: &[RgbdCamera],
-    frustum: &Frustum,
-) -> CullStats {
-    if pool.threads() <= 1 {
-        return cull_views(views, cameras, frustum);
-    }
-    assert_eq!(views.len(), cameras.len());
-    let mut stats = CullStats::default();
-    for (view, cam) in views.iter_mut().zip(cameras) {
-        let local_frustum = frustum.transformed(&cam.world_to_local());
-        let k = &cam.intrinsics;
-        let width = view.width;
-        let height = view.height;
-        if width == 0 || height == 0 {
-            continue;
-        }
-        let bands = pool.threads().min(height);
-        let band_rows = height.div_ceil(bands);
-        let mut band_stats = vec![CullStats::default(); bands];
-        pool.scope(|s| {
-            let lf = &local_frustum;
-            for (bi, ((depth_band, rgb_band), bs)) in view
-                .depth_mm
-                .chunks_mut(width * band_rows)
-                .zip(view.rgb.chunks_mut(width * 3 * band_rows))
-                .zip(band_stats.iter_mut())
-                .enumerate()
-            {
-                s.spawn(move || {
-                    let y0 = bi * band_rows;
-                    for (ry, (drow, crow)) in depth_band
-                        .chunks_mut(width)
-                        .zip(rgb_band.chunks_mut(width * 3))
-                        .enumerate()
-                    {
-                        let y = y0 + ry;
-                        for (x, d) in drow.iter_mut().enumerate() {
-                            if *d == 0 {
-                                continue;
-                            }
-                            bs.total_valid += 1;
-                            let local =
-                                k.unproject(x as f32 + 0.5, y as f32 + 0.5, *d as f32 / 1000.0);
-                            if lf.contains(local) {
-                                bs.kept += 1;
-                            } else {
-                                *d = 0;
-                                crow[x * 3] = 0;
-                                crow[x * 3 + 1] = 0;
-                                crow[x * 3 + 2] = 0;
-                            }
-                        }
-                    }
-                });
-            }
-        });
-        for bs in &band_stats {
-            stats.total_valid += bs.total_valid;
-            stats.kept += bs.kept;
-        }
-    }
-    stats
-}
-
-/// Cull every view in place against the **union** of several frusta: a
-/// pixel survives when *any* frustum contains its back-projected point.
-///
-/// This is the SFU's encode-sharing primitive (the paper's §5 multi-way
-/// optimisation): one cull pass serves a whole cluster of receivers whose
-/// predicted frusta overlap, so the cluster's shared encode contains every
-/// pixel any member needs. With a single frustum it is exactly
-/// [`cull_views`]. The pass is serial on the calling thread — the SFU
-/// parallelises across clusters, not within one.
-pub fn cull_views_union(
+/// Union-cull counterpart of [`cull_views_reference`] (per-pixel `any`
+/// over camera-local frusta), retained for differential tests.
+pub fn cull_views_union_reference(
     views: &mut [RgbdFrame],
     cameras: &[RgbdCamera],
     frusta: &[Frustum],
 ) -> CullStats {
     assert!(!frusta.is_empty(), "union cull needs at least one frustum");
-    if frusta.len() == 1 {
-        return cull_views(views, cameras, &frusta[0]);
-    }
     assert_eq!(views.len(), cameras.len());
     let mut stats = CullStats::default();
     for (view, cam) in views.iter_mut().zip(cameras) {
@@ -184,6 +459,12 @@ pub fn cull_views_union(
     }
     stats
 }
+
+// Re-assert the types the fast path's bit-identity argument leans on, so a
+// refactor of livo-math that changes them fails here with a message rather
+// than silently changing cull decisions.
+const _: fn(&Plane, Vec3) -> f32 = Plane::signed_distance;
+const _: fn(&CameraIntrinsics, f32, f32, f32) -> Vec3 = CameraIntrinsics::unproject;
 
 /// Measure, without modifying, how many pixels would survive a cull —
 /// used by the Fig. 15 accuracy analysis (culling accuracy = kept ∩ truth
@@ -387,6 +668,107 @@ mod tests {
             assert_eq!(v.valid_pixels(), 0);
             assert!(v.rgb.iter().all(|&b| b == 0), "colour zeroed too");
         }
+    }
+
+    /// A handful of viewer frusta that exercise keep-all, cull-most and
+    /// mixed outcomes.
+    fn test_frusta() -> Vec<Frustum> {
+        let mk = |eye: Vec3, at: Vec3, hfov: f32| {
+            Frustum::from_params(
+                &Pose::look_at(eye, at, Vec3::Y),
+                &FrustumParams {
+                    hfov,
+                    aspect: 1.3,
+                    near: 0.1,
+                    far: 8.0,
+                },
+            )
+        };
+        vec![
+            mk(Vec3::new(0.0, 1.2, -4.0), Vec3::new(0.0, 1.0, 0.0), 2.0),
+            mk(Vec3::new(1.0, 1.4, -2.5), Vec3::new(0.5, 1.0, 0.0), 0.8),
+            mk(Vec3::new(0.0, 1.0, -3.0), Vec3::new(0.0, 1.0, 0.0), 0.35),
+            mk(Vec3::new(-2.0, 1.0, 1.0), Vec3::new(1.5, 1.0, 0.0), 0.6),
+        ]
+    }
+
+    #[test]
+    fn fast_cull_is_bit_identical_to_reference() {
+        // Odd scale → width 77, not a multiple of the chunk size, so the
+        // tail path is exercised too.
+        let cams = rig::camera_ring(
+            3,
+            2.5,
+            1.2,
+            Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(0.12),
+        );
+        let views = render_all(&cams);
+        let mut ctx = CullContext::new();
+        for f in test_frusta() {
+            let mut fast = views.clone();
+            let fast_stats = ctx.cull_views(&mut fast, &cams, &f);
+            let mut naive = views.clone();
+            let naive_stats = cull_views_reference(&mut naive, &cams, &f);
+            assert_eq!(fast_stats, naive_stats);
+            for (a, b) in fast.iter().zip(&naive) {
+                assert_eq!(a.depth_mm, b.depth_mm, "depth masks differ");
+                assert_eq!(a.rgb, b.rgb, "rgb masks differ");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_union_cull_is_bit_identical_to_reference() {
+        let cams = rig::camera_ring(
+            3,
+            2.5,
+            1.2,
+            Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(0.12),
+        );
+        let views = render_all(&cams);
+        let frusta = test_frusta();
+        for n in [2usize, 3, 4] {
+            let mut fast = views.clone();
+            let fast_stats = cull_views_union(&mut fast, &cams, &frusta[..n]);
+            let mut naive = views.clone();
+            let naive_stats = cull_views_union_reference(&mut naive, &cams, &frusta[..n]);
+            assert_eq!(fast_stats, naive_stats, "{n} frusta");
+            for (a, b) in fast.iter().zip(&naive) {
+                assert_eq!(a.depth_mm, b.depth_mm);
+                assert_eq!(a.rgb, b.rgb);
+            }
+        }
+    }
+
+    #[test]
+    fn ray_tables_rebuild_only_on_intrinsics_change() {
+        let registry = MetricsRegistry::new();
+        let mut ctx = CullContext::new();
+        ctx.attach_telemetry(&registry);
+        let mut cams = rig::camera_ring(
+            2,
+            2.5,
+            1.2,
+            Vec3::new(0.0, 1.0, 0.0),
+            livo_math::CameraIntrinsics::kinect_depth(0.1),
+        );
+        let f = test_frusta().remove(0);
+        let mut views = render_all(&cams);
+        ctx.cull_views(&mut views, &cams, &f);
+        assert_eq!(registry.snapshot().counter("cull.lut_rebuilds"), Some(2));
+        // Steady state: same intrinsics, no rebuilds.
+        let mut views = render_all(&cams);
+        ctx.cull_views(&mut views, &cams, &f);
+        assert_eq!(registry.snapshot().counter("cull.lut_rebuilds"), Some(2));
+        // One camera changes resolution → exactly one rebuild.
+        cams[1].intrinsics = livo_math::CameraIntrinsics::kinect_depth(0.15);
+        let mut views = render_all(&cams);
+        ctx.cull_views(&mut views, &cams, &f);
+        assert_eq!(registry.snapshot().counter("cull.lut_rebuilds"), Some(3));
+        let cost = registry.snapshot().gauge("kernel.cull_ns_per_mpx");
+        assert!(cost.unwrap() > 0.0, "cost gauge set: {cost:?}");
     }
 
     #[test]

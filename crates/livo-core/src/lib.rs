@@ -39,7 +39,9 @@ pub use conference::{
     ConferenceConfig, ConferenceConfigBuilder, ConferenceRunner, FrameRecord, InvalidConfig,
     RunSummary,
 };
-pub use cull::{cull_views, cull_views_on, cull_views_union};
+pub use cull::{
+    cull_views, cull_views_on, cull_views_reference, cull_views_union, CullContext, CullStats,
+};
 pub use depth::{DepthCodec, DepthEncoding};
 pub use frustum_pred::FrustumPredictor;
 pub use pipeline::{

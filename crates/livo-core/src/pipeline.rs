@@ -12,7 +12,7 @@
 //! operation (the examples drive it) and to validate the pipelining claim
 //! itself: throughput ≈ 1 / max(stage time), not 1 / Σ(stage times).
 
-use crate::cull::cull_views_on;
+use crate::cull::CullContext;
 use crate::depth::DepthCodec;
 use crate::tile::{compose_color, compose_depth, TileLayout};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
@@ -235,11 +235,16 @@ impl SenderPipeline {
         let lay = layout;
         let tl1 = timeline.clone();
         let pool1 = pool.clone();
+        let reg1 = registry.clone();
         let stage1 = std::thread::spawn(move || {
+            // Stage-local cull state: ray tables persist for the pipeline's
+            // lifetime (the camera rig is fixed at spawn).
+            let mut cull_ctx = CullContext::new();
+            cull_ctx.attach_telemetry(&reg1);
             while let Ok((entered, mut job)) = in_rx.recv() {
                 let span = TelemetrySpan::start(&cull_hist);
                 if let Some(frustum) = &job.frustum {
-                    cull_views_on(&pool1, &mut job.views, &cams, frustum);
+                    cull_ctx.cull_views_on(&pool1, &mut job.views, &cams, frustum);
                 }
                 let cull_elapsed = span.finish_ms();
                 let span = TelemetrySpan::start(&tile_hist);

@@ -62,11 +62,16 @@ impl CameraIntrinsics {
 
     /// Back-project pixel `(u, v)` with depth `z_m` (metres along the optical
     /// axis) into the camera's local frame.
+    ///
+    /// Evaluated ray-first — `((u - cx) / fx) * z` rather than
+    /// `((u - cx) * z) / fx` — so the result is bit-identical to scaling the
+    /// cached per-pixel ray of a [`crate::RayTable`] by `z_m`. The culling
+    /// fast path relies on this exact association; don't reorder.
     #[inline]
     pub fn unproject(&self, u: f32, v: f32, z_m: f32) -> Vec3 {
         Vec3::new(
-            (u - self.cx) * z_m / self.fx,
-            (self.cy - v) * z_m / self.fy, // image v grows downward
+            (u - self.cx) / self.fx * z_m,
+            (self.cy - v) / self.fy * z_m, // image v grows downward
             z_m,
         )
     }

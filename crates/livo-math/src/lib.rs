@@ -25,6 +25,7 @@ pub mod mat;
 pub mod plane;
 pub mod pose;
 pub mod quat;
+pub mod raytable;
 pub mod vec3;
 
 pub use camera::{CameraIntrinsics, RgbdCamera};
@@ -34,4 +35,5 @@ pub use mat::{Mat3, Mat4};
 pub use plane::Plane;
 pub use pose::Pose;
 pub use quat::Quat;
+pub use raytable::RayTable;
 pub use vec3::Vec3;

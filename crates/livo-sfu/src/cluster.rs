@@ -28,7 +28,10 @@ pub struct ClusterParams {
 
 impl Default for ClusterParams {
     fn default() -> Self {
-        ClusterParams { overlap_threshold: 0.5, samples_per_axis: 4 }
+        ClusterParams {
+            overlap_threshold: 0.5,
+            samples_per_axis: 4,
+        }
     }
 }
 
@@ -95,7 +98,11 @@ mod tests {
 
     fn volume_at(pose: Pose) -> ViewVolume {
         let params = FrustumParams::default();
-        ViewVolume { frustum: Frustum::from_params(&pose, &params), pose, params }
+        ViewVolume {
+            frustum: Frustum::from_params(&pose, &params),
+            pose,
+            params,
+        }
     }
 
     fn looking(yaw: f32) -> Pose {
@@ -126,7 +133,10 @@ mod tests {
     #[test]
     fn threshold_above_one_forces_singletons() {
         let views: Vec<ViewVolume> = (0..3).map(|_| volume_at(looking(0.0))).collect();
-        let p = ClusterParams { overlap_threshold: 1.01, ..Default::default() };
+        let p = ClusterParams {
+            overlap_threshold: 1.01,
+            ..Default::default()
+        };
         let clusters = cluster_views(&views, &p);
         assert_eq!(clusters, vec![vec![0], vec![1], vec![2]]);
     }

@@ -8,12 +8,12 @@
 //! subscriber actually displays. What subscribers do *not* own is an
 //! encoder: encoding happens per *cluster* in the [`crate::router`].
 
+use livo_capture::BandwidthTrace;
 use livo_codec2d::{Decoder, Frame};
 use livo_core::frustum_pred::FrustumPredictor;
 use livo_core::splitter::{BandwidthSplitter, SplitterConfig};
 use livo_core::tile::read_seq;
 use livo_math::{FrustumParams, Pose};
-use livo_capture::BandwidthTrace;
 use livo_telemetry::FrameTimeline;
 use livo_transport::packet::AssembledFrame;
 use livo_transport::{RtcSession, SessionConfig, StreamId};

@@ -39,6 +39,10 @@ if cargo_works; then
   # regression is visible even when the workspace test list changes.
   cargo test -q --test sfu_fanout
   cargo run --release --example multiparty -- --seconds 1
+  # Hot-kernel regression gate: every optimised kernel must run at or
+  # above 1.0x its retained reference implementation.
+  echo "== tier1: kernel gate =="
+  LIVO_LOG=warn cargo run --release --bin repro -- --gate kernels >/dev/null
   fmt_check cargo
   if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
@@ -49,6 +53,9 @@ else
   echo "== tier1: offline mode (registry unreachable) =="
   # run-tests executes the sfu_fanout suite and the 1 s multiparty smoke.
   bash scripts/offline_build.sh run-tests
+  # Hot-kernel regression gate (same bar as cargo mode).
+  echo "== tier1: kernel gate =="
+  LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --gate kernels >/dev/null
   fmt_check offline
   if command -v clippy-driver >/dev/null 2>&1; then
     bash scripts/offline_clippy.sh

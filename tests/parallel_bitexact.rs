@@ -9,10 +9,17 @@
 //! preset of Table 3, colour (YUV 4:2:0) and scaled-Y16 depth canvases,
 //! closed-loop over several frames, at pool sizes 1, 2 and 4 (the same sizes
 //! `LIVO_THREADS=1|2|4` would give the process-wide pool).
+//!
+//! Each encoder is also paired with a decoder that consumes its bitstream
+//! every frame and must reproduce the encoder's reconstruction bit-exactly.
+//! The encoder reuses its pooled scratch (plan/motion-vector arenas, the
+//! double-buffered work reconstruction) across all frames, so this pins the
+//! scratch-reuse path against prediction drift over a multi-frame GOP.
 
 use std::sync::Arc;
 
 use livo::capture::{camera_ring, RgbdFrame};
+use livo::codec2d::EncodedFrame;
 use livo::core::depth::{DepthCodec, DepthEncoding};
 use livo::core::tile::{compose_color, compose_depth, TileLayout};
 use livo::prelude::*;
@@ -52,6 +59,8 @@ fn parallel_encode_is_bit_exact_on_every_preset() {
         let preset = DatasetPreset::load(video);
         let mut color_encs = encoders(layout.canvas_w, layout.canvas_h, PixelFormat::Yuv420);
         let mut depth_encs = encoders(layout.canvas_w, layout.canvas_h, PixelFormat::Y16);
+        let mut color_decs: Vec<Decoder> = color_encs.iter().map(|_| Decoder::new()).collect();
+        let mut depth_decs: Vec<Decoder> = depth_encs.iter().map(|_| Decoder::new()).collect();
 
         for seq in 0..FRAMES {
             // Advance scene time each frame so inter frames carry real motion.
@@ -61,19 +70,28 @@ fn parallel_encode_is_bit_exact_on_every_preset() {
             let color = compose_color(&views, &layout, seq);
             let depth = compose_depth(&views, &layout, &depth_codec, seq);
 
-            for (canvas, encs, bits) in [
-                (&color, &mut color_encs, 180_000u64),
-                (&depth, &mut depth_encs, 220_000u64),
+            for (canvas, encs, decs, bits) in [
+                (&color, &mut color_encs, &mut color_decs, 180_000u64),
+                (&depth, &mut depth_encs, &mut depth_decs, 220_000u64),
             ] {
-                let outputs: Vec<(String, Vec<u8>)> = encs
+                let outputs: Vec<(String, EncodedFrame)> = encs
                     .iter_mut()
-                    .map(|(n, e)| (n.clone(), e.encode(canvas, bits).data))
+                    .map(|(n, e)| (n.clone(), e.encode(canvas, bits)))
                     .collect();
                 let (_, reference) = &outputs[0];
-                for (name, data) in &outputs[1..] {
+                for (name, out) in &outputs[1..] {
                     assert_eq!(
-                        data, reference,
+                        out.data, reference.data,
                         "{video} frame {seq}: {name} bitstream diverged from serial"
+                    );
+                }
+                for ((name, out), dec) in outputs.iter().zip(decs.iter_mut()) {
+                    let decoded = dec
+                        .decode(&out.data)
+                        .unwrap_or_else(|e| panic!("{video} frame {seq}: {name} decode: {e:?}"));
+                    assert!(
+                        decoded == out.reconstruction,
+                        "{video} frame {seq}: {name} decoder drifted from encoder reconstruction"
                     );
                 }
             }

@@ -82,7 +82,10 @@ fn drive(
 
 fn fanout_router(sharing: bool) -> (Router, Vec<livo::math::RgbdCamera>) {
     let cameras = tiny_rig();
-    let cfg = RouterConfig { sharing, ..Default::default() };
+    let cfg = RouterConfig {
+        sharing,
+        ..Default::default()
+    };
     let mut router = Router::new(cfg, cameras.clone());
     // Three subscribers: a fast fibre path and two DSL-class paths, as in
     // the paper's trace set.
@@ -110,15 +113,25 @@ fn shared_clusters_encode_strictly_less_than_naive() {
 
     let (mut shared, cameras) = fanout_router(true);
     drive(&mut shared, &cameras, &yaws, frames);
-    let shared_passes =
-        shared.registry().snapshot().counter("sfu.encode_passes").expect("counter exists");
+    let shared_passes = shared
+        .registry()
+        .snapshot()
+        .counter("sfu.encode_passes")
+        .expect("counter exists");
 
     let (mut naive, cameras) = fanout_router(false);
     drive(&mut naive, &cameras, &yaws, frames);
-    let naive_passes =
-        naive.registry().snapshot().counter("sfu.encode_passes").expect("counter exists");
+    let naive_passes = naive
+        .registry()
+        .snapshot()
+        .counter("sfu.encode_passes")
+        .expect("counter exists");
 
-    assert_eq!(naive_passes, frames * 3, "naive: one pass per subscriber per frame");
+    assert_eq!(
+        naive_passes,
+        frames * 3,
+        "naive: one pass per subscriber per frame"
+    );
     assert_eq!(shared_passes, frames, "aligned frusta: one pass per frame");
     assert!(shared_passes < naive_passes);
 }
@@ -144,15 +157,23 @@ fn forwarded_streams_decode_bit_exact_to_cluster_encode() {
         // cross-wired a stream.
         let mut checked = 0usize;
         for seq in 0..frames as u32 {
-            let Some(decoded) = sub.decoded_color(seq) else { continue };
+            let Some(decoded) = sub.decoded_color(seq) else {
+                continue;
+            };
             let encoded = &per_seq[&seq];
             assert_eq!(decoded.planes.len(), encoded.planes.len());
             for (dp, ep) in decoded.planes.iter().zip(&encoded.planes) {
-                assert!(dp.data == ep.data, "subscriber {id} seq {seq}: stream not bit-exact");
+                assert!(
+                    dp.data == ep.data,
+                    "subscriber {id} seq {seq}: stream not bit-exact"
+                );
             }
             checked += 1;
         }
-        assert!(checked >= 3, "subscriber {id}: only {checked} frames left to compare");
+        assert!(
+            checked >= 3,
+            "subscriber {id}: only {checked} frames left to compare"
+        );
     }
 }
 
@@ -164,9 +185,18 @@ fn gcc_estimates_diverge_with_link_capacity() {
     let mut router = Router::new(RouterConfig::default(), cameras.clone());
     // At this test's tiny canvas the media stream is only a few hundred
     // kbit/s, so the slow links must sit *below* that to actually congest.
-    router.add_subscriber(SubscriberConfig::new("fast"), BandwidthTrace::constant(50.0, 12.0));
-    router.add_subscriber(SubscriberConfig::new("slow"), BandwidthTrace::constant(0.5, 12.0));
-    router.add_subscriber(SubscriberConfig::new("slower"), BandwidthTrace::constant(0.25, 12.0));
+    router.add_subscriber(
+        SubscriberConfig::new("fast"),
+        BandwidthTrace::constant(50.0, 12.0),
+    );
+    router.add_subscriber(
+        SubscriberConfig::new("slow"),
+        BandwidthTrace::constant(0.5, 12.0),
+    );
+    router.add_subscriber(
+        SubscriberConfig::new("slower"),
+        BandwidthTrace::constant(0.25, 12.0),
+    );
     drive(&mut router, &cameras, &yaws, frames);
 
     let fast = router.subscriber(0).estimate_bps();
@@ -175,9 +205,18 @@ fn gcc_estimates_diverge_with_link_capacity() {
     // Shared encode, private congestion control: each estimate tracks its
     // own bottleneck.
     assert!(fast > 5.0 * slow, "fast {fast:.0} vs slow {slow:.0}");
-    assert!(fast > 10e6, "uncongested estimate should keep growing, got {fast:.0}");
-    assert!(slow < 3e6, "slow estimate should cap near its 0.5 Mbps link, got {slow:.0}");
-    assert!(slower < 3e6, "slower estimate should cap near its 0.25 Mbps link, got {slower:.0}");
+    assert!(
+        fast > 10e6,
+        "uncongested estimate should keep growing, got {fast:.0}"
+    );
+    assert!(
+        slow < 3e6,
+        "slow estimate should cap near its 0.5 Mbps link, got {slow:.0}"
+    );
+    assert!(
+        slower < 3e6,
+        "slower estimate should cap near its 0.25 Mbps link, got {slower:.0}"
+    );
 }
 
 #[test]
@@ -185,7 +224,14 @@ fn six_subscribers_in_two_clusters_cost_at_most_two_passes_per_frame() {
     let frames = 20u64;
     // Two gaze groups, interleaved so clustering cannot ride on insertion
     // order: evens watch the stage, odds watch the crowd behind them.
-    let yaws = [0.0f32, std::f32::consts::PI, 0.03, std::f32::consts::PI + 0.03, -0.03, std::f32::consts::PI - 0.03];
+    let yaws = [
+        0.0f32,
+        std::f32::consts::PI,
+        0.03,
+        std::f32::consts::PI + 0.03,
+        -0.03,
+        std::f32::consts::PI - 0.03,
+    ];
     let cameras = tiny_rig();
     let mut router = Router::new(RouterConfig::default(), cameras.clone());
     for i in 0..6 {
@@ -196,7 +242,11 @@ fn six_subscribers_in_two_clusters_cost_at_most_two_passes_per_frame() {
     }
     drive(&mut router, &cameras, &yaws, frames);
 
-    let passes = router.registry().snapshot().counter("sfu.encode_passes").expect("counter");
+    let passes = router
+        .registry()
+        .snapshot()
+        .counter("sfu.encode_passes")
+        .expect("counter");
     assert!(
         passes <= 2 * frames,
         "6 subscribers in 2 frustum clusters must cost <= 2 passes/frame: {passes} passes over {frames} frames"
@@ -207,7 +257,8 @@ fn six_subscribers_in_two_clusters_cost_at_most_two_passes_per_frame() {
     assert_eq!(membership[0].1, vec![0, 2, 4]);
     assert_eq!(membership[1].1, vec![1, 3, 5]);
     // Every subscriber still got every frame forwarded.
-    let forwarded: Vec<u64> =
-        (0..6).map(|i| router.subscriber(i).stats().frames_forwarded).collect();
+    let forwarded: Vec<u64> = (0..6)
+        .map(|i| router.subscriber(i).stats().frames_forwarded)
+        .collect();
     assert_eq!(forwarded, vec![frames; 6]);
 }
