@@ -108,9 +108,16 @@ pub fn decode_block(dec: &mut RangeDecoder<'_>, ctx: &mut CoeffContexts) -> [i32
             continue;
         }
         let gt1 = dec.decode_bit(&mut ctx.gt1[band(pos)]);
-        let mag = if gt1 { dec.decode_ue_bypass() + 2 } else { 1 };
+        // Corrupt streams can produce magnitudes near u32::MAX; saturate
+        // instead of overflowing (legal encodes stay far below i32::MAX).
+        let mag = if gt1 {
+            dec.decode_ue_bypass().saturating_add(2)
+        } else {
+            1
+        };
         let neg = dec.decode_bypass();
-        levels[ZIGZAG[pos]] = if neg { -(mag as i32) } else { mag as i32 };
+        let mag = mag.min(i32::MAX as u32) as i32;
+        levels[ZIGZAG[pos]] = if neg { -mag } else { mag };
     }
     levels
 }
@@ -124,15 +131,16 @@ pub fn encode_svalue(enc: &mut RangeEncoder, v: i32) {
     }
 }
 
-/// Inverse of [`encode_svalue`].
+/// Inverse of [`encode_svalue`]. Magnitudes from corrupt streams saturate
+/// at `i32::MAX` rather than wrapping through the sign.
 pub fn decode_svalue(dec: &mut RangeDecoder<'_>) -> i32 {
-    let mag = dec.decode_ue_bypass();
+    let mag = dec.decode_ue_bypass().min(i32::MAX as u32) as i32;
     if mag == 0 {
         0
     } else if dec.decode_bypass() {
-        -(mag as i32)
+        -mag
     } else {
-        mag as i32
+        mag
     }
 }
 

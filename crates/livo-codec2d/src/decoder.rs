@@ -1,12 +1,31 @@
 //! The video decoder: the exact mirror of the encoder's closed loop.
+//!
+//! Both bitstream versions are supported: the legacy single-stream v1
+//! format decodes serially, and the sliced v2 format (see [`crate::slice`])
+//! decodes its independent slices concurrently when a worker pool is
+//! attached via [`Decoder::set_worker_pool`]. The reconstruction is
+//! bit-exact across pool sizes — slice geometry comes from the header, and
+//! each slice's entropy state is self-contained.
+//!
+//! Corrupt input must never panic: header inconsistencies map to
+//! [`DecodeError`], and past the header the range decoder is total (it
+//! reads zeros past the end of the buffer), so truncated or bit-flipped
+//! payloads decode to garbage pixels, not crashes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use livo_runtime::WorkerPool;
+use livo_telemetry::{Counter, Histogram, MetricsRegistry};
 
 use crate::block::{decode_block, decode_svalue, CoeffContexts};
 use crate::dct;
-use crate::encoder::{intra_dc_pred, plane_qp, FrameType, FRAME_MAGIC};
+use crate::encoder::{intra_dc_pred, plane_qp, run_slice_jobs, FrameType, FRAME_MAGIC};
 use crate::motion::{self, MotionVector, MB_SIZE};
-use crate::plane::{Frame, PixelFormat, Plane};
+use crate::plane::{write_block8_into_stripe, Frame, PixelFormat, Plane};
 use crate::quant::{self, DC_SCALE};
 use crate::rangecoder::{BitModel, RangeDecoder};
+use crate::slice::{self, SliceRows};
 
 /// Decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,8 +35,15 @@ pub enum DecodeError {
     /// An inter frame arrived but no reference is available (e.g. after a
     /// reset or when the first received frame was not intra).
     MissingReference,
-    /// Header fields are inconsistent (zero dimensions, unknown format).
+    /// Header fields are inconsistent (zero or absurd dimensions, unknown
+    /// format, out-of-range QP).
     BadHeader,
+    /// The buffer ends before the header (or the slice payloads it
+    /// declares) is complete.
+    Truncated,
+    /// The v2 slice table is inconsistent (zero or too many slices,
+    /// impossible payload lengths, trailing bytes).
+    BadSliceTable,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -28,32 +54,135 @@ impl std::fmt::Display for DecodeError {
                 write!(f, "inter frame received without a decoded reference frame")
             }
             DecodeError::BadHeader => write!(f, "inconsistent frame header"),
+            DecodeError::Truncated => write!(f, "bitstream shorter than its header declares"),
+            DecodeError::BadSliceTable => write!(f, "inconsistent slice table"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
+/// Per-decoder scratch arena, the receive-side mirror of the encoder's
+/// `EncoderScratch`: the work frame the decode writes into (rotated with
+/// the reference frame after each commit, so the steady-state loop
+/// allocates only the one clone handed to the caller) and the reused
+/// motion-field buffer of the serial inter path.
+struct DecoderScratch {
+    work: Frame,
+    mvs: Vec<MotionVector>,
+}
+
+impl Default for DecoderScratch {
+    fn default() -> Self {
+        DecoderScratch {
+            // Zero-sized: matches no real frame, so the first decode always
+            // allocates a correctly-shaped work frame.
+            work: Frame::new(PixelFormat::Yuv420, 0, 0),
+            mvs: Vec::new(),
+        }
+    }
+}
+
+impl DecoderScratch {
+    /// Make `work` a `format`/`w`×`h` frame, reusing the existing
+    /// allocation when the shape matches. Returns whether it was reused.
+    /// Stale contents are harmless: inter frames overwrite every pixel, and
+    /// intra DC prediction only reads pixels already reconstructed this
+    /// frame.
+    fn ensure_work(&mut self, format: PixelFormat, w: usize, h: usize) -> bool {
+        let r = &self.work;
+        if r.format == format && (r.width, r.height) == (w, h) && w > 0 {
+            true
+        } else {
+            self.work = Frame::new(format, w, h);
+            false
+        }
+    }
+}
+
+/// Held metric handles recorded once per decoded frame.
+struct DecoderTelemetry {
+    decode_ns: Arc<Histogram>,
+    slices: Arc<Counter>,
+    scratch_reuses: Arc<Counter>,
+}
+
 /// The decoder. Holds the previous reconstruction as the inter-prediction
 /// reference.
 #[derive(Default)]
 pub struct Decoder {
     recon: Option<Frame>,
+    /// Worker pool for slice-parallel v2 decode. `None` (or a single-thread
+    /// pool) decodes slices serially; the output is identical either way.
+    pool: Option<Arc<WorkerPool>>,
+    scratch: DecoderScratch,
+    telemetry: Option<DecoderTelemetry>,
 }
 
 impl Decoder {
     pub fn new() -> Self {
-        Decoder { recon: None }
+        Decoder::default()
+    }
+
+    /// Decode v2 slices concurrently on `pool` (one task per slice). Legacy
+    /// v1 streams have a single entropy state and stay serial. A pool with
+    /// one thread behaves exactly like no pool.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Publish per-frame decoder metrics in `registry`. The names are
+    /// deliberately unprefixed — one decode-stage account shared by the
+    /// colour and depth decoders: the `codec.decode.ns` wall-time
+    /// histogram, the `codec.decode.slices` counter, and the
+    /// `codec.decode_scratch_reuses` arena-effectiveness counter.
+    pub fn attach_telemetry(&mut self, registry: &Arc<MetricsRegistry>) {
+        self.telemetry = Some(DecoderTelemetry {
+            decode_ns: registry.histogram("codec.decode.ns"),
+            slices: registry.counter("codec.decode.slices"),
+            scratch_reuses: registry.counter("codec.decode_scratch_reuses"),
+        });
     }
 
     /// Drop the reference frame (e.g. after an unrecoverable loss, before
-    /// requesting a keyframe via PLI).
+    /// requesting a keyframe via PLI). The scratch arena is kept.
     pub fn reset(&mut self) {
         self.recon = None;
     }
 
-    /// Decode one frame.
+    /// Decode one frame (either bitstream version; v2 is recognised by its
+    /// first byte, which a v1 range-coder stream can never emit).
     pub fn decode(&mut self, data: &[u8]) -> Result<Frame, DecodeError> {
+        let start = Instant::now();
+        let (frame, n_slices) = if data.first() == Some(&slice::SLICED_MAGIC) {
+            self.decode_v2(data)?
+        } else {
+            (self.decode_v1(data)?, 1)
+        };
+        if let Some(t) = &self.telemetry {
+            t.decode_ns.record(start.elapsed().as_nanos() as f64);
+            t.slices.add(n_slices as u64);
+        }
+        Ok(frame)
+    }
+
+    /// Rotate the reconstruction double buffer after a successful decode:
+    /// the work frame becomes the prediction reference and the outgoing
+    /// reference's allocation becomes the next frame's workspace. Returns
+    /// the caller's copy of the reconstruction.
+    fn commit(&mut self) -> Frame {
+        let recycled = self
+            .recon
+            .take()
+            .unwrap_or_else(|| Frame::new(PixelFormat::Yuv420, 0, 0));
+        let frame = std::mem::replace(&mut self.scratch.work, recycled);
+        self.recon = Some(frame.clone());
+        frame
+    }
+
+    /// Decode a legacy v1 single-stream frame (serial by construction: one
+    /// adaptive entropy state spans the whole frame).
+    fn decode_v1(&mut self, data: &[u8]) -> Result<Frame, DecodeError> {
         let mut dec = RangeDecoder::new(data);
         if dec.decode_bits(8) != FRAME_MAGIC {
             return Err(DecodeError::BadMagic);
@@ -71,11 +200,20 @@ impl Decoder {
             1 => PixelFormat::Y16,
             _ => return Err(DecodeError::BadHeader),
         };
-        if width == 0 || height == 0 {
+        if width == 0
+            || height == 0
+            || width as u64 * height as u64 > slice::MAX_DECODE_PIXELS
+            || qp > quant::QP_MAX
+        {
             return Err(DecodeError::BadHeader);
         }
 
-        let mut recon = Frame::new(format, width, height);
+        if self.scratch.ensure_work(format, width, height) {
+            if let Some(t) = &self.telemetry {
+                t.scratch_reuses.inc();
+            }
+        }
+        let DecoderScratch { work, mvs } = &mut self.scratch;
         let peak = format.peak_value();
 
         match frame_type {
@@ -83,39 +221,109 @@ impl Decoder {
                 for pi in 0..format.plane_count() {
                     let step = quant::qstep(plane_qp(qp, pi, format));
                     let mut coeff = CoeffContexts::new();
-                    let plane = &mut recon.planes[pi];
-                    decode_plane_intra(&mut dec, &mut coeff, plane, step, peak);
+                    decode_plane_intra(&mut dec, &mut coeff, &mut work.planes[pi], step, peak);
                 }
             }
             FrameType::Inter => {
-                let prev = self.recon.take().ok_or(DecodeError::MissingReference)?;
+                let prev = self.recon.as_ref().ok_or(DecodeError::MissingReference)?;
                 if (prev.width, prev.height, prev.format) != (width, height, format) {
                     return Err(DecodeError::MissingReference);
                 }
                 let step = quant::qstep(plane_qp(qp, 0, format));
-                let mvs = decode_plane_inter_luma(
+                decode_plane_inter_luma(
                     &mut dec,
                     &prev.planes[0],
-                    &mut recon.planes[0],
+                    &mut work.planes[0],
                     step,
                     peak,
+                    mvs,
                 );
                 for pi in 1..format.plane_count() {
                     let cstep = quant::qstep(plane_qp(qp, pi, format));
                     decode_plane_inter_chroma(
                         &mut dec,
                         &prev.planes[pi],
-                        &mut recon.planes[pi],
+                        &mut work.planes[pi],
                         cstep,
                         peak,
-                        &mvs,
+                        mvs,
                         width,
                     );
                 }
             }
         }
-        self.recon = Some(recon.clone());
-        Ok(recon)
+        Ok(self.commit())
+    }
+
+    /// Decode a sliced v2 frame; returns the frame and its slice count.
+    fn decode_v2(&mut self, data: &[u8]) -> Result<(Frame, usize), DecodeError> {
+        let hdr = slice::parse_header(data)?;
+        let n_slices = hdr.payload_lens.len();
+        let mut offset = slice::header_len(n_slices);
+        let mut payloads: Vec<&[u8]> = Vec::with_capacity(n_slices);
+        for &len in &hdr.payload_lens {
+            // parse_header validated that the lengths sum to the buffer end.
+            payloads.push(&data[offset..offset + len]);
+            offset += len;
+        }
+
+        if self.scratch.ensure_work(hdr.format, hdr.width, hdr.height) {
+            if let Some(t) = &self.telemetry {
+                t.scratch_reuses.inc();
+            }
+        }
+        let slices = slice::partition(hdr.format, hdr.height, n_slices);
+        let peak = hdr.format.peak_value();
+        let pool = self.pool.as_deref().filter(|p| p.threads() > 1);
+        let work = &mut self.scratch.work;
+
+        // Carve every plane into per-slice row stripes, then transpose to
+        // one stripe set per slice.
+        let mut per_plane: Vec<std::vec::IntoIter<&mut [u16]>> = work
+            .planes
+            .iter_mut()
+            .enumerate()
+            .map(|(pi, p)| {
+                let rows: Vec<(usize, usize)> = slices.iter().map(|sr| sr.plane_rows(pi)).collect();
+                slice::split_plane_rows(&mut p.data, p.width, &rows).into_iter()
+            })
+            .collect();
+        type SliceJob<'a> = (SliceRows, &'a [u8], Vec<&'a mut [u16]>);
+        let jobs: Vec<SliceJob<'_>> = slices
+            .iter()
+            .zip(payloads)
+            .map(|(sr, payload)| {
+                let stripes = per_plane.iter_mut().map(|it| it.next().unwrap()).collect();
+                (*sr, payload, stripes)
+            })
+            .collect();
+
+        match hdr.frame_type {
+            FrameType::Intra => {
+                run_slice_jobs(pool, jobs, |(sr, payload, mut stripes)| {
+                    decode_intra_slice(
+                        payload,
+                        &sr,
+                        &mut stripes,
+                        hdr.format,
+                        hdr.width,
+                        hdr.height,
+                        hdr.qp,
+                        peak,
+                    );
+                });
+            }
+            FrameType::Inter => {
+                let prev = self.recon.as_ref().ok_or(DecodeError::MissingReference)?;
+                if (prev.width, prev.height, prev.format) != (hdr.width, hdr.height, hdr.format) {
+                    return Err(DecodeError::MissingReference);
+                }
+                run_slice_jobs(pool, jobs, |(sr, payload, mut stripes)| {
+                    decode_inter_slice(payload, &sr, &mut stripes, prev, hdr.qp, peak);
+                });
+            }
+        }
+        Ok((self.commit(), n_slices))
     }
 }
 
@@ -146,10 +354,12 @@ fn decode_plane_inter_luma(
     recon: &mut Plane,
     step: f32,
     peak: u16,
-) -> Vec<MotionVector> {
+    mvs: &mut Vec<MotionVector>,
+) {
     let mbs_x = recon.width.div_ceil(MB_SIZE);
     let mbs_y = recon.height.div_ceil(MB_SIZE);
-    let mut mvs = vec![MotionVector::default(); mbs_x * mbs_y];
+    mvs.clear();
+    mvs.resize(mbs_x * mbs_y, MotionVector::default());
     let mut coeff = CoeffContexts::new();
     let mut skip_model = BitModel::new();
     let mut pred_buf = [0i32; MB_SIZE * MB_SIZE];
@@ -166,13 +376,10 @@ fn decode_plane_inter_luma(
             let (mv, levels4) = if skip {
                 (pred_mv, None)
             } else {
-                let dx = decode_svalue(dec) as i16 + pred_mv.dx;
-                let dy = decode_svalue(dec) as i16 + pred_mv.dy;
-                let mut levels4 = [[0i32; 64]; 4];
-                for l in &mut levels4 {
-                    *l = decode_block(dec, &mut coeff);
-                }
-                (MotionVector { dx, dy }, Some(levels4))
+                (
+                    decode_mv(dec, pred_mv),
+                    Some(decode_levels4(dec, &mut coeff)),
+                )
             };
             mvs[mby * mbs_x + mbx] = mv;
             motion::predict_block(prev, bx, by, mv, &mut pred_buf);
@@ -180,30 +387,59 @@ fn decode_plane_inter_luma(
                 let ox = (sb % 2) * 8;
                 let oy = (sb / 2) * 8;
                 let mut rec = [0i32; 64];
-                match &levels4 {
-                    None => {
-                        for dy in 0..8 {
-                            for dxp in 0..8 {
-                                rec[dy * 8 + dxp] = pred_buf[(oy + dy) * MB_SIZE + ox + dxp];
-                            }
-                        }
-                    }
-                    Some(l4) => {
-                        let deq = quant::dequantize_block(&l4[sb], step, DC_SCALE);
-                        let res = dct::inverse(&deq);
-                        for dy in 0..8 {
-                            for dxp in 0..8 {
-                                rec[dy * 8 + dxp] =
-                                    res[dy * 8 + dxp] + pred_buf[(oy + dy) * MB_SIZE + ox + dxp];
-                            }
-                        }
-                    }
-                }
+                reconstruct_luma_subblock(&mut rec, &levels4, sb, ox, oy, &pred_buf, step);
                 recon.write_block8(bx + ox, by + oy, &rec, peak);
             }
         }
     }
-    mvs
+}
+
+/// Decode a motion-vector difference and add the predictor. Corrupt
+/// streams can produce arbitrary magnitudes; the wrapping arithmetic keeps
+/// the result a (garbage but valid) vector instead of overflowing.
+fn decode_mv(dec: &mut RangeDecoder<'_>, pred_mv: MotionVector) -> MotionVector {
+    let dx = (decode_svalue(dec) as i16).wrapping_add(pred_mv.dx);
+    let dy = (decode_svalue(dec) as i16).wrapping_add(pred_mv.dy);
+    MotionVector { dx, dy }
+}
+
+fn decode_levels4(dec: &mut RangeDecoder<'_>, coeff: &mut CoeffContexts) -> [[i32; 64]; 4] {
+    let mut levels4 = [[0i32; 64]; 4];
+    for l in &mut levels4 {
+        *l = decode_block(dec, coeff);
+    }
+    levels4
+}
+
+/// Reconstruct one 8×8 luma sub-block of a macroblock: prediction alone
+/// for skipped blocks, prediction + dequantised residual otherwise.
+fn reconstruct_luma_subblock(
+    rec: &mut [i32; 64],
+    levels4: &Option<[[i32; 64]; 4]>,
+    sb: usize,
+    ox: usize,
+    oy: usize,
+    pred_buf: &[i32; MB_SIZE * MB_SIZE],
+    step: f32,
+) {
+    match levels4 {
+        None => {
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    rec[dy * 8 + dx] = pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                }
+            }
+        }
+        Some(l4) => {
+            let deq = quant::dequantize_block(&l4[sb], step, DC_SCALE);
+            let res = dct::inverse(&deq);
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    rec[dy * 8 + dx] = res[dy * 8 + dx] + pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                }
+            }
+        }
+    }
 }
 
 fn decode_plane_inter_chroma(
@@ -239,6 +475,129 @@ fn decode_plane_inter_chroma(
                 }
             }
             recon.write_block8(bx, by, &rec, peak);
+        }
+    }
+}
+
+/// Decode one intra slice into its plane stripes — the exact mirror of the
+/// encoder's `encode_intra_slice`: plane-major, fresh contexts per plane,
+/// slice-local DC prediction.
+#[allow(clippy::too_many_arguments)]
+fn decode_intra_slice(
+    payload: &[u8],
+    sr: &SliceRows,
+    stripes: &mut [&mut [u16]],
+    format: PixelFormat,
+    width: usize,
+    height: usize,
+    qp: u8,
+    peak: u16,
+) {
+    let mut dec = RangeDecoder::new(payload);
+    for (pi, stripe) in stripes.iter_mut().enumerate() {
+        let (pw, _) = format.plane_dims(pi, width, height);
+        let step = quant::qstep(plane_qp(qp, pi, format));
+        let (r0, r1) = sr.plane_rows(pi);
+        let mut coeff = CoeffContexts::new();
+        for by in (r0..r1).step_by(8) {
+            for bx in (0..pw).step_by(8) {
+                let levels = decode_block(&mut dec, &mut coeff);
+                let pred = slice::intra_dc_pred_stripe(stripe, pw, r0, bx, by, peak);
+                let deq = quant::dequantize_block(&levels, step, DC_SCALE);
+                let mut rec = dct::inverse(&deq);
+                for v in &mut rec {
+                    *v += pred;
+                }
+                write_block8_into_stripe(stripe, pw, r0, bx, by, &rec, peak);
+            }
+        }
+    }
+}
+
+/// Decode one inter slice into its plane stripes — the mirror of the
+/// encoder's `entropy_inter_slice` walk: the slice's luma macroblock rows
+/// (left-neighbour MV prediction, reset per row), then each chroma plane's
+/// matching block rows against the halved luma motion field.
+fn decode_inter_slice(
+    payload: &[u8],
+    sr: &SliceRows,
+    stripes: &mut [&mut [u16]],
+    prev: &Frame,
+    qp: u8,
+    peak: u16,
+) {
+    let format = prev.format;
+    let width = prev.width;
+    let mut dec = RangeDecoder::new(payload);
+    let mbs_x = width.div_ceil(MB_SIZE);
+    let n_rows = sr.mb1 - sr.mb0;
+    let mut mvs = vec![MotionVector::default(); n_rows * mbs_x];
+
+    let (luma_stripe, chroma_stripes) = stripes.split_first_mut().expect("at least one plane");
+    let step = quant::qstep(plane_qp(qp, 0, format));
+    let mut coeff = CoeffContexts::new();
+    let mut skip_model = BitModel::new();
+    let mut pred_buf = [0i32; MB_SIZE * MB_SIZE];
+    for row in 0..n_rows {
+        let by = (sr.mb0 + row) * MB_SIZE;
+        for mbx in 0..mbs_x {
+            let bx = mbx * MB_SIZE;
+            let pred_mv = if mbx > 0 {
+                mvs[row * mbs_x + mbx - 1]
+            } else {
+                MotionVector::default()
+            };
+            let skip = dec.decode_bit(&mut skip_model);
+            let (mv, levels4) = if skip {
+                (pred_mv, None)
+            } else {
+                (
+                    decode_mv(&mut dec, pred_mv),
+                    Some(decode_levels4(&mut dec, &mut coeff)),
+                )
+            };
+            mvs[row * mbs_x + mbx] = mv;
+            motion::predict_block(&prev.planes[0], bx, by, mv, &mut pred_buf);
+            for sb in 0..4 {
+                let ox = (sb % 2) * 8;
+                let oy = (sb / 2) * 8;
+                let mut rec = [0i32; 64];
+                reconstruct_luma_subblock(&mut rec, &levels4, sb, ox, oy, &pred_buf, step);
+                write_block8_into_stripe(luma_stripe, width, sr.y0, bx + ox, by + oy, &rec, peak);
+            }
+        }
+    }
+
+    for (ci, stripe) in chroma_stripes.iter_mut().enumerate() {
+        let pi = ci + 1;
+        let (pw, _) = format.plane_dims(pi, width, prev.height);
+        let cstep = quant::qstep(plane_qp(qp, pi, format));
+        let cprev = &prev.planes[pi];
+        let mut cctx = CoeffContexts::new();
+        for by in (sr.c0..sr.c1).step_by(8) {
+            for bx in (0..pw).step_by(8) {
+                // A chroma block row maps 1:1 to a luma macroblock row.
+                let local = (by / 8 - sr.mb0) * mbs_x + bx / 8;
+                let mv = mvs.get(local).copied().unwrap_or_default();
+                let cmv = MotionVector {
+                    dx: mv.dx / 2,
+                    dy: mv.dy / 2,
+                };
+                let levels = decode_block(&mut dec, &mut cctx);
+                let deq = quant::dequantize_block(&levels, cstep, DC_SCALE);
+                let res = dct::inverse(&deq);
+                let mut rec = [0i32; 64];
+                for dy in 0..8 {
+                    for dx in 0..8 {
+                        let pred = cprev.get_clamped(
+                            (bx + dx) as isize + cmv.dx as isize,
+                            (by + dy) as isize + cmv.dy as isize,
+                        ) as i32;
+                        rec[dy * 8 + dx] = res[dy * 8 + dx] + pred;
+                    }
+                }
+                write_block8_into_stripe(stripe, pw, sr.c0, bx, by, &rec, peak);
+            }
         }
     }
 }
@@ -302,10 +661,72 @@ mod tests {
     }
 
     #[test]
+    fn sliced_round_trip_matches_encoder() {
+        // 128×128 auto-slices to 2: exercises the v2 path end to end.
+        let mut cfg = EncoderConfig::new(128, 128, PixelFormat::Yuv420);
+        cfg.slices = 4;
+        let mut enc = Encoder::new(cfg);
+        let mut dec = Decoder::new();
+        for i in 0..6 {
+            let f = test_frame(128, 128, i);
+            let out = enc.encode(&f, 120_000);
+            assert_eq!(out.data[0], slice::SLICED_MAGIC, "frame {i} should be v2");
+            let decoded = dec.decode(&out.data).unwrap();
+            assert_eq!(decoded, out.reconstruction, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn sliced_y16_round_trip_matches_encoder() {
+        let mut cfg = EncoderConfig::new(96, 96, PixelFormat::Y16);
+        cfg.slices = 3;
+        let mut enc = Encoder::new(cfg);
+        let mut dec = Decoder::new();
+        for i in 0..4 {
+            let samples: Vec<u16> = (0..96usize * 96)
+                .map(|p| (((p + i * 31) * 401) % 60000) as u16)
+                .collect();
+            let f = Frame::from_y16(96, 96, samples);
+            let out = enc.encode(&f, 200_000);
+            assert_eq!(out.data[0], slice::SLICED_MAGIC, "frame {i} should be v2");
+            let decoded = dec.decode(&out.data).unwrap();
+            assert_eq!(decoded, out.reconstruction, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_slice_decode_matches_serial() {
+        let mut cfg = EncoderConfig::new(128, 128, PixelFormat::Yuv420);
+        cfg.slices = 4;
+        let mut enc = Encoder::new(cfg);
+        let mut serial = Decoder::new();
+        let mut parallel = Decoder::new();
+        parallel.set_worker_pool(Arc::new(WorkerPool::new(3)));
+        for i in 0..5 {
+            let out = enc.encode(&test_frame(128, 128, i), 120_000);
+            let a = serial.decode(&out.data).unwrap();
+            let b = parallel.decode(&out.data).unwrap();
+            assert_eq!(a, b, "frame {i}");
+        }
+    }
+
+    #[test]
     fn inter_without_reference_fails() {
         let mut enc = Encoder::new(EncoderConfig::new(32, 32, PixelFormat::Yuv420));
         enc.encode(&test_frame(32, 32, 0), 50_000);
         let p = enc.encode(&test_frame(32, 32, 1), 50_000);
+        assert_eq!(p.frame_type, FrameType::Inter);
+        let mut dec = Decoder::new();
+        assert_eq!(dec.decode(&p.data), Err(DecodeError::MissingReference));
+    }
+
+    #[test]
+    fn sliced_inter_without_reference_fails() {
+        let mut cfg = EncoderConfig::new(128, 128, PixelFormat::Yuv420);
+        cfg.slices = 2;
+        let mut enc = Encoder::new(cfg);
+        enc.encode(&test_frame(128, 128, 0), 120_000);
+        let p = enc.encode(&test_frame(128, 128, 1), 120_000);
         assert_eq!(p.frame_type, FrameType::Inter);
         let mut dec = Decoder::new();
         assert_eq!(dec.decode(&p.data), Err(DecodeError::MissingReference));
@@ -332,5 +753,28 @@ mod tests {
         let k = enc.encode(&test_frame(32, 32, 2), 50_000);
         let decoded = dec.decode(&k.data).unwrap();
         assert_eq!(decoded, k.reconstruction);
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_decodes_identical() {
+        // Two decoders for the same all-intra stream; one also decodes an
+        // interleaved stream of a different shape, so its work-frame arena
+        // is reallocated every frame while the other reuses it every frame.
+        let mut cfg_a = EncoderConfig::new(64, 64, PixelFormat::Yuv420);
+        cfg_a.gop_length = 1;
+        let mut cfg_b = EncoderConfig::new(32, 32, PixelFormat::Yuv420);
+        cfg_b.gop_length = 1;
+        let mut enc_a = Encoder::new(cfg_a);
+        let mut enc_b = Encoder::new(cfg_b);
+        let mut dec_clean = Decoder::new();
+        let mut dec_shared = Decoder::new();
+        for i in 0..4 {
+            let a = enc_a.encode(&test_frame(64, 64, i), 60_000);
+            let b = enc_b.encode(&test_frame(32, 32, i), 30_000);
+            let x = dec_clean.decode(&a.data).unwrap();
+            let y = dec_shared.decode(&a.data).unwrap();
+            assert_eq!(x, y, "frame {i}");
+            dec_shared.decode(&b.data).unwrap();
+        }
     }
 }

@@ -8,6 +8,7 @@ use crate::plane::{write_block8_into_stripe, Frame, PixelFormat, Plane};
 use crate::quant::{self, DC_SCALE};
 use crate::rangecoder::{BitModel, RangeEncoder};
 use crate::ratecontrol::RateController;
+use crate::slice::{self, SliceRows};
 use livo_runtime::WorkerPool;
 use livo_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::Arc;
@@ -38,6 +39,12 @@ pub struct EncoderConfig {
     pub qp_max: u8,
     /// Motion search range in pixels per axis.
     pub search_range: i16,
+    /// Entropy slices per frame for the v2 bitstream. `0` (the default)
+    /// picks automatically from the frame height — see
+    /// [`slice::slice_count`]; an effective count of 1 emits the legacy v1
+    /// (unsliced) bitstream. The count never depends on the worker-pool
+    /// size, so the bitstream is identical however many threads encode it.
+    pub slices: u8,
 }
 
 impl EncoderConfig {
@@ -50,6 +57,7 @@ impl EncoderConfig {
             qp_min: 4,
             qp_max: quant::QP_MAX,
             search_range: 8,
+            slices: 0,
         }
     }
 }
@@ -125,6 +133,7 @@ struct EncoderTelemetry {
     blocks_coded: Arc<Counter>,
     bits_total: Arc<Counter>,
     scratch_reuses: Arc<Counter>,
+    slice_header_bits: Arc<Counter>,
 }
 
 /// Per-encoder scratch arena: every buffer the per-frame path used to
@@ -137,8 +146,9 @@ struct EncoderTelemetry {
 struct EncoderScratch {
     /// Planned luma macroblocks of the pooled inter path.
     luma_plans: Vec<LumaMbPlan>,
-    /// Planned chroma blocks of the pooled inter path (reused for U and V).
-    chroma_plans: Vec<[i32; 64]>,
+    /// Planned chroma blocks of the pooled inter path, one arena per
+    /// chroma plane (the sliced entropy pass needs U and V side by side).
+    chroma_plans: [Vec<[i32; 64]>; 2],
     /// Luma motion field of the frame being encoded.
     mvs: Vec<MotionVector>,
     /// Reconstruction under construction. After the frame commits, this
@@ -150,7 +160,7 @@ impl Default for EncoderScratch {
     fn default() -> Self {
         EncoderScratch {
             luma_plans: Vec::new(),
-            chroma_plans: Vec::new(),
+            chroma_plans: [Vec::new(), Vec::new()],
             mvs: Vec::new(),
             // Zero-sized: matches no real frame, so the first encode always
             // allocates a correctly-shaped work frame.
@@ -191,6 +201,9 @@ pub struct Encoder {
     pool: Option<Arc<WorkerPool>>,
     /// Reused per-frame buffers (plans, motion field, work reconstruction).
     scratch: EncoderScratch,
+    /// Uncompressed v2 header+table bits of the last `encode_with_qp` call
+    /// (0 for v1 frames); published as the `slice_header_bits` counter.
+    last_header_bits: u64,
 }
 
 impl Encoder {
@@ -205,6 +218,7 @@ impl Encoder {
             telemetry: None,
             pool: None,
             scratch: EncoderScratch::default(),
+            last_header_bits: 0,
         }
     }
 
@@ -234,6 +248,7 @@ impl Encoder {
             // Deliberately unprefixed: one arena-effectiveness counter for
             // the whole codec stage, shared by colour and depth encoders.
             scratch_reuses: registry.counter("codec.scratch_reuses"),
+            slice_header_bits: registry.counter(&format!("{prefix}.slice_header_bits")),
         });
     }
 
@@ -260,6 +275,7 @@ impl Encoder {
         t.blocks_skip.add(blocks.skip);
         t.blocks_coded.add(blocks.coded);
         t.bits_total.add(bits);
+        t.slice_header_bits.add(self.last_header_bits);
     }
 
     pub fn config(&self) -> &EncoderConfig {
@@ -428,13 +444,32 @@ impl Encoder {
     /// Deterministically encode `frame` at the given QP into the scratch
     /// work frame, returning the bitstream and the skip/coded block
     /// statistics. The reconstruction is left in `self.scratch.work_recon`
-    /// for [`Encoder::commit_reconstruction`] to rotate in.
+    /// for [`Encoder::commit_reconstruction`] to rotate in. Dispatches on
+    /// the effective slice count: one slice emits the legacy v1 bitstream,
+    /// more emit the sliced v2 bitstream (see [`crate::slice`]).
     fn encode_with_qp(
         &mut self,
         frame: &Frame,
         qp: u8,
         frame_type: FrameType,
     ) -> (Vec<u8>, BlockCounts) {
+        let n_slices = slice::slice_count(self.cfg.slices, frame.height);
+        if n_slices <= 1 {
+            self.encode_v1(frame, qp, frame_type)
+        } else {
+            self.encode_v2(frame, qp, frame_type, n_slices)
+        }
+    }
+
+    /// The legacy single-stream (v1) encode: one range coder over the whole
+    /// frame, with the plan/entropy split when a pool is attached.
+    fn encode_v1(
+        &mut self,
+        frame: &Frame,
+        qp: u8,
+        frame_type: FrameType,
+    ) -> (Vec<u8>, BlockCounts) {
+        self.last_header_bits = 0;
         // Detach the arena so its buffers and `self`'s other fields (the
         // prediction reference, config, pool) can be borrowed side by side.
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -488,7 +523,7 @@ impl Encoder {
                         // then a serial range-coder replay in raster order so
                         // the bitstream is bit-exact with the serial path.
                         plan_plane_inter_luma(
-                            pool,
+                            Some(pool),
                             &frame.planes[0],
                             &prev.planes[0],
                             &mut recon.planes[0],
@@ -525,7 +560,7 @@ impl Encoder {
                     match pool {
                         Some(pool) => {
                             plan_plane_inter_chroma(
-                                pool,
+                                Some(pool),
                                 &frame.planes[pi],
                                 &prev.planes[pi],
                                 &mut recon.planes[pi],
@@ -533,12 +568,12 @@ impl Encoder {
                                 peak,
                                 mvs,
                                 frame.planes[0].width,
-                                &mut scratch.chroma_plans,
+                                &mut scratch.chroma_plans[pi - 1],
                             );
                             entropy_plane_inter_chroma(
                                 &mut enc,
                                 &mut cctx,
-                                &scratch.chroma_plans,
+                                &scratch.chroma_plans[pi - 1],
                                 &mut counts,
                             );
                         }
@@ -561,6 +596,233 @@ impl Encoder {
         self.scratch = scratch;
         (enc.finish(), counts)
     }
+
+    /// Sliced (v2) encode: the plan phase is shared with v1, but the
+    /// entropy stage runs one independent range coder per slice — in
+    /// parallel on the pool when one is attached — and the frame is
+    /// assembled as header + length table + concatenated payloads. Slice
+    /// geometry is a function of the frame height only, never the pool, so
+    /// the bitstream is identical at any thread count.
+    fn encode_v2(
+        &mut self,
+        frame: &Frame,
+        qp: u8,
+        frame_type: FrameType,
+        n_slices: usize,
+    ) -> (Vec<u8>, BlockCounts) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if scratch.ensure_work_recon(frame.format, frame.width, frame.height) {
+            if let Some(t) = &self.telemetry {
+                t.scratch_reuses.inc();
+            }
+        }
+        let peak = frame.format.peak_value();
+        let pool = self.pool.as_deref().filter(|p| p.threads() > 1);
+        let slices = slice::partition(frame.format, frame.height, n_slices);
+        let mut payloads: Vec<(Vec<u8>, BlockCounts)> = Vec::new();
+        payloads.resize_with(n_slices, Default::default);
+
+        match frame_type {
+            FrameType::Intra => {
+                // Each slice intra-codes its stripe of every plane with
+                // slice-local DC prediction, so slices are fully
+                // independent on both sides.
+                let recon = &mut scratch.work_recon;
+                let mut per_plane: Vec<std::vec::IntoIter<&mut [u16]>> = recon
+                    .planes
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(pi, p)| {
+                        let rows: Vec<(usize, usize)> =
+                            slices.iter().map(|sr| sr.plane_rows(pi)).collect();
+                        slice::split_plane_rows(&mut p.data, p.width, &rows).into_iter()
+                    })
+                    .collect();
+                type IntraJob<'a> = (
+                    SliceRows,
+                    Vec<&'a mut [u16]>,
+                    &'a mut (Vec<u8>, BlockCounts),
+                );
+                let jobs: Vec<IntraJob<'_>> = slices
+                    .iter()
+                    .zip(payloads.iter_mut())
+                    .map(|(sr, out)| {
+                        let stripes = per_plane.iter_mut().map(|it| it.next().unwrap()).collect();
+                        (*sr, stripes, out)
+                    })
+                    .collect();
+                run_slice_jobs(pool, jobs, |(sr, mut stripes, out)| {
+                    *out = encode_intra_slice(frame, &sr, &mut stripes, qp, peak);
+                });
+            }
+            FrameType::Inter => {
+                let prev = self.recon.as_ref().expect("inter frame without reference");
+                let recon = &mut scratch.work_recon;
+                let step = quant::qstep(plane_qp(qp, 0, frame.format));
+                plan_plane_inter_luma(
+                    pool,
+                    &frame.planes[0],
+                    &prev.planes[0],
+                    &mut recon.planes[0],
+                    step,
+                    peak,
+                    self.cfg.search_range,
+                    &mut scratch.luma_plans,
+                );
+                scratch.mvs.clear();
+                scratch.mvs.extend(scratch.luma_plans.iter().map(|p| p.mv));
+                for pi in 1..frame.planes.len() {
+                    let cstep = quant::qstep(plane_qp(qp, pi, frame.format));
+                    plan_plane_inter_chroma(
+                        pool,
+                        &frame.planes[pi],
+                        &prev.planes[pi],
+                        &mut recon.planes[pi],
+                        cstep,
+                        peak,
+                        &scratch.mvs,
+                        frame.planes[0].width,
+                        &mut scratch.chroma_plans[pi - 1],
+                    );
+                }
+                let mbs_x = frame.planes[0].width.div_ceil(MB_SIZE);
+                let luma_plans = &scratch.luma_plans;
+                let chroma_plans = &scratch.chroma_plans;
+                let n_planes = frame.planes.len();
+                let jobs: Vec<(SliceRows, &mut (Vec<u8>, BlockCounts))> =
+                    slices.iter().copied().zip(payloads.iter_mut()).collect();
+                run_slice_jobs(pool, jobs, |(sr, out)| {
+                    *out = entropy_inter_slice(&sr, luma_plans, chroma_plans, mbs_x, n_planes);
+                });
+            }
+        }
+
+        let lens: Vec<usize> = payloads.iter().map(|(p, _)| p.len()).collect();
+        let header = slice::write_header(
+            frame_type,
+            frame.format,
+            qp,
+            frame.width,
+            frame.height,
+            &lens,
+        );
+        self.last_header_bits = header.len() as u64 * 8;
+        let mut data = header;
+        data.reserve(lens.iter().sum());
+        let mut counts = BlockCounts::default();
+        for (payload, c) in &payloads {
+            data.extend_from_slice(payload);
+            counts.skip += c.skip;
+            counts.coded += c.coded;
+        }
+        self.scratch = scratch;
+        (data, counts)
+    }
+}
+
+/// Run one closure per slice job — striped across the pool when one is
+/// attached (slices are entropy-independent, so completion order is
+/// irrelevant), serially otherwise. Results land in the jobs' `&mut`
+/// slots and are identical either way.
+pub(crate) fn run_slice_jobs<T: Send>(
+    pool: Option<&WorkerPool>,
+    jobs: Vec<T>,
+    f: impl Fn(T) + Sync,
+) {
+    match pool {
+        Some(pool) => pool.scope(|s| {
+            for job in jobs {
+                let f = &f;
+                s.spawn(move || f(job));
+            }
+        }),
+        None => {
+            for job in jobs {
+                f(job);
+            }
+        }
+    }
+}
+
+/// Intra-code one slice: its stripe of every plane, plane-major, with
+/// slice-local DC prediction and a fresh range coder + contexts.
+fn encode_intra_slice(
+    frame: &Frame,
+    sr: &SliceRows,
+    stripes: &mut [&mut [u16]],
+    qp: u8,
+    peak: u16,
+) -> (Vec<u8>, BlockCounts) {
+    let mut enc = RangeEncoder::new();
+    let mut counts = BlockCounts::default();
+    let mut blk = [0i32; 64];
+    for (pi, stripe) in stripes.iter_mut().enumerate() {
+        let plane = &frame.planes[pi];
+        let step = quant::qstep(plane_qp(qp, pi, frame.format));
+        let (r0, r1) = sr.plane_rows(pi);
+        let mut ctx = CoeffContexts::new();
+        for by in (r0..r1).step_by(8) {
+            for bx in (0..plane.width).step_by(8) {
+                counts.coded += 1;
+                plane.read_block8(bx, by, &mut blk);
+                let pred = slice::intra_dc_pred_stripe(stripe, plane.width, r0, bx, by, peak);
+                for v in &mut blk {
+                    *v -= pred;
+                }
+                let coeffs = dct::forward(&blk);
+                let levels = quant::quantize_block(&coeffs, step, DC_SCALE);
+                encode_block(&mut enc, &mut ctx, &levels);
+                let deq = quant::dequantize_block(&levels, step, DC_SCALE);
+                let mut rec = dct::inverse(&deq);
+                for v in &mut rec {
+                    *v += pred;
+                }
+                write_block8_into_stripe(stripe, plane.width, r0, bx, by, &rec, peak);
+            }
+        }
+    }
+    (enc.finish(), counts)
+}
+
+/// Entropy-code one slice of a planned inter frame: its luma macroblock
+/// rows, then each chroma plane's matching block rows, with a fresh range
+/// coder and per-plane contexts (the mirror of the decoder's slice walk).
+fn entropy_inter_slice(
+    sr: &SliceRows,
+    luma_plans: &[LumaMbPlan],
+    chroma_plans: &[Vec<[i32; 64]>; 2],
+    mbs_x: usize,
+    n_planes: usize,
+) -> (Vec<u8>, BlockCounts) {
+    let mut enc = RangeEncoder::new();
+    let mut counts = BlockCounts::default();
+    let mut ctx = PlaneContexts::new();
+    for plan in &luma_plans[sr.mb0 * mbs_x..sr.mb1 * mbs_x] {
+        if plan.skip {
+            counts.skip += 1;
+        } else {
+            counts.coded += 1;
+        }
+        enc.encode_bit(&mut ctx.skip, plan.skip);
+        if !plan.skip {
+            encode_svalue(&mut enc, (plan.mv.dx - plan.pred_mv.dx) as i32);
+            encode_svalue(&mut enc, (plan.mv.dy - plan.pred_mv.dy) as i32);
+            for levels in &plan.levels4 {
+                encode_block(&mut enc, &mut ctx.coeff, levels);
+            }
+        }
+    }
+    // Chroma block rows correspond 1:1 to luma macroblock rows (and chroma
+    // blocks-per-row to mbs_x), so the same row range indexes the plans.
+    for plans in chroma_plans.iter().take(n_planes.saturating_sub(1)) {
+        let mut cctx = CoeffContexts::new();
+        let end = (sr.mb1 * mbs_x).min(plans.len());
+        for levels in &plans[sr.mb0 * mbs_x..end] {
+            counts.coded += 1;
+            encode_block(&mut enc, &mut cctx, levels);
+        }
+    }
+    (enc.finish(), counts)
 }
 
 /// QP used for plane `pi`: chroma planes are coded 4 QP coarser (they carry
@@ -818,7 +1080,7 @@ impl Default for LumaMbPlan {
 /// vector; every element is overwritten before the entropy pass reads it.
 #[allow(clippy::too_many_arguments)]
 fn plan_plane_inter_luma(
-    pool: &WorkerPool,
+    pool: Option<&WorkerPool>,
     plane: &Plane,
     prev: &Plane,
     recon: &mut Plane,
@@ -831,17 +1093,24 @@ fn plan_plane_inter_luma(
     let mbs_y = plane.height.div_ceil(MB_SIZE);
     plans.resize(mbs_x * mbs_y, LumaMbPlan::default());
     let width = plane.width;
-    pool.scope(|s| {
-        for (mby, (plan_row, stripe)) in plans
-            .chunks_mut(mbs_x)
-            .zip(recon.data.chunks_mut(width * MB_SIZE))
-            .enumerate()
-        {
-            s.spawn(move || {
+    let rows = plans
+        .chunks_mut(mbs_x)
+        .zip(recon.data.chunks_mut(width * MB_SIZE))
+        .enumerate();
+    match pool {
+        Some(pool) => pool.scope(|s| {
+            for (mby, (plan_row, stripe)) in rows {
+                s.spawn(move || {
+                    plan_luma_row(plane, prev, plan_row, stripe, mby, step, peak, search_range);
+                });
+            }
+        }),
+        None => {
+            for (mby, (plan_row, stripe)) in rows {
                 plan_luma_row(plane, prev, plan_row, stripe, mby, step, peak, search_range);
-            });
+            }
         }
-    });
+    }
 }
 
 /// Plan one macroblock row (see [`plan_plane_inter_luma`]). `stripe` is the
@@ -961,7 +1230,7 @@ fn entropy_plane_inter_luma(
 /// the halved luma motion field) and reconstructs into that row's stripe.
 #[allow(clippy::too_many_arguments)]
 fn plan_plane_inter_chroma(
-    pool: &WorkerPool,
+    pool: Option<&WorkerPool>,
     plane: &Plane,
     prev: &Plane,
     recon: &mut Plane,
@@ -976,54 +1245,82 @@ fn plan_plane_inter_chroma(
     let mbs_x = luma_width.div_ceil(MB_SIZE);
     plans.resize(blocks_x * blocks_y, [0i32; 64]);
     let width = plane.width;
-    pool.scope(|s| {
-        for (row, (plan_row, stripe)) in plans
-            .chunks_mut(blocks_x)
-            .zip(recon.data.chunks_mut(width * 8))
-            .enumerate()
-        {
-            s.spawn(move || {
-                let by = row * 8;
-                let mut blk = [0i32; 64];
-                for (bxi, levels_out) in plan_row.iter_mut().enumerate() {
-                    let bx = bxi * 8;
-                    let mb_index = (by / 8) * mbs_x + (bx / 8);
-                    let mv = luma_mvs.get(mb_index).copied().unwrap_or_default();
-                    let cmv = MotionVector {
-                        dx: mv.dx / 2,
-                        dy: mv.dy / 2,
-                    };
-                    for dy in 0..8 {
-                        for dx in 0..8 {
-                            let cur =
-                                plane.get_clamped((bx + dx) as isize, (by + dy) as isize) as i32;
-                            let pred = prev.get_clamped(
-                                (bx + dx) as isize + cmv.dx as isize,
-                                (by + dy) as isize + cmv.dy as isize,
-                            ) as i32;
-                            blk[dy * 8 + dx] = cur - pred;
-                        }
-                    }
-                    let coeffs = dct::forward(&blk);
-                    let levels = quant::quantize_block(&coeffs, step, DC_SCALE);
-                    let deq = quant::dequantize_block(&levels, step, DC_SCALE);
-                    let res = dct::inverse(&deq);
-                    let mut rec = [0i32; 64];
-                    for dy in 0..8 {
-                        for dx in 0..8 {
-                            let pred = prev.get_clamped(
-                                (bx + dx) as isize + cmv.dx as isize,
-                                (by + dy) as isize + cmv.dy as isize,
-                            ) as i32;
-                            rec[dy * 8 + dx] = res[dy * 8 + dx] + pred;
-                        }
-                    }
-                    write_block8_into_stripe(stripe, width, by, bx, by, &rec, peak);
-                    *levels_out = levels;
-                }
-            });
+    let rows = plans
+        .chunks_mut(blocks_x)
+        .zip(recon.data.chunks_mut(width * 8))
+        .enumerate();
+    match pool {
+        Some(pool) => pool.scope(|s| {
+            for (row, (plan_row, stripe)) in rows {
+                s.spawn(move || {
+                    plan_chroma_row(
+                        plane, prev, plan_row, stripe, row, step, peak, luma_mvs, mbs_x,
+                    );
+                });
+            }
+        }),
+        None => {
+            for (row, (plan_row, stripe)) in rows {
+                plan_chroma_row(
+                    plane, prev, plan_row, stripe, row, step, peak, luma_mvs, mbs_x,
+                );
+            }
         }
-    });
+    }
+}
+
+/// Plan one chroma block row (see [`plan_plane_inter_chroma`]). `stripe` is
+/// the row's slice of the reconstruction plane, starting at plane row
+/// `row * 8`.
+#[allow(clippy::too_many_arguments)]
+fn plan_chroma_row(
+    plane: &Plane,
+    prev: &Plane,
+    plan_row: &mut [[i32; 64]],
+    stripe: &mut [u16],
+    row: usize,
+    step: f32,
+    peak: u16,
+    luma_mvs: &[MotionVector],
+    mbs_x: usize,
+) {
+    let by = row * 8;
+    let mut blk = [0i32; 64];
+    for (bxi, levels_out) in plan_row.iter_mut().enumerate() {
+        let bx = bxi * 8;
+        let mb_index = (by / 8) * mbs_x + (bx / 8);
+        let mv = luma_mvs.get(mb_index).copied().unwrap_or_default();
+        let cmv = MotionVector {
+            dx: mv.dx / 2,
+            dy: mv.dy / 2,
+        };
+        for dy in 0..8 {
+            for dx in 0..8 {
+                let cur = plane.get_clamped((bx + dx) as isize, (by + dy) as isize) as i32;
+                let pred = prev.get_clamped(
+                    (bx + dx) as isize + cmv.dx as isize,
+                    (by + dy) as isize + cmv.dy as isize,
+                ) as i32;
+                blk[dy * 8 + dx] = cur - pred;
+            }
+        }
+        let coeffs = dct::forward(&blk);
+        let levels = quant::quantize_block(&coeffs, step, DC_SCALE);
+        let deq = quant::dequantize_block(&levels, step, DC_SCALE);
+        let res = dct::inverse(&deq);
+        let mut rec = [0i32; 64];
+        for dy in 0..8 {
+            for dx in 0..8 {
+                let pred = prev.get_clamped(
+                    (bx + dx) as isize + cmv.dx as isize,
+                    (by + dy) as isize + cmv.dy as isize,
+                ) as i32;
+                rec[dy * 8 + dx] = res[dy * 8 + dx] + pred;
+            }
+        }
+        write_block8_into_stripe(stripe, plane.width, by, bx, by, &rec, peak);
+        *levels_out = levels;
+    }
 }
 
 /// Serial entropy pass over a planned chroma plane (see

@@ -39,8 +39,9 @@ pub mod quant;
 pub mod rangecoder;
 pub mod ratecontrol;
 pub mod reference;
+pub mod slice;
 
-pub use decoder::Decoder;
+pub use decoder::{DecodeError, Decoder};
 pub use encoder::{BlockCounts, EncodedFrame, Encoder, EncoderConfig, FrameType};
 pub use plane::{Frame, PixelFormat, Plane};
 pub use ratecontrol::RateController;

@@ -226,12 +226,18 @@ impl<'a> RangeDecoder<'a> {
         v
     }
 
-    /// Inverse of [`RangeEncoder::encode_ue_bypass`].
+    /// Inverse of [`RangeEncoder::encode_ue_bypass`]. A corrupt stream can
+    /// present an arbitrarily long zero prefix; it is capped at the widest
+    /// prefix a legal encode can produce (32) instead of panicking — the
+    /// resulting garbage value flows into the callers' range clamps and the
+    /// frame fails or decodes to noise, but the decoder never aborts.
     pub fn decode_ue_bypass(&mut self) -> u32 {
         let mut nbits = 1u32;
         while !self.decode_bypass() {
+            if nbits == 32 {
+                break;
+            }
             nbits += 1;
-            assert!(nbits <= 32, "corrupt exp-golomb prefix");
         }
         let mut v = 1u32;
         for _ in 0..nbits - 1 {
@@ -368,6 +374,19 @@ mod tests {
                 1 => assert_eq!(dec.decode_ue_bypass(), v),
                 _ => assert_eq!(dec.decode_bits(8), v),
             }
+        }
+    }
+
+    #[test]
+    fn corrupt_exp_golomb_prefix_does_not_panic() {
+        // An all-zero code register never yields a 1 bit, so the prefix
+        // walk must terminate via the cap, not an assert.
+        let mut dec = RangeDecoder::new(&[0u8; 64]);
+        let _ = dec.decode_ue_bypass();
+        // And with a register of all ones (long run of 1-bits in bypass).
+        let mut dec = RangeDecoder::new(&[0xFFu8; 64]);
+        for _ in 0..16 {
+            let _ = dec.decode_ue_bypass();
         }
     }
 

@@ -15,13 +15,14 @@
 //! [`crate::Decoder`]. Nothing outside `repro kernels` and the kernel tests
 //! should call this.
 
-use crate::block::{encode_block, encode_svalue, CoeffContexts};
+use crate::block::{decode_block, decode_svalue, encode_block, encode_svalue, CoeffContexts};
 use crate::dct;
+use crate::decoder::DecodeError;
 use crate::encoder::{intra_dc_pred, plane_qp, FrameType, FRAME_MAGIC};
 use crate::motion::{self, MotionVector, MB_SIZE};
 use crate::plane::{Frame, PixelFormat, Plane};
 use crate::quant::{self, DC_SCALE};
-use crate::rangecoder::{BitModel, RangeEncoder};
+use crate::rangecoder::{BitModel, RangeDecoder, RangeEncoder};
 
 /// Fixed-QP single-frame encode with the pre-optimisation pipeline.
 /// `prev_recon` is the prediction reference; `None` forces an intra frame.
@@ -90,6 +91,149 @@ pub fn encode_frame_reference(
         }
     }
     (enc.finish(), recon)
+}
+
+/// Single-frame decode with the pre-optimisation pipeline: serial v1-only
+/// parsing, the matrix-product inverse DCT, the clamped-loop prediction
+/// kernel, and a freshly allocated output frame (no arena). `prev` is the
+/// inter-prediction reference. `repro kernels` times this against the
+/// production [`crate::Decoder`]; it reconstructs streams produced by
+/// [`encode_frame_reference`] bit-exactly (both sides run the reference
+/// DCT closed loop).
+pub fn decode_frame_reference(data: &[u8], prev: Option<&Frame>) -> Result<Frame, DecodeError> {
+    let mut dec = RangeDecoder::new(data);
+    if dec.decode_bits(8) != FRAME_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let inter = dec.decode_bits(1) == 1;
+    let qp = dec.decode_bits(6) as u8;
+    let width = dec.decode_bits(16) as usize;
+    let height = dec.decode_bits(16) as usize;
+    let format = match dec.decode_bits(2) {
+        0 => PixelFormat::Yuv420,
+        1 => PixelFormat::Y16,
+        _ => return Err(DecodeError::BadHeader),
+    };
+    if width == 0 || height == 0 {
+        return Err(DecodeError::BadHeader);
+    }
+
+    let mut recon = Frame::new(format, width, height);
+    let peak = format.peak_value();
+    if !inter {
+        for pi in 0..format.plane_count() {
+            let step = quant::qstep(plane_qp(qp, pi, format));
+            let mut coeff = CoeffContexts::new();
+            let plane = &mut recon.planes[pi];
+            let mut rec;
+            for by in (0..plane.height).step_by(8) {
+                for bx in (0..plane.width).step_by(8) {
+                    let levels = decode_block(&mut dec, &mut coeff);
+                    let pred = intra_dc_pred(plane, bx, by, peak);
+                    let deq = quant::dequantize_block(&levels, step, DC_SCALE);
+                    rec = dct::inverse_ref(&deq);
+                    for v in &mut rec {
+                        *v += pred;
+                    }
+                    plane.write_block8(bx, by, &rec, peak);
+                }
+            }
+        }
+        return Ok(recon);
+    }
+
+    let prev = prev.ok_or(DecodeError::MissingReference)?;
+    if (prev.width, prev.height, prev.format) != (width, height, format) {
+        return Err(DecodeError::MissingReference);
+    }
+    let step = quant::qstep(plane_qp(qp, 0, format));
+    let mbs_x = width.div_ceil(MB_SIZE);
+    let mbs_y = height.div_ceil(MB_SIZE);
+    let mut mvs = vec![MotionVector::default(); mbs_x * mbs_y];
+    let mut coeff = CoeffContexts::new();
+    let mut skip_model = BitModel::new();
+    let mut pred_buf = [0i32; MB_SIZE * MB_SIZE];
+    for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            let bx = mbx * MB_SIZE;
+            let by = mby * MB_SIZE;
+            let pred_mv = if mbx > 0 {
+                mvs[mby * mbs_x + mbx - 1]
+            } else {
+                MotionVector::default()
+            };
+            let skip = dec.decode_bit(&mut skip_model);
+            let (mv, levels4) = if skip {
+                (pred_mv, None)
+            } else {
+                let dx = (decode_svalue(&mut dec) as i16).wrapping_add(pred_mv.dx);
+                let dy = (decode_svalue(&mut dec) as i16).wrapping_add(pred_mv.dy);
+                let mut levels4 = [[0i32; 64]; 4];
+                for l in &mut levels4 {
+                    *l = decode_block(&mut dec, &mut coeff);
+                }
+                (MotionVector { dx, dy }, Some(levels4))
+            };
+            mvs[mby * mbs_x + mbx] = mv;
+            motion::predict_block_ref(&prev.planes[0], bx, by, mv, &mut pred_buf);
+            for sb in 0..4 {
+                let ox = (sb % 2) * 8;
+                let oy = (sb / 2) * 8;
+                let mut rec = [0i32; 64];
+                match &levels4 {
+                    None => {
+                        for dy in 0..8 {
+                            for dx in 0..8 {
+                                rec[dy * 8 + dx] = pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                            }
+                        }
+                    }
+                    Some(l4) => {
+                        let deq = quant::dequantize_block(&l4[sb], step, DC_SCALE);
+                        let res = dct::inverse_ref(&deq);
+                        for dy in 0..8 {
+                            for dx in 0..8 {
+                                rec[dy * 8 + dx] =
+                                    res[dy * 8 + dx] + pred_buf[(oy + dy) * MB_SIZE + ox + dx];
+                            }
+                        }
+                    }
+                }
+                recon.planes[0].write_block8(bx + ox, by + oy, &rec, peak);
+            }
+        }
+    }
+    for pi in 1..format.plane_count() {
+        let cstep = quant::qstep(plane_qp(qp, pi, format));
+        let mut cctx = CoeffContexts::new();
+        let cprev = &prev.planes[pi];
+        let plane = &mut recon.planes[pi];
+        for by in (0..plane.height).step_by(8) {
+            for bx in (0..plane.width).step_by(8) {
+                let mb_index = (by / 8) * mbs_x + (bx / 8);
+                let mv = mvs.get(mb_index).copied().unwrap_or_default();
+                let cmv = MotionVector {
+                    dx: mv.dx / 2,
+                    dy: mv.dy / 2,
+                };
+                let levels = decode_block(&mut dec, &mut cctx);
+                let deq = quant::dequantize_block(&levels, cstep, DC_SCALE);
+                let res = dct::inverse_ref(&deq);
+                let mut rec = [0i32; 64];
+                for dy in 0..8 {
+                    for dx in 0..8 {
+                        let pred = cprev.get_clamped(
+                            (bx + dx) as isize + cmv.dx as isize,
+                            (by + dy) as isize + cmv.dy as isize,
+                        ) as i32;
+                        rec[dy * 8 + dx] = res[dy * 8 + dx] + pred;
+                    }
+                }
+                plane.write_block8(bx, by, &rec, peak);
+            }
+        }
+    }
+    Ok(recon)
 }
 
 fn encode_plane_intra_ref(
@@ -303,5 +447,24 @@ mod tests {
             "prod {prod_err} vs ref {ref_err}"
         );
         assert!(p0.bits() > 0);
+    }
+
+    /// The reference decoder must reconstruct reference-encoder streams
+    /// bit-exactly: both run the same matrix-DCT closed loop.
+    #[test]
+    fn reference_decode_round_trips_reference_encode() {
+        let qp = 12;
+        let f0 = test_frame(64, 64, 0);
+        let f1 = test_frame(64, 64, 3);
+        let (bits0, r0) = encode_frame_reference(&f0, None, qp, 16);
+        let d0 = decode_frame_reference(&bits0, None).unwrap();
+        assert_eq!(d0, r0, "intra");
+        let (bits1, r1) = encode_frame_reference(&f1, Some(&r0), qp, 16);
+        let d1 = decode_frame_reference(&bits1, Some(&d0)).unwrap();
+        assert_eq!(d1, r1, "inter");
+        assert_eq!(
+            decode_frame_reference(&bits1, None),
+            Err(DecodeError::MissingReference)
+        );
     }
 }

@@ -2,7 +2,8 @@
 //! hang, or allocate unboundedly — the property a real-time receiver needs
 //! when packet payloads are corrupted in flight.
 
-use livo_codec2d::{Decoder, Encoder, EncoderConfig, Frame, PixelFormat};
+use livo_codec2d::slice::SLICED_MAGIC;
+use livo_codec2d::{DecodeError, Decoder, Encoder, EncoderConfig, Frame, PixelFormat};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -113,6 +114,172 @@ fn y16_full_range_extremes_round_trip() {
             assert!(err < 2.0, "pattern {pattern} rmse {err}");
         }
     }
+}
+
+/// The five codec presets the mutation sweep covers: both pixel formats,
+/// v1 (unsliced) and v2 (sliced) streams, and slice counts from 2 to 8.
+const MUTATION_PRESETS: [(usize, usize, PixelFormat, u8); 5] = [
+    (48, 40, PixelFormat::Yuv420, 0),   // v1 colour
+    (64, 64, PixelFormat::Y16, 0),      // v1 depth
+    (96, 80, PixelFormat::Yuv420, 3),   // v2 colour
+    (80, 96, PixelFormat::Y16, 4),      // v2 depth
+    (128, 128, PixelFormat::Yuv420, 8), // v2, max slice fan-out
+];
+
+/// Deterministic textured frame (no RNG: byte-mutation coverage must be
+/// reproducible run-to-run and across rand versions).
+fn pattern_frame(w: usize, h: usize, format: PixelFormat, t: usize) -> Frame {
+    match format {
+        PixelFormat::Yuv420 => {
+            let rgb: Vec<u8> = (0..w * h * 3)
+                .map(|i| {
+                    let x = (i / 3) % w;
+                    let y = (i / 3) / w;
+                    ((x * 7 + y * 13 + t * 29 + i * 3) % 251) as u8
+                })
+                .collect();
+            Frame::from_rgb8(w, h, &rgb)
+        }
+        PixelFormat::Y16 => {
+            let samples: Vec<u16> = (0..w * h)
+                .map(|i| (((i % w) * 211 + (i / w) * 397 + t * 1009) % 60013) as u16)
+                .collect();
+            Frame::from_y16(w, h, samples)
+        }
+    }
+}
+
+/// Encode one intra + two inter frames for a preset and return the streams.
+fn preset_streams(w: usize, h: usize, format: PixelFormat, slices: u8) -> Vec<Vec<u8>> {
+    let mut cfg = EncoderConfig::new(w, h, format);
+    cfg.slices = slices;
+    let mut enc = Encoder::new(cfg);
+    (0..3)
+        .map(|t| enc.encode(&pattern_frame(w, h, format, t), 120_000).data)
+        .collect()
+}
+
+#[test]
+fn mutated_streams_never_panic_across_presets() {
+    // Deterministic byte-mutation sweep over encoded frames of all five
+    // presets: every header/slice-table byte and a stride through the
+    // payload gets forced to 0x00 and 0xFF. Decoders (serial and pooled)
+    // may return garbage or `Err`, but must always terminate cleanly.
+    let pool = std::sync::Arc::new(livo_runtime::WorkerPool::new(2));
+    for &(w, h, format, slices) in &MUTATION_PRESETS {
+        let streams = preset_streams(w, h, format, slices);
+        if slices > 1 {
+            assert_eq!(streams[0][0], SLICED_MAGIC, "{w}x{h} should emit v2");
+        }
+        // One long-lived pooled decoder eats every mutation without resets —
+        // garbage references included, like a receiver that keeps going.
+        let mut warm = Decoder::new();
+        warm.set_worker_pool(pool.clone());
+        for data in &streams {
+            // Dense over the first 64 bytes (headers and slice tables live
+            // there), strided through the payload to bound the test's cost.
+            let positions = (0..data.len().min(64)).chain((64..data.len()).step_by(97));
+            for i in positions {
+                for forced in [0x00u8, 0xFF] {
+                    let mut corrupted = data.clone();
+                    if corrupted[i] == forced {
+                        continue;
+                    }
+                    corrupted[i] = forced;
+                    // Fresh serial decoder (no reference: mutated inter
+                    // frames must fail cleanly, not panic) and the warm
+                    // pooled decoder (worker paths, stale references).
+                    let _ = Decoder::new().decode(&corrupted);
+                    let _ = warm.decode(&corrupted);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupt_slice_tables_are_rejected() {
+    // Targeted v2 header/slice-table corruptions must map to `Err`, not
+    // to a silent garbage frame of the wrong shape.
+    let (w, h) = (96usize, 80usize);
+    let data = {
+        let mut cfg = EncoderConfig::new(w, h, PixelFormat::Yuv420);
+        cfg.slices = 3;
+        let mut enc = Encoder::new(cfg);
+        enc.encode(&pattern_frame(w, h, PixelFormat::Yuv420, 0), 120_000)
+            .data
+    };
+    assert_eq!(data[0], SLICED_MAGIC);
+    let n_slices = data[7] as usize;
+    assert_eq!(n_slices, 3);
+    let header_len = 8 + 4 * n_slices;
+
+    let decode = |bytes: &[u8]| Decoder::new().decode(bytes).map(|_| ());
+
+    // Truncated inside the fixed header and inside the slice table.
+    assert_eq!(decode(&data[..4]), Err(DecodeError::Truncated));
+    assert_eq!(decode(&data[..header_len - 2]), Err(DecodeError::Truncated));
+    // Truncated payload.
+    assert_eq!(decode(&data[..data.len() - 1]), Err(DecodeError::Truncated));
+    // Trailing junk after the last slice payload.
+    let mut long = data.clone();
+    long.push(0);
+    assert_eq!(decode(&long), Err(DecodeError::BadSliceTable));
+
+    // Zero slices, and more slices than macroblock rows (80px → 5 rows).
+    for bad_count in [0u8, 6, 255] {
+        let mut c = data.clone();
+        c[7] = bad_count;
+        assert_eq!(
+            decode(&c),
+            Err(DecodeError::BadSliceTable),
+            "count {bad_count}"
+        );
+    }
+    // A slice payload shorter than the 5-byte range-coder minimum.
+    let mut c = data.clone();
+    c[8..12].copy_from_slice(&4u32.to_le_bytes());
+    assert_eq!(decode(&c), Err(DecodeError::BadSliceTable));
+    // A grown slice length makes the byte count disagree with the table.
+    let mut c = data.clone();
+    let len0 = u32::from_le_bytes(c[8..12].try_into().unwrap());
+    c[8..12].copy_from_slice(&(len0 + 1).to_le_bytes());
+    assert_eq!(decode(&c), Err(DecodeError::Truncated));
+
+    // Header field corruption: reserved flag bits, QP out of range,
+    // zero dimensions, and an absurd pixel count.
+    let mut c = data.clone();
+    c[1] |= 0x80;
+    assert_eq!(decode(&c), Err(DecodeError::BadHeader));
+    let mut c = data.clone();
+    c[2] = 52; // QP_MAX is 51
+    assert_eq!(decode(&c), Err(DecodeError::BadHeader));
+    let mut c = data.clone();
+    c[3..5].copy_from_slice(&0u16.to_le_bytes());
+    assert_eq!(decode(&c), Err(DecodeError::BadHeader));
+    let mut c = data.clone();
+    c[3..5].copy_from_slice(&u16::MAX.to_le_bytes());
+    c[5..7].copy_from_slice(&u16::MAX.to_le_bytes());
+    assert!(decode(&c).is_err());
+
+    // And the original stream still decodes after all that.
+    Decoder::new().decode(&data).unwrap();
+}
+
+#[test]
+fn sliced_inter_frames_fail_cleanly_without_reference() {
+    // v2 P-frames decoded without their reference must report
+    // `MissingReference`, never panic inside a worker.
+    let streams = preset_streams(96, 80, PixelFormat::Yuv420, 3);
+    let mut dec = Decoder::new();
+    dec.set_worker_pool(std::sync::Arc::new(livo_runtime::WorkerPool::new(2)));
+    assert_eq!(
+        dec.decode(&streams[1]).map(|_| ()),
+        Err(DecodeError::MissingReference)
+    );
+    // Recovery: the keyframe then the P-frame decode fine.
+    dec.decode(&streams[0]).unwrap();
+    dec.decode(&streams[1]).unwrap();
 }
 
 #[test]

@@ -453,6 +453,10 @@ impl ConferenceRunner {
         let pool = livo_runtime::global();
         color_enc.set_worker_pool(pool.clone());
         depth_enc.set_worker_pool(pool.clone());
+        // Receive side: sliced (v2) frames entropy-decode slice-parallel on
+        // the same pool, and the colour/depth lanes decode concurrently.
+        color_dec.set_worker_pool(pool.clone());
+        depth_dec.set_worker_pool(pool.clone());
 
         let mut session = RtcSession::new(net_trace.clone(), cfg.session.clone());
         let mut splitter = BandwidthSplitter::new(cfg.splitter);
@@ -465,6 +469,8 @@ impl ConferenceRunner {
         session.attach_telemetry(&registry, "transport", Some(timeline.clone()));
         color_enc.attach_telemetry(&registry, "codec.color");
         depth_enc.attach_telemetry(&registry, "codec.depth");
+        color_dec.attach_telemetry(&registry);
+        depth_dec.attach_telemetry(&registry);
         // Reusable cull state: per-camera ray tables live across frames, so
         // steady state shows zero `cull.lut_rebuilds` after the first pass.
         let mut cull_ctx = CullContext::new();
@@ -684,59 +690,54 @@ impl ConferenceRunner {
                 if session.take_pli(now) {
                     force_key_next = true;
                 }
+                // Split this tick's arrivals by stream and decode the two
+                // lanes concurrently — each lane owns its decoder, reorder
+                // window and P-chain state, so they only share the (atomic)
+                // telemetry sinks. On a single-thread pool the join runs
+                // inline and the arrival order within each lane is
+                // preserved either way.
+                let mut color_frames = Vec::new();
+                let mut depth_frames = Vec::new();
                 for af in session.recv_frames() {
-                    let (sidx, dec, window) = match af.stream {
-                        StreamId::Color => (0usize, &mut color_dec, &mut last_color),
-                        StreamId::Depth => (1usize, &mut depth_dec, &mut last_depth),
-                        StreamId::Control => continue,
-                    };
-                    // Loss handling: a frame-id gap breaks the P chain.
-                    if af.frame_id != expected_frame[sidx] && !af.keyframe {
-                        dec.reset();
-                        need_key[sidx] = true;
-                        expected_frame[sidx] = af.frame_id + 1;
-                        force_key_next = true;
-                        continue;
+                    match af.stream {
+                        StreamId::Color => color_frames.push(af),
+                        StreamId::Depth => depth_frames.push(af),
+                        StreamId::Control => {}
                     }
-                    if need_key[sidx] && !af.keyframe {
-                        expected_frame[sidx] = af.frame_id + 1;
-                        continue;
-                    }
-                    expected_frame[sidx] = af.frame_id + 1;
-                    need_key[sidx] = false;
-                    let span = TelemetrySpan::start(&decode_hist);
-                    match dec.decode(&af.data) {
-                        Ok(frame) => {
-                            let peak = frame.format.peak_value();
-                            let got_seq = read_seq(&frame.planes[0], peak);
-                            window.insert(got_seq, frame);
-                            while window.len() > 6 {
-                                let oldest = *window.keys().next().unwrap();
-                                window.remove(&oldest);
-                            }
-                        }
-                        Err(_) => {
-                            dec.reset();
-                            need_key[sidx] = true;
-                            force_key_next = true;
-                            log_event!(
-                                Level::Warn,
-                                "conference",
-                                "decode failed, requesting keyframe",
-                                "frame" => af.frame_id,
-                                "stream" => if sidx == 0 { "color" } else { "depth" }
-                            );
-                        }
-                    }
-                    let decode_elapsed = span.finish_ms();
-                    timings.decode_ms += decode_elapsed;
-                    timeline.mark_lane_dur(
-                        af.frame_id,
-                        stage::DECODE,
-                        if sidx == 0 { "color" } else { "depth" },
-                        now,
-                        decode_elapsed,
+                }
+                if !color_frames.is_empty() || !depth_frames.is_empty() {
+                    let [exp_color, exp_depth] = &mut expected_frame;
+                    let [nk_color, nk_depth] = &mut need_key;
+                    let (color_lane, depth_lane) = pool.join(
+                        || {
+                            decode_lane(
+                                color_frames,
+                                "color",
+                                &mut color_dec,
+                                &mut last_color,
+                                exp_color,
+                                nk_color,
+                                &decode_hist,
+                                &timeline,
+                                now,
+                            )
+                        },
+                        || {
+                            decode_lane(
+                                depth_frames,
+                                "depth",
+                                &mut depth_dec,
+                                &mut last_depth,
+                                exp_depth,
+                                nk_depth,
+                                &decode_hist,
+                                &timeline,
+                                now,
+                            )
+                        },
                     );
+                    timings.decode_ms += color_lane.0 + depth_lane.0;
+                    force_key_next |= color_lane.1 || depth_lane.1;
                 }
 
                 // Display clock: one slot per frame interval; a slot with no
@@ -932,6 +933,72 @@ impl ConferenceRunner {
         };
         pssim(&reference, &shown, &pcfg)
     }
+}
+
+/// Drain one stream's arrived frames through its decoder: P-chain gap and
+/// keyframe-wait handling, decode, sequence-stamped reorder-window insert,
+/// and per-frame decode telemetry. Returns the summed decode wall-time in
+/// milliseconds and whether a keyframe must be requested. One invocation
+/// owns all of its lane's state, so the colour and depth lanes run
+/// concurrently (the telemetry sinks they share are atomic).
+#[allow(clippy::too_many_arguments)]
+fn decode_lane(
+    frames: Vec<livo_transport::AssembledFrame>,
+    lane: &'static str,
+    dec: &mut Decoder,
+    window: &mut std::collections::BTreeMap<u32, Frame>,
+    expected_frame: &mut u64,
+    need_key: &mut bool,
+    decode_hist: &Arc<livo_telemetry::Histogram>,
+    timeline: &Arc<FrameTimeline>,
+    now: Micros,
+) -> (f64, bool) {
+    let mut decode_ms = 0.0;
+    let mut force_key = false;
+    for af in frames {
+        // Loss handling: a frame-id gap breaks the P chain.
+        if af.frame_id != *expected_frame && !af.keyframe {
+            dec.reset();
+            *need_key = true;
+            *expected_frame = af.frame_id + 1;
+            force_key = true;
+            continue;
+        }
+        if *need_key && !af.keyframe {
+            *expected_frame = af.frame_id + 1;
+            continue;
+        }
+        *expected_frame = af.frame_id + 1;
+        *need_key = false;
+        let span = TelemetrySpan::start(decode_hist);
+        match dec.decode(&af.data) {
+            Ok(frame) => {
+                let peak = frame.format.peak_value();
+                let got_seq = read_seq(&frame.planes[0], peak);
+                window.insert(got_seq, frame);
+                while window.len() > 6 {
+                    let oldest = *window.keys().next().unwrap();
+                    window.remove(&oldest);
+                }
+            }
+            Err(_) => {
+                dec.reset();
+                *need_key = true;
+                force_key = true;
+                log_event!(
+                    Level::Warn,
+                    "conference",
+                    "decode failed, requesting keyframe",
+                    "frame" => af.frame_id,
+                    "stream" => lane
+                );
+            }
+        }
+        let decode_elapsed = span.finish_ms();
+        decode_ms += decode_elapsed;
+        timeline.mark_lane_dur(af.frame_id, stage::DECODE, lane, now, decode_elapsed);
+    }
+    (decode_ms, force_key)
 }
 
 #[cfg(test)]

@@ -46,6 +46,15 @@ use std::time::Instant;
 /// lifetime erasure sound (see [`Scope::spawn`]).
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+std::thread_local! {
+    /// Set on pool worker threads. A scope opened *from inside a task*
+    /// (e.g. a parallel slice decode kicked off by a parallel colour/depth
+    /// decode) runs its tasks inline on the spawning worker: queueing them
+    /// would let a blocked `wait_all` sit in front of its own sub-tasks in
+    /// the worker's FIFO and deadlock the striped (non-stealing) pool.
+    static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// One worker's private FIFO. Striped dispatch means there is exactly one
 /// producer pattern per scope and no stealing between queues.
 struct WorkerQueue {
@@ -178,6 +187,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("livo-worker-{i}"))
                     .spawn(move || {
+                        IS_WORKER.with(|w| w.set(true));
                         while let Some(task) = q.pop() {
                             task();
                         }
@@ -245,6 +255,35 @@ impl WorkerPool {
         }
     }
 
+    /// Run two closures concurrently and return both results — the binary
+    /// fork/join form of [`WorkerPool::scope`], used by the receiver to
+    /// decode the colour and depth streams side by side. On a one-thread
+    /// pool (or when called from inside a pool task) `a` and `b` run
+    /// sequentially on the calling thread; a panic in either is propagated
+    /// after both have been joined.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let mut ra = None;
+        let mut rb = None;
+        self.scope(|s| {
+            let slot_a = &mut ra;
+            let slot_b = &mut rb;
+            s.spawn(move || *slot_a = Some(a()));
+            s.spawn(move || *slot_b = Some(b()));
+        });
+        (
+            ra.expect("join closure a did not run"),
+            rb.expect("join closure b did not run"),
+        )
+    }
+
     /// Run `f(i)` for every `i in 0..n`, striped across the pool, and
     /// return once all calls finished. The convenience form of `scope` for
     /// index-parallel loops; with one thread (or one item) it degenerates
@@ -306,9 +345,12 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         let telemetry = self.telemetry.clone();
         let depth = self.pool.depth.clone();
 
-        if self.pool.queues.is_empty() {
-            // Inline (serial) pool: run now, same panic policy as workers
-            // so one panicking stripe doesn't skip its siblings.
+        if self.pool.queues.is_empty() || IS_WORKER.with(|w| w.get()) {
+            // Inline: either a serial pool, or a scope opened from inside a
+            // pool task (see [`IS_WORKER`]) — queueing sub-tasks behind a
+            // worker that is about to block on them would deadlock. Same
+            // panic policy as workers so one panicking stripe doesn't skip
+            // its siblings.
             let started = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(f));
             if let Some(t) = &telemetry {
@@ -511,6 +553,52 @@ mod tests {
         // Not set in the test environment unless the harness exports it;
         // either way the result is a positive count.
         assert!(threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let (a, b) = pool.join(|| 2 + 2, || "depth".len());
+            assert_eq!((a, b), (4, 5), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let pool = WorkerPool::new(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| 1, || -> i32 { panic!("b exploded") })
+        }));
+        assert!(outcome.is_err());
+        // Pool still usable afterwards.
+        assert_eq!(pool.join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn nested_scope_from_worker_runs_inline_without_deadlock() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicU64::new(0);
+        // Outer tasks each open an inner scope on the same pool: without the
+        // worker re-entrancy guard this deadlocks (inner tasks queue behind
+        // the blocked outer task on a striped pool).
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let total = &total;
+                let pool = &pool;
+                s.spawn(move || {
+                    pool.scope(|inner| {
+                        for _ in 0..8 {
+                            let total = total;
+                            inner.spawn(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
     }
 
     #[test]

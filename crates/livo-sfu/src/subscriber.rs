@@ -160,9 +160,17 @@ const WINDOW: usize = 8;
 
 impl ReceiverState {
     fn new() -> Self {
+        // Sliced (v2) frames entropy-decode slice-parallel on the
+        // process-wide pool; with LIVO_THREADS=1 this is a plain serial
+        // decode and the output is identical.
+        let pool = livo_runtime::global();
+        let mut color_dec = Decoder::new();
+        let mut depth_dec = Decoder::new();
+        color_dec.set_worker_pool(pool.clone());
+        depth_dec.set_worker_pool(pool.clone());
         ReceiverState {
-            color_dec: Decoder::new(),
-            depth_dec: Decoder::new(),
+            color_dec,
+            depth_dec,
             window_color: Default::default(),
             window_depth: Default::default(),
             expected_frame: [0, 0],

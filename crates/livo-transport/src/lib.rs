@@ -30,7 +30,7 @@ pub mod session;
 pub use gcc::{GccEstimator, GccState};
 pub use jitter::JitterBuffer;
 pub use link::LinkEmulator;
-pub use packet::{Packet, Packetizer, Reassembler, StreamId};
+pub use packet::{AssembledFrame, Packet, Packetizer, Reassembler, StreamId};
 pub use session::{RtcSession, SessionConfig, SessionStats};
 
 /// Virtual time in microseconds since session start.

@@ -16,6 +16,22 @@ cargo_works() {
   cargo metadata --format-version 1 >/dev/null 2>&1
 }
 
+# Sliced (v2) bitstream overhead gate: on the band2 pipeline run, the
+# uncompressed slice headers must cost at most 2% of each stream's total
+# bits (hdr * 50 <= total). Reads the --metrics JSON snapshot.
+overhead_check() {
+  json=$1
+  for lane in color depth; do
+    bits=$(grep -o "\"codec\.$lane\.bits_total\":[0-9]*" "$json" | grep -o '[0-9]*$')
+    hdr=$(grep -o "\"codec\.$lane\.slice_header_bits\":[0-9]*" "$json" | grep -o '[0-9]*$')
+    [ -n "$bits" ] && [ -n "$hdr" ] || { echo "missing codec.$lane counters in $json"; exit 1; }
+    if [ $((hdr * 50)) -gt "$bits" ]; then
+      echo "slice header overhead >2% on $lane: $hdr hdr bits vs $bits total"; exit 1
+    fi
+  done
+  echo "slice header overhead <=2% of bits_total (color + depth)"
+}
+
 fmt_check() {
   # Formatting is part of the gate in both modes.
   if command -v cargo >/dev/null 2>&1 && cargo fmt --version >/dev/null 2>&1 && [ "$1" = cargo ]; then
@@ -43,6 +59,10 @@ if cargo_works; then
   # above 1.0x its retained reference implementation.
   echo "== tier1: kernel gate =="
   LIVO_LOG=warn cargo run --release --bin repro -- --gate kernels >/dev/null
+  echo "== tier1: slice overhead gate =="
+  snap=$(mktemp)
+  LIVO_LOG=warn cargo run --release --bin repro -- --quick --metrics "$snap" >/dev/null
+  overhead_check "$snap"; rm -f "$snap"
   fmt_check cargo
   if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
@@ -56,6 +76,10 @@ else
   # Hot-kernel regression gate (same bar as cargo mode).
   echo "== tier1: kernel gate =="
   LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --gate kernels >/dev/null
+  echo "== tier1: slice overhead gate =="
+  snap=$(mktemp)
+  LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --quick --metrics "$snap" >/dev/null
+  overhead_check "$snap"; rm -f "$snap"
   fmt_check offline
   if command -v clippy-driver >/dev/null 2>&1; then
     bash scripts/offline_clippy.sh

@@ -30,14 +30,25 @@ const SCALE: f32 = 0.18; // 115×104 tiles → ~7 MB rows per plane, real stripe
 const FRAMES: u32 = 5;
 const THREADS: [usize; 3] = [1, 2, 4];
 
-fn encoders(w: usize, h: usize, format: PixelFormat) -> Vec<(String, Encoder)> {
+fn encoders(w: usize, h: usize, format: PixelFormat, slices: u8) -> Vec<(String, Encoder)> {
     let mut cfg = EncoderConfig::new(w, h, format);
     cfg.gop_length = 0; // open GOP: frames 1.. are inter, the parallel path
+    cfg.slices = slices;
     let mut out = vec![("serial".to_string(), Encoder::new(cfg))];
     for n in THREADS {
         let mut enc = Encoder::new(cfg);
         enc.set_worker_pool(Arc::new(WorkerPool::new(n)));
         out.push((format!("pool({n})"), enc));
+    }
+    out
+}
+
+fn decoders() -> Vec<(String, Decoder)> {
+    let mut out = vec![("serial".to_string(), Decoder::new())];
+    for n in THREADS {
+        let mut dec = Decoder::new();
+        dec.set_worker_pool(Arc::new(WorkerPool::new(n)));
+        out.push((format!("pool({n})"), dec));
     }
     out
 }
@@ -57,8 +68,8 @@ fn parallel_encode_is_bit_exact_on_every_preset() {
 
     for video in VideoId::ALL {
         let preset = DatasetPreset::load(video);
-        let mut color_encs = encoders(layout.canvas_w, layout.canvas_h, PixelFormat::Yuv420);
-        let mut depth_encs = encoders(layout.canvas_w, layout.canvas_h, PixelFormat::Y16);
+        let mut color_encs = encoders(layout.canvas_w, layout.canvas_h, PixelFormat::Yuv420, 0);
+        let mut depth_encs = encoders(layout.canvas_w, layout.canvas_h, PixelFormat::Y16, 0);
         let mut color_decs: Vec<Decoder> = color_encs.iter().map(|_| Decoder::new()).collect();
         let mut depth_decs: Vec<Decoder> = depth_encs.iter().map(|_| Decoder::new()).collect();
 
@@ -95,6 +106,177 @@ fn parallel_encode_is_bit_exact_on_every_preset() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// The v2 (sliced) matrix: encoders at pool sizes {serial,1,2,4} must emit
+/// byte-identical sliced bitstreams, and decoders at pool sizes {serial,1,2,4}
+/// must all reproduce the encoder reconstruction bit-exactly — every preset,
+/// colour and depth, closed-loop over inter frames.
+#[test]
+fn sliced_v2_encode_and_decode_are_bit_exact_on_every_preset() {
+    const SLICES: u8 = 4; // the ~115x104 canvas has 7 MB rows → real stripes
+    let cameras = camera_ring(
+        N_CAMERAS,
+        2.5,
+        1.4,
+        livo::math::Vec3::new(0.0, 1.0, 0.0),
+        livo::math::CameraIntrinsics::kinect_depth(SCALE),
+    );
+    let k = cameras[0].intrinsics;
+    let layout = TileLayout::new(k.width as usize, k.height as usize, N_CAMERAS);
+    let depth_codec = DepthCodec::new(6000, DepthEncoding::ScaledY16);
+
+    for video in VideoId::ALL {
+        let preset = DatasetPreset::load(video);
+        let mut color_encs = encoders(
+            layout.canvas_w,
+            layout.canvas_h,
+            PixelFormat::Yuv420,
+            SLICES,
+        );
+        let mut depth_encs = encoders(layout.canvas_w, layout.canvas_h, PixelFormat::Y16, SLICES);
+        let mut color_decs = decoders();
+        let mut depth_decs = decoders();
+
+        for seq in 0..FRAMES {
+            let snap = preset.scene.at(seq as f32 / 30.0);
+            let pool = WorkerPool::new(1);
+            let views: Vec<RgbdFrame> = livo::capture::render_views_at(&pool, &cameras, &snap, seq);
+            let color = compose_color(&views, &layout, seq);
+            let depth = compose_depth(&views, &layout, &depth_codec, seq);
+
+            for (canvas, encs, decs, bits) in [
+                (&color, &mut color_encs, &mut color_decs, 180_000u64),
+                (&depth, &mut depth_encs, &mut depth_decs, 220_000u64),
+            ] {
+                let outputs: Vec<(String, EncodedFrame)> = encs
+                    .iter_mut()
+                    .map(|(n, e)| (n.clone(), e.encode(canvas, bits)))
+                    .collect();
+                let (_, reference) = &outputs[0];
+                assert_eq!(
+                    reference.data[0],
+                    livo::codec2d::slice::SLICED_MAGIC,
+                    "{video} frame {seq}: explicit slices must emit a v2 stream"
+                );
+                for (name, out) in &outputs[1..] {
+                    assert_eq!(
+                        out.data, reference.data,
+                        "{video} frame {seq}: v2 {name} bitstream diverged from serial"
+                    );
+                }
+                // Every decode pool size consumes the same stream and must
+                // land on the same pixels as the encoder's closed loop.
+                for (name, dec) in decs.iter_mut() {
+                    let decoded = dec.decode(&reference.data).unwrap_or_else(|e| {
+                        panic!("{video} frame {seq}: v2 decode ({name}): {e:?}")
+                    });
+                    assert!(
+                        decoded == reference.reconstruction,
+                        "{video} frame {seq}: v2 decoder ({name}) drifted from reconstruction"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Where the committed golden v1 bitstream lives. Relative to the manifest
+/// dir under cargo, and to the repo root when the offline harness runs the
+/// test binary from a checkout.
+fn golden_path() -> std::path::PathBuf {
+    let base = option_env!("CARGO_MANIFEST_DIR").unwrap_or(".");
+    std::path::Path::new(base).join("tests/data/golden_v1_stream.bin")
+}
+
+/// Deterministic synthetic frame with per-frame motion; no renderer or RNG
+/// involved so the golden bytes cannot drift with unrelated scene changes.
+fn golden_frame(w: usize, h: usize, t: usize) -> livo::codec2d::Frame {
+    let rgb: Vec<u8> = (0..w * h * 3)
+        .map(|i| {
+            let p = i / 3;
+            let (x, y) = (p % w + 2 * t, p / w + t);
+            (((x * 11) ^ (y * 23)) % 239) as u8
+        })
+        .collect();
+    livo::codec2d::Frame::from_rgb8(w, h, &rgb)
+}
+
+/// Backwards compatibility: v1 streams (the unsliced format every pre-v2
+/// sender emits) are pinned by a committed golden bitstream. The current
+/// encoder must still produce those exact bytes for single-slice frames, and
+/// decoders at every pool size must decode them. Regenerate the golden file
+/// with `LIVO_BLESS_GOLDEN=1` after a *deliberate* bitstream change.
+#[test]
+fn legacy_v1_golden_stream_still_decodes() {
+    const W: usize = 64;
+    const H: usize = 48; // 3 MB rows → auto slice count 1 → v1 bitstream
+    const N: usize = 3; // intra + two inter frames
+    let mut cfg = EncoderConfig::new(W, H, PixelFormat::Yuv420);
+    cfg.gop_length = 0;
+    let mut enc = Encoder::new(cfg);
+    let streams: Vec<Vec<u8>> = (0..N)
+        .map(|t| enc.encode(&golden_frame(W, H, t), 90_000).data)
+        .collect();
+    for (t, s) in streams.iter().enumerate() {
+        assert_eq!(
+            s[0], 0x00,
+            "frame {t}: v1 streams start with the priming byte"
+        );
+    }
+
+    // Length-prefixed concatenation of the three frames.
+    let mut blob = Vec::new();
+    blob.extend_from_slice(&(N as u32).to_le_bytes());
+    for s in &streams {
+        blob.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        blob.extend_from_slice(s);
+    }
+
+    let path = golden_path();
+    if std::env::var_os("LIVO_BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &blob).unwrap();
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {} (bless with LIVO_BLESS_GOLDEN=1): {e}",
+            path.display()
+        )
+    });
+    assert_eq!(
+        blob, golden,
+        "encoder no longer reproduces the committed v1 bitstream byte-for-byte"
+    );
+
+    // Parse the golden blob back and decode it at every pool size; all must
+    // agree with the current encoder's reconstruction chain.
+    let mut recons = Vec::new();
+    {
+        let mut enc = Encoder::new(cfg);
+        for t in 0..N {
+            recons.push(enc.encode(&golden_frame(W, H, t), 90_000).reconstruction);
+        }
+    }
+    let mut off = 4usize;
+    let mut frames = Vec::new();
+    for _ in 0..N {
+        let len = u32::from_le_bytes(golden[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        frames.push(&golden[off..off + len]);
+        off += len;
+    }
+    for (name, dec) in decoders().iter_mut() {
+        for (t, data) in frames.iter().enumerate() {
+            let decoded = dec
+                .decode(data)
+                .unwrap_or_else(|e| panic!("golden frame {t} ({name}): {e:?}"));
+            assert!(
+                decoded == recons[t],
+                "golden frame {t} ({name}): decode drifted from reconstruction"
+            );
         }
     }
 }
