@@ -1,0 +1,285 @@
+//! `repro conference`: a traced 3-party SFU call, and the trace-overhead
+//! A/B measurement (`repro traceoverhead`).
+//!
+//! The conference harness mirrors `examples/multiparty.rs` — one capture
+//! rig feeding the SFU router, three subscribers on distinct emulated
+//! links — but wires a causal [`EventTrace`] through every layer and a
+//! [`FlightRecorder`] over the live signals. The report prints one
+//! frame's reconstructed capture→display path per subscriber (the
+//! [`TraceQuery`] per-hop breakdown) and, with `--trace <path>`, exports
+//! the whole run as Chrome trace-event JSON for Perfetto.
+//!
+//! The overhead benchmark answers tier-1's gate: interleaved band2
+//! replays with tracing on and off, comparing median encode wall-clock.
+//! The record path is a couple of atomics plus a shard ring write, so
+//! the ratio must stay within 1.05.
+
+use livo_capture::usertrace::TraceStyle;
+use livo_capture::{
+    datasets::DatasetPreset, render::render_views_at, rig, BandwidthTrace, TraceId, UserTrace,
+    VideoId,
+};
+use livo_core::conference::{ConferenceConfig, ConferenceRunner};
+use livo_eval::experiments::EvalProfile;
+use livo_math::{CameraIntrinsics, Vec3};
+use livo_sfu::{subscriber_party, Router, RouterConfig, SubscriberConfig};
+use livo_telemetry::trace::{kind, EventTrace, TraceQuery};
+use livo_telemetry::{chrome_trace_json, AnomalyConfig, FlightRecorder};
+use livo_transport::Micros;
+use std::sync::Arc;
+
+/// The three fixed parties of the conference report.
+const PARTIES: [(&str, TraceId, usize); 3] = [
+    ("producer-desk", TraceId::Trace1, 0),
+    ("director-home", TraceId::Trace2, 0),
+    ("critic-train", TraceId::Trace2, 2),
+];
+
+/// Outcome of one traced conference run.
+pub struct ConferenceReport {
+    /// Human-readable report (per-subscriber outcomes + frame paths).
+    pub text: String,
+    /// The full run as Chrome trace-event JSON (Perfetto-loadable).
+    pub chrome_json: String,
+    /// Flight-recorder dumps during the run.
+    pub anomaly_dumps: usize,
+    /// Sequence numbers with a complete capture→display path, per
+    /// subscriber id (used by the smoke assertions).
+    pub reconstructed: Vec<Vec<u64>>,
+}
+
+/// Map a trace party id to its display name for this harness.
+fn party_name(party: u16) -> String {
+    match party {
+        0 => "sender".into(),
+        1 => "sfu".into(),
+        p => PARTIES
+            .get(p as usize - 2)
+            .map(|(name, _, _)| format!("sub:{name}"))
+            .unwrap_or_else(|| format!("party{p}")),
+    }
+}
+
+/// Run the traced 3-party conference.
+pub fn run(profile: &EvalProfile) -> ConferenceReport {
+    let fps = 30u32;
+    let seconds = profile.duration_s.min(3.0);
+    let cameras = rig::camera_ring(
+        profile.n_cameras,
+        2.5,
+        1.4,
+        Vec3::new(0.0, 1.0, 0.0),
+        CameraIntrinsics::kinect_depth(profile.camera_scale),
+    );
+    let preset = DatasetPreset::load(VideoId::Band2);
+    let pool = livo_runtime::global();
+
+    let trace = Arc::new(EventTrace::new(1 << 16));
+    let mut router = Router::new(RouterConfig::default(), cameras.clone());
+    router.attach_trace(trace.clone());
+    let mut flight = FlightRecorder::new(AnomalyConfig::default());
+    flight.attach_trace(trace.clone());
+    flight.attach_registry(router.registry());
+    let flight = flight;
+
+    let user_traces: Vec<UserTrace> = PARTIES
+        .iter()
+        .enumerate()
+        .map(|(i, (name, link, style))| {
+            let style = TraceStyle::ALL[style % TraceStyle::ALL.len()];
+            let ut = UserTrace::generate(style, seconds + 5.0, 40 + i as u64);
+            router.add_subscriber(
+                SubscriberConfig::new(*name),
+                BandwidthTrace::generate(*link, seconds + 6.0, 90 + i as u64),
+            );
+            ut
+        })
+        .collect();
+
+    let frame_interval: Micros = 1_000_000 / fps as u64;
+    let total_frames = (seconds * fps as f32) as u64;
+    let mut now: Micros = 0;
+    let mut displayed: Vec<Option<u32>> = vec![None; PARTIES.len()];
+    for frame_idx in 0..total_frames {
+        let t_s = frame_idx as f32 / fps as f32;
+        let snap = preset.scene.at(t_s);
+        let views = render_views_at(pool, &cameras, &snap, frame_idx as u32);
+        trace.record(now, frame_idx, 0, "pipeline", kind::CAPTURE, 0);
+
+        for (id, ut) in user_traces.iter().enumerate() {
+            let owd_s = router.subscriber(id).session().one_way_delay_us() as f32 / 1e6;
+            router.observe_pose(id, &ut.pose_at_time((t_s - owd_s).max(0.0)));
+            flight.observe_gcc(
+                now,
+                subscriber_party(id),
+                router.subscriber(id).estimate_bps(),
+            );
+        }
+        router.route_frame(now, &views);
+
+        let frame_end = now + frame_interval;
+        while now < frame_end {
+            router.tick(now);
+            // Display stand-in: a subscriber "shows" the newest sequence
+            // decoded on both streams, once per frame interval.
+            for (id, shown) in displayed.iter_mut().enumerate() {
+                if let Some(have) = router.subscriber(id).latest_synced_seq() {
+                    if Some(have) != *shown {
+                        *shown = Some(have);
+                        let seq = have as u64;
+                        let age = now.saturating_sub(seq * frame_interval);
+                        trace.record(
+                            now,
+                            seq,
+                            subscriber_party(id),
+                            "display",
+                            kind::DISPLAY,
+                            age as i64,
+                        );
+                    }
+                }
+            }
+            now += 1_000;
+        }
+    }
+
+    // Reconstruct: which frames have a full sender→SFU→subscriber path?
+    let q = TraceQuery::from_trace(&trace);
+    let mut reconstructed: Vec<Vec<u64>> = vec![Vec::new(); PARTIES.len()];
+    for seq in q.frames() {
+        if let Some(path) = q.frame(seq) {
+            if !path.has(kind::CAPTURE, 0) {
+                continue;
+            }
+            for (id, seqs) in reconstructed.iter_mut().enumerate() {
+                if path.has(kind::DISPLAY, subscriber_party(id)) {
+                    seqs.push(seq);
+                }
+            }
+        }
+    }
+
+    let mut text = format!(
+        "conference: band2 through the SFU to {} subscribers, {} frames traced\n\n",
+        PARTIES.len(),
+        total_frames
+    );
+    text.push_str(&format!(
+        "{:<14} | {:>9} | {:>8} | {:>6} | {:>13}\n",
+        "subscriber", "est Mbps", "decoded", "PLIs", "traced frames"
+    ));
+    text.push_str(&format!(
+        "{:-<14}-+-{:->9}-+-{:->8}-+-{:->6}-+-{:->13}\n",
+        "", "", "", "", ""
+    ));
+    for (id, (name, _, _)) in PARTIES.iter().enumerate() {
+        let sub = router.subscriber(id);
+        text.push_str(&format!(
+            "{:<14} | {:>9.1} | {:>8} | {:>6} | {:>13}\n",
+            name,
+            sub.estimate_bps() / 1e6,
+            sub.stats().frames_decoded,
+            sub.session().stats().plis,
+            reconstructed[id].len(),
+        ));
+    }
+    text.push('\n');
+    // One reconstructed path per subscriber: the newest fully-traced frame.
+    for seqs in &reconstructed {
+        if let Some(&seq) = seqs.last() {
+            if let Some(path) = q.frame(seq) {
+                text.push_str(&path.describe(&party_name));
+                text.push('\n');
+            }
+        }
+    }
+    text.push_str(&format!(
+        "trace: {} events recorded, {} evicted, {} anomaly dumps\n",
+        trace.recorded(),
+        trace.evicted(),
+        flight.dump_count(),
+    ));
+
+    ConferenceReport {
+        text,
+        chrome_json: chrome_trace_json(&trace.snapshot(), &party_name),
+        anomaly_dumps: flight.dump_count(),
+        reconstructed,
+    }
+}
+
+/// The trace-overhead A/B result.
+pub struct OverheadResult {
+    /// Per-rep total encode wall-clock, tracing off, milliseconds.
+    pub off_ms: Vec<f64>,
+    /// Same, tracing on (interleaved off/on, same rep index).
+    pub on_ms: Vec<f64>,
+    /// Median of the per-rep on/off ratios.
+    pub ratio: f64,
+}
+
+/// The gate bound: tracing may cost at most 5% encode wall-clock.
+pub const OVERHEAD_LIMIT: f64 = 1.05;
+
+fn encode_ms(profile: &EvalProfile, seconds: f32, tracing: bool) -> f64 {
+    let cfg = ConferenceConfig::builder(VideoId::Band2)
+        .camera_scale(profile.camera_scale)
+        .n_cameras(profile.n_cameras)
+        .duration_s(seconds)
+        .quality_every(u32::MAX)
+        .user_trace(0, profile.seed)
+        .trace(tracing)
+        .build()
+        .expect("overhead config is valid");
+    let runner = ConferenceRunner::new(cfg);
+    let s = runner.run(BandwidthTrace::constant(40.0, seconds + 5.0));
+    let h = s
+        .metrics
+        .histogram("conference.encode_ms")
+        .expect("encode histogram present");
+    h.mean * h.count as f64
+}
+
+/// Interleaved A/B measurement of the tracing overhead on band2 encode.
+pub fn run_overhead(profile: &EvalProfile) -> OverheadResult {
+    const REPS: usize = 5;
+    let seconds = profile.duration_s.min(2.0);
+    let mut off_ms = Vec::with_capacity(REPS);
+    let mut on_ms = Vec::with_capacity(REPS);
+    // Warm-up rep: fault in scene assets and code paths outside the
+    // measured pairs.
+    let _ = encode_ms(profile, seconds, false);
+    for _ in 0..REPS {
+        off_ms.push(encode_ms(profile, seconds, false));
+        on_ms.push(encode_ms(profile, seconds, true));
+    }
+    let mut ratios: Vec<f64> = off_ms
+        .iter()
+        .zip(&on_ms)
+        .map(|(&off, &on)| if off > 0.0 { on / off } else { 1.0 })
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    OverheadResult {
+        off_ms,
+        on_ms,
+        ratio: ratios[ratios.len() / 2],
+    }
+}
+
+/// Human-readable overhead report.
+pub fn overhead_text(r: &OverheadResult) -> String {
+    let mut s = String::from("trace overhead: band2 encode wall-clock, tracing on vs off\n\n");
+    s.push_str(&format!(
+        "{:>4} | {:>10} | {:>10}\n",
+        "rep", "off ms", "on ms"
+    ));
+    s.push_str(&format!("{:->4}-+-{:->10}-+-{:->10}\n", "", "", ""));
+    for (i, (off, on)) in r.off_ms.iter().zip(&r.on_ms).enumerate() {
+        s.push_str(&format!("{i:>4} | {off:>10.2} | {on:>10.2}\n"));
+    }
+    s.push_str(&format!(
+        "\nmedian on/off ratio: {:.3} (gate: <= {OVERHEAD_LIMIT})\n",
+        r.ratio
+    ));
+    s
+}

@@ -20,8 +20,20 @@
 //! `--json <path>` snapshots it (schema `livo-bench-kernels-v1`, committed
 //! as BENCH_kernels.json) and `--gate` exits non-zero if any kernel
 //! regressed below 1.0x its reference.
+//!
+//! `conference` runs a traced 3-party SFU call and prints reconstructed
+//! per-frame capture→display paths; `--trace <path>` additionally writes
+//! the whole run as Chrome trace-event JSON (open in ui.perfetto.dev).
+//! `qoe` runs the receiver-side QoE sweep (stall rate, frame age
+//! p50/p99, delivered-vs-estimate ratio) over band2 loss/bandwidth
+//! conditions; with `qoe`, `--json [path]` writes the snapshot (schema
+//! `livo-bench-qoe-v1`, committed as BENCH_qoe.json). `traceoverhead`
+//! A/B-measures the tracing cost on band2 encode; with `--gate` it exits
+//! non-zero if the median on/off ratio exceeds 1.05.
 
+mod conference_bench;
 mod kernels_bench;
+mod qoe_bench;
 mod sfu_bench;
 
 use livo_capture::{TraceId, VideoId};
@@ -31,15 +43,19 @@ use livo_telemetry::{log_event, Level};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick|--standard] [--metrics <path>] [--sfu-json <path>] [--json <path>] [--gate] <artefact>...\n\
-         artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid sfu kernels all\n\
+        "usage: repro [--quick|--standard] [--metrics <path>] [--sfu-json <path>] [--json [path]] [--trace <path>] [--gate] <artefact>...\n\
+         artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid sfu kernels conference qoe traceoverhead all\n\
          --metrics <path>: also run one instrumented LiVo replay and write the\n\
          telemetry snapshot (schema livo-bench-pipeline-v1) as JSON to <path>\n\
          --sfu-json <path>: write the SFU scaling sweep (schema livo-bench-sfu-v1)\n\
          as JSON to <path>\n\
-         --json <path>: write the kernel microbench (schema livo-bench-kernels-v1)\n\
-         as JSON to <path>\n\
-         --gate: exit non-zero if any kernel runs below 1.0x its reference\n\
+         --json [path]: with qoe, write the QoE sweep (schema livo-bench-qoe-v1,\n\
+         default BENCH_qoe.json); otherwise write the kernel microbench\n\
+         (schema livo-bench-kernels-v1, default BENCH_kernels.json)\n\
+         --trace <path>: with conference, write the run as Chrome trace-event\n\
+         JSON (open in ui.perfetto.dev)\n\
+         --gate: exit non-zero if any kernel runs below 1.0x its reference, or\n\
+         (with traceoverhead) if tracing costs more than 5% encode wall-clock\n\
          progress goes through the structured logger; filter with LIVO_LOG=warn|info|debug"
     );
     std::process::exit(2);
@@ -76,6 +92,35 @@ impl GridCache {
     }
 }
 
+/// Artefact keywords, used to disambiguate `--json [path]`'s optional
+/// path from a following artefact name.
+const ARTEFACTS: [&str; 24] = [
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig4",
+    "fig5",
+    "fig9",
+    "fig12",
+    "fig13",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig20",
+    "figa2",
+    "figa3",
+    "grid",
+    "sfu",
+    "kernels",
+    "conference",
+    "qoe",
+    "traceoverhead",
+    "all",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -85,9 +130,11 @@ fn main() {
     let mut artefacts: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
     let mut sfu_json_path: Option<String> = None;
-    let mut kernels_json_path: Option<String> = None;
+    // `--json` given, with its optional explicit path.
+    let mut json_flag: Option<Option<String>> = None;
+    let mut trace_path: Option<String> = None;
     let mut gate = false;
-    let mut iter = args.iter();
+    let mut iter = args.iter().peekable();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--quick" => profile = EvalProfile::quick(),
@@ -100,8 +147,17 @@ fn main() {
                 Some(p) => sfu_json_path = Some(p.clone()),
                 None => usage(),
             },
-            "--json" => match iter.next() {
-                Some(p) => kernels_json_path = Some(p.clone()),
+            "--json" => {
+                let explicit = matches!(iter.peek(),
+                    Some(p) if !p.starts_with('-') && !ARTEFACTS.contains(&p.as_str()));
+                json_flag = Some(if explicit {
+                    Some(iter.next().unwrap().clone())
+                } else {
+                    None
+                });
+            }
+            "--trace" => match iter.next() {
+                Some(p) => trace_path = Some(p.clone()),
                 None => usage(),
             },
             "--gate" => gate = true,
@@ -120,7 +176,8 @@ fn main() {
     if artefacts.is_empty()
         && metrics_path.is_none()
         && sfu_json_path.is_none()
-        && kernels_json_path.is_none()
+        && json_flag.is_none()
+        && trace_path.is_none()
     {
         usage();
     }
@@ -130,6 +187,9 @@ fn main() {
     };
     let mut sfu_points: Option<Vec<sfu_bench::ScalingPoint>> = None;
     let mut kernel_points: Option<Vec<kernels_bench::KernelPoint>> = None;
+    let mut qoe_points: Option<Vec<qoe_bench::QoePoint>> = None;
+    let mut conf_report: Option<conference_bench::ConferenceReport> = None;
+    let mut overhead: Option<conference_bench::OverheadResult> = None;
     for a in &artefacts {
         log_event!(Level::Info, "repro", "generating artefact", "artefact" => a.as_str());
         let text = match a.as_str() {
@@ -157,6 +217,34 @@ fn main() {
             "kernels" => {
                 let pts = kernel_points.get_or_insert_with(kernels_bench::run);
                 kernels_bench::text(pts)
+            }
+            "conference" => {
+                let rep = conf_report.get_or_insert_with(|| conference_bench::run(&profile));
+                let traced: usize = rep.reconstructed.iter().map(Vec::len).sum();
+                if traced == 0 {
+                    log_event!(
+                        Level::Error,
+                        "repro",
+                        "conference trace reconstructed no capture→display path"
+                    );
+                    std::process::exit(1);
+                }
+                log_event!(
+                    Level::Info,
+                    "repro",
+                    "conference traced",
+                    "paths" => traced,
+                    "anomaly_dumps" => rep.anomaly_dumps
+                );
+                rep.text.clone()
+            }
+            "qoe" => {
+                let pts = qoe_points.get_or_insert_with(|| qoe_bench::run_sweep(&profile));
+                qoe_bench::text(pts)
+            }
+            "traceoverhead" => {
+                let r = overhead.get_or_insert_with(|| conference_bench::run_overhead(&profile));
+                conference_bench::overhead_text(r)
             }
             "grid" => {
                 let grid = cache.get();
@@ -217,15 +305,52 @@ fn main() {
             std::process::exit(1);
         }
     }
-    if let Some(path) = kernels_json_path {
-        log_event!(Level::Info, "repro", "writing kernel microbench snapshot", "path" => path.as_str());
-        let pts = kernel_points.get_or_insert_with(kernels_bench::run);
-        let json = kernels_bench::json(pts);
+    if let Some(path) = trace_path {
+        log_event!(Level::Info, "repro", "writing chrome trace", "path" => path.as_str());
+        let rep = conf_report.get_or_insert_with(|| conference_bench::run(&profile));
+        if let Err(e) = std::fs::write(&path, &rep.chrome_json) {
+            log_event!(
+                Level::Error,
+                "repro",
+                "failed to write chrome trace",
+                "path" => path.as_str(),
+                "error" => e.to_string()
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(explicit) = json_flag {
+        // `--json` snapshots the QoE sweep when qoe was requested, the
+        // kernel microbench otherwise; the path defaults to the
+        // committed baseline name.
+        let qoe_requested = artefacts.iter().any(|a| a == "qoe");
+        let (path, what, json) = if qoe_requested {
+            let pts = qoe_points.get_or_insert_with(|| qoe_bench::run_sweep(&profile));
+            (
+                explicit.unwrap_or_else(|| "BENCH_qoe.json".into()),
+                "qoe sweep",
+                qoe_bench::json(pts, &profile),
+            )
+        } else {
+            let pts = kernel_points.get_or_insert_with(kernels_bench::run);
+            (
+                explicit.unwrap_or_else(|| "BENCH_kernels.json".into()),
+                "kernel microbench",
+                kernels_bench::json(pts),
+            )
+        };
+        log_event!(
+            Level::Info,
+            "repro",
+            "writing json snapshot",
+            "what" => what,
+            "path" => path.as_str()
+        );
         if let Err(e) = std::fs::write(&path, &json) {
             log_event!(
                 Level::Error,
                 "repro",
-                "failed to write kernels snapshot",
+                "failed to write json snapshot",
                 "path" => path.as_str(),
                 "error" => e.to_string()
             );
@@ -233,19 +358,43 @@ fn main() {
         }
     }
     if gate {
-        let pts = kernel_points.get_or_insert_with(kernels_bench::run);
-        if !kernels_bench::gate_ok(pts) {
+        // Gate whatever gated artefacts were requested; with no
+        // traceoverhead in the list this stays the historical kernel
+        // gate (`repro --gate kernels`).
+        if let Some(r) = &overhead {
+            if r.ratio > conference_bench::OVERHEAD_LIMIT {
+                log_event!(
+                    Level::Error,
+                    "repro",
+                    "trace overhead gate failed",
+                    "ratio" => r.ratio,
+                    "limit" => conference_bench::OVERHEAD_LIMIT
+                );
+                std::process::exit(1);
+            }
             log_event!(
-                Level::Error,
+                Level::Info,
                 "repro",
-                "kernel gate failed: a kernel runs below 1.0x its reference"
+                "trace overhead gate passed",
+                "ratio" => r.ratio,
+                "limit" => conference_bench::OVERHEAD_LIMIT
             );
-            std::process::exit(1);
         }
-        log_event!(
-            Level::Info,
-            "repro",
-            "kernel gate passed: all kernels at or above 1.0x"
-        );
+        if overhead.is_none() || artefacts.iter().any(|a| a == "kernels") {
+            let pts = kernel_points.get_or_insert_with(kernels_bench::run);
+            if !kernels_bench::gate_ok(pts) {
+                log_event!(
+                    Level::Error,
+                    "repro",
+                    "kernel gate failed: a kernel runs below 1.0x its reference"
+                );
+                std::process::exit(1);
+            }
+            log_event!(
+                Level::Info,
+                "repro",
+                "kernel gate passed: all kernels at or above 1.0x"
+            );
+        }
     }
 }

@@ -26,9 +26,10 @@ use livo_capture::{
 use livo_codec2d::{Decoder, Encoder, EncoderConfig, Frame, PixelFormat};
 use livo_math::FrustumParams;
 use livo_pointcloud::{pssim, PointCloud, PssimConfig, PssimScore};
+use livo_telemetry::trace::{kind, EventTrace, TraceEvent, NO_FRAME};
 use livo_telemetry::{
-    log_event, stage, FrameTimeline, FrameTimelineRecord, Level, MetricsRegistry, RegistrySnapshot,
-    TelemetrySpan,
+    log_event, stage, AnomalyConfig, FlightBundle, FlightRecorder, FrameTimeline,
+    FrameTimelineRecord, Level, MetricsRegistry, RegistrySnapshot, TelemetrySpan,
 };
 use livo_transport::{Micros, RtcSession, SessionConfig, StreamId};
 use std::sync::Arc;
@@ -70,6 +71,15 @@ pub struct ConferenceConfig {
     pub budget_fraction: f64,
     pub user_trace_seed: u64,
     pub user_trace_style: usize,
+    /// Causal event tracing (capture→…→display ring buffer). On by
+    /// default: the ring is fixed-capacity and the record path is a few
+    /// atomics, so the overhead stays within the tier-1 budget (≤ 5%).
+    pub trace: bool,
+    /// Trace ring capacity in events (shared across all record sites).
+    pub trace_capacity: usize,
+    /// Flight-recorder detector thresholds (`AnomalyConfig::disarmed()`
+    /// turns anomaly dumps off entirely).
+    pub anomaly: AnomalyConfig,
 }
 
 impl ConferenceConfig {
@@ -97,6 +107,9 @@ impl ConferenceConfig {
             budget_fraction: 0.80,
             user_trace_seed: 11,
             user_trace_style: 0,
+            trace: true,
+            trace_capacity: 65_536,
+            anomaly: AnomalyConfig::default(),
         }
     }
 
@@ -254,6 +267,24 @@ impl ConferenceConfigBuilder {
         self
     }
 
+    /// Causal event tracing on/off (the overhead-gate A/B knob).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.cfg.trace = on;
+        self
+    }
+
+    /// Trace ring capacity in events (≥ 1 when tracing is on).
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.cfg.trace_capacity = events;
+        self
+    }
+
+    /// Flight-recorder detector thresholds.
+    pub fn anomaly(mut self, cfg: AnomalyConfig) -> Self {
+        self.cfg.anomaly = cfg;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ConferenceConfig, InvalidConfig> {
         let cfg = self.cfg;
@@ -298,6 +329,12 @@ impl ConferenceConfigBuilder {
             return err(
                 "budget_fraction",
                 format!("{} not in (0, 1]", cfg.budget_fraction),
+            );
+        }
+        if cfg.trace && cfg.trace_capacity == 0 {
+            return err(
+                "trace_capacity",
+                "tracing is on but the ring holds zero events".into(),
             );
         }
         Ok(cfg)
@@ -363,6 +400,13 @@ pub struct RunSummary {
     /// Per-frame stage timeline (capture → … → display), keyed by sender
     /// sequence number, in virtual session time µs.
     pub timeline: Vec<FrameTimelineRecord>,
+    /// Causal event-trace snapshot (empty when `cfg.trace` is off): the
+    /// ring's surviving capture→…→display events in causal order. Feed
+    /// to [`livo_telemetry::chrome_trace_json`] or
+    /// [`livo_telemetry::TraceQuery`].
+    pub trace: Vec<TraceEvent>,
+    /// Flight-recorder bundles dumped by the anomaly detectors.
+    pub flight: Vec<FlightBundle>,
 }
 
 impl RunSummary {
@@ -471,6 +515,27 @@ impl ConferenceRunner {
         depth_enc.attach_telemetry(&registry, "codec.depth");
         color_dec.attach_telemetry(&registry);
         depth_dec.attach_telemetry(&registry);
+        // Causal event trace: party 0 is the sender, party 1 the receiver.
+        // The ring is always allocated (so the A/B overhead comparison
+        // exercises the same code path) but records only when enabled.
+        let trace = Arc::new(EventTrace::new(cfg.trace_capacity.max(1)));
+        trace.set_enabled(cfg.trace);
+        session.attach_trace(trace.clone(), 0, 1);
+        color_enc.attach_trace(trace.clone(), 0, "codec.color");
+        depth_enc.attach_trace(trace.clone(), 0, "codec.depth");
+        color_dec.attach_trace(trace.clone(), 1, "codec.color");
+        depth_dec.attach_trace(trace.clone(), 1, "codec.depth");
+        // Flight recorder: armed per cfg.anomaly, fed the trace ring,
+        // registry and timeline as evidence sources.
+        let mut flight = FlightRecorder::new(cfg.anomaly.clone());
+        flight.attach_trace(trace.clone());
+        flight.attach_registry(&registry);
+        flight.attach_timeline(timeline.clone());
+        let flight = flight;
+        // The worker pool reports its queue depth into this run's registry
+        // so the starvation detector sees it.
+        pool.attach_telemetry(&registry, "runtime.pool");
+        let pool_queue = registry.gauge("runtime.pool.queue_depth");
         // Reusable cull state: per-camera ray tables live across frames, so
         // steady state shows zero `cull.lut_rebuilds` after the first pass.
         let mut cull_ctx = CullContext::new();
@@ -518,6 +583,9 @@ impl ConferenceRunner {
         let display_start: Micros = cfg.session.jitter_target + 3 * frame_interval;
         let mut next_display: Micros = display_start;
         let mut slot: u64 = 0;
+        // Time the display last advanced; a stall's length is measured
+        // from here (first slot counts from the nominal display start).
+        let mut last_shown_us: Micros = display_start;
 
         let mut now: Micros = 0;
         for frame_idx in 0..total_frames {
@@ -531,6 +599,14 @@ impl ConferenceRunner {
             let capture_elapsed = span.finish_ms();
             timings.capture_ms += capture_elapsed;
             timeline.mark_dur(frame_idx, stage::CAPTURE, now, capture_elapsed);
+            trace.record(
+                now,
+                frame_idx,
+                0,
+                "pipeline",
+                kind::CAPTURE,
+                (capture_elapsed * 1e3) as i64,
+            );
 
             // --- sender: pose feedback + frustum prediction + cull ---
             let owd_s = session.one_way_delay_us() / 1e6;
@@ -553,6 +629,15 @@ impl ConferenceRunner {
                 keep_frac_sum += stats.keep_fraction();
                 keep_frac_n += 1;
                 keep_hist.record(stats.keep_fraction());
+                // arg: kept fraction in permille.
+                trace.record(
+                    now,
+                    frame_idx,
+                    0,
+                    "pipeline",
+                    kind::CULL,
+                    (stats.keep_fraction() * 1e3) as i64,
+                );
             }
             let cull_elapsed = span.finish_ms();
             timings.cull_ms += cull_elapsed;
@@ -584,6 +669,14 @@ impl ConferenceRunner {
             let tile_elapsed = span.finish_ms();
             timings.tile_ms += tile_elapsed;
             timeline.mark_dur(frame_idx, stage::TILE, now, tile_elapsed);
+            trace.record(
+                now,
+                frame_idx,
+                0,
+                "pipeline",
+                kind::TILE,
+                (tile_elapsed * 1e3) as i64,
+            );
 
             // --- bandwidth split + encode ---
             let estimate = session.estimate_bps();
@@ -594,12 +687,17 @@ impl ConferenceRunner {
             let depth_bits = (media_budget * split) as u64;
             let color_bits = (media_budget * (1.0 - split)) as u64;
 
+            flight.observe_gcc(now, 0, estimate);
+            flight.observe_pool_queue(now, pool_queue.get() as u64);
+
             if force_key_next {
                 color_enc.force_keyframe();
                 depth_enc.force_keyframe();
                 force_key_next = false;
             }
             let span = TelemetrySpan::start(&encode_hist);
+            color_enc.set_trace_frame(frame_idx, now);
+            depth_enc.set_trace_frame(frame_idx, now);
             let color_out = if cfg.adapt {
                 color_enc.encode(&color_canvas, color_bits.max(2_000))
             } else {
@@ -689,6 +787,7 @@ impl ConferenceRunner {
                 session.tick(now);
                 if session.take_pli(now) {
                     force_key_next = true;
+                    flight.observe_pli(now, 1);
                 }
                 // Split this tick's arrivals by stream and decode the two
                 // lanes concurrently — each lane owns its decoder, reorder
@@ -719,6 +818,7 @@ impl ConferenceRunner {
                                 nk_color,
                                 &decode_hist,
                                 &timeline,
+                                &flight,
                                 now,
                             )
                         },
@@ -732,6 +832,7 @@ impl ConferenceRunner {
                                 nk_depth,
                                 &decode_hist,
                                 &timeline,
+                                &flight,
                                 now,
                             )
                         },
@@ -753,6 +854,9 @@ impl ConferenceRunner {
                     let is_new = have.is_some() && have != displayed_seq;
                     if !is_new {
                         stall_ctr.inc();
+                        let stall_ms = now.saturating_sub(last_shown_us) as f64 / 1e3;
+                        trace.record(now, NO_FRAME, 1, "display", kind::STALL, stall_ms as i64);
+                        flight.observe_stall(now, 1, stall_ms);
                         log_event!(
                             Level::Debug,
                             "conference.display",
@@ -765,8 +869,12 @@ impl ConferenceRunner {
                         );
                     } else {
                         shown_ctr.inc();
+                        last_shown_us = now;
                         if let Some(s) = have {
                             timeline.mark(s as u64, stage::DISPLAY, now);
+                            // arg: end-to-end frame age µs (capture→display).
+                            let age = now.saturating_sub(s as u64 * frame_interval);
+                            trace.record(now, s as u64, 1, "display", kind::DISPLAY, age as i64);
                         }
                     }
                     let shown = if is_new { have } else { None };
@@ -862,6 +970,8 @@ impl ConferenceRunner {
             records,
             metrics: registry.snapshot(),
             timeline: timeline.snapshot(),
+            trace: trace.snapshot(),
+            flight: flight.bundles(),
         }
     }
 
@@ -951,6 +1061,7 @@ fn decode_lane(
     need_key: &mut bool,
     decode_hist: &Arc<livo_telemetry::Histogram>,
     timeline: &Arc<FrameTimeline>,
+    flight: &FlightRecorder,
     now: Micros,
 ) -> (f64, bool) {
     let mut decode_ms = 0.0;
@@ -971,6 +1082,7 @@ fn decode_lane(
         *expected_frame = af.frame_id + 1;
         *need_key = false;
         let span = TelemetrySpan::start(decode_hist);
+        dec.set_trace_frame(af.frame_id, now);
         match dec.decode(&af.data) {
             Ok(frame) => {
                 let peak = frame.format.peak_value();
@@ -985,12 +1097,20 @@ fn decode_lane(
                 dec.reset();
                 *need_key = true;
                 force_key = true;
-                log_event!(
-                    Level::Warn,
+                flight.observe_decode_error(now, 1, lane);
+                // A corrupted P-chain fails every frame until the next
+                // keyframe lands — rate-limit the warning to one per
+                // second per lane instead of one per frame.
+                livo_telemetry::log::warn_limited(
+                    if lane == "color" {
+                        "conference.decode.color"
+                    } else {
+                        "conference.decode.depth"
+                    },
+                    1_000,
                     "conference",
                     "decode failed, requesting keyframe",
-                    "frame" => af.frame_id,
-                    "stream" => lane
+                    &[("frame", af.frame_id.into()), ("stream", lane.into())],
                 );
             }
         }

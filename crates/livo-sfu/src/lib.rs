@@ -32,5 +32,5 @@ pub mod router;
 pub mod subscriber;
 
 pub use cluster::{cluster_views, mutual_coverage, ClusterParams, ViewVolume};
-pub use router::{ClusterOutput, RouteSummary, Router, RouterConfig};
+pub use router::{subscriber_party, ClusterOutput, RouteSummary, Router, RouterConfig};
 pub use subscriber::{Subscriber, SubscriberConfig, SubscriberStats};

@@ -27,6 +27,7 @@ use livo_core::pipeline::EncodedPair;
 use livo_core::tile::{compose_color, compose_depth, TileLayout};
 use livo_math::{Frustum, Pose, RgbdCamera};
 use livo_runtime::WorkerPool;
+use livo_telemetry::trace::{intern, kind, EventTrace};
 use livo_telemetry::{stage, Counter, Gauge, Histogram, MetricsRegistry, TelemetrySpan};
 use livo_transport::{Micros, StreamId};
 use std::sync::Arc;
@@ -214,6 +215,13 @@ pub struct Router {
     clusters: Vec<ClusterState>,
     frame_idx: u64,
     membership_dirty: bool,
+    trace: Option<Arc<EventTrace>>,
+}
+
+/// Trace/metric party ids in an SFU topology: 0 is the capture source,
+/// 1 the SFU itself, `2 + subscriber_id` each subscriber.
+pub fn subscriber_party(id: usize) -> u16 {
+    2 + id as u16
 }
 
 impl Router {
@@ -237,7 +245,18 @@ impl Router {
             clusters: Vec::new(),
             frame_idx: 0,
             membership_dirty: false,
+            trace: None,
         }
+    }
+
+    /// Attach a causal event trace. The SFU records as party 1; every
+    /// downlink session and decode stand-in records as party
+    /// [`subscriber_party`]`(id)` — including subscribers added later.
+    pub fn attach_trace(&mut self, trace: Arc<EventTrace>) {
+        for (id, sub) in self.subscribers.iter_mut().enumerate() {
+            sub.attach_trace(trace.clone(), subscriber_party(id));
+        }
+        self.trace = Some(trace);
     }
 
     /// Worker pool used for the per-cluster parallel passes (defaults to
@@ -262,9 +281,23 @@ impl Router {
     pub fn add_subscriber(&mut self, cfg: SubscriberConfig, trace: BandwidthTrace) -> usize {
         let id = self.subscribers.len();
         let mut sub = Subscriber::new(cfg, trace);
-        let prefix = format!("sfu.sub.{}.transport", sub.name);
+        // Display names flow into metric names: fold anything outside the
+        // documented `[a-z0-9_]` segment alphabet to '_' so a name like
+        // "producer-desk" still yields convention-clean metrics.
+        let safe: String = sub
+            .name
+            .chars()
+            .map(|c| match c.to_ascii_lowercase() {
+                c @ ('a'..='z' | '0'..='9' | '_') => c,
+                _ => '_',
+            })
+            .collect();
+        let prefix = format!("sfu.sub.{safe}.transport");
         sub.session
             .attach_telemetry(&self.registry, &prefix, Some(sub.timeline.clone()));
+        if let Some(tr) = &self.trace {
+            sub.attach_trace(tr.clone(), subscriber_party(id));
+        }
         self.subscribers.push(sub);
         self.membership_dirty = true;
         id
@@ -309,7 +342,7 @@ impl Router {
                 wants_key = true;
             }
             for af in sub.session.recv_frames() {
-                if sub.receiver.ingest(&af, &mut sub.stats) {
+                if sub.receiver.ingest(&af, &mut sub.stats, now) {
                     wants_key = true;
                 }
             }
@@ -564,6 +597,18 @@ impl Router {
         let mut low_variant_passes = 0u64;
         for out in &clusters {
             self.metrics.keep_fraction.record(out.keep_fraction);
+            if let Some(tr) = &self.trace {
+                // One shared encode event per cluster on the SFU track;
+                // arg: shared bitstream size in bits.
+                tr.record(
+                    now,
+                    self.frame_idx,
+                    1,
+                    intern(&format!("sfu.cluster{}", out.key)),
+                    kind::ENCODE,
+                    (out.color.data.len() + out.depth.data.len()) as i64 * 8,
+                );
+            }
             if out.color.frame_type == FrameType::Intra {
                 self.metrics.shared_intras.inc();
             }

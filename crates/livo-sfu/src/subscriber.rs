@@ -14,9 +14,10 @@ use livo_core::frustum_pred::FrustumPredictor;
 use livo_core::splitter::{BandwidthSplitter, SplitterConfig};
 use livo_core::tile::read_seq;
 use livo_math::{FrustumParams, Pose};
+use livo_telemetry::trace::EventTrace;
 use livo_telemetry::FrameTimeline;
 use livo_transport::packet::AssembledFrame;
-use livo_transport::{RtcSession, SessionConfig, StreamId};
+use livo_transport::{Micros, RtcSession, SessionConfig, StreamId};
 use std::sync::Arc;
 
 /// Configuration of one subscriber's downlink.
@@ -115,6 +116,13 @@ impl Subscriber {
         &self.stats
     }
 
+    /// Wire the causal event trace through this subscriber's downlink
+    /// (SFU = party 1 sends, `party` receives) and decode stand-in.
+    pub(crate) fn attach_trace(&mut self, trace: Arc<EventTrace>, party: u16) {
+        self.session.attach_trace(trace.clone(), 1, party);
+        self.receiver.attach_trace(trace, party);
+    }
+
     /// Per-subscriber frame timeline (encode/forward/transport stages in
     /// virtual session time).
     pub fn timeline(&self) -> &Arc<FrameTimeline> {
@@ -153,6 +161,7 @@ pub(crate) struct ReceiverState {
     pub(crate) window_depth: std::collections::BTreeMap<u32, Frame>,
     expected_frame: [u64; 2],
     need_key: [bool; 2],
+    tracing: bool,
 }
 
 /// Bound of the per-stream reorder windows, in frames.
@@ -175,14 +184,28 @@ impl ReceiverState {
             window_depth: Default::default(),
             expected_frame: [0, 0],
             need_key: [false, false],
+            tracing: false,
         }
+    }
+
+    /// Record this stand-in's decodes as `party` on the event trace.
+    pub(crate) fn attach_trace(&mut self, trace: Arc<EventTrace>, party: u16) {
+        self.color_dec
+            .attach_trace(trace.clone(), party, "codec.color");
+        self.depth_dec.attach_trace(trace, party, "codec.depth");
+        self.tracing = true;
     }
 
     /// Ingest one assembled frame from the downlink. Returns `true` when
     /// the receiver needs a keyframe to resynchronise (frame-id gap broke
     /// the P chain, or the payload failed to decode) — the router fans
     /// this into the subscriber's cluster.
-    pub(crate) fn ingest(&mut self, af: &AssembledFrame, stats: &mut SubscriberStats) -> bool {
+    pub(crate) fn ingest(
+        &mut self,
+        af: &AssembledFrame,
+        stats: &mut SubscriberStats,
+        now: Micros,
+    ) -> bool {
         let (sidx, dec, window) = match af.stream {
             StreamId::Color => (0usize, &mut self.color_dec, &mut self.window_color),
             StreamId::Depth => (1usize, &mut self.depth_dec, &mut self.window_depth),
@@ -202,6 +225,9 @@ impl ReceiverState {
         }
         self.expected_frame[sidx] = af.frame_id + 1;
         self.need_key[sidx] = false;
+        if self.tracing {
+            dec.set_trace_frame(af.frame_id, now);
+        }
         match dec.decode(&af.data) {
             Ok(frame) => {
                 let peak = frame.format.peak_value();
@@ -219,6 +245,25 @@ impl ReceiverState {
                 self.need_key[sidx] = true;
                 stats.decode_failures += 1;
                 stats.keyframes_requested += 1;
+                // One warning per second, not one per broken P frame.
+                livo_telemetry::log::warn_limited(
+                    "sfu.decode",
+                    1_000,
+                    "sfu",
+                    "subscriber decode failed, requesting keyframe",
+                    &[
+                        ("frame", af.frame_id.into()),
+                        (
+                            "stream",
+                            if af.stream == StreamId::Color {
+                                "color"
+                            } else {
+                                "depth"
+                            }
+                            .into(),
+                        ),
+                    ],
+                );
                 true
             }
         }

@@ -16,8 +16,18 @@
 //!   sequence number, stitched across threads and layers (capture → cull →
 //!   tile → encode → packetize → link → reassembly → jitter → decode →
 //!   display); one JSON object tells the full story of one frame.
+//! - [`trace`]: [`EventTrace`] — the causal cross-layer event ring: every
+//!   frame's capture→cull→encode→packetize→send→(nack/retx/pli)→recv→
+//!   decode→display life, keyed by frame sequence and party id, merged
+//!   into one causal order and queryable per frame ([`TraceQuery`]).
+//! - [`chrometrace`]: Chrome trace-event JSON export of a trace snapshot
+//!   (Perfetto-loadable, flow arrows stitching frames across tracks).
+//! - [`flight`]: [`FlightRecorder`] — anomaly detectors (stall, PLI
+//!   storm, GCC collapse, decode error, pool starvation) that dump
+//!   trace + metrics + timeline bundles the moment something goes wrong.
 //! - [`log`]: structured events with levels and key=value fields, filtered
-//!   by `LIVO_LOG`, with a stderr text sink and a JSON-lines sink.
+//!   by `LIVO_LOG`, with a stderr text sink, a JSON-lines sink, and
+//!   rate-limited warnings ([`Logger::warn_limited`]).
 //! - [`json`]: the dependency-free JSON writer the sinks share.
 //!
 //! Design constraints: **std only** (this crate sits below every other
@@ -26,18 +36,26 @@
 //! sample after warm-up — the overhead budget that keeps instrumented
 //! throughput within 5% of uninstrumented.
 
+pub mod chrometrace;
+pub mod flight;
 pub mod histogram;
 pub mod json;
 pub mod log;
 pub mod registry;
 pub mod span;
 pub mod timeline;
+pub mod trace;
 
+pub use chrometrace::{chrome_trace_json, write_chrome_trace};
+pub use flight::{verdict, AnomalyConfig, FlightBundle, FlightRecorder};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use log::{Level, Logger, Value};
-pub use registry::{global, Counter, Gauge, MetricsRegistry, RegistrySnapshot};
+pub use registry::{
+    global, name_follows_convention, Counter, Gauge, MetricsRegistry, RegistrySnapshot,
+};
 pub use span::{timed, TelemetrySpan};
 pub use timeline::{stage, FrameTimeline, FrameTimelineRecord, TimelineEvent};
+pub use trace::{intern, kind, EventTrace, FramePath, Hop, TraceEvent, TraceQuery, NO_FRAME};
 
 #[cfg(test)]
 mod tests {

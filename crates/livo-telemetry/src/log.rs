@@ -122,12 +122,19 @@ impl From<String> for Value {
     }
 }
 
+/// Per-key rate-limiter state for [`Logger::warn_limited`].
+struct LimiterState {
+    last_emit: std::time::Instant,
+    suppressed: u64,
+}
+
 /// The logger: level filter plus sinks.
 pub struct Logger {
     /// Minimum level that passes; `5` means everything is off.
     min_level: AtomicU8,
     text_sink: AtomicBool,
     json_sink: Mutex<Option<Box<dyn Write + Send>>>,
+    limiters: Mutex<std::collections::HashMap<&'static str, LimiterState>>,
 }
 
 impl Logger {
@@ -149,6 +156,7 @@ impl Logger {
             min_level: AtomicU8::new(min),
             text_sink: AtomicBool::new(true),
             json_sink: Mutex::new(None),
+            limiters: Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -182,6 +190,57 @@ impl Logger {
 
     pub fn clear_json_sink(&self) {
         *self.json_sink.lock().unwrap() = None;
+    }
+
+    /// Rate-limited warning: events sharing `key` emit at most once per
+    /// `interval` (wall clock); the rest are counted and reported as a
+    /// `suppressed=N` field on the next event that passes. Keeps loss
+    /// sweeps and PLI storms from flooding stderr while still recording
+    /// that the condition kept firing.
+    pub fn warn_limited(
+        &self,
+        key: &'static str,
+        interval: std::time::Duration,
+        target: &str,
+        msg: &str,
+        fields: &[(&str, Value)],
+    ) {
+        if !self.enabled(Level::Warn) {
+            return;
+        }
+        let now = std::time::Instant::now();
+        let suppressed = {
+            let mut limiters = self.limiters.lock().unwrap();
+            match limiters.get_mut(key) {
+                None => {
+                    limiters.insert(
+                        key,
+                        LimiterState {
+                            last_emit: now,
+                            suppressed: 0,
+                        },
+                    );
+                    0
+                }
+                Some(st) if now.duration_since(st.last_emit) >= interval => {
+                    let n = st.suppressed;
+                    st.last_emit = now;
+                    st.suppressed = 0;
+                    n
+                }
+                Some(st) => {
+                    st.suppressed += 1;
+                    return;
+                }
+            }
+        };
+        if suppressed > 0 {
+            let mut with_tail: Vec<(&str, Value)> = fields.to_vec();
+            with_tail.push(("suppressed", Value::U64(suppressed)));
+            self.log(Level::Warn, target, msg, &with_tail);
+        } else {
+            self.log(Level::Warn, target, msg, fields);
+        }
     }
 
     /// Emit one event. Prefer [`log_event!`], which checks [`enabled`]
@@ -255,6 +314,25 @@ pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
     logger().log(level, target, msg, fields);
 }
 
+/// Rate-limited warning through the global logger (see
+/// [`Logger::warn_limited`]). `interval_ms` is the minimum wall-clock
+/// spacing between emitted events sharing `key`.
+pub fn warn_limited(
+    key: &'static str,
+    interval_ms: u64,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, Value)],
+) {
+    logger().warn_limited(
+        key,
+        std::time::Duration::from_millis(interval_ms),
+        target,
+        msg,
+        fields,
+    );
+}
+
 /// Structured event through the global logger; fields are `"key" => value`
 /// pairs and nothing is evaluated unless the level is enabled:
 ///
@@ -300,6 +378,7 @@ mod tests {
             min_level: AtomicU8::new(Level::Info as u8),
             text_sink: AtomicBool::new(false),
             json_sink: Mutex::new(None),
+            limiters: Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -342,6 +421,54 @@ mod tests {
         assert!(lines[0].contains("\"target\":\"conference\""));
         assert!(lines[0].contains("\"fields\":{\"slot\":9}"));
         assert!(lines[0].starts_with("{\"ts_us\":"));
+    }
+
+    #[test]
+    fn warn_limited_suppresses_and_reports_tail() {
+        let l = quiet_logger();
+        let buf = SharedBuf::default();
+        l.set_json_sink(Box::new(buf.clone()));
+        let interval = std::time::Duration::from_millis(40);
+        // Burst: first passes, next three are suppressed.
+        for i in 0..4u64 {
+            l.warn_limited(
+                "test.pli",
+                interval,
+                "transport",
+                "pli sent",
+                &[("n", Value::from(i))],
+            );
+        }
+        std::thread::sleep(interval + std::time::Duration::from_millis(5));
+        l.warn_limited("test.pli", interval, "transport", "pli sent", &[]);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text:?}");
+        assert!(lines[0].contains("\"n\":0"));
+        assert!(!lines[0].contains("suppressed"));
+        assert!(lines[1].contains("\"suppressed\":3"));
+    }
+
+    #[test]
+    fn warn_limited_keys_are_independent() {
+        let l = quiet_logger();
+        let buf = SharedBuf::default();
+        l.set_json_sink(Box::new(buf.clone()));
+        let interval = std::time::Duration::from_secs(60);
+        l.warn_limited("test.a", interval, "t", "a", &[]);
+        l.warn_limited("test.b", interval, "t", "b", &[]);
+        l.warn_limited("test.a", interval, "t", "a", &[]); // suppressed
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn warn_limited_is_free_when_warn_disabled() {
+        let l = quiet_logger();
+        l.set_off();
+        // Must not record limiter state (nor panic) while disabled.
+        l.warn_limited("test.off", std::time::Duration::from_secs(1), "t", "x", &[]);
+        assert!(l.limiters.lock().unwrap().is_empty());
     }
 
     #[test]

@@ -110,6 +110,23 @@ impl MetricsRegistry {
         get_or_insert(&self.histograms, name)
     }
 
+    /// Every registered metric name (counters, gauges, histograms),
+    /// sorted and deduplicated — the input to the naming-convention gate.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .counters
+            .read()
+            .unwrap()
+            .keys()
+            .chain(self.gauges.read().unwrap().keys())
+            .chain(self.histograms.read().unwrap().keys())
+            .cloned()
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
     /// Freeze current values into plain data.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
@@ -136,6 +153,51 @@ impl MetricsRegistry {
                 .collect(),
         }
     }
+}
+
+/// Unit tokens that may only appear as a `_unit` suffix of a segment,
+/// never as a standalone dotted segment (`codec.decode.ns` is drift;
+/// `codec.decode_ns` is the convention).
+const UNIT_TOKENS: [&str; 12] = [
+    "ms", "us", "ns", "s", "bits", "bytes", "bps", "kbps", "mbps", "hz", "pct", "ratio",
+];
+
+/// The documented metric naming convention, `component.noun[.qualifier]`:
+///
+/// - at least two dot-separated segments;
+/// - each segment matches `[a-z][a-z0-9_]*`;
+/// - unit tokens ride as a `_unit` suffix on a segment, never as a
+///   standalone segment;
+/// - no stutter: a segment must not restate its predecessor as a prefix
+///   (`transport.transport_latency_ms` is drift; `transport.latency_ms`
+///   is the convention).
+///
+/// Enforced over every live registry by the `metric_names` suite.
+pub fn name_follows_convention(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    if segments.len() < 2 {
+        return false;
+    }
+    let mut prev: Option<&str> = None;
+    for seg in segments {
+        let mut chars = seg.chars();
+        if !chars.next().is_some_and(|c| c.is_ascii_lowercase()) {
+            return false;
+        }
+        if !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+            return false;
+        }
+        if UNIT_TOKENS.contains(&seg) {
+            return false;
+        }
+        if let Some(p) = prev {
+            if seg.len() > p.len() && seg.starts_with(p) && seg.as_bytes()[p.len()] == b'_' {
+                return false;
+            }
+        }
+        prev = Some(seg);
+    }
+    true
 }
 
 /// The process-wide default registry. Long-lived tools (`repro`, examples)
@@ -264,6 +326,41 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(r.counter("hits").get(), 200_000);
+    }
+
+    #[test]
+    fn names_unions_all_kinds_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("b.count");
+        r.gauge("a.level");
+        r.histogram("c.wait_ms");
+        r.gauge("b.count"); // same name, different kind: deduplicated
+        assert_eq!(r.names(), vec!["a.level", "b.count", "c.wait_ms"]);
+    }
+
+    #[test]
+    fn naming_convention_accepts_and_rejects() {
+        for good in [
+            "codec.color.bits_total",
+            "transport.latency_ms",
+            "codec.decode_ns",
+            "sfu.sub.producer_desk.transport.plis",
+            "runtime.pool.queue_depth",
+            "trace.anomalies.pli_storm",
+        ] {
+            assert!(name_follows_convention(good), "{good} should pass");
+        }
+        for bad in [
+            "frames",                         // no component
+            "codec.decode.ns",                // standalone unit segment
+            "transport.transport_latency_ms", // stutter
+            "Codec.bits",                     // uppercase
+            "codec.2pass",                    // digit-leading segment
+            "codec..bits",                    // empty segment
+            "codec.bits-total",               // illegal character
+        ] {
+            assert!(!name_follows_convention(bad), "{bad} should fail");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::packet::{AssembledFrame, Packet, Packetizer, Reassembler, StreamId};
 use crate::Micros;
 use bytes::Bytes;
 use livo_capture::BandwidthTrace;
+use livo_telemetry::trace::{kind, EventTrace, NO_FRAME};
 use livo_telemetry::{stage, Counter, FrameTimeline, Gauge, Histogram, MetricsRegistry};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -100,7 +101,12 @@ struct SessionTelemetry {
     bits_sent_depth: Arc<Counter>,
     bits_delivered: Arc<Counter>,
     frames_delivered: Arc<Counter>,
-    transport_latency_ms: Arc<Histogram>,
+    latency_ms: Arc<Histogram>,
+    /// Sum of the delivered-bitrate numerator's GCC estimates sampled at
+    /// each feedback interval, with the sample count — the denominator of
+    /// the QoE delivered-vs-estimate ratio.
+    estimate_sum_bps: Arc<Gauge>,
+    estimate_samples: Arc<Counter>,
     timeline: Option<Arc<FrameTimeline>>,
 }
 
@@ -111,6 +117,22 @@ fn lane_of(stream: StreamId) -> &'static str {
         StreamId::Depth => "depth",
         StreamId::Control => "control",
     }
+}
+
+/// Causal-trace track for a media stream.
+fn component_of(stream: StreamId) -> &'static str {
+    match stream {
+        StreamId::Color => "transport.color",
+        StreamId::Depth => "transport.depth",
+        StreamId::Control => "transport.control",
+    }
+}
+
+/// Causal-trace sink plus the party ids of the session's two endpoints.
+struct SessionTrace {
+    trace: Arc<EventTrace>,
+    send_party: u16,
+    recv_party: u16,
 }
 
 /// One direction of a conference call.
@@ -146,6 +168,7 @@ pub struct RtcSession {
     smoothed_owd: f64,
     stats: SessionStats,
     telemetry: Option<SessionTelemetry>,
+    trace: Option<SessionTrace>,
     /// (stream, frame_id) pairs whose first packet has arrived — used to
     /// stamp the timeline "link" stage exactly once per frame. Entries are
     /// removed when reassembly completes; capped to bound memory when
@@ -180,6 +203,7 @@ impl RtcSession {
             smoothed_owd: 0.0,
             stats: SessionStats::default(),
             telemetry: None,
+            trace: None,
             link_seen: BTreeSet::new(),
         }
     }
@@ -217,8 +241,22 @@ impl RtcSession {
             bits_sent_depth: registry.counter(&format!("{prefix}.bits_sent.depth")),
             bits_delivered: registry.counter(&format!("{prefix}.bits_delivered")),
             frames_delivered: registry.counter(&format!("{prefix}.frames_delivered")),
-            transport_latency_ms: registry.histogram(&format!("{prefix}.transport_latency_ms")),
+            latency_ms: registry.histogram(&format!("{prefix}.latency_ms")),
+            estimate_sum_bps: registry.gauge(&format!("{prefix}.gcc.estimate_sum_bps")),
+            estimate_samples: registry.counter(&format!("{prefix}.gcc.estimate_samples")),
             timeline,
+        });
+    }
+
+    /// Record cross-layer causal events into `trace`: per-frame
+    /// `packetize`/`send` on the sender endpoint (`send_party`) and
+    /// `recv`, plus the control-plane `nack`/`retx`/`pli`/`gcc_estimate`
+    /// events, on the receiver endpoint (`recv_party`).
+    pub fn attach_trace(&mut self, trace: Arc<EventTrace>, send_party: u16, recv_party: u16) {
+        self.trace = Some(SessionTrace {
+            trace,
+            send_party,
+            recv_party,
         });
     }
 
@@ -257,8 +295,10 @@ impl RtcSession {
             .or_insert_with(|| RetransmitBuffer::new(4096));
         self.stats.frames_sent += 1;
         let mut frame_bits = 0u64;
+        let mut n_pkts = 0i64;
         for p in pkts {
             frame_bits += p.wire_bits();
+            n_pkts += 1;
             rb.store(&p);
             self.pacer.push_back(p);
         }
@@ -272,6 +312,19 @@ impl RtcSession {
             if let Some(tl) = &t.timeline {
                 tl.mark_lane(frame_id, stage::PACKETIZE, lane_of(stream), now);
             }
+        }
+        if let Some(tr) = &self.trace {
+            let comp = component_of(stream);
+            tr.trace
+                .record(now, frame_id, tr.send_party, comp, kind::PACKETIZE, n_pkts);
+            tr.trace.record(
+                now,
+                frame_id,
+                tr.send_party,
+                comp,
+                kind::SEND,
+                frame_bits as i64,
+            );
         }
     }
 
@@ -301,6 +354,16 @@ impl RtcSession {
                 self.stats.retransmits += 1;
                 if let Some(t) = &self.telemetry {
                     t.retransmits.inc();
+                }
+                if let Some(tr) = &self.trace {
+                    tr.trace.record(
+                        now,
+                        p.frame_id,
+                        tr.send_party,
+                        component_of(p.stream),
+                        kind::RETX,
+                        p.wire_bits() as i64,
+                    );
                 }
                 self.link.send(p, now);
             } else {
@@ -351,6 +414,16 @@ impl RtcSession {
                         tl.mark_lane(frame_id, stage::REASSEMBLY, lane_of(stream), d.arrival);
                     }
                 }
+                if let Some(tr) = &self.trace {
+                    tr.trace.record(
+                        d.arrival,
+                        frame_id,
+                        tr.recv_party,
+                        component_of(stream),
+                        kind::RECV,
+                        frame.data.len() as i64 * 8,
+                    );
+                }
                 let jb = self
                     .jitters
                     .entry(stream)
@@ -369,7 +442,7 @@ impl RtcSession {
                 if let Some(t) = &self.telemetry {
                     t.frames_delivered.inc();
                     t.bits_delivered.add(f.data.len() as u64 * 8);
-                    t.transport_latency_ms.record(latency_us as f64 / 1000.0);
+                    t.latency_ms.record(latency_us as f64 / 1000.0);
                     if let Some(tl) = &t.timeline {
                         tl.mark_lane_dur(
                             f.frame_id,
@@ -421,6 +494,19 @@ impl RtcSession {
                 t.gcc_trend_ms.set(st.trend_ms);
                 t.gcc_threshold_ms.set(st.threshold_ms);
                 t.gcc_loss_fraction.set(st.loss_fraction);
+                t.estimate_sum_bps
+                    .set(t.estimate_sum_bps.get() + st.estimate_bps);
+                t.estimate_samples.inc();
+            }
+            if let Some(tr) = &self.trace {
+                tr.trace.record(
+                    now,
+                    NO_FRAME,
+                    tr.recv_party,
+                    "transport.gcc",
+                    kind::GCC,
+                    self.estimator.estimate_bps() as i64,
+                );
             }
 
             // NACKs for gaps.
@@ -442,6 +528,16 @@ impl RtcSession {
                 if let Some(t) = &self.telemetry {
                     t.nacks_sent.add(to_request.len() as u64);
                 }
+                if let Some(tr) = &self.trace {
+                    tr.trace.record(
+                        now,
+                        NO_FRAME,
+                        tr.recv_party,
+                        component_of(*stream),
+                        kind::NACK,
+                        to_request.len() as i64,
+                    );
+                }
                 if let Some(rb) = self.retransmit.get(stream) {
                     for p in rb.lookup(&to_request) {
                         all_retx.push((now + self.cfg.link.propagation, p));
@@ -462,6 +558,28 @@ impl RtcSession {
                     if let Some(t) = &self.telemetry {
                         t.plis.inc();
                     }
+                    if let Some(tr) = &self.trace {
+                        tr.trace.record(
+                            now,
+                            NO_FRAME,
+                            tr.recv_party,
+                            component_of(*stream),
+                            kind::PLI,
+                            stuck.len() as i64,
+                        );
+                    }
+                    // PLIs come in storms under loss; keep stderr readable.
+                    livo_telemetry::log::warn_limited(
+                        "transport.pli",
+                        1_000,
+                        "transport",
+                        "PLI requested: frames stuck in reassembly",
+                        &[
+                            ("stream", lane_of(*stream).into()),
+                            ("stuck", (stuck.len() as u64).into()),
+                            ("now_us", now.into()),
+                        ],
+                    );
                     self.pending_pli.push_back(now + self.cfg.link.propagation);
                 }
             }
@@ -836,7 +954,7 @@ mod tests {
         assert_eq!(snap.counter("transport.bits_sent.depth"), Some(0));
         assert!(snap.gauge("transport.gcc.estimate_bps").unwrap() > 0.0);
         assert!(snap.gauge("transport.sender_estimate_bps").unwrap() > 0.0);
-        let lat = snap.histogram("transport.transport_latency_ms").unwrap();
+        let lat = snap.histogram("transport.latency_ms").unwrap();
         assert!(lat.count > 0 && lat.p50 > 0.0);
 
         // Every delivered frame has a monotonic packetize→link→reassembly→

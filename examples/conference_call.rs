@@ -54,7 +54,7 @@ fn print_frame_timeline(label: &str, summary: &RunSummary) {
         full.len(),
         summary.timeline.len(),
         summary.metrics.histogram("conference.encode_ms").map(|h| h.p95).unwrap_or(0.0),
-        summary.metrics.histogram("transport.transport_latency_ms").map(|h| h.p95).unwrap_or(0.0),
+        summary.metrics.histogram("transport.latency_ms").map(|h| h.p95).unwrap_or(0.0),
     );
 }
 

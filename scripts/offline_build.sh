@@ -72,7 +72,8 @@ for t in $ITESTS; do
   bn=$(basename "$t" .rs)_$(echo "$t" | cut -d/ -f1 | tr - _)
   $RUSTC --test --crate-name "$bn" "$R/crates/$t" -o "$OUT/$bn" $EXT
 done
-for t in end_to_end telemetry_timeline parallel_bitexact sfu_fanout kernel_differential; do
+for t in end_to_end telemetry_timeline parallel_bitexact sfu_fanout kernel_differential \
+         trace_events metric_names; do
   $RUSTC --test --crate-name "$t" "$R/tests/$t.rs" -o "$OUT/$t" $EXT
 done
 
@@ -90,7 +91,8 @@ if [ "$1" = "run-tests" ]; then
   fail=0
   for bin in "$OUT"/*_unit "$OUT"/robustness_livo_codec2d "$OUT"/kalman_scenarios_livo_math \
              "$OUT"/gcc_scenarios_livo_transport "$OUT"/end_to_end "$OUT"/telemetry_timeline \
-             "$OUT"/parallel_bitexact "$OUT"/sfu_fanout "$OUT"/kernel_differential; do
+             "$OUT"/parallel_bitexact "$OUT"/sfu_fanout "$OUT"/kernel_differential \
+             "$OUT"/trace_events "$OUT"/metric_names; do
     name=$(basename "$bin")
     if ! out=$("$bin" 2>&1); then
       echo "FAILED: $name"; echo "$out" | tail -30; fail=1

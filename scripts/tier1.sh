@@ -32,6 +32,16 @@ overhead_check() {
   echo "slice header overhead <=2% of bits_total (color + depth)"
 }
 
+# QoE sweep smoke: `repro --quick qoe --json` must write a snapshot with
+# the stable schema tag and all four sweep points.
+qoe_check() {
+  json=$1
+  grep -q '"schema":"livo-bench-qoe-v1"' "$json" || { echo "qoe snapshot missing schema tag"; exit 1; }
+  pts=$(grep -o '"bandwidth_mbps"' "$json" | wc -l)
+  [ "$pts" = 4 ] || { echo "qoe snapshot has $pts points, expected 4"; exit 1; }
+  echo "qoe snapshot OK (schema livo-bench-qoe-v1, $pts points)"
+}
+
 fmt_check() {
   # Formatting is part of the gate in both modes.
   if command -v cargo >/dev/null 2>&1 && cargo fmt --version >/dev/null 2>&1 && [ "$1" = cargo ]; then
@@ -63,6 +73,16 @@ if cargo_works; then
   snap=$(mktemp)
   LIVO_LOG=warn cargo run --release --bin repro -- --quick --metrics "$snap" >/dev/null
   overhead_check "$snap"; rm -f "$snap"
+  # QoE sweep smoke: schema-stable snapshot over the band2 loss/bandwidth
+  # sweep.
+  echo "== tier1: qoe smoke =="
+  qsnap=$(mktemp)
+  LIVO_LOG=warn cargo run --release --bin repro -- --quick qoe --json "$qsnap" >/dev/null
+  qoe_check "$qsnap"; rm -f "$qsnap"
+  # Trace-overhead gate: tracing on must cost at most 5% encode
+  # wall-clock versus tracing off (median of interleaved A/B pairs).
+  echo "== tier1: trace overhead gate =="
+  LIVO_LOG=warn cargo run --release --bin repro -- --quick --gate traceoverhead >/dev/null
   fmt_check cargo
   if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
@@ -80,6 +100,12 @@ else
   snap=$(mktemp)
   LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --quick --metrics "$snap" >/dev/null
   overhead_check "$snap"; rm -f "$snap"
+  echo "== tier1: qoe smoke =="
+  qsnap=$(mktemp)
+  LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --quick qoe --json "$qsnap" >/dev/null
+  qoe_check "$qsnap"; rm -f "$qsnap"
+  echo "== tier1: trace overhead gate =="
+  LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --quick --gate traceoverhead >/dev/null
   fmt_check offline
   if command -v clippy-driver >/dev/null 2>&1; then
     bash scripts/offline_clippy.sh

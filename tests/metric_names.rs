@@ -1,0 +1,76 @@
+//! Metric naming-convention audit across live pipelines.
+//!
+//! Dashboards and the committed BENCH_*.json baselines key on metric
+//! names, so names are API. [`livo_telemetry::name_follows_convention`]
+//! pins the rules (dot-separated lowercase segments, no unit tokens as
+//! whole segments, no `latency_latency`-style stutter); this test runs
+//! the two richest publishers — a point-to-point conference and an SFU
+//! route — and audits every name they actually register.
+
+use livo::capture::{datasets::DatasetPreset, render::render_views_at, rig};
+use livo::prelude::*;
+use livo::telemetry::name_follows_convention;
+
+fn audit<'a>(names: impl Iterator<Item = &'a String>, what: &str) {
+    let mut bad: Vec<&String> = names.filter(|n| !name_follows_convention(n)).collect();
+    bad.sort();
+    assert!(
+        bad.is_empty(),
+        "{what} publishes names violating the convention: {bad:?}"
+    );
+}
+
+#[test]
+fn conference_metric_names_follow_convention() {
+    let cfg = ConferenceConfig::builder(VideoId::Band2)
+        .camera_scale(0.05)
+        .n_cameras(2)
+        .duration_s(1.0)
+        .quality_every(u32::MAX)
+        .build()
+        .expect("valid config");
+    let summary = ConferenceRunner::new(cfg).run(BandwidthTrace::constant(40.0, 8.0));
+    let snap = &summary.metrics;
+    assert!(
+        snap.counters.len() + snap.gauges.len() + snap.histograms.len() > 10,
+        "the conference should publish a rich registry"
+    );
+    audit(snap.counters.keys(), "conference counters");
+    audit(snap.gauges.keys(), "conference gauges");
+    audit(snap.histograms.keys(), "conference histograms");
+}
+
+#[test]
+fn sfu_metric_names_follow_convention() {
+    let cameras = rig::camera_ring(
+        2,
+        2.5,
+        1.4,
+        Vec3::new(0.0, 1.0, 0.0),
+        livo::math::CameraIntrinsics::kinect_depth(0.05),
+    );
+    let preset = DatasetPreset::load(VideoId::Band2);
+    let pool = livo::runtime::global();
+    let mut router = Router::new(RouterConfig::default(), cameras.clone());
+    // Names with hostile characters must be sanitised into the prefix.
+    for name in ["alice", "Bob's iPad", "caf\u{e9}.42"] {
+        router.add_subscriber(
+            SubscriberConfig::new(name),
+            BandwidthTrace::constant(30.0, 10.0),
+        );
+    }
+    let eye = Vec3::new(0.0, 1.5, 2.0);
+    let pose = Pose::look_at(eye, eye + Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0));
+    for frame_idx in 0..5u64 {
+        let snap = preset.scene.at(frame_idx as f32 / 30.0);
+        let views = render_views_at(pool, &cameras, &snap, frame_idx as u32);
+        for id in 0..3 {
+            router.observe_pose(id, &pose);
+        }
+        router.route_frame(frame_idx * 33_333, &views);
+        router.tick(frame_idx * 33_333 + 1_000);
+    }
+    let names = router.registry().names();
+    assert!(!names.is_empty());
+    audit(names.iter(), "sfu registry");
+}

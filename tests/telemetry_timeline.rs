@@ -96,7 +96,7 @@ fn metrics_agree_with_summary_aggregates() {
     let shown = s.records.iter().filter(|r| r.shown_seq.is_some()).count() as u64;
     assert_eq!(m.counter("display.frames_shown"), Some(shown));
     let lat = m
-        .histogram("transport.transport_latency_ms")
+        .histogram("transport.latency_ms")
         .expect("latency histogram");
     assert!(
         (lat.mean - s.transport_latency_ms).abs() < 1.0,
@@ -118,7 +118,7 @@ fn metrics_agree_with_summary_aggregates() {
     let j1 = m.to_json();
     let j2 = s.metrics.to_json();
     assert_eq!(j1, j2);
-    assert!(j1.contains("\"transport.transport_latency_ms\""));
+    assert!(j1.contains("\"transport.latency_ms\""));
 }
 
 #[test]
