@@ -22,7 +22,7 @@ use livo_capture::{
 use livo_core::conference::{ConferenceConfig, ConferenceRunner};
 use livo_eval::experiments::EvalProfile;
 use livo_math::{CameraIntrinsics, Vec3};
-use livo_sfu::{subscriber_party, Router, RouterConfig, SubscriberConfig};
+use livo_sfu::{subscriber_party, Router, SubscriberConfig, SubscriberId};
 use livo_telemetry::trace::{kind, EventTrace, TraceQuery};
 use livo_telemetry::{chrome_trace_json, AnomalyConfig, FlightRecorder};
 use livo_transport::Micros;
@@ -75,24 +75,28 @@ pub fn run(profile: &EvalProfile) -> ConferenceReport {
     let pool = livo_runtime::global();
 
     let trace = Arc::new(EventTrace::new(1 << 16));
-    let mut router = Router::new(RouterConfig::default(), cameras.clone());
-    router.attach_trace(trace.clone());
+    let mut router = Router::builder(cameras.clone())
+        .trace(trace.clone())
+        .build()
+        .expect("valid router config");
     let mut flight = FlightRecorder::new(AnomalyConfig::default());
     flight.attach_trace(trace.clone());
     flight.attach_registry(router.registry());
     let flight = flight;
 
-    let user_traces: Vec<UserTrace> = PARTIES
+    let subscribers: Vec<(SubscriberId, UserTrace)> = PARTIES
         .iter()
         .enumerate()
         .map(|(i, (name, link, style))| {
             let style = TraceStyle::ALL[style % TraceStyle::ALL.len()];
             let ut = UserTrace::generate(style, seconds + 5.0, 40 + i as u64);
-            router.add_subscriber(
-                SubscriberConfig::new(*name),
-                BandwidthTrace::generate(*link, seconds + 6.0, 90 + i as u64),
-            );
-            ut
+            let id = router
+                .add_subscriber(
+                    SubscriberConfig::new(*name),
+                    BandwidthTrace::generate(*link, seconds + 6.0, 90 + i as u64),
+                )
+                .expect("add subscriber");
+            (id, ut)
         })
         .collect();
 
@@ -106,14 +110,14 @@ pub fn run(profile: &EvalProfile) -> ConferenceReport {
         let views = render_views_at(pool, &cameras, &snap, frame_idx as u32);
         trace.record(now, frame_idx, 0, "pipeline", kind::CAPTURE, 0);
 
-        for (id, ut) in user_traces.iter().enumerate() {
-            let owd_s = router.subscriber(id).session().one_way_delay_us() as f32 / 1e6;
-            router.observe_pose(id, &ut.pose_at_time((t_s - owd_s).max(0.0)));
-            flight.observe_gcc(
-                now,
-                subscriber_party(id),
-                router.subscriber(id).estimate_bps(),
-            );
+        for (id, ut) in &subscribers {
+            let sub = router.subscriber(*id).expect("still subscribed");
+            let owd_s = sub.session().one_way_delay_us() as f32 / 1e6;
+            let estimate = sub.estimate_bps();
+            router
+                .observe_pose(*id, &ut.pose_at_time((t_s - owd_s).max(0.0)))
+                .expect("live id");
+            flight.observe_gcc(now, subscriber_party(*id), estimate);
         }
         router.route_frame(now, &views);
 
@@ -122,8 +126,9 @@ pub fn run(profile: &EvalProfile) -> ConferenceReport {
             router.tick(now);
             // Display stand-in: a subscriber "shows" the newest sequence
             // decoded on both streams, once per frame interval.
-            for (id, shown) in displayed.iter_mut().enumerate() {
-                if let Some(have) = router.subscriber(id).latest_synced_seq() {
+            for ((id, _), shown) in subscribers.iter().zip(displayed.iter_mut()) {
+                let sub = router.subscriber(*id).expect("still subscribed");
+                if let Some(have) = sub.latest_synced_seq() {
                     if Some(have) != *shown {
                         *shown = Some(have);
                         let seq = have as u64;
@@ -131,7 +136,7 @@ pub fn run(profile: &EvalProfile) -> ConferenceReport {
                         trace.record(
                             now,
                             seq,
-                            subscriber_party(id),
+                            subscriber_party(*id),
                             "display",
                             kind::DISPLAY,
                             age as i64,
@@ -151,8 +156,8 @@ pub fn run(profile: &EvalProfile) -> ConferenceReport {
             if !path.has(kind::CAPTURE, 0) {
                 continue;
             }
-            for (id, seqs) in reconstructed.iter_mut().enumerate() {
-                if path.has(kind::DISPLAY, subscriber_party(id)) {
+            for ((id, _), seqs) in subscribers.iter().zip(reconstructed.iter_mut()) {
+                if path.has(kind::DISPLAY, subscriber_party(*id)) {
                     seqs.push(seq);
                 }
             }
@@ -172,15 +177,15 @@ pub fn run(profile: &EvalProfile) -> ConferenceReport {
         "{:-<14}-+-{:->9}-+-{:->8}-+-{:->6}-+-{:->13}\n",
         "", "", "", "", ""
     ));
-    for (id, (name, _, _)) in PARTIES.iter().enumerate() {
-        let sub = router.subscriber(id);
+    for (i, (name, _, _)) in PARTIES.iter().enumerate() {
+        let sub = router.subscriber(subscribers[i].0).expect("subscribed");
         text.push_str(&format!(
             "{:<14} | {:>9.1} | {:>8} | {:>6} | {:>13}\n",
             name,
             sub.estimate_bps() / 1e6,
             sub.stats().frames_decoded,
             sub.session().stats().plis,
-            reconstructed[id].len(),
+            reconstructed[i].len(),
         ));
     }
     text.push('\n');

@@ -11,9 +11,13 @@
 //! (fig5 covers Figs. 5–8; fig9 covers 9–11; fig13 covers 13–14; fig18
 //! covers 18–19; fig20 covers 20–21; fig17 covers 17+A.1.)
 //!
-//! `sfu` runs the N-subscriber scaling sweep (encode passes per frame,
-//! shared vs naive); `--sfu-json <path>` snapshots it as JSON (schema
-//! `livo-bench-sfu-v1`, committed as BENCH_sfu.json).
+//! `sfu` runs the N-subscriber scaling sweep (encode passes per frame and
+//! route-time percentiles, shared vs naive vs a 1-thread serial baseline,
+//! plus a Poisson churn run per N); `--sfu-json <path>` snapshots it as
+//! JSON (schema `livo-bench-sfu-v2`, committed as BENCH_sfu.json), and
+//! `--gate` exits non-zero if passes stop tracking the cluster count, the
+//! sharded router falls behind the serial baseline at N=100, or churn
+//! intras violate the one-per-RTT guard.
 //!
 //! `kernels` runs the hot-kernel microbench (cull, DCT, SAD, full encode)
 //! against the retained pre-optimisation reference implementations;
@@ -47,15 +51,16 @@ fn usage() -> ! {
          artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid sfu kernels conference qoe traceoverhead all\n\
          --metrics <path>: also run one instrumented LiVo replay and write the\n\
          telemetry snapshot (schema livo-bench-pipeline-v1) as JSON to <path>\n\
-         --sfu-json <path>: write the SFU scaling sweep (schema livo-bench-sfu-v1)\n\
+         --sfu-json <path>: write the SFU scaling sweep (schema livo-bench-sfu-v2)\n\
          as JSON to <path>\n\
          --json [path]: with qoe, write the QoE sweep (schema livo-bench-qoe-v1,\n\
          default BENCH_qoe.json); otherwise write the kernel microbench\n\
          (schema livo-bench-kernels-v1, default BENCH_kernels.json)\n\
          --trace <path>: with conference, write the run as Chrome trace-event\n\
          JSON (open in ui.perfetto.dev)\n\
-         --gate: exit non-zero if any kernel runs below 1.0x its reference, or\n\
-         (with traceoverhead) if tracing costs more than 5% encode wall-clock\n\
+         --gate: exit non-zero if any kernel runs below 1.0x its reference,\n\
+         (with traceoverhead) if tracing costs more than 5% encode wall-clock,\n\
+         or (with sfu) if the scaling/churn structural claims fail\n\
          progress goes through the structured logger; filter with LIVO_LOG=warn|info|debug"
     );
     std::process::exit(2);
@@ -127,6 +132,7 @@ fn main() {
         usage();
     }
     let mut profile = EvalProfile::standard();
+    let mut quick = false;
     let mut artefacts: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
     let mut sfu_json_path: Option<String> = None;
@@ -137,8 +143,14 @@ fn main() {
     let mut iter = args.iter().peekable();
     while let Some(a) = iter.next() {
         match a.as_str() {
-            "--quick" => profile = EvalProfile::quick(),
-            "--standard" => profile = EvalProfile::standard(),
+            "--quick" => {
+                profile = EvalProfile::quick();
+                quick = true;
+            }
+            "--standard" => {
+                profile = EvalProfile::standard();
+                quick = false;
+            }
             "--metrics" => match iter.next() {
                 Some(p) => metrics_path = Some(p.clone()),
                 None => usage(),
@@ -185,7 +197,7 @@ fn main() {
         profile,
         grid: None,
     };
-    let mut sfu_points: Option<Vec<sfu_bench::ScalingPoint>> = None;
+    let mut sfu_sweep: Option<sfu_bench::SfuSweep> = None;
     let mut kernel_points: Option<Vec<kernels_bench::KernelPoint>> = None;
     let mut qoe_points: Option<Vec<qoe_bench::QoePoint>> = None;
     let mut conf_report: Option<conference_bench::ConferenceReport> = None;
@@ -211,8 +223,9 @@ fn main() {
             "figa2" => report::figa2(&profile),
             "figa3" => report::figa3(600.0, profile.seed),
             "sfu" => {
-                let pts = sfu_points.get_or_insert_with(|| sfu_bench::run_scaling(&profile));
-                sfu_bench::text(pts)
+                let sweep =
+                    sfu_sweep.get_or_insert_with(|| sfu_bench::run_scaling(&profile, quick));
+                sfu_bench::text(sweep)
             }
             "kernels" => {
                 let pts = kernel_points.get_or_insert_with(kernels_bench::run);
@@ -292,8 +305,8 @@ fn main() {
     }
     if let Some(path) = sfu_json_path {
         log_event!(Level::Info, "repro", "writing sfu scaling snapshot", "path" => path.as_str());
-        let pts = sfu_points.get_or_insert_with(|| sfu_bench::run_scaling(&profile));
-        let json = sfu_bench::json(pts, &profile);
+        let sweep = sfu_sweep.get_or_insert_with(|| sfu_bench::run_scaling(&profile, quick));
+        let json = sfu_bench::json(sweep, &profile);
         if let Err(e) = std::fs::write(&path, &json) {
             log_event!(
                 Level::Error,
@@ -380,7 +393,23 @@ fn main() {
                 "limit" => conference_bench::OVERHEAD_LIMIT
             );
         }
-        if overhead.is_none() || artefacts.iter().any(|a| a == "kernels") {
+        if let Some(sweep) = &sfu_sweep {
+            if !sfu_bench::gate_ok(sweep) {
+                log_event!(
+                    Level::Error,
+                    "repro",
+                    "sfu gate failed: passes off the cluster count, sharded slower than \
+                     serial at N=100, or churn intras inside one RTT"
+                );
+                std::process::exit(1);
+            }
+            log_event!(
+                Level::Info,
+                "repro",
+                "sfu gate passed: passes track clusters, sharded route holds, churn guarded"
+            );
+        }
+        if (overhead.is_none() && sfu_sweep.is_none()) || artefacts.iter().any(|a| a == "kernels") {
             let pts = kernel_points.get_or_insert_with(kernels_bench::run);
             if !kernels_bench::gate_ok(pts) {
                 log_event!(

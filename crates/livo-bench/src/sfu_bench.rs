@@ -1,4 +1,4 @@
-//! SFU scaling benchmark: encode passes per frame vs subscriber count.
+//! SFU scaling benchmark: encode passes and route time vs subscriber count.
 //!
 //! The claim under test is the SFU's whole reason to exist: with
 //! frustum-clustered encode sharing, the number of cull+encode passes per
@@ -6,23 +6,63 @@
 //! not the number of subscribers — while naive fan-out pays one pass per
 //! subscriber. Subscribers alternate between two gaze groups (stage and
 //! crowd), so the shared passes saturate at two regardless of N.
+//!
+//! v2 extends the sweep to conference scale (N ∈ {10, 100, 500}) and to
+//! the sharded router:
+//!
+//! - Route wall-clock is measured directly per frame and reported as
+//!   exact p50/p99 percentiles (the registry's log-bucket histogram is
+//!   too coarse to gate on).
+//! - At N = 100 the same workload also runs on a single-thread pool; the
+//!   gate requires the sharded route time to stay at or below that serial
+//!   baseline (within noise) whenever more than one worker is available.
+//! - Naive fan-out is only measured up to [`NAIVE_CAP`] subscribers — at
+//!   N = 500 it would encode 15 000 passes to prove a point made at 10.
+//! - A Poisson churn run per N (exponential inter-arrival joins/leaves
+//!   from a fixed-seed LCG) checks that mid-call membership churn
+//!   completes without panics and that shared intras stay rate-limited
+//!   to one per RTT per cluster ([`ChurnPoint::min_intra_gap_us`]).
+//!
+//! Large-N runs sample the decode stand-in (1 in [`STANDIN_SAMPLE`]
+//! subscribers) — every downlink still runs the full transport
+//! simulation, but decode cost is paid on a sample, as a real harness
+//! would.
 
 use livo_capture::{
     datasets::DatasetPreset, render::render_views_at, rig, BandwidthTrace, RgbdFrame, VideoId,
 };
 use livo_eval::experiments::EvalProfile;
 use livo_math::{CameraIntrinsics, Pose, RgbdCamera, Vec3};
-use livo_sfu::{Router, RouterConfig, SubscriberConfig};
+use livo_runtime::WorkerPool;
+use livo_sfu::{Router, RouterEvent, SubscriberConfig, SubscriberId};
 use livo_telemetry::json::ObjectWriter;
 use livo_transport::Micros;
+use std::sync::Arc;
 
-/// Subscriber counts of the scaling sweep.
-pub const SUBSCRIBER_COUNTS: [usize; 4] = [1, 2, 3, 6];
+/// Subscriber counts of the full scaling sweep.
+pub const SUBSCRIBER_COUNTS: [usize; 3] = [10, 100, 500];
+/// Counts used by `--quick` (CI): drops the N=500 point.
+pub const QUICK_COUNTS: [usize; 2] = [10, 100];
+
+/// Naive fan-out is measured only up to this N.
+pub const NAIVE_CAP: usize = 10;
+/// The sharded-vs-serial comparison runs at this N.
+pub const SERIAL_BASELINE_N: usize = 100;
+/// With more than this many subscribers, 1 in `STANDIN_SAMPLE` runs the
+/// decode stand-in; the rest skip decode (transport still simulated).
+const STANDIN_SAMPLE: usize = 25;
 
 /// Frames per measured run (one virtual second per run keeps the full
 /// sweep CI-friendly).
 const FRAMES: u64 = 30;
 const FPS: u32 = 30;
+
+/// Sharded route p50 must be <= serial p50 * this (noise allowance).
+const SERIAL_TOLERANCE: f64 = 1.15;
+/// One RTT on the default emulated link (20 ms each way), with 0.8 slack
+/// for the measured-RTT cooldown: intras on one chain must be at least
+/// this far apart.
+const MIN_INTRA_GAP_US: u64 = 32_000;
 
 /// One point of the sweep: N subscribers, shared vs naive.
 pub struct ScalingPoint {
@@ -30,11 +70,38 @@ pub struct ScalingPoint {
     /// Frustum clusters the shared router settled on.
     pub clusters: usize,
     pub shared_passes_per_frame: f64,
-    pub naive_passes_per_frame: f64,
-    /// Mean wall-clock of one routed frame (cull+tile+encode, all
+    /// `None` above [`NAIVE_CAP`] (not measured).
+    pub naive_passes_per_frame: Option<f64>,
+    /// Wall-clock of one routed frame (cull+tile+encode+fan-out, all
     /// clusters), milliseconds.
-    pub shared_route_ms: f64,
-    pub naive_route_ms: f64,
+    pub shared_route_ms_p50: f64,
+    pub shared_route_ms_p99: f64,
+    pub naive_route_ms_p50: Option<f64>,
+    /// Same workload on a 1-thread pool; only measured at
+    /// [`SERIAL_BASELINE_N`].
+    pub serial_route_ms_p50: Option<f64>,
+}
+
+/// One Poisson churn run: joins and leaves arriving mid-call.
+pub struct ChurnPoint {
+    /// Subscribers at the start of the run.
+    pub subscribers: usize,
+    pub joins: u64,
+    pub leaves: u64,
+    pub regroups: u64,
+    pub shared_intras: u64,
+    /// Smallest observed gap between two intras on the same shared
+    /// chain; `None` when no chain fired twice.
+    pub min_intra_gap_us: Option<u64>,
+    pub route_ms_p99: f64,
+}
+
+/// The full v2 sweep, plus the worker count it ran with (the serial
+/// comparison is only meaningful with >= 2 workers).
+pub struct SfuSweep {
+    pub points: Vec<ScalingPoint>,
+    pub churn: Vec<ChurnPoint>,
+    pub threads: usize,
 }
 
 fn looking(yaw: f32) -> Pose {
@@ -43,14 +110,50 @@ fn looking(yaw: f32) -> Pose {
     Pose::look_at(eye, eye + dir, Vec3::new(0.0, 1.0, 0.0))
 }
 
-/// Two gaze groups, interleaved over subscriber ids.
-fn yaw_of(id: usize) -> f32 {
-    let jitter = 0.02 * (id / 2) as f32;
-    if id.is_multiple_of(2) {
+/// Two gaze groups, interleaved over subscriber indices.
+fn yaw_of(i: usize) -> f32 {
+    let jitter = 0.02 * ((i / 2) % 4) as f32;
+    if i.is_multiple_of(2) {
         jitter
     } else {
         std::f32::consts::PI + jitter
     }
+}
+
+fn subscriber_cfg(i: usize, n: usize) -> SubscriberConfig {
+    let cfg = SubscriberConfig::new(format!("sub{i}"));
+    if n > NAIVE_CAP && !i.is_multiple_of(STANDIN_SAMPLE) {
+        cfg.without_standin()
+    } else {
+        cfg
+    }
+}
+
+/// Exact percentile over raw per-frame samples.
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx]
+}
+
+/// Virtual-time tick stride: coarser at conference scale, where the
+/// per-tick session work dominates the bench without changing what is
+/// measured (route wall-clock and pass counts).
+fn tick_stride(n: usize) -> Micros {
+    if n >= 100 {
+        5_000
+    } else {
+        1_000
+    }
+}
+
+struct RunStats {
+    passes_per_frame: f64,
+    clusters: usize,
+    route_ms: Vec<f64>,
 }
 
 fn run_one(
@@ -58,43 +161,175 @@ fn run_one(
     frames: &[Vec<RgbdFrame>],
     n: usize,
     sharing: bool,
-) -> (f64, f64, usize) {
-    let cfg = RouterConfig {
-        sharing,
-        ..Default::default()
-    };
-    let mut router = Router::new(cfg, cameras.to_vec());
-    for id in 0..n {
-        router.add_subscriber(
-            SubscriberConfig::new(format!("sub{id}")),
-            BandwidthTrace::constant(40.0, FRAMES as f32 / FPS as f32 + 2.0),
-        );
+    pool: Option<Arc<WorkerPool>>,
+) -> RunStats {
+    let mut b = Router::builder(cameras.to_vec()).sharing(sharing);
+    if let Some(pool) = pool {
+        b = b.worker_pool(pool);
     }
+    let mut router = b.build().expect("valid router config");
+    let ids: Vec<SubscriberId> = (0..n)
+        .map(|i| {
+            router
+                .add_subscriber(
+                    subscriber_cfg(i, n),
+                    BandwidthTrace::constant(40.0, FRAMES as f32 / FPS as f32 + 2.0),
+                )
+                .expect("add subscriber")
+        })
+        .collect();
     let interval: Micros = 1_000_000 / FPS as u64;
+    let stride = tick_stride(n);
     let mut now: Micros = 0;
+    let mut route_ms = Vec::with_capacity(frames.len());
     for views in frames {
-        for id in 0..n {
-            router.observe_pose(id, &looking(yaw_of(id)));
+        for (i, &id) in ids.iter().enumerate() {
+            router.observe_pose(id, &looking(yaw_of(i))).expect("live");
         }
+        let t0 = std::time::Instant::now();
         router.route_frame(now, views);
+        route_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         let frame_end = now + interval;
         while now < frame_end {
             router.tick(now);
-            now += 1_000;
+            now += stride;
         }
     }
     let snap = router.registry().snapshot();
-    let passes = snap.counter("sfu.encode_passes").unwrap_or(0) as f64 / frames.len() as f64;
-    let route_ms = snap
-        .histogram("sfu.route_ms")
-        .map(|h| h.mean)
-        .unwrap_or(0.0);
-    (passes, route_ms, router.cluster_membership().len())
+    RunStats {
+        passes_per_frame: snap.counter("sfu.encode_passes").unwrap_or(0) as f64
+            / frames.len() as f64,
+        clusters: router.cluster_membership().len(),
+        route_ms,
+    }
+}
+
+/// Minimal fixed-increment LCG (MMIX constants) — the churn schedule must
+/// be deterministic across runs and machines.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_f64() * n as f64) as usize % n.max(1)
+    }
+
+    /// Exponential inter-arrival (Poisson process), in frames.
+    fn exp_frames(&mut self, mean_frames: f64) -> u64 {
+        let u = self.next_f64().max(1e-12);
+        (-u.ln() * mean_frames).ceil().max(1.0) as u64
+    }
+}
+
+/// Mean inter-arrival of churn joins and leaves, in frames (~6 events/s
+/// each at 30 fps).
+const CHURN_MEAN_FRAMES: f64 = 5.0;
+
+fn run_churn(cameras: &[RgbdCamera], frames: &[Vec<RgbdFrame>], n: usize) -> ChurnPoint {
+    let mut router = Router::builder(cameras.to_vec())
+        .build()
+        .expect("valid router config");
+    let duration_s = FRAMES as f32 / FPS as f32 + 2.0;
+    let mut subs: Vec<(SubscriberId, usize)> = (0..n)
+        .map(|i| {
+            let id = router
+                .add_subscriber(
+                    subscriber_cfg(i, n),
+                    BandwidthTrace::constant(40.0, duration_s),
+                )
+                .expect("add subscriber");
+            (id, i)
+        })
+        .collect();
+    let mut rng = Lcg(0x9E37_79B9_7F4A_7C15 ^ n as u64);
+    let mut next_join = rng.exp_frames(CHURN_MEAN_FRAMES);
+    let mut next_leave = rng.exp_frames(CHURN_MEAN_FRAMES);
+    let mut next_slot = n;
+
+    let interval: Micros = 1_000_000 / FPS as u64;
+    let stride = tick_stride(n);
+    let mut now: Micros = 0;
+    let mut route_ms = Vec::with_capacity(frames.len());
+    let (mut joins, mut leaves, mut regroups) = (0u64, 0u64, 0u64);
+    let mut min_gap_us = u64::MAX;
+    for (frame_idx, views) in frames.iter().enumerate() {
+        let frame_idx = frame_idx as u64;
+        while frame_idx >= next_join {
+            let slot = next_slot;
+            next_slot += 1;
+            let id = router
+                .add_subscriber(
+                    subscriber_cfg(slot, n),
+                    BandwidthTrace::constant(40.0, duration_s),
+                )
+                .expect("under capacity");
+            subs.push((id, slot));
+            next_join += rng.exp_frames(CHURN_MEAN_FRAMES);
+        }
+        while frame_idx >= next_leave {
+            // Never drain below half the starting population.
+            if subs.len() > n / 2 {
+                let victim = rng.below(subs.len());
+                let (id, _) = subs.swap_remove(victim);
+                router.remove_subscriber(id).expect("still subscribed");
+            }
+            next_leave += rng.exp_frames(CHURN_MEAN_FRAMES);
+        }
+        for &(id, slot) in &subs {
+            router
+                .observe_pose(id, &looking(yaw_of(slot)))
+                .expect("live");
+        }
+        let t0 = std::time::Instant::now();
+        let out = router.route_frame(now, views);
+        route_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        for ev in &out.events {
+            match ev {
+                // Frame 0 drains the N initial adds — not churn.
+                RouterEvent::SubscriberJoined { .. } if frame_idx > 0 => joins += 1,
+                RouterEvent::SubscriberJoined { .. } => {}
+                RouterEvent::SubscriberLeft { .. } => leaves += 1,
+                RouterEvent::Regrouped { .. } => regroups += 1,
+                RouterEvent::StragglerPromoted { .. } => {}
+            }
+        }
+        for cluster in &out.clusters {
+            if let Some(gap) = cluster.shared_intra_gap_us {
+                min_gap_us = min_gap_us.min(gap);
+            }
+        }
+        let frame_end = now + interval;
+        while now < frame_end {
+            router.tick(now);
+            now += stride;
+        }
+    }
+    let shared_intras = router
+        .registry()
+        .snapshot()
+        .counter("sfu.shared_intras")
+        .unwrap_or(0);
+    ChurnPoint {
+        subscribers: n,
+        joins,
+        leaves,
+        regroups,
+        shared_intras,
+        min_intra_gap_us: (min_gap_us != u64::MAX).then_some(min_gap_us),
+        route_ms_p99: percentile(&mut route_ms, 0.99),
+    }
 }
 
 /// Run the sweep. The rendered capture is shared across all runs — the
 /// benchmark measures routing, not rendering.
-pub fn run_scaling(profile: &EvalProfile) -> Vec<ScalingPoint> {
+pub fn run_scaling(profile: &EvalProfile, quick: bool) -> SfuSweep {
     let cameras = rig::camera_ring(
         profile.n_cameras,
         2.5,
@@ -111,58 +346,148 @@ pub fn run_scaling(profile: &EvalProfile) -> Vec<ScalingPoint> {
         })
         .collect();
 
-    SUBSCRIBER_COUNTS
+    let counts: &[usize] = if quick {
+        &QUICK_COUNTS
+    } else {
+        &SUBSCRIBER_COUNTS
+    };
+    let points = counts
         .iter()
         .map(|&n| {
-            let (shared_ppf, shared_ms, clusters) = run_one(&cameras, &frames, n, true);
-            let (naive_ppf, naive_ms, _) = run_one(&cameras, &frames, n, false);
+            let mut shared = run_one(&cameras, &frames, n, true, None);
+            let naive = (n <= NAIVE_CAP).then(|| run_one(&cameras, &frames, n, false, None));
+            let serial = (n == SERIAL_BASELINE_N).then(|| {
+                run_one(
+                    &cameras,
+                    &frames,
+                    n,
+                    true,
+                    Some(Arc::new(WorkerPool::new(1))),
+                )
+            });
             ScalingPoint {
                 subscribers: n,
-                clusters,
-                shared_passes_per_frame: shared_ppf,
-                naive_passes_per_frame: naive_ppf,
-                shared_route_ms: shared_ms,
-                naive_route_ms: naive_ms,
+                clusters: shared.clusters,
+                shared_passes_per_frame: shared.passes_per_frame,
+                naive_passes_per_frame: naive.as_ref().map(|r| r.passes_per_frame),
+                shared_route_ms_p50: percentile(&mut shared.route_ms, 0.5),
+                shared_route_ms_p99: percentile(&mut shared.route_ms, 0.99),
+                naive_route_ms_p50: naive.map(|mut r| percentile(&mut r.route_ms, 0.5)),
+                serial_route_ms_p50: serial.map(|mut r| percentile(&mut r.route_ms, 0.5)),
             }
         })
-        .collect()
+        .collect();
+    let churn = counts
+        .iter()
+        .map(|&n| run_churn(&cameras, &frames, n))
+        .collect();
+    SfuSweep {
+        points,
+        churn,
+        threads: pool.threads(),
+    }
+}
+
+/// `--gate`: the structural claims every run must hold.
+///
+/// - Shared passes per frame track the cluster count, not N (the whole
+///   point of encode sharing).
+/// - Clustering actually shares: above the naive cap there are far fewer
+///   clusters than subscribers.
+/// - At [`SERIAL_BASELINE_N`] the sharded route is no slower than the
+///   1-thread baseline (only checked with >= 2 workers).
+/// - Churn runs complete (they panic otherwise) with shared intras no
+///   closer than one RTT apart.
+pub fn gate_ok(sweep: &SfuSweep) -> bool {
+    for p in &sweep.points {
+        if p.clusters == 0 || p.shared_passes_per_frame > p.clusters as f64 + 0.5 {
+            return false;
+        }
+        if p.subscribers > NAIVE_CAP && p.clusters * 4 > p.subscribers {
+            return false;
+        }
+        if let (Some(serial), true) = (p.serial_route_ms_p50, sweep.threads >= 2) {
+            if p.shared_route_ms_p50 > serial * SERIAL_TOLERANCE {
+                return false;
+            }
+        }
+    }
+    sweep
+        .churn
+        .iter()
+        .all(|c| c.min_intra_gap_us.is_none_or(|gap| gap >= MIN_INTRA_GAP_US))
 }
 
 /// Human-readable table of the sweep.
-pub fn text(points: &[ScalingPoint]) -> String {
+pub fn text(sweep: &SfuSweep) -> String {
     let mut s = String::from(
         "SFU scaling: encode passes per frame, shared (frustum clusters) vs naive\n\n",
     );
     s.push_str(&format!(
-        "{:>11} | {:>8} | {:>12} | {:>11} | {:>9} | {:>8}\n",
-        "subscribers", "clusters", "shared p/f", "naive p/f", "shared ms", "naive ms"
+        "{:>11} | {:>8} | {:>12} | {:>11} | {:>9} | {:>9} | {:>9} | {:>9}\n",
+        "subscribers",
+        "clusters",
+        "shared p/f",
+        "naive p/f",
+        "p50 ms",
+        "p99 ms",
+        "naive p50",
+        "serial p50"
     ));
     s.push_str(&format!(
-        "{:->11}-+-{:->8}-+-{:->12}-+-{:->11}-+-{:->9}-+-{:->8}\n",
-        "", "", "", "", "", ""
+        "{:->11}-+-{:->8}-+-{:->12}-+-{:->11}-+-{:->9}-+-{:->9}-+-{:->9}-+-{:->9}\n",
+        "", "", "", "", "", "", "", ""
     ));
-    for p in points {
+    let opt = |v: Option<f64>| v.map_or("-".into(), |v| format!("{v:.2}"));
+    for p in &sweep.points {
         s.push_str(&format!(
-            "{:>11} | {:>8} | {:>12.2} | {:>11.2} | {:>9.2} | {:>8.2}\n",
+            "{:>11} | {:>8} | {:>12.2} | {:>11} | {:>9.2} | {:>9.2} | {:>9} | {:>9}\n",
             p.subscribers,
             p.clusters,
             p.shared_passes_per_frame,
-            p.naive_passes_per_frame,
-            p.shared_route_ms,
-            p.naive_route_ms
+            opt(p.naive_passes_per_frame),
+            p.shared_route_ms_p50,
+            p.shared_route_ms_p99,
+            opt(p.naive_route_ms_p50),
+            opt(p.serial_route_ms_p50),
+        ));
+    }
+    s.push_str(&format!(
+        "\nPoisson churn (~{:.0} joins + leaves/s each):\n\n",
+        FPS as f64 / CHURN_MEAN_FRAMES
+    ));
+    s.push_str(&format!(
+        "{:>11} | {:>5} | {:>6} | {:>8} | {:>6} | {:>11} | {:>9}\n",
+        "subscribers", "joins", "leaves", "regroups", "intras", "min gap ms", "p99 ms"
+    ));
+    s.push_str(&format!(
+        "{:->11}-+-{:->5}-+-{:->6}-+-{:->8}-+-{:->6}-+-{:->11}-+-{:->9}\n",
+        "", "", "", "", "", "", ""
+    ));
+    for c in &sweep.churn {
+        s.push_str(&format!(
+            "{:>11} | {:>5} | {:>6} | {:>8} | {:>6} | {:>11} | {:>9.2}\n",
+            c.subscribers,
+            c.joins,
+            c.leaves,
+            c.regroups,
+            c.shared_intras,
+            c.min_intra_gap_us
+                .map_or("-".into(), |g| format!("{:.1}", g as f64 / 1e3)),
+            c.route_ms_p99,
         ));
     }
     s.push_str(
-        "\nShared passes track the two gaze groups, not the subscriber count;\nnaive passes grow linearly with N.\n",
+        "\nShared passes track the gaze groups, not the subscriber count; churn\nintras stay at least one RTT apart per cluster.\n",
     );
     s
 }
 
-/// The snapshot written to `BENCH_sfu.json`, schema `livo-bench-sfu-v1`.
-pub fn json(points: &[ScalingPoint], profile: &EvalProfile) -> String {
+/// The snapshot written to `BENCH_sfu.json`, schema `livo-bench-sfu-v2`.
+pub fn json(sweep: &SfuSweep, profile: &EvalProfile) -> String {
     let mut out = String::new();
     let mut o = ObjectWriter::new(&mut out);
-    o.field_str("schema", "livo-bench-sfu-v1");
+    o.field_str("schema", "livo-bench-sfu-v2");
     {
         let cfg = o.field_raw("config");
         let mut c = ObjectWriter::new(cfg);
@@ -172,12 +497,13 @@ pub fn json(points: &[ScalingPoint], profile: &EvalProfile) -> String {
         c.field_u64("frames", FRAMES);
         c.field_u64("fps", FPS as u64);
         c.field_str("gaze_groups", "two, interleaved");
+        c.field_u64("threads", sweep.threads as u64);
         c.finish();
     }
     {
         let arr = o.field_raw("points");
         arr.push('[');
-        for (i, p) in points.iter().enumerate() {
+        for (i, p) in sweep.points.iter().enumerate() {
             if i > 0 {
                 arr.push(',');
             }
@@ -185,9 +511,38 @@ pub fn json(points: &[ScalingPoint], profile: &EvalProfile) -> String {
             w.field_u64("subscribers", p.subscribers as u64);
             w.field_u64("clusters", p.clusters as u64);
             w.field_f64("shared_passes_per_frame", p.shared_passes_per_frame);
-            w.field_f64("naive_passes_per_frame", p.naive_passes_per_frame);
-            w.field_f64("shared_route_ms", p.shared_route_ms);
-            w.field_f64("naive_route_ms", p.naive_route_ms);
+            if let Some(v) = p.naive_passes_per_frame {
+                w.field_f64("naive_passes_per_frame", v);
+            }
+            w.field_f64("shared_route_ms_p50", p.shared_route_ms_p50);
+            w.field_f64("shared_route_ms_p99", p.shared_route_ms_p99);
+            if let Some(v) = p.naive_route_ms_p50 {
+                w.field_f64("naive_route_ms_p50", v);
+            }
+            if let Some(v) = p.serial_route_ms_p50 {
+                w.field_f64("serial_route_ms_p50", v);
+            }
+            w.finish();
+        }
+        arr.push(']');
+    }
+    {
+        let arr = o.field_raw("churn");
+        arr.push('[');
+        for (i, c) in sweep.churn.iter().enumerate() {
+            if i > 0 {
+                arr.push(',');
+            }
+            let mut w = ObjectWriter::new(arr);
+            w.field_u64("subscribers", c.subscribers as u64);
+            w.field_u64("joins", c.joins);
+            w.field_u64("leaves", c.leaves);
+            w.field_u64("regroups", c.regroups);
+            w.field_u64("shared_intras", c.shared_intras);
+            if let Some(gap) = c.min_intra_gap_us {
+                w.field_u64("min_intra_gap_us", gap);
+            }
+            w.field_f64("route_ms_p99", c.route_ms_p99);
             w.finish();
         }
         arr.push(']');

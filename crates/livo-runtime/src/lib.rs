@@ -305,6 +305,45 @@ impl WorkerPool {
             }
         });
     }
+
+    /// Split `items` into up to `2 × threads` contiguous shards and run
+    /// `f` on each shard in parallel, returning once all shards finished.
+    /// The shard-parallel counterpart of [`WorkerPool::for_each_index`]
+    /// for loops that *mutate* their items: each shard owns its slice
+    /// exclusively (`split_at_mut`), so per-item work needs no locking
+    /// and runs exactly once regardless of the pool size — with one
+    /// thread (or one item) this degenerates to `f(items)` inline.
+    ///
+    /// Shard sizes differ by at most one element and depend only on
+    /// `items.len()` and the thread count, keeping the partition
+    /// deterministic for a given pool.
+    pub fn for_each_chunk_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(&mut [T]) + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return;
+        }
+        if self.threads() == 1 || n == 1 {
+            f(items);
+            return;
+        }
+        let shards = (self.threads() * 2).min(n);
+        let base = n / shards;
+        let rem = n % shards;
+        self.scope(|s| {
+            let fref = &f;
+            let mut rest = items;
+            for i in 0..shards {
+                let take = base + usize::from(i < rem);
+                let (chunk, tail) = rest.split_at_mut(take);
+                rest = tail;
+                s.spawn(move || fref(chunk));
+            }
+        });
+    }
 }
 
 impl Drop for WorkerPool {
@@ -609,5 +648,27 @@ mod tests {
             41 + 1
         });
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_touches_every_item_once() {
+        // Every item incremented exactly once, for pool sizes spanning
+        // the serial fallback, len < shards, and len > shards; chunks are
+        // contiguous so the shard partition never splits an increment.
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            for len in [0usize, 1, 3, 7, 64] {
+                let mut items: Vec<u32> = vec![0; len];
+                pool.for_each_chunk_mut(&mut items, |chunk| {
+                    for it in chunk.iter_mut() {
+                        *it += 1;
+                    }
+                });
+                assert!(
+                    items.iter().all(|&v| v == 1),
+                    "threads={threads} len={len}: {items:?}"
+                );
+            }
+        }
     }
 }

@@ -19,18 +19,29 @@
 //! - [`router`]: the SFU proper. One **union cull + tile + encode pass per
 //!   cluster** (not per subscriber), encoded at the *fastest* member's
 //!   estimated rate; stragglers optionally receive a re-quantised
-//!   lower-rate variant. PLIs from any member fan in to a single shared
-//!   intra for the whole cluster; NACK recovery stays per-downlink inside
-//!   each session. Cluster passes run in parallel on a
-//!   [`livo_runtime::WorkerPool`].
+//!   lower-rate variant from a cached per-cluster chain. PLIs from any
+//!   member fan in to a per-chain intra guard (at most one shared intra
+//!   per RTT); NACK recovery stays per-downlink inside each session. The
+//!   hot path is sharded on a [`livo_runtime::WorkerPool`]: cluster
+//!   passes run in parallel, and the per-subscriber packetise/send
+//!   fan-out runs on contiguous subscriber shards.
+//!
+//! Routers are built with the validating [`Router::builder`]; lifecycle
+//! calls return typed [`SubscriberId`] handles and [`RouterError`]s, and
+//! membership churn (join/leave/regroup/straggler promotion) surfaces as
+//! [`RouterEvent`]s on every [`RouteSummary`].
 //!
 //! Everything runs in virtual time ([`livo_transport::Micros`]) and is
-//! deterministic for a given configuration.
+//! deterministic for a given configuration; with `LIVO_THREADS=1` the
+//! forwarded streams are bit-exact with any other pool size.
 
 pub mod cluster;
 pub mod router;
 pub mod subscriber;
 
 pub use cluster::{cluster_views, mutual_coverage, ClusterParams, ViewVolume};
-pub use router::{subscriber_party, ClusterOutput, RouteSummary, Router, RouterConfig};
+pub use router::{
+    subscriber_party, ClusterOutput, RouteSummary, Router, RouterBuilder, RouterConfig,
+    RouterError, RouterEvent, SubscriberId,
+};
 pub use subscriber::{Subscriber, SubscriberConfig, SubscriberStats};

@@ -4,17 +4,52 @@
 //! frustum, (2) groups subscribers into clusters by mutual frustum
 //! coverage, (3) runs **one union-cull + tile + encode pass per cluster**
 //! in parallel on the worker pool, with the encode rate capped at the
-//! fastest member's GCC estimate, and (4) forwards the cluster bitstream
-//! down every member's own [`RtcSession`]. Members whose estimate falls
-//! far behind the cluster leader can receive a re-quantised lower-rate
-//! variant (an own P chain encoded from the same canvases) instead of
-//! being dragged down — or dragging the cluster down.
+//! fastest member's GCC estimate, and (4) fans the cluster bitstreams out
+//! to every member's own [`RtcSession`], the fan-out itself sharded
+//! across the pool. Members whose estimate falls far behind the cluster
+//! leader receive a re-quantised lower-rate variant (an own cached P
+//! chain encoded from the same canvases) instead of being dragged down —
+//! or dragging the cluster down.
+//!
+//! ## Sharded hot path
+//!
+//! `route_frame` has no global serial section around the heavy work:
+//!
+//! 1. **Plan** (serial, cheap): recluster if membership changed, derive
+//!    per-cluster work orders from member estimates, and resolve intra
+//!    requests against the per-chain cooldown.
+//! 2. **Encode** (parallel): one task per cluster runs union-cull,
+//!    tiling and both encoders. Clusters are independent, so this scales
+//!    with the gaze-group count.
+//! 3. **Fan-out** (parallel): subscribers are partitioned into
+//!    contiguous shards ([`WorkerPool::for_each_chunk_mut`]); each shard
+//!    packetises and sends on its members' own sessions. The cluster
+//!    payloads are shared [`Bytes`], so a 500-way fan-out refcounts one
+//!    buffer instead of copying it 500 times.
+//!
+//! With `LIVO_THREADS=1` all three phases run inline and the forwarded
+//! streams are bit-exact with any other pool size: each member's state is
+//! only ever touched by the one task that owns its shard.
+//!
+//! ## Churn without intra storms
+//!
+//! Subscribers join, leave and regroup mid-call. Each cluster keeps two
+//! independent P chains (shared + low variant), each guarded by a
+//! [`ChainState`]: an intra *request* arms the chain, and the chain fires
+//! at most one intra per cooldown window (the cluster's max member RTT ×
+//! [`RouterConfig::intra_cooldown_rtts`]). A joiner arms only its target
+//! cluster's chain; a leaver is patched out of its cluster in place —
+//! siblings keep their P chain and never see an intra; a regroup migrates
+//! the subscriber and arms only the *destination* chain. Straggler
+//! assignment flips are deferred until the destination chain actually
+//! fires, so no member ever receives a P frame against a reference it
+//! does not hold.
 //!
 //! Keyframe control fans in: a PLI from *any* member (or a decode
-//! failure / P-chain break in the receiver stand-in) schedules a single
-//! shared intra for that member's cluster, not one per subscriber. NACK
-//! retransmissions never reach the router at all — they are handled
-//! per-downlink inside each member's session.
+//! failure / P-chain break in the receiver stand-in) arms that member's
+//! chain, not one encoder per subscriber. NACK retransmissions never
+//! reach the router at all — they are handled per-downlink inside each
+//! member's session.
 
 use crate::cluster::{cluster_views, ClusterParams, ViewVolume};
 use crate::subscriber::{Subscriber, SubscriberConfig};
@@ -27,10 +62,95 @@ use livo_core::pipeline::EncodedPair;
 use livo_core::tile::{compose_color, compose_depth, TileLayout};
 use livo_math::{Frustum, Pose, RgbdCamera};
 use livo_runtime::WorkerPool;
-use livo_telemetry::trace::{intern, kind, EventTrace};
+use livo_telemetry::trace::{intern, kind, EventTrace, NO_FRAME};
 use livo_telemetry::{stage, Counter, Gauge, Histogram, MetricsRegistry, TelemetrySpan};
 use livo_transport::{Micros, StreamId};
+use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
+
+/// Opaque subscriber handle issued by [`Router::add_subscriber`].
+///
+/// Ids are monotonic and never reused, so a handle held across a
+/// [`Router::remove_subscriber`] goes stale instead of silently aliasing
+/// the next joiner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriberId(u64);
+
+impl SubscriberId {
+    /// Reconstruct an id from its raw value (trace args, serialised
+    /// reports). Prefer holding the handle from `add_subscriber`.
+    pub const fn from_raw(raw: u64) -> Self {
+        SubscriberId(raw)
+    }
+
+    /// The raw value, for trace args and serialised reports.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SubscriberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+/// Errors from the router's lifecycle API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouterError {
+    /// A builder parameter failed validation.
+    InvalidConfig {
+        field: &'static str,
+        message: String,
+    },
+    /// The id does not name a live subscriber (never issued, or removed).
+    UnknownSubscriber(SubscriberId),
+    /// A live subscriber already uses this display name (names feed the
+    /// `sfu.sub.<name>.*` metric namespace, which must stay unambiguous).
+    DuplicateSubscriber(String),
+    /// The router is at [`RouterConfig::max_subscribers`].
+    AtCapacity { max: usize },
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::InvalidConfig { field, message } => {
+                write!(f, "invalid router config: {field}: {message}")
+            }
+            RouterError::UnknownSubscriber(id) => write!(f, "unknown subscriber {id}"),
+            RouterError::DuplicateSubscriber(name) => {
+                write!(f, "subscriber name {name:?} already in use")
+            }
+            RouterError::AtCapacity { max } => {
+                write!(f, "router is at capacity ({max} subscribers)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// Membership changes observed by the router, in occurrence order.
+/// Drained into [`RouteSummary::events`] by the next `route_frame`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterEvent {
+    /// `add_subscriber` accepted a new downlink.
+    SubscriberJoined { id: SubscriberId },
+    /// `remove_subscriber` tore a downlink down.
+    SubscriberLeft { id: SubscriberId },
+    /// A recluster migrated the subscriber between clusters.
+    Regrouped {
+        id: SubscriberId,
+        /// Cluster keys (stable across reclusters, unlike indices).
+        from: u64,
+        to: u64,
+    },
+    /// A straggler's estimate recovered and it rejoined the shared chain
+    /// (applied at the shared chain's next intra).
+    StragglerPromoted { id: SubscriberId, cluster: u64 },
+}
 
 /// Configuration of the SFU router.
 #[derive(Debug, Clone)]
@@ -54,6 +174,14 @@ pub struct RouterConfig {
     /// Re-run clustering every this many frames (membership changes and
     /// PLIs take effect immediately regardless).
     pub recluster_every: u32,
+    /// Hard cap on live subscribers; `add_subscriber` returns
+    /// [`RouterError::AtCapacity`] beyond it.
+    pub max_subscribers: usize,
+    /// Shared-intra cooldown per cluster chain, in units of the
+    /// cluster's largest member RTT. `1.0` = at most one shared intra
+    /// per RTT (the keyframe-storm guard); `0.0` fires armed intras
+    /// immediately.
+    pub intra_cooldown_rtts: f64,
 }
 
 impl Default for RouterConfig {
@@ -65,7 +193,155 @@ impl Default for RouterConfig {
             straggler_fraction: 0.0,
             budget_fraction: 0.80,
             recluster_every: 15,
+            max_subscribers: 4096,
+            intra_cooldown_rtts: 1.0,
         }
+    }
+}
+
+/// Validating constructor for [`Router`], mirroring
+/// `ConferenceConfig::builder`. Start from [`Router::builder`].
+pub struct RouterBuilder {
+    cfg: RouterConfig,
+    cameras: Vec<RgbdCamera>,
+    trace: Option<Arc<EventTrace>>,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl RouterBuilder {
+    /// Capture/forward rate in frames per second.
+    pub fn fps(mut self, fps: u32) -> Self {
+        self.cfg.fps = fps;
+        self
+    }
+
+    /// Frustum clustering knobs.
+    pub fn cluster(mut self, params: ClusterParams) -> Self {
+        self.cfg.cluster = params;
+        self
+    }
+
+    /// Encode sharing on/off (`false` = naive per-subscriber fan-out).
+    pub fn sharing(mut self, sharing: bool) -> Self {
+        self.cfg.sharing = sharing;
+        self
+    }
+
+    /// Straggler threshold as a fraction of the cluster leader estimate.
+    pub fn straggler_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.straggler_fraction = fraction;
+        self
+    }
+
+    /// Fraction of a member's bandwidth estimate budgeted to media.
+    pub fn budget_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.budget_fraction = fraction;
+        self
+    }
+
+    /// Recluster period in frames.
+    pub fn recluster_every(mut self, frames: u32) -> Self {
+        self.cfg.recluster_every = frames;
+        self
+    }
+
+    /// Hard cap on live subscribers.
+    pub fn max_subscribers(mut self, max: usize) -> Self {
+        self.cfg.max_subscribers = max;
+        self
+    }
+
+    /// Shared-intra cooldown in RTTs (see [`RouterConfig`]).
+    pub fn intra_cooldown_rtts(mut self, rtts: f64) -> Self {
+        self.cfg.intra_cooldown_rtts = rtts;
+        self
+    }
+
+    /// Attach a causal event trace. The SFU records as party 1; every
+    /// downlink session and decode stand-in records as party
+    /// [`subscriber_party`] — including subscribers added later.
+    pub fn trace(mut self, trace: Arc<EventTrace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Worker pool for the sharded passes (defaults to the process-global
+    /// pool).
+    pub fn worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Validate and build the router.
+    pub fn build(self) -> Result<Router, RouterError> {
+        let err = |field: &'static str, message: String| {
+            Err(RouterError::InvalidConfig { field, message })
+        };
+        if self.cameras.is_empty() {
+            return err("cameras", "SFU needs a capture rig".into());
+        }
+        let cfg = &self.cfg;
+        if cfg.fps == 0 {
+            return err("fps", "must be >= 1".into());
+        }
+        if !(cfg.budget_fraction > 0.0 && cfg.budget_fraction <= 1.0) {
+            return err(
+                "budget_fraction",
+                format!("{} outside (0, 1]", cfg.budget_fraction),
+            );
+        }
+        if !(cfg.straggler_fraction >= 0.0 && cfg.straggler_fraction < 1.0) {
+            return err(
+                "straggler_fraction",
+                format!("{} outside [0, 1)", cfg.straggler_fraction),
+            );
+        }
+        if cfg.recluster_every == 0 {
+            return err("recluster_every", "must be >= 1".into());
+        }
+        if cfg.max_subscribers == 0 {
+            return err("max_subscribers", "must be >= 1".into());
+        }
+        if !(cfg.intra_cooldown_rtts >= 0.0 && cfg.intra_cooldown_rtts.is_finite()) {
+            return err(
+                "intra_cooldown_rtts",
+                format!(
+                    "{} is not a finite non-negative count",
+                    cfg.intra_cooldown_rtts
+                ),
+            );
+        }
+        if !(0.0..=1.0).contains(&cfg.cluster.overlap_threshold) {
+            return err(
+                "cluster.overlap_threshold",
+                format!("{} outside [0, 1]", cfg.cluster.overlap_threshold),
+            );
+        }
+        if cfg.cluster.samples_per_axis == 0 {
+            return err("cluster.samples_per_axis", "must be >= 1".into());
+        }
+
+        let k = self.cameras[0].intrinsics;
+        let layout = TileLayout::new(k.width as usize, k.height as usize, self.cameras.len());
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = RouterMetrics::new(&registry);
+        Ok(Router {
+            cfg: self.cfg,
+            cameras: self.cameras,
+            layout,
+            depth_codec: DepthCodec::new(6000, DepthEncoding::ScaledY16),
+            pool: self.pool.unwrap_or_else(|| livo_runtime::global().clone()),
+            registry,
+            metrics,
+            subscribers: BTreeMap::new(),
+            clusters: Vec::new(),
+            next_id: 0,
+            next_cluster_key: 0,
+            frame_idx: 0,
+            membership_dirty: false,
+            pending_events: Vec::new(),
+            trace: self.trace,
+        })
     }
 }
 
@@ -73,14 +349,19 @@ impl Default for RouterConfig {
 /// runner's floor).
 const MIN_FRAME_BITS: u64 = 2_000;
 
+/// Subscriber count at or above which `tick` shards the session drain
+/// across the pool (below it the spawn overhead outweighs the work).
+const PARALLEL_TICK_MIN: usize = 32;
+
 /// What one cluster produced for one frame.
 pub struct ClusterOutput {
-    /// Stable cluster identity: the lowest member id.
-    pub key: usize,
+    /// Stable cluster identity, assigned at cluster creation and kept
+    /// across reclusters that preserve any member overlap.
+    pub key: u64,
     /// Member subscriber ids, seed first.
-    pub members: Vec<usize>,
+    pub members: Vec<SubscriberId>,
     /// Members that were forwarded the low-rate variant this frame.
-    pub low_members: Vec<usize>,
+    pub low_members: Vec<SubscriberId>,
     /// The shared encodes.
     pub color: EncodedFrame,
     pub depth: EncodedFrame,
@@ -94,6 +375,11 @@ pub struct ClusterOutput {
     /// members' RMSE-balancing splitters.
     pub rmse_color: f64,
     pub rmse_depth_mm: f64,
+    /// When this frame's shared encode is an intra that had a
+    /// predecessor on the same chain: the virtual-time gap since that
+    /// predecessor, µs. The storm-guard tests assert it never drops
+    /// below the cooldown.
+    pub shared_intra_gap_us: Option<u64>,
 }
 
 /// Result of routing one frame.
@@ -105,29 +391,85 @@ pub struct RouteSummary {
     /// Additional re-quantised straggler passes this frame.
     pub low_variant_passes: u64,
     pub clusters: Vec<ClusterOutput>,
+    /// Membership changes since the previous `route_frame`, in
+    /// occurrence order.
+    pub events: Vec<RouterEvent>,
+}
+
+/// Intra scheduling state of one encoder chain (shared or low variant).
+///
+/// A chain is *armed* by any intra request — new member, PLI fan-in,
+/// decode failure, pending straggler flip — and *fires* at most once per
+/// cooldown window. An armed chain that cannot fire stays armed, so the
+/// deferred intra lands right after the window instead of being lost.
+#[derive(Debug, Clone, Copy)]
+struct ChainState {
+    armed: bool,
+    /// Virtual time of the chain's previous fired intra.
+    last_intra: Option<Micros>,
+}
+
+impl ChainState {
+    /// A brand-new chain: armed, so the first encode is an intra.
+    fn fresh() -> Self {
+        ChainState {
+            armed: true,
+            last_intra: None,
+        }
+    }
+
+    fn arm(&mut self) {
+        self.armed = true;
+    }
+
+    fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Fire if armed and outside the cooldown. `Some(gap)` means this
+    /// encode must be an intra; the inner value is the µs gap to the
+    /// chain's previous intra (None for the chain's first).
+    fn try_fire(&mut self, now: Micros, cooldown_us: u64) -> Option<Option<u64>> {
+        if !self.armed {
+            return None;
+        }
+        if let Some(last) = self.last_intra {
+            if now.saturating_sub(last) < cooldown_us {
+                return None;
+            }
+        }
+        self.armed = false;
+        let gap = self.last_intra.map(|last| now.saturating_sub(last));
+        self.last_intra = Some(now);
+        Some(gap)
+    }
 }
 
 /// Per-cluster encoder state. Encoders are stateful (open GOP, P chains),
 /// so they live with the cluster across frames; the cluster's identity is
-/// its lowest member id, which keeps a cluster's P chain alive across
-/// recluster calls that do not change its seed.
+/// a creation-ordered key, and reclustering reuses the state (and the P
+/// chains) of the old cluster with the largest member overlap — so losing
+/// the lowest-id member no longer resets the survivors' chain.
 struct ClusterState {
-    key: usize,
-    members: Vec<usize>,
+    key: u64,
+    members: Vec<SubscriberId>,
     color_enc: Encoder,
     depth_enc: Encoder,
-    /// Lazily created straggler-variant encoders (own P chains).
+    /// Cached straggler-variant encoders (own P chains). Created on the
+    /// first straggler and kept across straggler departures, so a later
+    /// straggler reuses the cached chain instead of forcing a fresh
+    /// encoder pair.
     low_enc: Option<(Encoder, Encoder)>,
-    /// Low-variant assignment of `members` last frame; a flip forces a
-    /// shared intra so both P chains restart from a clean reference.
+    /// Low-variant assignment of `members` as currently *forwarded*.
+    /// Desired flips are deferred until the destination chain fires an
+    /// intra, so no member decodes a P frame against a missing reference.
     low_assign: Vec<bool>,
-    /// Next encode must be an intra (new cluster, membership change,
-    /// variant flip, or PLI fan-in).
-    needs_key: bool,
+    shared_chain: ChainState,
+    low_chain: ChainState,
 }
 
 impl ClusterState {
-    fn new(key: usize, members: Vec<usize>, layout: &TileLayout) -> Self {
+    fn new(key: u64, members: Vec<SubscriberId>, layout: &TileLayout) -> Self {
         let n = members.len();
         ClusterState {
             key,
@@ -136,7 +478,8 @@ impl ClusterState {
             depth_enc: Encoder::new(Self::enc_cfg(layout, PixelFormat::Y16)),
             low_enc: None,
             low_assign: vec![false; n],
-            needs_key: true,
+            shared_chain: ChainState::fresh(),
+            low_chain: ChainState::fresh(),
         }
     }
 
@@ -166,10 +509,15 @@ struct ClusterJob {
     color_bits: u64,
     depth_bits: u64,
     target_bps: f64,
-    /// Aligned with the cluster's members: who gets the low variant.
+    /// Aligned with the cluster's members: who gets the low variant
+    /// this frame (flips already resolved against the chain guards).
     low_assign: Vec<bool>,
+    run_low: bool,
     low_color_bits: u64,
     low_depth_bits: u64,
+    force_shared_key: bool,
+    force_low_key: bool,
+    shared_intra_gap_us: Option<u64>,
 }
 
 /// Metric handles resolved once at construction so the per-frame path
@@ -178,11 +526,18 @@ struct RouterMetrics {
     encode_passes: Arc<Counter>,
     low_variant_passes: Arc<Counter>,
     shared_intras: Arc<Counter>,
+    deferred_intras: Arc<Counter>,
     pli_fanin: Arc<Counter>,
     broadcast_frames: Arc<Counter>,
     reclusters: Arc<Counter>,
+    joins: Arc<Counter>,
+    leaves: Arc<Counter>,
+    regroups: Arc<Counter>,
+    straggler_promotions: Arc<Counter>,
+    low_chain_reuses: Arc<Counter>,
     clusters_gauge: Arc<Gauge>,
     route_ms: Arc<Histogram>,
+    encode_ms: Arc<Histogram>,
     keep_fraction: Arc<Histogram>,
 }
 
@@ -192,14 +547,33 @@ impl RouterMetrics {
             encode_passes: reg.counter("sfu.encode_passes"),
             low_variant_passes: reg.counter("sfu.low_variant_passes"),
             shared_intras: reg.counter("sfu.shared_intras"),
+            deferred_intras: reg.counter("sfu.deferred_intras"),
             pli_fanin: reg.counter("sfu.pli_fanin"),
             broadcast_frames: reg.counter("sfu.broadcast_frames"),
             reclusters: reg.counter("sfu.reclusters"),
+            joins: reg.counter("sfu.joins"),
+            leaves: reg.counter("sfu.leaves"),
+            regroups: reg.counter("sfu.regroups"),
+            straggler_promotions: reg.counter("sfu.straggler_promotions"),
+            low_chain_reuses: reg.counter("sfu.low_chain_reuses"),
             clusters_gauge: reg.gauge("sfu.clusters"),
             route_ms: reg.histogram("sfu.route_ms"),
+            encode_ms: reg.histogram("sfu.encode_ms"),
             keep_fraction: reg.histogram("sfu.keep_fraction"),
         }
     }
+}
+
+/// Per-cluster send-ready payloads for the fan-out shards: the encoded
+/// bitstreams as shared [`Bytes`] (refcounted per member, not copied).
+struct FanPayload {
+    color: Bytes,
+    color_key: bool,
+    depth: Bytes,
+    depth_key: bool,
+    low: Option<(Bytes, bool, Bytes, bool)>,
+    rmse_color: f64,
+    rmse_depth_mm: f64,
 }
 
 /// The selective forwarding unit.
@@ -211,58 +585,65 @@ pub struct Router {
     pool: Arc<WorkerPool>,
     registry: Arc<MetricsRegistry>,
     metrics: RouterMetrics,
-    subscribers: Vec<Subscriber>,
+    subscribers: BTreeMap<SubscriberId, Subscriber>,
     clusters: Vec<ClusterState>,
+    next_id: u64,
+    next_cluster_key: u64,
     frame_idx: u64,
     membership_dirty: bool,
+    pending_events: Vec<RouterEvent>,
     trace: Option<Arc<EventTrace>>,
 }
 
 /// Trace/metric party ids in an SFU topology: 0 is the capture source,
-/// 1 the SFU itself, `2 + subscriber_id` each subscriber.
-pub fn subscriber_party(id: usize) -> u16 {
-    2 + id as u16
+/// 1 the SFU itself, `2 + raw id` each subscriber.
+pub fn subscriber_party(id: SubscriberId) -> u16 {
+    2 + id.raw() as u16
 }
 
 impl Router {
-    /// Build a router for the given capture rig. The tile layout (and
-    /// therefore every cluster encoder's canvas) is fixed by the rig.
-    pub fn new(cfg: RouterConfig, cameras: Vec<RgbdCamera>) -> Self {
-        assert!(!cameras.is_empty(), "SFU needs a capture rig");
-        let k = cameras[0].intrinsics;
-        let layout = TileLayout::new(k.width as usize, k.height as usize, cameras.len());
-        let registry = Arc::new(MetricsRegistry::new());
-        let metrics = RouterMetrics::new(&registry);
-        Router {
-            cfg,
+    /// Start a validating [`RouterBuilder`] for the given capture rig.
+    /// The tile layout (and therefore every cluster encoder's canvas) is
+    /// fixed by the rig.
+    pub fn builder(cameras: Vec<RgbdCamera>) -> RouterBuilder {
+        RouterBuilder {
+            cfg: RouterConfig::default(),
             cameras,
-            layout,
-            depth_codec: DepthCodec::new(6000, DepthEncoding::ScaledY16),
-            pool: livo_runtime::global().clone(),
-            registry,
-            metrics,
-            subscribers: Vec::new(),
-            clusters: Vec::new(),
-            frame_idx: 0,
-            membership_dirty: false,
             trace: None,
+            pool: None,
         }
     }
 
-    /// Attach a causal event trace. The SFU records as party 1; every
-    /// downlink session and decode stand-in records as party
-    /// [`subscriber_party`]`(id)` — including subscribers added later.
+    /// Build a router for the given capture rig.
+    #[deprecated(note = "use Router::builder(cameras) and handle the Result")]
+    pub fn new(cfg: RouterConfig, cameras: Vec<RgbdCamera>) -> Self {
+        RouterBuilder {
+            cfg,
+            cameras,
+            trace: None,
+            pool: None,
+        }
+        .build()
+        .expect("valid router config")
+    }
+
+    /// Attach a causal event trace after construction.
+    #[deprecated(note = "use RouterBuilder::trace")]
     pub fn attach_trace(&mut self, trace: Arc<EventTrace>) {
-        for (id, sub) in self.subscribers.iter_mut().enumerate() {
+        self.install_trace(trace);
+    }
+
+    /// Replace the worker pool after construction.
+    #[deprecated(note = "use RouterBuilder::worker_pool")]
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = pool;
+    }
+
+    fn install_trace(&mut self, trace: Arc<EventTrace>) {
+        for (&id, sub) in self.subscribers.iter_mut() {
             sub.attach_trace(trace.clone(), subscriber_party(id));
         }
         self.trace = Some(trace);
-    }
-
-    /// Worker pool used for the per-cluster parallel passes (defaults to
-    /// the process-global pool).
-    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
-        self.pool = pool;
     }
 
     /// The router's metrics registry (`sfu.*` and per-subscriber
@@ -275,11 +656,28 @@ impl Router {
         &self.layout
     }
 
-    /// Add a subscriber on its own emulated downlink. Returns the
-    /// subscriber id used by [`observe_pose`](Self::observe_pose) and
-    /// the cluster reports.
-    pub fn add_subscriber(&mut self, cfg: SubscriberConfig, trace: BandwidthTrace) -> usize {
-        let id = self.subscribers.len();
+    /// Add a subscriber on its own emulated downlink. The returned
+    /// [`SubscriberId`] keys [`observe_pose`](Self::observe_pose),
+    /// [`subscriber`](Self::subscriber) and the cluster reports.
+    ///
+    /// The joiner is folded into a cluster at the next `route_frame`; it
+    /// arms (only) that cluster's shared chain, so it catches up at the
+    /// chain's next guarded intra without perturbing other clusters.
+    pub fn add_subscriber(
+        &mut self,
+        cfg: SubscriberConfig,
+        trace: BandwidthTrace,
+    ) -> Result<SubscriberId, RouterError> {
+        if self.subscribers.len() >= self.cfg.max_subscribers {
+            return Err(RouterError::AtCapacity {
+                max: self.cfg.max_subscribers,
+            });
+        }
+        if self.subscribers.values().any(|s| s.name() == cfg.name) {
+            return Err(RouterError::DuplicateSubscriber(cfg.name.clone()));
+        }
+        let id = SubscriberId(self.next_id);
+        self.next_id += 1;
         let mut sub = Subscriber::new(cfg, trace);
         // Display names flow into metric names: fold anything outside the
         // documented `[a-z0-9_]` segment alphabet to '_' so a name like
@@ -298,62 +696,140 @@ impl Router {
         if let Some(tr) = &self.trace {
             sub.attach_trace(tr.clone(), subscriber_party(id));
         }
-        self.subscribers.push(sub);
+        self.subscribers.insert(id, sub);
         self.membership_dirty = true;
-        id
+        self.metrics.joins.inc();
+        self.pending_events
+            .push(RouterEvent::SubscriberJoined { id });
+        Ok(id)
     }
 
-    pub fn subscriber(&self, id: usize) -> &Subscriber {
-        &self.subscribers[id]
+    /// Tear down a subscriber's downlink. Its cluster is patched in
+    /// place: siblings keep their members order, encoders and P chains —
+    /// a leave never costs the survivors an intra.
+    pub fn remove_subscriber(&mut self, id: SubscriberId) -> Result<(), RouterError> {
+        if self.subscribers.remove(&id).is_none() {
+            return Err(RouterError::UnknownSubscriber(id));
+        }
+        for c in &mut self.clusters {
+            if let Some(pos) = c.members.iter().position(|&m| m == id) {
+                c.members.remove(pos);
+                c.low_assign.remove(pos);
+                break;
+            }
+        }
+        self.clusters.retain(|c| !c.members.is_empty());
+        self.metrics.clusters_gauge.set(self.clusters.len() as f64);
+        self.metrics.leaves.inc();
+        self.pending_events.push(RouterEvent::SubscriberLeft { id });
+        Ok(())
     }
 
-    pub fn subscribers(&self) -> &[Subscriber] {
-        &self.subscribers
+    /// The subscriber behind `id`, or `None` once it has been removed.
+    pub fn subscriber(&self, id: SubscriberId) -> Option<&Subscriber> {
+        self.subscribers.get(&id)
+    }
+
+    /// Live subscribers in id order.
+    pub fn subscribers(&self) -> impl Iterator<Item = (SubscriberId, &Subscriber)> {
+        self.subscribers.iter().map(|(&id, s)| (id, s))
+    }
+
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
     }
 
     /// Feed subscriber `id`'s (feedback-delayed) head pose.
-    pub fn observe_pose(&mut self, id: usize, pose: &Pose) {
-        self.subscribers[id].predictor.observe(pose);
+    pub fn observe_pose(&mut self, id: SubscriberId, pose: &Pose) -> Result<(), RouterError> {
+        self.subscribers
+            .get_mut(&id)
+            .ok_or(RouterError::UnknownSubscriber(id))?
+            .predictor
+            .observe(pose);
+        Ok(())
     }
 
     /// Current cluster membership, `(key, members)` per cluster.
-    pub fn cluster_membership(&self) -> Vec<(usize, Vec<usize>)> {
+    pub fn cluster_membership(&self) -> Vec<(u64, Vec<SubscriberId>)> {
         self.clusters
             .iter()
             .map(|c| (c.key, c.members.clone()))
             .collect()
     }
 
-    /// Cluster index currently containing subscriber `id`, if any.
-    fn cluster_of(&self, id: usize) -> Option<usize> {
-        self.clusters.iter().position(|c| c.members.contains(&id))
+    /// `(cluster index, currently on the low chain)` for a member.
+    fn assignment_of(&self, id: SubscriberId) -> Option<(usize, bool)> {
+        for (ci, c) in self.clusters.iter().enumerate() {
+            if let Some(pos) = c.members.iter().position(|&m| m == id) {
+                return Some((ci, c.low_assign[pos]));
+            }
+        }
+        None
+    }
+
+    /// Arm the chain `id` currently decodes from (PLI / resync fan-in).
+    fn arm_member_chain(&mut self, id: SubscriberId) {
+        if let Some((ci, low)) = self.assignment_of(id) {
+            if low {
+                self.clusters[ci].low_chain.arm();
+            } else {
+                self.clusters[ci].shared_chain.arm();
+            }
+        }
     }
 
     /// Advance the transport simulations to `now`: drain links, collect
     /// feedback, fan PLIs and receiver resync requests into their
-    /// clusters' shared-intra schedule, and run the decode stand-ins.
+    /// clusters' chain guards, and run the decode stand-ins. With enough
+    /// subscribers the per-member drain shards across the pool (each
+    /// member's state is owned by exactly one shard, so the result is
+    /// identical at any pool size).
     pub fn tick(&mut self, now: Micros) {
-        let mut need_key: Vec<usize> = Vec::new();
-        for (id, sub) in self.subscribers.iter_mut().enumerate() {
+        let pli = self.metrics.pli_fanin.clone();
+        let tick_one = |sub: &mut Subscriber| -> bool {
             sub.session.tick(now);
             let mut wants_key = false;
             if sub.session.take_pli(now) {
-                self.metrics.pli_fanin.inc();
+                pli.inc();
                 wants_key = true;
             }
             for af in sub.session.recv_frames() {
-                if sub.receiver.ingest(&af, &mut sub.stats, now) {
-                    wants_key = true;
+                if let Some(rx) = sub.receiver.as_mut() {
+                    if rx.ingest(&af, &mut sub.stats, now) {
+                        wants_key = true;
+                    }
                 }
             }
-            if wants_key {
-                need_key.push(id);
+            wants_key
+        };
+        let mut need_key: Vec<SubscriberId> = Vec::new();
+        if self.subscribers.len() >= PARALLEL_TICK_MIN {
+            let mut entries: Vec<(SubscriberId, &mut Subscriber, bool)> = self
+                .subscribers
+                .iter_mut()
+                .map(|(&id, s)| (id, s, false))
+                .collect();
+            let pool = self.pool.clone();
+            pool.for_each_chunk_mut(&mut entries, |chunk| {
+                for (_, sub, wants) in chunk.iter_mut() {
+                    *wants = tick_one(sub);
+                }
+            });
+            need_key.extend(
+                entries
+                    .iter()
+                    .filter(|(_, _, wants)| *wants)
+                    .map(|(id, _, _)| *id),
+            );
+        } else {
+            for (&id, sub) in self.subscribers.iter_mut() {
+                if tick_one(sub) {
+                    need_key.push(id);
+                }
             }
         }
         for id in need_key {
-            if let Some(ci) = self.cluster_of(id) {
-                self.clusters[ci].needs_key = true;
-            }
+            self.arm_member_chain(id);
         }
     }
 
@@ -362,19 +838,21 @@ impl Router {
     /// ship their own [`EncodedPair`]s (e.g. a `SenderPipeline` output).
     /// No per-cluster adaptation happens on this path.
     pub fn broadcast_encoded(&mut self, now: Micros, pair: &EncodedPair) {
-        for sub in &mut self.subscribers {
+        let color = Bytes::from(pair.color.data.clone());
+        let depth = Bytes::from(pair.depth.data.clone());
+        for sub in self.subscribers.values_mut() {
             sub.session.send_frame(
                 now,
                 StreamId::Color,
                 pair.seq as u64,
-                Bytes::from(pair.color.data.clone()),
+                color.clone(),
                 pair.color.frame_type == FrameType::Intra,
             );
             sub.session.send_frame(
                 now,
                 StreamId::Depth,
                 pair.seq as u64,
-                Bytes::from(pair.depth.data.clone()),
+                depth.clone(),
                 pair.depth.frame_type == FrameType::Intra,
             );
             sub.stats.frames_forwarded += 1;
@@ -383,43 +861,88 @@ impl Router {
     }
 
     /// Recompute clusters from the subscribers' current predicted frusta
-    /// and reconcile encoder state: a cluster keeps its encoders (and P
-    /// chain) as long as its seed survives; any membership change forces
-    /// a shared intra.
+    /// and reconcile encoder state: each new group reuses the old cluster
+    /// with the largest member overlap, keeping its encoders and P
+    /// chains. Added members arm (only) the destination's shared chain;
+    /// members migrating between clusters raise [`RouterEvent::Regrouped`].
     fn recluster(&mut self) {
+        let ids: Vec<SubscriberId> = self.subscribers.keys().copied().collect();
         let volumes: Vec<ViewVolume> = self
             .subscribers
-            .iter()
+            .values()
             .map(|s| ViewVolume {
                 frustum: s.predictor.predicted_frustum(),
                 pose: s.predictor.predicted_pose(),
                 params: *s.predictor.params(),
             })
             .collect();
-        let groups: Vec<Vec<usize>> = if self.cfg.sharing {
+        let groups_idx: Vec<Vec<usize>> = if self.cfg.sharing {
             cluster_views(&volumes, &self.cfg.cluster)
         } else {
-            (0..self.subscribers.len()).map(|i| vec![i]).collect()
+            (0..ids.len()).map(|i| vec![i]).collect()
         };
+        let prev_key: BTreeMap<SubscriberId, u64> = self
+            .clusters
+            .iter()
+            .flat_map(|c| c.members.iter().map(move |&m| (m, c.key)))
+            .collect();
         let mut old: Vec<Option<ClusterState>> = self.clusters.drain(..).map(Some).collect();
-        for members in groups {
-            let key = members[0];
-            let reuse = old
-                .iter_mut()
-                .find(|slot| slot.as_ref().is_some_and(|c| c.key == key))
-                .and_then(Option::take);
-            match reuse {
-                Some(mut state) => {
-                    if state.members != members {
-                        state.needs_key = true;
-                        state.low_assign = vec![false; members.len()];
-                        state.members = members;
+        for group in groups_idx {
+            let members: Vec<SubscriberId> = group.into_iter().map(|i| ids[i]).collect();
+            // Best-overlap reuse: keeps the survivors' P chain alive even
+            // when the old seed left (greedy in group order, so a split
+            // deterministically keeps the chain on the first fragment).
+            let mut best: Option<(usize, usize)> = None;
+            for (slot, state) in old.iter().enumerate() {
+                if let Some(c) = state {
+                    let overlap = c.members.iter().filter(|m| members.contains(m)).count();
+                    if overlap > 0 && best.is_none_or(|(_, b)| overlap > b) {
+                        best = Some((slot, overlap));
                     }
+                }
+            }
+            match best.and_then(|(slot, _)| old[slot].take()) {
+                Some(mut state) => {
+                    let added: Vec<SubscriberId> = members
+                        .iter()
+                        .filter(|m| !state.members.contains(m))
+                        .copied()
+                        .collect();
+                    if !added.is_empty() {
+                        state.shared_chain.arm();
+                    }
+                    for &m in &added {
+                        if let Some(&from) = prev_key.get(&m) {
+                            if from != state.key {
+                                self.metrics.regroups.inc();
+                                self.pending_events.push(RouterEvent::Regrouped {
+                                    id: m,
+                                    from,
+                                    to: state.key,
+                                });
+                            }
+                        }
+                    }
+                    // Preserve each surviving member's chain assignment.
+                    let old_low: BTreeMap<SubscriberId, bool> = state
+                        .members
+                        .iter()
+                        .zip(&state.low_assign)
+                        .map(|(&m, &l)| (m, l))
+                        .collect();
+                    state.low_assign = members
+                        .iter()
+                        .map(|m| old_low.get(m).copied().unwrap_or(false))
+                        .collect();
+                    state.members = members;
                     self.clusters.push(state);
                 }
-                None => self
-                    .clusters
-                    .push(ClusterState::new(key, members, &self.layout)),
+                None => {
+                    let key = self.next_cluster_key;
+                    self.next_cluster_key += 1;
+                    self.clusters
+                        .push(ClusterState::new(key, members, &self.layout));
+                }
             }
         }
         self.membership_dirty = false;
@@ -427,22 +950,176 @@ impl Router {
         self.metrics.clusters_gauge.set(self.clusters.len() as f64);
     }
 
+    /// Hand the accumulated churn events to the caller's summary and
+    /// mirror them onto the event trace (churn shows up in the Chrome
+    /// export on the affected subscriber's track).
+    fn drain_events(&mut self, now: Micros) -> Vec<RouterEvent> {
+        let events = std::mem::take(&mut self.pending_events);
+        if let Some(tr) = &self.trace {
+            for ev in &events {
+                let (party, k, arg) = match *ev {
+                    RouterEvent::SubscriberJoined { id } => {
+                        (subscriber_party(id), kind::JOIN, id.raw() as i64)
+                    }
+                    RouterEvent::SubscriberLeft { id } => {
+                        (subscriber_party(id), kind::LEAVE, id.raw() as i64)
+                    }
+                    RouterEvent::Regrouped { id, to, .. } => {
+                        (subscriber_party(id), kind::REGROUP, to as i64)
+                    }
+                    RouterEvent::StragglerPromoted { id, cluster } => {
+                        (subscriber_party(id), kind::PROMOTE, cluster as i64)
+                    }
+                };
+                tr.record(now, NO_FRAME, party, "sfu.churn", k, arg);
+            }
+        }
+        events
+    }
+
+    /// Build the per-cluster work orders (serial planning phase): rates
+    /// and frusta come from the members, straggler flips arm their
+    /// destination chain and apply only once it fires, and every armed
+    /// chain is resolved against its cooldown here so the parallel
+    /// encode pass never touches subscriber or chain state.
+    fn plan_jobs(&mut self, now: Micros) -> Vec<ClusterJob> {
+        let mut jobs: Vec<ClusterJob> = Vec::with_capacity(self.clusters.len());
+        for state in &mut self.clusters {
+            let estimates: Vec<f64> = state
+                .members
+                .iter()
+                .map(|&m| self.subscribers[&m].session.estimate_bps())
+                .collect();
+            let leader = estimates.iter().cloned().fold(f64::MIN, f64::max);
+            let leader_idx = estimates.iter().position(|&e| e == leader).unwrap_or(0);
+            let split = self.subscribers[&state.members[leader_idx]]
+                .splitter
+                .split();
+            let media = leader * self.cfg.budget_fraction / self.cfg.fps as f64;
+            let max_rtt_us = state
+                .members
+                .iter()
+                .map(|&m| 2.0 * self.subscribers[&m].session.one_way_delay_us())
+                .fold(0.0f64, f64::max);
+            let cooldown_us = (max_rtt_us * self.cfg.intra_cooldown_rtts) as u64;
+
+            let desired: Vec<bool> = if self.cfg.straggler_fraction > 0.0 {
+                estimates
+                    .iter()
+                    .map(|&e| e < self.cfg.straggler_fraction * leader)
+                    .collect()
+            } else {
+                vec![false; state.members.len()]
+            };
+            // A flip arms the *destination* chain; the member keeps its
+            // current chain until that destination fires an intra.
+            let pending_low = desired
+                .iter()
+                .zip(&state.low_assign)
+                .any(|(&d, &a)| d && !a);
+            let pending_shared = desired
+                .iter()
+                .zip(&state.low_assign)
+                .any(|(&d, &a)| !d && a);
+            if pending_low {
+                state.low_chain.arm();
+            }
+            if pending_shared {
+                state.shared_chain.arm();
+            }
+
+            let mut force_shared_key = false;
+            let mut shared_intra_gap_us = None;
+            if let Some(gap) = state.shared_chain.try_fire(now, cooldown_us) {
+                force_shared_key = true;
+                shared_intra_gap_us = gap;
+                for (i, &d) in desired.iter().enumerate() {
+                    if state.low_assign[i] && !d {
+                        state.low_assign[i] = false;
+                        self.metrics.straggler_promotions.inc();
+                        self.pending_events.push(RouterEvent::StragglerPromoted {
+                            id: state.members[i],
+                            cluster: state.key,
+                        });
+                    }
+                }
+            } else if state.shared_chain.is_armed() {
+                self.metrics.deferred_intras.inc();
+            }
+
+            let mut force_low_key = false;
+            if state.low_assign.iter().any(|&l| l) || pending_low {
+                if state.low_chain.try_fire(now, cooldown_us).is_some() {
+                    force_low_key = true;
+                    for (i, &d) in desired.iter().enumerate() {
+                        if d && !state.low_assign[i] {
+                            state.low_assign[i] = true;
+                        }
+                    }
+                } else if state.low_chain.is_armed() {
+                    self.metrics.deferred_intras.inc();
+                }
+            }
+            let run_low = state.low_assign.iter().any(|&l| l);
+            if run_low && state.low_enc.is_some() {
+                self.metrics.low_chain_reuses.inc();
+            }
+
+            let low_leader = estimates
+                .iter()
+                .zip(&state.low_assign)
+                .filter(|(_, &low)| low)
+                .map(|(&e, _)| e)
+                .fold(0.0f64, f64::max);
+            let low_media = low_leader * self.cfg.budget_fraction / self.cfg.fps as f64;
+            let frusta: Vec<Frustum> = state
+                .members
+                .iter()
+                .map(|&m| self.subscribers[&m].predictor.predicted_frustum())
+                .collect();
+            jobs.push(ClusterJob {
+                frusta,
+                color_bits: ((media * (1.0 - split)) as u64).max(MIN_FRAME_BITS),
+                depth_bits: ((media * split) as u64).max(MIN_FRAME_BITS),
+                target_bps: leader * self.cfg.budget_fraction,
+                low_assign: state.low_assign.clone(),
+                run_low,
+                low_color_bits: ((low_media * (1.0 - split)) as u64).max(MIN_FRAME_BITS),
+                low_depth_bits: ((low_media * split) as u64).max(MIN_FRAME_BITS),
+                force_shared_key,
+                force_low_key,
+                shared_intra_gap_us,
+            });
+        }
+        jobs
+    }
+
     /// Route one captured frame: cluster, union-cull + tile + encode once
-    /// per cluster (in parallel), forward to every member at its own
-    /// downlink, and feed the splitters. `views` is the raw (un-culled)
-    /// camera array for this frame.
+    /// per cluster (clusters in parallel), then shard the per-member
+    /// packetisation/send across the pool. `views` is the raw (un-culled)
+    /// camera array for this frame. With no live subscribers the frame
+    /// clock still advances and an empty summary is returned.
     pub fn route_frame(&mut self, now: Micros, views: &[RgbdFrame]) -> RouteSummary {
         assert_eq!(views.len(), self.cameras.len(), "views must match the rig");
-        assert!(
-            !self.subscribers.is_empty(),
-            "route_frame with no subscribers"
-        );
-        let span = TelemetrySpan::start(&self.metrics.route_ms);
         let seq = self.frame_idx as u32;
+        if self.subscribers.is_empty() {
+            self.clusters.clear();
+            self.frame_idx += 1;
+            let events = self.drain_events(now);
+            return RouteSummary {
+                seq,
+                encode_passes: 0,
+                low_variant_passes: 0,
+                clusters: Vec::new(),
+                events,
+            };
+        }
+        let span = TelemetrySpan::start(&self.metrics.route_ms);
+        let encode_span = TelemetrySpan::start(&self.metrics.encode_ms);
 
         // Predictor horizons track each downlink's RTT (+ processing
         // slack), exactly like the two-party sender.
-        for sub in &mut self.subscribers {
+        for sub in self.subscribers.values_mut() {
             let owd_s = sub.session.one_way_delay_us() / 1e6;
             sub.predictor.observe_rtt(2.0 * owd_s + 0.03);
         }
@@ -456,60 +1133,12 @@ impl Router {
             self.recluster();
         }
 
-        // Work orders: rates and frusta come from the members, and any
-        // low-variant flip forces a shared intra *before* the encode so
-        // no member ever receives a P frame against a reference it does
-        // not hold.
-        let mut jobs: Vec<ClusterJob> = Vec::with_capacity(self.clusters.len());
-        for state in &mut self.clusters {
-            let estimates: Vec<f64> = state
-                .members
-                .iter()
-                .map(|&m| self.subscribers[m].session.estimate_bps())
-                .collect();
-            let leader = estimates.iter().cloned().fold(f64::MIN, f64::max);
-            let leader_idx = estimates.iter().position(|&e| e == leader).unwrap_or(0);
-            let split = self.subscribers[state.members[leader_idx]].splitter.split();
-            let media = leader * self.cfg.budget_fraction / self.cfg.fps as f64;
-            let low_assign: Vec<bool> = if self.cfg.straggler_fraction > 0.0 {
-                estimates
-                    .iter()
-                    .map(|&e| e < self.cfg.straggler_fraction * leader)
-                    .collect()
-            } else {
-                vec![false; state.members.len()]
-            };
-            if low_assign != state.low_assign {
-                state.needs_key = true;
-                state.low_assign = low_assign.clone();
-            }
-            let low_leader = estimates
-                .iter()
-                .zip(&low_assign)
-                .filter(|(_, &low)| low)
-                .map(|(&e, _)| e)
-                .fold(0.0f64, f64::max);
-            let low_media = low_leader * self.cfg.budget_fraction / self.cfg.fps as f64;
-            let frusta: Vec<Frustum> = state
-                .members
-                .iter()
-                .map(|&m| self.subscribers[m].predictor.predicted_frustum())
-                .collect();
-            jobs.push(ClusterJob {
-                frusta,
-                color_bits: ((media * (1.0 - split)) as u64).max(MIN_FRAME_BITS),
-                depth_bits: ((media * split) as u64).max(MIN_FRAME_BITS),
-                target_bps: leader * self.cfg.budget_fraction,
-                low_assign,
-                low_color_bits: ((low_media * (1.0 - split)) as u64).max(MIN_FRAME_BITS),
-                low_depth_bits: ((low_media * split) as u64).max(MIN_FRAME_BITS),
-            });
-        }
+        let jobs = self.plan_jobs(now);
 
-        // One union-cull + tile + encode pass per cluster, clusters in
-        // parallel on the pool. Work inside a task is serial — nesting
-        // pool scopes would deadlock, and cluster-level parallelism is
-        // the win the SFU is after.
+        // Phase 2: one union-cull + tile + encode pass per cluster,
+        // clusters in parallel on the pool. Work inside a task is serial
+        // — nesting pool scopes runs inline — and cluster-level
+        // parallelism is the win the SFU is after.
         let mut outputs: Vec<Option<ClusterOutput>> = Vec::new();
         outputs.resize_with(self.clusters.len(), || None);
         {
@@ -526,19 +1155,18 @@ impl Router {
                         let cull_stats = cull_views_union(&mut culled, cameras, &job.frusta);
                         let color_canvas = compose_color(&culled, layout, seq);
                         let depth_canvas = compose_depth(&culled, layout, codec, seq);
-                        let want_low = job.low_assign.iter().any(|&l| l);
-                        if state.needs_key {
+                        if job.force_shared_key {
                             state.color_enc.force_keyframe();
                             state.depth_enc.force_keyframe();
-                            if let Some((lc, ld)) = state.low_enc.as_mut() {
-                                lc.force_keyframe();
-                                ld.force_keyframe();
-                            }
                         }
                         let color = state.color_enc.encode(&color_canvas, job.color_bits);
                         let depth = state.depth_enc.encode(&depth_canvas, job.depth_bits);
-                        let low = if want_low {
+                        let low = if job.run_low {
                             let (lc, ld) = state.low_pair(layout);
+                            if job.force_low_key {
+                                lc.force_keyframe();
+                                ld.force_keyframe();
+                            }
                             Some((
                                 lc.encode(&color_canvas, job.low_color_bits),
                                 ld.encode(&depth_canvas, job.low_depth_bits),
@@ -546,7 +1174,6 @@ impl Router {
                         } else {
                             None
                         };
-                        state.needs_key = false;
                         // Sender-side reconstruction error for the
                         // splitters (the codec's closed loop makes the
                         // reconstruction bit-exact with the decoder).
@@ -581,6 +1208,7 @@ impl Router {
                             target_bps: job.target_bps,
                             rmse_color,
                             rmse_depth_mm: mse.sqrt(),
+                            shared_intra_gap_us: job.shared_intra_gap_us,
                         });
                     });
                 }
@@ -590,12 +1218,14 @@ impl Router {
             .into_iter()
             .map(|o| o.expect("cluster task completed"))
             .collect();
+        let encode_ms = encode_span.finish_ms();
 
-        // Forward: serial per-member packetisation (cheap next to the
-        // encode) on each member's own downlink session.
-        let elapsed_ms = span.finish_ms();
+        // Per-cluster bookkeeping + payload prep (serial, cheap): one
+        // shared `Bytes` per bitstream, refcount-cloned per member below.
         let mut low_variant_passes = 0u64;
-        for out in &clusters {
+        let mut payloads: Vec<FanPayload> = Vec::with_capacity(clusters.len());
+        let mut assign: BTreeMap<SubscriberId, (usize, bool)> = BTreeMap::new();
+        for (ci, out) in clusters.iter().enumerate() {
             self.metrics.keep_fraction.record(out.keep_fraction);
             if let Some(tr) = &self.trace {
                 // One shared encode event per cluster on the SFU track;
@@ -615,49 +1245,82 @@ impl Router {
             if out.low.is_some() {
                 low_variant_passes += 1;
             }
-            for &member in &out.members {
-                let is_low = out.low_members.contains(&member);
-                let (color, depth) = if is_low {
-                    let (lc, ld) = out.low.as_ref().expect("low variant encoded");
-                    (lc, ld)
-                } else {
-                    (&out.color, &out.depth)
-                };
-                let sub = &mut self.subscribers[member];
-                sub.timeline
-                    .mark_dur(self.frame_idx, stage::ENCODE, now, elapsed_ms);
-                sub.session.send_frame(
-                    now,
-                    StreamId::Color,
-                    self.frame_idx,
-                    Bytes::from(color.data.clone()),
-                    color.frame_type == FrameType::Intra,
-                );
-                sub.session.send_frame(
-                    now,
-                    StreamId::Depth,
-                    self.frame_idx,
-                    Bytes::from(depth.data.clone()),
-                    depth.frame_type == FrameType::Intra,
-                );
-                sub.stats.frames_forwarded += 1;
-                if is_low {
-                    sub.stats.low_variant_frames += 1;
-                }
-                if sub.splitter.measurement_due() {
-                    sub.splitter.update(out.rmse_depth_mm, out.rmse_color);
-                }
+            payloads.push(FanPayload {
+                color: Bytes::from(out.color.data.clone()),
+                color_key: out.color.frame_type == FrameType::Intra,
+                depth: Bytes::from(out.depth.data.clone()),
+                depth_key: out.depth.frame_type == FrameType::Intra,
+                low: out.low.as_ref().map(|(lc, ld)| {
+                    (
+                        Bytes::from(lc.data.clone()),
+                        lc.frame_type == FrameType::Intra,
+                        Bytes::from(ld.data.clone()),
+                        ld.frame_type == FrameType::Intra,
+                    )
+                }),
+                rmse_color: out.rmse_color,
+                rmse_depth_mm: out.rmse_depth_mm,
+            });
+            for &m in &out.members {
+                assign.insert(m, (ci, out.low_members.contains(&m)));
             }
         }
+
+        // Phase 3: sharded fan-out. Each shard owns a contiguous run of
+        // subscribers; all cross-shard data (payloads, assignment) is
+        // read-only, so shards are independent and the forwarded streams
+        // are identical at any pool size.
+        {
+            let frame_idx = self.frame_idx;
+            let payloads = &payloads;
+            let assign = &assign;
+            let mut fan: Vec<(SubscriberId, &mut Subscriber)> = self
+                .subscribers
+                .iter_mut()
+                .map(|(&id, s)| (id, s))
+                .collect();
+            let pool = self.pool.clone();
+            pool.for_each_chunk_mut(&mut fan, |chunk| {
+                for (id, sub) in chunk.iter_mut() {
+                    let Some(&(ci, is_low)) = assign.get(id) else {
+                        continue;
+                    };
+                    let p = &payloads[ci];
+                    let (color, color_key, depth, depth_key) = if is_low {
+                        let (lc, lk, ld, dk) = p.low.as_ref().expect("low variant encoded");
+                        (lc.clone(), *lk, ld.clone(), *dk)
+                    } else {
+                        (p.color.clone(), p.color_key, p.depth.clone(), p.depth_key)
+                    };
+                    sub.timeline
+                        .mark_dur(frame_idx, stage::ENCODE, now, encode_ms);
+                    sub.session
+                        .send_frame(now, StreamId::Color, frame_idx, color, color_key);
+                    sub.session
+                        .send_frame(now, StreamId::Depth, frame_idx, depth, depth_key);
+                    sub.stats.frames_forwarded += 1;
+                    if is_low {
+                        sub.stats.low_variant_frames += 1;
+                    }
+                    if sub.splitter.measurement_due() {
+                        sub.splitter.update(p.rmse_depth_mm, p.rmse_color);
+                    }
+                }
+            });
+        }
+
         self.metrics.encode_passes.add(clusters.len() as u64);
         self.metrics.low_variant_passes.add(low_variant_passes);
         self.metrics.clusters_gauge.set(clusters.len() as f64);
         self.frame_idx += 1;
+        span.finish_ms();
+        let events = self.drain_events(now);
         RouteSummary {
             seq,
             encode_passes: clusters.len() as u64,
             low_variant_passes,
             clusters,
+            events,
         }
     }
 }
@@ -695,39 +1358,136 @@ mod tests {
         BandwidthTrace::constant(40.0, 10.0)
     }
 
+    fn add(router: &mut Router, name: &str) -> SubscriberId {
+        router
+            .add_subscriber(SubscriberConfig::new(name), trace())
+            .expect("add subscriber")
+    }
+
+    #[test]
+    fn builder_validates_config() {
+        assert!(matches!(
+            Router::builder(Vec::new()).build(),
+            Err(RouterError::InvalidConfig {
+                field: "cameras",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Router::builder(tiny_rig()).budget_fraction(0.0).build(),
+            Err(RouterError::InvalidConfig {
+                field: "budget_fraction",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Router::builder(tiny_rig()).straggler_fraction(1.0).build(),
+            Err(RouterError::InvalidConfig {
+                field: "straggler_fraction",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Router::builder(tiny_rig()).recluster_every(0).build(),
+            Err(RouterError::InvalidConfig {
+                field: "recluster_every",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Router::builder(tiny_rig())
+                .intra_cooldown_rtts(f64::NAN)
+                .build(),
+            Err(RouterError::InvalidConfig {
+                field: "intra_cooldown_rtts",
+                ..
+            })
+        ));
+        assert!(Router::builder(tiny_rig()).build().is_ok());
+    }
+
+    #[test]
+    fn lifecycle_errors_are_typed() {
+        let mut router = Router::builder(tiny_rig())
+            .max_subscribers(2)
+            .build()
+            .unwrap();
+        let a = add(&mut router, "a");
+        assert_eq!(
+            router
+                .add_subscriber(SubscriberConfig::new("a"), trace())
+                .unwrap_err(),
+            RouterError::DuplicateSubscriber("a".into())
+        );
+        let b = add(&mut router, "b");
+        assert_eq!(
+            router
+                .add_subscriber(SubscriberConfig::new("c"), trace())
+                .unwrap_err(),
+            RouterError::AtCapacity { max: 2 }
+        );
+        assert!(router.remove_subscriber(a).is_ok());
+        assert_eq!(
+            router.remove_subscriber(a).unwrap_err(),
+            RouterError::UnknownSubscriber(a)
+        );
+        // A stale id reads as None, not a panic; the name is free again
+        // and the new joiner gets a fresh id.
+        assert!(router.subscriber(a).is_none());
+        assert!(router.subscriber(b).is_some());
+        let a2 = add(&mut router, "a");
+        assert_ne!(a2, a, "ids are never reused");
+        assert!(router.observe_pose(a, &looking(0.0)).is_err());
+        assert!(router.observe_pose(a2, &looking(0.0)).is_ok());
+    }
+
+    #[test]
+    fn chain_guard_defers_and_reports_gaps() {
+        let mut chain = ChainState::fresh();
+        // Fresh chain fires immediately, no predecessor.
+        assert_eq!(chain.try_fire(1_000, 40_000), Some(None));
+        assert_eq!(chain.try_fire(2_000, 40_000), None, "not armed");
+        chain.arm();
+        assert_eq!(chain.try_fire(10_000, 40_000), None, "inside cooldown");
+        assert!(chain.is_armed(), "deferred request stays armed");
+        assert_eq!(chain.try_fire(50_000, 40_000), Some(Some(49_000)));
+        assert!(!chain.is_armed());
+    }
+
     #[test]
     fn aligned_subscribers_share_one_encode_pass() {
-        let mut router = Router::new(RouterConfig::default(), tiny_rig());
-        for i in 0..3 {
-            router.add_subscriber(SubscriberConfig::new(format!("s{i}")), trace());
-        }
+        let mut router = Router::builder(tiny_rig()).build().unwrap();
+        let ids: Vec<SubscriberId> = (0..3).map(|i| add(&mut router, &format!("s{i}"))).collect();
         let pose = looking(0.0);
-        for id in 0..3 {
-            router.observe_pose(id, &pose);
+        for &id in &ids {
+            router.observe_pose(id, &pose).unwrap();
         }
         let views = views_at(&router.cameras.clone(), 0.0, 0);
         let out = router.route_frame(0, &views);
         assert_eq!(out.encode_passes, 1, "aligned frusta should share one pass");
-        assert_eq!(out.clusters[0].members, vec![0, 1, 2]);
-        // First pass is the cluster's intra.
+        assert_eq!(out.clusters[0].members, ids);
+        // First pass is the cluster's intra, with no predecessor gap.
         assert_eq!(out.clusters[0].color.frame_type, FrameType::Intra);
+        assert_eq!(out.clusters[0].shared_intra_gap_us, None);
+        // The joins surfaced as events on this first summary.
+        assert_eq!(
+            out.events,
+            ids.iter()
+                .map(|&id| RouterEvent::SubscriberJoined { id })
+                .collect::<Vec<_>>()
+        );
         let snap = router.registry().snapshot();
         assert_eq!(snap.counter("sfu.encode_passes"), Some(1));
+        assert_eq!(snap.counter("sfu.joins"), Some(3));
     }
 
     #[test]
     fn naive_mode_encodes_once_per_subscriber() {
-        let cfg = RouterConfig {
-            sharing: false,
-            ..Default::default()
-        };
-        let mut router = Router::new(cfg, tiny_rig());
-        for i in 0..3 {
-            router.add_subscriber(SubscriberConfig::new(format!("s{i}")), trace());
-        }
+        let mut router = Router::builder(tiny_rig()).sharing(false).build().unwrap();
+        let ids: Vec<SubscriberId> = (0..3).map(|i| add(&mut router, &format!("s{i}"))).collect();
         let pose = looking(0.0);
-        for id in 0..3 {
-            router.observe_pose(id, &pose);
+        for &id in &ids {
+            router.observe_pose(id, &pose).unwrap();
         }
         let views = views_at(&router.cameras.clone(), 0.0, 0);
         let out = router.route_frame(0, &views);
@@ -737,21 +1497,19 @@ mod tests {
 
     #[test]
     fn opposed_subscribers_split_clusters_and_reuse_encoder_state() {
-        let mut router = Router::new(RouterConfig::default(), tiny_rig());
-        for i in 0..4 {
-            router.add_subscriber(SubscriberConfig::new(format!("s{i}")), trace());
-        }
+        let mut router = Router::builder(tiny_rig()).build().unwrap();
+        let ids: Vec<SubscriberId> = (0..4).map(|i| add(&mut router, &format!("s{i}"))).collect();
         let views = views_at(&router.cameras.clone(), 0.0, 0);
         let interval: Micros = 1_000_000 / 30;
         let mut now: Micros = 0;
         for frame in 0..4u32 {
-            for id in 0..4 {
-                let yaw = if id % 2 == 0 {
+            for (i, &id) in ids.iter().enumerate() {
+                let yaw = if i % 2 == 0 {
                     0.0
                 } else {
                     std::f32::consts::PI
                 };
-                router.observe_pose(id, &looking(yaw));
+                router.observe_pose(id, &looking(yaw)).unwrap();
             }
             let out = router.route_frame(now, &views);
             assert_eq!(out.encode_passes, 2, "frame {frame}: two opposed clusters");
@@ -764,15 +1522,57 @@ mod tests {
         }
         let membership = router.cluster_membership();
         assert_eq!(membership.len(), 2);
-        assert_eq!(membership[0].1, vec![0, 2]);
-        assert_eq!(membership[1].1, vec![1, 3]);
+        assert_eq!(membership[0].1, vec![ids[0], ids[2]]);
+        assert_eq!(membership[1].1, vec![ids[1], ids[3]]);
+    }
+
+    #[test]
+    fn route_frame_with_no_subscribers_is_a_no_op() {
+        let mut router = Router::builder(tiny_rig()).build().unwrap();
+        let views = views_at(&router.cameras.clone(), 0.0, 0);
+        let out = router.route_frame(0, &views);
+        assert_eq!(out.encode_passes, 0);
+        assert!(out.clusters.is_empty());
+        // The frame clock still advances, so a later joiner starts on the
+        // capture clock's sequence numbers.
+        let id = add(&mut router, "late");
+        router.observe_pose(id, &looking(0.0)).unwrap();
+        let out = router.route_frame(33_333, &views);
+        assert_eq!(out.seq, 1);
+        assert_eq!(out.encode_passes, 1);
+    }
+
+    #[test]
+    fn leave_keeps_sibling_p_chains_alive() {
+        let mut router = Router::builder(tiny_rig()).build().unwrap();
+        let ids: Vec<SubscriberId> = (0..3).map(|i| add(&mut router, &format!("s{i}"))).collect();
+        let views = views_at(&router.cameras.clone(), 0.0, 0);
+        let pose = looking(0.0);
+        for &id in &ids {
+            router.observe_pose(id, &pose).unwrap();
+        }
+        let out = router.route_frame(0, &views);
+        assert_eq!(out.clusters[0].color.frame_type, FrameType::Intra);
+        // s1 (a non-seed member) leaves: survivors stay on the P chain.
+        router.remove_subscriber(ids[1]).unwrap();
+        let out = router.route_frame(33_333, &views);
+        assert_eq!(out.clusters[0].members, vec![ids[0], ids[2]]);
+        assert_eq!(out.clusters[0].color.frame_type, FrameType::Inter);
+        assert!(out
+            .events
+            .contains(&RouterEvent::SubscriberLeft { id: ids[1] }));
+        // Now the *seed* leaves; best-overlap reuse still keeps the chain.
+        router.remove_subscriber(ids[0]).unwrap();
+        let out = router.route_frame(66_666, &views);
+        assert_eq!(out.clusters[0].members, vec![ids[2]]);
+        assert_eq!(out.clusters[0].color.frame_type, FrameType::Inter);
     }
 
     #[test]
     fn broadcast_path_forwards_without_encode_passes() {
-        let mut router = Router::new(RouterConfig::default(), tiny_rig());
-        router.add_subscriber(SubscriberConfig::new("a"), trace());
-        router.add_subscriber(SubscriberConfig::new("b"), trace());
+        let mut router = Router::builder(tiny_rig()).build().unwrap();
+        let a = add(&mut router, "a");
+        let b = add(&mut router, "b");
         // Hand-build a pair via a throwaway encode.
         let views = views_at(&router.cameras.clone(), 0.0, 0);
         let layout = router.layout().clone();
@@ -801,35 +1601,59 @@ mod tests {
         let snap = router.registry().snapshot();
         assert_eq!(snap.counter("sfu.broadcast_frames"), Some(2));
         assert_eq!(snap.counter("sfu.encode_passes"), Some(0));
-        assert_eq!(router.subscriber(0).stats().frames_forwarded, 1);
-        assert_eq!(router.subscriber(1).stats().frames_forwarded, 1);
+        assert_eq!(router.subscriber(a).unwrap().stats().frames_forwarded, 1);
+        assert_eq!(router.subscriber(b).unwrap().stats().frames_forwarded, 1);
     }
 
     #[test]
-    fn straggler_gets_low_variant_and_flip_forces_intra() {
-        let cfg = RouterConfig {
-            straggler_fraction: 0.5,
-            ..Default::default()
-        };
-        let mut router = Router::new(cfg, tiny_rig());
+    fn straggler_gets_low_variant_and_chains_stay_guarded() {
+        let mut router = Router::builder(tiny_rig())
+            .straggler_fraction(0.5)
+            .build()
+            .unwrap();
         // Same frustum, very different links: 60 Mbps vs 3 Mbps.
         let mut fast = SubscriberConfig::new("fast");
         fast.session.initial_estimate_bps = 20e6;
         let mut slow = SubscriberConfig::new("slow");
         slow.session.initial_estimate_bps = 1e6;
-        router.add_subscriber(fast, BandwidthTrace::constant(60.0, 10.0));
-        router.add_subscriber(slow, BandwidthTrace::constant(3.0, 10.0));
+        let fast = router
+            .add_subscriber(fast, BandwidthTrace::constant(60.0, 10.0))
+            .unwrap();
+        let slow = router
+            .add_subscriber(slow, BandwidthTrace::constant(3.0, 10.0))
+            .unwrap();
         let pose = looking(0.0);
-        router.observe_pose(0, &pose);
-        router.observe_pose(1, &pose);
+        router.observe_pose(fast, &pose).unwrap();
+        router.observe_pose(slow, &pose).unwrap();
         let views = views_at(&router.cameras.clone(), 0.0, 0);
         let out = router.route_frame(0, &views);
         assert_eq!(out.encode_passes, 1, "one shared cluster");
         assert_eq!(out.low_variant_passes, 1, "slow member needs the variant");
-        assert_eq!(out.clusters[0].low_members, vec![1]);
+        assert_eq!(out.clusters[0].low_members, vec![slow]);
         let (lc, _) = out.clusters[0].low.as_ref().unwrap();
         assert!(lc.data.len() <= out.clusters[0].color.data.len() * 2);
-        assert_eq!(router.subscriber(1).stats().low_variant_frames, 1);
-        assert_eq!(router.subscriber(0).stats().low_variant_frames, 0);
+        assert_eq!(
+            router.subscriber(slow).unwrap().stats().low_variant_frames,
+            1
+        );
+        assert_eq!(
+            router.subscriber(fast).unwrap().stats().low_variant_frames,
+            0
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_route() {
+        // One release of compatibility: Router::new + attach_trace +
+        // set_worker_pool keep working for out-of-tree callers.
+        let mut router = Router::new(RouterConfig::default(), tiny_rig());
+        router.attach_trace(Arc::new(EventTrace::new(1 << 10)));
+        router.set_worker_pool(livo_runtime::global().clone());
+        let id = add(&mut router, "legacy");
+        router.observe_pose(id, &looking(0.0)).unwrap();
+        let views = views_at(&router.cameras.clone(), 0.0, 0);
+        let out = router.route_frame(0, &views);
+        assert_eq!(out.encode_passes, 1);
     }
 }

@@ -33,6 +33,12 @@ pub struct SubscriberConfig {
     pub frustum: FrustumParams,
     /// RMSE-balancing split configuration.
     pub splitter: SplitterConfig,
+    /// Run the receiver-side decode stand-in for this subscriber.
+    /// Disabling it (`false`) keeps the full transport simulation —
+    /// packetisation, link, jitter buffer, NACK/PLI — but skips the
+    /// decoders, which large-N benchmarks use to sample decode work on a
+    /// subset of subscribers instead of paying it N times.
+    pub standin: bool,
 }
 
 impl SubscriberConfig {
@@ -44,7 +50,14 @@ impl SubscriberConfig {
             guard_m: 0.2,
             frustum: FrustumParams::default(),
             splitter: SplitterConfig::default(),
+            standin: true,
         }
+    }
+
+    /// Disable the decode stand-in (see [`SubscriberConfig::standin`]).
+    pub fn without_standin(mut self) -> Self {
+        self.standin = false;
+        self
     }
 }
 
@@ -70,7 +83,7 @@ pub struct Subscriber {
     pub(crate) session: RtcSession,
     pub(crate) predictor: FrustumPredictor,
     pub(crate) splitter: BandwidthSplitter,
-    pub(crate) receiver: ReceiverState,
+    pub(crate) receiver: Option<ReceiverState>,
     pub(crate) stats: SubscriberStats,
     pub(crate) timeline: Arc<FrameTimeline>,
 }
@@ -82,7 +95,7 @@ impl Subscriber {
             session: RtcSession::new(trace, cfg.session),
             predictor: FrustumPredictor::new(cfg.frustum, cfg.guard_m),
             splitter: BandwidthSplitter::new(cfg.splitter),
-            receiver: ReceiverState::new(),
+            receiver: cfg.standin.then(ReceiverState::new),
             stats: SubscriberStats::default(),
             timeline: Arc::new(FrameTimeline::new(2048)),
         }
@@ -120,7 +133,9 @@ impl Subscriber {
     /// (SFU = party 1 sends, `party` receives) and decode stand-in.
     pub(crate) fn attach_trace(&mut self, trace: Arc<EventTrace>, party: u16) {
         self.session.attach_trace(trace.clone(), 1, party);
-        self.receiver.attach_trace(trace, party);
+        if let Some(rx) = self.receiver.as_mut() {
+            rx.attach_trace(trace, party);
+        }
     }
 
     /// Per-subscriber frame timeline (encode/forward/transport stages in
@@ -130,22 +145,25 @@ impl Subscriber {
     }
 
     /// Decoded colour frame for `seq`, if still in the reorder window.
+    /// Always `None` with the decode stand-in disabled.
     pub fn decoded_color(&self, seq: u32) -> Option<&Frame> {
-        self.receiver.window_color.get(&seq)
+        self.receiver.as_ref()?.window_color.get(&seq)
     }
 
     /// Decoded depth frame for `seq`, if still in the reorder window.
+    /// Always `None` with the decode stand-in disabled.
     pub fn decoded_depth(&self, seq: u32) -> Option<&Frame> {
-        self.receiver.window_depth.get(&seq)
+        self.receiver.as_ref()?.window_depth.get(&seq)
     }
 
     /// Newest sequence number decoded on *both* streams (displayable).
+    /// Always `None` with the decode stand-in disabled.
     pub fn latest_synced_seq(&self) -> Option<u32> {
-        self.receiver
-            .window_color
+        let rx = self.receiver.as_ref()?;
+        rx.window_color
             .keys()
             .rev()
-            .find(|s| self.receiver.window_depth.contains_key(s))
+            .find(|s| rx.window_depth.contains_key(s))
             .copied()
     }
 }

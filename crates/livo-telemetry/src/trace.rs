@@ -44,6 +44,12 @@ pub mod kind {
     pub const DISPLAY: &str = "display";
     pub const STALL: &str = "stall";
     pub const GCC: &str = "gcc_estimate";
+    // SFU membership churn (join/leave/regroup/straggler promotion),
+    // recorded against [`super::NO_FRAME`] on the subscriber's track.
+    pub const JOIN: &str = "join";
+    pub const LEAVE: &str = "leave";
+    pub const REGROUP: &str = "regroup";
+    pub const PROMOTE: &str = "promote";
 }
 
 /// Sentinel `frame_seq` for events not tied to a frame (GCC ticks, pool

@@ -66,18 +66,22 @@ fn main() {
     let preset = DatasetPreset::load(VideoId::Band2);
     let pool = livo::runtime::global();
 
-    let mut router = Router::new(RouterConfig::default(), cameras.clone());
-    let user_traces: Vec<UserTrace> = parties
+    let mut router = Router::builder(cameras.clone())
+        .build()
+        .expect("valid router config");
+    let subscribers: Vec<(SubscriberId, UserTrace)> = parties
         .iter()
         .enumerate()
         .map(|(i, p)| {
             let style = TraceStyle::ALL[p.style % TraceStyle::ALL.len()];
             let trace = UserTrace::generate(style, seconds + 5.0, 40 + i as u64);
-            router.add_subscriber(
-                SubscriberConfig::new(p.name),
-                BandwidthTrace::generate(p.trace, seconds + 6.0, 90 + i as u64),
-            );
-            trace
+            let id = router
+                .add_subscriber(
+                    SubscriberConfig::new(p.name),
+                    BandwidthTrace::generate(p.trace, seconds + 6.0, 90 + i as u64),
+                )
+                .expect("add subscriber");
+            (id, trace)
         })
         .collect();
 
@@ -97,10 +101,11 @@ fn main() {
         let views = render_views_at(pool, &cameras, &snap, frame_idx as u32);
 
         // The SFU sees each subscriber's pose delayed by its feedback path.
-        for (id, ut) in user_traces.iter().enumerate() {
-            let owd_s = router.subscriber(id).session().one_way_delay_us() as f32 / 1e6;
+        for (id, ut) in &subscribers {
+            let sub = router.subscriber(*id).expect("still subscribed");
+            let owd_s = sub.session().one_way_delay_us() as f32 / 1e6;
             let pose = ut.pose_at_time((t_s - owd_s).max(0.0));
-            router.observe_pose(id, &pose);
+            router.observe_pose(*id, &pose).expect("live id");
         }
 
         let out = router.route_frame(now, &views);
@@ -124,8 +129,8 @@ fn main() {
         "{:-<14}-+-{:->9}-+-{:->8}-+-{:->8}-+-{:->6}-+-{:->9}",
         "", "", "", "", "", ""
     );
-    for (id, p) in parties.iter().enumerate() {
-        let sub = router.subscriber(id);
+    for ((id, _), p) in subscribers.iter().zip(&parties) {
+        let sub = router.subscriber(*id).expect("still subscribed");
         println!(
             "{:<14} | {:>9.1} | {:>8} | {:>8} | {:>6} | {:>9}",
             p.name,
@@ -141,7 +146,10 @@ fn main() {
     let groups: Vec<String> = membership
         .iter()
         .map(|(_, members)| {
-            let names: Vec<&str> = members.iter().map(|&m| parties[m].name).collect();
+            let names: Vec<&str> = members
+                .iter()
+                .map(|&m| router.subscriber(m).map_or("?", |s| s.name()))
+                .collect();
             format!("{{{}}}", names.join(", "))
         })
         .collect();

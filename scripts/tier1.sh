@@ -83,6 +83,11 @@ if cargo_works; then
   # wall-clock versus tracing off (median of interleaved A/B pairs).
   echo "== tier1: trace overhead gate =="
   LIVO_LOG=warn cargo run --release --bin repro -- --quick --gate traceoverhead >/dev/null
+  # SFU scaling gate: shared passes/frame must track the gaze-group
+  # count (not N), the sharded route must hold against the serial
+  # baseline at N=100, and churn intras stay one RTT apart.
+  echo "== tier1: sfu scaling gate =="
+  LIVO_LOG=warn cargo run --release --bin repro -- --quick --gate sfu >/dev/null
   fmt_check cargo
   if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
@@ -106,6 +111,8 @@ else
   qoe_check "$qsnap"; rm -f "$qsnap"
   echo "== tier1: trace overhead gate =="
   LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --quick --gate traceoverhead >/dev/null
+  echo "== tier1: sfu scaling gate =="
+  LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --quick --gate sfu >/dev/null
   fmt_check offline
   if command -v clippy-driver >/dev/null 2>&1; then
     bash scripts/offline_clippy.sh

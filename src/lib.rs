@@ -73,7 +73,10 @@ pub mod prelude {
     pub use livo_core::tile::TileLayout;
     pub use livo_math::{Frustum, FrustumParams, Pose, Quat, Vec3};
     pub use livo_pointcloud::{pssim, Point, PointCloud, PssimConfig};
-    pub use livo_sfu::{ClusterParams, Router, RouterConfig, SubscriberConfig};
+    pub use livo_sfu::{
+        ClusterParams, Router, RouterBuilder, RouterConfig, RouterError, RouterEvent,
+        SubscriberConfig, SubscriberId,
+    };
     pub use livo_telemetry::{
         FrameTimeline, FrameTimelineRecord, Level, MetricsRegistry, RegistrySnapshot, TelemetrySpan,
     };

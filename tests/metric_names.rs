@@ -51,21 +51,30 @@ fn sfu_metric_names_follow_convention() {
     );
     let preset = DatasetPreset::load(VideoId::Band2);
     let pool = livo::runtime::global();
-    let mut router = Router::new(RouterConfig::default(), cameras.clone());
+    let mut router = Router::builder(cameras.clone()).build().expect("valid");
     // Names with hostile characters must be sanitised into the prefix.
-    for name in ["alice", "Bob's iPad", "caf\u{e9}.42"] {
-        router.add_subscriber(
-            SubscriberConfig::new(name),
-            BandwidthTrace::constant(30.0, 10.0),
-        );
-    }
+    let ids: Vec<SubscriberId> = ["alice", "Bob's iPad", "caf\u{e9}.42"]
+        .into_iter()
+        .map(|name| {
+            router
+                .add_subscriber(
+                    SubscriberConfig::new(name),
+                    BandwidthTrace::constant(30.0, 10.0),
+                )
+                .expect("add subscriber")
+        })
+        .collect();
     let eye = Vec3::new(0.0, 1.5, 2.0);
-    let pose = Pose::look_at(eye, eye + Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0));
+    let pose = Pose::look_at(
+        eye,
+        eye + Vec3::new(0.0, 0.0, -1.0),
+        Vec3::new(0.0, 1.0, 0.0),
+    );
     for frame_idx in 0..5u64 {
         let snap = preset.scene.at(frame_idx as f32 / 30.0);
         let views = render_views_at(pool, &cameras, &snap, frame_idx as u32);
-        for id in 0..3 {
-            router.observe_pose(id, &pose);
+        for &id in &ids {
+            router.observe_pose(id, &pose).expect("live id");
         }
         router.route_frame(frame_idx * 33_333, &views);
         router.tick(frame_idx * 33_333 + 1_000);

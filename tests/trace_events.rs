@@ -90,10 +90,16 @@ fn trace_ring_stays_bounded_and_can_be_disabled() {
     // Survivors are the newest events: the earliest surviving timestamp
     // is past the first frame interval.
     let oldest = summary.trace.iter().map(|e| e.ts_us).min().unwrap();
-    assert!(oldest > 0, "a bounded ring must have evicted frame-0 events");
+    assert!(
+        oldest > 0,
+        "a bounded ring must have evicted frame-0 events"
+    );
 
     // Tracing off: the run records nothing.
-    let cfg = quick_conference().trace(false).build().expect("valid config");
+    let cfg = quick_conference()
+        .trace(false)
+        .build()
+        .expect("valid config");
     let summary = ConferenceRunner::new(cfg).run(BandwidthTrace::constant(40.0, 8.0));
     assert!(summary.trace.is_empty());
     assert!(summary.flight.is_empty());
@@ -158,15 +164,21 @@ fn sfu_fanout_reconstructs_per_subscriber_paths() {
     let pool = livo::runtime::global();
 
     let trace = Arc::new(EventTrace::new(1 << 14));
-    let mut router = Router::new(RouterConfig::default(), cameras.clone());
-    router.attach_trace(Arc::clone(&trace));
+    let mut router = Router::builder(cameras.clone())
+        .trace(Arc::clone(&trace))
+        .build()
+        .expect("valid config");
     let yaws = [0.0f32, 0.1, 1.4];
-    for (i, _) in yaws.iter().enumerate() {
-        router.add_subscriber(
-            SubscriberConfig::new(format!("sub{i}")),
-            BandwidthTrace::constant(30.0, 10.0),
-        );
-    }
+    let ids: Vec<SubscriberId> = (0..yaws.len())
+        .map(|i| {
+            router
+                .add_subscriber(
+                    SubscriberConfig::new(format!("sub{i}")),
+                    BandwidthTrace::constant(30.0, 10.0),
+                )
+                .expect("add subscriber")
+        })
+        .collect();
 
     // Drive 30 frames; the harness plays the capture clock (party 0) and
     // each subscriber's display clock (party 2+), exactly like the
@@ -178,15 +190,16 @@ fn sfu_fanout_reconstructs_per_subscriber_paths() {
         let snap = preset.scene.at(t_s);
         let views = render_views_at(pool, &cameras, &snap, frame_idx as u32);
         trace.record(now, frame_idx, 0, "pipeline", kind::CAPTURE, 0);
-        for (id, &yaw) in yaws.iter().enumerate() {
-            router.observe_pose(id, &looking(yaw));
+        for (&id, &yaw) in ids.iter().zip(&yaws) {
+            router.observe_pose(id, &looking(yaw)).expect("live id");
         }
         router.route_frame(now, &views);
         let frame_end = now + FRAME_INTERVAL;
         while now < frame_end {
             router.tick(now);
-            for (id, shown) in displayed.iter_mut().enumerate() {
-                if let Some(seq) = router.subscriber(id).latest_synced_seq() {
+            for (&id, shown) in ids.iter().zip(displayed.iter_mut()) {
+                let sub = router.subscriber(id).expect("still subscribed");
+                if let Some(seq) = sub.latest_synced_seq() {
                     if Some(seq) != *shown {
                         *shown = Some(seq);
                         trace.record(
@@ -205,7 +218,7 @@ fn sfu_fanout_reconstructs_per_subscriber_paths() {
     }
 
     let q = TraceQuery::from_trace(&trace);
-    for id in 0..yaws.len() {
+    for &id in &ids {
         let party = subscriber_party(id);
         // At least one frame per subscriber crosses all three tracks:
         // captured at the sender, encoded at the SFU (party 1), received,
