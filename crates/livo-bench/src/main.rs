@@ -34,7 +34,15 @@
 //! `livo-bench-qoe-v1`, committed as BENCH_qoe.json). `traceoverhead`
 //! A/B-measures the tracing cost on band2 encode; with `--gate` it exits
 //! non-zero if the median on/off ratio exceeds 1.05.
+//!
+//! `bond` runs the bonded-transport sweep (bonded vs every single link
+//! over the canned topology scenarios — clean dual link, WiFi fade,
+//! WiFi→LTE handover, burst loss); with `bond`, `--json [path]` writes
+//! the snapshot (schema `livo-bench-bond-v1`, committed as
+//! BENCH_bond.json) and `--gate` exits non-zero if bonding stops beating
+//! the best single link or the mid-call kill stops failing over cleanly.
 
+mod bond_bench;
 mod conference_bench;
 mod kernels_bench;
 mod qoe_bench;
@@ -48,19 +56,22 @@ use livo_telemetry::{log_event, Level};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick|--standard] [--metrics <path>] [--sfu-json <path>] [--json [path]] [--trace <path>] [--gate] <artefact>...\n\
-         artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid sfu kernels conference qoe traceoverhead all\n\
+         artefacts: table1 table3 table4 table5 table6 fig4 fig5 fig9 fig12 fig13 fig15 fig16 fig17 fig18 fig20 figa2 figa3 grid sfu kernels conference qoe bond traceoverhead all\n\
          --metrics <path>: also run one instrumented LiVo replay and write the\n\
          telemetry snapshot (schema livo-bench-pipeline-v1) as JSON to <path>\n\
          --sfu-json <path>: write the SFU scaling sweep (schema livo-bench-sfu-v2)\n\
          as JSON to <path>\n\
          --json [path]: with qoe, write the QoE sweep (schema livo-bench-qoe-v1,\n\
-         default BENCH_qoe.json); otherwise write the kernel microbench\n\
-         (schema livo-bench-kernels-v1, default BENCH_kernels.json)\n\
+         default BENCH_qoe.json); with bond, write the bonded-transport sweep\n\
+         (schema livo-bench-bond-v1, default BENCH_bond.json); otherwise write\n\
+         the kernel microbench (schema livo-bench-kernels-v1, default\n\
+         BENCH_kernels.json)\n\
          --trace <path>: with conference, write the run as Chrome trace-event\n\
          JSON (open in ui.perfetto.dev)\n\
          --gate: exit non-zero if any kernel runs below 1.0x its reference,\n\
          (with traceoverhead) if tracing costs more than 5% encode wall-clock,\n\
-         or (with sfu) if the scaling/churn structural claims fail\n\
+         (with sfu) if the scaling/churn structural claims fail, or (with\n\
+         bond) if bonding stops beating the best single link\n\
          progress goes through the structured logger; filter with LIVO_LOG=warn|info|debug"
     );
     std::process::exit(2);
@@ -99,7 +110,7 @@ impl GridCache {
 
 /// Artefact keywords, used to disambiguate `--json [path]`'s optional
 /// path from a following artefact name.
-const ARTEFACTS: [&str; 24] = [
+const ARTEFACTS: [&str; 25] = [
     "table1",
     "table3",
     "table4",
@@ -122,6 +133,7 @@ const ARTEFACTS: [&str; 24] = [
     "kernels",
     "conference",
     "qoe",
+    "bond",
     "traceoverhead",
     "all",
 ];
@@ -200,6 +212,7 @@ fn main() {
     let mut sfu_sweep: Option<sfu_bench::SfuSweep> = None;
     let mut kernel_points: Option<Vec<kernels_bench::KernelPoint>> = None;
     let mut qoe_points: Option<Vec<qoe_bench::QoePoint>> = None;
+    let mut bond_points: Option<Vec<bond_bench::BondPoint>> = None;
     let mut conf_report: Option<conference_bench::ConferenceReport> = None;
     let mut overhead: Option<conference_bench::OverheadResult> = None;
     for a in &artefacts {
@@ -254,6 +267,10 @@ fn main() {
             "qoe" => {
                 let pts = qoe_points.get_or_insert_with(|| qoe_bench::run_sweep(&profile));
                 qoe_bench::text(pts)
+            }
+            "bond" => {
+                let pts = bond_points.get_or_insert_with(|| bond_bench::run_sweep(quick));
+                bond_bench::text(pts)
             }
             "traceoverhead" => {
                 let r = overhead.get_or_insert_with(|| conference_bench::run_overhead(&profile));
@@ -334,15 +351,23 @@ fn main() {
     }
     if let Some(explicit) = json_flag {
         // `--json` snapshots the QoE sweep when qoe was requested, the
-        // kernel microbench otherwise; the path defaults to the
-        // committed baseline name.
+        // bond sweep when bond was, the kernel microbench otherwise;
+        // the path defaults to the committed baseline name.
         let qoe_requested = artefacts.iter().any(|a| a == "qoe");
+        let bond_requested = artefacts.iter().any(|a| a == "bond");
         let (path, what, json) = if qoe_requested {
             let pts = qoe_points.get_or_insert_with(|| qoe_bench::run_sweep(&profile));
             (
                 explicit.unwrap_or_else(|| "BENCH_qoe.json".into()),
                 "qoe sweep",
                 qoe_bench::json(pts, &profile),
+            )
+        } else if bond_requested {
+            let pts = bond_points.get_or_insert_with(|| bond_bench::run_sweep(quick));
+            (
+                explicit.unwrap_or_else(|| "BENCH_bond.json".into()),
+                "bonded transport sweep",
+                bond_bench::json(pts, &profile, quick),
             )
         } else {
             let pts = kernel_points.get_or_insert_with(kernels_bench::run);
@@ -409,7 +434,25 @@ fn main() {
                 "sfu gate passed: passes track clusters, sharded route holds, churn guarded"
             );
         }
-        if (overhead.is_none() && sfu_sweep.is_none()) || artefacts.iter().any(|a| a == "kernels") {
+        if let Some(pts) = &bond_points {
+            if !bond_bench::gate_ok(pts) {
+                log_event!(
+                    Level::Error,
+                    "repro",
+                    "bond gate failed: bonded delivery lost to the best single link, \
+                     stalled more, or the mid-call kill did not fail over cleanly"
+                );
+                std::process::exit(1);
+            }
+            log_event!(
+                Level::Info,
+                "repro",
+                "bond gate passed: bonded beats the best single link on every scenario"
+            );
+        }
+        if (overhead.is_none() && sfu_sweep.is_none() && bond_points.is_none())
+            || artefacts.iter().any(|a| a == "kernels")
+        {
             let pts = kernel_points.get_or_insert_with(kernels_bench::run);
             if !kernels_bench::gate_ok(pts) {
                 log_event!(

@@ -1,0 +1,31 @@
+//! Bonded multi-link transport: WiFi + cellular (+ ethernet) carrying one
+//! immersive call.
+//!
+//! LiVo's bandwidth adaptation assumes a single access link, but real
+//! clients hold several radios at once — and the trace-driven capacity
+//! minima where the paper's pipeline degrades are exactly where a second
+//! link saves the call. This crate bonds several emulated paths into one
+//! session:
+//!
+//! - [`scenario`]: a declarative topology/impairment harness. A
+//!   [`BondScenario`] names each link and gives it a bandwidth trace,
+//!   propagation delay, i.i.d. and/or Gilbert–Elliott burst loss, and a
+//!   timeline of mid-run events (down/up/kill, RTT jumps) — "car leaves
+//!   WiFi onto LTE" is the one-liner [`BondScenario::wifi_to_lte`].
+//! - [`scheduler`]: stateless per-packet link selection by minimum
+//!   expected delivery time (per-link GCC estimate + RTT + backlog),
+//!   with key-packet duplication and loss-aware retransmit placement.
+//! - [`session`]: [`BondedSession`], an `RtcSession`-shaped object with
+//!   one `GccEstimator` per leg and a *shared* reassembly/jitter/NACK
+//!   receiver, so failover is invisible to everything downstream.
+//!
+//! Everything stays in virtual microseconds and seeded RNG — bonded runs
+//! are bit-reproducible, which the failover tests pin.
+
+pub mod scenario;
+pub mod scheduler;
+pub mod session;
+
+pub use scenario::{BondScenario, LinkAction, LinkEvent, LinkScenario};
+pub use scheduler::{LinkSnapshot, SchedulerConfig};
+pub use session::{BondConfig, BondedSession, LinkReport};

@@ -19,6 +19,7 @@ use crate::reconstruct::{prepare_for_render, reconstruct_point_cloud};
 use crate::splitter::{BandwidthSplitter, SplitterConfig};
 use crate::tile::{compose_color, compose_depth, read_seq, write_seq, TileLayout};
 use bytes::Bytes;
+use livo_bond::{BondConfig, BondScenario, BondedSession};
 use livo_capture::{
     datasets::DatasetPreset, render::render_views_at, rig, BandwidthTrace, RgbdFrame, UserTrace,
     VideoId,
@@ -26,12 +27,14 @@ use livo_capture::{
 use livo_codec2d::{Decoder, Encoder, EncoderConfig, Frame, PixelFormat};
 use livo_math::FrustumParams;
 use livo_pointcloud::{pssim, PointCloud, PssimConfig, PssimScore};
+use livo_runtime::WorkerPool;
 use livo_telemetry::trace::{kind, EventTrace, TraceEvent, NO_FRAME};
 use livo_telemetry::{
     log_event, stage, AnomalyConfig, FlightBundle, FlightRecorder, FrameTimeline,
     FrameTimelineRecord, Level, MetricsRegistry, RegistrySnapshot, TelemetrySpan,
 };
-use livo_transport::{Micros, RtcSession, SessionConfig, StreamId};
+use livo_transport::packet::AssembledFrame;
+use livo_transport::{Micros, RtcSession, SessionConfig, SessionStats, StreamId};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -61,6 +64,13 @@ pub struct ConferenceConfig {
     /// Pin the split to a constant (Figs. 18–19's static splits).
     pub static_split: Option<f64>,
     pub session: SessionConfig,
+    /// Bonded multi-link transport: when set, the call runs over a
+    /// [`BondedSession`] built from this topology scenario instead of a
+    /// single-link [`RtcSession`] (whose `session.link` is then ignored —
+    /// the scenario describes the links). The shared session knobs
+    /// (jitter target, feedback cadence, pacing) still come from
+    /// `session`.
+    pub bond: Option<BondScenario>,
     /// Receiver render voxel size in metres.
     pub voxel_m: f32,
     /// Compute PSSIM on every n-th display slot (the expensive part; the
@@ -102,6 +112,7 @@ impl ConferenceConfig {
             splitter: SplitterConfig::default(),
             static_split: None,
             session: SessionConfig::default(),
+            bond: None,
             voxel_m: 0.03,
             quality_every: 15,
             budget_fraction: 0.80,
@@ -243,6 +254,13 @@ impl ConferenceConfigBuilder {
         self
     }
 
+    /// Run the call over a bonded multi-link topology instead of the
+    /// single emulated link in `session.link`.
+    pub fn bond(mut self, scenario: BondScenario) -> Self {
+        self.cfg.bond = Some(scenario);
+        self
+    }
+
     /// Receiver render voxel size in metres (> 0).
     pub fn voxel_m(mut self, m: f32) -> Self {
         self.cfg.voxel_m = m;
@@ -337,6 +355,11 @@ impl ConferenceConfigBuilder {
                 "tracing is on but the ring holds zero events".into(),
             );
         }
+        if let Some(sc) = &cfg.bond {
+            if let Err(msg) = sc.validate() {
+                return err("bond", msg);
+            }
+        }
         Ok(cfg)
     }
 }
@@ -420,6 +443,84 @@ impl RunSummary {
     }
 }
 
+/// The transport a call runs over: one emulated link, or several bonded.
+/// Both variants expose the identical session surface, so the runner's
+/// frame loop is transport-agnostic.
+enum CallSession {
+    Single(Box<RtcSession>),
+    Bonded(Box<BondedSession>),
+}
+
+impl CallSession {
+    fn attach_telemetry(
+        &mut self,
+        registry: &Arc<MetricsRegistry>,
+        prefix: &str,
+        timeline: Option<Arc<FrameTimeline>>,
+    ) {
+        match self {
+            CallSession::Single(s) => s.attach_telemetry(registry, prefix, timeline),
+            CallSession::Bonded(s) => s.attach_telemetry(registry, prefix, timeline),
+        }
+    }
+
+    fn attach_trace(&mut self, trace: Arc<EventTrace>, send_party: u16, recv_party: u16) {
+        match self {
+            CallSession::Single(s) => s.attach_trace(trace, send_party, recv_party),
+            CallSession::Bonded(s) => s.attach_trace(trace, send_party, recv_party),
+        }
+    }
+
+    fn estimate_bps(&self) -> f64 {
+        match self {
+            CallSession::Single(s) => s.estimate_bps(),
+            CallSession::Bonded(s) => s.estimate_bps(),
+        }
+    }
+
+    fn one_way_delay_us(&self) -> f64 {
+        match self {
+            CallSession::Single(s) => s.one_way_delay_us(),
+            CallSession::Bonded(s) => s.one_way_delay_us(),
+        }
+    }
+
+    fn send_frame(&mut self, now: Micros, stream: StreamId, id: u64, data: Bytes, key: bool) {
+        match self {
+            CallSession::Single(s) => s.send_frame(now, stream, id, data, key),
+            CallSession::Bonded(s) => s.send_frame(now, stream, id, data, key),
+        }
+    }
+
+    fn tick(&mut self, now: Micros) {
+        match self {
+            CallSession::Single(s) => s.tick(now),
+            CallSession::Bonded(s) => s.tick(now),
+        }
+    }
+
+    fn take_pli(&mut self, now: Micros) -> bool {
+        match self {
+            CallSession::Single(s) => s.take_pli(now),
+            CallSession::Bonded(s) => s.take_pli(now),
+        }
+    }
+
+    fn recv_frames(&mut self) -> Vec<AssembledFrame> {
+        match self {
+            CallSession::Single(s) => s.recv_frames(),
+            CallSession::Bonded(s) => s.recv_frames(),
+        }
+    }
+
+    fn stats(&self) -> &SessionStats {
+        match self {
+            CallSession::Single(s) => s.stats(),
+            CallSession::Bonded(s) => s.stats(),
+        }
+    }
+}
+
 /// The runner.
 pub struct ConferenceRunner {
     cfg: ConferenceConfig,
@@ -427,6 +528,7 @@ pub struct ConferenceRunner {
     cameras: Vec<livo_math::RgbdCamera>,
     layout: TileLayout,
     user_trace: UserTrace,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl ConferenceRunner {
@@ -450,7 +552,15 @@ impl ConferenceRunner {
             cameras,
             layout,
             user_trace,
+            pool: None,
         }
+    }
+
+    /// Run on a specific worker pool instead of the process-wide
+    /// [`livo_runtime::global`] one — lets tests pin determinism across
+    /// pool sizes without touching `LIVO_THREADS`.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
     }
 
     pub fn layout(&self) -> &TileLayout {
@@ -494,7 +604,11 @@ impl ConferenceRunner {
         // Intra-frame parallelism (capture fan-out, cull rows, encoder
         // stripes) all runs on the process-wide pool: LIVO_THREADS sized,
         // serial when 1.
-        let pool = livo_runtime::global();
+        let pool_arc = self
+            .pool
+            .clone()
+            .unwrap_or_else(|| livo_runtime::global().clone());
+        let pool = &pool_arc;
         color_enc.set_worker_pool(pool.clone());
         depth_enc.set_worker_pool(pool.clone());
         // Receive side: sliced (v2) frames entropy-decode slice-parallel on
@@ -502,7 +616,15 @@ impl ConferenceRunner {
         color_dec.set_worker_pool(pool.clone());
         depth_dec.set_worker_pool(pool.clone());
 
-        let mut session = RtcSession::new(net_trace.clone(), cfg.session.clone());
+        let mut session = match &cfg.bond {
+            Some(sc) => CallSession::Bonded(Box::new(BondedSession::new(
+                BondConfig::from_session(sc.clone(), &cfg.session),
+            ))),
+            None => CallSession::Single(Box::new(RtcSession::new(
+                net_trace.clone(),
+                cfg.session.clone(),
+            ))),
+        };
         let mut splitter = BandwidthSplitter::new(cfg.splitter);
         let mut predictor = FrustumPredictor::new(FrustumParams::default(), cfg.guard_m);
 
@@ -936,7 +1058,12 @@ impl ConferenceRunner {
         let n_sampled = sampled.len().max(1) as f64;
         let duration = cfg.duration_s as f64;
         let mean_fps = displayed as f64 / (records.len().max(1) as f64 / cfg.fps as f64);
-        let trace_mean = net_trace.stats().mean;
+        // Bonded runs ignore `net_trace` for the links; their capacity
+        // ceiling is the scenario's sum of link means.
+        let trace_mean = match &cfg.bond {
+            Some(sc) => sc.sum_capacity_mbps(),
+            None => net_trace.stats().mean,
+        };
 
         let n = total_frames.max(1) as f64;
         timings.capture_ms /= n;

@@ -50,6 +50,12 @@ pub mod kind {
     pub const LEAVE: &str = "leave";
     pub const REGROUP: &str = "regroup";
     pub const PROMOTE: &str = "promote";
+    // Bonded-transport link lifecycle (livo-bond), recorded against
+    // [`super::NO_FRAME`]. `arg` is the link index for up/down and the
+    // count of stranded in-flight packets for failover.
+    pub const LINK_UP: &str = "link_up";
+    pub const LINK_DOWN: &str = "link_down";
+    pub const FAILOVER: &str = "failover";
 }
 
 /// Sentinel `frame_seq` for events not tied to a frame (GCC ticks, pool

@@ -29,7 +29,7 @@ pub mod session;
 
 pub use gcc::{GccEstimator, GccState};
 pub use jitter::JitterBuffer;
-pub use link::LinkEmulator;
+pub use link::{Delivery, GilbertElliott, LinkConfig, LinkEmulator, LinkStats};
 pub use packet::{AssembledFrame, Packet, Packetizer, Reassembler, StreamId};
 pub use session::{RtcSession, SessionConfig, SessionStats};
 

@@ -13,6 +13,41 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
 
+/// Two-state Gilbert–Elliott burst-loss model. The chain advances one
+/// step per *offered* packet: a long "good" residency with near-zero loss
+/// punctuated by short "bad" residencies where most packets die — the
+/// shape of wireless interference bursts that i.i.d. loss can't produce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// P(good → bad) per offered packet.
+    pub p_enter_bad: f64,
+    /// P(bad → good) per offered packet.
+    pub p_exit_bad: f64,
+    /// Loss probability while in the good state.
+    pub loss_good: f64,
+    /// Loss probability while in the bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// Bursty profile from mean state residencies (in packets): lossless
+    /// good state, `loss_bad` inside bursts of mean length `mean_bad_pkts`.
+    pub fn bursty(mean_good_pkts: f64, mean_bad_pkts: f64, loss_bad: f64) -> Self {
+        GilbertElliott {
+            p_enter_bad: 1.0 / mean_good_pkts.max(1.0),
+            p_exit_bad: 1.0 / mean_bad_pkts.max(1.0),
+            loss_good: 0.0,
+            loss_bad,
+        }
+    }
+
+    /// Long-run average loss fraction of the chain.
+    pub fn mean_loss(&self) -> f64 {
+        let p_bad = self.p_enter_bad / (self.p_enter_bad + self.p_exit_bad).max(1e-12);
+        p_bad * self.loss_bad + (1.0 - p_bad) * self.loss_good
+    }
+}
+
 /// Configuration of one direction of the emulated path.
 #[derive(Debug, Clone)]
 pub struct LinkConfig {
@@ -23,6 +58,9 @@ pub struct LinkConfig {
     pub max_queue_delay: Micros,
     /// I.i.d. packet loss probability (applied before the queue).
     pub random_loss: f64,
+    /// Optional Gilbert–Elliott burst-loss chain, applied independently of
+    /// (on top of) `random_loss`.
+    pub burst: Option<GilbertElliott>,
     /// RNG seed for loss decisions.
     pub seed: u64,
 }
@@ -33,8 +71,28 @@ impl Default for LinkConfig {
             propagation: 20_000, // 20 ms one way
             max_queue_delay: 500_000,
             random_loss: 0.0,
+            burst: None,
             seed: 1,
         }
+    }
+}
+
+/// Cumulative counter snapshot of one link, cheap to copy out per tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    pub sent_packets: u64,
+    pub delivered_packets: u64,
+    pub delivered_bits: u64,
+    pub dropped_random: u64,
+    pub dropped_burst: u64,
+    pub dropped_queue: u64,
+    pub dropped_down: u64,
+}
+
+impl LinkStats {
+    /// Every packet offered but not delivered (any cause).
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_random + self.dropped_burst + self.dropped_queue + self.dropped_down
     }
 }
 
@@ -55,11 +113,17 @@ pub struct LinkEmulator {
     /// Packets in flight: ordered by arrival time (service completion +
     /// propagation).
     in_flight: VecDeque<Delivery>,
+    /// Gilbert–Elliott chain state (`true` = bad/bursty state).
+    ge_bad: bool,
+    /// Administratively down: sends are dropped, in-flight was flushed.
+    down: bool,
     // --- statistics ---
     pub delivered_packets: u64,
     pub delivered_bits: u64,
     pub dropped_random: u64,
+    pub dropped_burst: u64,
     pub dropped_queue: u64,
+    pub dropped_down: u64,
     pub sent_packets: u64,
 }
 
@@ -72,10 +136,14 @@ impl LinkEmulator {
             rng,
             busy_until: 0,
             in_flight: VecDeque::new(),
+            ge_bad: false,
+            down: false,
             delivered_packets: 0,
             delivered_bits: 0,
             dropped_random: 0,
+            dropped_burst: 0,
             dropped_queue: 0,
+            dropped_down: 0,
             sent_packets: 0,
         }
     }
@@ -89,9 +157,33 @@ impl LinkEmulator {
     /// packet was dropped (random loss or full queue).
     pub fn send(&mut self, packet: Packet, now: Micros) -> bool {
         self.sent_packets += 1;
+        if self.down {
+            self.dropped_down += 1;
+            return false;
+        }
         if self.cfg.random_loss > 0.0 && self.rng.gen_bool(self.cfg.random_loss) {
             self.dropped_random += 1;
             return false;
+        }
+        if let Some(ge) = self.cfg.burst {
+            // Advance the chain once per offered packet, then draw.
+            let flip = if self.ge_bad {
+                ge.p_exit_bad
+            } else {
+                ge.p_enter_bad
+            };
+            if flip > 0.0 && self.rng.gen_bool(flip.min(1.0)) {
+                self.ge_bad = !self.ge_bad;
+            }
+            let p_loss = if self.ge_bad {
+                ge.loss_bad
+            } else {
+                ge.loss_good
+            };
+            if p_loss > 0.0 && self.rng.gen_bool(p_loss.min(1.0)) {
+                self.dropped_burst += 1;
+                return false;
+            }
         }
         let start = now.max(self.busy_until);
         // Drop-tail on queuing delay.
@@ -108,19 +200,81 @@ impl LinkEmulator {
     }
 
     /// Pop every packet that has arrived by `now`, in arrival order.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should prefer
+    /// [`Self::poll_into`] with a reused scratch buffer.
     pub fn poll(&mut self, now: Micros) -> Vec<Delivery> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// Drain every packet that has arrived by `now` into `out` (appended in
+    /// arrival order, `out` is not cleared). Returns how many were drained.
+    pub fn poll_into(&mut self, now: Micros, out: &mut Vec<Delivery>) -> usize {
+        let mut n = 0;
         while let Some(front) = self.in_flight.front() {
             if front.arrival <= now {
                 let d = self.in_flight.pop_front().unwrap();
                 self.delivered_packets += 1;
                 self.delivered_bits += d.packet.wire_bits();
                 out.push(d);
+                n += 1;
             } else {
                 break;
             }
         }
-        out
+        n
+    }
+
+    /// Take the link administratively down or bring it back up. Going down
+    /// flushes everything in flight (those packets are lost, counted as
+    /// `dropped_down`); the count of stranded packets is returned. Bringing
+    /// an up link up (or a down link down again) is a no-op returning 0.
+    pub fn set_down(&mut self, down: bool) -> usize {
+        if down == self.down {
+            return 0;
+        }
+        self.down = down;
+        if down {
+            let stranded = self.in_flight.len();
+            self.dropped_down += stranded as u64;
+            self.in_flight.clear();
+            self.busy_until = 0;
+            stranded
+        } else {
+            0
+        }
+    }
+
+    /// Whether the link is administratively down.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Change the one-way propagation delay mid-run (RTT jump). Applies to
+    /// packets offered from now on; packets already in flight keep their
+    /// original arrival time.
+    pub fn set_propagation(&mut self, propagation: Micros) {
+        self.cfg.propagation = propagation;
+    }
+
+    /// Current one-way propagation delay.
+    pub fn propagation(&self) -> Micros {
+        self.cfg.propagation
+    }
+
+    /// Copy out the cumulative counters.
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            sent_packets: self.sent_packets,
+            delivered_packets: self.delivered_packets,
+            delivered_bits: self.delivered_bits,
+            dropped_random: self.dropped_random,
+            dropped_burst: self.dropped_burst,
+            dropped_queue: self.dropped_queue,
+            dropped_down: self.dropped_down,
+        }
     }
 
     /// Current queuing backlog in time (how long a new packet would wait).
@@ -133,7 +287,7 @@ impl LinkEmulator {
         if self.sent_packets == 0 {
             0.0
         } else {
-            (self.dropped_random + self.dropped_queue) as f64 / self.sent_packets as f64
+            self.stats().dropped_total() as f64 / self.sent_packets as f64
         }
     }
 }
@@ -257,6 +411,82 @@ mod tests {
             - delivered.iter().map(|d| d.packet.wire_bits()).sum::<u64>();
         let mbps = total_bits as f64 / 5.0 / 1e6;
         assert!((mbps - 5.0).abs() < 0.5, "delivered {mbps} Mbps");
+    }
+
+    #[test]
+    fn poll_into_matches_poll() {
+        let mk = || {
+            let trace = BandwidthTrace::constant(10.0, 10.0);
+            let mut link = LinkEmulator::new(trace, LinkConfig::default());
+            for (i, p) in mk_packets(20, 800).into_iter().enumerate() {
+                link.send(p, i as Micros * 500);
+            }
+            link
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let via_poll = a.poll(1_000_000);
+        let mut scratch = Vec::new();
+        let n = b.poll_into(1_000_000, &mut scratch);
+        assert_eq!(n, via_poll.len());
+        let seqs = |ds: &[Delivery]| ds.iter().map(|d| d.packet.seq).collect::<Vec<_>>();
+        assert_eq!(seqs(&via_poll), seqs(&scratch));
+    }
+
+    #[test]
+    fn burst_loss_is_bursty_and_hits_mean() {
+        let trace = BandwidthTrace::constant(100.0, 30.0);
+        let ge = GilbertElliott::bursty(200.0, 20.0, 0.6);
+        let cfg = LinkConfig {
+            burst: Some(ge),
+            seed: 11,
+            ..Default::default()
+        };
+        let mut link = LinkEmulator::new(trace, cfg);
+        let mut outcomes = Vec::new();
+        for (i, p) in mk_packets(20_000, 200).into_iter().enumerate() {
+            outcomes.push(link.send(p, i as Micros * 100));
+        }
+        let frac = link.dropped_burst as f64 / outcomes.len() as f64;
+        assert!((frac - ge.mean_loss()).abs() < 0.02, "burst loss {frac}");
+        // Burstiness: consecutive-loss pairs far above the i.i.d. rate frac².
+        let pairs = outcomes.windows(2).filter(|w| !w[0] && !w[1]).count();
+        let pair_rate = pairs as f64 / (outcomes.len() - 1) as f64;
+        assert!(
+            pair_rate > 3.0 * frac * frac,
+            "pair rate {pair_rate} vs iid {}",
+            frac * frac
+        );
+    }
+
+    #[test]
+    fn down_link_drops_and_strands_in_flight() {
+        let trace = BandwidthTrace::constant(10.0, 10.0);
+        let mut link = LinkEmulator::new(trace, LinkConfig::default());
+        for p in mk_packets(5, 800) {
+            assert!(link.send(p, 0));
+        }
+        let stranded = link.set_down(true);
+        assert_eq!(stranded, 5);
+        assert!(link.is_down());
+        assert!(!link.send(mk_packets(1, 800).pop().unwrap(), 1000));
+        assert_eq!(link.dropped_down, 6);
+        assert!(link.poll(10_000_000).is_empty());
+        assert_eq!(link.set_down(false), 0);
+        assert!(link.send(mk_packets(1, 800).pop().unwrap(), 2000));
+        assert_eq!(link.poll(10_000_000).len(), 1);
+    }
+
+    #[test]
+    fn propagation_change_applies_to_new_packets() {
+        let trace = BandwidthTrace::constant(10.0, 10.0);
+        let mut link = LinkEmulator::new(trace, LinkConfig::default());
+        link.set_propagation(80_000);
+        assert_eq!(link.propagation(), 80_000);
+        let pkts = mk_packets(1, 1200);
+        link.send(pkts[0].clone(), 0);
+        let out = link.poll(10_000_000);
+        assert!(out[0].arrival >= 80_000, "arrival {}", out[0].arrival);
     }
 
     #[test]

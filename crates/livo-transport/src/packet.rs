@@ -140,6 +140,10 @@ pub struct Reassembler {
     highest_seq: Option<u64>,
     /// Seqs seen, within the tracking window (for NACK de-duplication).
     seen: std::collections::BTreeSet<u64>,
+    /// Every seq at or below this has been seen — gap scans start above
+    /// it, so an in-order stream costs O(1) per `missing_seqs` call
+    /// instead of walking the whole seen-window.
+    contig: Option<u64>,
     /// Frames already emitted (ids below this are stale).
     next_emit_frame: u64,
 }
@@ -156,6 +160,7 @@ impl Reassembler {
             pending: Default::default(),
             highest_seq: None,
             seen: Default::default(),
+            contig: None,
             next_emit_frame: 0,
         }
     }
@@ -164,6 +169,21 @@ impl Reassembler {
     pub fn push(&mut self, pkt: Packet, now: Micros) -> Option<AssembledFrame> {
         self.highest_seq = Some(self.highest_seq.map_or(pkt.seq, |h| h.max(pkt.seq)));
         self.seen.insert(pkt.seq);
+        // Advance the contiguity frontier, then drop the seen-seqs it
+        // covers — they can never be reported missing again.
+        let mut advanced = false;
+        loop {
+            let next = self.contig.map_or(0, |c| c + 1);
+            if self.seen.contains(&next) {
+                self.contig = Some(next);
+                advanced = true;
+            } else {
+                break;
+            }
+        }
+        if advanced {
+            self.seen = self.seen.split_off(&self.contig.unwrap());
+        }
         // Trim the seen-window to bound memory.
         if self.seen.len() > 20_000 {
             let cutoff = *self.seen.iter().nth(10_000).unwrap();
@@ -208,7 +228,10 @@ impl Reassembler {
         let Some(high) = self.highest_seq else {
             return Vec::new();
         };
-        let floor = self.seen.iter().next().copied().unwrap_or(0);
+        let floor = match self.contig {
+            Some(c) => c + 1,
+            None => self.seen.iter().next().copied().unwrap_or(0),
+        };
         let mut out = Vec::new();
         for s in floor..high {
             if !self.seen.contains(&s) {
@@ -317,6 +340,29 @@ mod tests {
         assert!(r.missing_seqs(10).is_empty());
         let f = r.push(pkts[4].clone(), 2).unwrap();
         assert_eq!(f.data.len(), 320);
+    }
+
+    #[test]
+    fn missing_seqs_scans_above_contiguity_frontier() {
+        // A long in-order prefix must not be rescanned: gaps are reported
+        // relative to the frontier, and retransmits close them.
+        let mut p = Packetizer::with_mtu(StreamId::Color, 64);
+        let mut r = Reassembler::new();
+        let mut all = Vec::new();
+        for f in 0..50u64 {
+            all.extend(p.packetize(f, frame_bytes(64 * 4, f as u8), 0, false));
+        }
+        for pkt in &all[..100] {
+            r.push(pkt.clone(), 0);
+        }
+        assert!(r.missing_seqs(10).is_empty());
+        // Skip seq 100, deliver 101..110: exactly one gap.
+        for pkt in &all[101..110] {
+            r.push(pkt.clone(), 1);
+        }
+        assert_eq!(r.missing_seqs(10), vec![100]);
+        r.push(all[100].clone(), 2);
+        assert!(r.missing_seqs(10).is_empty());
     }
 
     #[test]

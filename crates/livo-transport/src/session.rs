@@ -13,7 +13,7 @@
 
 use crate::gcc::GccEstimator;
 use crate::jitter::JitterBuffer;
-use crate::link::{LinkConfig, LinkEmulator};
+use crate::link::{Delivery, LinkConfig, LinkEmulator};
 use crate::nack::{NackGenerator, RetransmitBuffer};
 use crate::packet::{AssembledFrame, Packet, Packetizer, Reassembler, StreamId};
 use crate::Micros;
@@ -77,8 +77,13 @@ impl SessionStats {
     }
 
     /// Delivered application throughput over `duration_s`, in Mbps.
+    /// Returns 0 for a non-positive duration rather than inf/NaN.
     pub fn throughput_mbps(&self, duration_s: f64) -> f64 {
-        self.bits_delivered as f64 / duration_s / 1e6
+        if duration_s <= 0.0 {
+            0.0
+        } else {
+            self.bits_delivered as f64 / duration_s / 1e6
+        }
     }
 }
 
@@ -174,6 +179,9 @@ pub struct RtcSession {
     /// removed when reassembly completes; capped to bound memory when
     /// frames never complete (heavy loss).
     link_seen: BTreeSet<(StreamId, u64)>,
+    /// Reused arrival buffer for [`LinkEmulator::poll_into`] — keeps the
+    /// per-tick receive path allocation-free.
+    poll_scratch: Vec<Delivery>,
 }
 
 impl RtcSession {
@@ -205,6 +213,7 @@ impl RtcSession {
             telemetry: None,
             trace: None,
             link_seen: BTreeSet::new(),
+            poll_scratch: Vec::new(),
         }
     }
 
@@ -384,7 +393,10 @@ impl RtcSession {
 
     /// Receiver side: drain the link into reassembly and jitter buffers.
     fn deliver(&mut self, now: Micros) {
-        for d in self.link.poll(now) {
+        let mut arrivals = std::mem::take(&mut self.poll_scratch);
+        arrivals.clear();
+        self.link.poll_into(now, &mut arrivals);
+        for d in arrivals.drain(..) {
             let owd = d.arrival.saturating_sub(d.packet.send_ts) as f64;
             self.smoothed_owd = if self.smoothed_owd == 0.0 {
                 owd
@@ -431,6 +443,7 @@ impl RtcSession {
                 jb.push(frame);
             }
         }
+        self.poll_scratch = arrivals;
         // Pull playable frames.
         for (stream, jb) in self.jitters.iter_mut() {
             for f in jb.pop_ready(now) {
@@ -471,7 +484,7 @@ impl RtcSession {
             self.last_feedback = now;
             // Loss fraction over the interval, from offered/dropped deltas.
             let sent = self.link.sent_packets;
-            let dropped = self.link.dropped_random + self.link.dropped_queue;
+            let dropped = self.link.stats().dropped_total();
             let (base_sent, base_drop) = self.loss_window_base;
             let d_sent = sent.saturating_sub(base_sent);
             let d_drop = dropped.saturating_sub(base_drop);

@@ -36,8 +36,8 @@ EXT="--extern serde=$OUT/libserde.rlib --extern serde_json=$OUT/libserde_json.rl
 
 # Dependency order matters; livo-bench is the bin crate handled at the end.
 CRATES="livo-telemetry livo-runtime livo-math livo-pointcloud livo-capture
-        livo-codec2d livo-codec3d livo-mesh livo-transport livo-core
-        livo-sfu livo-baselines livo-eval"
+        livo-codec2d livo-codec3d livo-mesh livo-transport livo-bond
+        livo-core livo-sfu livo-baselines livo-eval"
 
 for c in $CRATES; do
   name=${c//-/_}
@@ -73,7 +73,7 @@ for t in $ITESTS; do
   $RUSTC --test --crate-name "$bn" "$R/crates/$t" -o "$OUT/$bn" $EXT
 done
 for t in end_to_end telemetry_timeline parallel_bitexact sfu_fanout kernel_differential \
-         trace_events metric_names; do
+         trace_events metric_names bond_failover; do
   $RUSTC --test --crate-name "$t" "$R/tests/$t.rs" -o "$OUT/$t" $EXT
 done
 
@@ -92,7 +92,7 @@ if [ "$1" = "run-tests" ]; then
   for bin in "$OUT"/*_unit "$OUT"/robustness_livo_codec2d "$OUT"/kalman_scenarios_livo_math \
              "$OUT"/gcc_scenarios_livo_transport "$OUT"/end_to_end "$OUT"/telemetry_timeline \
              "$OUT"/parallel_bitexact "$OUT"/sfu_fanout "$OUT"/kernel_differential \
-             "$OUT"/trace_events "$OUT"/metric_names; do
+             "$OUT"/trace_events "$OUT"/metric_names "$OUT"/bond_failover; do
     name=$(basename "$bin")
     if ! out=$("$bin" 2>&1); then
       echo "FAILED: $name"; echo "$out" | tail -30; fail=1

@@ -16,8 +16,8 @@ EXT="--extern serde=$OUT/libserde.rlib --extern serde_json=$OUT/libserde_json.rl
      --extern crossbeam=$OUT/libcrossbeam.rlib --extern serde_derive=$OUT/libserde_derive.so"
 
 CRATES="livo-telemetry livo-runtime livo-math livo-pointcloud livo-capture
-        livo-codec2d livo-codec3d livo-mesh livo-transport livo-core
-        livo-sfu livo-baselines livo-eval"
+        livo-codec2d livo-codec3d livo-mesh livo-transport livo-bond
+        livo-core livo-sfu livo-baselines livo-eval"
 
 for c in $CRATES; do
   name=${c//-/_}

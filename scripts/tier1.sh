@@ -42,6 +42,19 @@ qoe_check() {
   echo "qoe snapshot OK (schema livo-bench-qoe-v1, $pts points)"
 }
 
+# Bonded-transport gate: `repro --quick bond --gate` exits non-zero when
+# bonding stops beating the best single link (delivered Mbps and stall
+# rate on the degradation scenarios, >=90% of summed capacity on the
+# lossless one). The snapshot must carry the stable schema tag and all
+# four topology scenarios.
+bond_check() {
+  json=$1
+  grep -q '"schema":"livo-bench-bond-v1"' "$json" || { echo "bond snapshot missing schema tag"; exit 1; }
+  pts=$(grep -o '"scenario"' "$json" | wc -l)
+  [ "$pts" = 4 ] || { echo "bond snapshot has $pts scenarios, expected 4"; exit 1; }
+  echo "bond snapshot OK (schema livo-bench-bond-v1, $pts scenarios)"
+}
+
 fmt_check() {
   # Formatting is part of the gate in both modes.
   if command -v cargo >/dev/null 2>&1 && cargo fmt --version >/dev/null 2>&1 && [ "$1" = cargo ]; then
@@ -88,6 +101,12 @@ if cargo_works; then
   # baseline at N=100, and churn intras stay one RTT apart.
   echo "== tier1: sfu scaling gate =="
   LIVO_LOG=warn cargo run --release --bin repro -- --quick --gate sfu >/dev/null
+  # Bonded-transport gate: bonded delivery must beat the best single
+  # link on every topology scenario and survive the mid-call kill.
+  echo "== tier1: bond gate =="
+  bsnap=$(mktemp)
+  LIVO_LOG=warn cargo run --release --bin repro -- --quick --gate bond --json "$bsnap" >/dev/null
+  bond_check "$bsnap"; rm -f "$bsnap"
   fmt_check cargo
   if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
@@ -113,6 +132,10 @@ else
   LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --quick --gate traceoverhead >/dev/null
   echo "== tier1: sfu scaling gate =="
   LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --quick --gate sfu >/dev/null
+  echo "== tier1: bond gate =="
+  bsnap=$(mktemp)
+  LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --quick --gate bond --json "$bsnap" >/dev/null
+  bond_check "$bsnap"; rm -f "$bsnap"
   fmt_check offline
   if command -v clippy-driver >/dev/null 2>&1; then
     bash scripts/offline_clippy.sh

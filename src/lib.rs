@@ -22,6 +22,7 @@
 //! | [`codec3d`] | `livo-codec3d` | octree point-cloud codec (Draco-like) |
 //! | [`mesh`] | `livo-mesh` | meshing, decimation, surface sampling |
 //! | [`transport`] | `livo-transport` | GCC, jitter buffer, NACK/PLI, link |
+//! | [`bond`] | `livo-bond` | bonded multi-link transport, impairment scenarios |
 //! | [`core`] | `livo-core` | tiling, depth, splitter, culling, pipeline |
 //! | [`sfu`] | `livo-sfu` | selective forwarding, frustum-clustered encode sharing |
 //! | [`baselines`] | `livo-baselines` | Draco-Oracle, MeshReduce |
@@ -46,6 +47,7 @@
 //! ```
 
 pub use livo_baselines as baselines;
+pub use livo_bond as bond;
 pub use livo_capture as capture;
 pub use livo_codec2d as codec2d;
 pub use livo_codec3d as codec3d;
@@ -62,6 +64,7 @@ pub use livo_transport as transport;
 /// The types most applications need.
 pub mod prelude {
     pub use livo_baselines::{DracoOracle, DracoOracleConfig, MeshReduce, MeshReduceConfig};
+    pub use livo_bond::{BondConfig, BondScenario, BondedSession, LinkScenario};
     pub use livo_capture::{BandwidthTrace, DatasetPreset, TraceId, UserTrace, VideoId};
     pub use livo_codec2d::{Decoder, Encoder, EncoderConfig, Frame, PixelFormat};
     pub use livo_core::conference::{

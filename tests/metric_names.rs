@@ -41,6 +41,53 @@ fn conference_metric_names_follow_convention() {
 }
 
 #[test]
+fn bonded_session_metric_names_follow_convention() {
+    use livo::bond::BondConfig;
+    use livo::telemetry::MetricsRegistry;
+    use livo::transport::StreamId;
+    use std::sync::Arc;
+
+    // Hostile link names must sanitise into metric-safe segments.
+    let sc = BondScenario::new("audit")
+        .link(LinkScenario::new("WiFi-5G", 8.0, 3.0))
+        .link(LinkScenario::new("caf\u{e9} lte", 4.0, 3.0).propagation_ms(45.0));
+    let mut s = BondedSession::new(BondConfig::new(sc));
+    let registry = Arc::new(MetricsRegistry::new());
+    s.attach_telemetry(&registry, "transport", None);
+    // Drive briefly so gauges/counters get touched.
+    let mut t = 0u64;
+    for frame in 0..30u64 {
+        s.send_frame(
+            t,
+            StreamId::Color,
+            frame,
+            bytes::Bytes::from(vec![0u8; 4_000]),
+            frame == 0,
+        );
+        for _ in 0..33 {
+            s.tick(t);
+            s.recv_frames();
+            t += 1_000;
+        }
+    }
+    let snap = registry.snapshot();
+    audit(snap.counters.keys(), "bonded session counters");
+    audit(snap.gauges.keys(), "bonded session gauges");
+    audit(snap.histograms.keys(), "bonded session histograms");
+    // The per-link family must actually be present, under sanitised names.
+    for name in [
+        "transport.link.wifi_5g.estimate_bps",
+        "transport.link.caf__lte.tx_packets",
+        "transport.bond.failovers",
+        "transport.bond.estimate_bps",
+        "transport.gcc.estimate_bps",
+    ] {
+        let present = snap.counters.contains_key(name) || snap.gauges.contains_key(name);
+        assert!(present, "expected metric {name} missing");
+    }
+}
+
+#[test]
 fn sfu_metric_names_follow_convention() {
     let cameras = rig::camera_ring(
         2,
