@@ -8,7 +8,7 @@
 //! parseable after a resync.
 
 use crate::dct::ZIGZAG;
-use crate::rangecoder::{BitModel, RangeDecoder, RangeEncoder};
+use crate::rangecoder::{BitModel, BitSink, BitSource};
 
 /// Significance-context band for a zig-zag scan position.
 #[inline]
@@ -48,8 +48,10 @@ impl CoeffContexts {
     }
 }
 
-/// Encode one block of raster-order quantised levels.
-pub fn encode_block(enc: &mut RangeEncoder, ctx: &mut CoeffContexts, levels: &[i32; 64]) {
+/// Encode one block of raster-order quantised levels. Generic over the bit
+/// sink so the same coding order drives the serial coder (v1 and 1-lane
+/// slices) and the interleaved lane coder.
+pub fn encode_block<S: BitSink>(enc: &mut S, ctx: &mut CoeffContexts, levels: &[i32; 64]) {
     // Scan in zig-zag order, find the last significant position.
     let mut last: Option<usize> = None;
     for pos in (0..64).rev() {
@@ -93,7 +95,7 @@ pub fn encode_block(enc: &mut RangeEncoder, ctx: &mut CoeffContexts, levels: &[i
 }
 
 /// Decode one block into raster-order quantised levels.
-pub fn decode_block(dec: &mut RangeDecoder<'_>, ctx: &mut CoeffContexts) -> [i32; 64] {
+pub fn decode_block<D: BitSource>(dec: &mut D, ctx: &mut CoeffContexts) -> [i32; 64] {
     let mut levels = [0i32; 64];
     if !dec.decode_bit(&mut ctx.cbf) {
         return levels;
@@ -124,7 +126,7 @@ pub fn decode_block(dec: &mut RangeDecoder<'_>, ctx: &mut CoeffContexts) -> [i32
 
 /// Encode a signed value as (ue magnitude, sign) in bypass mode — used for
 /// motion-vector differences.
-pub fn encode_svalue(enc: &mut RangeEncoder, v: i32) {
+pub fn encode_svalue<S: BitSink>(enc: &mut S, v: i32) {
     enc.encode_ue_bypass(v.unsigned_abs());
     if v != 0 {
         enc.encode_bypass(v < 0);
@@ -133,7 +135,7 @@ pub fn encode_svalue(enc: &mut RangeEncoder, v: i32) {
 
 /// Inverse of [`encode_svalue`]. Magnitudes from corrupt streams saturate
 /// at `i32::MAX` rather than wrapping through the sign.
-pub fn decode_svalue(dec: &mut RangeDecoder<'_>) -> i32 {
+pub fn decode_svalue<D: BitSource>(dec: &mut D) -> i32 {
     let mag = dec.decode_ue_bypass().min(i32::MAX as u32) as i32;
     if mag == 0 {
         0
@@ -147,6 +149,7 @@ pub fn decode_svalue(dec: &mut RangeDecoder<'_>) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rangecoder::{LaneDecoder, LaneEncoder, RangeDecoder, RangeEncoder};
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
@@ -235,6 +238,36 @@ mod tests {
             "1000 empty blocks took {} bytes",
             data.len()
         );
+    }
+
+    /// Block coding through the interleaved lanes round-trips at every lane
+    /// count — the property the multi-lane slice format rests on.
+    #[test]
+    fn block_round_trip_through_lanes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let blocks: Vec<[i32; 64]> = (0..120)
+            .map(|_| {
+                let mut b = [0i32; 64];
+                b[0] = rng.gen_range(-500..=500);
+                for _ in 0..rng.gen_range(0..8) {
+                    b[ZIGZAG[rng.gen_range(0..30)]] = rng.gen_range(-20..=20);
+                }
+                b
+            })
+            .collect();
+        for lanes in [1usize, 2, 4] {
+            let mut enc = LaneEncoder::new(lanes);
+            let mut ctx = CoeffContexts::new();
+            for b in &blocks {
+                encode_block(&mut enc, &mut ctx, b);
+            }
+            let payload = enc.finish_payload();
+            let mut dec = LaneDecoder::new(&payload, lanes).unwrap();
+            let mut ctx2 = CoeffContexts::new();
+            for (i, b) in blocks.iter().enumerate() {
+                assert_eq!(&decode_block(&mut dec, &mut ctx2), b, "{lanes} lanes, {i}");
+            }
+        }
     }
 
     #[test]

@@ -144,7 +144,7 @@ const A_2613: f32 = 2.613_126; // 2·(cos(2π/16) + cos(4π/16))
 /// makes measure-zero — and encoder and decoder share this path, so the
 /// closed loop stays self-consistent either way.
 #[inline(always)]
-fn round_i32(x: f32) -> i32 {
+pub(crate) fn round_i32(x: f32) -> i32 {
     const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
                                      // `MAGIC + n` for integer `n` in ±2^22 stays inside [2^23, 2^24), where
                                      // consecutive f32s are consecutive integers — so the rounded integer sits
@@ -328,9 +328,35 @@ fn idct8_lanes(s: [[f32; 8]; 8]) -> [[f32; 8]; 8] {
 }
 
 /// Forward 8×8 DCT of a raster-order block of samples. Output is raster
-/// order (DC at index 0). AAN fast path; agrees with [`forward_ref`] up to
-/// f32 rounding.
+/// order (DC at index 0). Dispatches to the AVX2 path when the runtime tier
+/// allows (bit-identical — see [`avx2`]); agrees with [`forward_ref`] up to
+/// f32 rounding either way.
 pub fn forward(block: &[i32; 64]) -> [f32; 64] {
+    #[cfg(target_arch = "x86_64")]
+    if livo_math::simd::has_avx2() {
+        // SAFETY: has_avx2() never reports true unless the CPU supports it.
+        return unsafe { avx2::forward(block) };
+    }
+    forward_baseline(block)
+}
+
+/// Inverse 8×8 DCT back to integer samples (rounded, unclamped). Dispatches
+/// like [`forward`]; agrees with [`inverse_ref`] up to the same rounding the
+/// codec's tolerances already allow.
+pub fn inverse(coeffs: &[f32; 64]) -> [i32; 64] {
+    #[cfg(target_arch = "x86_64")]
+    if livo_math::simd::has_avx2() {
+        // SAFETY: has_avx2() never reports true unless the CPU supports it.
+        return unsafe { avx2::inverse(coeffs) };
+    }
+    inverse_baseline(coeffs)
+}
+
+/// The pre-AVX2 fast path (4-wide halves + SSE2 transpose). Public so the
+/// `repro kernels` bench can time the AVX2 path against it in one process;
+/// not part of the codec API.
+#[doc(hidden)]
+pub fn forward_baseline(block: &[i32; 64]) -> [f32; 64] {
     // Column pass first: a row-major load puts column `u` in lane `u`, so
     // the int→float conversion and the whole pass stay contiguous.
     let rows: [[f32; 8]; 8] =
@@ -353,10 +379,9 @@ pub fn forward(block: &[i32; 64]) -> [f32; 64] {
     d
 }
 
-/// Inverse 8×8 DCT back to integer samples (rounded, unclamped). AAN fast
-/// path; agrees with [`inverse_ref`] up to the same rounding the codec's
-/// tolerances already allow.
-pub fn inverse(coeffs: &[f32; 64]) -> [i32; 64] {
+/// The pre-AVX2 inverse fast path; see [`forward_baseline`].
+#[doc(hidden)]
+pub fn inverse_baseline(coeffs: &[f32; 64]) -> [i32; 64] {
     // Pre-scale while loading: lane `u` carries column `u`, index `v` is
     // the coefficient row, so the column pass needs no transpose.
     let rows: [[f32; 8]; 8] =
@@ -371,6 +396,199 @@ pub fn inverse(coeffs: &[f32; 64]) -> [i32; 64] {
         }
     }
     out
+}
+
+/// AVX2 tier: the same AAN butterflies at the full lane width — one 256-bit
+/// register per butterfly variable instead of two 4-wide halves — written
+/// directly in intrinsics so every stage (int→float conversion, both
+/// passes, the unpack/shuffle/permute2f128 transposes, the scale multiply,
+/// the magic-number rounding) stays in `__m256` registers with no stack
+/// round-trips between stages.
+///
+/// Bit-exactness with the baseline is by construction: `vaddps`/`vsubps`/
+/// `vmulps` are per-lane IEEE operations applied in *exactly* the operation
+/// order of [`fdct8_half`]/[`idct8_half`], `vcvtdq2ps` rounds like `as f32`,
+/// the transposes are pure data movement, and only `avx2` is enabled (never
+/// `fma`, whose contraction would change rounding). The in-module tests pin
+/// this against [`forward_baseline`] / [`inverse_baseline`].
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Full 8×8 transpose on eight 256-bit rows, register to register:
+    /// interleave pairs of rows, then pairs of pairs, then swap 128-bit
+    /// halves — the standard three-stage 8×8 float transpose.
+    #[inline(always)]
+    unsafe fn transpose8_avx2(r: [__m256; 8]) -> [__m256; 8] {
+        let t0 = _mm256_unpacklo_ps(r[0], r[1]);
+        let t1 = _mm256_unpackhi_ps(r[0], r[1]);
+        let t2 = _mm256_unpacklo_ps(r[2], r[3]);
+        let t3 = _mm256_unpackhi_ps(r[2], r[3]);
+        let t4 = _mm256_unpacklo_ps(r[4], r[5]);
+        let t5 = _mm256_unpackhi_ps(r[4], r[5]);
+        let t6 = _mm256_unpacklo_ps(r[6], r[7]);
+        let t7 = _mm256_unpackhi_ps(r[6], r[7]);
+        let s0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+        let s1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+        let s2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+        let s3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+        let s4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+        let s5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+        let s6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+        let s7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+        [
+            _mm256_permute2f128_ps::<0x20>(s0, s4),
+            _mm256_permute2f128_ps::<0x20>(s1, s5),
+            _mm256_permute2f128_ps::<0x20>(s2, s6),
+            _mm256_permute2f128_ps::<0x20>(s3, s7),
+            _mm256_permute2f128_ps::<0x31>(s0, s4),
+            _mm256_permute2f128_ps::<0x31>(s1, s5),
+            _mm256_permute2f128_ps::<0x31>(s2, s6),
+            _mm256_permute2f128_ps::<0x31>(s3, s7),
+        ]
+    }
+
+    /// [`fdct8_half`] on 256-bit lanes, same operations in the same order.
+    #[inline(always)]
+    unsafe fn fdct8_m256(s: [__m256; 8]) -> [__m256; 8] {
+        let add = |a, b| _mm256_add_ps(a, b);
+        let sub = |a, b| _mm256_sub_ps(a, b);
+        let mul = |a, k: f32| _mm256_mul_ps(a, _mm256_set1_ps(k));
+        let [s0, s1, s2, s3, s4, s5, s6, s7] = s;
+        let tmp0 = add(s0, s7);
+        let tmp7 = sub(s0, s7);
+        let tmp1 = add(s1, s6);
+        let tmp6 = sub(s1, s6);
+        let tmp2 = add(s2, s5);
+        let tmp5 = sub(s2, s5);
+        let tmp3 = add(s3, s4);
+        let tmp4 = sub(s3, s4);
+
+        // Even part.
+        let tmp10 = add(tmp0, tmp3);
+        let tmp13 = sub(tmp0, tmp3);
+        let tmp11 = add(tmp1, tmp2);
+        let tmp12 = sub(tmp1, tmp2);
+        let o0 = add(tmp10, tmp11);
+        let o4 = sub(tmp10, tmp11);
+        let z1 = mul(add(tmp12, tmp13), A_707);
+        let o2 = add(tmp13, z1);
+        let o6 = sub(tmp13, z1);
+
+        // Odd part.
+        let tmp10 = add(tmp4, tmp5);
+        let tmp11 = add(tmp5, tmp6);
+        let tmp12 = add(tmp6, tmp7);
+        let z5 = mul(sub(tmp10, tmp12), A_382);
+        let z2 = add(mul(tmp10, A_541), z5);
+        let z4 = add(mul(tmp12, A_1306), z5);
+        let z3 = mul(tmp11, A_707);
+        let z11 = add(tmp7, z3);
+        let z13 = sub(tmp7, z3);
+        let o5 = add(z13, z2);
+        let o3 = sub(z13, z2);
+        let o1 = add(z11, z4);
+        let o7 = sub(z11, z4);
+
+        [o0, o1, o2, o3, o4, o5, o6, o7]
+    }
+
+    /// [`idct8_half`] on 256-bit lanes, same operations in the same order.
+    #[inline(always)]
+    unsafe fn idct8_m256(s: [__m256; 8]) -> [__m256; 8] {
+        let add = |a, b| _mm256_add_ps(a, b);
+        let sub = |a, b| _mm256_sub_ps(a, b);
+        let mul = |a, k: f32| _mm256_mul_ps(a, _mm256_set1_ps(k));
+        let [s0, s1, s2, s3, s4, s5, s6, s7] = s;
+        // Even part.
+        let tmp10 = add(s0, s4);
+        let tmp11 = sub(s0, s4);
+        let tmp13 = add(s2, s6);
+        let tmp12 = sub(mul(sub(s2, s6), SQRT2), tmp13);
+        let t0 = add(tmp10, tmp13);
+        let t3 = sub(tmp10, tmp13);
+        let t1 = add(tmp11, tmp12);
+        let t2 = sub(tmp11, tmp12);
+
+        // Odd part.
+        let z13 = add(s5, s3);
+        let z10 = sub(s5, s3);
+        let z11 = add(s1, s7);
+        let z12 = sub(s1, s7);
+        let t7 = add(z11, z13);
+        let tmp11 = mul(sub(z11, z13), SQRT2);
+        let z5 = mul(add(z10, z12), A_1847);
+        let tmp10 = sub(mul(z12, A_1082), z5);
+        let tmp12 = sub(z5, mul(z10, A_2613));
+        let t6 = sub(tmp12, t7);
+        let t5 = sub(tmp11, t6);
+        let t4 = add(tmp10, t5);
+
+        [
+            add(t0, t7),
+            add(t1, t6),
+            add(t2, t5),
+            sub(t3, t4),
+            add(t3, t4),
+            sub(t2, t5),
+            sub(t1, t6),
+            sub(t0, t7),
+        ]
+    }
+
+    /// # Safety
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn forward(block: &[i32; 64]) -> [f32; 64] {
+        let p = block.as_ptr();
+        // vcvtdq2ps rounds to nearest even, identical to `i32 as f32`.
+        let rows: [__m256; 8] = std::array::from_fn(|y| {
+            _mm256_cvtepi32_ps(_mm256_loadu_si256(p.add(y * 8) as *const __m256i))
+        });
+        let c = fdct8_m256(rows);
+        let o = fdct8_m256(transpose8_avx2(c));
+        let sp = FWD_SCALE.as_ptr();
+        let scaled: [__m256; 8] =
+            std::array::from_fn(|w| _mm256_mul_ps(o[w], _mm256_loadu_ps(sp.add(w * 8))));
+        let f = transpose8_avx2(scaled);
+        let mut d = [0.0f32; 64];
+        let q = d.as_mut_ptr();
+        for (v, lane) in f.iter().enumerate() {
+            _mm256_storeu_ps(q.add(v * 8), *lane);
+        }
+        d
+    }
+
+    /// # Safety
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn inverse(coeffs: &[f32; 64]) -> [i32; 64] {
+        let p = coeffs.as_ptr();
+        let sp = INV_SCALE.as_ptr();
+        let rows: [__m256; 8] = std::array::from_fn(|v| {
+            _mm256_mul_ps(
+                _mm256_loadu_ps(p.add(v * 8)),
+                _mm256_loadu_ps(sp.add(v * 8)),
+            )
+        });
+        let c = idct8_m256(rows);
+        let o = idct8_m256(transpose8_avx2(c));
+        let f = transpose8_avx2(o);
+        // Vectorised `round_i32`: the same magic-number add then mantissa
+        // extraction by integer subtract, 8 lanes at a time.
+        const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+        let magic = _mm256_set1_ps(MAGIC);
+        let magic_bits = _mm256_set1_epi32(MAGIC.to_bits() as i32);
+        let mut out = [0i32; 64];
+        let q = out.as_mut_ptr();
+        for (y, lane) in f.iter().enumerate() {
+            let rounded =
+                _mm256_sub_epi32(_mm256_castps_si256(_mm256_add_ps(*lane, magic)), magic_bits);
+            _mm256_storeu_si256(q.add(y * 8) as *mut __m256i, rounded);
+        }
+        out
+    }
 }
 
 /// Retained naive matrix forward DCT (8 multiplies per output coefficient):
@@ -570,6 +788,42 @@ mod tests {
                         "seed {seed} peak {peak} coeff {i}: aan {a} vs ref {b}"
                     );
                 }
+            }
+        }
+    }
+
+    /// The AVX2 tier must be **bit-identical** to the baseline — not merely
+    /// within tolerance — or encoder and decoder could disagree across
+    /// machines. Exercises both transform directions on 8-bit, 16-bit and
+    /// residual content. No-op on hosts without AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_paths_are_bit_identical_to_baseline() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for seed in 0..64u64 {
+            for peak in [255, 65535] {
+                let mut block = pseudo_block(seed + 1, peak);
+                if seed % 2 == 1 {
+                    for v in &mut block {
+                        *v -= peak / 2;
+                    }
+                }
+                // SAFETY: guarded by the runtime AVX2 check above.
+                let fwd = unsafe { avx2::forward(&block) };
+                let base = forward_baseline(&block);
+                assert_eq!(
+                    fwd.map(f32::to_bits),
+                    base.map(f32::to_bits),
+                    "seed {seed} peak {peak}: avx2 forward diverged"
+                );
+                let inv = unsafe { avx2::inverse(&fwd) };
+                assert_eq!(
+                    inv,
+                    inverse_baseline(&base),
+                    "seed {seed} peak {peak}: avx2 inverse diverged"
+                );
             }
         }
     }

@@ -21,11 +21,13 @@ use livo_telemetry::{Counter, Histogram, MetricsRegistry};
 
 use crate::block::{decode_block, decode_svalue, CoeffContexts};
 use crate::dct;
-use crate::encoder::{intra_dc_pred, plane_qp, run_slice_jobs, FrameType, FRAME_MAGIC};
+use crate::encoder::{
+    intra_dc_pred, plane_qp, run_slice_jobs, slice_lanes, FrameType, FRAME_MAGIC,
+};
 use crate::motion::{self, MotionVector, MB_SIZE};
 use crate::plane::{write_block8_into_stripe, Frame, PixelFormat, Plane};
 use crate::quant::{self, DC_SCALE};
-use crate::rangecoder::{BitModel, RangeDecoder};
+use crate::rangecoder::{BitModel, BitSource, LaneDecoder, LaneFormatError, RangeDecoder};
 use crate::slice::{self, SliceRows};
 
 /// Decoding errors.
@@ -62,6 +64,15 @@ impl std::fmt::Display for DecodeError {
 }
 
 impl std::error::Error for DecodeError {}
+
+impl From<LaneFormatError> for DecodeError {
+    fn from(e: LaneFormatError) -> Self {
+        match e {
+            LaneFormatError::Truncated => DecodeError::Truncated,
+            LaneFormatError::BadTable => DecodeError::BadSliceTable,
+        }
+    }
+}
 
 /// Per-decoder scratch arena, the receive-side mirror of the encoder's
 /// `EncoderScratch`: the work frame the decode writes into (rotated with
@@ -335,20 +346,32 @@ impl Decoder {
                 slice::split_plane_rows(&mut p.data, p.width, &rows).into_iter()
             })
             .collect();
-        type SliceJob<'a> = (SliceRows, &'a [u8], Vec<&'a mut [u16]>);
+        // Each job carries its own result slot: slice decode can fail on a
+        // corrupt in-payload lane table, and errors must surface without
+        // committing the work frame.
+        let mut results: Vec<Result<(), DecodeError>> = vec![Ok(()); n_slices];
+        type SliceJob<'a> = (
+            SliceRows,
+            &'a [u8],
+            Vec<&'a mut [u16]>,
+            &'a mut Result<(), DecodeError>,
+        );
         let jobs: Vec<SliceJob<'_>> = slices
             .iter()
             .zip(payloads)
-            .map(|(sr, payload)| {
+            .zip(results.iter_mut())
+            .map(|((sr, payload), out)| {
                 let stripes = per_plane.iter_mut().map(|it| it.next().unwrap()).collect();
-                (*sr, payload, stripes)
+                (*sr, payload, stripes, out)
             })
             .collect();
+        let use_lanes = hdr.lanes;
 
         match hdr.frame_type {
             FrameType::Intra => {
-                run_slice_jobs(pool, jobs, |(sr, payload, mut stripes)| {
-                    decode_intra_slice(
+                run_slice_jobs(pool, jobs, |(sr, payload, mut stripes, out)| {
+                    let lanes = slice_lanes(use_lanes, &sr);
+                    *out = decode_intra_slice(
                         payload,
                         &sr,
                         &mut stripes,
@@ -357,6 +380,7 @@ impl Decoder {
                         hdr.height,
                         hdr.qp,
                         peak,
+                        lanes,
                     );
                 });
             }
@@ -365,10 +389,15 @@ impl Decoder {
                 if (prev.width, prev.height, prev.format) != (hdr.width, hdr.height, hdr.format) {
                     return Err(DecodeError::MissingReference);
                 }
-                run_slice_jobs(pool, jobs, |(sr, payload, mut stripes)| {
-                    decode_inter_slice(payload, &sr, &mut stripes, prev, hdr.qp, peak);
+                run_slice_jobs(pool, jobs, |(sr, payload, mut stripes, out)| {
+                    let lanes = slice_lanes(use_lanes, &sr);
+                    *out =
+                        decode_inter_slice(payload, &sr, &mut stripes, prev, hdr.qp, peak, lanes);
                 });
             }
+        }
+        for r in results {
+            r?;
         }
         Ok((self.commit(), n_slices))
     }
@@ -444,13 +473,13 @@ fn decode_plane_inter_luma(
 /// Decode a motion-vector difference and add the predictor. Corrupt
 /// streams can produce arbitrary magnitudes; the wrapping arithmetic keeps
 /// the result a (garbage but valid) vector instead of overflowing.
-fn decode_mv(dec: &mut RangeDecoder<'_>, pred_mv: MotionVector) -> MotionVector {
+fn decode_mv<D: BitSource>(dec: &mut D, pred_mv: MotionVector) -> MotionVector {
     let dx = (decode_svalue(dec) as i16).wrapping_add(pred_mv.dx);
     let dy = (decode_svalue(dec) as i16).wrapping_add(pred_mv.dy);
     MotionVector { dx, dy }
 }
 
-fn decode_levels4(dec: &mut RangeDecoder<'_>, coeff: &mut CoeffContexts) -> [[i32; 64]; 4] {
+fn decode_levels4<D: BitSource>(dec: &mut D, coeff: &mut CoeffContexts) -> [[i32; 64]; 4] {
     let mut levels4 = [[0i32; 64]; 4];
     for l in &mut levels4 {
         *l = decode_block(dec, coeff);
@@ -528,7 +557,8 @@ fn decode_plane_inter_chroma(
 
 /// Decode one intra slice into its plane stripes — the exact mirror of the
 /// encoder's `encode_intra_slice`: plane-major, fresh contexts per plane,
-/// slice-local DC prediction.
+/// slice-local DC prediction. Errors only on a corrupt in-payload lane
+/// table; past that the bit source is total.
 #[allow(clippy::too_many_arguments)]
 fn decode_intra_slice(
     payload: &[u8],
@@ -539,8 +569,31 @@ fn decode_intra_slice(
     height: usize,
     qp: u8,
     peak: u16,
+    lanes: usize,
+) -> Result<(), DecodeError> {
+    if lanes <= 1 {
+        let mut dec = RangeDecoder::new(payload);
+        intra_slice_pixels(&mut dec, sr, stripes, format, width, height, qp, peak);
+    } else {
+        let mut dec = LaneDecoder::new(payload, lanes)?;
+        intra_slice_pixels(&mut dec, sr, stripes, format, width, height, qp, peak);
+    }
+    Ok(())
+}
+
+/// The intra slice symbol script, generic over the bit source (the mirror
+/// of the encoder's `intra_slice_bits`).
+#[allow(clippy::too_many_arguments)]
+fn intra_slice_pixels<D: BitSource>(
+    dec: &mut D,
+    sr: &SliceRows,
+    stripes: &mut [&mut [u16]],
+    format: PixelFormat,
+    width: usize,
+    height: usize,
+    qp: u8,
+    peak: u16,
 ) {
-    let mut dec = RangeDecoder::new(payload);
     for (pi, stripe) in stripes.iter_mut().enumerate() {
         let (pw, _) = format.plane_dims(pi, width, height);
         let step = quant::qstep(plane_qp(qp, pi, format));
@@ -548,7 +601,7 @@ fn decode_intra_slice(
         let mut coeff = CoeffContexts::new();
         for by in (r0..r1).step_by(8) {
             for bx in (0..pw).step_by(8) {
-                let levels = decode_block(&mut dec, &mut coeff);
+                let levels = decode_block(dec, &mut coeff);
                 let pred = slice::intra_dc_pred_stripe(stripe, pw, r0, bx, by, peak);
                 let deq = quant::dequantize_block(&levels, step, DC_SCALE);
                 let mut rec = dct::inverse(&deq);
@@ -564,9 +617,31 @@ fn decode_intra_slice(
 /// Decode one inter slice into its plane stripes — the mirror of the
 /// encoder's `entropy_inter_slice` walk: the slice's luma macroblock rows
 /// (left-neighbour MV prediction, reset per row), then each chroma plane's
-/// matching block rows against the halved luma motion field.
+/// matching block rows against the halved luma motion field. Errors only on
+/// a corrupt in-payload lane table.
 fn decode_inter_slice(
     payload: &[u8],
+    sr: &SliceRows,
+    stripes: &mut [&mut [u16]],
+    prev: &Frame,
+    qp: u8,
+    peak: u16,
+    lanes: usize,
+) -> Result<(), DecodeError> {
+    if lanes <= 1 {
+        let mut dec = RangeDecoder::new(payload);
+        inter_slice_pixels(&mut dec, sr, stripes, prev, qp, peak);
+    } else {
+        let mut dec = LaneDecoder::new(payload, lanes)?;
+        inter_slice_pixels(&mut dec, sr, stripes, prev, qp, peak);
+    }
+    Ok(())
+}
+
+/// The inter slice symbol script, generic over the bit source (the mirror
+/// of the encoder's `inter_slice_bits`).
+fn inter_slice_pixels<D: BitSource>(
+    dec: &mut D,
     sr: &SliceRows,
     stripes: &mut [&mut [u16]],
     prev: &Frame,
@@ -575,7 +650,6 @@ fn decode_inter_slice(
 ) {
     let format = prev.format;
     let width = prev.width;
-    let mut dec = RangeDecoder::new(payload);
     let mbs_x = width.div_ceil(MB_SIZE);
     let n_rows = sr.mb1 - sr.mb0;
     let mut mvs = vec![MotionVector::default(); n_rows * mbs_x];
@@ -599,8 +673,8 @@ fn decode_inter_slice(
                 (pred_mv, None)
             } else {
                 (
-                    decode_mv(&mut dec, pred_mv),
-                    Some(decode_levels4(&mut dec, &mut coeff)),
+                    decode_mv(&mut *dec, pred_mv),
+                    Some(decode_levels4(&mut *dec, &mut coeff)),
                 )
             };
             mvs[row * mbs_x + mbx] = mv;
@@ -630,7 +704,7 @@ fn decode_inter_slice(
                     dx: mv.dx / 2,
                     dy: mv.dy / 2,
                 };
-                let levels = decode_block(&mut dec, &mut cctx);
+                let levels = decode_block(&mut *dec, &mut cctx);
                 let deq = quant::dequantize_block(&levels, cstep, DC_SCALE);
                 let res = dct::inverse(&deq);
                 let mut rec = [0i32; 64];

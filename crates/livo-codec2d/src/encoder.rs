@@ -6,7 +6,7 @@ use crate::dct;
 use crate::motion::{self, MotionVector, MB_SIZE};
 use crate::plane::{write_block8_into_stripe, Frame, PixelFormat, Plane};
 use crate::quant::{self, DC_SCALE};
-use crate::rangecoder::{BitModel, RangeEncoder};
+use crate::rangecoder::{BitModel, BitSink, LaneEncoder, RangeEncoder};
 use crate::ratecontrol::RateController;
 use crate::slice::{self, SliceRows};
 use livo_runtime::WorkerPool;
@@ -46,6 +46,19 @@ pub struct EncoderConfig {
     /// (unsliced) bitstream. The count never depends on the worker-pool
     /// size, so the bitstream is identical however many threads encode it.
     pub slices: u8,
+    /// Interleave each v2 slice's symbols across multiple independent
+    /// range-coder lanes (bitstream flag bit 3; see [`crate::rangecoder`]).
+    /// Lane count per slice is a pure function of slice geometry
+    /// ([`slice::lane_count`]), so the bitstream stays pool-independent.
+    /// Has no effect on the legacy v1 (unsliced) bitstream.
+    ///
+    /// Off by default: whether the interleave's extra per-bit state traffic
+    /// is repaid by the independent carry chains is microarchitecture-
+    /// dependent, and on narrow cores the measured decode cost is 15-40%
+    /// (the `entropy_lanes` point in `repro kernels` records the ratio on
+    /// the current host). Both lane layouts decode regardless of this
+    /// setting.
+    pub entropy_lanes: bool,
 }
 
 impl EncoderConfig {
@@ -59,6 +72,7 @@ impl EncoderConfig {
             qp_max: quant::QP_MAX,
             search_range: 8,
             slices: 0,
+            entropy_lanes: false,
         }
     }
 }
@@ -654,6 +668,7 @@ impl Encoder {
         }
         let peak = frame.format.peak_value();
         let pool = self.pool.as_deref().filter(|p| p.threads() > 1);
+        let use_lanes = self.cfg.entropy_lanes;
         let slices = slice::partition(frame.format, frame.height, n_slices);
         let mut payloads: Vec<(Vec<u8>, BlockCounts)> = Vec::new();
         payloads.resize_with(n_slices, Default::default);
@@ -688,7 +703,8 @@ impl Encoder {
                     })
                     .collect();
                 run_slice_jobs(pool, jobs, |(sr, mut stripes, out)| {
-                    *out = encode_intra_slice(frame, &sr, &mut stripes, qp, peak);
+                    let lanes = slice_lanes(use_lanes, &sr);
+                    *out = encode_intra_slice(frame, &sr, &mut stripes, qp, peak, lanes);
                 });
             }
             FrameType::Inter => {
@@ -728,7 +744,9 @@ impl Encoder {
                 let jobs: Vec<(SliceRows, &mut (Vec<u8>, BlockCounts))> =
                     slices.iter().copied().zip(payloads.iter_mut()).collect();
                 run_slice_jobs(pool, jobs, |(sr, out)| {
-                    *out = entropy_inter_slice(&sr, luma_plans, chroma_plans, mbs_x, n_planes);
+                    let lanes = slice_lanes(use_lanes, &sr);
+                    *out =
+                        entropy_inter_slice(&sr, luma_plans, chroma_plans, mbs_x, n_planes, lanes);
                 });
             }
         }
@@ -740,6 +758,7 @@ impl Encoder {
             qp,
             frame.width,
             frame.height,
+            use_lanes,
             &lens,
         );
         self.last_header_bits = header.len() as u64 * 8;
@@ -780,17 +799,51 @@ pub(crate) fn run_slice_jobs<T: Send>(
     }
 }
 
+/// Entropy-lane count for one slice: derived from the slice's geometry when
+/// lanes are enabled for the frame, 1 otherwise (see [`slice::lane_count`]).
+pub(crate) fn slice_lanes(use_lanes: bool, sr: &SliceRows) -> usize {
+    if use_lanes {
+        slice::lane_count(sr.mb1 - sr.mb0)
+    } else {
+        1
+    }
+}
+
 /// Intra-code one slice: its stripe of every plane, plane-major, with
-/// slice-local DC prediction and a fresh range coder + contexts.
+/// slice-local DC prediction and fresh contexts. A 1-lane slice runs the
+/// plain serial range coder (byte-identical payload either way); more lanes
+/// interleave the identical symbol sequence across independent coders.
 fn encode_intra_slice(
     frame: &Frame,
     sr: &SliceRows,
     stripes: &mut [&mut [u16]],
     qp: u8,
     peak: u16,
+    lanes: usize,
 ) -> (Vec<u8>, BlockCounts) {
-    let mut enc = RangeEncoder::new();
     let mut counts = BlockCounts::default();
+    if lanes <= 1 {
+        let mut enc = RangeEncoder::new();
+        intra_slice_bits(&mut enc, frame, sr, stripes, qp, peak, &mut counts);
+        (enc.finish(), counts)
+    } else {
+        let mut enc = LaneEncoder::new(lanes);
+        intra_slice_bits(&mut enc, frame, sr, stripes, qp, peak, &mut counts);
+        (enc.finish_payload(), counts)
+    }
+}
+
+/// The intra slice symbol script, generic over the bit sink so the serial
+/// and interleaved-lane coders drive the identical coding order.
+fn intra_slice_bits<S: BitSink>(
+    enc: &mut S,
+    frame: &Frame,
+    sr: &SliceRows,
+    stripes: &mut [&mut [u16]],
+    qp: u8,
+    peak: u16,
+    counts: &mut BlockCounts,
+) {
     let mut blk = [0i32; 64];
     for (pi, stripe) in stripes.iter_mut().enumerate() {
         let plane = &frame.planes[pi];
@@ -807,7 +860,7 @@ fn encode_intra_slice(
                 }
                 let coeffs = dct::forward(&blk);
                 let levels = quant::quantize_block(&coeffs, step, DC_SCALE);
-                encode_block(&mut enc, &mut ctx, &levels);
+                encode_block(enc, &mut ctx, &levels);
                 let deq = quant::dequantize_block(&levels, step, DC_SCALE);
                 let mut rec = dct::inverse(&deq);
                 for v in &mut rec {
@@ -817,21 +870,60 @@ fn encode_intra_slice(
             }
         }
     }
-    (enc.finish(), counts)
 }
 
 /// Entropy-code one slice of a planned inter frame: its luma macroblock
-/// rows, then each chroma plane's matching block rows, with a fresh range
-/// coder and per-plane contexts (the mirror of the decoder's slice walk).
+/// rows, then each chroma plane's matching block rows, with fresh per-plane
+/// contexts (the mirror of the decoder's slice walk). Lane dispatch as in
+/// [`encode_intra_slice`].
 fn entropy_inter_slice(
     sr: &SliceRows,
     luma_plans: &[LumaMbPlan],
     chroma_plans: &[Vec<[i32; 64]>; 2],
     mbs_x: usize,
     n_planes: usize,
+    lanes: usize,
 ) -> (Vec<u8>, BlockCounts) {
-    let mut enc = RangeEncoder::new();
     let mut counts = BlockCounts::default();
+    if lanes <= 1 {
+        let mut enc = RangeEncoder::new();
+        inter_slice_bits(
+            &mut enc,
+            sr,
+            luma_plans,
+            chroma_plans,
+            mbs_x,
+            n_planes,
+            &mut counts,
+        );
+        (enc.finish(), counts)
+    } else {
+        let mut enc = LaneEncoder::new(lanes);
+        inter_slice_bits(
+            &mut enc,
+            sr,
+            luma_plans,
+            chroma_plans,
+            mbs_x,
+            n_planes,
+            &mut counts,
+        );
+        (enc.finish_payload(), counts)
+    }
+}
+
+/// The inter slice symbol script, generic over the bit sink (see
+/// [`intra_slice_bits`]).
+#[allow(clippy::too_many_arguments)]
+fn inter_slice_bits<S: BitSink>(
+    enc: &mut S,
+    sr: &SliceRows,
+    luma_plans: &[LumaMbPlan],
+    chroma_plans: &[Vec<[i32; 64]>; 2],
+    mbs_x: usize,
+    n_planes: usize,
+    counts: &mut BlockCounts,
+) {
     let mut ctx = PlaneContexts::new();
     for plan in &luma_plans[sr.mb0 * mbs_x..sr.mb1 * mbs_x] {
         if plan.skip {
@@ -841,10 +933,10 @@ fn entropy_inter_slice(
         }
         enc.encode_bit(&mut ctx.skip, plan.skip);
         if !plan.skip {
-            encode_svalue(&mut enc, (plan.mv.dx - plan.pred_mv.dx) as i32);
-            encode_svalue(&mut enc, (plan.mv.dy - plan.pred_mv.dy) as i32);
+            encode_svalue(enc, (plan.mv.dx - plan.pred_mv.dx) as i32);
+            encode_svalue(enc, (plan.mv.dy - plan.pred_mv.dy) as i32);
             for levels in &plan.levels4 {
-                encode_block(&mut enc, &mut ctx.coeff, levels);
+                encode_block(enc, &mut ctx.coeff, levels);
             }
         }
     }
@@ -855,10 +947,9 @@ fn entropy_inter_slice(
         let end = (sr.mb1 * mbs_x).min(plans.len());
         for levels in &plans[sr.mb0 * mbs_x..end] {
             counts.coded += 1;
-            encode_block(&mut enc, &mut cctx, levels);
+            encode_block(enc, &mut cctx, levels);
         }
     }
-    (enc.finish(), counts)
 }
 
 /// QP used for plane `pi`: chroma planes are coded 4 QP coarser (they carry

@@ -58,6 +58,28 @@ pub fn sad(
     }
     let rx = (bx as isize + mv.dx as isize) as usize;
     let ry = (by as isize + mv.dy as isize) as usize;
+    #[cfg(target_arch = "x86_64")]
+    if livo_math::simd::has_avx2() {
+        // SAFETY: interior() guarantees both 16-wide row loads are in
+        // bounds for every dy; has_avx2() gates the instruction set.
+        return unsafe { avx2::sad_interior(cur, reference, bx, by, rx, ry, early_exit) };
+    }
+    sad_interior(cur, reference, bx, by, rx, ry, early_exit)
+}
+
+/// The interior SAD without the AVX2 dispatch: the pre-AVX2 fast path,
+/// exported (wrapped by [`sad_baseline`]) so the `repro kernels` bench can
+/// time the AVX2 path against it in one process.
+#[inline(always)]
+fn sad_interior(
+    cur: &Plane,
+    reference: &Plane,
+    bx: usize,
+    by: usize,
+    rx: usize,
+    ry: usize,
+    early_exit: u64,
+) -> u64 {
     let mut acc = 0u64;
     for dy in 0..MB_SIZE {
         let c = &cur.data[(by + dy) * cur.width + bx..][..MB_SIZE];
@@ -73,6 +95,104 @@ pub fn sad(
         }
     }
     acc
+}
+
+/// [`sad`] pinned to the pre-AVX2 tier regardless of the runtime dispatch;
+/// bench-only, not part of the codec API.
+#[doc(hidden)]
+pub fn sad_baseline(
+    cur: &Plane,
+    reference: &Plane,
+    bx: usize,
+    by: usize,
+    mv: MotionVector,
+    early_exit: u64,
+) -> u64 {
+    if !interior(cur, reference, bx, by, mv) {
+        return sad_ref(cur, reference, bx, by, mv, early_exit);
+    }
+    let rx = (bx as isize + mv.dx as isize) as usize;
+    let ry = (by as isize + mv.dy as isize) as usize;
+    sad_interior(cur, reference, bx, by, rx, ry, early_exit)
+}
+
+/// AVX2 tier for the interior paths: 16 `u16` lanes per row in one 256-bit
+/// register. Bit-exact with the scalar loops — `|a−b|` via
+/// `max_epu16 − min_epu16`, widened to u32 and summed per row (integer adds
+/// are order-free), with the same after-each-row early-exit partial sums.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must guarantee AVX2 and that rows `[bx, bx+16)` at `by+dy` of
+    /// `cur` and `[rx, rx+16)` at `ry+dy` of `reference` are in bounds for
+    /// `dy in 0..16` (the `interior()` precondition).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sad_interior(
+        cur: &Plane,
+        reference: &Plane,
+        bx: usize,
+        by: usize,
+        rx: usize,
+        ry: usize,
+        early_exit: u64,
+    ) -> u64 {
+        let zero = _mm256_setzero_si256();
+        let mut acc = 0u64;
+        for dy in 0..MB_SIZE {
+            let c = cur.data.as_ptr().add((by + dy) * cur.width + bx);
+            let r = reference
+                .data
+                .as_ptr()
+                .add((ry + dy) * reference.width + rx);
+            let a = _mm256_loadu_si256(c as *const __m256i);
+            let b = _mm256_loadu_si256(r as *const __m256i);
+            let diff = _mm256_sub_epi16(_mm256_max_epu16(a, b), _mm256_min_epu16(a, b));
+            // Widen to 8 u32 partials (each the sum of two u16 diffs), then
+            // reduce horizontally — the row total a u32 always holds.
+            let sums = _mm256_add_epi32(
+                _mm256_unpacklo_epi16(diff, zero),
+                _mm256_unpackhi_epi16(diff, zero),
+            );
+            let s = _mm_add_epi32(
+                _mm256_castsi256_si128(sums),
+                _mm256_extracti128_si256::<1>(sums),
+            );
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b01_00_11_10>(s));
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_00_01>(s));
+            acc += _mm_cvtsi128_si32(s) as u32 as u64;
+            if acc >= early_exit {
+                return acc;
+            }
+        }
+        acc
+    }
+
+    /// # Safety
+    /// Same preconditions as [`sad_interior`], for `reference` rows at
+    /// `(rx, ry)`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn predict_interior(
+        reference: &Plane,
+        rx: usize,
+        ry: usize,
+        out: &mut [i32; MB_SIZE * MB_SIZE],
+    ) {
+        for dy in 0..MB_SIZE {
+            let src = reference
+                .data
+                .as_ptr()
+                .add((ry + dy) * reference.width + rx);
+            let v = _mm256_loadu_si256(src as *const __m256i);
+            let lo = _mm256_cvtepu16_epi32(_mm256_castsi256_si128(v));
+            let hi = _mm256_cvtepu16_epi32(_mm256_extracti128_si256::<1>(v));
+            let dst = out.as_mut_ptr().add(dy * MB_SIZE) as *mut __m256i;
+            _mm256_storeu_si256(dst, lo);
+            _mm256_storeu_si256(dst.add(1), hi);
+        }
+    }
 }
 
 /// Retained clamped-loop SAD: the reference implementation for [`sad`]
@@ -211,6 +331,12 @@ pub fn predict_block(
     }
     let rx = (bx as isize + mv.dx as isize) as usize;
     let ry = (by as isize + mv.dy as isize) as usize;
+    #[cfg(target_arch = "x86_64")]
+    if livo_math::simd::has_avx2() {
+        // SAFETY: interior() bounds every displaced row; has_avx2() gates
+        // the instruction set. Pure widening copy, bit-exact trivially.
+        return unsafe { avx2::predict_interior(reference, rx, ry, out) };
+    }
     for dy in 0..MB_SIZE {
         let src = &reference.data[(ry + dy) * reference.width + rx..][..MB_SIZE];
         let dst = &mut out[dy * MB_SIZE..][..MB_SIZE];
@@ -433,6 +559,34 @@ mod tests {
         let (w, h) = (70, 54);
         let reference = textured_plane(w, h, 0);
         for (bx, by, mv) in differential_cases(w, h) {
+            let mut fast = [0i32; MB_SIZE * MB_SIZE];
+            let mut naive = [0i32; MB_SIZE * MB_SIZE];
+            predict_block(&reference, bx, by, mv, &mut fast);
+            predict_block_ref(&reference, bx, by, mv, &mut naive);
+            assert_eq!(fast, naive, "({bx},{by}) mv {mv:?}");
+        }
+    }
+
+    /// The AVX2 interior paths must be bit-identical to the pre-AVX2 tier —
+    /// same partial sums under every early-exit cap included. No-op on
+    /// hosts without AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_interior_paths_are_bit_identical_to_baseline() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        let (w, h) = (70, 54);
+        let cur = textured_plane(w, h, 2);
+        let reference = textured_plane(w, h, 0);
+        for (bx, by, mv) in differential_cases(w, h) {
+            for cap in [u64::MAX, 10_000, 300, 1] {
+                assert_eq!(
+                    sad(&cur, &reference, bx, by, mv, cap),
+                    sad_baseline(&cur, &reference, bx, by, mv, cap),
+                    "({bx},{by}) mv {mv:?} cap {cap}"
+                );
+            }
             let mut fast = [0i32; MB_SIZE * MB_SIZE];
             let mut naive = [0i32; MB_SIZE * MB_SIZE];
             predict_block(&reference, bx, by, mv, &mut fast);

@@ -12,7 +12,8 @@
 //! ```text
 //! byte 0        SLICED_MAGIC (0xB2; v1 streams always start with 0x00,
 //!               the range-encoder priming byte, so one byte disambiguates)
-//! byte 1        flags: bit0 = inter, bits1-2 = pixel format (0 YUV420, 1 Y16)
+//! byte 1        flags: bit0 = inter, bits1-2 = pixel format (0 YUV420,
+//!               1 Y16), bit3 = interleaved entropy lanes
 //! byte 2        QP
 //! bytes 3-4     width,  u16 little-endian
 //! bytes 5-6     height, u16 little-endian
@@ -21,6 +22,16 @@
 //! 8+4S ..       S concatenated slice payloads (independent range-coder
 //!               streams, byte-aligned)
 //! ```
+//!
+//! With flag bit 3 set, each slice payload is an interleaved lane payload
+//! (see `rangecoder::LaneEncoder`): `(N−1)` u32-LE lane sub-lengths
+//! followed by N concatenated range-coder streams, where
+//! `N = lane_count(slice mb rows)`. N is **derived from slice geometry**,
+//! never signalled and never taken from the worker-pool size — the same
+//! rule that keeps slice geometry pool-independent keeps lane geometry
+//! deterministic, so every encoder configuration emits identical bytes and
+//! every decoder pool size parses them. A 1-lane slice's payload is
+//! byte-identical to the unflagged layout.
 //!
 //! Slice geometry is a pure function of `(height, S)` — *never* of the
 //! worker-pool size — so the bitstream is identical no matter how many
@@ -69,6 +80,19 @@ pub fn slice_count(cfg_slices: u8, height: usize) -> usize {
         cfg_slices as usize
     };
     want.clamp(1, mbs_y).min(255)
+}
+
+/// Entropy-lane count for a slice spanning `mb_rows` luma macroblock rows:
+/// 1, 2 or 4, growing with the symbol volume so the per-lane flush overhead
+/// (5 bytes/lane) stays negligible. A pure function of slice geometry — the
+/// decoder re-derives it from the parsed header, so it is never signalled
+/// per slice and can never disagree between encoder and decoder.
+pub fn lane_count(mb_rows: usize) -> usize {
+    match mb_rows {
+        0 | 1 => 1,
+        2 | 3 => 2,
+        _ => 4,
+    }
 }
 
 /// Row extent of one slice: a contiguous run of luma macroblock rows and
@@ -194,6 +218,7 @@ pub(crate) fn write_header(
     qp: u8,
     width: usize,
     height: usize,
+    lanes: bool,
     payload_lens: &[usize],
 ) -> Vec<u8> {
     debug_assert!(!payload_lens.is_empty() && payload_lens.len() <= 255);
@@ -203,7 +228,7 @@ pub(crate) fn write_header(
         PixelFormat::Yuv420 => 0u8,
         PixelFormat::Y16 => 1,
     };
-    out.push(u8::from(frame_type == FrameType::Inter) | (fmt_bits << 1));
+    out.push(u8::from(frame_type == FrameType::Inter) | (fmt_bits << 1) | (u8::from(lanes) << 3));
     out.push(qp);
     out.extend_from_slice(&(width as u16).to_le_bytes());
     out.extend_from_slice(&(height as u16).to_le_bytes());
@@ -222,6 +247,8 @@ pub(crate) struct V2Header {
     pub qp: u8,
     pub width: usize,
     pub height: usize,
+    /// Slice payloads use the interleaved entropy-lane layout (flag bit 3).
+    pub lanes: bool,
     /// Byte length of each slice payload, in slice order.
     pub payload_lens: Vec<usize>,
 }
@@ -247,7 +274,8 @@ pub(crate) fn parse_header(data: &[u8]) -> Result<V2Header, DecodeError> {
         1 => PixelFormat::Y16,
         _ => return Err(DecodeError::BadHeader),
     };
-    if flags & !0b111 != 0 {
+    let lanes = flags & 0b1000 != 0;
+    if flags & !0b1111 != 0 {
         return Err(DecodeError::BadHeader);
     }
     let qp = data[2];
@@ -289,6 +317,7 @@ pub(crate) fn parse_header(data: &[u8]) -> Result<V2Header, DecodeError> {
             qp,
             width,
             height,
+            lanes,
             payload_lens,
         }),
     }
@@ -345,24 +374,53 @@ mod tests {
     #[test]
     fn header_round_trips() {
         let lens = [64usize, 1000, 5];
-        let h = write_header(FrameType::Inter, PixelFormat::Y16, 17, 320, 240, &lens);
-        assert_eq!(h.len(), header_len(3));
-        // Pad to the advertised total so parse sees a consistent buffer.
-        let mut buf = h.clone();
-        buf.resize(header_len(3) + lens.iter().sum::<usize>(), 0);
-        let parsed = parse_header(&buf).unwrap();
-        assert_eq!(parsed.frame_type, FrameType::Inter);
-        assert_eq!(parsed.format, PixelFormat::Y16);
-        assert_eq!(parsed.qp, 17);
-        assert_eq!((parsed.width, parsed.height), (320, 240));
-        assert_eq!(parsed.payload_lens, lens);
+        for lanes in [false, true] {
+            let h = write_header(
+                FrameType::Inter,
+                PixelFormat::Y16,
+                17,
+                320,
+                240,
+                lanes,
+                &lens,
+            );
+            assert_eq!(h.len(), header_len(3));
+            // Pad to the advertised total so parse sees a consistent buffer.
+            let mut buf = h.clone();
+            buf.resize(header_len(3) + lens.iter().sum::<usize>(), 0);
+            let parsed = parse_header(&buf).unwrap();
+            assert_eq!(parsed.frame_type, FrameType::Inter);
+            assert_eq!(parsed.format, PixelFormat::Y16);
+            assert_eq!(parsed.qp, 17);
+            assert_eq!((parsed.width, parsed.height), (320, 240));
+            assert_eq!(parsed.lanes, lanes);
+            assert_eq!(parsed.payload_lens, lens);
+        }
+    }
+
+    #[test]
+    fn lane_count_is_a_pure_geometry_function() {
+        assert_eq!(lane_count(0), 1);
+        assert_eq!(lane_count(1), 1);
+        assert_eq!(lane_count(2), 2);
+        assert_eq!(lane_count(3), 2);
+        assert_eq!(lane_count(4), 4);
+        assert_eq!(lane_count(100), 4);
     }
 
     #[test]
     fn corrupt_headers_map_to_errors_not_panics() {
         let lens = [64usize, 64];
         let good = {
-            let mut b = write_header(FrameType::Intra, PixelFormat::Yuv420, 10, 64, 64, &lens);
+            let mut b = write_header(
+                FrameType::Intra,
+                PixelFormat::Yuv420,
+                10,
+                64,
+                64,
+                false,
+                &lens,
+            );
             b.resize(header_len(2) + 128, 0);
             b
         };
@@ -408,8 +466,12 @@ mod tests {
         let mut fmt = good.clone();
         fmt[1] = 0b110;
         assert_eq!(parse_header(&fmt), Err(DecodeError::BadHeader));
+        // Bit 3 is the lane flag — legal; the next bit up is still reserved.
+        let mut lane_flag = good.clone();
+        lane_flag[1] |= 0b1000;
+        assert!(parse_header(&lane_flag).unwrap().lanes);
         let mut flag = good.clone();
-        flag[1] |= 0b1000;
+        flag[1] |= 0b1_0000;
         assert_eq!(parse_header(&flag), Err(DecodeError::BadHeader));
         // QP beyond the codec's range.
         let mut qp = good.clone();

@@ -40,7 +40,8 @@ pub use conference::{
     RunSummary,
 };
 pub use cull::{
-    cull_views, cull_views_on, cull_views_reference, cull_views_union, CullContext, CullStats,
+    cull_views, cull_views_baseline, cull_views_on, cull_views_reference, cull_views_union,
+    CullContext, CullStats,
 };
 pub use depth::{DepthCodec, DepthEncoding};
 pub use frustum_pred::FrustumPredictor;

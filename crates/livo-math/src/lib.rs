@@ -26,6 +26,7 @@ pub mod plane;
 pub mod pose;
 pub mod quat;
 pub mod raytable;
+pub mod simd;
 pub mod vec3;
 
 pub use camera::{CameraIntrinsics, RgbdCamera};

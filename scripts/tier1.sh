@@ -78,8 +78,15 @@ if cargo_works; then
   # regression is visible even when the workspace test list changes.
   cargo test -q --test sfu_fanout
   cargo run --release --example multiparty -- --seconds 1
-  # Hot-kernel regression gate: every optimised kernel must run at or
-  # above 1.0x its retained reference implementation.
+  # SIMD dispatch: the kernel differential suite must hold with the
+  # dispatcher forced to the scalar tier AND at the auto-detected tier
+  # (LIVO_SIMD caps the level per process; test binaries are separate
+  # processes, so the env var takes effect per run).
+  echo "== tier1: simd tier sweep =="
+  LIVO_SIMD=scalar cargo test -q --test kernel_differential
+  cargo test -q --test kernel_differential
+  # Hot-kernel regression gate: every gated kernel must clear its
+  # per-point floor against its retained reference implementation.
   echo "== tier1: kernel gate =="
   LIVO_LOG=warn cargo run --release --bin repro -- --gate kernels >/dev/null
   echo "== tier1: slice overhead gate =="
@@ -117,6 +124,11 @@ else
   echo "== tier1: offline mode (registry unreachable) =="
   # run-tests executes the sfu_fanout suite and the 1 s multiparty smoke.
   bash scripts/offline_build.sh run-tests
+  # SIMD dispatch sweep (same bar as cargo mode): the differential suite
+  # forced to the scalar tier; run-tests above already covered the
+  # auto-detected tier.
+  echo "== tier1: simd tier sweep =="
+  LIVO_SIMD=scalar "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/kernel_differential" --test-threads=1 >/dev/null
   # Hot-kernel regression gate (same bar as cargo mode).
   echo "== tier1: kernel gate =="
   LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --gate kernels >/dev/null

@@ -34,6 +34,9 @@ fn encoders(w: usize, h: usize, format: PixelFormat, slices: u8) -> Vec<(String,
     let mut cfg = EncoderConfig::new(w, h, format);
     cfg.gop_length = 0; // open GOP: frames 1.. are inter, the parallel path
     cfg.slices = slices;
+    // Opt into interleaved entropy lanes so sliced presets exercise the
+    // multi-lane format across every pool size (v1 frames ignore the flag).
+    cfg.entropy_lanes = true;
     let mut out = vec![("serial".to_string(), Encoder::new(cfg))];
     for n in THREADS {
         let mut enc = Encoder::new(cfg);
@@ -183,12 +186,12 @@ fn sliced_v2_encode_and_decode_are_bit_exact_on_every_preset() {
     }
 }
 
-/// Where the committed golden v1 bitstream lives. Relative to the manifest
-/// dir under cargo, and to the repo root when the offline harness runs the
-/// test binary from a checkout.
-fn golden_path() -> std::path::PathBuf {
+/// Where a committed golden bitstream lives. Relative to the manifest dir
+/// under cargo, and to the repo root when the offline harness runs the test
+/// binary from a checkout.
+fn golden_path(file: &str) -> std::path::PathBuf {
     let base = option_env!("CARGO_MANIFEST_DIR").unwrap_or(".");
-    std::path::Path::new(base).join("tests/data/golden_v1_stream.bin")
+    std::path::Path::new(base).join("tests/data").join(file)
 }
 
 /// Deterministic synthetic frame with per-frame motion; no renderer or RNG
@@ -235,7 +238,7 @@ fn legacy_v1_golden_stream_still_decodes() {
         blob.extend_from_slice(s);
     }
 
-    let path = golden_path();
+    let path = golden_path("golden_v1_stream.bin");
     if std::env::var_os("LIVO_BLESS_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, &blob).unwrap();
@@ -276,6 +279,86 @@ fn legacy_v1_golden_stream_still_decodes() {
             assert!(
                 decoded == recons[t],
                 "golden frame {t} ({name}): decode drifted from reconstruction"
+            );
+        }
+    }
+}
+
+/// The multi-lane v2 format is pinned by its own committed golden stream:
+/// 128 px high, 2 slices of 4 MB rows each, so every slice carries 4
+/// interleaved entropy lanes (flag bit 3 set). The current encoder must
+/// reproduce the committed bytes and decoders at every pool size must decode
+/// them — any change to the lane rotation, sub-length table or lane-count
+/// rule breaks this. Regenerate with `LIVO_BLESS_GOLDEN=1` after a
+/// *deliberate* format change.
+#[test]
+fn lane_format_golden_stream_still_decodes() {
+    const W: usize = 64;
+    const H: usize = 128; // 8 MB rows / 2 slices → 4 MB rows → 4 lanes each
+    const N: usize = 3; // intra + two inter frames
+    let mut cfg = EncoderConfig::new(W, H, PixelFormat::Yuv420);
+    cfg.gop_length = 0;
+    cfg.slices = 2;
+    cfg.entropy_lanes = true;
+    let mut enc = Encoder::new(cfg);
+    let streams: Vec<Vec<u8>> = (0..N)
+        .map(|t| enc.encode(&golden_frame(W, H, t), 160_000).data)
+        .collect();
+    for (t, s) in streams.iter().enumerate() {
+        assert_eq!(
+            s[0],
+            livo::codec2d::slice::SLICED_MAGIC,
+            "frame {t}: expected a v2 stream"
+        );
+        assert_eq!(s[1] & 0b1000, 0b1000, "frame {t}: lane flag must be set");
+    }
+
+    let mut blob = Vec::new();
+    blob.extend_from_slice(&(N as u32).to_le_bytes());
+    for s in &streams {
+        blob.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        blob.extend_from_slice(s);
+    }
+
+    let path = golden_path("golden_v2_lanes_stream.bin");
+    if std::env::var_os("LIVO_BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &blob).unwrap();
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {} (bless with LIVO_BLESS_GOLDEN=1): {e}",
+            path.display()
+        )
+    });
+    assert_eq!(
+        blob, golden,
+        "encoder no longer reproduces the committed v2+lanes bitstream byte-for-byte"
+    );
+
+    let mut recons = Vec::new();
+    {
+        let mut enc = Encoder::new(cfg);
+        for t in 0..N {
+            recons.push(enc.encode(&golden_frame(W, H, t), 160_000).reconstruction);
+        }
+    }
+    let mut off = 4usize;
+    let mut frames = Vec::new();
+    for _ in 0..N {
+        let len = u32::from_le_bytes(golden[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        frames.push(&golden[off..off + len]);
+        off += len;
+    }
+    for (name, dec) in decoders().iter_mut() {
+        for (t, data) in frames.iter().enumerate() {
+            let decoded = dec
+                .decode(data)
+                .unwrap_or_else(|e| panic!("lane golden frame {t} ({name}): {e:?}"));
+            assert!(
+                decoded == recons[t],
+                "lane golden frame {t} ({name}): decode drifted from reconstruction"
             );
         }
     }
