@@ -177,6 +177,7 @@ fn lane_of(stream: StreamId) -> &'static str {
     match stream {
         StreamId::Color => "color",
         StreamId::Depth => "depth",
+        StreamId::Refine => "refine",
         StreamId::Control => "control",
     }
 }
@@ -185,6 +186,7 @@ fn component_of(stream: StreamId) -> &'static str {
     match stream {
         StreamId::Color => "transport.color",
         StreamId::Depth => "transport.depth",
+        StreamId::Refine => "transport.refine",
         StreamId::Control => "transport.control",
     }
 }
@@ -483,7 +485,7 @@ impl BondedSession {
             match stream {
                 StreamId::Color => t.bits_sent_color.add(frame_bits),
                 StreamId::Depth => t.bits_sent_depth.add(frame_bits),
-                StreamId::Control => {}
+                StreamId::Refine | StreamId::Control => {}
             }
             if let Some(tl) = &t.timeline {
                 tl.mark_lane(frame_id, stage::PACKETIZE, lane_of(stream), now);

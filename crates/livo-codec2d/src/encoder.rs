@@ -149,6 +149,8 @@ struct EncoderTelemetry {
     bits_total: Arc<Counter>,
     scratch_reuses: Arc<Counter>,
     slice_header_bits: Arc<Counter>,
+    refine_slices: Arc<Counter>,
+    refine_payload_bits: Arc<Histogram>,
 }
 
 /// Per-encoder scratch arena: every buffer the per-frame path used to
@@ -219,6 +221,12 @@ pub struct Encoder {
     /// Uncompressed v2 header+table bits of the last `encode_with_qp` call
     /// (0 for v1 frames); published as the `slice_header_bits` counter.
     last_header_bits: u64,
+    /// Explicit slice geometry (macroblock-row bands). When set, every
+    /// encode emits the v2 bitstream with this geometry in the header
+    /// (flag bit 4) instead of the derived `(height, S)` partition — the
+    /// tile-aligned mode that makes each tile row independently decodable
+    /// and refinement-addressable.
+    slice_bands: Option<Vec<(u16, u16)>>,
     /// Causal-trace sink: `(ring, party, component)`.
     trace: Option<(Arc<EventTrace>, u16, &'static str)>,
     /// Identity of the next frame in the *harness's* numbering and clock,
@@ -240,6 +248,7 @@ impl Encoder {
             pool: None,
             scratch: EncoderScratch::default(),
             last_header_bits: 0,
+            slice_bands: None,
             trace: None,
             trace_frame: None,
         }
@@ -272,7 +281,33 @@ impl Encoder {
             // the whole codec stage, shared by colour and depth encoders.
             scratch_reuses: registry.counter("codec.scratch_reuses"),
             slice_header_bits: registry.counter(&format!("{prefix}.slice_header_bits")),
+            // Unprefixed like `codec.scratch_reuses`: refinement is a
+            // colour-stream concept, one family for the whole codec stage.
+            refine_slices: registry.counter("codec.refine.slices"),
+            refine_payload_bits: registry.histogram("codec.refine.payload_bits"),
         });
+    }
+
+    /// Pin the v2 entropy-slice geometry to explicit macroblock-row bands
+    /// (e.g. [`crate::slice::tile_aligned_bands`] of a tile layout), or
+    /// restore the derived partition with `None`. Bands must be contiguous
+    /// and cover the frame; the geometry travels in the bitstream header,
+    /// so the decoder needs no side channel.
+    pub fn set_slice_bands(&mut self, bands: Option<Vec<(u16, u16)>>) {
+        if let Some(b) = &bands {
+            assert!(!b.is_empty() && b.len() <= 255, "1..=255 bands");
+            assert_eq!(b[0].0, 0, "bands must start at the top");
+            for w in b.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "bands must be contiguous");
+            }
+            assert!(b.iter().all(|&(a, z)| a < z), "bands must be non-empty");
+            assert_eq!(
+                b.last().unwrap().1 as usize,
+                self.cfg.height.div_ceil(MB_SIZE),
+                "bands must cover the frame"
+            );
+        }
+        self.slice_bands = bands;
     }
 
     /// Record an `encode` event per frame into the causal trace, on
@@ -503,11 +538,16 @@ impl Encoder {
         qp: u8,
         frame_type: FrameType,
     ) -> (Vec<u8>, BlockCounts) {
+        if let Some(bands) = self.slice_bands.clone() {
+            let slices = slice::rows_for_bands(frame.format, frame.height, &bands);
+            return self.encode_v2(frame, qp, frame_type, slices, Some(bands));
+        }
         let n_slices = slice::slice_count(self.cfg.slices, frame.height);
         if n_slices <= 1 {
             self.encode_v1(frame, qp, frame_type)
         } else {
-            self.encode_v2(frame, qp, frame_type, n_slices)
+            let slices = slice::partition(frame.format, frame.height, n_slices);
+            self.encode_v2(frame, qp, frame_type, slices, None)
         }
     }
 
@@ -658,8 +698,10 @@ impl Encoder {
         frame: &Frame,
         qp: u8,
         frame_type: FrameType,
-        n_slices: usize,
+        slices: Vec<SliceRows>,
+        geometry: Option<Vec<(u16, u16)>>,
     ) -> (Vec<u8>, BlockCounts) {
+        let n_slices = slices.len();
         let mut scratch = std::mem::take(&mut self.scratch);
         if scratch.ensure_work_recon(frame.format, frame.width, frame.height) {
             if let Some(t) = &self.telemetry {
@@ -669,7 +711,6 @@ impl Encoder {
         let peak = frame.format.peak_value();
         let pool = self.pool.as_deref().filter(|p| p.threads() > 1);
         let use_lanes = self.cfg.entropy_lanes;
-        let slices = slice::partition(frame.format, frame.height, n_slices);
         let mut payloads: Vec<(Vec<u8>, BlockCounts)> = Vec::new();
         payloads.resize_with(n_slices, Default::default);
 
@@ -752,13 +793,15 @@ impl Encoder {
         }
 
         let lens: Vec<usize> = payloads.iter().map(|(p, _)| p.len()).collect();
-        let header = slice::write_header(
+        let header = slice::write_header_ext(
             frame_type,
             frame.format,
             qp,
             frame.width,
             frame.height,
             use_lanes,
+            geometry.as_deref(),
+            false,
             &lens,
         );
         self.last_header_bits = header.len() as u64 * 8;
@@ -772,6 +815,96 @@ impl Encoder {
         }
         self.scratch = scratch;
         (data, counts)
+    }
+
+    /// Encode a fine-QP **refinement payload** for the given macroblock-row
+    /// bands of `frame` (flag bits 4+5 of the v2 header): each band is
+    /// intra-coded with slice-local DC prediction, so the decoder can apply
+    /// it onto an already-displayed base frame.
+    ///
+    /// Refinement never enters the codec's closed loop: the slice
+    /// reconstructions go into throwaway stripe buffers, not `work_recon`,
+    /// so the prediction chain on both sides stays base-only and a dropped
+    /// or corrupt refinement can never cause drift. The method takes
+    /// `&self` — no rate-controller, GOP or reference state moves.
+    ///
+    /// `bands` must be sorted, non-overlapping and non-empty (a subset of
+    /// the frame is fine). The payload is a pure function of
+    /// `(frame, bands, qp)` — identical at any worker-pool size.
+    pub fn encode_refinement(&self, frame: &Frame, bands: &[(u16, u16)], qp: u8) -> Vec<u8> {
+        assert!(!bands.is_empty() && bands.len() <= 255, "1..=255 bands");
+        let mb_rows = frame.height.div_ceil(MB_SIZE);
+        let mut prev = 0usize;
+        for &(mb0, mb1) in bands {
+            assert!(
+                mb0 < mb1 && mb1 as usize <= mb_rows && mb0 as usize >= prev,
+                "bands must be sorted, non-overlapping and in range"
+            );
+            prev = mb1 as usize;
+        }
+        let qp = qp.clamp(self.cfg.qp_min, self.cfg.qp_max);
+        let slices = slice::rows_for_bands(frame.format, frame.height, bands);
+        let pool = self.pool.as_deref().filter(|p| p.threads() > 1);
+        let use_lanes = self.cfg.entropy_lanes;
+        let peak = frame.format.peak_value();
+        let mut payloads: Vec<(Vec<u8>, BlockCounts)> = Vec::new();
+        payloads.resize_with(slices.len(), Default::default);
+        // Throwaway reconstruction stripes: refinement must not touch the
+        // encoder's work/reference frames.
+        let mut stripe_bufs: Vec<Vec<Vec<u16>>> = slices
+            .iter()
+            .map(|sr| {
+                frame
+                    .planes
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, p)| {
+                        let (r0, r1) = sr.plane_rows(pi);
+                        vec![0u16; (r1 - r0) * p.width]
+                    })
+                    .collect()
+            })
+            .collect();
+        type RefineJob<'a> = (
+            SliceRows,
+            Vec<&'a mut [u16]>,
+            &'a mut (Vec<u8>, BlockCounts),
+        );
+        let jobs: Vec<RefineJob<'_>> = slices
+            .iter()
+            .zip(stripe_bufs.iter_mut())
+            .zip(payloads.iter_mut())
+            .map(|((sr, bufs), out)| {
+                let stripes = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+                (*sr, stripes, out)
+            })
+            .collect();
+        run_slice_jobs(pool, jobs, |(sr, mut stripes, out)| {
+            let lanes = slice_lanes(use_lanes, &sr);
+            *out = encode_intra_slice(frame, &sr, &mut stripes, qp, peak, lanes);
+        });
+        let lens: Vec<usize> = payloads.iter().map(|(p, _)| p.len()).collect();
+        let header = slice::write_header_ext(
+            FrameType::Intra,
+            frame.format,
+            qp,
+            frame.width,
+            frame.height,
+            use_lanes,
+            Some(bands),
+            true,
+            &lens,
+        );
+        let mut data = header;
+        data.reserve(lens.iter().sum());
+        for (payload, _) in &payloads {
+            data.extend_from_slice(payload);
+        }
+        if let Some(t) = &self.telemetry {
+            t.refine_slices.add(bands.len() as u64);
+            t.refine_payload_bits.record(data.len() as f64 * 8.0);
+        }
+        data
     }
 }
 

@@ -364,6 +364,81 @@ fn sliced_inter_frames_fail_cleanly_without_reference() {
 }
 
 #[test]
+fn corrupt_refinement_degrades_to_base_never_errors_the_frame() {
+    // Refinement is an enhancement, not a dependency: any corruption in a
+    // refinement payload must leave the already-displayed base frame
+    // bit-identical (`apply_refinement` is transactional via clone-swap)
+    // and never panic — the receiver simply keeps showing the base.
+    let (w, h) = (96usize, 80usize); // 5 MB rows
+    let mut cfg = EncoderConfig::new(w, h, PixelFormat::Yuv420);
+    cfg.slices = 2;
+    let mut enc = Encoder::new(cfg);
+    let frame = pattern_frame(w, h, PixelFormat::Yuv420, 0);
+    let base_stream = enc.encode(&frame, 120_000).data;
+    let bands = [(0u16, 2u16), (3, 5)];
+    let refine = enc.encode_refinement(&frame, &bands, 8);
+    assert_eq!(refine[0], SLICED_MAGIC);
+
+    let mut dec = Decoder::new();
+    let base = dec.decode(&base_stream).unwrap();
+    let mut good = base.clone();
+    assert_eq!(dec.apply_refinement(&refine, &mut good), Ok(2));
+    assert!(good != base, "the pristine payload must change pixels");
+
+    // Dense 0x00/0xFF mutation over the header and the band/slice tables
+    // (the first 64 bytes) and strided through the entropy payload: every
+    // outcome is either a clean apply (garbage pixels are acceptable, the
+    // shape is validated) or an `Err` with the base left untouched.
+    let positions = (0..refine.len().min(64)).chain((64..refine.len()).step_by(53));
+    for i in positions {
+        for forced in [0x00u8, 0xFF] {
+            let mut corrupted = refine.clone();
+            if corrupted[i] == forced {
+                continue;
+            }
+            corrupted[i] = forced;
+            let mut shown = base.clone();
+            if dec.apply_refinement(&corrupted, &mut shown).is_err() {
+                assert!(
+                    shown == base,
+                    "byte {i}:={forced:#04x}: a failed refinement must leave the base untouched"
+                );
+            }
+        }
+    }
+
+    // Truncation anywhere — header, slice table, or mid-payload — must stay
+    // total and transactional.
+    for cut in 0..refine.len() {
+        let mut shown = base.clone();
+        if dec.apply_refinement(&refine[..cut], &mut shown).is_err() {
+            assert!(
+                shown == base,
+                "cut {cut}: a truncated refinement must leave the base untouched"
+            );
+        }
+    }
+
+    // A refinement aimed at a canvas of the wrong shape is rejected
+    // outright, and a plain base frame is not a refinement.
+    let mut wrong = Frame::from_rgb8(48, 40, &vec![0u8; 48 * 40 * 3]);
+    assert_eq!(
+        dec.apply_refinement(&refine, &mut wrong),
+        Err(DecodeError::BadHeader)
+    );
+    let mut shown = base.clone();
+    assert_eq!(
+        dec.apply_refinement(&base_stream, &mut shown),
+        Err(DecodeError::BadHeader)
+    );
+
+    // And the pristine payload still applies after the whole sweep.
+    let mut again = base.clone();
+    assert_eq!(dec.apply_refinement(&refine, &mut again), Ok(2));
+    assert!(again == good, "post-sweep apply must match the first apply");
+}
+
+#[test]
 fn one_by_n_and_n_by_one_frames() {
     // Degenerate aspect ratios exercise the partial-block paths.
     for (w, h) in [(8usize, 256usize), (256, 8), (9, 17)] {

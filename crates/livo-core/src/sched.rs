@@ -1,0 +1,398 @@
+//! FoV-utility tile scheduling: best-first bitrate spend under the GCC
+//! budget (ROADMAP item 2).
+//!
+//! The binary cull answers *whether* a pixel is inside the predicted
+//! frustum; it says nothing about how much a tile is worth once bits get
+//! scarce. Following Progressive Frame Patching's tile-utility argument,
+//! the scheduler ranks each camera slot of the [`TileLayout`] by
+//!
+//! ```text
+//! utility = coverage × area × (MOTION_FLOOR + motion)
+//! ```
+//!
+//! where *coverage* is the fractional predicted-frustum coverage the cull
+//! pass reports per view ([`CullCoverage`]), *area* is the screen-space
+//! area proxy (surviving valid pixels over the slot's pixel count), and
+//! *motion* is the tile's temporal energy (mean absolute luma delta on a
+//! subsampled grid against the previous frame, normalised to `[0, 1]`).
+//! The additive floor keeps static-but-visible tiles schedulable — a pure
+//! product would starve a motionless speaker.
+//!
+//! The budget walk is two-pass: a coarse base layer covers the whole
+//! in-frustum set (a fixed fraction of the frame's byte budget), then the
+//! remainder is spent best-first on fine-QP refinement slices for the
+//! highest-utility tiles, using an EMA of the observed per-tile
+//! refinement cost. The plan is a pure function of its inputs — no
+//! randomness, no pool-size dependence — so identical inputs give an
+//! identical plan at any worker count (pinned in `parallel_bitexact`).
+
+use livo_capture::RgbdFrame;
+use livo_telemetry::registry::{Counter, MetricsRegistry};
+use livo_telemetry::Histogram;
+use std::sync::Arc;
+
+use crate::cull::CullCoverage;
+use crate::tile::TileLayout;
+
+/// Additive motion floor: a fully static, fully visible tile still ranks.
+pub const MOTION_FLOOR: f64 = 0.25;
+
+/// Subsampling stride of the motion grid (every 4th pixel per axis).
+const MOTION_STRIDE: usize = 4;
+
+/// Knobs of the utility scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Share of the per-frame colour budget reserved for the coarse base
+    /// pass; the rest is the refinement purse.
+    pub base_fraction: f64,
+    /// How much finer the refinement QP is than the base pass's pick.
+    pub refine_qp_delta: u8,
+    /// Hard cap on refinement tiles per frame (`usize::MAX` = no cap).
+    pub max_refine_tiles: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            base_fraction: 0.6,
+            refine_qp_delta: 10,
+            max_refine_tiles: usize::MAX,
+        }
+    }
+}
+
+/// One tile's utility inputs and score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileUtility {
+    /// Camera slot index in the [`TileLayout`].
+    pub slot: usize,
+    /// Fractional predicted-frustum coverage of the slot's valid pixels.
+    pub coverage: f64,
+    /// Screen-space area proxy: surviving pixels over the slot's area.
+    pub area: f64,
+    /// Temporal energy in `[0, 1]`.
+    pub motion: f64,
+    /// The combined score the budget walk ranks on.
+    pub utility: f64,
+}
+
+/// One frame's best-first spend plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilePlan {
+    /// Per-slot utilities, in slot order.
+    pub utilities: Vec<TileUtility>,
+    /// Slot indices best-first (ties broken by slot index, so the order
+    /// is total and deterministic).
+    pub order: Vec<usize>,
+    /// Slots picked for fine-QP refinement, best-first.
+    pub refine_slots: Vec<usize>,
+    /// Bits granted to the coarse base pass.
+    pub base_bits: u64,
+    /// Bits the walk expects the chosen refinement slices to cost.
+    pub refine_bits: u64,
+}
+
+impl TilePlan {
+    /// Mean utility over slots with any in-frustum content.
+    pub fn mean_utility(&self) -> f64 {
+        let live: Vec<f64> = self
+            .utilities
+            .iter()
+            .filter(|u| u.utility > 0.0)
+            .map(|u| u.utility)
+            .collect();
+        if live.is_empty() {
+            0.0
+        } else {
+            live.iter().sum::<f64>() / live.len() as f64
+        }
+    }
+}
+
+/// `tile.utility.*` handles, resolved once.
+struct SchedTelemetry {
+    plans: Arc<Counter>,
+    refined: Arc<Counter>,
+    starved: Arc<Counter>,
+    mean: Arc<Histogram>,
+    refine_share: Arc<Histogram>,
+}
+
+/// Stateful utility scheduler: keeps the per-slot motion grids and the
+/// refinement cost EMA between frames.
+pub struct TileScheduler {
+    cfg: SchedulerConfig,
+    /// Per-slot subsampled luma grid of the previous frame.
+    prev_grids: Vec<Vec<u8>>,
+    /// EMA of the observed refinement bits per tile (None until the first
+    /// observation; the walk then uses a pixels-based prior).
+    cost_ema_bits: Option<f64>,
+    telemetry: Option<SchedTelemetry>,
+}
+
+impl TileScheduler {
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        TileScheduler {
+            cfg,
+            prev_grids: Vec::new(),
+            cost_ema_bits: None,
+            telemetry: None,
+        }
+    }
+
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// Register the `tile.utility.*` metrics on `registry`.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        self.telemetry = Some(SchedTelemetry {
+            plans: registry.counter("tile.utility.plans"),
+            refined: registry.counter("tile.utility.refined"),
+            starved: registry.counter("tile.utility.starved"),
+            mean: registry.histogram("tile.utility.mean"),
+            refine_share: registry.histogram("tile.utility.refine_share"),
+        });
+    }
+
+    /// Feed back the actual bits one refinement slice cost, tightening
+    /// the walk's cost model.
+    pub fn observe_refine_cost(&mut self, bits_per_tile: f64) {
+        if bits_per_tile <= 0.0 {
+            return;
+        }
+        self.cost_ema_bits = Some(match self.cost_ema_bits {
+            Some(ema) => 0.8 * ema + 0.2 * bits_per_tile,
+            None => bits_per_tile,
+        });
+    }
+
+    /// Expected refinement bits for one tile of `pixels` pixels.
+    fn tile_cost_bits(&self, pixels: usize) -> f64 {
+        // Prior before any observation: ~0.6 bpp at a fine intra QP.
+        self.cost_ema_bits.unwrap_or(pixels as f64 * 0.6)
+    }
+
+    /// Score every slot and walk the budget best-first. `views` are the
+    /// *culled* per-camera frames (surviving pixels only), `coverage` the
+    /// per-view stats from the same cull pass, `color_budget_bits` the
+    /// colour share of this frame's GCC budget.
+    pub fn plan(
+        &mut self,
+        views: &[RgbdFrame],
+        layout: &TileLayout,
+        coverage: &CullCoverage,
+        color_budget_bits: u64,
+    ) -> TilePlan {
+        assert_eq!(views.len(), coverage.views.len());
+        assert_eq!(views.len(), layout.n);
+        let slot_pixels = (layout.cam_w * layout.cam_h).max(1);
+        if self.prev_grids.len() != views.len() {
+            self.prev_grids = vec![Vec::new(); views.len()];
+        }
+
+        let mut utilities = Vec::with_capacity(views.len());
+        for (slot, (view, vs)) in views.iter().zip(&coverage.views).enumerate() {
+            let motion = self.motion_energy(slot, view);
+            let coverage = vs.keep_fraction();
+            let area = vs.kept as f64 / slot_pixels as f64;
+            let utility = if vs.kept == 0 {
+                0.0
+            } else {
+                coverage * area * (MOTION_FLOOR + motion)
+            };
+            utilities.push(TileUtility {
+                slot,
+                coverage,
+                area,
+                motion,
+                utility,
+            });
+        }
+
+        let mut order: Vec<usize> = (0..views.len()).collect();
+        // Descending utility; the slot index makes the order total.
+        order.sort_by(|&a, &b| {
+            utilities[b]
+                .utility
+                .total_cmp(&utilities[a].utility)
+                .then(a.cmp(&b))
+        });
+
+        let base_bits = (color_budget_bits as f64 * self.cfg.base_fraction) as u64;
+        let purse = color_budget_bits.saturating_sub(base_bits) as f64;
+        let cost = self.tile_cost_bits(slot_pixels);
+        let mut refine_slots = Vec::new();
+        let mut refine_bits = 0.0f64;
+        for &slot in &order {
+            if utilities[slot].utility <= 0.0 || refine_slots.len() >= self.cfg.max_refine_tiles {
+                break;
+            }
+            if refine_bits + cost > purse {
+                break;
+            }
+            refine_bits += cost;
+            refine_slots.push(slot);
+        }
+
+        let plan = TilePlan {
+            utilities,
+            order,
+            refine_slots,
+            base_bits,
+            refine_bits: refine_bits as u64,
+        };
+        if let Some(t) = &self.telemetry {
+            t.plans.inc();
+            t.refined.add(plan.refine_slots.len() as u64);
+            if plan.refine_slots.is_empty() {
+                t.starved.inc();
+            }
+            t.mean.record(plan.mean_utility());
+            if color_budget_bits > 0 {
+                t.refine_share
+                    .record(plan.refine_bits as f64 / color_budget_bits as f64);
+            }
+        }
+        plan
+    }
+
+    /// Mean absolute subsampled-luma delta vs the previous frame for one
+    /// slot, normalised to `[0, 1]`. Updates the stored grid.
+    fn motion_energy(&mut self, slot: usize, view: &RgbdFrame) -> f64 {
+        let mut grid = Vec::with_capacity(
+            view.height.div_ceil(MOTION_STRIDE) * view.width.div_ceil(MOTION_STRIDE),
+        );
+        for y in (0..view.height).step_by(MOTION_STRIDE) {
+            for x in (0..view.width).step_by(MOTION_STRIDE) {
+                let p = (y * view.width + x) * 3;
+                // Integer BT.601-ish luma; cheap and deterministic.
+                let l = (view.rgb[p] as u32 * 77
+                    + view.rgb[p + 1] as u32 * 150
+                    + view.rgb[p + 2] as u32 * 29)
+                    >> 8;
+                grid.push(l as u8);
+            }
+        }
+        let prev = &mut self.prev_grids[slot];
+        let motion = if prev.len() == grid.len() && !grid.is_empty() {
+            let sum: u64 = prev
+                .iter()
+                .zip(&grid)
+                .map(|(&a, &b)| (a as i32 - b as i32).unsigned_abs() as u64)
+                .sum();
+            (sum as f64 / grid.len() as f64) / 255.0
+        } else {
+            0.0
+        };
+        *prev = grid;
+        motion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cull::CullStats;
+
+    fn mk_views(n: usize, w: usize, h: usize) -> Vec<RgbdFrame> {
+        (0..n)
+            .map(|i| {
+                let mut f = RgbdFrame::new(w, h);
+                for p in 0..w * h {
+                    f.depth_mm[p] = 1000;
+                    f.rgb[p * 3] = (i * 40) as u8;
+                }
+                f
+            })
+            .collect()
+    }
+
+    fn coverage_of(kept: &[usize], total: usize) -> CullCoverage {
+        let mut cov = CullCoverage::default();
+        for &k in kept {
+            let vs = CullStats {
+                total_valid: total,
+                kept: k,
+            };
+            cov.views.push(vs);
+            cov.total.total_valid += total;
+            cov.total.kept += k;
+        }
+        cov
+    }
+
+    #[test]
+    fn ranks_high_coverage_tiles_first_and_respects_budget() {
+        let layout = TileLayout::new(64, 56, 4);
+        let views = mk_views(4, 64, 56);
+        let cov = coverage_of(&[3584, 100, 2000, 0], 3584);
+        let mut sched = TileScheduler::new(SchedulerConfig::default());
+        // Warm the motion grids so the scores are steady-state.
+        let _ = sched.plan(&views, &layout, &cov, 1_000_000);
+        let plan = sched.plan(&views, &layout, &cov, 1_000_000);
+        assert_eq!(plan.order[0], 0, "full-coverage slot ranks first");
+        assert_eq!(*plan.order.last().unwrap(), 3, "empty slot ranks last");
+        assert!(
+            !plan.refine_slots.contains(&3),
+            "out-of-frustum tile never refined"
+        );
+        assert!(plan.base_bits > 0 && plan.base_bits < 1_000_000);
+        assert!(plan.refine_bits <= 1_000_000 - plan.base_bits);
+    }
+
+    #[test]
+    fn zero_budget_still_plans_base_only() {
+        let layout = TileLayout::new(64, 56, 2);
+        let views = mk_views(2, 64, 56);
+        let cov = coverage_of(&[3584, 3584], 3584);
+        let mut sched = TileScheduler::new(SchedulerConfig::default());
+        let plan = sched.plan(&views, &layout, &cov, 0);
+        assert!(plan.refine_slots.is_empty());
+        assert_eq!(plan.base_bits, 0);
+    }
+
+    #[test]
+    fn plan_is_deterministic_across_runs() {
+        let layout = TileLayout::new(64, 56, 4);
+        let views = mk_views(4, 64, 56);
+        let cov = coverage_of(&[3000, 1000, 2999, 2999], 3584);
+        let mk_plan = || {
+            let mut s = TileScheduler::new(SchedulerConfig::default());
+            let _ = s.plan(&views, &layout, &cov, 500_000);
+            s.plan(&views, &layout, &cov, 500_000)
+        };
+        assert_eq!(mk_plan(), mk_plan());
+    }
+
+    #[test]
+    fn cost_feedback_narrows_refinement() {
+        let layout = TileLayout::new(64, 56, 4);
+        let views = mk_views(4, 64, 56);
+        let cov = coverage_of(&[3584, 3584, 3584, 3584], 3584);
+        let mut sched = TileScheduler::new(SchedulerConfig::default());
+        let _ = sched.plan(&views, &layout, &cov, 800_000);
+        let cheap = sched.plan(&views, &layout, &cov, 800_000);
+        // Refinement turned out wildly expensive: fewer tiles fit.
+        sched.observe_refine_cost(200_000.0);
+        let pricey = sched.plan(&views, &layout, &cov, 800_000);
+        assert!(pricey.refine_slots.len() <= cheap.refine_slots.len());
+        assert!(pricey.refine_slots.len() < 4);
+    }
+
+    #[test]
+    fn telemetry_uses_tile_utility_names() {
+        let layout = TileLayout::new(64, 56, 2);
+        let views = mk_views(2, 64, 56);
+        let cov = coverage_of(&[3584, 0], 3584);
+        let reg = MetricsRegistry::new();
+        let mut sched = TileScheduler::new(SchedulerConfig::default());
+        sched.attach_telemetry(&reg);
+        let _ = sched.plan(&views, &layout, &cov, 400_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("tile.utility.plans"), Some(1));
+        assert!(snap.histogram("tile.utility.mean").is_some());
+        assert!(snap.histogram("tile.utility.refine_share").is_some());
+    }
+}

@@ -61,6 +61,9 @@ pub struct SessionStats {
     pub plis: u64,
     pub nacks_sent: u64,
     pub retransmits: u64,
+    /// Refinement packets dropped by the pacer (stale or backpressure);
+    /// base-layer packets are never dropped there.
+    pub refine_drops: u64,
     /// Sum and count of frame transport latency (send → playout-ready).
     pub latency_sum_us: u128,
     pub latency_count: u64,
@@ -104,6 +107,8 @@ struct SessionTelemetry {
     late_drops: Arc<Gauge>,
     bits_sent_color: Arc<Counter>,
     bits_sent_depth: Arc<Counter>,
+    bits_sent_refine: Arc<Counter>,
+    refine_drops: Arc<Counter>,
     bits_delivered: Arc<Counter>,
     frames_delivered: Arc<Counter>,
     latency_ms: Arc<Histogram>,
@@ -120,6 +125,7 @@ fn lane_of(stream: StreamId) -> &'static str {
     match stream {
         StreamId::Color => "color",
         StreamId::Depth => "depth",
+        StreamId::Refine => "refine",
         StreamId::Control => "control",
     }
 }
@@ -129,6 +135,7 @@ fn component_of(stream: StreamId) -> &'static str {
     match stream {
         StreamId::Color => "transport.color",
         StreamId::Depth => "transport.depth",
+        StreamId::Refine => "transport.refine",
         StreamId::Control => "transport.control",
     }
 }
@@ -248,6 +255,8 @@ impl RtcSession {
             late_drops: registry.gauge(&format!("{prefix}.late_drops")),
             bits_sent_color: registry.counter(&format!("{prefix}.bits_sent.color")),
             bits_sent_depth: registry.counter(&format!("{prefix}.bits_sent.depth")),
+            bits_sent_refine: registry.counter(&format!("{prefix}.bits_sent.refine")),
+            refine_drops: registry.counter(&format!("{prefix}.refine_drops")),
             bits_delivered: registry.counter(&format!("{prefix}.bits_delivered")),
             frames_delivered: registry.counter(&format!("{prefix}.frames_delivered")),
             latency_ms: registry.histogram(&format!("{prefix}.latency_ms")),
@@ -284,7 +293,10 @@ impl RtcSession {
         }
     }
 
-    /// Queue a frame for transmission.
+    /// Queue a frame for transmission. Base-layer streams additionally
+    /// purge queued refinement packets of *older* frames: once a newer
+    /// base frame is on its way, late refinement for superseded frames is
+    /// wasted bits the base layer should not sit behind.
     pub fn send_frame(
         &mut self,
         now: Micros,
@@ -293,6 +305,18 @@ impl RtcSession {
         data: Bytes,
         keyframe: bool,
     ) {
+        if matches!(stream, StreamId::Color | StreamId::Depth) {
+            let before = self.pacer.len();
+            self.pacer
+                .retain(|p| p.stream != StreamId::Refine || p.frame_id >= frame_id);
+            let purged = (before - self.pacer.len()) as u64;
+            if purged > 0 {
+                self.stats.refine_drops += purged;
+                if let Some(t) = &self.telemetry {
+                    t.refine_drops.add(purged);
+                }
+            }
+        }
         let pz = self
             .packetizers
             .entry(stream)
@@ -308,7 +332,10 @@ impl RtcSession {
         for p in pkts {
             frame_bits += p.wire_bits();
             n_pkts += 1;
-            rb.store(&p);
+            // Refinement is never retransmitted, so don't retain it.
+            if stream != StreamId::Refine {
+                rb.store(&p);
+            }
             self.pacer.push_back(p);
         }
         self.stats.bits_sent += frame_bits;
@@ -316,6 +343,7 @@ impl RtcSession {
             match stream {
                 StreamId::Color => t.bits_sent_color.add(frame_bits),
                 StreamId::Depth => t.bits_sent_depth.add(frame_bits),
+                StreamId::Refine => t.bits_sent_refine.add(frame_bits),
                 StreamId::Control => {}
             }
             if let Some(tl) = &t.timeline {
@@ -382,6 +410,20 @@ impl RtcSession {
         while let Some(p) = self.pacer.front() {
             let bits = p.wire_bits() as f64;
             if self.pacer_budget_bits < bits {
+                // Backpressure: a refinement packet at the head must not
+                // starve base-layer packets queued behind it — drop the
+                // refinement instead of waiting for budget. Base packets
+                // are never dropped here.
+                if p.stream == StreamId::Refine
+                    && self.pacer.iter().any(|q| q.stream != StreamId::Refine)
+                {
+                    self.pacer.pop_front();
+                    self.stats.refine_drops += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.refine_drops.inc();
+                    }
+                    continue;
+                }
                 break;
             }
             self.pacer_budget_bits -= bits;
@@ -522,9 +564,14 @@ impl RtcSession {
                 );
             }
 
-            // NACKs for gaps.
+            // NACKs for gaps. The refinement lane is best-effort by
+            // contract: losses there are absorbed by the base layer, so
+            // it earns neither NACKs nor PLIs.
             let mut all_retx = Vec::new();
             for (stream, re) in &self.reassemblers {
+                if *stream == StreamId::Refine {
+                    continue;
+                }
                 let missing = re.missing_seqs(64);
                 if missing.is_empty() {
                     continue;
@@ -561,6 +608,9 @@ impl RtcSession {
 
             // PLI for frames stuck too long.
             for (stream, re) in &self.reassemblers {
+                if *stream == StreamId::Refine {
+                    continue;
+                }
                 let stuck = re.stuck_frames();
                 let ng = self
                     .nack
@@ -703,6 +753,83 @@ mod tests {
             t += 1000;
         }
         (s, frames)
+    }
+
+    #[test]
+    fn pacer_drops_refinement_never_base() {
+        // A link far too slow for the offered load: the pacer backs up
+        // immediately. Refinement must be shed; every base frame must
+        // still go out (in order, behind its own frame's base packets).
+        let trace = BandwidthTrace::constant(2.0, 30.0);
+        let mut s = RtcSession::new(trace, SessionConfig::default());
+        let mut t: Micros = 0;
+        for frame_id in 0..60u64 {
+            s.send_frame(
+                t,
+                StreamId::Color,
+                frame_id,
+                Bytes::from(vec![0u8; 6_000]),
+                frame_id == 0,
+            );
+            s.send_frame(
+                t,
+                StreamId::Refine,
+                frame_id,
+                Bytes::from(vec![1u8; 9_000]),
+                false,
+            );
+            for _ in 0..33 {
+                s.tick(t);
+                s.recv_frames();
+                t += 1000;
+            }
+        }
+        for _ in 0..2000 {
+            s.tick(t);
+            s.recv_frames();
+            t += 1000;
+        }
+        let st = s.stats();
+        assert!(st.refine_drops > 0, "overload must shed refinement");
+        // Base frames were all packetised and none dropped by the pacer:
+        // whatever is still queued is refinement-only or empty.
+        assert!(
+            s.pacer.iter().all(|p| p.stream != StreamId::Color),
+            "base packets must never wait behind dropped refinement"
+        );
+    }
+
+    #[test]
+    fn newer_base_frame_purges_stale_queued_refinement() {
+        // Zero-budget start: everything stays queued in the pacer.
+        let trace = BandwidthTrace::constant(100.0, 30.0);
+        let mut cfg = SessionConfig::default();
+        cfg.initial_estimate_bps = 0.0;
+        let mut s = RtcSession::new(trace, cfg);
+        s.send_frame(0, StreamId::Color, 0, Bytes::from(vec![0u8; 500]), true);
+        s.send_frame(0, StreamId::Refine, 0, Bytes::from(vec![1u8; 500]), false);
+        assert!(s.pacer.iter().any(|p| p.stream == StreamId::Refine));
+        // The next base frame supersedes frame 0's refinement.
+        s.send_frame(
+            33_333,
+            StreamId::Color,
+            1,
+            Bytes::from(vec![0u8; 500]),
+            false,
+        );
+        assert!(
+            s.pacer.iter().all(|p| p.stream != StreamId::Refine),
+            "stale refinement must be purged when a newer base frame queues"
+        );
+        assert_eq!(s.stats().refine_drops, 1);
+        // Base packets of both frames are still queued.
+        assert_eq!(
+            s.pacer
+                .iter()
+                .filter(|p| p.stream == StreamId::Color)
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -55,6 +55,20 @@ bond_check() {
   echo "bond snapshot OK (schema livo-bench-bond-v1, $pts scenarios)"
 }
 
+# FoV-utility gate: `repro --quick fov --gate` exits non-zero when the
+# progressive scheme's PSSIM-in-frustum per bit falls below 1.2x the
+# all-or-nothing baseline at the lowest band, when the center-of-gaze
+# score sags as bandwidth collapses, or when no refinement slice is ever
+# applied. The snapshot must carry the stable schema tag and all six
+# (band x scheme) points.
+fov_check() {
+  json=$1
+  grep -q '"schema":"livo-bench-fov-v1"' "$json" || { echo "fov snapshot missing schema tag"; exit 1; }
+  pts=$(grep -o '"scheme"' "$json" | wc -l)
+  [ "$pts" = 6 ] || { echo "fov snapshot has $pts points, expected 6"; exit 1; }
+  echo "fov snapshot OK (schema livo-bench-fov-v1, $pts points)"
+}
+
 fmt_check() {
   # Formatting is part of the gate in both modes.
   if command -v cargo >/dev/null 2>&1 && cargo fmt --version >/dev/null 2>&1 && [ "$1" = cargo ]; then
@@ -114,6 +128,12 @@ if cargo_works; then
   bsnap=$(mktemp)
   LIVO_LOG=warn cargo run --release --bin repro -- --quick --gate bond --json "$bsnap" >/dev/null
   bond_check "$bsnap"; rm -f "$bsnap"
+  # FoV-utility gate: progressive delivery must clear the per-bit floor
+  # against the all-or-nothing baseline at the lowest band.
+  echo "== tier1: fov gate =="
+  fsnap=$(mktemp)
+  LIVO_LOG=warn cargo run --release --bin repro -- --quick --gate fov --json "$fsnap" >/dev/null
+  fov_check "$fsnap"; rm -f "$fsnap"
   fmt_check cargo
   if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
@@ -148,6 +168,10 @@ else
   bsnap=$(mktemp)
   LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --quick --gate bond --json "$bsnap" >/dev/null
   bond_check "$bsnap"; rm -f "$bsnap"
+  echo "== tier1: fov gate =="
+  fsnap=$(mktemp)
+  LIVO_LOG=warn "${LIVO_OFFLINE_OUT:-/tmp/livo-offline-build}/repro" --quick --gate fov --json "$fsnap" >/dev/null
+  fov_check "$fsnap"; rm -f "$fsnap"
   fmt_check offline
   if command -v clippy-driver >/dev/null 2>&1; then
     bash scripts/offline_clippy.sh

@@ -41,6 +41,52 @@ fn conference_metric_names_follow_convention() {
 }
 
 #[test]
+fn progressive_conference_metric_names_follow_convention() {
+    // The progressive path registers the tile.utility.* scheduler family
+    // and the codec.refine.* encode/decode outcome family; run it live so
+    // the audit covers those names and pin the families' presence.
+    let cfg = ConferenceConfig::builder(VideoId::Band2)
+        .camera_scale(0.05)
+        .n_cameras(2)
+        .duration_s(1.0)
+        .quality_every(u32::MAX)
+        .progressive(true)
+        .build()
+        .expect("valid config");
+    let summary = ConferenceRunner::new(cfg).run(BandwidthTrace::constant(40.0, 8.0));
+    let snap = &summary.metrics;
+    audit(snap.counters.keys(), "progressive conference counters");
+    audit(snap.gauges.keys(), "progressive conference gauges");
+    audit(snap.histograms.keys(), "progressive conference histograms");
+    for name in [
+        "tile.utility.plans",
+        "tile.utility.refined",
+        "tile.utility.starved",
+        "codec.refine.slices",
+        "codec.refine.applied",
+        "codec.refine.dropped",
+        "codec.refine.orphans",
+        "transport.refine_drops",
+        "transport.bits_sent.refine",
+    ] {
+        assert!(
+            snap.counters.contains_key(name),
+            "expected progressive counter {name} missing"
+        );
+    }
+    for name in [
+        "tile.utility.mean",
+        "tile.utility.refine_share",
+        "codec.refine.payload_bits",
+    ] {
+        assert!(
+            snap.histograms.contains_key(name),
+            "expected progressive histogram {name} missing"
+        );
+    }
+}
+
+#[test]
 fn bonded_session_metric_names_follow_convention() {
     use livo::bond::BondConfig;
     use livo::telemetry::MetricsRegistry;
